@@ -1,0 +1,151 @@
+//! Criterion microbenchmarks of the engine substrate: insert throughput,
+//! index probes, correlated `NOT EXISTS` evaluation and union subqueries —
+//! the operations the incremental views are built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tintin_engine::{Database, Value};
+
+fn orders_db(n_orders: i64, lines_per_order: i64) -> Database {
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE orders (o_orderkey INT PRIMARY KEY, o_custkey INT);
+         CREATE TABLE lineitem (
+             l_orderkey INT NOT NULL REFERENCES orders,
+             l_linenumber INT NOT NULL,
+             PRIMARY KEY (l_orderkey, l_linenumber));",
+    )
+    .unwrap();
+    db.insert_direct(
+        "orders",
+        (1..=n_orders)
+            .map(|k| vec![Value::Int(k), Value::Int(k % 100)])
+            .collect(),
+    )
+    .unwrap();
+    let mut lines = Vec::new();
+    for o in 1..=n_orders {
+        for l in 1..=lines_per_order {
+            lines.push(vec![Value::Int(o), Value::Int(l)]);
+        }
+    }
+    db.insert_direct("lineitem", lines).unwrap();
+    db
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_insert");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("insert_1k_rows_pk_indexed", |b| {
+        let mut next = 1i64;
+        let mut db = orders_db(0, 0);
+        b.iter(|| {
+            let rows: Vec<Vec<Value>> = (next..next + 1000)
+                .map(|k| vec![Value::Int(k), Value::Int(k % 100)])
+                .collect();
+            next += 1000;
+            db.insert_direct("orders", rows).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_point_query(c: &mut Criterion) {
+    let db = orders_db(20_000, 3);
+    let mut group = c.benchmark_group("engine_point_query");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    group.bench_function("pk_probe", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k % 20_000) + 1;
+            let rs = db
+                .query_sql(&format!("SELECT * FROM orders WHERE o_orderkey = {k}"))
+                .unwrap();
+            assert_eq!(rs.len(), 1);
+        })
+    });
+    group.finish();
+}
+
+fn bench_correlated_not_exists(c: &mut Criterion) {
+    let db = orders_db(20_000, 3);
+    let mut group = c.benchmark_group("engine_correlated_not_exists");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("orders_without_lineitems_20k", |b| {
+        b.iter(|| {
+            let rs = db
+                .query_sql(
+                    "SELECT o_orderkey FROM orders o WHERE NOT EXISTS (
+                         SELECT 1 FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)",
+                )
+                .unwrap();
+            assert!(rs.is_empty());
+        })
+    });
+    group.finish();
+}
+
+fn bench_union_exists(c: &mut Criterion) {
+    let db = orders_db(20_000, 3);
+    let mut group = c.benchmark_group("engine_union_exists");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    // The shape sqlgen emits for new-state checks: EXISTS over a UNION.
+    group.bench_function("exists_union_20k_outer", |b| {
+        b.iter(|| {
+            let rs = db
+                .query_sql(
+                    "SELECT o_orderkey FROM orders o WHERE NOT EXISTS (
+                         SELECT 1 FROM lineitem l WHERE l.l_orderkey = o.o_orderkey
+                         UNION ALL
+                         SELECT 1 FROM lineitem l2 WHERE l2.l_orderkey = o.o_orderkey
+                             AND l2.l_linenumber > 1)",
+                )
+                .unwrap();
+            assert!(rs.is_empty());
+        })
+    });
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let db = orders_db(20_000, 3);
+    let mut group = c.benchmark_group("engine_join");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("indexed_equijoin_60k_pairs", |b| {
+        b.iter(|| {
+            let rs = db
+                .query_sql(
+                    "SELECT o.o_orderkey FROM orders o, lineitem l
+                     WHERE o.o_orderkey = l.l_orderkey AND o.o_custkey = 7",
+                )
+                .unwrap();
+            assert!(!rs.is_empty());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inserts,
+    bench_point_query,
+    bench_correlated_not_exists,
+    bench_union_exists,
+    bench_join
+);
+criterion_main!(benches);

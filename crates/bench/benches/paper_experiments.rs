@@ -1,0 +1,101 @@
+//! Criterion benchmarks for the paper's evaluation (E1/E2): incremental
+//! `safeCommit` checking vs the non-incremental assertion queries.
+//!
+//! Run with `cargo bench -p tintin-bench --bench paper_experiments`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tintin_bench::prepare;
+use tintin_tpch::TPCH_ASSERTIONS;
+
+fn bench_e1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_atLeastOneLineItem");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for gb in [1.0f64, 2.0] {
+        // Incremental check on a pending 1-paper-MB update.
+        let mut s = prepare(gb, 1.0, &[TPCH_ASSERTIONS[0].1], 42);
+        group.bench_with_input(
+            BenchmarkId::new("incremental", format!("{gb}GB_1MB")),
+            &gb,
+            |b, _| {
+                b.iter(|| {
+                    let (violations, stats) =
+                        s.tintin.check_pending(&mut s.db, &s.inst).unwrap();
+                    assert!(violations.is_empty());
+                    stats.views_evaluated
+                })
+            },
+        );
+
+        // Non-incremental: the original query on the updated state.
+        let mut applied = s.db.clone();
+        applied.normalize_events().unwrap();
+        applied.apply_pending().unwrap();
+        let queries: Vec<_> = s.inst.assertions[0].original_queries.clone();
+        group.bench_with_input(
+            BenchmarkId::new("full_query", format!("{gb}GB_1MB")),
+            &gb,
+            |b, _| {
+                b.iter(|| {
+                    let mut n = 0;
+                    for q in &queries {
+                        n += applied.query(q).unwrap().len();
+                    }
+                    assert_eq!(n, 0);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_e2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_assertion_suite");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for (name, sql) in TPCH_ASSERTIONS {
+        let mut s = prepare(1.0, 1.0, &[sql], 42);
+        group.bench_with_input(BenchmarkId::new("incremental", name), name, |b, _| {
+            b.iter(|| {
+                let (violations, stats) = s.tintin.check_pending(&mut s.db, &s.inst).unwrap();
+                assert!(violations.is_empty());
+                stats.views_evaluated
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_safe_commit_cycle(c: &mut Criterion) {
+    // Full safeCommit round trip (normalize + check + apply + truncate) on
+    // small fresh batches, amortized.
+    let mut group = c.benchmark_group("safe_commit_cycle");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let mut s = prepare(1.0, 0.0, &[TPCH_ASSERTIONS[0].1], 42);
+    // Drain the (empty) prepared batch.
+    s.tintin.safe_commit(&mut s.db, &s.inst).unwrap();
+    let counts = s.counts;
+    let mut ug = tintin_tpch::UpdateGen::new(counts, 777);
+    group.bench_function("insert_order_and_commit", |b| {
+        b.iter(|| {
+            ug.insert_order(&mut s.db, 2);
+            let outcome = s.tintin.safe_commit(&mut s.db, &s.inst).unwrap();
+            assert!(outcome.is_committed());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1, bench_e2, bench_safe_commit_cycle);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Criterion benchmarks for the rewriting pipeline itself: parsing,
+//! assertion→denial translation, EDC generation, SQL view generation, and
+//! the full `install`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tintin::Tintin;
+use tintin_logic::{translate_assertion, EdcConfig, EdcGenerator, Registry};
+use tintin_sql::parse_statement;
+use tintin_tpch::{Dbgen, TPCH_ASSERTIONS};
+
+fn catalog() -> tintin_logic::SchemaCatalog {
+    let db = Dbgen::new(0.00005).generate();
+    Tintin::catalog_of(&db)
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_parse");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for (name, sql) in TPCH_ASSERTIONS.iter().take(3) {
+        group.bench_with_input(BenchmarkId::from_parameter(name), sql, |b, sql| {
+            b.iter(|| parse_statement(sql).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let cat = catalog();
+    let mut group = c.benchmark_group("pipeline_translate");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for (name, sql) in TPCH_ASSERTIONS.iter().take(3) {
+        let tintin_sql::Statement::CreateAssertion(a) = parse_statement(sql).unwrap() else {
+            unreachable!()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &a, |b, a| {
+            b.iter(|| {
+                let mut reg = Registry::new();
+                translate_assertion(&cat, &mut reg, a).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_edc_generation(c: &mut Criterion) {
+    let cat = catalog();
+    let mut group = c.benchmark_group("pipeline_edc");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+    for (name, sql) in TPCH_ASSERTIONS.iter().take(3) {
+        let tintin_sql::Statement::CreateAssertion(a) = parse_statement(sql).unwrap() else {
+            unreachable!()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &a, |b, a| {
+            b.iter(|| {
+                let mut reg = Registry::new();
+                let denials = translate_assertion(&cat, &mut reg, a).unwrap();
+                let mut edcs = Vec::new();
+                for d in &denials {
+                    let mut generator =
+                        EdcGenerator::new(&mut reg, &cat, EdcConfig::default());
+                    edcs.extend(generator.generate(d).unwrap());
+                }
+                edcs.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_install(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_install");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+    // Tiny database: measures rewriting + view creation, not data loading.
+    let base = Dbgen::new(0.00005).generate();
+    let all: Vec<&str> = TPCH_ASSERTIONS.iter().map(|(_, s)| *s).collect();
+    group.bench_function("six_assertions", |b| {
+        b.iter(|| {
+            let mut db = base.clone();
+            let tintin = Tintin::new();
+            tintin.install(&mut db, &all).unwrap().view_count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_translate,
+    bench_edc_generation,
+    bench_full_install
+);
+criterion_main!(benches);

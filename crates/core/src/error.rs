@@ -1,0 +1,83 @@
+//! Unified error type for the TINTIN public API.
+
+use std::fmt;
+
+/// Any failure in the install / check / commit pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TintinError {
+    /// SQL parsing failed.
+    Parse(String),
+    /// The statement was not a `CREATE ASSERTION`.
+    NotAnAssertion(String),
+    /// Assertion → denial translation failed (outside the fragment,
+    /// unknown tables/columns, unsafe variables, …).
+    Translate(String),
+    /// EDC generation failed (expansion bounds).
+    Edc(String),
+    /// SQL view generation failed.
+    SqlGen(String),
+    /// Engine-level failure (catalog, DML, evaluation).
+    Engine(tintin_engine::EngineError),
+    /// An assertion with this name is already installed.
+    DuplicateAssertion(String),
+    /// The installation rejects the current database state (violated before
+    /// any update).
+    InitialStateViolated { assertion: String, rows: usize },
+}
+
+impl fmt::Display for TintinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TintinError::Parse(m) => write!(f, "parse error: {m}"),
+            TintinError::NotAnAssertion(m) => {
+                write!(f, "expected CREATE ASSERTION, got: {m}")
+            }
+            TintinError::Translate(m) => write!(f, "{m}"),
+            TintinError::Edc(m) => write!(f, "{m}"),
+            TintinError::SqlGen(m) => write!(f, "{m}"),
+            TintinError::Engine(e) => write!(f, "{e}"),
+            TintinError::DuplicateAssertion(n) => {
+                write!(f, "assertion '{n}' is already installed")
+            }
+            TintinError::InitialStateViolated { assertion, rows } => write!(
+                f,
+                "database already violates assertion '{assertion}' ({rows} violating rows)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TintinError {}
+
+impl From<tintin_engine::EngineError> for TintinError {
+    fn from(e: tintin_engine::EngineError) -> Self {
+        TintinError::Engine(e)
+    }
+}
+
+impl From<tintin_sql::ParseError> for TintinError {
+    fn from(e: tintin_sql::ParseError) -> Self {
+        TintinError::Parse(e.to_string())
+    }
+}
+
+impl From<tintin_logic::TranslateError> for TintinError {
+    fn from(e: tintin_logic::TranslateError) -> Self {
+        TintinError::Translate(e.to_string())
+    }
+}
+
+impl From<tintin_logic::EdcError> for TintinError {
+    fn from(e: tintin_logic::EdcError) -> Self {
+        TintinError::Edc(e.to_string())
+    }
+}
+
+impl From<tintin_sqlgen::SqlGenError> for TintinError {
+    fn from(e: tintin_sqlgen::SqlGenError) -> Self {
+        TintinError::SqlGen(e.to_string())
+    }
+}
+
+/// Result alias for the public API.
+pub type Result<T> = std::result::Result<T, TintinError>;

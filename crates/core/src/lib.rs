@@ -1,0 +1,727 @@
+//! `tintin` — incremental integrity checking of SQL assertions.
+//!
+//! A Rust reproduction of *TINTIN: a Tool for INcremental INTegrity checking
+//! of Assertions in SQL Server* (EDBT 2016). Given a database and a set of
+//! SQL `CREATE ASSERTION` statements, [`Tintin::install`] rewrites each
+//! assertion into a set of incremental SQL views over auxiliary event tables
+//! (`ins_T` / `del_T`), and [`Tintin::safe_commit`] implements the paper's
+//! `safeCommit` procedure: it checks the views against the pending update
+//! and either commits the update or reports the violating tuples.
+//!
+//! The pipeline (paper §2): assertions → logic denials → Event Dependency
+//! Constraints (EDCs) → standard SQL queries. Efficiency comes from checking
+//! only the assertions that the update can violate (the emptiness shortcut
+//! over event tables) and joining the update with the current data instead
+//! of re-evaluating the assertion from scratch.
+//!
+//! ```
+//! use tintin_engine::Database;
+//! use tintin::{Tintin, CommitOutcome};
+//!
+//! let mut db = Database::new();
+//! db.execute_sql(
+//!     "CREATE TABLE orders (o_orderkey INT PRIMARY KEY);
+//!      CREATE TABLE lineitem (
+//!          l_orderkey INT REFERENCES orders, l_linenumber INT,
+//!          PRIMARY KEY (l_orderkey, l_linenumber));",
+//! ).unwrap();
+//!
+//! let tintin = Tintin::new();
+//! let installation = tintin.install(&mut db, &[
+//!     "CREATE ASSERTION atLeastOneLineItem CHECK (NOT EXISTS (
+//!          SELECT * FROM orders o WHERE NOT EXISTS (
+//!              SELECT * FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)))",
+//! ]).unwrap();
+//!
+//! // An order without a line item is rejected…
+//! db.execute_sql("INSERT INTO orders VALUES (1)").unwrap();
+//! let outcome = tintin.safe_commit(&mut db, &installation).unwrap();
+//! assert!(matches!(outcome, CommitOutcome::Rejected { .. }));
+//!
+//! // …an order with a line item commits.
+//! db.execute_sql("INSERT INTO orders VALUES (1); INSERT INTO lineitem VALUES (1, 1);")
+//!     .unwrap();
+//! let outcome = tintin.safe_commit(&mut db, &installation).unwrap();
+//! assert!(matches!(outcome, CommitOutcome::Committed { .. }));
+//! assert_eq!(db.table("orders").unwrap().len(), 1);
+//! ```
+
+pub mod error;
+pub mod fk;
+
+pub use error::{Result, TintinError};
+pub use fk::assertions_from_foreign_keys;
+pub use tintin_logic::{EdcConfig, OptimizerConfig};
+
+use std::time::{Duration, Instant};
+use tintin_engine::{Database, NormalizationReport, ResultSet};
+use tintin_logic::{EdcGenerator, Registry, SchemaCatalog};
+use tintin_sql as sql;
+use tintin_sqlgen::GeneratedView;
+
+/// Top-level configuration.
+#[derive(Debug, Clone)]
+pub struct TintinConfig {
+    /// EDC generation switches (optimizations, FK pruning).
+    pub edc: EdcConfig,
+    /// Skip views whose gating event tables are empty (paper §2: queries
+    /// joining an empty event table are "immediately discarded").
+    pub emptiness_shortcut: bool,
+    /// Verify at install time that the current database satisfies the
+    /// assertions (the EDC method assumes a consistent old state).
+    pub check_initial_state: bool,
+    /// Accept assertions with aggregates (the paper's stated future work)
+    /// in *fallback* mode: they are checked by re-running the original
+    /// query on the hypothetically-updated state, but only when the pending
+    /// update touches one of the assertion's tables — so the emptiness
+    /// shortcut still applies even though the check itself is not
+    /// incremental.
+    pub aggregate_fallback: bool,
+}
+
+impl Default for TintinConfig {
+    fn default() -> Self {
+        TintinConfig {
+            edc: EdcConfig::default(),
+            emptiness_shortcut: true,
+            check_initial_state: true,
+            aggregate_fallback: true,
+        }
+    }
+}
+
+/// The TINTIN tool.
+#[derive(Debug, Clone, Default)]
+pub struct Tintin {
+    pub config: TintinConfig,
+}
+
+/// One installed assertion with its provenance.
+#[derive(Debug, Clone)]
+pub struct InstalledAssertion {
+    pub name: String,
+    /// Original `CREATE ASSERTION` text.
+    pub source_sql: String,
+    /// The queries inside the assertion's `NOT EXISTS` clauses — the
+    /// non-incremental checks used by the baseline.
+    pub original_queries: Vec<sql::Query>,
+    pub denial_count: usize,
+    pub edc_count: usize,
+    pub view_names: Vec<String>,
+}
+
+/// An assertion checked in fallback mode (aggregates): the original query
+/// re-runs on the updated state whenever the pending update touches one of
+/// the referenced tables.
+#[derive(Debug, Clone)]
+pub struct FallbackCheck {
+    pub assertion: String,
+    pub queries: Vec<sql::Query>,
+    /// Tables whose events make the check necessary.
+    pub tables: Vec<String>,
+}
+
+/// Handle to an installed set of assertions.
+#[derive(Debug, Clone)]
+pub struct Installation {
+    pub assertions: Vec<InstalledAssertion>,
+    views: Vec<GeneratedView>,
+    /// Aggregate assertions checked non-incrementally (with event gating).
+    pub fallbacks: Vec<FallbackCheck>,
+    /// Human-readable denial forms, for demos and docs.
+    pub denial_texts: Vec<String>,
+}
+
+impl Installation {
+    /// The generated incremental views (one per EDC).
+    pub fn views(&self) -> &[GeneratedView] {
+        &self.views
+    }
+
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Export everything TINTIN generated as a portable SQL script: the
+    /// event tables and the violation views, with the source assertions as
+    /// comments. The paper stresses that the incremental queries are
+    /// standard SQL usable "on any relational DBMS"; this script is that
+    /// artifact (triggers and the safeCommit procedure remain
+    /// vendor-specific and are left to the target system).
+    pub fn export_sql(&self, db: &Database) -> String {
+        let mut out = String::new();
+        out.push_str("-- Generated by tintin-rs: incremental integrity checking views
+");
+        out.push_str("-- (EDBT 2016, \"TINTIN: a Tool for INcremental INTegrity checking\")
+
+");
+        out.push_str("-- Event tables (populate via INSTEAD OF triggers or application code):
+");
+        for t in db.captured_tables() {
+            let base = db.table(&t).expect("captured table exists");
+            for prefix in ["ins_", "del_"] {
+                let cols: Vec<String> = base
+                    .schema
+                    .columns
+                    .iter()
+                    .map(|c| format!("{} {}", c.name, c.ty))
+                    .collect();
+                out.push_str(&format!(
+                    "CREATE TABLE {prefix}{t} ({});
+",
+                    cols.join(", ")
+                ));
+            }
+        }
+        out.push('\n');
+        for a in &self.assertions {
+            out.push_str(&format!("-- assertion {}:
+", a.name));
+            for line in a.source_sql.lines() {
+                out.push_str(&format!("--   {}
+", line.trim()));
+            }
+            for v in self.views.iter().filter(|v| v.assertion == a.name) {
+                out.push_str(&v.sql_text);
+                out.push_str(";
+");
+            }
+            if self.fallbacks.iter().any(|f| f.assertion == a.name) {
+                out.push_str(
+                    "--   (aggregate assertion: checked by re-running the original                      query, no incremental view)
+",
+                );
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Violating tuples reported by a check.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub assertion: String,
+    pub view: String,
+    pub rows: ResultSet,
+}
+
+/// Statistics of one incremental check.
+#[derive(Debug, Clone, Default)]
+pub struct CheckStats {
+    pub normalization: NormalizationReport,
+    pub views_total: usize,
+    pub views_skipped: usize,
+    pub views_evaluated: usize,
+    /// Aggregate-fallback assertions skipped (no relevant events) /
+    /// evaluated.
+    pub fallbacks_skipped: usize,
+    pub fallbacks_evaluated: usize,
+    /// Time spent evaluating views and fallbacks (excludes normalization
+    /// and commit).
+    pub check_time: Duration,
+}
+
+/// Result of `safeCommit`.
+#[derive(Debug, Clone)]
+pub enum CommitOutcome {
+    /// No violation: the update was applied and the event tables truncated.
+    Committed {
+        inserted: usize,
+        deleted: usize,
+        stats: CheckStats,
+    },
+    /// Violations found: the update was discarded (events truncated) and the
+    /// violating tuples are reported.
+    Rejected {
+        violations: Vec<Violation>,
+        stats: CheckStats,
+    },
+}
+
+impl CommitOutcome {
+    pub fn is_committed(&self) -> bool {
+        matches!(self, CommitOutcome::Committed { .. })
+    }
+
+    pub fn stats(&self) -> &CheckStats {
+        match self {
+            CommitOutcome::Committed { stats, .. } | CommitOutcome::Rejected { stats, .. } => {
+                stats
+            }
+        }
+    }
+}
+
+/// Result of the non-incremental baseline check.
+#[derive(Debug, Clone)]
+pub struct FullRecheckOutcome {
+    pub committed: bool,
+    pub violations: Vec<Violation>,
+    /// Time spent running the original assertion queries on the updated
+    /// state (the paper's non-incremental comparator).
+    pub query_time: Duration,
+}
+
+impl Tintin {
+    pub fn new() -> Self {
+        Tintin::default()
+    }
+
+    pub fn with_config(config: TintinConfig) -> Self {
+        Tintin { config }
+    }
+
+    /// Build the logic-layer catalog from the engine's schema, excluding
+    /// event tables.
+    pub fn catalog_of(db: &Database) -> SchemaCatalog {
+        let mut cat = SchemaCatalog::new();
+        for name in db.table_names() {
+            if is_event_table(db, &name) {
+                continue;
+            }
+            let t = db.table(&name).expect("listed table exists");
+            let mut info = tintin_logic::TableInfo::new(
+                t.schema.columns.iter().map(|c| c.name.clone()).collect(),
+            );
+            info.primary_key = t.schema.primary_key.clone();
+            info.foreign_keys = t
+                .schema
+                .foreign_keys
+                .iter()
+                .map(|fk| tintin_logic::FkInfo {
+                    columns: fk.columns.clone(),
+                    ref_table: fk.ref_table.clone(),
+                    ref_columns: fk.ref_columns.clone(),
+                })
+                .collect();
+            cat.add_table(name, info);
+        }
+        cat
+    }
+
+    /// Install assertions: create event tables and capture (the trigger
+    /// equivalent) for every base table, rewrite the assertions into
+    /// incremental views, and store the views in the database.
+    pub fn install(&self, db: &mut Database, assertions: &[&str]) -> Result<Installation> {
+        // Parse everything first.
+        let mut parsed: Vec<(sql::CreateAssertion, String)> = Vec::new();
+        for text in assertions {
+            let stmt = sql::parse_statement(text)?;
+            match stmt {
+                sql::Statement::CreateAssertion(a) => parsed.push((a, text.to_string())),
+                other => return Err(TintinError::NotAnAssertion(other.to_string())),
+            }
+        }
+        for (i, (a, _)) in parsed.iter().enumerate() {
+            if parsed[..i].iter().any(|(b, _)| b.name == a.name) {
+                return Err(TintinError::DuplicateAssertion(a.name.clone()));
+            }
+        }
+
+        let cat = Self::catalog_of(db);
+
+        // Enable capture for all base tables (the paper builds event tables
+        // for every table of the target database).
+        let base_tables: Vec<String> = db
+            .table_names()
+            .into_iter()
+            .filter(|t| !is_event_table(db, t))
+            .collect();
+        for t in &base_tables {
+            if !db.is_captured(t) {
+                db.enable_capture(t)?;
+            }
+        }
+
+        // Rewrite each assertion.
+        let mut reg = Registry::new();
+        let mut installed = Vec::new();
+        let mut all_views = Vec::new();
+        let mut denial_texts = Vec::new();
+        let mut fallbacks = Vec::new();
+        for (assertion, source_sql) in &parsed {
+            let denials = match tintin_logic::translate_assertion(&cat, &mut reg, assertion) {
+                Ok(d) => d,
+                Err(e)
+                    if self.config.aggregate_fallback
+                        && (e.message.contains("aggregate")
+                            || e.message.contains("GROUP BY")) =>
+                {
+                    // Aggregates: fall back to gated re-execution of the
+                    // original query (the paper's future work, handled
+                    // pragmatically).
+                    let queries = split_assertion_queries(&assertion.condition)?;
+                    let mut tables = Vec::new();
+                    for q in &queries {
+                        collect_query_tables(q, &mut tables);
+                    }
+                    tables.retain(|t| db.table(t).is_some());
+                    tables.sort();
+                    tables.dedup();
+                    installed.push(InstalledAssertion {
+                        name: assertion.name.clone(),
+                        source_sql: source_sql.clone(),
+                        original_queries: queries.clone(),
+                        denial_count: 0,
+                        edc_count: 0,
+                        view_names: Vec::new(),
+                    });
+                    fallbacks.push(FallbackCheck {
+                        assertion: assertion.name.clone(),
+                        queries,
+                        tables,
+                    });
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            for d in &denials {
+                denial_texts.push(format!("{}: {}", assertion.name, reg.denial_str(d)));
+            }
+            let mut edcs = Vec::new();
+            for d in &denials {
+                let mut generator =
+                    EdcGenerator::new(&mut reg, &cat, self.config.edc.clone());
+                edcs.extend(generator.generate(d)?);
+            }
+            let views = tintin_sqlgen::generate_views(&cat, &reg, &edcs)?;
+            let original_queries = split_assertion_queries(&assertion.condition)?;
+            installed.push(InstalledAssertion {
+                name: assertion.name.clone(),
+                source_sql: source_sql.clone(),
+                original_queries,
+                denial_count: denials.len(),
+                edc_count: edcs.len(),
+                view_names: views.iter().map(|v| v.name.clone()).collect(),
+            });
+            all_views.extend(views);
+        }
+
+        // Store views in the database (validates that they compile).
+        for v in &all_views {
+            db.create_view(&v.name, v.query.clone())?;
+        }
+
+        let installation = Installation {
+            assertions: installed,
+            views: all_views,
+            fallbacks,
+            denial_texts,
+        };
+
+        if self.config.check_initial_state {
+            for a in &installation.assertions {
+                for q in &a.original_queries {
+                    let rs = db.query(q)?;
+                    if !rs.is_empty() {
+                        return Err(TintinError::InitialStateViolated {
+                            assertion: a.name.clone(),
+                            rows: rs.len(),
+                        });
+                    }
+                }
+            }
+        }
+
+        Ok(installation)
+    }
+
+    /// Remove everything an installation created: the violation views and —
+    /// unless another installation still needs them — the event tables and
+    /// capture triggers. The inverse of [`Tintin::install`].
+    pub fn uninstall(
+        &self,
+        db: &mut Database,
+        installation: &Installation,
+        drop_capture: bool,
+    ) -> Result<()> {
+        for v in &installation.views {
+            db.drop_view(&v.name, true)?;
+        }
+        if drop_capture {
+            for t in db.captured_tables() {
+                db.disable_capture(&t)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate the incremental views against the pending events without
+    /// committing or truncating anything (a dry run of the check phase).
+    pub fn check_pending(
+        &self,
+        db: &mut Database,
+        installation: &Installation,
+    ) -> Result<(Vec<Violation>, CheckStats)> {
+        let normalization = db.normalize_events()?;
+        let mut stats = CheckStats {
+            normalization,
+            views_total: installation.views.len(),
+            ..CheckStats::default()
+        };
+        let mut violations = Vec::new();
+        let t0 = Instant::now();
+        for view in &installation.views {
+            if self.config.emptiness_shortcut && !gate_open(db, &view.gate) {
+                stats.views_skipped += 1;
+                continue;
+            }
+            stats.views_evaluated += 1;
+            let rs = db.query(&view.query)?;
+            if !rs.is_empty() {
+                violations.push(Violation {
+                    assertion: view.assertion.clone(),
+                    view: view.name.clone(),
+                    rows: rs,
+                });
+            }
+        }
+        // Aggregate fallbacks: re-run the original query on the
+        // hypothetically updated state, but only when the pending update
+        // touches one of the assertion's tables.
+        if !installation.fallbacks.is_empty() {
+            let relevant: Vec<&FallbackCheck> = installation
+                .fallbacks
+                .iter()
+                .filter(|f| {
+                    !self.config.emptiness_shortcut
+                        || f.tables.iter().any(|t| {
+                            let ins = db.table(&tintin_engine::ins_table_name(t));
+                            let del = db.table(&tintin_engine::del_table_name(t));
+                            ins.is_some_and(|x| !x.is_empty())
+                                || del.is_some_and(|x| !x.is_empty())
+                        })
+                })
+                .collect();
+            stats.fallbacks_skipped = installation.fallbacks.len() - relevant.len();
+            stats.fallbacks_evaluated = relevant.len();
+            if !relevant.is_empty() {
+                let log = db.apply_pending()?;
+                for f in relevant {
+                    for (qi, q) in f.queries.iter().enumerate() {
+                        let rs = db.query(q)?;
+                        if !rs.is_empty() {
+                            violations.push(Violation {
+                                assertion: f.assertion.clone(),
+                                view: format!("fallback_query_{qi}"),
+                                rows: rs,
+                            });
+                        }
+                    }
+                }
+                db.undo(log);
+            }
+        }
+        stats.check_time = t0.elapsed();
+        Ok((violations, stats))
+    }
+
+    /// The paper's `safeCommit` procedure: check the pending update against
+    /// every assertion; commit it if no violation is found, otherwise report
+    /// the violating tuples. Either way the event tables are truncated so a
+    /// new update can be proposed.
+    pub fn safe_commit(
+        &self,
+        db: &mut Database,
+        installation: &Installation,
+    ) -> Result<CommitOutcome> {
+        let (violations, stats) = self.check_pending(db, installation)?;
+        if violations.is_empty() {
+            let (inserted, deleted) = db.pending_counts();
+            db.apply_pending()?;
+            db.truncate_events();
+            Ok(CommitOutcome::Committed {
+                inserted,
+                deleted,
+                stats,
+            })
+        } else {
+            db.truncate_events();
+            Ok(CommitOutcome::Rejected { violations, stats })
+        }
+    }
+
+    /// Non-incremental baseline: apply the pending update, run the original
+    /// assertion queries on the updated database, and undo if any violation
+    /// shows up. `query_time` isolates the cost the paper compares against.
+    pub fn full_recheck(
+        &self,
+        db: &mut Database,
+        installation: &Installation,
+    ) -> Result<FullRecheckOutcome> {
+        db.normalize_events()?;
+        let log = db.apply_pending()?;
+        let t0 = Instant::now();
+        let mut violations = Vec::new();
+        for a in &installation.assertions {
+            for (qi, q) in a.original_queries.iter().enumerate() {
+                let rs = db.query(q)?;
+                if !rs.is_empty() {
+                    violations.push(Violation {
+                        assertion: a.name.clone(),
+                        view: format!("original_query_{qi}"),
+                        rows: rs,
+                    });
+                }
+            }
+        }
+        let query_time = t0.elapsed();
+        let committed = violations.is_empty();
+        if !committed {
+            db.undo(log);
+        }
+        db.truncate_events();
+        Ok(FullRecheckOutcome {
+            committed,
+            violations,
+            query_time,
+        })
+    }
+
+    /// Run the original (non-incremental) assertion queries against the
+    /// *current* state; returns per-assertion violating row counts.
+    pub fn check_current_state(
+        &self,
+        db: &Database,
+        installation: &Installation,
+    ) -> Result<Vec<(String, usize)>> {
+        let mut out = Vec::new();
+        for a in &installation.assertions {
+            let mut n = 0;
+            for q in &a.original_queries {
+                n += db.query(q)?.len();
+            }
+            out.push((a.name.clone(), n));
+        }
+        Ok(out)
+    }
+}
+
+/// All gating event tables non-empty?
+fn gate_open(db: &Database, gate: &[(bool, String)]) -> bool {
+    gate.iter().all(|(is_ins, table)| {
+        let name = if *is_ins {
+            tintin_engine::ins_table_name(table)
+        } else {
+            tintin_engine::del_table_name(table)
+        };
+        db.table(&name).map(|t| !t.is_empty()).unwrap_or(false)
+    })
+}
+
+/// Is `name` one of the `ins_X` / `del_X` event tables of a captured table?
+fn is_event_table(db: &Database, name: &str) -> bool {
+    for prefix in ["ins_", "del_"] {
+        if let Some(base) = name.strip_prefix(prefix) {
+            if db.is_captured(base) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Collect base-table names referenced anywhere in a query (FROM clauses of
+/// all nested selects and subqueries).
+fn collect_query_tables(q: &sql::Query, out: &mut Vec<String>) {
+    fn walk_tr(tr: &sql::TableRef, out: &mut Vec<String>) {
+        match tr {
+            sql::TableRef::Named { name, .. } => out.push(name.clone()),
+            sql::TableRef::Join { left, right, on, .. } => {
+                walk_tr(left, out);
+                walk_tr(right, out);
+                if let Some(on) = on {
+                    walk_expr(on, out);
+                }
+            }
+            sql::TableRef::Subquery { query, .. } => collect_query_tables(query, out),
+        }
+    }
+    fn walk_expr(e: &sql::Expr, out: &mut Vec<String>) {
+        match e {
+            sql::Expr::Exists { query, .. } => collect_query_tables(query, out),
+            sql::Expr::InSubquery { exprs, query, .. } => {
+                for x in exprs {
+                    walk_expr(x, out);
+                }
+                collect_query_tables(query, out);
+            }
+            sql::Expr::Binary { left, right, .. } => {
+                walk_expr(left, out);
+                walk_expr(right, out);
+            }
+            sql::Expr::Unary { expr, .. } => walk_expr(expr, out),
+            sql::Expr::IsNull { expr, .. } => walk_expr(expr, out),
+            sql::Expr::InList { expr, list, .. } => {
+                walk_expr(expr, out);
+                for x in list {
+                    walk_expr(x, out);
+                }
+            }
+            sql::Expr::Tuple(parts) => {
+                for x in parts {
+                    walk_expr(x, out);
+                }
+            }
+            sql::Expr::Func { args, .. } => {
+                if let sql::FuncArgs::List(list) = args {
+                    for x in list {
+                        walk_expr(x, out);
+                    }
+                }
+            }
+            sql::Expr::Column(_) | sql::Expr::Literal(_) => {}
+        }
+    }
+    for sel in q.selects() {
+        for tr in &sel.from {
+            walk_tr(tr, out);
+        }
+        if let Some(w) = &sel.selection {
+            walk_expr(w, out);
+        }
+        if let Some(h) = &sel.having {
+            walk_expr(h, out);
+        }
+        for g in &sel.group_by {
+            walk_expr(g, out);
+        }
+    }
+    for item in &q.order_by {
+        walk_expr(&item.expr, out);
+    }
+}
+
+/// Extract the queries inside the assertion's NOT EXISTS conjuncts.
+fn split_assertion_queries(cond: &sql::Expr) -> Result<Vec<sql::Query>> {
+    let mut out = Vec::new();
+    for conj in cond.conjuncts() {
+        match conj {
+            sql::Expr::Exists {
+                query,
+                negated: true,
+            } => out.push((**query).clone()),
+            sql::Expr::Unary {
+                op: sql::UnOp::Not,
+                expr,
+            } => match &**expr {
+                sql::Expr::Exists {
+                    query,
+                    negated: false,
+                } => out.push((**query).clone()),
+                _ => {
+                    return Err(TintinError::Translate(
+                        "assertion condition must be a conjunction of NOT EXISTS".into(),
+                    ))
+                }
+            },
+            _ => {
+                return Err(TintinError::Translate(
+                    "assertion condition must be a conjunction of NOT EXISTS".into(),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}

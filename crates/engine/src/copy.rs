@@ -1,0 +1,222 @@
+//! Bulk import/export of delimited text — the format family of TPC-H
+//! `dbgen` (`|`-separated `.tbl` files) and plain CSV without quoting.
+//!
+//! Parsing is type-directed by the target table's schema: `INTEGER` and
+//! `REAL` columns parse numerically, everything else loads as text; an
+//! empty field is NULL. `dbgen` writes a trailing delimiter per line, which
+//! is accepted.
+
+use crate::database::Database;
+use crate::error::{EngineError, Result};
+use crate::value::{DataType, Value};
+use std::io::{BufRead, Write};
+
+/// Options for delimited import/export.
+#[derive(Debug, Clone, Copy)]
+pub struct CopyOptions {
+    pub delimiter: char,
+    /// Accept (import) / emit (export) a trailing delimiter per line, as
+    /// TPC-H dbgen does.
+    pub trailing_delimiter: bool,
+}
+
+impl CopyOptions {
+    /// TPC-H `dbgen` `.tbl` convention: `|` separated with a trailing `|`.
+    pub fn tbl() -> CopyOptions {
+        CopyOptions {
+            delimiter: '|',
+            trailing_delimiter: true,
+        }
+    }
+
+    /// Comma-separated without quoting.
+    pub fn csv() -> CopyOptions {
+        CopyOptions {
+            delimiter: ',',
+            trailing_delimiter: false,
+        }
+    }
+}
+
+impl Database {
+    /// Bulk-load delimited rows into `table` (bypasses event capture, like
+    /// `insert_direct`). Returns the number of rows loaded.
+    pub fn copy_in(
+        &mut self,
+        table: &str,
+        reader: impl BufRead,
+        options: CopyOptions,
+    ) -> Result<usize> {
+        let types: Vec<DataType> = {
+            let t = self
+                .table(table)
+                .ok_or_else(|| EngineError::NoSuchTable(table.to_string()))?;
+            t.schema.columns.iter().map(|c| c.ty).collect()
+        };
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line.map_err(|e| EngineError::Parse(format!("read error: {e}")))?;
+            if line.is_empty() {
+                continue;
+            }
+            let mut text = line.as_str();
+            if options.trailing_delimiter {
+                text = text.strip_suffix(options.delimiter).unwrap_or(text);
+            }
+            let fields: Vec<&str> = text.split(options.delimiter).collect();
+            if fields.len() != types.len() {
+                return Err(EngineError::Parse(format!(
+                    "line {}: expected {} fields, found {}",
+                    lineno + 1,
+                    types.len(),
+                    fields.len()
+                )));
+            }
+            let mut row = Vec::with_capacity(fields.len());
+            for (field, ty) in fields.iter().zip(&types) {
+                row.push(parse_field(field, *ty, lineno + 1)?);
+            }
+            rows.push(row);
+        }
+        self.insert_direct(table, rows)
+    }
+
+    /// Export a table's live rows as delimited text (NULL = empty field).
+    pub fn copy_out(
+        &self,
+        table: &str,
+        mut writer: impl Write,
+        options: CopyOptions,
+    ) -> Result<usize> {
+        let t = self
+            .table(table)
+            .ok_or_else(|| EngineError::NoSuchTable(table.to_string()))?;
+        let mut n = 0;
+        for (_, row) in t.scan() {
+            let mut first = true;
+            for v in row.iter() {
+                if !first {
+                    write_char(&mut writer, options.delimiter)?;
+                }
+                first = false;
+                let s = match v {
+                    Value::Null => String::new(),
+                    other => other.to_string(),
+                };
+                writer
+                    .write_all(s.as_bytes())
+                    .map_err(|e| EngineError::Parse(format!("write error: {e}")))?;
+            }
+            if options.trailing_delimiter {
+                write_char(&mut writer, options.delimiter)?;
+            }
+            write_char(&mut writer, '\n')?;
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+fn write_char(w: &mut impl Write, c: char) -> Result<()> {
+    let mut buf = [0u8; 4];
+    w.write_all(c.encode_utf8(&mut buf).as_bytes())
+        .map_err(|e| EngineError::Parse(format!("write error: {e}")))
+}
+
+fn parse_field(field: &str, ty: DataType, lineno: usize) -> Result<Value> {
+    if field.is_empty() {
+        return Ok(Value::Null);
+    }
+    Ok(match ty {
+        DataType::Int => Value::Int(field.trim().parse::<i64>().map_err(|e| {
+            EngineError::Parse(format!("line {lineno}: invalid integer '{field}': {e}"))
+        })?),
+        DataType::Real => Value::real(field.trim().parse::<f64>().map_err(|e| {
+            EngineError::Parse(format!("line {lineno}: invalid real '{field}': {e}"))
+        })?),
+        DataType::Text => Value::str(field),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_db() -> Database {
+        let mut db = Database::new();
+        db.execute_sql(
+            "CREATE TABLE t (k INT PRIMARY KEY, name VARCHAR(20), price REAL)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn loads_dbgen_style_tbl() {
+        let mut db = make_db();
+        let data = "1|alpha|10.5|\n2|beta|20.0|\n";
+        let n = db.copy_in("t", data.as_bytes(), CopyOptions::tbl()).unwrap();
+        assert_eq!(n, 2);
+        let rs = db.query_sql("SELECT name FROM t WHERE k = 2").unwrap();
+        assert_eq!(rs.rows[0][0], Value::str("beta"));
+    }
+
+    #[test]
+    fn loads_csv_with_nulls() {
+        let mut db = make_db();
+        let data = "1,alpha,\n2,,2.5\n";
+        db.copy_in("t", data.as_bytes(), CopyOptions::csv()).unwrap();
+        let rs = db.query_sql("SELECT price FROM t WHERE k = 1").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Null);
+        let rs = db.query_sql("SELECT name FROM t WHERE k = 2").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Null);
+    }
+
+    #[test]
+    fn rejects_bad_arity_and_types() {
+        let mut db = make_db();
+        assert!(db.copy_in("t", "1|x|\n".as_bytes(), CopyOptions::tbl()).is_err());
+        assert!(db
+            .copy_in("t", "oops,alpha,1.0\n".as_bytes(), CopyOptions::csv())
+            .is_err());
+        assert!(db
+            .copy_in("missing", "1\n".as_bytes(), CopyOptions::csv())
+            .is_err());
+    }
+
+    #[test]
+    fn roundtrips_through_copy_out() {
+        let mut db = make_db();
+        db.execute_sql(
+            "INSERT INTO t VALUES (1, 'alpha', 10.5), (2, 'beta', NULL)",
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        let n = db.copy_out("t", &mut buf, CopyOptions::csv()).unwrap();
+        assert_eq!(n, 2);
+
+        let mut db2 = make_db();
+        db2.copy_in("t", buf.as_slice(), CopyOptions::csv()).unwrap();
+        let a = db.query_sql("SELECT * FROM t ORDER BY k").unwrap();
+        let b = db2.query_sql("SELECT * FROM t ORDER BY k").unwrap();
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn pk_violation_surfaces_on_load() {
+        let mut db = make_db();
+        let err = db
+            .copy_in("t", "1,a,1.0\n1,b,2.0\n".as_bytes(), CopyOptions::csv())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UniqueViolation { .. }));
+    }
+
+    #[test]
+    fn skips_empty_lines() {
+        let mut db = make_db();
+        let n = db
+            .copy_in("t", "1,a,1.0\n\n2,b,2.0\n".as_bytes(), CopyOptions::csv())
+            .unwrap();
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,1026 @@
+//! The database: catalog, DDL/DML execution, event capture and the
+//! engine-level primitives behind TINTIN's `safeCommit`.
+//!
+//! # Event capture
+//!
+//! The paper installs `INSTEAD OF` triggers in SQL Server so that
+//! `INSERT`/`DELETE` statements leave the target table unchanged and instead
+//! record the tuples in auxiliary `ins_T` / `del_T` tables. Here the same
+//! behaviour is provided natively: [`Database::enable_capture`] creates the
+//! event tables, and while capture is enabled, DML against the base table is
+//! redirected to them. `apply_pending` / `truncate_events` implement the
+//! commit / reset steps of the `safeCommit` procedure, and `undo` supports
+//! the non-incremental baseline used in the experiments.
+
+use crate::error::{EngineError, Result};
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::query::{compile_query, CompiledQuery, ExecCtx};
+use crate::query::{self};
+use crate::result::ResultSet;
+use crate::schema::TableSchema;
+use crate::table::{RowId, Table};
+use crate::value::{Row, Truth, Value};
+use tintin_sql as sql;
+
+/// Name of the insertion-event table for `table`.
+pub fn ins_table_name(table: &str) -> String {
+    format!("ins_{table}")
+}
+
+/// Name of the deletion-event table for `table`.
+pub fn del_table_name(table: &str) -> String {
+    format!("del_{table}")
+}
+
+/// A stored view definition.
+#[derive(Debug, Clone)]
+struct ViewDef {
+    query: sql::Query,
+    columns: Vec<String>,
+}
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementResult {
+    /// DDL succeeded.
+    Ddl,
+    /// DML affected this many rows (for captured tables: recorded events).
+    RowsAffected(usize),
+    /// A query returned rows.
+    Rows(ResultSet),
+}
+
+/// Undo log returned by [`Database::apply_pending`]; reversing it restores
+/// the pre-apply state exactly.
+#[derive(Debug, Default)]
+pub struct UndoLog {
+    ops: Vec<UndoOp>,
+}
+
+#[derive(Debug)]
+enum UndoOp {
+    Inserted { table: String, id: RowId },
+    Deleted { table: String, row: Row },
+}
+
+impl UndoLog {
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Statistics from event normalization (see
+/// [`Database::normalize_events`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NormalizationReport {
+    /// Duplicate rows dropped from `ins_T` tables.
+    pub dup_ins: usize,
+    /// Duplicate rows dropped from `del_T` tables.
+    pub dup_del: usize,
+    /// `del_T` rows that do not exist in the base table.
+    pub missing_del: usize,
+    /// Identical rows present in both `ins_T` and `del_T`, cancelled.
+    pub cancelled: usize,
+    /// `ins_T` rows identical to an existing base row (set-semantics no-op).
+    pub noop_ins: usize,
+}
+
+impl NormalizationReport {
+    pub fn total(&self) -> usize {
+        self.dup_ins + self.dup_del + self.missing_del + 2 * self.cancelled + self.noop_ins
+    }
+}
+
+/// An in-memory relational database.
+///
+/// `Clone` produces an independent deep copy (tables, indexes, views and
+/// capture state) — handy for what-if checks, the non-incremental baseline,
+/// and benchmarks.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    tables: FxHashMap<String, Table>,
+    views: FxHashMap<String, ViewDef>,
+    captured: FxHashSet<String>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    // ------------------------------------------------------------ catalog
+
+    /// Look up a table (base or event) by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Mutable table access (used by loaders; bypasses capture).
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    /// Look up a view: its query and output column names.
+    pub fn view(&self, name: &str) -> Option<(&sql::Query, &[String])> {
+        self.views
+            .get(name)
+            .map(|v| (&v.query, v.columns.as_slice()))
+    }
+
+    /// Names of all tables, sorted (deterministic).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Names of all views, sorted.
+    pub fn view_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.views.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Base tables with event capture enabled, sorted.
+    pub fn captured_tables(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.captured.iter().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Is capture enabled for `table`?
+    pub fn is_captured(&self, table: &str) -> bool {
+        self.captured.contains(table)
+    }
+
+    /// Register a table from a schema, resolving foreign-key target columns
+    /// (defaulting to the referenced table's primary key).
+    pub fn create_table(&mut self, mut schema: TableSchema) -> Result<()> {
+        let name = schema.name.clone();
+        if self.tables.contains_key(&name) || self.views.contains_key(&name) {
+            return Err(EngineError::DuplicateObject(name));
+        }
+        let pending = schema.take_fk_ref_column_names();
+        for (fk, ref_names) in schema.foreign_keys.iter_mut().zip(pending) {
+            let target = if fk.ref_table == name {
+                // Self-reference resolves against this very schema.
+                None
+            } else {
+                Some(self.tables.get(&fk.ref_table).ok_or_else(|| {
+                    EngineError::InvalidDdl(format!(
+                        "foreign key references unknown table '{}'",
+                        fk.ref_table
+                    ))
+                })?)
+            };
+            let resolve = |n: &str| -> Result<usize> {
+                let idx = match &target {
+                    Some(t) => t.schema.column_index(n),
+                    None => None, // resolved after the borrow below
+                };
+                idx.ok_or_else(|| {
+                    EngineError::InvalidDdl(format!(
+                        "foreign key references unknown column '{}.{}'",
+                        fk.ref_table, n
+                    ))
+                })
+            };
+            fk.ref_columns = if ref_names.is_empty() {
+                match &target {
+                    Some(t) => {
+                        if t.schema.primary_key.is_empty() {
+                            return Err(EngineError::InvalidDdl(format!(
+                                "foreign key references table '{}' without a primary key",
+                                fk.ref_table
+                            )));
+                        }
+                        t.schema.primary_key.clone()
+                    }
+                    None => Vec::new(), // self-reference: filled below
+                }
+            } else if target.is_some() {
+                ref_names.iter().map(|n| resolve(n)).collect::<Result<_>>()?
+            } else {
+                Vec::new()
+            };
+            if fk.ref_columns.len() != fk.columns.len() && target.is_some() {
+                return Err(EngineError::InvalidDdl(format!(
+                    "foreign key column count mismatch towards '{}'",
+                    fk.ref_table
+                )));
+            }
+        }
+        // Self-referencing FKs are resolved now that `schema` is complete.
+        for fk in &mut schema.foreign_keys {
+            if fk.ref_table == name && fk.ref_columns.is_empty() {
+                fk.ref_columns = schema.primary_key.clone();
+            }
+        }
+        let mut table = Table::new(schema);
+        // Auto-index FK source columns (as e.g. MySQL does): incremental
+        // checking probes child tables by their FK columns constantly.
+        let fk_col_sets: Vec<Vec<usize>> = table
+            .schema
+            .foreign_keys
+            .iter()
+            .map(|fk| fk.columns.clone())
+            .collect();
+        for (i, cols) in fk_col_sets.into_iter().enumerate() {
+            if table
+                .indexes()
+                .iter()
+                .any(|ix| ix.columns == cols)
+            {
+                continue;
+            }
+            table.create_index(format!("{}_fk{}", name, i), cols, false)?;
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Create a view after validating that its query compiles.
+    pub fn create_view(&mut self, name: &str, query: sql::Query) -> Result<()> {
+        if self.tables.contains_key(name) || self.views.contains_key(name) {
+            return Err(EngineError::DuplicateObject(name.to_string()));
+        }
+        let compiled = compile_query(self, &query)?;
+        self.views.insert(
+            name.to_string(),
+            ViewDef {
+                query,
+                columns: compiled.output_names,
+            },
+        );
+        Ok(())
+    }
+
+    pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<()> {
+        if self.tables.remove(name).is_none() && !if_exists {
+            return Err(EngineError::NoSuchTable(name.to_string()));
+        }
+        self.captured.remove(name);
+        Ok(())
+    }
+
+    pub fn drop_view(&mut self, name: &str, if_exists: bool) -> Result<()> {
+        if self.views.remove(name).is_none() && !if_exists {
+            return Err(EngineError::NoSuchTable(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Create a secondary index.
+    pub fn create_index(
+        &mut self,
+        index_name: &str,
+        table: &str,
+        columns: &[String],
+        unique: bool,
+    ) -> Result<()> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| EngineError::NoSuchTable(table.to_string()))?;
+        let cols: Vec<usize> = columns
+            .iter()
+            .map(|c| {
+                t.schema
+                    .column_index(c)
+                    .ok_or_else(|| EngineError::NoSuchColumn(format!("{table}.{c}")))
+            })
+            .collect::<Result<_>>()?;
+        t.create_index(index_name.to_string(), cols, unique)
+    }
+
+    // ------------------------------------------------------ event capture
+
+    /// Create `ins_T` / `del_T` event tables for `table` and start
+    /// redirecting DML into them (the INSTEAD OF trigger equivalent).
+    ///
+    /// Event tables mirror the base columns but carry no constraints; they
+    /// get non-unique indexes mirroring the base table's index columns so
+    /// correlated probes into events stay O(1).
+    pub fn enable_capture(&mut self, table: &str) -> Result<()> {
+        let base = self
+            .tables
+            .get(table)
+            .ok_or_else(|| EngineError::NoSuchTable(table.to_string()))?;
+        if self.captured.contains(table) {
+            return Err(EngineError::DuplicateObject(format!(
+                "capture already enabled for '{table}'"
+            )));
+        }
+        let mut index_sets: Vec<Vec<usize>> = Vec::new();
+        for ix in base.indexes() {
+            if !index_sets.contains(&ix.columns) {
+                index_sets.push(ix.columns.clone());
+            }
+        }
+        for fk in &base.schema.foreign_keys {
+            if !index_sets.contains(&fk.columns) {
+                index_sets.push(fk.columns.clone());
+            }
+        }
+        let mut event_schema = TableSchema::new(
+            String::new(),
+            base.schema
+                .columns
+                .iter()
+                .map(|c| crate::schema::Column {
+                    name: c.name.clone(),
+                    ty: c.ty,
+                    not_null: false,
+                })
+                .collect(),
+        );
+        for evt_name in [ins_table_name(table), del_table_name(table)] {
+            if self.tables.contains_key(&evt_name) || self.views.contains_key(&evt_name) {
+                return Err(EngineError::DuplicateObject(evt_name));
+            }
+            event_schema.name = evt_name.clone();
+            let mut t = Table::new(event_schema.clone());
+            for (i, cols) in index_sets.iter().enumerate() {
+                t.create_index(format!("{evt_name}_ix{i}"), cols.clone(), false)?;
+            }
+            self.tables.insert(evt_name, t);
+        }
+        self.captured.insert(table.to_string());
+        Ok(())
+    }
+
+    /// Stop capturing and drop the event tables.
+    pub fn disable_capture(&mut self, table: &str) -> Result<()> {
+        if !self.captured.remove(table) {
+            return Err(EngineError::NoSuchTable(format!(
+                "capture not enabled for '{table}'"
+            )));
+        }
+        self.tables.remove(&ins_table_name(table));
+        self.tables.remove(&del_table_name(table));
+        Ok(())
+    }
+
+    /// Pending event counts `(inserts, deletes)` summed over all captured
+    /// tables.
+    pub fn pending_counts(&self) -> (usize, usize) {
+        let mut ins = 0;
+        let mut del = 0;
+        for t in &self.captured {
+            ins += self.tables[&ins_table_name(t)].len();
+            del += self.tables[&del_table_name(t)].len();
+        }
+        (ins, del)
+    }
+
+    /// Remove redundant events, making insertion and deletion sets disjoint
+    /// and consistent with the base tables — the precondition the EDC
+    /// machinery assumes (paper §2 formulas (2)/(3)).
+    pub fn normalize_events(&mut self) -> Result<NormalizationReport> {
+        let mut report = NormalizationReport::default();
+        let captured: Vec<String> = self.captured_tables();
+        for base_name in captured {
+            let ins_name = ins_table_name(&base_name);
+            let del_name = del_table_name(&base_name);
+
+            // 1. Dedupe within each event table.
+            for (evt, counter) in [(&ins_name, 0usize), (&del_name, 1usize)] {
+                let t = self.tables.get_mut(evt).expect("event table exists");
+                let mut seen: FxHashSet<Row> = FxHashSet::default();
+                let mut drop_ids = Vec::new();
+                for (id, row) in t.scan() {
+                    if !seen.insert(row.clone()) {
+                        drop_ids.push(id);
+                    }
+                }
+                for id in &drop_ids {
+                    t.delete_row(*id);
+                }
+                if counter == 0 {
+                    report.dup_ins += drop_ids.len();
+                } else {
+                    report.dup_del += drop_ids.len();
+                }
+            }
+
+            // 2. Drop deletions of rows that don't exist in the base table.
+            {
+                let base = &self.tables[&base_name];
+                let del = &self.tables[&del_name];
+                let mut drop_ids = Vec::new();
+                for (id, row) in del.scan() {
+                    if base.find_identical(row).is_none() {
+                        drop_ids.push(id);
+                    }
+                }
+                report.missing_del += drop_ids.len();
+                let del = self.tables.get_mut(&del_name).unwrap();
+                for id in drop_ids {
+                    del.delete_row(id);
+                }
+            }
+
+            // 3. Cancel identical ins/del pairs (delete-then-reinsert of an
+            //    existing row is a net no-op under apply order del→ins).
+            {
+                let ins = &self.tables[&ins_name];
+                let del = &self.tables[&del_name];
+                let mut pairs = Vec::new();
+                for (ins_id, row) in ins.scan() {
+                    if let Some(del_id) = del.find_identical(row) {
+                        pairs.push((ins_id, del_id));
+                    }
+                }
+                report.cancelled += pairs.len();
+                for (ins_id, del_id) in pairs {
+                    self.tables.get_mut(&ins_name).unwrap().delete_row(ins_id);
+                    self.tables.get_mut(&del_name).unwrap().delete_row(del_id);
+                }
+            }
+
+            // 4. Drop insertions identical to surviving base rows (no-ops
+            //    under set semantics).
+            {
+                let base = &self.tables[&base_name];
+                let ins = &self.tables[&ins_name];
+                let mut drop_ids = Vec::new();
+                for (id, row) in ins.scan() {
+                    if base.find_identical(row).is_some() {
+                        drop_ids.push(id);
+                    }
+                }
+                report.noop_ins += drop_ids.len();
+                let ins = self.tables.get_mut(&ins_name).unwrap();
+                for id in drop_ids {
+                    ins.delete_row(id);
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Apply all pending events to the base tables (deletes first, then
+    /// inserts) and return an undo log. On failure (e.g. a primary-key
+    /// conflict) the partial application is rolled back and the events are
+    /// left untouched.
+    pub fn apply_pending(&mut self) -> Result<UndoLog> {
+        let mut log = UndoLog::default();
+        let captured = self.captured_tables();
+        let result = (|| -> Result<()> {
+            for base_name in &captured {
+                let del_rows: Vec<Row> = self.tables[&del_table_name(base_name)]
+                    .scan()
+                    .map(|(_, r)| r.clone())
+                    .collect();
+                let base = self.tables.get_mut(base_name).unwrap();
+                for row in del_rows {
+                    if let Some(id) = base.find_identical(&row) {
+                        base.delete_row(id);
+                        log.ops.push(UndoOp::Deleted {
+                            table: base_name.clone(),
+                            row,
+                        });
+                    }
+                }
+            }
+            for base_name in &captured {
+                let ins_rows: Vec<Row> = self.tables[&ins_table_name(base_name)]
+                    .scan()
+                    .map(|(_, r)| r.clone())
+                    .collect();
+                let base = self.tables.get_mut(base_name).unwrap();
+                for row in ins_rows {
+                    let id = base.insert(row.into_vec())?;
+                    log.ops.push(UndoOp::Inserted {
+                        table: base_name.clone(),
+                        id,
+                    });
+                }
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => Ok(log),
+            Err(e) => {
+                self.undo(log);
+                Err(e)
+            }
+        }
+    }
+
+    /// Reverse an [`UndoLog`], restoring the exact pre-apply state.
+    pub fn undo(&mut self, log: UndoLog) {
+        for op in log.ops.into_iter().rev() {
+            match op {
+                UndoOp::Inserted { table, id } => {
+                    self.tables
+                        .get_mut(&table)
+                        .expect("undo references live table")
+                        .delete_row(id);
+                }
+                UndoOp::Deleted { table, row } => {
+                    self.tables
+                        .get_mut(&table)
+                        .expect("undo references live table")
+                        .insert(row.into_vec())
+                        .expect("re-inserting a previously deleted row cannot fail");
+                }
+            }
+        }
+    }
+
+    /// Empty all event tables (the last step of `safeCommit`).
+    pub fn truncate_events(&mut self) {
+        let captured = self.captured_tables();
+        for t in captured {
+            self.tables.get_mut(&ins_table_name(&t)).unwrap().truncate();
+            self.tables.get_mut(&del_table_name(&t)).unwrap().truncate();
+        }
+    }
+
+    // ----------------------------------------------------------- queries
+
+    /// Compile and run a query.
+    pub fn query(&self, q: &sql::Query) -> Result<ResultSet> {
+        let compiled = compile_query(self, q)?;
+        let mut ctx = ExecCtx::new(self);
+        let rows = query::execute(&compiled, &mut ctx)?;
+        Ok(ResultSet {
+            columns: compiled.output_names,
+            rows,
+        })
+    }
+
+    /// Parse and run a single query string.
+    pub fn query_sql(&self, sql_text: &str) -> Result<ResultSet> {
+        let q = sql::parse_query(sql_text)?;
+        self.query(&q)
+    }
+
+    /// Compile a query without running it (validation).
+    pub fn compile(&self, q: &sql::Query) -> Result<CompiledQuery> {
+        compile_query(self, q)
+    }
+
+    /// Render the access-path plan of a query (`EXPLAIN`).
+    pub fn explain(&self, q: &sql::Query) -> Result<String> {
+        let compiled = compile_query(self, q)?;
+        Ok(query::explain(self, &compiled))
+    }
+
+    /// Parse and explain a query string.
+    pub fn explain_sql(&self, sql_text: &str) -> Result<String> {
+        let q = sql::parse_query(sql_text)?;
+        self.explain(&q)
+    }
+
+    // --------------------------------------------------------- statements
+
+    /// Parse and execute a script of semicolon-separated statements.
+    pub fn execute_sql(&mut self, script: &str) -> Result<Vec<StatementResult>> {
+        let stmts = sql::parse_statements(script)?;
+        stmts.iter().map(|s| self.execute(s)).collect()
+    }
+
+    /// Execute a single parsed statement.
+    pub fn execute(&mut self, stmt: &sql::Statement) -> Result<StatementResult> {
+        match stmt {
+            sql::Statement::CreateTable(ct) => {
+                let schema = TableSchema::from_ast(ct)?;
+                self.create_table(schema)?;
+                Ok(StatementResult::Ddl)
+            }
+            sql::Statement::CreateView(cv) => {
+                self.create_view(&cv.name, cv.query.clone())?;
+                Ok(StatementResult::Ddl)
+            }
+            sql::Statement::CreateIndex(ci) => {
+                self.create_index(&ci.name, &ci.table, &ci.columns, ci.unique)?;
+                Ok(StatementResult::Ddl)
+            }
+            sql::Statement::CreateAssertion(_) | sql::Statement::DropAssertion { .. } => {
+                Err(EngineError::Unsupported(
+                    "assertions are managed by the tintin crate (Tintin::install), \
+                     not by the raw engine"
+                        .into(),
+                ))
+            }
+            sql::Statement::DropTable { name, if_exists } => {
+                self.drop_table(name, *if_exists)?;
+                Ok(StatementResult::Ddl)
+            }
+            sql::Statement::DropView { name, if_exists } => {
+                self.drop_view(name, *if_exists)?;
+                Ok(StatementResult::Ddl)
+            }
+            sql::Statement::TruncateTable { name } => {
+                let t = self
+                    .tables
+                    .get_mut(name)
+                    .ok_or_else(|| EngineError::NoSuchTable(name.clone()))?;
+                t.truncate();
+                Ok(StatementResult::Ddl)
+            }
+            sql::Statement::Insert(ins) => {
+                let n = self.exec_insert(ins)?;
+                Ok(StatementResult::RowsAffected(n))
+            }
+            sql::Statement::Delete(del) => {
+                let n = self.exec_delete(del)?;
+                Ok(StatementResult::RowsAffected(n))
+            }
+            sql::Statement::Update(upd) => {
+                let n = self.exec_update(upd)?;
+                Ok(StatementResult::RowsAffected(n))
+            }
+            sql::Statement::Query(q) => Ok(StatementResult::Rows(self.query(q)?)),
+        }
+    }
+
+    fn exec_insert(&mut self, ins: &sql::Insert) -> Result<usize> {
+        let target = self
+            .tables
+            .get(&ins.table)
+            .ok_or_else(|| EngineError::NoSuchTable(ins.table.clone()))?;
+        let arity = target.schema.arity();
+        // Map the optional column list to positions.
+        let positions: Option<Vec<usize>> = match &ins.columns {
+            None => None,
+            Some(cols) => Some(
+                cols.iter()
+                    .map(|c| {
+                        target.schema.column_index(c).ok_or_else(|| {
+                            EngineError::NoSuchColumn(format!("{}.{}", ins.table, c))
+                        })
+                    })
+                    .collect::<Result<_>>()?,
+            ),
+        };
+        let raw_rows: Vec<Vec<Value>> = match &ins.source {
+            sql::InsertSource::Values(rows) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut vals = Vec::with_capacity(row.len());
+                    for e in row {
+                        vals.push(self.eval_const_expr(e)?);
+                    }
+                    out.push(vals);
+                }
+                out
+            }
+            sql::InsertSource::Query(q) => self
+                .query(q)?
+                .rows
+                .into_iter()
+                .map(|r| r.into_vec())
+                .collect(),
+        };
+        let mut full_rows = Vec::with_capacity(raw_rows.len());
+        for vals in raw_rows {
+            let row = match &positions {
+                None => vals,
+                Some(pos) => {
+                    if vals.len() != pos.len() {
+                        return Err(EngineError::ArityMismatch {
+                            table: ins.table.clone(),
+                            expected: pos.len(),
+                            got: vals.len(),
+                        });
+                    }
+                    let mut row = vec![Value::Null; arity];
+                    for (p, v) in pos.iter().zip(vals) {
+                        row[*p] = v;
+                    }
+                    row
+                }
+            };
+            full_rows.push(row);
+        }
+        self.insert_rows(&ins.table, full_rows)
+    }
+
+    /// Insert fully-positional rows, honouring event capture.
+    pub fn insert_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
+        let n = rows.len();
+        // Validate (arity/types/not-null/checks) against the *base* schema
+        // even when capture is on, so errors surface at statement time.
+        let validated: Vec<Row> = {
+            let t = self
+                .tables
+                .get(table)
+                .ok_or_else(|| EngineError::NoSuchTable(table.to_string()))?;
+            rows.into_iter()
+                .map(|r| t.validate(r))
+                .collect::<Result<_>>()?
+        };
+        self.check_row_constraints(table, &validated)?;
+        if self.captured.contains(table) {
+            let evt = self
+                .tables
+                .get_mut(&ins_table_name(table))
+                .expect("capture implies event table");
+            for row in validated {
+                evt.insert(row.into_vec())?;
+            }
+        } else {
+            let t = self.tables.get_mut(table).unwrap();
+            for row in validated {
+                t.insert(row.into_vec())?;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Insert rows directly into the base table, bypassing capture (bulk
+    /// loader path).
+    pub fn insert_direct(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
+        let n = rows.len();
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| EngineError::NoSuchTable(table.to_string()))?;
+        for row in rows {
+            t.insert(row)?;
+        }
+        Ok(n)
+    }
+
+    fn exec_delete(&mut self, del: &sql::Delete) -> Result<usize> {
+        let matching: Vec<(RowId, Row)> = {
+            let t = self
+                .tables
+                .get(&del.table)
+                .ok_or_else(|| EngineError::NoSuchTable(del.table.clone()))?;
+            match &del.predicate {
+                None => t.scan().map(|(id, r)| (id, r.clone())).collect(),
+                Some(pred) => {
+                    let binding = del.alias.clone().unwrap_or_else(|| del.table.clone());
+                    let compiled =
+                        query::compile_row_predicate(self, &del.table, &binding, pred)?;
+                    // Index-accelerate keyed deletes: collect `col = const`
+                    // conjuncts and probe the best covering index; the full
+                    // predicate is still evaluated on the candidates.
+                    let candidates: Option<Vec<RowId>> =
+                        delete_probe_candidates(t, &binding, pred, self)?;
+                    let mut ctx = ExecCtx::new(self);
+                    let mut hits = Vec::new();
+                    match candidates {
+                        Some(ids) => {
+                            for id in ids {
+                                let Some(row) = t.get(id) else { continue };
+                                if query::eval_row_predicate(&compiled, row, &mut ctx)?
+                                    == Truth::True
+                                {
+                                    hits.push((id, row.clone()));
+                                }
+                            }
+                        }
+                        None => {
+                            for (id, row) in t.scan() {
+                                if query::eval_row_predicate(&compiled, row, &mut ctx)?
+                                    == Truth::True
+                                {
+                                    hits.push((id, row.clone()));
+                                }
+                            }
+                        }
+                    }
+                    hits
+                }
+            }
+        };
+        let n = matching.len();
+        if self.captured.contains(&del.table) {
+            let evt = self
+                .tables
+                .get_mut(&del_table_name(&del.table))
+                .expect("capture implies event table");
+            for (_, row) in matching {
+                // Avoid duplicate capture of the same tuple.
+                if evt.find_identical(&row).is_none() {
+                    evt.insert(row.into_vec())?;
+                }
+            }
+        } else {
+            let t = self.tables.get_mut(&del.table).unwrap();
+            for (id, _) in matching {
+                t.delete_row(id);
+            }
+        }
+        Ok(n)
+    }
+
+    /// `UPDATE` decomposes into a deletion of the old rows plus an insertion
+    /// of the modified rows — exactly TINTIN's update model. With capture
+    /// enabled this records one `del_T` and one `ins_T` event per row.
+    fn exec_update(&mut self, upd: &sql::Update) -> Result<usize> {
+        let binding = upd.alias.clone().unwrap_or_else(|| upd.table.clone());
+        // Resolve assignment targets.
+        let (positions, matching): (Vec<usize>, Vec<(RowId, Row)>) = {
+            let t = self
+                .tables
+                .get(&upd.table)
+                .ok_or_else(|| EngineError::NoSuchTable(upd.table.clone()))?;
+            let mut positions = Vec::with_capacity(upd.assignments.len());
+            for (col, _) in &upd.assignments {
+                let p = t.schema.column_index(col).ok_or_else(|| {
+                    EngineError::NoSuchColumn(format!("{}.{}", upd.table, col))
+                })?;
+                if positions.contains(&p) {
+                    return Err(EngineError::InvalidDdl(format!(
+                        "column '{col}' assigned twice in UPDATE"
+                    )));
+                }
+                positions.push(p);
+            }
+            let matching = match &upd.predicate {
+                None => t.scan().map(|(id, r)| (id, r.clone())).collect(),
+                Some(pred) => {
+                    let compiled =
+                        query::compile_row_predicate(self, &upd.table, &binding, pred)?;
+                    let candidates = delete_probe_candidates(t, &binding, pred, self)?;
+                    let mut ctx = ExecCtx::new(self);
+                    let mut hits = Vec::new();
+                    let ids: Vec<RowId> = match candidates {
+                        Some(ids) => ids,
+                        None => t.scan().map(|(id, _)| id).collect(),
+                    };
+                    for id in ids {
+                        let Some(row) = t.get(id) else { continue };
+                        if query::eval_row_predicate(&compiled, row, &mut ctx)? == Truth::True
+                        {
+                            hits.push((id, row.clone()));
+                        }
+                    }
+                    hits
+                }
+            };
+            (positions, matching)
+        };
+
+        // Compute the new rows (assignment expressions see the old row).
+        let mut compiled_values = Vec::with_capacity(upd.assignments.len());
+        for (_, e) in &upd.assignments {
+            compiled_values.push(query::compile_row_predicate(self, &upd.table, &binding, e)?);
+        }
+        let mut replacements: Vec<(RowId, Row, Vec<Value>)> = Vec::new();
+        {
+            let mut ctx = ExecCtx::new(self);
+            for (id, old) in &matching {
+                let mut new_row = old.to_vec();
+                for (p, ce) in positions.iter().zip(&compiled_values) {
+                    new_row[*p] = query::eval_row_scalar(ce, old, &mut ctx)?;
+                }
+                replacements.push((*id, old.clone(), new_row));
+            }
+        }
+        let n = replacements.len();
+        // Validate all new rows up front (types / NOT NULL / CHECK).
+        let validated: Vec<Row> = {
+            let t = &self.tables[&upd.table];
+            replacements
+                .iter()
+                .map(|(_, _, new)| t.validate(new.clone()))
+                .collect::<Result<_>>()?
+        };
+        self.check_row_constraints(&upd.table, &validated)?;
+
+        if self.captured.contains(&upd.table) {
+            // Record del(old) + ins(new) events; skip no-op rows.
+            for ((_, old, _), new) in replacements.iter().zip(validated) {
+                if old.as_ref() == new.as_ref() {
+                    continue;
+                }
+                let del = self.tables.get_mut(&del_table_name(&upd.table)).unwrap();
+                if del.find_identical(old).is_none() {
+                    del.insert(old.to_vec())?;
+                }
+                let ins = self.tables.get_mut(&ins_table_name(&upd.table)).unwrap();
+                ins.insert(new.into_vec())?;
+            }
+        } else {
+            // Two-phase apply so key-shifting updates (pk = pk + 1) don't
+            // trip over themselves; rolls back on any conflict.
+            let t = self.tables.get_mut(&upd.table).unwrap();
+            for (id, _, _) in &replacements {
+                t.delete_row(*id);
+            }
+            let mut inserted: Vec<RowId> = Vec::new();
+            let mut failure: Option<EngineError> = None;
+            for new in validated {
+                match t.insert(new.into_vec()) {
+                    Ok(id) => inserted.push(id),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = failure {
+                for id in inserted {
+                    t.delete_row(id);
+                }
+                for (_, old, _) in replacements {
+                    t.insert(old.into_vec())
+                        .expect("restoring original rows cannot fail");
+                }
+                return Err(e);
+            }
+        }
+        Ok(n)
+    }
+
+    /// Evaluate a constant expression (VALUES lists).
+    fn eval_const_expr(&self, e: &sql::Expr) -> Result<Value> {
+        query::eval_const(self, e)
+    }
+
+    /// Evaluate the schema's CHECK constraints against candidate rows.
+    fn check_row_constraints(&self, table: &str, rows: &[Row]) -> Result<()> {
+        let t = &self.tables[table];
+        if t.schema.checks.is_empty() {
+            return Ok(());
+        }
+        let checks = t.schema.checks.clone();
+        for check in &checks {
+            let compiled = query::compile_row_predicate(self, table, table, check)?;
+            let mut ctx = ExecCtx::new(self);
+            for row in rows {
+                // SQL CHECK semantics: only definite False rejects.
+                if query::eval_row_predicate(&compiled, row, &mut ctx)? == Truth::False {
+                    return Err(EngineError::CheckViolation {
+                        table: table.to_string(),
+                        detail: format!("row ({}) violates CHECK", format_row(row)),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn format_row(row: &[Value]) -> String {
+    row.iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Candidate row ids for a DELETE predicate: probe the best index covered by
+/// top-level `col = constant` conjuncts, or `None` for a full scan.
+fn delete_probe_candidates(
+    t: &Table,
+    binding: &str,
+    pred: &sql::Expr,
+    db: &Database,
+) -> Result<Option<Vec<RowId>>> {
+    let mut eq: Vec<(usize, Value)> = Vec::new();
+    for conj in pred.conjuncts() {
+        let sql::Expr::Binary { op: sql::BinOp::Eq, left, right } = conj else {
+            continue;
+        };
+        let (colref, lit) = match (&**left, &**right) {
+            (sql::Expr::Column(c), sql::Expr::Literal(l)) => (c, l),
+            (sql::Expr::Literal(l), sql::Expr::Column(c)) => (c, l),
+            _ => continue,
+        };
+        if colref.qualifier.as_deref().is_some_and(|q| q != binding) {
+            continue;
+        }
+        let Some(pos) = t.schema.column_index(&colref.name) else {
+            continue;
+        };
+        let v = query::eval_const(
+            db,
+            &sql::Expr::Literal(lit.clone()),
+        )?;
+        if v.is_null() {
+            // `col = NULL` matches nothing.
+            return Ok(Some(Vec::new()));
+        }
+        if !eq.iter().any(|(p, _)| *p == pos) {
+            eq.push((pos, v));
+        }
+    }
+    if eq.is_empty() {
+        return Ok(None);
+    }
+    let cols: Vec<usize> = eq.iter().map(|(p, _)| *p).collect();
+    let Some(ix_id) = t.best_index(&cols) else {
+        return Ok(None);
+    };
+    let ix = &t.indexes()[ix_id];
+    let mut key = Vec::with_capacity(ix.columns.len());
+    for c in &ix.columns {
+        let (_, v) = eq.iter().find(|(p, _)| p == c).expect("covered column");
+        match v.clone().coerce_for_probe(t.schema.columns[*c].ty) {
+            Ok(v) => key.push(v),
+            Err(_) => return Ok(Some(Vec::new())),
+        }
+    }
+    Ok(Some(ix.probe(&key).to_vec()))
+}

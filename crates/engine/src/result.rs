@@ -1,0 +1,110 @@
+//! Query result sets.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Rows returned by a query, with column names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Box<[Value]>>,
+}
+
+impl ResultSet {
+    pub fn empty() -> Self {
+        ResultSet {
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sort rows for deterministic comparisons in tests.
+    pub fn sorted(mut self) -> Self {
+        self.rows.sort();
+        self
+    }
+
+    /// Single scalar convenience accessor (first row, first column).
+    pub fn scalar(&self) -> Option<&Value> {
+        self.rows.first().and_then(|r| r.first())
+    }
+}
+
+impl fmt::Display for ResultSet {
+    /// Render as an aligned text table (used by the REPL example).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.columns.len();
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{c:<w$}", w = widths[i])?;
+        }
+        writeln!(f)?;
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                write!(f, "-+-")?;
+            }
+            write!(f, "{}", "-".repeat(*w))?;
+        }
+        writeln!(f)?;
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{cell:<w$}", w = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "({} row{})", self.rows.len(), if self.rows.len() == 1 { "" } else { "s" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let rs = ResultSet {
+            columns: vec!["id".into(), "name".into()],
+            rows: vec![
+                vec![Value::Int(1), Value::str("alpha")].into_boxed_slice(),
+                vec![Value::Int(22), Value::str("b")].into_boxed_slice(),
+            ],
+        };
+        let s = rs.to_string();
+        assert!(s.contains("id | name"));
+        assert!(s.contains("(2 rows)"));
+    }
+
+    #[test]
+    fn scalar_accessor() {
+        let rs = ResultSet {
+            columns: vec!["n".into()],
+            rows: vec![vec![Value::Int(7)].into_boxed_slice()],
+        };
+        assert_eq!(rs.scalar(), Some(&Value::Int(7)));
+        assert_eq!(ResultSet::empty().scalar(), None);
+    }
+}

@@ -1,0 +1,239 @@
+//! Table schemas: columns, keys, foreign keys.
+
+use crate::error::{EngineError, Result};
+use crate::value::DataType;
+use tintin_sql as sql;
+
+/// A column of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    pub name: String,
+    pub ty: DataType,
+    pub not_null: bool,
+}
+
+/// Declared foreign key: `columns` of this table reference `ref_columns`
+/// (by default the primary key) of `ref_table`.
+///
+/// FKs are *metadata*: the engine does not enforce them on write (they can
+/// be enforced via generated assertions, see the `tintin` crate), but the
+/// EDC optimizer uses them for semantic pruning exactly as the paper does
+/// for its EDC 5 example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForeignKey {
+    pub columns: Vec<usize>,
+    pub ref_table: String,
+    pub ref_columns: Vec<usize>,
+}
+
+/// Schema of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<Column>,
+    /// Column positions of the primary key (empty = no PK).
+    pub primary_key: Vec<usize>,
+    /// Additional unique column sets.
+    pub unique: Vec<Vec<usize>>,
+    pub foreign_keys: Vec<ForeignKey>,
+    /// Row-level CHECK constraints (evaluated against single rows).
+    pub checks: Vec<sql::Expr>,
+    /// Unresolved FK target column names, parallel to `foreign_keys`;
+    /// resolved (and drained) by the catalog when the table is registered.
+    fk_ref_column_names: Vec<Vec<String>>,
+}
+
+impl TableSchema {
+    /// Create a schema with just columns (no keys).
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns,
+            primary_key: Vec::new(),
+            unique: Vec::new(),
+            foreign_keys: Vec::new(),
+            checks: Vec::new(),
+            fk_ref_column_names: Vec::new(),
+        }
+    }
+
+    /// Position of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Build a schema from a parsed `CREATE TABLE`.
+    pub fn from_ast(ct: &sql::CreateTable) -> Result<TableSchema> {
+        let mut schema = TableSchema::new(
+            ct.name.clone(),
+            ct.columns
+                .iter()
+                .map(|c| Column {
+                    name: c.name.clone(),
+                    ty: c.ty.into(),
+                    not_null: c.not_null,
+                })
+                .collect(),
+        );
+        // Reject duplicate column names early.
+        for (i, c) in ct.columns.iter().enumerate() {
+            if ct.columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(EngineError::InvalidDdl(format!(
+                    "duplicate column '{}' in table '{}'",
+                    c.name, ct.name
+                )));
+            }
+        }
+        let col_names: Vec<String> = schema.columns.iter().map(|c| c.name.clone()).collect();
+        let col_idx = move |name: &str| -> Result<usize> {
+            col_names.iter().position(|n| n == name).ok_or_else(|| {
+                EngineError::InvalidDdl(format!(
+                    "unknown column '{name}' in constraint of table"
+                ))
+            })
+        };
+        // Column-level PK / UNIQUE.
+        for (i, c) in ct.columns.iter().enumerate() {
+            if c.primary_key {
+                if !schema.primary_key.is_empty() {
+                    return Err(EngineError::InvalidDdl(format!(
+                        "multiple primary keys in table '{}'",
+                        ct.name
+                    )));
+                }
+                schema.primary_key = vec![i];
+            }
+            if c.unique {
+                schema.unique.push(vec![i]);
+            }
+        }
+        for con in &ct.constraints {
+            match con {
+                sql::TableConstraint::PrimaryKey(cols) => {
+                    if !schema.primary_key.is_empty() {
+                        return Err(EngineError::InvalidDdl(format!(
+                            "multiple primary keys in table '{}'",
+                            ct.name
+                        )));
+                    }
+                    let idxs = cols.iter().map(|c| col_idx(c)).collect::<Result<Vec<_>>>()?;
+                    for &i in &idxs {
+                        schema.columns[i].not_null = true;
+                    }
+                    schema.primary_key = idxs;
+                }
+                sql::TableConstraint::Unique(cols) => {
+                    let idxs = cols.iter().map(|c| col_idx(c)).collect::<Result<Vec<_>>>()?;
+                    schema.unique.push(idxs);
+                }
+                sql::TableConstraint::ForeignKey {
+                    columns,
+                    ref_table,
+                    ref_columns,
+                } => {
+                    let idxs = columns.iter().map(|c| col_idx(c)).collect::<Result<Vec<_>>>()?;
+                    schema.foreign_keys.push(ForeignKey {
+                        columns: idxs,
+                        ref_table: ref_table.clone(),
+                        // Referenced positions are resolved against the
+                        // referenced table by the catalog (which knows it);
+                        // names are kept here only transiently.
+                        ref_columns: Vec::new(),
+                    });
+                    // Stash names for the catalog to resolve.
+                    schema
+                        .fk_ref_column_names
+                        .push(ref_columns.clone());
+                }
+                sql::TableConstraint::Check(e) => schema.checks.push(e.clone()),
+            }
+        }
+        Ok(schema)
+    }
+}
+
+impl TableSchema {
+    /// Unresolved FK target column names, parallel to `foreign_keys`.
+    /// Drained by the catalog when the table is registered.
+    pub(crate) fn take_fk_ref_column_names(&mut self) -> Vec<Vec<String>> {
+        std::mem::take(&mut self.fk_ref_column_names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tintin_sql::parse_statement;
+
+    fn schema_of(sql_text: &str) -> TableSchema {
+        let sql::Statement::CreateTable(ct) = parse_statement(sql_text).unwrap() else {
+            panic!()
+        };
+        TableSchema::from_ast(&ct).unwrap()
+    }
+
+    #[test]
+    fn builds_simple_schema() {
+        let s = schema_of("CREATE TABLE t (a INT NOT NULL, b VARCHAR(10), c REAL)");
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.columns[0].ty, DataType::Int);
+        assert!(s.columns[0].not_null);
+        assert!(!s.columns[1].not_null);
+        assert_eq!(s.columns[2].ty, DataType::Real);
+    }
+
+    #[test]
+    fn table_level_pk_implies_not_null() {
+        let s = schema_of("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))");
+        assert_eq!(s.primary_key, vec![0, 1]);
+        assert!(s.columns[0].not_null && s.columns[1].not_null);
+    }
+
+    #[test]
+    fn column_level_pk() {
+        let s = schema_of("CREATE TABLE t (a INT PRIMARY KEY, b INT)");
+        assert_eq!(s.primary_key, vec![0]);
+    }
+
+    #[test]
+    fn rejects_two_primary_keys() {
+        let sql::Statement::CreateTable(ct) =
+            parse_statement("CREATE TABLE t (a INT PRIMARY KEY, b INT, PRIMARY KEY (b))").unwrap()
+        else {
+            panic!()
+        };
+        assert!(TableSchema::from_ast(&ct).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_columns() {
+        let sql::Statement::CreateTable(ct) =
+            parse_statement("CREATE TABLE t (a INT, a INT)").unwrap()
+        else {
+            panic!()
+        };
+        assert!(TableSchema::from_ast(&ct).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_pk_column() {
+        let sql::Statement::CreateTable(ct) =
+            parse_statement("CREATE TABLE t (a INT, PRIMARY KEY (zzz))").unwrap()
+        else {
+            panic!()
+        };
+        assert!(TableSchema::from_ast(&ct).is_err());
+    }
+
+    #[test]
+    fn collects_checks_and_unique() {
+        let s = schema_of("CREATE TABLE t (a INT UNIQUE, b INT, UNIQUE (a, b), CHECK (a > 0))");
+        assert_eq!(s.unique.len(), 2);
+        assert_eq!(s.checks.len(), 1);
+    }
+}

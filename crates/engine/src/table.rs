@@ -1,0 +1,474 @@
+//! Slotted in-memory table storage with hash indexes.
+//!
+//! Rows live in a slot vector with a free list, so `RowId`s are stable until
+//! the row is deleted. Every table keeps a unique index on its primary key
+//! (if declared) plus any number of secondary indexes; rows whose key columns
+//! contain NULL are not indexed (a NULL key can never match an equality
+//! probe), and NULL-containing keys are exempt from uniqueness, following
+//! SQL semantics.
+
+use crate::error::{EngineError, Result};
+use crate::hash::FxHashMap;
+use crate::schema::TableSchema;
+use crate::value::{Row, Value};
+
+/// Stable identifier of a row within its table.
+pub type RowId = u32;
+
+/// A hash index over a fixed list of columns.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    pub name: String,
+    pub columns: Vec<usize>,
+    pub unique: bool,
+    map: FxHashMap<Box<[Value]>, Vec<RowId>>,
+}
+
+impl HashIndex {
+    fn new(name: String, columns: Vec<usize>, unique: bool) -> Self {
+        HashIndex {
+            name,
+            columns,
+            unique,
+            map: FxHashMap::default(),
+        }
+    }
+
+    /// Extract this index's key from a row; `None` if any key column is NULL.
+    fn key_of(&self, row: &[Value]) -> Option<Box<[Value]>> {
+        let mut key = Vec::with_capacity(self.columns.len());
+        for &c in &self.columns {
+            if row[c].is_null() {
+                return None;
+            }
+            key.push(row[c].clone());
+        }
+        Some(key.into_boxed_slice())
+    }
+
+    /// Row ids matching an exact key.
+    pub fn probe(&self, key: &[Value]) -> &[RowId] {
+        self.map.get(key).map_or(&[], |v| v.as_slice())
+    }
+
+    fn insert(&mut self, key: Box<[Value]>, id: RowId) {
+        self.map.entry(key).or_default().push(id);
+    }
+
+    fn remove(&mut self, key: &[Value], id: RowId) {
+        if let Some(v) = self.map.get_mut(key) {
+            if let Some(pos) = v.iter().position(|&x| x == id) {
+                v.swap_remove(pos);
+            }
+            if v.is_empty() {
+                self.map.remove(key);
+            }
+        }
+    }
+}
+
+/// An in-memory table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub schema: TableSchema,
+    slots: Vec<Option<Row>>,
+    free: Vec<RowId>,
+    live: usize,
+    indexes: Vec<HashIndex>,
+}
+
+impl Table {
+    /// Create an empty table, building the PK index and one index per
+    /// declared unique set.
+    pub fn new(schema: TableSchema) -> Self {
+        let mut t = Table {
+            schema,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            indexes: Vec::new(),
+        };
+        if !t.schema.primary_key.is_empty() {
+            t.indexes.push(HashIndex::new(
+                format!("{}_pkey", t.schema.name),
+                t.schema.primary_key.clone(),
+                true,
+            ));
+        }
+        for (i, cols) in t.schema.unique.iter().enumerate() {
+            // Skip a unique set identical to the PK.
+            if *cols == t.schema.primary_key {
+                continue;
+            }
+            t.indexes.push(HashIndex::new(
+                format!("{}_uniq{}", t.schema.name, i),
+                cols.clone(),
+                true,
+            ));
+        }
+        t
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Validate a row against the schema: arity, coercion to the column
+    /// types, NOT NULL.
+    pub fn validate(&self, values: Vec<Value>) -> Result<Row> {
+        if values.len() != self.schema.arity() {
+            return Err(EngineError::ArityMismatch {
+                table: self.schema.name.clone(),
+                expected: self.schema.arity(),
+                got: values.len(),
+            });
+        }
+        let mut row = Vec::with_capacity(values.len());
+        for (v, col) in values.into_iter().zip(&self.schema.columns) {
+            if v.is_null() && col.not_null {
+                return Err(EngineError::NullViolation {
+                    table: self.schema.name.clone(),
+                    column: col.name.clone(),
+                });
+            }
+            let coerced = v.clone().coerce_to(col.ty).ok_or_else(|| {
+                EngineError::TypeError(format!(
+                    "value {v} is not valid for column {}.{} of type {}",
+                    self.schema.name, col.name, col.ty
+                ))
+            })?;
+            row.push(coerced);
+        }
+        Ok(row.into_boxed_slice())
+    }
+
+    /// Insert a (validated or raw) row. Values are validated here; returns
+    /// the new row's id.
+    pub fn insert(&mut self, values: Vec<Value>) -> Result<RowId> {
+        let row = self.validate(values)?;
+        // Uniqueness checks before any mutation.
+        for ix in &self.indexes {
+            if !ix.unique {
+                continue;
+            }
+            if let Some(key) = ix.key_of(&row) {
+                if !ix.probe(&key).is_empty() {
+                    return Err(EngineError::UniqueViolation {
+                        table: self.schema.name.clone(),
+                        index: ix.name.clone(),
+                        key: format_key(&key),
+                    });
+                }
+            }
+        }
+        let id = match self.free.pop() {
+            Some(id) => id,
+            None => {
+                self.slots.push(None);
+                (self.slots.len() - 1) as RowId
+            }
+        };
+        for ix in &mut self.indexes {
+            if let Some(key) = ix.key_of(&row) {
+                ix.insert(key, id);
+            }
+        }
+        self.slots[id as usize] = Some(row);
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Remove a row by id, returning it.
+    pub fn delete_row(&mut self, id: RowId) -> Option<Row> {
+        let row = self.slots.get_mut(id as usize)?.take()?;
+        for ix in &mut self.indexes {
+            if let Some(key) = ix.key_of(&row) {
+                ix.remove(&key, id);
+            }
+        }
+        self.free.push(id);
+        self.live -= 1;
+        Some(row)
+    }
+
+    /// Access a row by id.
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        self.slots.get(id as usize)?.as_ref()
+    }
+
+    /// Iterate over live rows.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (i as RowId, r)))
+    }
+
+    /// Remove all rows.
+    pub fn truncate(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.live = 0;
+        for ix in &mut self.indexes {
+            ix.map.clear();
+        }
+    }
+
+    /// The indexes of this table.
+    pub fn indexes(&self) -> &[HashIndex] {
+        &self.indexes
+    }
+
+    /// Create a secondary index (backfilling existing rows). Unique indexes
+    /// fail if existing data violates uniqueness.
+    pub fn create_index(&mut self, name: String, columns: Vec<usize>, unique: bool) -> Result<()> {
+        for &c in &columns {
+            if c >= self.schema.arity() {
+                return Err(EngineError::InvalidDdl(format!(
+                    "index column {c} out of range for table {}",
+                    self.schema.name
+                )));
+            }
+        }
+        if self.indexes.iter().any(|ix| ix.name == name) {
+            return Err(EngineError::DuplicateObject(name));
+        }
+        let mut ix = HashIndex::new(name, columns, unique);
+        for (id, row) in self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (i as RowId, r)))
+        {
+            if let Some(key) = ix.key_of(row) {
+                if unique && !ix.probe(&key).is_empty() {
+                    return Err(EngineError::UniqueViolation {
+                        table: self.schema.name.clone(),
+                        index: ix.name,
+                        key: format_key(&key),
+                    });
+                }
+                ix.insert(key, id);
+            }
+        }
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    /// True if an index on exactly/subset of `eq_cols` exists; returns the
+    /// best (longest-key) index whose columns are all contained in `eq_cols`.
+    pub fn best_index(&self, eq_cols: &[usize]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, ix) in self.indexes.iter().enumerate() {
+            if ix.columns.iter().all(|c| eq_cols.contains(c)) {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let cur = &self.indexes[b];
+                        ix.columns.len() > cur.columns.len()
+                            || (ix.columns.len() == cur.columns.len() && ix.unique && !cur.unique)
+                    }
+                };
+                if better {
+                    best = Some(i);
+                }
+            }
+        }
+        best
+    }
+
+    /// Find a row identical to `row` (NULLs compared as equal here — this is
+    /// *identity*, not SQL equality; used by event normalization).
+    pub fn find_identical(&self, row: &[Value]) -> Option<RowId> {
+        // Use the PK index when the key is non-null.
+        if let Some(ix) = self.indexes.first().filter(|ix| ix.unique) {
+            if let Some(key) = ix.key_of(row) {
+                for &id in ix.probe(&key) {
+                    if self.get(id).is_some_and(|r| r.as_ref() == row) {
+                        return Some(id);
+                    }
+                }
+                return None;
+            }
+        }
+        self.scan()
+            .find(|(_, r)| r.as_ref() == row)
+            .map(|(id, _)| id)
+    }
+}
+
+fn format_key(key: &[Value]) -> String {
+    let parts: Vec<String> = key.iter().map(|v| v.to_string()).collect();
+    format!("({})", parts.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn schema2() -> TableSchema {
+        let mut s = TableSchema::new(
+            "t",
+            vec![
+                Column {
+                    name: "a".into(),
+                    ty: DataType::Int,
+                    not_null: true,
+                },
+                Column {
+                    name: "b".into(),
+                    ty: DataType::Text,
+                    not_null: false,
+                },
+            ],
+        );
+        s.primary_key = vec![0];
+        s
+    }
+
+    #[test]
+    fn insert_get_delete_roundtrip() {
+        let mut t = Table::new(schema2());
+        let id = t.insert(vec![Value::Int(1), Value::str("x")]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(id).unwrap()[1], Value::str("x"));
+        let row = t.delete_row(id).unwrap();
+        assert_eq!(row[0], Value::Int(1));
+        assert_eq!(t.len(), 0);
+        assert!(t.get(id).is_none());
+    }
+
+    #[test]
+    fn slot_reuse_after_delete() {
+        let mut t = Table::new(schema2());
+        let id1 = t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        t.delete_row(id1);
+        let id2 = t.insert(vec![Value::Int(2), Value::Null]).unwrap();
+        assert_eq!(id1, id2, "slot should be reused");
+    }
+
+    #[test]
+    fn pk_uniqueness_enforced() {
+        let mut t = Table::new(schema2());
+        t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        let err = t.insert(vec![Value::Int(1), Value::str("y")]).unwrap_err();
+        assert!(matches!(err, EngineError::UniqueViolation { .. }));
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut t = Table::new(schema2());
+        let err = t.insert(vec![Value::Null, Value::Null]).unwrap_err();
+        assert!(matches!(err, EngineError::NullViolation { .. }));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = Table::new(schema2());
+        let err = t.insert(vec![Value::Int(1)]).unwrap_err();
+        assert!(matches!(err, EngineError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn coercion_applied_on_insert() {
+        let mut t = Table::new(schema2());
+        // Real 2.0 narrows to Int for column a.
+        let id = t.insert(vec![Value::real(2.0), Value::Null]).unwrap();
+        assert_eq!(t.get(id).unwrap()[0], Value::Int(2));
+        // Real 2.5 does not.
+        assert!(matches!(
+            t.insert(vec![Value::real(2.5), Value::Null]),
+            Err(EngineError::TypeError(_))
+        ));
+    }
+
+    #[test]
+    fn pk_index_probe() {
+        let mut t = Table::new(schema2());
+        for i in 0..100 {
+            t.insert(vec![Value::Int(i), Value::str(format!("r{i}"))])
+                .unwrap();
+        }
+        let ix = &t.indexes()[0];
+        let ids = ix.probe(&[Value::Int(42)]);
+        assert_eq!(ids.len(), 1);
+        assert_eq!(t.get(ids[0]).unwrap()[1], Value::str("r42"));
+    }
+
+    #[test]
+    fn secondary_index_backfill_and_probe() {
+        let mut t = Table::new(schema2());
+        for i in 0..10 {
+            t.insert(vec![Value::Int(i), Value::str(if i % 2 == 0 { "e" } else { "o" })])
+                .unwrap();
+        }
+        t.create_index("t_b".into(), vec![1], false).unwrap();
+        let ix = t.indexes().iter().find(|ix| ix.name == "t_b").unwrap();
+        assert_eq!(ix.probe(&[Value::str("e")]).len(), 5);
+    }
+
+    #[test]
+    fn unique_index_creation_fails_on_duplicates() {
+        let mut t = Table::new(schema2());
+        t.insert(vec![Value::Int(1), Value::str("x")]).unwrap();
+        t.insert(vec![Value::Int(2), Value::str("x")]).unwrap();
+        assert!(t.create_index("u".into(), vec![1], true).is_err());
+    }
+
+    #[test]
+    fn null_keys_not_indexed_and_exempt_from_unique() {
+        let mut t = Table::new(schema2());
+        t.create_index("u".into(), vec![1], true).unwrap();
+        // Two NULLs in a unique column are fine.
+        t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        t.insert(vec![Value::Int(2), Value::Null]).unwrap();
+        let ix = t.indexes().iter().find(|ix| ix.name == "u").unwrap();
+        assert!(ix.probe(&[Value::Null]).is_empty());
+    }
+
+    #[test]
+    fn best_index_prefers_longest() {
+        let mut s = schema2();
+        s.unique = vec![];
+        let mut t = Table::new(s);
+        t.create_index("i_b".into(), vec![1], false).unwrap();
+        t.create_index("i_ab".into(), vec![0, 1], false).unwrap();
+        let best = t.best_index(&[0, 1]).unwrap();
+        // PK (a) has 1 column, i_ab has 2 → i_ab wins.
+        assert_eq!(t.indexes()[best].name, "i_ab");
+        // Only b available → i_b.
+        let best = t.best_index(&[1]).unwrap();
+        assert_eq!(t.indexes()[best].name, "i_b");
+        // Nothing → none.
+        assert!(t.best_index(&[]).is_none() || t.indexes()[t.best_index(&[]).unwrap()].columns.is_empty());
+    }
+
+    #[test]
+    fn find_identical_uses_pk_and_compares_fully() {
+        let mut t = Table::new(schema2());
+        let id = t.insert(vec![Value::Int(1), Value::str("x")]).unwrap();
+        assert_eq!(t.find_identical(&[Value::Int(1), Value::str("x")]), Some(id));
+        assert_eq!(t.find_identical(&[Value::Int(1), Value::str("y")]), None);
+        assert_eq!(t.find_identical(&[Value::Int(9), Value::str("x")]), None);
+    }
+
+    #[test]
+    fn truncate_clears_everything() {
+        let mut t = Table::new(schema2());
+        for i in 0..5 {
+            t.insert(vec![Value::Int(i), Value::Null]).unwrap();
+        }
+        t.truncate();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.scan().count(), 0);
+        // Indexes emptied: re-insert of an old key is fine.
+        t.insert(vec![Value::Int(0), Value::Null]).unwrap();
+    }
+}

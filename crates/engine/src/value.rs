@@ -1,0 +1,347 @@
+//! Runtime values and storage types.
+//!
+//! Columns are typed ([`DataType`]); values are coerced to the column type at
+//! insert time, so all comparisons and index keys within a column are
+//! homogeneous. `NULL` is a first-class value with SQL semantics (comparisons
+//! against it are `Unknown`, see [`Truth`]).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The three storage classes of the engine (plus NULL at the value level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Int,
+    Real,
+    Text,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INTEGER"),
+            DataType::Real => write!(f, "REAL"),
+            DataType::Text => write!(f, "TEXT"),
+        }
+    }
+}
+
+impl From<tintin_sql::TypeName> for DataType {
+    fn from(t: tintin_sql::TypeName) -> Self {
+        match t {
+            tintin_sql::TypeName::Int => DataType::Int,
+            tintin_sql::TypeName::Real => DataType::Real,
+            tintin_sql::TypeName::Text => DataType::Text,
+        }
+    }
+}
+
+/// An `f64` wrapper with total order, `Eq` and `Hash` (NaN canonicalized,
+/// `-0.0` folded into `0.0`) so reals can be index keys.
+#[derive(Debug, Clone, Copy)]
+pub struct R64(f64);
+
+impl R64 {
+    pub fn new(v: f64) -> Self {
+        if v.is_nan() {
+            R64(f64::NAN) // canonical NaN bit pattern via the constant
+        } else if v == 0.0 {
+            R64(0.0) // folds -0.0
+        } else {
+            R64(v)
+        }
+    }
+
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for R64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for R64 {}
+
+impl PartialOrd for R64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for R64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Hash for R64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Display for R64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// SQL NULL. Ordered before all non-null values (only relevant for
+    /// deterministic output ordering, not for SQL comparisons, which treat
+    /// NULL as Unknown).
+    Null,
+    Int(i64),
+    Real(R64),
+    Str(Box<str>),
+}
+
+impl Value {
+    pub fn real(v: f64) -> Value {
+        Value::Real(R64::new(v))
+    }
+
+    pub fn str(s: impl Into<Box<str>>) -> Value {
+        Value::Str(s.into())
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The storage class of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Real(_) => Some(DataType::Real),
+            Value::Str(_) => Some(DataType::Text),
+        }
+    }
+
+    /// Coerce for *storage* into a column of type `ty`.
+    ///
+    /// Lossless numeric widening (`Int` → `Real`) is performed; a real with
+    /// zero fraction narrows to `Int`; anything else is a type error reported
+    /// by the caller. NULL always passes.
+    pub fn coerce_to(self, ty: DataType) -> Option<Value> {
+        match (self, ty) {
+            (Value::Null, _) => Some(Value::Null),
+            (v @ Value::Int(_), DataType::Int) => Some(v),
+            (v @ Value::Real(_), DataType::Real) => Some(v),
+            (v @ Value::Str(_), DataType::Text) => Some(v),
+            (Value::Int(i), DataType::Real) => Some(Value::real(i as f64)),
+            (Value::Real(r), DataType::Int) => {
+                let f = r.get();
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 {
+                    Some(Value::Int(f as i64))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Coerce for an *equality probe* against a column of type `ty`.
+    ///
+    /// Unlike [`coerce_to`](Self::coerce_to), a failed numeric narrowing
+    /// (`1.5` probed against an INT column) is not an error — it simply
+    /// cannot match any stored value, signalled by `Err(NoMatch)`.
+    pub fn coerce_for_probe(self, ty: DataType) -> Result<Value, ProbeMiss> {
+        match (&self, ty) {
+            (Value::Null, _) => Ok(Value::Null),
+            (Value::Int(_), DataType::Int)
+            | (Value::Real(_), DataType::Real)
+            | (Value::Str(_), DataType::Text) => Ok(self),
+            (Value::Int(i), DataType::Real) => Ok(Value::real(*i as f64)),
+            (Value::Real(r), DataType::Int) => {
+                let f = r.get();
+                if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 {
+                    Ok(Value::Int(f as i64))
+                } else {
+                    Err(ProbeMiss)
+                }
+            }
+            _ => Err(ProbeMiss),
+        }
+    }
+
+    /// SQL comparison: returns `None` when either side is NULL, otherwise
+    /// the ordering with numeric cross-type comparison.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Real(a), Value::Real(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Real(b)) => Some((*a as f64).total_cmp(&b.get())),
+            (Value::Real(a), Value::Int(b)) => Some(a.get().total_cmp(&(*b as f64))),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            // Cross-class comparisons (number vs string) are type errors in
+            // strict SQL; we resolve them deterministically by class so the
+            // engine never panics on heterogeneous data.
+            (a, b) => Some(class_rank(a).cmp(&class_rank(b))),
+        }
+    }
+}
+
+fn class_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Int(_) | Value::Real(_) => 1,
+        Value::Str(_) => 2,
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Real(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Signals that an equality probe value cannot possibly match a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeMiss;
+
+/// SQL three-valued logic truth values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Truth {
+    True,
+    False,
+    Unknown,
+}
+
+impl Truth {
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+
+    pub fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Unknown,
+        }
+    }
+
+    pub fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Unknown,
+        }
+    }
+
+    #[allow(clippy::should_implement_trait)] // 3VL negation, named after ¬
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+}
+
+/// A stored row.
+pub type Row = Box<[Value]>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r64_folds_negative_zero() {
+        assert_eq!(R64::new(-0.0), R64::new(0.0));
+        let mut h1 = std::collections::hash_map::DefaultHasher::new();
+        let mut h2 = std::collections::hash_map::DefaultHasher::new();
+        R64::new(-0.0).hash(&mut h1);
+        R64::new(0.0).hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn r64_nan_is_self_equal() {
+        assert_eq!(R64::new(f64::NAN), R64::new(f64::NAN));
+    }
+
+    #[test]
+    fn coerce_int_to_real_widens() {
+        assert_eq!(
+            Value::Int(3).coerce_to(DataType::Real),
+            Some(Value::real(3.0))
+        );
+    }
+
+    #[test]
+    fn coerce_real_to_int_only_when_integral() {
+        assert_eq!(
+            Value::real(3.0).coerce_to(DataType::Int),
+            Some(Value::Int(3))
+        );
+        assert_eq!(Value::real(3.5).coerce_to(DataType::Int), None);
+    }
+
+    #[test]
+    fn coerce_str_to_number_fails() {
+        assert_eq!(Value::str("x").coerce_to(DataType::Int), None);
+    }
+
+    #[test]
+    fn probe_miss_on_fractional_int_probe() {
+        assert_eq!(
+            Value::real(1.5).coerce_for_probe(DataType::Int),
+            Err(ProbeMiss)
+        );
+        assert_eq!(
+            Value::real(2.0).coerce_for_probe(DataType::Int),
+            Ok(Value::Int(2))
+        );
+    }
+
+    #[test]
+    fn sql_cmp_null_is_none() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_cross_numeric() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::real(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::real(2.5)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn truth_tables() {
+        use Truth::*;
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(Unknown.not(), Unknown);
+    }
+}

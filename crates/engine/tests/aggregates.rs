@@ -1,0 +1,259 @@
+//! Aggregate, GROUP BY / HAVING, and ORDER BY / LIMIT evaluation tests.
+
+use tintin_engine::{Database, Value};
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE orders (o_orderkey INT PRIMARY KEY, o_custkey INT NOT NULL,
+                              o_totalprice REAL NOT NULL);
+         CREATE TABLE lineitem (l_orderkey INT NOT NULL, l_linenumber INT NOT NULL,
+                                l_quantity INT,
+                                PRIMARY KEY (l_orderkey, l_linenumber));
+         INSERT INTO orders VALUES (1, 10, 100.0), (2, 10, 50.0), (3, 20, 25.0);
+         INSERT INTO lineitem VALUES (1, 1, 5), (1, 2, 7), (2, 1, 1), (3, 1, NULL);",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn global_count_star() {
+    let rs = db().query_sql("SELECT COUNT(*) FROM lineitem").unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(4));
+    assert_eq!(rs.columns, vec!["count"]);
+}
+
+#[test]
+fn count_column_ignores_nulls() {
+    let rs = db().query_sql("SELECT COUNT(l_quantity) AS n FROM lineitem").unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(3));
+    assert_eq!(rs.columns, vec!["n"]);
+}
+
+#[test]
+fn sum_avg_min_max() {
+    let rs = db()
+        .query_sql(
+            "SELECT SUM(l_quantity), AVG(l_quantity), MIN(l_quantity), MAX(l_quantity)
+             FROM lineitem",
+        )
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(13));
+    assert_eq!(rs.rows[0][1], Value::real(13.0 / 3.0));
+    assert_eq!(rs.rows[0][2], Value::Int(1));
+    assert_eq!(rs.rows[0][3], Value::Int(7));
+}
+
+#[test]
+fn global_aggregate_on_empty_input_yields_one_row() {
+    let mut d = Database::new();
+    d.execute_sql("CREATE TABLE e (x INT)").unwrap();
+    let rs = d.query_sql("SELECT COUNT(*), SUM(x), MIN(x) FROM e").unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::Int(0));
+    assert_eq!(rs.rows[0][1], Value::Null);
+    assert_eq!(rs.rows[0][2], Value::Null);
+}
+
+#[test]
+fn group_by_with_keys_in_projection() {
+    let rs = db()
+        .query_sql(
+            "SELECT o_custkey, COUNT(*) AS n, SUM(o_totalprice) AS total
+             FROM orders GROUP BY o_custkey ORDER BY o_custkey",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    assert_eq!(rs.rows[0].to_vec(), vec![Value::Int(10), Value::Int(2), Value::real(150.0)]);
+    assert_eq!(rs.rows[1].to_vec(), vec![Value::Int(20), Value::Int(1), Value::real(25.0)]);
+}
+
+#[test]
+fn having_filters_groups() {
+    let rs = db()
+        .query_sql(
+            "SELECT l_orderkey, COUNT(*) AS n FROM lineitem
+             GROUP BY l_orderkey HAVING COUNT(*) > 1",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::Int(1));
+    assert_eq!(rs.rows[0][1], Value::Int(2));
+}
+
+#[test]
+fn having_with_key_reference() {
+    let rs = db()
+        .query_sql(
+            "SELECT o_custkey FROM orders GROUP BY o_custkey
+             HAVING o_custkey > 15 AND COUNT(*) >= 1",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::Int(20));
+}
+
+#[test]
+fn count_distinct() {
+    let rs = db().query_sql("SELECT COUNT(DISTINCT o_custkey) FROM orders").unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(2));
+}
+
+#[test]
+fn aggregate_over_join() {
+    let rs = db()
+        .query_sql(
+            "SELECT o.o_custkey, COUNT(*) AS lines
+             FROM orders o, lineitem l WHERE l.l_orderkey = o.o_orderkey
+             GROUP BY o.o_custkey ORDER BY lines DESC",
+        )
+        .unwrap();
+    assert_eq!(rs.rows[0].to_vec(), vec![Value::Int(10), Value::Int(3)]);
+    assert_eq!(rs.rows[1].to_vec(), vec![Value::Int(20), Value::Int(1)]);
+}
+
+#[test]
+fn expression_over_aggregates() {
+    let rs = db()
+        .query_sql("SELECT MAX(l_quantity) - MIN(l_quantity) AS spread FROM lineitem")
+        .unwrap();
+    assert_eq!(rs.rows[0][0], Value::Int(6));
+}
+
+#[test]
+fn non_grouped_column_is_rejected() {
+    let err = db()
+        .query_sql("SELECT o_custkey, o_totalprice FROM orders GROUP BY o_custkey")
+        .unwrap_err();
+    assert!(err.to_string().contains("GROUP BY"), "{err}");
+}
+
+#[test]
+fn unknown_function_rejected() {
+    assert!(db().query_sql("SELECT median(o_totalprice) FROM orders").is_err());
+}
+
+#[test]
+fn aggregate_outside_grouping_context_rejected() {
+    assert!(db().query_sql("SELECT * FROM orders WHERE COUNT(*) > 1").is_err());
+}
+
+#[test]
+fn order_by_name_position_and_desc() {
+    let d = db();
+    let by_name = d
+        .query_sql("SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice")
+        .unwrap();
+    assert_eq!(by_name.rows[0][0], Value::Int(3));
+    let by_pos = d
+        .query_sql("SELECT o_orderkey, o_totalprice FROM orders ORDER BY 2 DESC")
+        .unwrap();
+    assert_eq!(by_pos.rows[0][0], Value::Int(1));
+}
+
+#[test]
+fn order_by_multiple_keys() {
+    let rs = db()
+        .query_sql(
+            "SELECT o_custkey, o_orderkey FROM orders ORDER BY o_custkey DESC, o_orderkey",
+        )
+        .unwrap();
+    let keys: Vec<i64> = rs
+        .rows
+        .iter()
+        .map(|r| match r[1] {
+            Value::Int(v) => v,
+            _ => unreachable!(),
+        })
+        .collect();
+    assert_eq!(keys, vec![3, 1, 2]);
+}
+
+#[test]
+fn limit_truncates() {
+    let rs = db()
+        .query_sql("SELECT o_orderkey FROM orders ORDER BY o_orderkey LIMIT 2")
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    assert_eq!(rs.rows[1][0], Value::Int(2));
+    let rs = db().query_sql("SELECT o_orderkey FROM orders LIMIT 0").unwrap();
+    assert!(rs.rows.is_empty());
+}
+
+#[test]
+fn order_by_applies_after_union() {
+    let rs = db()
+        .query_sql(
+            "SELECT o_orderkey AS k FROM orders WHERE o_custkey = 10
+             UNION SELECT l_linenumber FROM lineitem WHERE l_orderkey = 1
+             ORDER BY k DESC LIMIT 3",
+        )
+        .unwrap();
+    let keys: Vec<Value> = rs.rows.iter().map(|r| r[0].clone()).collect();
+    assert_eq!(keys, vec![Value::Int(2), Value::Int(1)]);
+}
+
+#[test]
+fn in_subquery_over_aggregate() {
+    // x IN (SELECT MAX(...)) — aggregate subqueries under IN.
+    let rs = db()
+        .query_sql(
+            "SELECT o_orderkey FROM orders
+             WHERE o_orderkey IN (SELECT MAX(l_orderkey) FROM lineitem)",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::Int(3));
+}
+
+#[test]
+fn exists_over_grouped_subquery() {
+    // Orders of customers having at least two orders.
+    let rs = db()
+        .query_sql(
+            "SELECT o_orderkey FROM orders o WHERE EXISTS (
+                 SELECT o_custkey FROM orders o2 WHERE o2.o_custkey = o.o_custkey
+                 GROUP BY o_custkey HAVING COUNT(*) >= 2)",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+}
+
+#[test]
+fn correlated_aggregate_subquery_in_exists() {
+    // HAVING referencing the outer row's key through correlation.
+    let rs = db()
+        .query_sql(
+            "SELECT o_orderkey FROM orders o WHERE EXISTS (
+                 SELECT l_orderkey FROM lineitem l WHERE l.l_orderkey = o.o_orderkey
+                 GROUP BY l_orderkey HAVING COUNT(*) > 1)",
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::Int(1));
+}
+
+#[test]
+fn aggregate_views_work() {
+    let mut d = db();
+    d.execute_sql(
+        "CREATE VIEW order_sizes AS SELECT l_orderkey AS k, COUNT(*) AS n
+         FROM lineitem GROUP BY l_orderkey",
+    )
+    .unwrap();
+    let rs = d.query_sql("SELECT k FROM order_sizes WHERE n > 1").unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    assert_eq!(rs.rows[0][0], Value::Int(1));
+}
+
+#[test]
+fn min_max_over_strings_work_sum_errors() {
+    let mut d = Database::new();
+    d.execute_sql("CREATE TABLE s (name TEXT); INSERT INTO s VALUES ('b'), ('a');")
+        .unwrap();
+    let rs = d.query_sql("SELECT MIN(name), MAX(name) FROM s").unwrap();
+    assert_eq!(rs.rows[0][0], Value::str("a"));
+    assert_eq!(rs.rows[0][1], Value::str("b"));
+    assert!(d.query_sql("SELECT SUM(name) FROM s").is_err());
+}

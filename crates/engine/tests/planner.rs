@@ -1,0 +1,146 @@
+//! Planner-shape tests: verify the compiler picks the intended access paths
+//! (hash-index probes vs scans), since the incremental-checking performance
+//! claims rest on them.
+
+use tintin_engine::query::{Access, CBody};
+use tintin_engine::Database;
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE orders (o_orderkey INT PRIMARY KEY, o_custkey INT NOT NULL);
+         CREATE TABLE lineitem (
+             l_orderkey INT NOT NULL REFERENCES orders,
+             l_linenumber INT NOT NULL,
+             PRIMARY KEY (l_orderkey, l_linenumber));
+         CREATE INDEX o_cust ON orders (o_custkey);",
+    )
+    .unwrap();
+    db
+}
+
+fn first_select(db: &Database, sql: &str) -> tintin_engine::query::CompiledSelect {
+    let q = tintin_sql::parse_query(sql).unwrap();
+    let compiled = db.compile(&q).unwrap();
+    match &compiled.body {
+        CBody::Select(s) => s.clone(),
+        _ => panic!("expected single select"),
+    }
+}
+
+#[test]
+fn pk_equality_becomes_probe() {
+    let s = first_select(&db(), "SELECT * FROM orders WHERE o_orderkey = 7");
+    assert!(
+        matches!(&s.sources[0].access, Access::Probe { table, .. } if table == "orders"),
+        "{:?}",
+        s.sources[0].access
+    );
+    // The probe consumed the conjunct: no residual filter.
+    assert!(s.sources[0].filters.is_empty());
+}
+
+#[test]
+fn secondary_index_chosen_for_non_key_equality() {
+    let s = first_select(&db(), "SELECT * FROM orders WHERE o_custkey = 9");
+    let Access::Probe { table, index, .. } = &s.sources[0].access else {
+        panic!("expected probe, got {:?}", s.sources[0].access);
+    };
+    assert_eq!(table, "orders");
+    let t = db();
+    let t = t.table("orders").unwrap();
+    assert_eq!(t.indexes()[*index].columns, vec![1]);
+}
+
+#[test]
+fn range_predicate_stays_a_scan() {
+    let s = first_select(&db(), "SELECT * FROM orders WHERE o_orderkey > 7");
+    assert!(matches!(&s.sources[0].access, Access::Scan { .. }));
+    assert_eq!(s.sources[0].filters.len(), 1);
+}
+
+#[test]
+fn join_probes_second_table_by_fk_index() {
+    let s = first_select(
+        &db(),
+        "SELECT * FROM orders o, lineitem l WHERE l.l_orderkey = o.o_orderkey",
+    );
+    assert!(matches!(&s.sources[0].access, Access::Scan { .. }));
+    let Access::Probe { table, index, .. } = &s.sources[1].access else {
+        panic!("expected probe on lineitem, got {:?}", s.sources[1].access);
+    };
+    assert_eq!(table, "lineitem");
+    let d = db();
+    let li = d.table("lineitem").unwrap();
+    // The FK auto-index on l_orderkey, not the (l_orderkey, l_linenumber) PK.
+    assert_eq!(li.indexes()[*index].columns, vec![0]);
+}
+
+#[test]
+fn composite_pk_used_when_fully_bound() {
+    let s = first_select(
+        &db(),
+        "SELECT * FROM lineitem WHERE l_orderkey = 1 AND l_linenumber = 2",
+    );
+    let Access::Probe { index, .. } = &s.sources[0].access else {
+        panic!()
+    };
+    let d = db();
+    let li = d.table("lineitem").unwrap();
+    assert_eq!(li.indexes()[*index].columns.len(), 2, "composite PK chosen");
+}
+
+#[test]
+fn correlated_exists_probes_inner_table() {
+    let q = tintin_sql::parse_query(
+        "SELECT * FROM orders o WHERE EXISTS (
+             SELECT 1 FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)",
+    )
+    .unwrap();
+    let d = db();
+    let compiled = d.compile(&q).unwrap();
+    let CBody::Select(s) = &compiled.body else { panic!() };
+    let tintin_engine::query::CExpr::Exists { branches, .. } = &s.sources[0].filters[0] else {
+        panic!("expected EXISTS filter, got {:?}", s.sources[0].filters);
+    };
+    assert!(
+        matches!(&branches[0].sources[0].access, Access::Probe { .. }),
+        "correlated equality must become an index probe"
+    );
+}
+
+#[test]
+fn derived_table_with_equality_gets_mat_probe() {
+    let s = first_select(
+        &db(),
+        "SELECT * FROM orders o, (SELECT l_orderkey AS k FROM lineitem) sub
+         WHERE sub.k = o.o_orderkey",
+    );
+    assert!(
+        matches!(&s.sources[1].access, Access::MatProbe { .. }),
+        "{:?}",
+        s.sources[1].access
+    );
+}
+
+#[test]
+fn constants_only_predicate_is_a_pre_filter() {
+    let s = first_select(&db(), "SELECT * FROM orders WHERE 1 = 2");
+    assert_eq!(s.pre_filters.len(), 1);
+    // And evaluation returns nothing without touching the table.
+    let d = db();
+    let rs = d.query_sql("SELECT * FROM orders WHERE 1 = 2").unwrap();
+    assert!(rs.is_empty());
+}
+
+#[test]
+fn probe_key_with_incompatible_constant_matches_nothing() {
+    let mut d = db();
+    d.execute_sql("INSERT INTO orders VALUES (1, 1)").unwrap();
+    // 1.5 cannot be an INT key → empty, not an error.
+    let rs = d.query_sql("SELECT * FROM orders WHERE o_orderkey = 1.5").unwrap();
+    assert!(rs.is_empty());
+    // 1.0 narrows fine.
+    let rs = d.query_sql("SELECT * FROM orders WHERE o_orderkey = 1.0").unwrap();
+    assert_eq!(rs.len(), 1);
+}

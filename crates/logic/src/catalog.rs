@@ -1,0 +1,119 @@
+//! Schema information the logic layer needs about the database: column
+//! names/positions, primary keys and foreign keys. Built by the `tintin`
+//! crate from the engine's catalog (keeping this crate engine-independent).
+
+use std::collections::BTreeMap;
+
+/// A foreign key, positionally resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FkInfo {
+    /// Column positions in the child table.
+    pub columns: Vec<usize>,
+    pub ref_table: String,
+    /// Column positions in the parent table.
+    pub ref_columns: Vec<usize>,
+}
+
+/// Schema of one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableInfo {
+    pub columns: Vec<String>,
+    /// Primary-key column positions (empty = none).
+    pub primary_key: Vec<usize>,
+    pub foreign_keys: Vec<FkInfo>,
+}
+
+impl TableInfo {
+    pub fn new(columns: Vec<String>) -> Self {
+        TableInfo {
+            columns,
+            primary_key: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// Catalog of table schemas visible to assertions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchemaCatalog {
+    tables: BTreeMap<String, TableInfo>,
+}
+
+impl SchemaCatalog {
+    pub fn new() -> Self {
+        SchemaCatalog::default()
+    }
+
+    pub fn add_table(&mut self, name: impl Into<String>, info: TableInfo) {
+        self.tables.insert(name.into(), info);
+    }
+
+    pub fn table(&self, name: &str) -> Option<&TableInfo> {
+        self.tables.get(name)
+    }
+
+    pub fn table_names(&self) -> impl Iterator<Item = &String> {
+        self.tables.keys()
+    }
+
+    /// Does `parent`'s primary key equal `ref_columns`? Used by the FK
+    /// optimizer (pruning needs the referenced columns to be a key).
+    pub fn fk_targets_key(&self, fk: &FkInfo) -> bool {
+        self.table(&fk.ref_table)
+            .map(|t| !t.primary_key.is_empty() && t.primary_key == fk.ref_columns)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_lookup() {
+        let mut cat = SchemaCatalog::new();
+        cat.add_table(
+            "orders",
+            TableInfo {
+                columns: vec!["o_orderkey".into()],
+                primary_key: vec![0],
+                foreign_keys: vec![],
+            },
+        );
+        assert_eq!(cat.table("orders").unwrap().column_index("o_orderkey"), Some(0));
+        assert!(cat.table("missing").is_none());
+    }
+
+    #[test]
+    fn fk_targets_key_checks_pk() {
+        let mut cat = SchemaCatalog::new();
+        cat.add_table(
+            "orders",
+            TableInfo {
+                columns: vec!["o_orderkey".into(), "o_custkey".into()],
+                primary_key: vec![0],
+                foreign_keys: vec![],
+            },
+        );
+        let good = FkInfo {
+            columns: vec![0],
+            ref_table: "orders".into(),
+            ref_columns: vec![0],
+        };
+        let bad = FkInfo {
+            columns: vec![0],
+            ref_table: "orders".into(),
+            ref_columns: vec![1],
+        };
+        assert!(cat.fk_targets_key(&good));
+        assert!(!cat.fk_targets_key(&bad));
+    }
+}

@@ -1,0 +1,944 @@
+//! Event Dependency Constraint generation (paper §2, step 2).
+//!
+//! Each literal of a denial is rewritten to its new-state equivalent using
+//! the paper's formulas (2) and (3):
+//!
+//! ```text
+//! pⁿ(x̄)  ⟺  ι_p(x̄) ∨ (p(x̄) ∧ ¬δ_p(x̄))            (2)
+//! ¬pⁿ(x̄) ⟺  δ_p(x̄) ∨ (¬ι_p(x̄) ∧ ¬p(x̄))           (3)
+//! ```
+//!
+//! Distributing the disjunctions over the denial body yields one conjunctive
+//! rule per combination; every combination choosing at least one *event*
+//! branch is an EDC (the all-unchanged combination is the old-state denial,
+//! assumed satisfied, and is discarded). Derived predicates get recursively
+//! generated insertion (`ι_d`), deletion (`δ_d`) and new-state (`dⁿ`)
+//! definitions grounded in Olivé's event rules [3].
+//!
+//! The generator assumes *normalized* events: `ins_T ∩ T = ∅`,
+//! `del_T ⊆ T`, `ins_T ∩ del_T = ∅` — exactly what
+//! `Database::normalize_events` establishes.
+
+use crate::catalog::SchemaCatalog;
+use crate::ir::*;
+use crate::optimize::{optimize_bodies, OptimizerConfig};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Upper bound on EDC bodies per denial (expansion guard).
+pub const MAX_EDC_BODIES: usize = 1024;
+
+/// Error from EDC generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdcError {
+    pub message: String,
+}
+
+impl fmt::Display for EdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EDC generation: {}", self.message)
+    }
+}
+
+impl std::error::Error for EdcError {}
+
+/// One Event Dependency Constraint: a conjunctive rule whose non-empty
+/// answer means the pending update violates the source assertion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edc {
+    pub assertion: String,
+    pub denial_index: usize,
+    /// Ordinal among the denial's EDCs.
+    pub index: usize,
+    pub body: Vec<Literal>,
+    /// Positive event atoms of the body: `(is_insertion, table)`. The EDC
+    /// can only produce rows when **all** of these event tables are
+    /// non-empty — the emptiness shortcut of `safeCommit`.
+    pub gate: Vec<(bool, String)>,
+}
+
+/// Configuration of the generator.
+#[derive(Debug, Clone)]
+pub struct EdcConfig {
+    /// Apply the semantic optimizations (disjoint events, set semantics,
+    /// built-in folding, duplicate elimination).
+    pub optimize: bool,
+    /// Apply foreign-key pruning (the paper's EDC 5 example); requires FKs
+    /// to hold in the old state.
+    pub assume_fks_valid: bool,
+}
+
+impl Default for EdcConfig {
+    fn default() -> Self {
+        EdcConfig {
+            optimize: true,
+            assume_fks_valid: true,
+        }
+    }
+}
+
+/// EDC generator; owns the derived-predicate event transformations.
+pub struct EdcGenerator<'a> {
+    pub reg: &'a mut Registry,
+    pub cat: &'a SchemaCatalog,
+    pub config: EdcConfig,
+    /// Memo for base-table new-state predicates `new_T`.
+    base_new: BTreeMap<String, DerivedId>,
+}
+
+type EResult<T> = Result<T, EdcError>;
+
+impl<'a> EdcGenerator<'a> {
+    pub fn new(reg: &'a mut Registry, cat: &'a SchemaCatalog, config: EdcConfig) -> Self {
+        EdcGenerator {
+            reg,
+            cat,
+            config,
+            base_new: BTreeMap::new(),
+        }
+    }
+
+    /// Generate the EDCs of a denial.
+    pub fn generate(&mut self, denial: &Denial) -> EResult<Vec<Edc>> {
+        let bound = positively_bound_vars(&denial.body);
+        // Expansion choices per literal: (event_branch, unchanged_branch),
+        // or a fixed literal for built-ins.
+        let mut choices: Vec<LitChoices> = Vec::new();
+        for lit in &denial.body {
+            choices.push(self.literal_choices(lit, &bound)?);
+        }
+        // Distribute: all combinations with ≥ 1 event branch.
+        let mut bodies: Vec<(Vec<Literal>, bool)> = vec![(Vec::new(), false)];
+        for ch in &choices {
+            let mut next = Vec::new();
+            for (body, has_event) in &bodies {
+                match ch {
+                    LitChoices::Fixed(l) => {
+                        let mut b = body.clone();
+                        b.push(l.clone());
+                        next.push((b, *has_event));
+                    }
+                    LitChoices::State { event, unchanged } => {
+                        let mut be = body.clone();
+                        be.extend(event.iter().cloned());
+                        next.push((be, true));
+                        let mut bu = body.clone();
+                        bu.extend(unchanged.iter().cloned());
+                        next.push((bu, *has_event));
+                    }
+                }
+                if next.len() > MAX_EDC_BODIES {
+                    return Err(EdcError {
+                        message: format!(
+                            "denial expands into more than {MAX_EDC_BODIES} EDCs"
+                        ),
+                    });
+                }
+            }
+            bodies = next;
+        }
+        let mut raw: Vec<Vec<Literal>> = bodies
+            .into_iter()
+            .filter(|(_, has_event)| *has_event)
+            .map(|(b, _)| b)
+            .collect();
+
+        // Inline positive derived atoms (δ_d / ι_d introduced above) so the
+        // final bodies range over base tables and events only.
+        let mut inlined = Vec::new();
+        for body in raw.drain(..) {
+            inlined.extend(self.inline_positive_derived(body, 0)?);
+            if inlined.len() > MAX_EDC_BODIES {
+                return Err(EdcError {
+                    message: format!("denial expands into more than {MAX_EDC_BODIES} EDCs"),
+                });
+            }
+        }
+
+        // Optimize.
+        let opt_cfg = OptimizerConfig {
+            enabled: self.config.optimize,
+            assume_fks_valid: self.config.assume_fks_valid,
+        };
+        let optimized = optimize_bodies(inlined, self.cat, &opt_cfg);
+
+        Ok(optimized
+            .into_iter()
+            .enumerate()
+            .map(|(i, body)| {
+                let gate = gate_of(&body);
+                Edc {
+                    assertion: denial.assertion.clone(),
+                    denial_index: denial.index,
+                    index: i,
+                    body: order_for_sql(body),
+                    gate,
+                }
+            })
+            .collect())
+    }
+
+    /// Expansion choices of one denial literal.
+    fn literal_choices(&mut self, lit: &Literal, bound: &[Var]) -> EResult<LitChoices> {
+        Ok(match lit {
+            Literal::Cmp(..) | Literal::IsNull { .. } => LitChoices::Fixed(lit.clone()),
+            Literal::Pos(atom) => match &atom.pred {
+                Pred::Base(t) => LitChoices::State {
+                    event: vec![Literal::Pos(Atom::new(Pred::Ins(t.clone()), atom.args.clone()))],
+                    unchanged: vec![
+                        Literal::Pos(atom.clone()),
+                        Literal::Neg(Atom::new(Pred::Del(t.clone()), atom.args.clone())),
+                    ],
+                },
+                Pred::Derived(id) => {
+                    let ins_d = self.event_def(EventKind::Ins, *id)?;
+                    let del_d = self.event_def(EventKind::Del, *id)?;
+                    LitChoices::State {
+                        event: vec![Literal::Pos(Atom::new(
+                            Pred::Derived(ins_d),
+                            atom.args.clone(),
+                        ))],
+                        unchanged: vec![
+                            Literal::Pos(atom.clone()),
+                            Literal::Neg(Atom::new(Pred::Derived(del_d), atom.args.clone())),
+                        ],
+                    }
+                }
+                Pred::Ins(_) | Pred::Del(_) => {
+                    return Err(EdcError {
+                        message: "event atoms cannot appear in source denials".into(),
+                    })
+                }
+            },
+            Literal::Neg(atom) => match &atom.pred {
+                Pred::Base(t) => {
+                    let locals: Vec<Var> = atom
+                        .vars()
+                        .into_iter()
+                        .filter(|v| !bound.contains(v))
+                        .collect();
+                    let event = if locals.is_empty() {
+                        // Fully bound: ¬newT(args) simplifies to ¬ι_T(args)
+                        // given δ_T(args) and event normalization.
+                        vec![
+                            Literal::Pos(Atom::new(Pred::Del(t.clone()), atom.args.clone())),
+                            Literal::Neg(Atom::new(Pred::Ins(t.clone()), atom.args.clone())),
+                        ]
+                    } else {
+                        // The paper's aux predicate: after deleting a
+                        // matching tuple, no tuple may match in the new
+                        // state (fresh local variables).
+                        let new_t = self.base_new_def(t);
+                        let fresh_args: Vec<Term> = atom
+                            .args
+                            .iter()
+                            .map(|a| match a {
+                                Term::Var(v) if locals.contains(v) => {
+                                    let name = format!("{}_n", self.reg.var_name(*v));
+                                    Term::Var(self.reg.fresh_var(&name))
+                                }
+                                other => other.clone(),
+                            })
+                            .collect();
+                        vec![
+                            Literal::Pos(Atom::new(Pred::Del(t.clone()), atom.args.clone())),
+                            Literal::Neg(Atom::new(Pred::Derived(new_t), fresh_args)),
+                        ]
+                    };
+                    LitChoices::State {
+                        event,
+                        unchanged: vec![
+                            Literal::Neg(atom.clone()),
+                            Literal::Neg(Atom::new(Pred::Ins(t.clone()), atom.args.clone())),
+                        ],
+                    }
+                }
+                Pred::Derived(id) => {
+                    let ins_d = self.event_def(EventKind::Ins, *id)?;
+                    let del_d = self.event_def(EventKind::Del, *id)?;
+                    let new_d = self.event_def(EventKind::New, *id)?;
+                    LitChoices::State {
+                        event: vec![
+                            Literal::Pos(Atom::new(Pred::Derived(del_d), atom.args.clone())),
+                            Literal::Neg(Atom::new(Pred::Derived(new_d), atom.args.clone())),
+                        ],
+                        unchanged: vec![
+                            Literal::Neg(atom.clone()),
+                            Literal::Neg(Atom::new(Pred::Derived(ins_d), atom.args.clone())),
+                        ],
+                    }
+                }
+                Pred::Ins(_) | Pred::Del(_) => {
+                    return Err(EdcError {
+                        message: "event atoms cannot appear in source denials".into(),
+                    })
+                }
+            },
+        })
+    }
+
+    /// The `new_T` derived predicate for a base table:
+    /// `new_T(x̄) ← ι_T(x̄)` and `new_T(x̄) ← T(x̄) ∧ ¬δ_T(x̄)`.
+    fn base_new_def(&mut self, table: &str) -> DerivedId {
+        if let Some(id) = self.base_new.get(table) {
+            return *id;
+        }
+        let arity = self
+            .cat
+            .table(table)
+            .map(|t| t.arity())
+            .unwrap_or_default();
+        let vars: Vec<Var> = (0..arity)
+            .map(|i| self.reg.fresh_var(&format!("{table}_c{i}")))
+            .collect();
+        let head: Vec<Term> = vars.iter().map(|v| Term::Var(*v)).collect();
+        let def = DerivedDef {
+            name: format!("new_{table}"),
+            arity,
+            rules: vec![
+                Rule {
+                    head: head.clone(),
+                    body: vec![Literal::Pos(Atom::new(
+                        Pred::Ins(table.to_string()),
+                        head.clone(),
+                    ))],
+                },
+                Rule {
+                    head: head.clone(),
+                    body: vec![
+                        Literal::Pos(Atom::new(Pred::Base(table.to_string()), head.clone())),
+                        Literal::Neg(Atom::new(Pred::Del(table.to_string()), head.clone())),
+                    ],
+                },
+            ],
+        };
+        let id = self.reg.add_derived(def);
+        self.base_new.insert(table.to_string(), id);
+        id
+    }
+
+    /// Event transformation of a derived predicate (memoized).
+    fn event_def(&mut self, kind: EventKind, id: DerivedId) -> EResult<DerivedId> {
+        if let Some(memo) = self.reg.event_memo_get(kind, id) {
+            return Ok(memo);
+        }
+        let def = self.reg.derived(id).clone();
+        let new_def = match kind {
+            EventKind::New => self.make_new_def(&def)?,
+            EventKind::Ins => self.make_ins_def(id, &def)?,
+            EventKind::Del => self.make_del_def(id, &def)?,
+        };
+        let new_id = self.reg.add_derived(new_def);
+        self.reg.event_memo_put(kind, id, new_id);
+        Ok(new_id)
+    }
+
+    /// `dⁿ`: the rules of `d` with every state literal replaced by its
+    /// new-state version.
+    fn make_new_def(&mut self, def: &DerivedDef) -> EResult<DerivedDef> {
+        let mut rules = Vec::new();
+        for rule in &def.rules {
+            let mut body = Vec::with_capacity(rule.body.len());
+            for lit in &rule.body {
+                body.push(self.to_new_state(lit)?);
+            }
+            // Inline the positive new_T atoms introduced (splitting rules).
+            for expanded in self.inline_positive_derived(body, 0)? {
+                rules.push(Rule {
+                    head: rule.head.clone(),
+                    body: expanded,
+                });
+            }
+        }
+        Ok(DerivedDef {
+            name: format!("new_{}", def.name),
+            arity: def.arity,
+            rules,
+        })
+    }
+
+    #[allow(clippy::wrong_self_convention)] // "to the new state", not a conversion of self
+    fn to_new_state(&mut self, lit: &Literal) -> EResult<Literal> {
+        Ok(match lit {
+            Literal::Cmp(..) | Literal::IsNull { .. } => lit.clone(),
+            Literal::Pos(a) => match &a.pred {
+                Pred::Base(t) => {
+                    let new_t = self.base_new_def(t);
+                    Literal::Pos(Atom::new(Pred::Derived(new_t), a.args.clone()))
+                }
+                Pred::Derived(e) => {
+                    let new_e = self.event_def(EventKind::New, *e)?;
+                    Literal::Pos(Atom::new(Pred::Derived(new_e), a.args.clone()))
+                }
+                _ => {
+                    return Err(EdcError {
+                        message: "event atom in derived rule".into(),
+                    })
+                }
+            },
+            Literal::Neg(a) => match &a.pred {
+                Pred::Base(t) => {
+                    let new_t = self.base_new_def(t);
+                    Literal::Neg(Atom::new(Pred::Derived(new_t), a.args.clone()))
+                }
+                Pred::Derived(e) => {
+                    let new_e = self.event_def(EventKind::New, *e)?;
+                    Literal::Neg(Atom::new(Pred::Derived(new_e), a.args.clone()))
+                }
+                _ => {
+                    return Err(EdcError {
+                        message: "event atom in derived rule".into(),
+                    })
+                }
+            },
+        })
+    }
+
+    /// `ι_d`: for each rule, every ≥1-event expansion of the body, plus the
+    /// closure condition `¬d(head)` (it was false in the old state).
+    fn make_ins_def(&mut self, id: DerivedId, def: &DerivedDef) -> EResult<DerivedDef> {
+        let mut rules = Vec::new();
+        for rule in &def.rules {
+            let bound = positively_bound_vars(&rule.body);
+            let head_vars: Vec<Var> = rule.head.iter().filter_map(|t| t.as_var()).collect();
+            let mut all_bound = bound;
+            for v in head_vars {
+                if !all_bound.contains(&v) {
+                    all_bound.push(v);
+                }
+            }
+            let mut choices = Vec::new();
+            for lit in &rule.body {
+                choices.push(self.literal_choices(lit, &all_bound)?);
+            }
+            for body in distribute(&choices, MAX_EDC_BODIES)? {
+                let mut body = body;
+                body.push(Literal::Neg(Atom::new(Pred::Derived(id), rule.head.clone())));
+                for expanded in self.inline_positive_derived(body, 0)? {
+                    rules.push(Rule {
+                        head: rule.head.clone(),
+                        body: expanded,
+                    });
+                }
+            }
+        }
+        Ok(DerivedDef {
+            name: format!("ins_{}", def.name),
+            arity: def.arity,
+            rules,
+        })
+    }
+
+    /// `δ_d`: for each rule, choose ≥1 literal to falsify (deletion of a
+    /// positive / insertion matching a negative), keep the rest in the old
+    /// state, and require `¬dⁿ(head)` (false in the new state).
+    fn make_del_def(&mut self, id: DerivedId, def: &DerivedDef) -> EResult<DerivedDef> {
+        let new_d = self.event_def(EventKind::New, id)?;
+        let mut rules = Vec::new();
+        for rule in &def.rules {
+            let mut choices: Vec<LitChoices> = Vec::new();
+            for lit in &rule.body {
+                choices.push(match lit {
+                    Literal::Cmp(..) | Literal::IsNull { .. } => LitChoices::Fixed(lit.clone()),
+                    Literal::Pos(a) => match &a.pred {
+                        Pred::Base(t) => LitChoices::State {
+                            event: vec![Literal::Pos(Atom::new(
+                                Pred::Del(t.clone()),
+                                a.args.clone(),
+                            ))],
+                            unchanged: vec![lit.clone()],
+                        },
+                        Pred::Derived(e) => {
+                            let del_e = self.event_def(EventKind::Del, *e)?;
+                            LitChoices::State {
+                                event: vec![Literal::Pos(Atom::new(
+                                    Pred::Derived(del_e),
+                                    a.args.clone(),
+                                ))],
+                                unchanged: vec![lit.clone()],
+                            }
+                        }
+                        _ => {
+                            return Err(EdcError {
+                                message: "event atom in derived rule".into(),
+                            })
+                        }
+                    },
+                    Literal::Neg(a) => match &a.pred {
+                        Pred::Base(t) => LitChoices::State {
+                            event: vec![Literal::Pos(Atom::new(
+                                Pred::Ins(t.clone()),
+                                a.args.clone(),
+                            ))],
+                            unchanged: vec![lit.clone()],
+                        },
+                        Pred::Derived(e) => {
+                            let ins_e = self.event_def(EventKind::Ins, *e)?;
+                            LitChoices::State {
+                                event: vec![Literal::Pos(Atom::new(
+                                    Pred::Derived(ins_e),
+                                    a.args.clone(),
+                                ))],
+                                unchanged: vec![lit.clone()],
+                            }
+                        }
+                        _ => {
+                            return Err(EdcError {
+                                message: "event atom in derived rule".into(),
+                            })
+                        }
+                    },
+                });
+            }
+            for body in distribute(&choices, MAX_EDC_BODIES)? {
+                let mut body = body;
+                body.push(Literal::Neg(Atom::new(
+                    Pred::Derived(new_d),
+                    rule.head.clone(),
+                )));
+                for expanded in self.inline_positive_derived(body, 0)? {
+                    rules.push(Rule {
+                        head: rule.head.clone(),
+                        body: expanded,
+                    });
+                }
+            }
+        }
+        Ok(DerivedDef {
+            name: format!("del_{}", def.name),
+            arity: def.arity,
+            rules,
+        })
+    }
+
+    /// Replace positive derived atoms by their rule bodies (unifying head
+    /// terms with the atom's arguments), recursively. Negated derived atoms
+    /// are kept — they compile to NOT EXISTS over the derived definition.
+    fn inline_positive_derived(
+        &mut self,
+        body: Vec<Literal>,
+        depth: usize,
+    ) -> EResult<Vec<Vec<Literal>>> {
+        if depth > 16 {
+            return Err(EdcError {
+                message: "derived predicate inlining exceeded depth 16".into(),
+            });
+        }
+        let pos_derived = body.iter().position(|l| {
+            matches!(l, Literal::Pos(a) if matches!(a.pred, Pred::Derived(_)))
+        });
+        let Some(idx) = pos_derived else {
+            return Ok(vec![body]);
+        };
+        let Literal::Pos(atom) = body[idx].clone() else {
+            unreachable!()
+        };
+        let Pred::Derived(id) = atom.pred else {
+            unreachable!()
+        };
+        let def = self.reg.derived(id).clone();
+        let mut out = Vec::new();
+        for rule in &def.rules {
+            // Rename all rule variables fresh.
+            let mut rename: BTreeMap<Var, Term> = BTreeMap::new();
+            let mut rule_vars = Vec::new();
+            for t in rule.head.iter() {
+                if let Term::Var(v) = t {
+                    if !rule_vars.contains(v) {
+                        rule_vars.push(*v);
+                    }
+                }
+            }
+            for l in &rule.body {
+                for v in l.vars() {
+                    if !rule_vars.contains(&v) {
+                        rule_vars.push(v);
+                    }
+                }
+            }
+            for v in rule_vars {
+                let name = self.reg.var_name(v).to_string();
+                let fresh = self.reg.fresh_var(&name);
+                rename.insert(v, Term::Var(fresh));
+            }
+            let head: Vec<Term> = rule.head.iter().map(|t| subst_term(t, &rename)).collect();
+            let rbody = subst_body(&rule.body, &rename);
+            // Unify head with atom args.
+            let mut binds = Bindings::default();
+            let mut ok = true;
+            for (h, a) in head.iter().zip(&atom.args) {
+                if !binds.unify(h, a) {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let mut merged: Vec<Literal> = body[..idx].to_vec();
+            merged.extend(rbody);
+            merged.extend(body[idx + 1..].to_vec());
+            let merged = binds.apply(&merged);
+            out.extend(self.inline_positive_derived(merged, depth + 1)?);
+            if out.len() > MAX_EDC_BODIES {
+                return Err(EdcError {
+                    message: format!(
+                        "positive derived inlining expanded past {MAX_EDC_BODIES} bodies"
+                    ),
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Per-literal expansion choices.
+enum LitChoices {
+    Fixed(Literal),
+    State {
+        event: Vec<Literal>,
+        unchanged: Vec<Literal>,
+    },
+}
+
+/// All ≥1-event combinations of the choices.
+fn distribute(choices: &[LitChoices], max: usize) -> EResult<Vec<Vec<Literal>>> {
+    let mut bodies: Vec<(Vec<Literal>, bool)> = vec![(Vec::new(), false)];
+    for ch in choices {
+        let mut next = Vec::new();
+        for (body, has_event) in &bodies {
+            match ch {
+                LitChoices::Fixed(l) => {
+                    let mut b = body.clone();
+                    b.push(l.clone());
+                    next.push((b, *has_event));
+                }
+                LitChoices::State { event, unchanged } => {
+                    let mut be = body.clone();
+                    be.extend(event.iter().cloned());
+                    next.push((be, true));
+                    let mut bu = body.clone();
+                    bu.extend(unchanged.iter().cloned());
+                    next.push((bu, *has_event));
+                }
+            }
+        }
+        if next.len() > max {
+            return Err(EdcError {
+                message: format!("expansion exceeded {max} bodies"),
+            });
+        }
+        bodies = next;
+    }
+    Ok(bodies
+        .into_iter()
+        .filter(|(_, e)| *e)
+        .map(|(b, _)| b)
+        .collect())
+}
+
+/// The gating events of a final EDC body: all positive `ins`/`del` atoms.
+fn gate_of(body: &[Literal]) -> Vec<(bool, String)> {
+    let mut out = Vec::new();
+    for lit in body {
+        if let Literal::Pos(a) = lit {
+            match &a.pred {
+                Pred::Ins(t)
+                    if !out.contains(&(true, t.clone())) => {
+                        out.push((true, t.clone()));
+                    }
+                Pred::Del(t)
+                    if !out.contains(&(false, t.clone())) => {
+                        out.push((false, t.clone()));
+                    }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Order literals for SQL generation: positive event atoms first (most
+/// selective FROM sources), then positive base atoms, then the rest.
+fn order_for_sql(body: Vec<Literal>) -> Vec<Literal> {
+    let mut events = Vec::new();
+    let mut bases = Vec::new();
+    let mut rest = Vec::new();
+    for l in body {
+        match &l {
+            Literal::Pos(a) if a.pred.is_event() => events.push(l),
+            Literal::Pos(_) => bases.push(l),
+            _ => rest.push(l),
+        }
+    }
+    events.extend(bases);
+    events.extend(rest);
+    events
+}
+
+/// Collect every derived predicate transitively referenced (negatively) by
+/// a set of EDC bodies — the definitions the SQL generator must emit.
+pub fn referenced_derived(bodies: &[&[Literal]], reg: &Registry) -> BTreeSet<DerivedId> {
+    let mut seen = BTreeSet::new();
+    let mut stack: Vec<DerivedId> = Vec::new();
+    let visit_body = |body: &[Literal], stack: &mut Vec<DerivedId>| {
+        for l in body {
+            let atom = match l {
+                Literal::Pos(a) | Literal::Neg(a) => a,
+                _ => continue,
+            };
+            if let Pred::Derived(id) = &atom.pred {
+                stack.push(*id);
+            }
+        }
+    };
+    for body in bodies {
+        visit_body(body, &mut stack);
+    }
+    while let Some(id) = stack.pop() {
+        if !seen.insert(id) {
+            continue;
+        }
+        for rule in &reg.derived(id).rules {
+            visit_body(&rule.body, &mut stack);
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{FkInfo, TableInfo};
+    use crate::translate::translate_assertion;
+    use tintin_sql as sql;
+
+    fn tpch_cat() -> SchemaCatalog {
+        let mut cat = SchemaCatalog::new();
+        cat.add_table(
+            "orders",
+            TableInfo {
+                columns: vec!["o_orderkey".into()],
+                primary_key: vec![0],
+                foreign_keys: vec![],
+            },
+        );
+        cat.add_table(
+            "lineitem",
+            TableInfo {
+                columns: vec!["l_orderkey".into(), "l_linenumber".into()],
+                primary_key: vec![0, 1],
+                foreign_keys: vec![FkInfo {
+                    columns: vec![0],
+                    ref_table: "orders".into(),
+                    ref_columns: vec![0],
+                }],
+            },
+        );
+        cat
+    }
+
+    fn edcs_for(assertion_sql: &str, config: EdcConfig) -> (Vec<Edc>, Registry) {
+        let cat = tpch_cat();
+        let mut reg = Registry::new();
+        let sql::Statement::CreateAssertion(a) =
+            tintin_sql::parse_statement(assertion_sql).unwrap()
+        else {
+            panic!()
+        };
+        let denials = translate_assertion(&cat, &mut reg, &a).unwrap();
+        let mut all = Vec::new();
+        for d in &denials {
+            let mut generator = EdcGenerator::new(&mut reg, &cat, config.clone());
+            all.extend(generator.generate(d).unwrap());
+        }
+        (all, reg)
+    }
+
+    const RUNNING_EXAMPLE: &str = "CREATE ASSERTION atLeastOneLineItem CHECK (NOT EXISTS (
+        SELECT * FROM orders o WHERE NOT EXISTS (
+            SELECT * FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)))";
+
+    #[test]
+    fn running_example_unoptimized_has_three_edcs() {
+        // Paper: EDCs 4, 5, 6 before the FK optimization.
+        let (edcs, _) = edcs_for(
+            RUNNING_EXAMPLE,
+            EdcConfig {
+                optimize: false,
+                assume_fks_valid: false,
+            },
+        );
+        assert_eq!(edcs.len(), 3);
+    }
+
+    #[test]
+    fn running_example_fk_optimization_discards_edc5() {
+        // Paper: "EDC 5 can be safely discarded assuming that the foreign
+        // key constraint from lineitem to order is satisfied".
+        let (edcs, reg) = edcs_for(RUNNING_EXAMPLE, EdcConfig::default());
+        assert_eq!(
+            edcs.len(),
+            2,
+            "got: {:#?}",
+            edcs.iter().map(|e| reg.body_str(&e.body)).collect::<Vec<_>>()
+        );
+        // EDC 4: gated on ins_orders; EDC 6: gated on del_lineitem.
+        let gates: Vec<Vec<(bool, String)>> = edcs.iter().map(|e| e.gate.clone()).collect();
+        assert!(gates.contains(&vec![(true, "orders".into())]));
+        assert!(gates.contains(&vec![(false, "lineitem".into())]));
+    }
+
+    #[test]
+    fn edc4_shape_matches_paper() {
+        let (edcs, reg) = edcs_for(RUNNING_EXAMPLE, EdcConfig::default());
+        let edc4 = edcs
+            .iter()
+            .find(|e| e.gate == vec![(true, "orders".into())])
+            .unwrap();
+        // ι_orders(o) ∧ ¬lineitem(l, o) ∧ ¬ι_lineitem(l, o)
+        let s = reg.body_str(&edc4.body);
+        assert!(s.contains("ins_orders"), "{s}");
+        assert!(s.contains("not lineitem"), "{s}");
+        assert!(s.contains("not ins_lineitem"), "{s}");
+        assert_eq!(edc4.body.len(), 3, "{s}");
+    }
+
+    #[test]
+    fn edc6_uses_new_state_aux() {
+        let (edcs, reg) = edcs_for(RUNNING_EXAMPLE, EdcConfig::default());
+        let edc6 = edcs
+            .iter()
+            .find(|e| e.gate == vec![(false, "lineitem".into())])
+            .unwrap();
+        let s = reg.body_str(&edc6.body);
+        // orders(o) ∧ ¬δ_orders(o) ∧ δ_lineitem(l,o) ∧ ¬new_lineitem(l',o)
+        assert!(s.contains("del_lineitem"), "{s}");
+        assert!(s.contains("not del_orders"), "{s}");
+        assert!(s.contains("not new_lineitem"), "{s}");
+    }
+
+    #[test]
+    fn simple_fk_assertion_edcs() {
+        // Every lineitem references an existing order (no locals in the
+        // negated atom — fully bound).
+        let (edcs, reg) = edcs_for(
+            "CREATE ASSERTION fk CHECK (NOT EXISTS (
+                SELECT * FROM lineitem l WHERE NOT EXISTS (
+                    SELECT * FROM orders o WHERE o.o_orderkey = l.l_orderkey)))",
+            EdcConfig::default(),
+        );
+        // EDC A: ι_lineitem(l,o) ∧ ¬orders(o) ∧ ¬ι_orders(o)
+        // EDC B: lineitem ∧ ¬δ_lineitem ∧ δ_orders(o) ∧ ¬ι_orders(o)
+        // EDC C: ι_lineitem ∧ δ_orders ∧ ¬ι_orders — pruned? Not by FK rule
+        //        (no insertion into the parent here); kept.
+        let strs: Vec<String> = edcs.iter().map(|e| reg.body_str(&e.body)).collect();
+        assert!(edcs.len() >= 2, "{strs:?}");
+        assert!(strs.iter().any(|s| s.contains("ins_lineitem") && s.contains("not orders")));
+        assert!(strs.iter().any(|s| s.contains("del_orders")));
+    }
+
+    #[test]
+    fn selection_assertion_has_single_insertion_edc() {
+        // NOT EXISTS (SELECT * FROM lineitem WHERE l_linenumber < 0):
+        // only an insertion can violate it.
+        let (edcs, reg) = edcs_for(
+            "CREATE ASSERTION pos CHECK (NOT EXISTS (
+                SELECT * FROM lineitem WHERE l_linenumber < 0))",
+            EdcConfig::default(),
+        );
+        assert_eq!(edcs.len(), 1, "{:?}", edcs.iter().map(|e| reg.body_str(&e.body)).collect::<Vec<_>>());
+        assert_eq!(edcs[0].gate, vec![(true, "lineitem".into())]);
+    }
+
+    #[test]
+    fn every_edc_has_at_least_one_event_gate() {
+        for (sql_text, _) in [
+            (RUNNING_EXAMPLE, 0),
+            (
+                "CREATE ASSERTION x CHECK (NOT EXISTS (
+                    SELECT * FROM orders o, lineitem l
+                    WHERE o.o_orderkey = l.l_orderkey AND l.l_linenumber > 7))",
+                0,
+            ),
+        ] {
+            let (edcs, _) = edcs_for(sql_text, EdcConfig::default());
+            for e in &edcs {
+                assert!(!e.gate.is_empty(), "EDC without event gate");
+            }
+        }
+    }
+
+    #[test]
+    fn join_assertion_generates_expected_count() {
+        // Two positive literals → 2² − 1 = 3 EDCs before optimization.
+        let (edcs, _) = edcs_for(
+            "CREATE ASSERTION x CHECK (NOT EXISTS (
+                SELECT * FROM orders o, lineitem l
+                WHERE o.o_orderkey = l.l_orderkey AND l.l_linenumber > 7))",
+            EdcConfig {
+                optimize: false,
+                assume_fks_valid: false,
+            },
+        );
+        assert_eq!(edcs.len(), 3);
+    }
+
+    #[test]
+    fn derived_negation_generates_event_defs() {
+        // Inner subquery with an extra comparison → derived predicate; its
+        // EDCs need ι/δ/new transformations.
+        let (edcs, reg) = edcs_for(
+            "CREATE ASSERTION q CHECK (NOT EXISTS (
+                SELECT * FROM orders o WHERE NOT EXISTS (
+                    SELECT * FROM lineitem l
+                    WHERE l.l_orderkey = o.o_orderkey AND l.l_linenumber > 0)))",
+            EdcConfig::default(),
+        );
+        assert!(!edcs.is_empty());
+        // Registry should now contain aux, ι_aux / δ_aux / new_aux defs.
+        assert!(reg.num_derived() >= 4);
+        // All EDC bodies must be free of *positive* derived atoms.
+        for e in &edcs {
+            for l in &e.body {
+                if let Literal::Pos(a) = l {
+                    assert!(
+                        !matches!(a.pred, Pred::Derived(_)),
+                        "positive derived atom survived inlining: {}",
+                        reg.body_str(&e.body)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn referenced_derived_is_transitive() {
+        let (edcs, reg) = edcs_for(RUNNING_EXAMPLE, EdcConfig::default());
+        let bodies: Vec<&[Literal]> = edcs.iter().map(|e| e.body.as_slice()).collect();
+        let refs = referenced_derived(&bodies, &reg);
+        // new_lineitem is referenced by EDC 6.
+        assert!(refs
+            .iter()
+            .any(|id| reg.derived(*id).name == "new_lineitem"));
+    }
+
+    #[test]
+    fn events_ordered_first_for_sql() {
+        let (edcs, _) = edcs_for(RUNNING_EXAMPLE, EdcConfig::default());
+        for e in &edcs {
+            let first_pos = e
+                .body
+                .iter()
+                .find(|l| l.is_positive_atom())
+                .expect("EDC has positive atoms");
+            if let Literal::Pos(a) = first_pos {
+                assert!(
+                    a.pred.is_event(),
+                    "first positive atom should be an event table"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,549 @@
+//! Logic intermediate representation: terms, atoms, literals, denials and
+//! derived-predicate rules.
+//!
+//! A **denial** is a rule `L1 ∧ … ∧ Ln → ⊥` stating a condition that must
+//! never hold (paper §2). Atoms range over base relations (tables), the
+//! insertion/deletion event relations `ι_T` / `δ_T` (materialized as the
+//! `ins_T` / `del_T` tables), and non-recursive derived predicates defined
+//! by rules in a [`Registry`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A logic variable, identified by index into the program's variable pool.
+pub type Var = u32;
+
+/// Constant values in logic programs (no NULL — assertions that need NULL
+/// tests use the [`Literal::IsNull`] built-in on variables instead).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Konst {
+    Int(i64),
+    Real(f64),
+    Str(String),
+}
+
+impl Eq for Konst {}
+
+impl std::hash::Hash for Konst {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Konst::Int(v) => {
+                0u8.hash(state);
+                v.hash(state);
+            }
+            Konst::Real(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Konst::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Konst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Konst::Int(v) => write!(f, "{v}"),
+            Konst::Real(v) => write!(f, "{v}"),
+            Konst::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+/// A term: variable or constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    Var(Var),
+    Const(Konst),
+}
+
+impl Term {
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+/// Identifier of a derived predicate within a [`Registry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DerivedId(pub u32);
+
+/// Predicate symbols.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Pred {
+    /// Base relation (a table).
+    Base(String),
+    /// Insertion events `ι_T` (the `ins_T` table).
+    Ins(String),
+    /// Deletion events `δ_T` (the `del_T` table).
+    Del(String),
+    /// Derived predicate defined by rules.
+    Derived(DerivedId),
+}
+
+impl Pred {
+    /// The base table behind an extensional predicate, if any.
+    pub fn table(&self) -> Option<&str> {
+        match self {
+            Pred::Base(t) | Pred::Ins(t) | Pred::Del(t) => Some(t),
+            Pred::Derived(_) => None,
+        }
+    }
+
+    pub fn is_event(&self) -> bool {
+        matches!(self, Pred::Ins(_) | Pred::Del(_))
+    }
+}
+
+/// An atom `p(t1, …, tk)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    pub pred: Pred,
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    pub fn new(pred: Pred, args: Vec<Term>) -> Self {
+        Atom { pred, args }
+    }
+
+    /// Variables of this atom, in order of occurrence, deduplicated.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        for t in &self.args {
+            if let Term::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Comparison operators for built-in literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl CmpOp {
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::NotEq,
+            CmpOp::NotEq => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::GtEq,
+            CmpOp::LtEq => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::LtEq,
+            CmpOp::GtEq => CmpOp::Lt,
+        }
+    }
+
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::LtEq => CmpOp::GtEq,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::GtEq => CmpOp::LtEq,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::NotEq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::LtEq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::GtEq => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A body literal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Literal {
+    Pos(Atom),
+    Neg(Atom),
+    Cmp(CmpOp, Term, Term),
+    IsNull { term: Term, negated: bool },
+}
+
+impl Literal {
+    /// Variables occurring in the literal.
+    pub fn vars(&self) -> Vec<Var> {
+        match self {
+            Literal::Pos(a) | Literal::Neg(a) => a.vars(),
+            Literal::Cmp(_, l, r) => {
+                let mut out = Vec::new();
+                for t in [l, r] {
+                    if let Term::Var(v) = t {
+                        if !out.contains(v) {
+                            out.push(*v);
+                        }
+                    }
+                }
+                out
+            }
+            Literal::IsNull { term, .. } => term.as_var().into_iter().collect(),
+        }
+    }
+
+    pub fn is_positive_atom(&self) -> bool {
+        matches!(self, Literal::Pos(_))
+    }
+}
+
+/// A denial: `body → ⊥`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Denial {
+    /// Assertion this denial belongs to.
+    pub assertion: String,
+    /// Ordinal among the assertion's denials (UNION / OR expansion).
+    pub index: usize,
+    pub body: Vec<Literal>,
+}
+
+/// A rule defining a derived predicate: `head(args) ← body`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    pub head: Vec<Term>,
+    pub body: Vec<Literal>,
+}
+
+/// Definition of a derived predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivedDef {
+    /// Human-readable name (used for diagnostics and SQL aliases).
+    pub name: String,
+    pub arity: usize,
+    pub rules: Vec<Rule>,
+}
+
+/// The derived-predicate registry plus the variable pool of one logic
+/// program. Variable identity is global to a program.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    defs: Vec<DerivedDef>,
+    var_names: Vec<String>,
+    /// Memoized event transforms of derived predicates:
+    /// (kind, base def) → transformed def.
+    event_memo: BTreeMap<(EventKind, DerivedId), DerivedId>,
+}
+
+/// Which event transform of a derived predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventKind {
+    /// `ι_d`: tuples true in the new state but not the old.
+    Ins,
+    /// `δ_d`: tuples true in the old state but not the new.
+    Del,
+    /// `d^n`: the new-state extension of `d`.
+    New,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Allocate a fresh variable with a display name (made unique by id).
+    pub fn fresh_var(&mut self, name: &str) -> Var {
+        let id = self.var_names.len() as Var;
+        self.var_names.push(name.to_string());
+        id
+    }
+
+    /// Display name of a variable.
+    pub fn var_name(&self, v: Var) -> &str {
+        self.var_names
+            .get(v as usize)
+            .map(|s| s.as_str())
+            .unwrap_or("?")
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Register a derived predicate definition.
+    pub fn add_derived(&mut self, def: DerivedDef) -> DerivedId {
+        let id = DerivedId(self.defs.len() as u32);
+        self.defs.push(def);
+        id
+    }
+
+    pub fn derived(&self, id: DerivedId) -> &DerivedDef {
+        &self.defs[id.0 as usize]
+    }
+
+    pub fn derived_mut(&mut self, id: DerivedId) -> &mut DerivedDef {
+        &mut self.defs[id.0 as usize]
+    }
+
+    pub fn num_derived(&self) -> usize {
+        self.defs.len()
+    }
+
+    pub(crate) fn event_memo_get(&self, kind: EventKind, id: DerivedId) -> Option<DerivedId> {
+        self.event_memo.get(&(kind, id)).copied()
+    }
+
+    pub(crate) fn event_memo_put(&mut self, kind: EventKind, id: DerivedId, to: DerivedId) {
+        self.event_memo.insert((kind, id), to);
+    }
+
+    // ------------------------------------------------------ pretty print
+
+    pub fn term_str(&self, t: &Term) -> String {
+        match t {
+            Term::Var(v) => self.var_name(*v).to_string(),
+            Term::Const(k) => k.to_string(),
+        }
+    }
+
+    pub fn atom_str(&self, a: &Atom) -> String {
+        let pred = match &a.pred {
+            Pred::Base(t) => t.clone(),
+            Pred::Ins(t) => format!("ins_{t}"),
+            Pred::Del(t) => format!("del_{t}"),
+            Pred::Derived(id) => self.derived(*id).name.clone(),
+        };
+        let args: Vec<String> = a.args.iter().map(|t| self.term_str(t)).collect();
+        format!("{pred}({})", args.join(", "))
+    }
+
+    pub fn literal_str(&self, l: &Literal) -> String {
+        match l {
+            Literal::Pos(a) => self.atom_str(a),
+            Literal::Neg(a) => format!("not {}", self.atom_str(a)),
+            Literal::Cmp(op, a, b) => format!("{} {op} {}", self.term_str(a), self.term_str(b)),
+            Literal::IsNull { term, negated } => format!(
+                "{} is {}null",
+                self.term_str(term),
+                if *negated { "not " } else { "" }
+            ),
+        }
+    }
+
+    pub fn body_str(&self, body: &[Literal]) -> String {
+        body.iter()
+            .map(|l| self.literal_str(l))
+            .collect::<Vec<_>>()
+            .join(" and ")
+    }
+
+    pub fn denial_str(&self, d: &Denial) -> String {
+        format!("{} -> bottom", self.body_str(&d.body))
+    }
+}
+
+/// Substitute variables in a term.
+pub fn subst_term(t: &Term, map: &BTreeMap<Var, Term>) -> Term {
+    match t {
+        Term::Var(v) => map.get(v).cloned().unwrap_or_else(|| t.clone()),
+        Term::Const(_) => t.clone(),
+    }
+}
+
+/// Substitute variables in a literal.
+pub fn subst_literal(l: &Literal, map: &BTreeMap<Var, Term>) -> Literal {
+    match l {
+        Literal::Pos(a) => Literal::Pos(Atom {
+            pred: a.pred.clone(),
+            args: a.args.iter().map(|t| subst_term(t, map)).collect(),
+        }),
+        Literal::Neg(a) => Literal::Neg(Atom {
+            pred: a.pred.clone(),
+            args: a.args.iter().map(|t| subst_term(t, map)).collect(),
+        }),
+        Literal::Cmp(op, a, b) => Literal::Cmp(*op, subst_term(a, map), subst_term(b, map)),
+        Literal::IsNull { term, negated } => Literal::IsNull {
+            term: subst_term(term, map),
+            negated: *negated,
+        },
+    }
+}
+
+/// Substitute variables across a body.
+pub fn subst_body(body: &[Literal], map: &BTreeMap<Var, Term>) -> Vec<Literal> {
+    body.iter().map(|l| subst_literal(l, map)).collect()
+}
+
+/// A unification state: variable bindings discovered through equalities.
+#[derive(Debug, Clone, Default)]
+pub struct Bindings {
+    map: BTreeMap<Var, Term>,
+}
+
+impl Bindings {
+    /// Fully resolve a term through the bindings.
+    pub fn resolve(&self, t: &Term) -> Term {
+        let mut cur = t.clone();
+        let mut steps = 0;
+        while let Term::Var(v) = cur {
+            match self.map.get(&v) {
+                Some(next) => {
+                    cur = next.clone();
+                    steps += 1;
+                    debug_assert!(steps < 100_000, "binding cycle");
+                }
+                None => break,
+            }
+        }
+        cur
+    }
+
+    /// Record `a = b`. Returns false on a constant clash (unsatisfiable).
+    pub fn unify(&mut self, a: &Term, b: &Term) -> bool {
+        let ra = self.resolve(a);
+        let rb = self.resolve(b);
+        match (ra, rb) {
+            (Term::Var(x), Term::Var(y)) => {
+                if x != y {
+                    let (young, old) = if x > y { (x, y) } else { (y, x) };
+                    self.map.insert(young, Term::Var(old));
+                }
+                true
+            }
+            (Term::Var(x), k @ Term::Const(_)) | (k @ Term::Const(_), Term::Var(x)) => {
+                self.map.insert(x, k);
+                true
+            }
+            (Term::Const(k1), Term::Const(k2)) => k1 == k2,
+        }
+    }
+
+    /// Apply the bindings to a body.
+    pub fn apply(&self, body: &[Literal]) -> Vec<Literal> {
+        let mut full = BTreeMap::new();
+        for v in self.map.keys() {
+            full.insert(*v, self.resolve(&Term::Var(*v)));
+        }
+        subst_body(body, &full)
+    }
+}
+
+/// Variables bound by positive literals of a body (the "range-restricted"
+/// variables).
+pub fn positively_bound_vars(body: &[Literal]) -> Vec<Var> {
+    let mut out = Vec::new();
+    for l in body {
+        if let Literal::Pos(a) = l {
+            for v in a.vars() {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_vars_have_names() {
+        let mut reg = Registry::new();
+        let a = reg.fresh_var("o");
+        let b = reg.fresh_var("l");
+        assert_ne!(a, b);
+        assert_eq!(reg.var_name(a), "o");
+        assert_eq!(reg.var_name(b), "l");
+    }
+
+    #[test]
+    fn atom_vars_dedup() {
+        let a = Atom::new(
+            Pred::Base("t".into()),
+            vec![Term::Var(1), Term::Var(2), Term::Var(1), Term::Const(Konst::Int(5))],
+        );
+        assert_eq!(a.vars(), vec![1, 2]);
+    }
+
+    #[test]
+    fn substitution_applies_to_all_literal_kinds() {
+        let mut map = BTreeMap::new();
+        map.insert(0, Term::Const(Konst::Int(9)));
+        let lits = vec![
+            Literal::Pos(Atom::new(Pred::Base("t".into()), vec![Term::Var(0)])),
+            Literal::Neg(Atom::new(Pred::Ins("t".into()), vec![Term::Var(0)])),
+            Literal::Cmp(CmpOp::Lt, Term::Var(0), Term::Var(1)),
+            Literal::IsNull {
+                term: Term::Var(0),
+                negated: false,
+            },
+        ];
+        let out = subst_body(&lits, &map);
+        for l in &out {
+            match l {
+                Literal::Pos(a) | Literal::Neg(a) => {
+                    assert_eq!(a.args[0], Term::Const(Konst::Int(9)))
+                }
+                Literal::Cmp(_, a, _) => assert_eq!(*a, Term::Const(Konst::Int(9))),
+                Literal::IsNull { term, .. } => assert_eq!(*term, Term::Const(Konst::Int(9))),
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_negate_and_flip() {
+        assert_eq!(CmpOp::Lt.negate(), CmpOp::GtEq);
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+    }
+
+    #[test]
+    fn positively_bound_ignores_negated() {
+        let body = vec![
+            Literal::Pos(Atom::new(Pred::Base("a".into()), vec![Term::Var(0)])),
+            Literal::Neg(Atom::new(Pred::Base("b".into()), vec![Term::Var(1)])),
+        ];
+        assert_eq!(positively_bound_vars(&body), vec![0]);
+    }
+
+    #[test]
+    fn konst_hash_distinguishes_types() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Konst::Int(1));
+        s.insert(Konst::Real(1.0));
+        s.insert(Konst::Str("1".into()));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn pretty_printing() {
+        let mut reg = Registry::new();
+        let o = reg.fresh_var("o");
+        let l = reg.fresh_var("l");
+        let d = Denial {
+            assertion: "atLeastOneLineItem".into(),
+            index: 0,
+            body: vec![
+                Literal::Pos(Atom::new(Pred::Base("orders".into()), vec![Term::Var(o)])),
+                Literal::Neg(Atom::new(
+                    Pred::Base("lineitem".into()),
+                    vec![Term::Var(l), Term::Var(o)],
+                )),
+            ],
+        };
+        assert_eq!(reg.denial_str(&d), "orders(o) and not lineitem(l, o) -> bottom");
+    }
+}

@@ -1,0 +1,637 @@
+//! Semantic optimization of EDC bodies (paper §2: "TINTIN incorporates some
+//! semantic optimizations … which allow performing integrity checking more
+//! efficiently").
+//!
+//! All rewrites rely on the normalized-event invariants established by
+//! `Database::normalize_events`:
+//!
+//! * `ins_T ∩ T = ∅` (set semantics: no insertion of an existing row),
+//! * `del_T ⊆ T` (only existing rows are deleted),
+//! * `ins_T ∩ del_T = ∅` (cancellation).
+//!
+//! Passes: literal deduplication, contradiction pruning, event-disjointness
+//! pruning, redundant-negation elimination, built-in constant folding with
+//! per-variable bound propagation, foreign-key pruning (the paper's EDC 5),
+//! and canonical duplicate elimination.
+
+use crate::catalog::SchemaCatalog;
+use crate::ir::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Optimizer switches (split out for the ablation benchmarks).
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Master switch; when false bodies pass through untouched.
+    pub enabled: bool,
+    /// Apply FK pruning (assumes foreign keys hold in the old state).
+    pub assume_fks_valid: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            enabled: true,
+            assume_fks_valid: true,
+        }
+    }
+}
+
+/// Optimize a set of candidate EDC bodies: simplify each, drop unsatisfiable
+/// ones, and deduplicate.
+pub fn optimize_bodies(
+    bodies: Vec<Vec<Literal>>,
+    cat: &SchemaCatalog,
+    config: &OptimizerConfig,
+) -> Vec<Vec<Literal>> {
+    if !config.enabled {
+        return bodies;
+    }
+    let mut out = Vec::new();
+    let mut seen = BTreeSet::new();
+    for body in bodies {
+        let Some(simplified) = simplify_body(body, cat, config) else {
+            continue;
+        };
+        let key = canonical_key(&simplified);
+        if seen.insert(key) {
+            out.push(simplified);
+        }
+    }
+    out
+}
+
+/// Simplify one body; `None` means the body is unsatisfiable (pruned).
+pub fn simplify_body(
+    body: Vec<Literal>,
+    cat: &SchemaCatalog,
+    config: &OptimizerConfig,
+) -> Option<Vec<Literal>> {
+    // 1. Deduplicate identical literals.
+    let mut lits: Vec<Literal> = Vec::with_capacity(body.len());
+    for l in body {
+        if !lits.contains(&l) {
+            lits.push(l);
+        }
+    }
+
+    // 2. Contradictions & event-set reasoning.
+    let pos: Vec<Atom> = lits
+        .iter()
+        .filter_map(|l| match l {
+            Literal::Pos(a) => Some(a.clone()),
+            _ => None,
+        })
+        .collect();
+    for a in &pos {
+        // Pos(A) ∧ Neg(A) → ⊥.
+        if lits.iter().any(|l| matches!(l, Literal::Neg(n) if n == a)) {
+            return None;
+        }
+        match &a.pred {
+            Pred::Ins(t) => {
+                // ι_T(x̄) ∧ δ_T(x̄) → ⊥ (disjoint events).
+                if pos
+                    .iter()
+                    .any(|b| b.pred == Pred::Del(t.clone()) && b.args == a.args)
+                {
+                    return None;
+                }
+                // ι_T(x̄) ∧ T(x̄) → ⊥ (set semantics).
+                if pos
+                    .iter()
+                    .any(|b| b.pred == Pred::Base(t.clone()) && b.args == a.args)
+                {
+                    return None;
+                }
+            }
+            Pred::Del(t)
+                // δ_T(x̄) ∧ ¬T(x̄) → ⊥ (only existing rows are deleted).
+                if lits.iter().any(|l| {
+                    matches!(l, Literal::Neg(n)
+                        if n.pred == Pred::Base(t.clone()) && n.args == a.args)
+                }) => {
+                    return None;
+                }
+            _ => {}
+        }
+    }
+
+    // 3. Redundant literal elimination using the same invariants.
+    lits.retain(|l| match l {
+        // ι_T(x̄) present ⇒ ¬δ_T(x̄), ¬T(x̄) are implied.
+        Literal::Neg(n) => {
+            let implied_by_ins = |t: &str| {
+                pos.iter()
+                    .any(|a| a.pred == Pred::Ins(t.to_string()) && a.args == n.args)
+            };
+            let implied_by_del = |t: &str| {
+                pos.iter()
+                    .any(|a| a.pred == Pred::Del(t.to_string()) && a.args == n.args)
+            };
+            match &n.pred {
+                Pred::Del(t) => !implied_by_ins(t),
+                Pred::Base(t) => !implied_by_ins(t),
+                Pred::Ins(t) => !implied_by_del(t),
+                _ => true,
+            }
+        }
+        _ => true,
+    });
+    // δ_T(x̄) present ⇒ T(x̄) is implied; drop the redundant positive atom
+    // (its variables stay bound through the δ atom).
+    let del_atoms: Vec<Atom> = lits
+        .iter()
+        .filter_map(|l| match l {
+            Literal::Pos(a) if matches!(a.pred, Pred::Del(_)) => Some(a.clone()),
+            _ => None,
+        })
+        .collect();
+    lits.retain(|l| match l {
+        Literal::Pos(a) => match &a.pred {
+            Pred::Base(t) => !del_atoms
+                .iter()
+                .any(|d| d.pred == Pred::Del(t.clone()) && d.args == a.args),
+            _ => true,
+        },
+        _ => true,
+    });
+
+    // 4. Built-in folding and bound propagation.
+    let mut bounds: BTreeMap<Var, VarBounds> = BTreeMap::new();
+    let mut kept = Vec::with_capacity(lits.len());
+    for l in lits {
+        match &l {
+            Literal::Cmp(op, a, b) => match (a, b) {
+                (Term::Const(x), Term::Const(y)) => match eval_cmp(*op, x, y) {
+                    Some(true) => {}     // trivially true: drop
+                    Some(false) => return None,
+                    None => kept.push(l), // incomparable (mixed types): keep
+                },
+                (Term::Var(v), Term::Var(w)) if v == w => match op {
+                    CmpOp::Eq | CmpOp::LtEq | CmpOp::GtEq => {} // x = x: drop
+                    CmpOp::NotEq | CmpOp::Lt | CmpOp::Gt => return None,
+                },
+                (Term::Var(v), Term::Const(k)) => {
+                    if !bounds.entry(*v).or_default().add(*op, k) {
+                        return None;
+                    }
+                    kept.push(l);
+                }
+                (Term::Const(k), Term::Var(v)) => {
+                    if !bounds.entry(*v).or_default().add(op.flip(), k) {
+                        return None;
+                    }
+                    kept.push(l);
+                }
+                _ => kept.push(l),
+            },
+            // Constants are never NULL: drop or prune the literal.
+            Literal::IsNull { term: Term::Const(_), negated } => {
+                if !negated {
+                    return None;
+                }
+            }
+            _ => kept.push(l),
+        }
+    }
+    let lits = kept;
+
+    // 5. Foreign-key pruning (the paper's EDC 5): an insertion ι_P(x̄) is
+    //    impossible when another OLD-state literal (base or deletion event)
+    //    of a child table C carries an FK to P over exactly x̄'s key columns
+    //    — the parent row already existed, and set semantics forbid
+    //    re-insertion.
+    if config.assume_fks_valid {
+        let ins_atoms: Vec<Atom> = lits
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Pos(a) if matches!(a.pred, Pred::Ins(_)) => Some(a.clone()),
+                _ => None,
+            })
+            .collect();
+        for ins in &ins_atoms {
+            let Pred::Ins(parent) = &ins.pred else { unreachable!() };
+            for l in &lits {
+                let Literal::Pos(child_atom) = l else { continue };
+                let child_table = match &child_atom.pred {
+                    Pred::Base(t) | Pred::Del(t) => t,
+                    _ => continue,
+                };
+                let Some(child_info) = cat.table(child_table) else {
+                    continue;
+                };
+                for fk in &child_info.foreign_keys {
+                    if &fk.ref_table != parent || !cat.fk_targets_key(fk) {
+                        continue;
+                    }
+                    let all_match = fk
+                        .columns
+                        .iter()
+                        .zip(&fk.ref_columns)
+                        .all(|(ci, pi)| {
+                            child_atom.args.get(*ci) == ins.args.get(*pi)
+                                && child_atom.args.get(*ci).is_some()
+                        });
+                    if all_match {
+                        return None;
+                    }
+                }
+            }
+        }
+    }
+
+    // 6. Safety net: a body must retain at least one positive atom.
+    if !lits.iter().any(|l| l.is_positive_atom()) {
+        // Should not happen for EDCs (every EDC has an event atom), but
+        // guard against degenerate inputs.
+        return Some(lits);
+    }
+    Some(lits)
+}
+
+/// Numeric/string interval tracking for one variable.
+#[derive(Debug, Default, Clone)]
+struct VarBounds {
+    lo: Option<(Konst, bool)>, // (bound, strict)
+    hi: Option<(Konst, bool)>,
+    eq: Option<Konst>,
+    neq: Vec<Konst>,
+}
+
+impl VarBounds {
+    /// Add `var op k`; returns false when the constraints become empty.
+    fn add(&mut self, op: CmpOp, k: &Konst) -> bool {
+        match op {
+            CmpOp::Eq => {
+                if let Some(e) = &self.eq {
+                    if !konst_eq(e, k) {
+                        return false;
+                    }
+                }
+                if self.neq.iter().any(|n| konst_eq(n, k)) {
+                    return false;
+                }
+                self.eq = Some(k.clone());
+            }
+            CmpOp::NotEq => {
+                if let Some(e) = &self.eq {
+                    if konst_eq(e, k) {
+                        return false;
+                    }
+                }
+                self.neq.push(k.clone());
+            }
+            CmpOp::Lt | CmpOp::LtEq => {
+                let strict = op == CmpOp::Lt;
+                let tighter = match &self.hi {
+                    None => true,
+                    Some((h, hs)) => match konst_cmp(k, h) {
+                        Some(std::cmp::Ordering::Less) => true,
+                        Some(std::cmp::Ordering::Equal) => strict && !hs,
+                        _ => false,
+                    },
+                };
+                if tighter {
+                    self.hi = Some((k.clone(), strict));
+                }
+            }
+            CmpOp::Gt | CmpOp::GtEq => {
+                let strict = op == CmpOp::Gt;
+                let tighter = match &self.lo {
+                    None => true,
+                    Some((l, ls)) => match konst_cmp(k, l) {
+                        Some(std::cmp::Ordering::Greater) => true,
+                        Some(std::cmp::Ordering::Equal) => strict && !ls,
+                        _ => false,
+                    },
+                };
+                if tighter {
+                    self.lo = Some((k.clone(), strict));
+                }
+            }
+        }
+        self.consistent()
+    }
+
+    fn consistent(&self) -> bool {
+        if let (Some((lo, ls)), Some((hi, hs))) = (&self.lo, &self.hi) {
+            match konst_cmp(lo, hi) {
+                Some(std::cmp::Ordering::Greater) => return false,
+                Some(std::cmp::Ordering::Equal) if *ls || *hs => return false,
+                _ => {}
+            }
+        }
+        if let Some(e) = &self.eq {
+            if let Some((lo, ls)) = &self.lo {
+                match konst_cmp(e, lo) {
+                    Some(std::cmp::Ordering::Less) => return false,
+                    Some(std::cmp::Ordering::Equal) if *ls => return false,
+                    _ => {}
+                }
+            }
+            if let Some((hi, hs)) = &self.hi {
+                match konst_cmp(e, hi) {
+                    Some(std::cmp::Ordering::Greater) => return false,
+                    Some(std::cmp::Ordering::Equal) if *hs => return false,
+                    _ => {}
+                }
+            }
+        }
+        true
+    }
+}
+
+fn konst_cmp(a: &Konst, b: &Konst) -> Option<std::cmp::Ordering> {
+    match (a, b) {
+        (Konst::Int(x), Konst::Int(y)) => Some(x.cmp(y)),
+        (Konst::Real(x), Konst::Real(y)) => x.partial_cmp(y),
+        (Konst::Int(x), Konst::Real(y)) => (*x as f64).partial_cmp(y),
+        (Konst::Real(x), Konst::Int(y)) => x.partial_cmp(&(*y as f64)),
+        (Konst::Str(x), Konst::Str(y)) => Some(x.cmp(y)),
+        _ => None,
+    }
+}
+
+fn konst_eq(a: &Konst, b: &Konst) -> bool {
+    konst_cmp(a, b) == Some(std::cmp::Ordering::Equal)
+}
+
+fn eval_cmp(op: CmpOp, a: &Konst, b: &Konst) -> Option<bool> {
+    let ord = konst_cmp(a, b)?;
+    Some(match op {
+        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+        CmpOp::NotEq => ord != std::cmp::Ordering::Equal,
+        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+        CmpOp::LtEq => ord != std::cmp::Ordering::Greater,
+        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+        CmpOp::GtEq => ord != std::cmp::Ordering::Less,
+    })
+}
+
+/// A canonical serialization of a body with variables renumbered by first
+/// occurrence, for duplicate elimination.
+fn canonical_key(body: &[Literal]) -> String {
+    let mut renum: BTreeMap<Var, usize> = BTreeMap::new();
+    let mut out = String::new();
+    let term = |t: &Term, renum: &mut BTreeMap<Var, usize>, out: &mut String| match t {
+        Term::Var(v) => {
+            let n = renum.len();
+            let id = *renum.entry(*v).or_insert(n);
+            out.push_str(&format!("v{id}"));
+        }
+        Term::Const(k) => out.push_str(&format!("{k:?}")),
+    };
+    for l in body {
+        match l {
+            Literal::Pos(a) | Literal::Neg(a) => {
+                out.push_str(if matches!(l, Literal::Pos(_)) { "+" } else { "-" });
+                out.push_str(&format!("{:?}(", a.pred));
+                for t in &a.args {
+                    term(t, &mut renum, &mut out);
+                    out.push(',');
+                }
+                out.push(')');
+            }
+            Literal::Cmp(op, a, b) => {
+                out.push_str(&format!("cmp{op:?}("));
+                term(a, &mut renum, &mut out);
+                out.push(',');
+                term(b, &mut renum, &mut out);
+                out.push(')');
+            }
+            Literal::IsNull { term: t, negated } => {
+                out.push_str(if *negated { "notnull(" } else { "isnull(" });
+                term(t, &mut renum, &mut out);
+                out.push(')');
+            }
+        }
+        out.push(';');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cat() -> SchemaCatalog {
+        use crate::catalog::{FkInfo, TableInfo};
+        let mut c = SchemaCatalog::new();
+        c.add_table(
+            "p",
+            TableInfo {
+                columns: vec!["pk".into()],
+                primary_key: vec![0],
+                foreign_keys: vec![],
+            },
+        );
+        c.add_table(
+            "c",
+            TableInfo {
+                columns: vec!["ck".into(), "fk".into()],
+                primary_key: vec![0],
+                foreign_keys: vec![FkInfo {
+                    columns: vec![1],
+                    ref_table: "p".into(),
+                    ref_columns: vec![0],
+                }],
+            },
+        );
+        c
+    }
+
+    fn simplify(body: Vec<Literal>) -> Option<Vec<Literal>> {
+        simplify_body(body, &cat(), &OptimizerConfig::default())
+    }
+
+    fn pos(pred: Pred, args: Vec<Term>) -> Literal {
+        Literal::Pos(Atom::new(pred, args))
+    }
+
+    fn neg(pred: Pred, args: Vec<Term>) -> Literal {
+        Literal::Neg(Atom::new(pred, args))
+    }
+
+    #[test]
+    fn prunes_ins_and_del_of_same_tuple() {
+        let b = vec![
+            pos(Pred::Ins("p".into()), vec![Term::Var(0)]),
+            pos(Pred::Del("p".into()), vec![Term::Var(0)]),
+        ];
+        assert_eq!(simplify(b), None);
+    }
+
+    #[test]
+    fn prunes_ins_of_existing_row() {
+        let b = vec![
+            pos(Pred::Ins("p".into()), vec![Term::Var(0)]),
+            pos(Pred::Base("p".into()), vec![Term::Var(0)]),
+        ];
+        assert_eq!(simplify(b), None);
+    }
+
+    #[test]
+    fn prunes_del_of_missing_row() {
+        let b = vec![
+            pos(Pred::Del("p".into()), vec![Term::Var(0)]),
+            neg(Pred::Base("p".into()), vec![Term::Var(0)]),
+        ];
+        assert_eq!(simplify(b), None);
+    }
+
+    #[test]
+    fn prunes_pos_neg_contradiction() {
+        let b = vec![
+            pos(Pred::Base("p".into()), vec![Term::Var(0)]),
+            neg(Pred::Base("p".into()), vec![Term::Var(0)]),
+        ];
+        assert_eq!(simplify(b), None);
+    }
+
+    #[test]
+    fn drops_redundant_negations() {
+        // ι_p(x) ∧ ¬δ_p(x) ∧ ¬p(x): both negations implied by normalization.
+        let b = vec![
+            pos(Pred::Ins("p".into()), vec![Term::Var(0)]),
+            neg(Pred::Del("p".into()), vec![Term::Var(0)]),
+            neg(Pred::Base("p".into()), vec![Term::Var(0)]),
+        ];
+        let s = simplify(b).unwrap();
+        assert_eq!(s.len(), 1);
+        // δ_p(x) implies ¬ι_p(x) and p(x).
+        let b = vec![
+            pos(Pred::Del("p".into()), vec![Term::Var(0)]),
+            neg(Pred::Ins("p".into()), vec![Term::Var(0)]),
+            pos(Pred::Base("p".into()), vec![Term::Var(0)]),
+        ];
+        let s = simplify(b).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn folds_constant_comparisons() {
+        let keep = vec![
+            pos(Pred::Base("p".into()), vec![Term::Var(0)]),
+            Literal::Cmp(CmpOp::Lt, Term::Const(Konst::Int(1)), Term::Const(Konst::Int(2))),
+        ];
+        assert_eq!(simplify(keep).unwrap().len(), 1, "true comparison dropped");
+        let dead = vec![
+            pos(Pred::Base("p".into()), vec![Term::Var(0)]),
+            Literal::Cmp(CmpOp::Gt, Term::Const(Konst::Int(1)), Term::Const(Konst::Int(2))),
+        ];
+        assert_eq!(simplify(dead), None);
+    }
+
+    #[test]
+    fn detects_interval_contradictions() {
+        let b = vec![
+            pos(Pred::Base("p".into()), vec![Term::Var(0)]),
+            Literal::Cmp(CmpOp::Gt, Term::Var(0), Term::Const(Konst::Int(5))),
+            Literal::Cmp(CmpOp::Lt, Term::Var(0), Term::Const(Konst::Int(3))),
+        ];
+        assert_eq!(simplify(b), None);
+        // Boundary: x > 5 ∧ x < 6 is satisfiable for reals… and for ints
+        // too in our conservative model (we don't assume integrality).
+        let b = vec![
+            pos(Pred::Base("p".into()), vec![Term::Var(0)]),
+            Literal::Cmp(CmpOp::Gt, Term::Var(0), Term::Const(Konst::Int(5))),
+            Literal::Cmp(CmpOp::Lt, Term::Var(0), Term::Const(Konst::Int(6))),
+        ];
+        assert!(simplify(b).is_some());
+        // x >= 5 ∧ x <= 5 fine; x > 5 ∧ x <= 5 dead.
+        let b = vec![
+            pos(Pred::Base("p".into()), vec![Term::Var(0)]),
+            Literal::Cmp(CmpOp::Gt, Term::Var(0), Term::Const(Konst::Int(5))),
+            Literal::Cmp(CmpOp::LtEq, Term::Var(0), Term::Const(Konst::Int(5))),
+        ];
+        assert_eq!(simplify(b), None);
+    }
+
+    #[test]
+    fn same_var_comparisons() {
+        let b = vec![
+            pos(Pred::Base("p".into()), vec![Term::Var(0)]),
+            Literal::Cmp(CmpOp::NotEq, Term::Var(0), Term::Var(0)),
+        ];
+        assert_eq!(simplify(b), None);
+        let b = vec![
+            pos(Pred::Base("p".into()), vec![Term::Var(0)]),
+            Literal::Cmp(CmpOp::Eq, Term::Var(0), Term::Var(0)),
+        ];
+        assert_eq!(simplify(b).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fk_pruning_discards_parent_insertion() {
+        // δ_c(ck, fk→x) ∧ ι_p(x): the FK from c.fk to p.pk means p(x)
+        // existed → ι_p(x) impossible.
+        let b = vec![
+            pos(Pred::Del("c".into()), vec![Term::Var(1), Term::Var(0)]),
+            pos(Pred::Ins("p".into()), vec![Term::Var(0)]),
+        ];
+        assert_eq!(simplify(b), None);
+        // Without the flag it survives.
+        let b = vec![
+            pos(Pred::Del("c".into()), vec![Term::Var(1), Term::Var(0)]),
+            pos(Pred::Ins("p".into()), vec![Term::Var(0)]),
+        ];
+        let cfg = OptimizerConfig {
+            enabled: true,
+            assume_fks_valid: false,
+        };
+        assert!(simplify_body(b, &cat(), &cfg).is_some());
+    }
+
+    #[test]
+    fn fk_pruning_requires_matching_vars() {
+        // Different variable in the FK position: no pruning.
+        let b = vec![
+            pos(Pred::Del("c".into()), vec![Term::Var(1), Term::Var(2)]),
+            pos(Pred::Ins("p".into()), vec![Term::Var(0)]),
+        ];
+        assert!(simplify(b).is_some());
+    }
+
+    #[test]
+    fn optimize_bodies_dedups_canonical_variants() {
+        // Same body with different variable ids.
+        let b1 = vec![pos(Pred::Ins("p".into()), vec![Term::Var(3)])];
+        let b2 = vec![pos(Pred::Ins("p".into()), vec![Term::Var(9)])];
+        let out = optimize_bodies(vec![b1, b2], &cat(), &OptimizerConfig::default());
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn disabled_optimizer_passes_through() {
+        let b = vec![
+            pos(Pred::Ins("p".into()), vec![Term::Var(0)]),
+            pos(Pred::Del("p".into()), vec![Term::Var(0)]),
+        ];
+        let cfg = OptimizerConfig {
+            enabled: false,
+            assume_fks_valid: true,
+        };
+        let out = optimize_bodies(vec![b.clone()], &cat(), &cfg);
+        assert_eq!(out, vec![b]);
+    }
+
+    #[test]
+    fn isnull_on_constant() {
+        let b = vec![
+            pos(Pred::Base("p".into()), vec![Term::Var(0)]),
+            Literal::IsNull {
+                term: Term::Const(Konst::Int(1)),
+                negated: false,
+            },
+        ];
+        assert_eq!(simplify(b), None);
+        let b = vec![
+            pos(Pred::Base("p".into()), vec![Term::Var(0)]),
+            Literal::IsNull {
+                term: Term::Const(Konst::Int(1)),
+                negated: true,
+            },
+        ];
+        assert_eq!(simplify(b).unwrap().len(), 1);
+    }
+}

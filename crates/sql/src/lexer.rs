@@ -1,0 +1,550 @@
+//! SQL tokenizer.
+//!
+//! Unquoted identifiers are normalized to lowercase (SQL identifiers are
+//! case-insensitive); `"double-quoted"` and `[bracketed]` (SQL Server style)
+//! identifiers preserve case. Keywords are recognized case-insensitively.
+//! `--` line comments and `/* … */` block comments are skipped.
+
+use std::fmt;
+
+/// Source position of a token, 1-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Default for Pos {
+    fn default() -> Self {
+        Pos { line: 1, col: 1 }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Lexical token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (lower-cased if unquoted) — may still be a keyword; the
+    /// parser matches keywords by string.
+    Ident(String),
+    /// Quoted identifier, case preserved.
+    QuotedIdent(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Real(f64),
+    /// String literal with SQL `''` escapes already resolved.
+    Str(String),
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::QuotedIdent(s) => write!(f, "\"{s}\""),
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Real(v) => write!(f, "{v}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::NotEq => write!(f, "<>"),
+            TokenKind::Lt => write!(f, "<"),
+            TokenKind::LtEq => write!(f, "<="),
+            TokenKind::Gt => write!(f, ">"),
+            TokenKind::GtEq => write!(f, ">="),
+            TokenKind::Plus => write!(f, "+"),
+            TokenKind::Minus => write!(f, "-"),
+            TokenKind::Star => write!(f, "*"),
+            TokenKind::Slash => write!(f, "/"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Dot => write!(f, "."),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token together with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: Pos,
+}
+
+/// Error produced while tokenizing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub pos: Pos,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Streaming tokenizer over a SQL source string.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    idx: usize,
+    pos: Pos,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            idx: 0,
+            pos: Pos::default(),
+        }
+    }
+
+    /// Tokenize the whole input, appending a final [`TokenKind::Eof`].
+    pub fn tokenize(src: &'a str) -> Result<Vec<Token>, LexError> {
+        let mut lex = Lexer::new(src);
+        let mut out = Vec::new();
+        loop {
+            let tok = lex.next_token()?;
+            let is_eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if is_eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.idx).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.idx + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.idx += 1;
+        if c == b'\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(LexError {
+                                    message: "unterminated block comment".into(),
+                                    pos: start,
+                                })
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Produce the next token.
+    pub fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia()?;
+        let pos = self.pos;
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                pos,
+            });
+        };
+        let kind = match c {
+            b'(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            b')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b'.' => {
+                self.bump();
+                TokenKind::Dot
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semicolon
+            }
+            b'+' => {
+                self.bump();
+                TokenKind::Plus
+            }
+            b'-' => {
+                self.bump();
+                TokenKind::Minus
+            }
+            b'*' => {
+                self.bump();
+                TokenKind::Star
+            }
+            b'/' => {
+                self.bump();
+                TokenKind::Slash
+            }
+            b'=' => {
+                self.bump();
+                TokenKind::Eq
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        TokenKind::LtEq
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        TokenKind::NotEq
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::GtEq
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    return Err(LexError {
+                        message: "expected '=' after '!'".into(),
+                        pos,
+                    });
+                }
+            }
+            b'\'' => return self.lex_string(pos),
+            b'"' => return self.lex_quoted_ident(pos, b'"'),
+            b'[' => return self.lex_quoted_ident(pos, b']'),
+            c if c.is_ascii_digit() => return self.lex_number(pos),
+            c if c.is_ascii_alphabetic() || c == b'_' => return self.lex_ident(pos),
+            c => {
+                return Err(LexError {
+                    message: format!("unexpected character '{}'", c as char),
+                    pos,
+                })
+            }
+        };
+        Ok(Token { kind, pos })
+    }
+
+    fn lex_string(&mut self, pos: Pos) -> Result<Token, LexError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        out.push('\'');
+                    } else {
+                        return Ok(Token {
+                            kind: TokenKind::Str(out),
+                            pos,
+                        });
+                    }
+                }
+                Some(c) => out.push(c as char),
+                None => {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        pos,
+                    })
+                }
+            }
+        }
+    }
+
+    fn lex_quoted_ident(&mut self, pos: Pos, close: u8) -> Result<Token, LexError> {
+        self.bump(); // opening quote/bracket
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(c) if c == close => {
+                    if out.is_empty() {
+                        return Err(LexError {
+                            message: "empty quoted identifier".into(),
+                            pos,
+                        });
+                    }
+                    return Ok(Token {
+                        kind: TokenKind::QuotedIdent(out),
+                        pos,
+                    });
+                }
+                Some(c) => out.push(c as char),
+                None => {
+                    return Err(LexError {
+                        message: "unterminated quoted identifier".into(),
+                        pos,
+                    })
+                }
+            }
+        }
+    }
+
+    fn lex_number(&mut self, pos: Pos) -> Result<Token, LexError> {
+        let start = self.idx;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_real = false;
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_real = true;
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let save = (self.idx, self.pos);
+            self.bump();
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                is_real = true;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                }
+            } else {
+                (self.idx, self.pos) = save;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.idx]).expect("ascii digits");
+        let kind = if is_real {
+            TokenKind::Real(text.parse().map_err(|e| LexError {
+                message: format!("invalid numeric literal '{text}': {e}"),
+                pos,
+            })?)
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => TokenKind::Int(v),
+                // Integer literals too large for i64 degrade to Real, like
+                // most SQL engines do.
+                Err(_) => TokenKind::Real(text.parse().map_err(|e| LexError {
+                    message: format!("invalid numeric literal '{text}': {e}"),
+                    pos,
+                })?),
+            }
+        };
+        Ok(Token { kind, pos })
+    }
+
+    fn lex_ident(&mut self, pos: Pos) -> Result<Token, LexError> {
+        let start = self.idx;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.idx]).expect("ascii ident");
+        Ok(Token {
+            kind: TokenKind::Ident(text.to_ascii_lowercase()),
+            pos,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_symbols_and_operators() {
+        assert_eq!(
+            kinds("( ) , . ; + - * / = <> != < <= > >="),
+            vec![
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Comma,
+                TokenKind::Dot,
+                TokenKind::Semicolon,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Lt,
+                TokenKind::LtEq,
+                TokenKind::Gt,
+                TokenKind::GtEq,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lowercases_unquoted_identifiers() {
+        assert_eq!(
+            kinds("SELECT LineItem"),
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Ident("lineitem".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn preserves_quoted_identifier_case() {
+        assert_eq!(
+            kinds("\"LineItem\" [OrDer]"),
+            vec![
+                TokenKind::QuotedIdent("LineItem".into()),
+                TokenKind::QuotedIdent("OrDer".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("1 42 3.5 1e3 2.5e-2"),
+            vec![
+                TokenKind::Int(1),
+                TokenKind::Int(42),
+                TokenKind::Real(3.5),
+                TokenKind::Real(1000.0),
+                TokenKind::Real(0.025),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn huge_integer_degrades_to_real() {
+        assert_eq!(
+            kinds("99999999999999999999"),
+            vec![TokenKind::Real(1e20), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![TokenKind::Str("it's".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("1 -- line comment\n /* block\ncomment */ 2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = Lexer::tokenize("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(Lexer::tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(Lexer::tokenize("/* abc").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_bang() {
+        assert!(Lexer::tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(Lexer::tokenize("a ? b").is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! SQL front-end for the TINTIN reproduction.
+//!
+//! This crate provides a hand-written lexer, an abstract syntax tree, a
+//! recursive-descent parser and a pretty-printer for the SQL dialect used
+//! throughout the project:
+//!
+//! * **DDL**: `CREATE TABLE`, `CREATE ASSERTION`, `CREATE VIEW`,
+//!   `CREATE INDEX`, `DROP …`, `TRUNCATE TABLE`;
+//! * **DML**: `INSERT INTO … VALUES`, `INSERT INTO … SELECT`, `DELETE FROM`;
+//! * **queries**: the relational-algebra fragment accepted by the TINTIN
+//!   paper — selection, projection, join, `EXISTS` / `IN`, `NOT EXISTS` /
+//!   `NOT IN`, `UNION [ALL]` — plus arithmetic and `BETWEEN` for general
+//!   engine queries (the assertion translator in `tintin-logic` enforces the
+//!   paper's stricter fragment).
+//!
+//! The printer emits SQL that parses back to the same AST, which the test
+//! suite verifies with round-trip property tests.
+//!
+//! # Example
+//!
+//! ```
+//! use tintin_sql::parse_statements;
+//!
+//! let stmts = parse_statements(
+//!     "CREATE ASSERTION atLeastOneLineItem CHECK (NOT EXISTS (
+//!          SELECT * FROM orders AS o
+//!          WHERE NOT EXISTS (SELECT * FROM lineitem AS l
+//!                            WHERE l.l_orderkey = o.o_orderkey)));",
+//! )
+//! .unwrap();
+//! assert_eq!(stmts.len(), 1);
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use ast::*;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::{parse_expr, parse_query, parse_statement, parse_statements, ParseError, Parser};
+
+/// Result alias used by the parsing entry points.
+pub type Result<T> = std::result::Result<T, ParseError>;

@@ -1,0 +1,1376 @@
+//! Recursive-descent parser for the supported SQL dialect.
+//!
+//! Grammar outline (statements separated by `;`):
+//!
+//! ```text
+//! statement   := create_table | create_assertion | create_view | create_index
+//!              | drop | truncate | insert | delete | query
+//! query       := select (UNION [ALL] select)*
+//! select      := SELECT [DISTINCT] projection FROM table_refs [WHERE expr]
+//! table_ref   := factor ((INNER? JOIN factor [ON expr]) | (CROSS JOIN factor))*
+//! expr        := or_expr         -- full precedence tower, see below
+//! ```
+//!
+//! Expression precedence, loosest first: `OR`, `AND`, `NOT`, predicates
+//! (comparisons, `[NOT] IN`, `[NOT] BETWEEN`, `IS [NOT] NULL`), `+`/`-`,
+//! `*`/`/`, unary `-`. `BETWEEN` is desugared into a conjunction of
+//! comparisons at parse time.
+
+use crate::ast::*;
+use crate::lexer::{LexError, Lexer, Pos, Token, TokenKind};
+use std::fmt;
+
+/// Parse error with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub pos: Pos,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            pos: e.pos,
+        }
+    }
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Words that cannot be used as bare (implicit) aliases.
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "and", "or", "not", "exists", "in", "union", "all", "distinct",
+    "join", "inner", "cross", "on", "as", "is", "null", "between", "values", "insert", "into",
+    "delete", "create", "table", "view", "index", "assertion", "check", "drop", "truncate",
+    "primary", "key", "foreign", "references", "unique", "constraint", "order", "group", "by",
+    "having", "like", "set", "update", "true", "false", "asc", "desc", "limit",
+];
+
+/// Parser over a token stream.
+pub struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+}
+
+/// Parse a semicolon-separated list of statements.
+pub fn parse_statements(src: &str) -> PResult<Vec<Statement>> {
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat_kind(&TokenKind::Semicolon) {}
+        if p.at_eof() {
+            return Ok(out);
+        }
+        out.push(p.parse_statement()?);
+        if !p.at_eof() {
+            p.expect_kind(TokenKind::Semicolon)?;
+        }
+    }
+}
+
+/// Parse exactly one statement (a trailing semicolon is allowed).
+pub fn parse_statement(src: &str) -> PResult<Statement> {
+    let mut stmts = parse_statements(src)?;
+    match stmts.len() {
+        1 => Ok(stmts.remove(0)),
+        n => Err(ParseError {
+            message: format!("expected exactly one statement, found {n}"),
+            pos: Pos::default(),
+        }),
+    }
+}
+
+/// Parse a standalone query.
+pub fn parse_query(src: &str) -> PResult<Query> {
+    match parse_statement(src)? {
+        Statement::Query(q) => Ok(q),
+        other => Err(ParseError {
+            message: format!("expected a query, found {other:?}"),
+            pos: Pos::default(),
+        }),
+    }
+}
+
+/// Parse a standalone expression (useful in tests and the REPL).
+pub fn parse_expr(src: &str) -> PResult<Expr> {
+    let mut p = Parser::new(src)?;
+    let e = p.parse_expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+impl Parser {
+    pub fn new(src: &str) -> PResult<Self> {
+        Ok(Parser {
+            tokens: Lexer::tokenize(src)?,
+            idx: 0,
+        })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.idx.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_nth(&self, n: usize) -> &Token {
+        &self.tokens[(self.idx + n).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.idx < self.tokens.len() - 1 {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        self.peek().kind == TokenKind::Eof
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(ParseError {
+            message: message.into(),
+            pos: self.peek().pos,
+        })
+    }
+
+    fn expect_eof(&self) -> PResult<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            self.err(format!("unexpected trailing input '{}'", self.peek().kind))
+        }
+    }
+
+    /// True if the current token is the given (lower-case) keyword.
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn at_kw_nth(&self, n: usize, kw: &str) -> bool {
+        matches!(&self.peek_nth(n).kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    /// Consume the given keyword if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> PResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!(
+                "expected keyword '{}', found '{}'",
+                kw.to_uppercase(),
+                self.peek().kind
+            ))
+        }
+    }
+
+    fn eat_kind(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kind(&mut self, kind: TokenKind) -> PResult<()> {
+        if self.eat_kind(&kind) {
+            Ok(())
+        } else {
+            self.err(format!("expected '{kind}', found '{}'", self.peek().kind))
+        }
+    }
+
+    /// Parse an identifier (quoted or unquoted, keywords allowed where an
+    /// identifier is required).
+    fn parse_ident(&mut self) -> PResult<Ident> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            TokenKind::QuotedIdent(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found '{other}'")),
+        }
+    }
+
+    /// Parse a *non-reserved* identifier; used for bare aliases.
+    fn try_parse_bare_alias(&mut self) -> Option<Ident> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if !RESERVED.contains(&s.as_str()) => {
+                let s = s.clone();
+                self.bump();
+                Some(s)
+            }
+            TokenKind::QuotedIdent(s) => {
+                let s = s.clone();
+                self.bump();
+                Some(s)
+            }
+            _ => None,
+        }
+    }
+
+    fn parse_ident_list(&mut self) -> PResult<Vec<Ident>> {
+        let mut out = vec![self.parse_ident()?];
+        while self.eat_kind(&TokenKind::Comma) {
+            out.push(self.parse_ident()?);
+        }
+        Ok(out)
+    }
+
+    fn parse_paren_ident_list(&mut self) -> PResult<Vec<Ident>> {
+        self.expect_kind(TokenKind::LParen)?;
+        let list = self.parse_ident_list()?;
+        self.expect_kind(TokenKind::RParen)?;
+        Ok(list)
+    }
+
+    // ---------------------------------------------------------- statements
+
+    pub fn parse_statement(&mut self) -> PResult<Statement> {
+        if self.at_kw("create") {
+            self.parse_create()
+        } else if self.at_kw("drop") {
+            self.parse_drop()
+        } else if self.at_kw("truncate") {
+            self.bump();
+            self.expect_kw("table")?;
+            let name = self.parse_ident()?;
+            Ok(Statement::TruncateTable { name })
+        } else if self.at_kw("insert") {
+            self.parse_insert()
+        } else if self.at_kw("delete") {
+            self.parse_delete()
+        } else if self.at_kw("update") {
+            self.parse_update()
+        } else if self.at_kw("select") {
+            Ok(Statement::Query(self.parse_query()?))
+        } else {
+            self.err(format!(
+                "expected a statement, found '{}'",
+                self.peek().kind
+            ))
+        }
+    }
+
+    fn parse_create(&mut self) -> PResult<Statement> {
+        self.expect_kw("create")?;
+        if self.eat_kw("table") {
+            self.parse_create_table().map(Statement::CreateTable)
+        } else if self.eat_kw("assertion") {
+            let name = self.parse_ident()?;
+            self.expect_kw("check")?;
+            self.expect_kind(TokenKind::LParen)?;
+            let condition = self.parse_expr()?;
+            self.expect_kind(TokenKind::RParen)?;
+            Ok(Statement::CreateAssertion(CreateAssertion {
+                name,
+                condition,
+            }))
+        } else if self.eat_kw("view") {
+            let name = self.parse_ident()?;
+            self.expect_kw("as")?;
+            let query = self.parse_query()?;
+            Ok(Statement::CreateView(CreateView { name, query }))
+        } else if self.at_kw("unique") || self.at_kw("index") {
+            let unique = self.eat_kw("unique");
+            self.expect_kw("index")?;
+            let name = self.parse_ident()?;
+            self.expect_kw("on")?;
+            let table = self.parse_ident()?;
+            let columns = self.parse_paren_ident_list()?;
+            Ok(Statement::CreateIndex(CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+            }))
+        } else {
+            self.err("expected TABLE, ASSERTION, VIEW or INDEX after CREATE")
+        }
+    }
+
+    fn parse_create_table(&mut self) -> PResult<CreateTable> {
+        let name = self.parse_ident()?;
+        self.expect_kind(TokenKind::LParen)?;
+        let mut columns = Vec::new();
+        let mut constraints = Vec::new();
+        loop {
+            if self.at_kw("primary")
+                || self.at_kw("foreign")
+                || self.at_kw("unique") && self.peek_nth(1).kind == TokenKind::LParen
+                || self.at_kw("check")
+                || self.at_kw("constraint")
+            {
+                constraints.push(self.parse_table_constraint(&mut columns)?);
+            } else {
+                self.parse_column_def(&mut columns, &mut constraints)?;
+            }
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kind(TokenKind::RParen)?;
+        Ok(CreateTable {
+            name,
+            columns,
+            constraints,
+        })
+    }
+
+    fn parse_table_constraint(
+        &mut self,
+        _columns: &mut [ColumnDef],
+    ) -> PResult<TableConstraint> {
+        if self.eat_kw("constraint") {
+            // Named constraints: the name is parsed and discarded.
+            let _ = self.parse_ident()?;
+        }
+        if self.eat_kw("primary") {
+            self.expect_kw("key")?;
+            Ok(TableConstraint::PrimaryKey(self.parse_paren_ident_list()?))
+        } else if self.eat_kw("unique") {
+            Ok(TableConstraint::Unique(self.parse_paren_ident_list()?))
+        } else if self.eat_kw("foreign") {
+            self.expect_kw("key")?;
+            let columns = self.parse_paren_ident_list()?;
+            self.expect_kw("references")?;
+            let ref_table = self.parse_ident()?;
+            let ref_columns = if self.peek().kind == TokenKind::LParen {
+                self.parse_paren_ident_list()?
+            } else {
+                Vec::new()
+            };
+            Ok(TableConstraint::ForeignKey {
+                columns,
+                ref_table,
+                ref_columns,
+            })
+        } else if self.eat_kw("check") {
+            self.expect_kind(TokenKind::LParen)?;
+            let e = self.parse_expr()?;
+            self.expect_kind(TokenKind::RParen)?;
+            Ok(TableConstraint::Check(e))
+        } else {
+            self.err("expected a table constraint")
+        }
+    }
+
+    fn parse_column_def(
+        &mut self,
+        columns: &mut Vec<ColumnDef>,
+        constraints: &mut Vec<TableConstraint>,
+    ) -> PResult<()> {
+        let name = self.parse_ident()?;
+        let ty = self.parse_type_name()?;
+        let mut def = ColumnDef {
+            name: name.clone(),
+            ty,
+            not_null: false,
+            primary_key: false,
+            unique: false,
+        };
+        loop {
+            if self.eat_kw("not") {
+                self.expect_kw("null")?;
+                def.not_null = true;
+            } else if self.eat_kw("primary") {
+                self.expect_kw("key")?;
+                def.primary_key = true;
+                def.not_null = true;
+            } else if self.eat_kw("unique") {
+                def.unique = true;
+            } else if self.eat_kw("references") {
+                let ref_table = self.parse_ident()?;
+                let ref_columns = if self.peek().kind == TokenKind::LParen {
+                    self.parse_paren_ident_list()?
+                } else {
+                    Vec::new()
+                };
+                constraints.push(TableConstraint::ForeignKey {
+                    columns: vec![name.clone()],
+                    ref_table,
+                    ref_columns,
+                });
+            } else {
+                break;
+            }
+        }
+        columns.push(def);
+        Ok(())
+    }
+
+    fn parse_type_name(&mut self) -> PResult<TypeName> {
+        let base = self.parse_ident()?;
+        let ty = match base.as_str() {
+            "int" | "integer" | "bigint" | "smallint" | "tinyint" => TypeName::Int,
+            "real" | "float" | "decimal" | "numeric" => TypeName::Real,
+            "double" => {
+                self.eat_kw("precision");
+                TypeName::Real
+            }
+            "varchar" | "char" | "text" | "string" | "date" => TypeName::Text,
+            "character" => {
+                self.eat_kw("varying");
+                TypeName::Text
+            }
+            other => return self.err(format!("unknown type name '{other}'")),
+        };
+        // Optional length / precision arguments: VARCHAR(25), DECIMAL(15,2).
+        if self.eat_kind(&TokenKind::LParen) {
+            loop {
+                match self.peek().kind {
+                    TokenKind::Int(_) => {
+                        self.bump();
+                    }
+                    _ => return self.err("expected an integer in type arguments"),
+                }
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_kind(TokenKind::RParen)?;
+        }
+        Ok(ty)
+    }
+
+    fn parse_drop(&mut self) -> PResult<Statement> {
+        self.expect_kw("drop")?;
+        if self.eat_kw("table") {
+            let if_exists = self.parse_if_exists()?;
+            let name = self.parse_ident()?;
+            Ok(Statement::DropTable { name, if_exists })
+        } else if self.eat_kw("view") {
+            let if_exists = self.parse_if_exists()?;
+            let name = self.parse_ident()?;
+            Ok(Statement::DropView { name, if_exists })
+        } else if self.eat_kw("assertion") {
+            let name = self.parse_ident()?;
+            Ok(Statement::DropAssertion { name })
+        } else {
+            self.err("expected TABLE, VIEW or ASSERTION after DROP")
+        }
+    }
+
+    fn parse_if_exists(&mut self) -> PResult<bool> {
+        if self.eat_kw("if") {
+            self.expect_kw("exists")?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn parse_insert(&mut self) -> PResult<Statement> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let table = self.parse_ident()?;
+        let columns = if self.peek().kind == TokenKind::LParen
+            && !self.at_kw_nth(1, "select")
+        {
+            Some(self.parse_paren_ident_list()?)
+        } else {
+            None
+        };
+        let source = if self.eat_kw("values") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect_kind(TokenKind::LParen)?;
+                let mut row = vec![self.parse_expr()?];
+                while self.eat_kind(&TokenKind::Comma) {
+                    row.push(self.parse_expr()?);
+                }
+                self.expect_kind(TokenKind::RParen)?;
+                rows.push(row);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(rows)
+        } else if self.at_kw("select") || self.peek().kind == TokenKind::LParen {
+            let had_paren = self.eat_kind(&TokenKind::LParen);
+            let q = self.parse_query()?;
+            if had_paren {
+                self.expect_kind(TokenKind::RParen)?;
+            }
+            InsertSource::Query(q)
+        } else {
+            return self.err("expected VALUES or SELECT in INSERT");
+        };
+        Ok(Statement::Insert(Insert {
+            table,
+            columns,
+            source,
+        }))
+    }
+
+    fn parse_delete(&mut self) -> PResult<Statement> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let table = self.parse_ident()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.parse_ident()?)
+        } else {
+            self.try_parse_bare_alias()
+        };
+        let predicate = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete(Delete {
+            table,
+            alias,
+            predicate,
+        }))
+    }
+
+    fn parse_update(&mut self) -> PResult<Statement> {
+        self.expect_kw("update")?;
+        let table = self.parse_ident()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.parse_ident()?)
+        } else {
+            self.try_parse_bare_alias()
+        };
+        self.expect_kw("set")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.parse_ident()?;
+            self.expect_kind(TokenKind::Eq)?;
+            let value = self.parse_expr()?;
+            assignments.push((col, value));
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let predicate = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update(Update {
+            table,
+            alias,
+            assignments,
+            predicate,
+        }))
+    }
+
+    // --------------------------------------------------------------- query
+
+    pub fn parse_query(&mut self) -> PResult<Query> {
+        let mut body = self.parse_query_atom()?;
+        while self.at_kw("union") {
+            self.bump();
+            let all = self.eat_kw("all");
+            let right = self.parse_query_atom()?;
+            body = QueryBody::Union {
+                left: Box::new(body),
+                right: Box::new(right),
+                all,
+            };
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderItem { expr, desc });
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.peek().kind {
+                TokenKind::Int(v) if v >= 0 => {
+                    self.bump();
+                    Some(v as u64)
+                }
+                _ => return self.err("expected a non-negative integer after LIMIT"),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            body,
+            order_by,
+            limit,
+        })
+    }
+
+    /// A `SELECT` block or a parenthesized query body.
+    fn parse_query_atom(&mut self) -> PResult<QueryBody> {
+        if self.eat_kind(&TokenKind::LParen) {
+            let q = self.parse_query()?;
+            self.expect_kind(TokenKind::RParen)?;
+            Ok(q.body)
+        } else {
+            Ok(QueryBody::Select(Box::new(self.parse_select()?)))
+        }
+    }
+
+    fn parse_select(&mut self) -> PResult<Select> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        if distinct {
+            // Allow both `DISTINCT` and `ALL` (the default) keywords.
+        } else {
+            self.eat_kw("all");
+        }
+        let mut projection = vec![self.parse_select_item()?];
+        while self.eat_kind(&TokenKind::Comma) {
+            projection.push(self.parse_select_item()?);
+        }
+        let mut from = Vec::new();
+        if self.eat_kw("from") {
+            from.push(self.parse_table_ref()?);
+            while self.eat_kind(&TokenKind::Comma) {
+                from.push(self.parse_table_ref()?);
+            }
+        }
+        let selection = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.at_kw("group") {
+            self.bump();
+            self.expect_kw("by")?;
+            group_by.push(self.parse_expr()?);
+            while self.eat_kind(&TokenKind::Comma) {
+                group_by.push(self.parse_expr()?);
+            }
+        }
+        let having = if self.eat_kw("having") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> PResult<SelectItem> {
+        if self.eat_kind(&TokenKind::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*` (quoted or unquoted alias)
+        let qualifier = match &self.peek().kind {
+            TokenKind::Ident(q) | TokenKind::QuotedIdent(q) => Some(q.clone()),
+            _ => None,
+        };
+        if let Some(q) = qualifier {
+            if self.peek_nth(1).kind == TokenKind::Dot && self.peek_nth(2).kind == TokenKind::Star
+            {
+                self.bump();
+                self.bump();
+                self.bump();
+                return Ok(SelectItem::QualifiedWildcard(q));
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.parse_ident()?)
+        } else {
+            self.try_parse_bare_alias()
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_table_ref(&mut self) -> PResult<TableRef> {
+        let mut left = self.parse_table_factor()?;
+        loop {
+            if self.at_kw("cross") {
+                self.bump();
+                self.expect_kw("join")?;
+                let right = self.parse_table_factor()?;
+                left = TableRef::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    kind: JoinKind::Cross,
+                    on: None,
+                };
+            } else if self.at_kw("inner") || self.at_kw("join") {
+                self.eat_kw("inner");
+                self.expect_kw("join")?;
+                let right = self.parse_table_factor()?;
+                let on = if self.eat_kw("on") {
+                    Some(self.parse_expr()?)
+                } else {
+                    None
+                };
+                left = TableRef::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    kind: JoinKind::Inner,
+                    on,
+                };
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_table_factor(&mut self) -> PResult<TableRef> {
+        if self.eat_kind(&TokenKind::LParen) {
+            // Either a parenthesized join or a derived table.
+            if self.at_kw("select") {
+                let query = self.parse_query()?;
+                self.expect_kind(TokenKind::RParen)?;
+                self.eat_kw("as");
+                let alias = match self.try_parse_bare_alias() {
+                    Some(a) => a,
+                    None => return self.err("derived table requires an alias"),
+                };
+                return Ok(TableRef::Subquery {
+                    query: Box::new(query),
+                    alias,
+                });
+            }
+            let inner = self.parse_table_ref()?;
+            self.expect_kind(TokenKind::RParen)?;
+            return Ok(inner);
+        }
+        let name = self.parse_ident()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.parse_ident()?)
+        } else {
+            self.try_parse_bare_alias()
+        };
+        Ok(TableRef::Named { name, alias })
+    }
+
+    // --------------------------------------------------------- expressions
+
+    pub fn parse_expr(&mut self) -> PResult<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> PResult<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and()?;
+            left = Expr::binary(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> PResult<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("and") {
+            let right = self.parse_not()?;
+            left = Expr::binary(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> PResult<Expr> {
+        // `NOT EXISTS` / `NOT IN` are handled at the predicate level so that
+        // they produce dedicated AST nodes; a leading NOT here covers
+        // `NOT (expr)` and `NOT col = 3`.
+        if self.at_kw("not") && !self.at_kw_nth(1, "exists") {
+            self.bump();
+            let inner = self.parse_not()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.parse_predicate()
+    }
+
+    fn parse_predicate(&mut self) -> PResult<Expr> {
+        if self.at_kw("exists") || (self.at_kw("not") && self.at_kw_nth(1, "exists")) {
+            let negated = self.eat_kw("not");
+            self.expect_kw("exists")?;
+            self.expect_kind(TokenKind::LParen)?;
+            let query = self.parse_query()?;
+            self.expect_kind(TokenKind::RParen)?;
+            return Ok(Expr::Exists {
+                query: Box::new(query),
+                negated,
+            });
+        }
+        let left = self.parse_additive()?;
+        // Comparison chain (non-associative: a = b).
+        let op = match self.peek().kind {
+            TokenKind::Eq => Some(BinOp::Eq),
+            TokenKind::NotEq => Some(BinOp::NotEq),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::LtEq => Some(BinOp::LtEq),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::GtEq => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.parse_additive()?;
+            return Ok(Expr::binary(op, left, right));
+        }
+        if self.at_kw("is") {
+            self.bump();
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        if self.at_kw("in") || (self.at_kw("not") && self.at_kw_nth(1, "in")) {
+            let negated = self.eat_kw("not");
+            self.expect_kw("in")?;
+            self.expect_kind(TokenKind::LParen)?;
+            if self.at_kw("select") {
+                let query = self.parse_query()?;
+                self.expect_kind(TokenKind::RParen)?;
+                // `(a, b) IN (SELECT …)` is parsed as a tuple by
+                // parse_primary; flatten it here.
+                let exprs = match left {
+                    Expr::Tuple(parts) => parts,
+                    e => vec![e],
+                };
+                return Ok(Expr::InSubquery {
+                    exprs,
+                    query: Box::new(query),
+                    negated,
+                });
+            }
+            let mut list = vec![self.parse_expr()?];
+            while self.eat_kind(&TokenKind::Comma) {
+                list.push(self.parse_expr()?);
+            }
+            self.expect_kind(TokenKind::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.at_kw("between") || (self.at_kw("not") && self.at_kw_nth(1, "between")) {
+            let negated = self.eat_kw("not");
+            self.expect_kw("between")?;
+            let low = self.parse_additive()?;
+            self.expect_kw("and")?;
+            let high = self.parse_additive()?;
+            // Desugar: x BETWEEN a AND b  →  x >= a AND x <= b.
+            let between = Expr::binary(
+                BinOp::And,
+                Expr::binary(BinOp::GtEq, left.clone(), low),
+                Expr::binary(BinOp::LtEq, left, high),
+            );
+            return Ok(if negated {
+                Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(between),
+                }
+            } else {
+                between
+            });
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> PResult<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(op, left, right);
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> PResult<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => return Ok(left),
+            };
+            self.bump();
+            let right = self.parse_unary()?;
+            left = Expr::binary(op, left, right);
+        }
+    }
+
+    fn parse_unary(&mut self) -> PResult<Expr> {
+        if self.eat_kind(&TokenKind::Minus) {
+            // Fold negation into numeric literals for cleaner ASTs.
+            match self.peek().kind {
+                TokenKind::Int(v) => {
+                    self.bump();
+                    return Ok(Expr::Literal(Lit::Int(-v)));
+                }
+                TokenKind::Real(v) => {
+                    self.bump();
+                    return Ok(Expr::Literal(Lit::Real(-v)));
+                }
+                _ => {}
+            }
+            let inner = self.parse_unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(inner),
+            });
+        }
+        if self.eat_kind(&TokenKind::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> PResult<Expr> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Literal(Lit::Int(v)))
+            }
+            TokenKind::Real(v) => {
+                self.bump();
+                Ok(Expr::Literal(Lit::Real(v)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Lit::Str(s)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let first = self.parse_expr()?;
+                if self.eat_kind(&TokenKind::Comma) {
+                    // Row value constructor: (a, b, …) — only valid before IN.
+                    let mut parts = vec![first];
+                    loop {
+                        parts.push(self.parse_expr()?);
+                        if !self.eat_kind(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect_kind(TokenKind::RParen)?;
+                    return Ok(Expr::Tuple(parts));
+                }
+                self.expect_kind(TokenKind::RParen)?;
+                Ok(first)
+            }
+            TokenKind::Ident(ref s) => {
+                match s.as_str() {
+                    "null" => {
+                        self.bump();
+                        return Ok(Expr::Literal(Lit::Null));
+                    }
+                    "true" => {
+                        self.bump();
+                        return Ok(Expr::Literal(Lit::Bool(true)));
+                    }
+                    "false" => {
+                        self.bump();
+                        return Ok(Expr::Literal(Lit::Bool(false)));
+                    }
+                    _ => {}
+                }
+                let first = self.parse_ident()?;
+                if self.peek().kind == TokenKind::LParen {
+                    return self.parse_func_call(first);
+                }
+                if self.eat_kind(&TokenKind::Dot) {
+                    let name = self.parse_ident()?;
+                    Ok(Expr::Column(ColumnRef {
+                        qualifier: Some(first),
+                        name,
+                    }))
+                } else {
+                    Ok(Expr::Column(ColumnRef {
+                        qualifier: None,
+                        name: first,
+                    }))
+                }
+            }
+            TokenKind::QuotedIdent(_) => {
+                let first = self.parse_ident()?;
+                if self.eat_kind(&TokenKind::Dot) {
+                    let name = self.parse_ident()?;
+                    Ok(Expr::Column(ColumnRef {
+                        qualifier: Some(first),
+                        name,
+                    }))
+                } else {
+                    Ok(Expr::Column(ColumnRef {
+                        qualifier: None,
+                        name: first,
+                    }))
+                }
+            }
+            other => self.err(format!("expected an expression, found '{other}'")),
+        }
+    }
+}
+
+impl Parser {
+    /// Parse a function call after its name: `( * | [DISTINCT] expr, … )`.
+    fn parse_func_call(&mut self, name: Ident) -> PResult<Expr> {
+        self.expect_kind(TokenKind::LParen)?;
+        if self.eat_kind(&TokenKind::Star) {
+            self.expect_kind(TokenKind::RParen)?;
+            return Ok(Expr::Func {
+                name,
+                distinct: false,
+                args: FuncArgs::Star,
+            });
+        }
+        let distinct = self.eat_kw("distinct");
+        let mut args = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            args.push(self.parse_expr()?);
+            while self.eat_kind(&TokenKind::Comma) {
+                args.push(self.parse_expr()?);
+            }
+        }
+        self.expect_kind(TokenKind::RParen)?;
+        Ok(Expr::Func {
+            name,
+            distinct,
+            args: FuncArgs::List(args),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_running_example() {
+        let sql = "CREATE ASSERTION atLeastOneLineItem CHECK(
+            NOT EXISTS(
+                SELECT * FROM ORDERS AS o
+                WHERE NOT EXISTS (
+                    SELECT * FROM LINEITEM AS l
+                    WHERE l.L_ORDERKEY = o.O_ORDERKEY)));";
+        let stmt = parse_statement(sql).unwrap();
+        let Statement::CreateAssertion(a) = stmt else {
+            panic!("expected assertion")
+        };
+        assert_eq!(a.name, "atleastonelineitem");
+        let Expr::Exists { negated: true, query } = &a.condition else {
+            panic!("expected NOT EXISTS, got {:?}", a.condition)
+        };
+        let selects = query.selects();
+        assert_eq!(selects.len(), 1);
+        assert_eq!(selects[0].from.len(), 1);
+    }
+
+    #[test]
+    fn parses_create_table_with_constraints() {
+        let sql = "CREATE TABLE lineitem (
+            l_orderkey INTEGER NOT NULL REFERENCES orders(o_orderkey),
+            l_linenumber INTEGER NOT NULL,
+            l_quantity INTEGER,
+            PRIMARY KEY (l_orderkey, l_linenumber))";
+        let Statement::CreateTable(t) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t.name, "lineitem");
+        assert_eq!(t.columns.len(), 3);
+        assert_eq!(t.constraints.len(), 2); // FK + PK
+        assert!(t
+            .constraints
+            .iter()
+            .any(|c| matches!(c, TableConstraint::PrimaryKey(pk) if pk.len() == 2)));
+    }
+
+    #[test]
+    fn parses_type_zoo() {
+        let sql = "CREATE TABLE t (a INT, b BIGINT, c DECIMAL(15,2), d DOUBLE PRECISION,
+                   e VARCHAR(25), f CHAR(1), g DATE, h CHARACTER VARYING(10))";
+        let Statement::CreateTable(t) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        let tys: Vec<TypeName> = t.columns.iter().map(|c| c.ty).collect();
+        assert_eq!(
+            tys,
+            vec![
+                TypeName::Int,
+                TypeName::Int,
+                TypeName::Real,
+                TypeName::Real,
+                TypeName::Text,
+                TypeName::Text,
+                TypeName::Text,
+                TypeName::Text,
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_insert_values_multi_row() {
+        let sql = "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')";
+        let Statement::Insert(i) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        assert_eq!(i.columns.as_deref(), Some(&["a".to_string(), "b".to_string()][..]));
+        let InsertSource::Values(rows) = i.source else {
+            panic!()
+        };
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn parses_insert_select() {
+        let sql = "INSERT INTO t SELECT * FROM s WHERE s.a > 3";
+        let Statement::Insert(i) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        assert!(matches!(i.source, InsertSource::Query(_)));
+    }
+
+    #[test]
+    fn parses_delete_with_alias() {
+        let sql = "DELETE FROM lineitem l WHERE l.l_orderkey = 7";
+        let Statement::Delete(d) = parse_statement(sql).unwrap() else {
+            panic!()
+        };
+        assert_eq!(d.alias.as_deref(), Some("l"));
+        assert!(d.predicate.is_some());
+    }
+
+    #[test]
+    fn parses_union_and_union_all() {
+        let q = parse_query("SELECT a FROM t UNION SELECT b FROM s UNION ALL SELECT c FROM u")
+            .unwrap();
+        let QueryBody::Union { all: true, left, .. } = &q.body else {
+            panic!()
+        };
+        assert!(matches!(**left, QueryBody::Union { all: false, .. }));
+    }
+
+    #[test]
+    fn parses_joins() {
+        let q = parse_query(
+            "SELECT * FROM a JOIN b ON a.x = b.x CROSS JOIN c INNER JOIN d ON d.y = c.y",
+        )
+        .unwrap();
+        let s = q.selects()[0];
+        assert_eq!(s.from.len(), 1);
+        assert!(matches!(s.from[0], TableRef::Join { .. }));
+    }
+
+    #[test]
+    fn parses_derived_table() {
+        let q = parse_query("SELECT * FROM (SELECT a FROM t) AS sub WHERE sub.a = 1").unwrap();
+        let s = q.selects()[0];
+        assert!(matches!(s.from[0], TableRef::Subquery { .. }));
+    }
+
+    #[test]
+    fn parses_in_subquery_and_not_in() {
+        let e = parse_expr("a IN (SELECT x FROM t)").unwrap();
+        assert!(matches!(e, Expr::InSubquery { negated: false, .. }));
+        let e = parse_expr("a NOT IN (SELECT x FROM t)").unwrap();
+        assert!(matches!(e, Expr::InSubquery { negated: true, .. }));
+    }
+
+    #[test]
+    fn parses_row_in_subquery() {
+        let e = parse_expr("(a, b) IN (SELECT x, y FROM t)").unwrap();
+        let Expr::InSubquery { exprs, .. } = e else {
+            panic!()
+        };
+        assert_eq!(exprs.len(), 2);
+    }
+
+    #[test]
+    fn parses_in_list() {
+        let e = parse_expr("a IN (1, 2, 3)").unwrap();
+        let Expr::InList { list, negated, .. } = e else {
+            panic!()
+        };
+        assert!(!negated);
+        assert_eq!(list.len(), 3);
+    }
+
+    #[test]
+    fn desugars_between() {
+        let e = parse_expr("a BETWEEN 1 AND 5").unwrap();
+        let parts = e.conjuncts();
+        assert_eq!(parts.len(), 2);
+        assert!(matches!(
+            parts[0],
+            Expr::Binary { op: BinOp::GtEq, .. }
+        ));
+    }
+
+    #[test]
+    fn not_between_negates() {
+        let e = parse_expr("a NOT BETWEEN 1 AND 5").unwrap();
+        assert!(matches!(e, Expr::Unary { op: UnOp::Not, .. }));
+    }
+
+    #[test]
+    fn parses_is_null_and_is_not_null() {
+        assert!(matches!(
+            parse_expr("a IS NULL").unwrap(),
+            Expr::IsNull { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expr("a IS NOT NULL").unwrap(),
+            Expr::IsNull { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn precedence_or_and_not() {
+        // NOT a = 1 AND b = 2 OR c = 3  →  ((NOT (a=1)) AND (b=2)) OR (c=3)
+        let e = parse_expr("NOT a = 1 AND b = 2 OR c = 3").unwrap();
+        let Expr::Binary { op: BinOp::Or, left, .. } = e else {
+            panic!()
+        };
+        let Expr::Binary { op: BinOp::And, left: l2, .. } = *left else {
+            panic!()
+        };
+        assert!(matches!(*l2, Expr::Unary { op: UnOp::Not, .. }));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        // 1 + 2 * 3 = 7  →  (1 + (2*3)) = 7
+        let e = parse_expr("1 + 2 * 3 = 7").unwrap();
+        let Expr::Binary { op: BinOp::Eq, left, .. } = e else {
+            panic!()
+        };
+        let Expr::Binary { op: BinOp::Add, right, .. } = *left else {
+            panic!()
+        };
+        assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn negative_literal_folding() {
+        assert_eq!(parse_expr("-3").unwrap(), Expr::Literal(Lit::Int(-3)));
+        assert_eq!(parse_expr("-3.5").unwrap(), Expr::Literal(Lit::Real(-3.5)));
+    }
+
+    #[test]
+    fn parses_multiple_statements() {
+        let stmts = parse_statements(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_statement("SELECT * FROM t garbage garbage").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_from_alias_for_derived_table() {
+        assert!(parse_query("SELECT * FROM (SELECT a FROM t)").is_err());
+    }
+
+    #[test]
+    fn keywords_are_not_bare_aliases() {
+        // `WHERE` must not be eaten as an alias of `t`.
+        let q = parse_query("SELECT * FROM t WHERE a = 1").unwrap();
+        let s = q.selects()[0];
+        let TableRef::Named { alias, .. } = &s.from[0] else {
+            panic!()
+        };
+        assert!(alias.is_none());
+        assert!(s.selection.is_some());
+    }
+
+    #[test]
+    fn parses_truncate_and_drop() {
+        assert!(matches!(
+            parse_statement("TRUNCATE TABLE t").unwrap(),
+            Statement::TruncateTable { .. }
+        ));
+        assert!(matches!(
+            parse_statement("DROP TABLE IF EXISTS t").unwrap(),
+            Statement::DropTable { if_exists: true, .. }
+        ));
+        assert!(matches!(
+            parse_statement("DROP VIEW v").unwrap(),
+            Statement::DropView { if_exists: false, .. }
+        ));
+        assert!(matches!(
+            parse_statement("DROP ASSERTION a").unwrap(),
+            Statement::DropAssertion { .. }
+        ));
+    }
+
+    #[test]
+    fn parses_create_index() {
+        let Statement::CreateIndex(ix) =
+            parse_statement("CREATE UNIQUE INDEX i ON t (a, b)").unwrap()
+        else {
+            panic!()
+        };
+        assert!(ix.unique);
+        assert_eq!(ix.columns.len(), 2);
+    }
+
+    #[test]
+    fn parses_select_projection_aliases() {
+        let q = parse_query("SELECT a AS x, t.b y, t.*, * FROM t").unwrap();
+        let s = q.selects()[0];
+        assert_eq!(s.projection.len(), 4);
+        assert!(matches!(
+            &s.projection[0],
+            SelectItem::Expr { alias: Some(a), .. } if a == "x"
+        ));
+        assert!(matches!(
+            &s.projection[1],
+            SelectItem::Expr { alias: Some(a), .. } if a == "y"
+        ));
+        assert!(matches!(
+            &s.projection[2],
+            SelectItem::QualifiedWildcard(q) if q == "t"
+        ));
+        assert!(matches!(&s.projection[3], SelectItem::Wildcard));
+    }
+}

@@ -1,0 +1,690 @@
+//! SQL pretty-printer.
+//!
+//! Emits SQL text that parses back to the same AST (verified by round-trip
+//! property tests). Identifiers that are reserved words or contain characters
+//! outside `[a-z0-9_]` are double-quoted.
+
+use crate::ast::*;
+use std::fmt::{self, Write};
+
+/// Quote an identifier if needed.
+pub fn ident(out: &mut String, id: &str) {
+    let plain = !id.is_empty()
+        && id
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && !id.chars().next().unwrap().is_ascii_digit()
+        && !is_reserved(id);
+    if plain {
+        out.push_str(id);
+    } else {
+        out.push('"');
+        out.push_str(id);
+        out.push('"');
+    }
+}
+
+fn is_reserved(id: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "select", "from", "where", "and", "or", "not", "exists", "in", "union", "all",
+        "distinct", "join", "inner", "cross", "on", "as", "is", "null", "between", "values",
+        "insert", "into", "delete", "create", "table", "view", "index", "assertion", "check",
+        "drop", "truncate", "primary", "key", "foreign", "references", "unique", "constraint",
+        "order", "group", "by", "having", "like", "set", "update", "true", "false", "if",
+        "int", "integer", "real", "text",
+    ];
+    RESERVED.contains(&id)
+}
+
+/// Escape a string literal body (`'` doubling).
+fn string_lit(out: &mut String, s: &str) {
+    out.push('\'');
+    for c in s.chars() {
+        if c == '\'' {
+            out.push('\'');
+        }
+        out.push(c);
+    }
+    out.push('\'');
+}
+
+/// Render any statement to SQL text.
+pub fn statement_to_sql(stmt: &Statement) -> String {
+    let mut out = String::new();
+    write_statement(&mut out, stmt);
+    out
+}
+
+/// Render a query to SQL text.
+pub fn query_to_sql(q: &Query) -> String {
+    let mut out = String::new();
+    write_query(&mut out, q);
+    out
+}
+
+/// Render an expression to SQL text.
+pub fn expr_to_sql(e: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, e, 0);
+    out
+}
+
+fn write_statement(out: &mut String, stmt: &Statement) {
+    match stmt {
+        Statement::CreateTable(t) => {
+            out.push_str("CREATE TABLE ");
+            ident(out, &t.name);
+            out.push_str(" (");
+            let mut first = true;
+            for c in &t.columns {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                ident(out, &c.name);
+                let _ = write!(out, " {}", c.ty);
+                if c.primary_key {
+                    out.push_str(" PRIMARY KEY");
+                } else if c.not_null {
+                    out.push_str(" NOT NULL");
+                }
+                if c.unique {
+                    out.push_str(" UNIQUE");
+                }
+            }
+            for con in &t.constraints {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                match con {
+                    TableConstraint::PrimaryKey(cols) => {
+                        out.push_str("PRIMARY KEY (");
+                        write_ident_list(out, cols);
+                        out.push(')');
+                    }
+                    TableConstraint::Unique(cols) => {
+                        out.push_str("UNIQUE (");
+                        write_ident_list(out, cols);
+                        out.push(')');
+                    }
+                    TableConstraint::ForeignKey {
+                        columns,
+                        ref_table,
+                        ref_columns,
+                    } => {
+                        out.push_str("FOREIGN KEY (");
+                        write_ident_list(out, columns);
+                        out.push_str(") REFERENCES ");
+                        ident(out, ref_table);
+                        if !ref_columns.is_empty() {
+                            out.push_str(" (");
+                            write_ident_list(out, ref_columns);
+                            out.push(')');
+                        }
+                    }
+                    TableConstraint::Check(e) => {
+                        out.push_str("CHECK (");
+                        write_expr(out, e, 0);
+                        out.push(')');
+                    }
+                }
+            }
+            out.push(')');
+        }
+        Statement::CreateAssertion(a) => {
+            out.push_str("CREATE ASSERTION ");
+            ident(out, &a.name);
+            out.push_str(" CHECK (");
+            write_expr(out, &a.condition, 0);
+            out.push(')');
+        }
+        Statement::CreateView(v) => {
+            out.push_str("CREATE VIEW ");
+            ident(out, &v.name);
+            out.push_str(" AS ");
+            write_query(out, &v.query);
+        }
+        Statement::CreateIndex(ix) => {
+            out.push_str("CREATE ");
+            if ix.unique {
+                out.push_str("UNIQUE ");
+            }
+            out.push_str("INDEX ");
+            ident(out, &ix.name);
+            out.push_str(" ON ");
+            ident(out, &ix.table);
+            out.push_str(" (");
+            write_ident_list(out, &ix.columns);
+            out.push(')');
+        }
+        Statement::DropTable { name, if_exists } => {
+            out.push_str("DROP TABLE ");
+            if *if_exists {
+                out.push_str("IF EXISTS ");
+            }
+            ident(out, name);
+        }
+        Statement::DropView { name, if_exists } => {
+            out.push_str("DROP VIEW ");
+            if *if_exists {
+                out.push_str("IF EXISTS ");
+            }
+            ident(out, name);
+        }
+        Statement::DropAssertion { name } => {
+            out.push_str("DROP ASSERTION ");
+            ident(out, name);
+        }
+        Statement::TruncateTable { name } => {
+            out.push_str("TRUNCATE TABLE ");
+            ident(out, name);
+        }
+        Statement::Insert(i) => {
+            out.push_str("INSERT INTO ");
+            ident(out, &i.table);
+            if let Some(cols) = &i.columns {
+                out.push_str(" (");
+                write_ident_list(out, cols);
+                out.push(')');
+            }
+            match &i.source {
+                InsertSource::Values(rows) => {
+                    out.push_str(" VALUES ");
+                    for (ri, row) in rows.iter().enumerate() {
+                        if ri > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push('(');
+                        for (ci, e) in row.iter().enumerate() {
+                            if ci > 0 {
+                                out.push_str(", ");
+                            }
+                            write_expr(out, e, 0);
+                        }
+                        out.push(')');
+                    }
+                }
+                InsertSource::Query(q) => {
+                    out.push(' ');
+                    write_query(out, q);
+                }
+            }
+        }
+        Statement::Delete(d) => {
+            out.push_str("DELETE FROM ");
+            ident(out, &d.table);
+            if let Some(a) = &d.alias {
+                out.push_str(" AS ");
+                ident(out, a);
+            }
+            if let Some(p) = &d.predicate {
+                out.push_str(" WHERE ");
+                write_expr(out, p, 0);
+            }
+        }
+        Statement::Update(u) => {
+            out.push_str("UPDATE ");
+            ident(out, &u.table);
+            if let Some(a) = &u.alias {
+                out.push_str(" AS ");
+                ident(out, a);
+            }
+            out.push_str(" SET ");
+            for (i, (col, e)) in u.assignments.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                ident(out, col);
+                out.push_str(" = ");
+                write_expr(out, e, 0);
+            }
+            if let Some(p) = &u.predicate {
+                out.push_str(" WHERE ");
+                write_expr(out, p, 0);
+            }
+        }
+        Statement::Query(q) => write_query(out, q),
+    }
+}
+
+fn write_ident_list(out: &mut String, ids: &[Ident]) {
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        ident(out, id);
+    }
+}
+
+fn write_query(out: &mut String, q: &Query) {
+    write_query_body(out, &q.body);
+    if !q.order_by.is_empty() {
+        out.push_str(" ORDER BY ");
+        for (i, item) in q.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_expr(out, &item.expr, 0);
+            if item.desc {
+                out.push_str(" DESC");
+            }
+        }
+    }
+    if let Some(n) = q.limit {
+        let _ = write!(out, " LIMIT {n}");
+    }
+}
+
+fn write_query_body(out: &mut String, b: &QueryBody) {
+    match b {
+        QueryBody::Select(s) => write_select(out, s),
+        QueryBody::Union { left, right, all } => {
+            write_query_body(out, left);
+            out.push_str(if *all { " UNION ALL " } else { " UNION " });
+            // Right operand may itself be a union; parenthesize to keep
+            // left-associativity on re-parse.
+            if matches!(**right, QueryBody::Union { .. }) {
+                out.push('(');
+                write_query_body(out, right);
+                out.push(')');
+            } else {
+                write_query_body(out, right);
+            }
+        }
+    }
+}
+
+fn write_select(out: &mut String, s: &Select) {
+    out.push_str("SELECT ");
+    if s.distinct {
+        out.push_str("DISTINCT ");
+    }
+    for (i, item) in s.projection.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match item {
+            SelectItem::Wildcard => out.push('*'),
+            SelectItem::QualifiedWildcard(q) => {
+                ident(out, q);
+                out.push_str(".*");
+            }
+            SelectItem::Expr { expr, alias } => {
+                write_expr(out, expr, 0);
+                if let Some(a) = alias {
+                    out.push_str(" AS ");
+                    ident(out, a);
+                }
+            }
+        }
+    }
+    if !s.from.is_empty() {
+        out.push_str(" FROM ");
+        for (i, tr) in s.from.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_table_ref(out, tr);
+        }
+    }
+    if let Some(sel) = &s.selection {
+        out.push_str(" WHERE ");
+        write_expr(out, sel, 0);
+    }
+    if !s.group_by.is_empty() {
+        out.push_str(" GROUP BY ");
+        for (i, e) in s.group_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_expr(out, e, 0);
+        }
+    }
+    if let Some(h) = &s.having {
+        out.push_str(" HAVING ");
+        write_expr(out, h, 0);
+    }
+}
+
+fn write_table_ref(out: &mut String, tr: &TableRef) {
+    match tr {
+        TableRef::Named { name, alias } => {
+            ident(out, name);
+            if let Some(a) = alias {
+                out.push_str(" AS ");
+                ident(out, a);
+            }
+        }
+        TableRef::Join {
+            left,
+            right,
+            kind,
+            on,
+        } => {
+            write_table_ref(out, left);
+            match kind {
+                JoinKind::Inner => out.push_str(" JOIN "),
+                JoinKind::Cross => out.push_str(" CROSS JOIN "),
+            }
+            // Parenthesize a join on the right to preserve shape.
+            if matches!(**right, TableRef::Join { .. }) {
+                out.push('(');
+                write_table_ref(out, right);
+                out.push(')');
+            } else {
+                write_table_ref(out, right);
+            }
+            if let Some(on) = on {
+                out.push_str(" ON ");
+                write_expr(out, on, 0);
+            }
+        }
+        TableRef::Subquery { query, alias } => {
+            out.push('(');
+            write_query(out, query);
+            out.push_str(") AS ");
+            ident(out, alias);
+        }
+    }
+}
+
+/// Binding power of an operator for parenthesization decisions.
+fn bin_prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => 4,
+        BinOp::Add | BinOp::Sub => 5,
+        BinOp::Mul | BinOp::Div => 6,
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr, min_prec: u8) {
+    match e {
+        Expr::Column(c) => {
+            if let Some(q) = &c.qualifier {
+                ident(out, q);
+                out.push('.');
+            }
+            ident(out, &c.name);
+        }
+        Expr::Literal(l) => match l {
+            Lit::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Lit::Real(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    let _ = write!(out, "{v:.1}");
+                } else {
+                    let _ = write!(out, "{v}");
+                }
+            }
+            Lit::Str(s) => string_lit(out, s),
+            Lit::Bool(b) => out.push_str(if *b { "TRUE" } else { "FALSE" }),
+            Lit::Null => out.push_str("NULL"),
+        },
+        Expr::Binary { op, left, right } => {
+            let prec = bin_prec(*op);
+            let need_paren = prec < min_prec;
+            if need_paren {
+                out.push('(');
+            }
+            // Comparisons are non-associative: parenthesize both operands.
+            let left_prec = if op.is_comparison() { prec + 1 } else { prec };
+            write_expr(out, left, left_prec);
+            let _ = write!(out, " {op} ");
+            write_expr(out, right, prec + 1);
+            if need_paren {
+                out.push(')');
+            }
+        }
+        Expr::Unary { op, expr } => match op {
+            // NOT sits between AND and the predicates (precedence 3); wrap
+            // it when embedded in a tighter context (e.g. an IN probe).
+            UnOp::Not => {
+                let need_paren = min_prec > 3;
+                if need_paren {
+                    out.push('(');
+                }
+                out.push_str("NOT (");
+                write_expr(out, expr, 0);
+                out.push(')');
+                if need_paren {
+                    out.push(')');
+                }
+            }
+            UnOp::Neg => {
+                out.push_str("-(");
+                write_expr(out, expr, 0);
+                out.push(')');
+            }
+        },
+        Expr::IsNull { expr, negated } => {
+            // Postfix predicate (precedence 4, non-associative): the operand
+            // must bind tighter, and the whole thing needs parens inside
+            // another predicate.
+            let need_paren = min_prec > 4;
+            if need_paren {
+                out.push('(');
+            }
+            write_expr(out, expr, 5);
+            out.push_str(if *negated { " IS NOT NULL" } else { " IS NULL" });
+            if need_paren {
+                out.push(')');
+            }
+        }
+        Expr::Exists { query, negated } => {
+            let need_paren = min_prec > 4;
+            if need_paren {
+                out.push('(');
+            }
+            if *negated {
+                out.push_str("NOT ");
+            }
+            out.push_str("EXISTS (");
+            write_query(out, query);
+            out.push(')');
+            if need_paren {
+                out.push(')');
+            }
+        }
+        Expr::InSubquery {
+            exprs,
+            query,
+            negated,
+        } => {
+            let need_paren = min_prec > 4;
+            if need_paren {
+                out.push('(');
+            }
+            if exprs.len() == 1 {
+                write_expr(out, &exprs[0], 5);
+            } else {
+                out.push('(');
+                for (i, e) in exprs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_expr(out, e, 0);
+                }
+                out.push(')');
+            }
+            out.push_str(if *negated { " NOT IN (" } else { " IN (" });
+            write_query(out, query);
+            out.push(')');
+            if need_paren {
+                out.push(')');
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let need_paren = min_prec > 4;
+            if need_paren {
+                out.push('(');
+            }
+            write_expr(out, expr, 5);
+            out.push_str(if *negated { " NOT IN (" } else { " IN (" });
+            for (i, e) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, e, 0);
+            }
+            out.push(')');
+            if need_paren {
+                out.push(')');
+            }
+        }
+        Expr::Func {
+            name,
+            distinct,
+            args,
+        } => {
+            // Function names print uppercased for readability; the lexer
+            // lowercases them again on reparse.
+            let _ = write!(out, "{}(", name.to_uppercase());
+            match args {
+                FuncArgs::Star => out.push('*'),
+                FuncArgs::List(list) => {
+                    if *distinct {
+                        out.push_str("DISTINCT ");
+                    }
+                    for (i, e) in list.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        write_expr(out, e, 0);
+                    }
+                }
+            }
+            out.push(')');
+        }
+        Expr::Tuple(parts) => {
+            out.push('(');
+            for (i, e) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, e, 0);
+            }
+            out.push(')');
+        }
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&statement_to_sql(self))
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&query_to_sql(self))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&expr_to_sql(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_expr, parse_query, parse_statement, parse_statements};
+
+    /// Parse → print → parse must be a fixpoint.
+    fn roundtrip_stmt(sql: &str) {
+        let s1 = parse_statement(sql).unwrap();
+        let printed = s1.to_string();
+        let s2 = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        assert_eq!(s1, s2, "printed form: {printed}");
+    }
+
+    #[test]
+    fn roundtrips_create_table() {
+        roundtrip_stmt(
+            "CREATE TABLE lineitem (l_orderkey INT NOT NULL, l_linenumber INT, l_quantity INT,
+             PRIMARY KEY (l_orderkey, l_linenumber),
+             FOREIGN KEY (l_orderkey) REFERENCES orders (o_orderkey),
+             CHECK (l_quantity > 0))",
+        );
+    }
+
+    #[test]
+    fn roundtrips_assertion() {
+        roundtrip_stmt(
+            "CREATE ASSERTION a CHECK (NOT EXISTS (SELECT * FROM orders AS o
+             WHERE NOT EXISTS (SELECT * FROM lineitem AS l WHERE l.k = o.k)))",
+        );
+    }
+
+    #[test]
+    fn roundtrips_dml() {
+        roundtrip_stmt("INSERT INTO t (a, b) VALUES (1, 'x''y'), (2, NULL)");
+        roundtrip_stmt("INSERT INTO t SELECT * FROM s");
+        roundtrip_stmt("DELETE FROM t AS x WHERE x.a = 1 OR x.b < 2.5");
+    }
+
+    #[test]
+    fn roundtrips_queries() {
+        for q in [
+            "SELECT DISTINCT a, b AS c, t.*, * FROM t, s AS u WHERE a = 1 AND b <> 2",
+            "SELECT * FROM a JOIN b ON a.x = b.x CROSS JOIN c",
+            "SELECT a FROM t UNION SELECT b FROM s UNION ALL SELECT c FROM u",
+            "SELECT * FROM (SELECT a FROM t) AS sub",
+            "SELECT * FROM t WHERE a IN (SELECT x FROM s) AND (b, c) NOT IN (SELECT y, z FROM r)",
+            "SELECT * FROM t WHERE a IN (1, 2, 3) AND b IS NOT NULL",
+            "SELECT * FROM t WHERE NOT (a = 1 OR b = 2)",
+            "SELECT * FROM t WHERE a + 2 * b - 3 / c >= d",
+        ] {
+            let q1 = parse_query(q).unwrap();
+            let printed = q1.to_string();
+            let q2 = parse_query(&printed).unwrap();
+            assert_eq!(q1, q2, "printed: {printed}");
+        }
+    }
+
+    #[test]
+    fn quotes_reserved_and_mixed_case_identifiers() {
+        let q = parse_query("SELECT \"Select\".\"From\" FROM \"Select\"").unwrap();
+        let printed = q.to_string();
+        assert!(printed.contains("\"Select\""));
+        assert!(printed.contains("\"From\""));
+        let q2 = parse_query(&printed).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn real_literals_keep_decimal_point() {
+        let e = parse_expr("a = 2.0").unwrap();
+        assert_eq!(e.to_string(), "a = 2.0");
+        // must reparse as Real, not Int
+        let e2 = parse_expr(&e.to_string()).unwrap();
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn roundtrips_ddl_misc() {
+        roundtrip_stmt("CREATE VIEW v AS SELECT a FROM t WHERE a > 0");
+        roundtrip_stmt("CREATE UNIQUE INDEX i ON t (a, b)");
+        roundtrip_stmt("DROP TABLE IF EXISTS t");
+        roundtrip_stmt("TRUNCATE TABLE t");
+        roundtrip_stmt("DROP ASSERTION a");
+    }
+
+    #[test]
+    fn statements_roundtrip_as_script() {
+        let script = "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t";
+        let stmts = parse_statements(script).unwrap();
+        let printed: Vec<String> = stmts.iter().map(|s| s.to_string()).collect();
+        let reparsed = parse_statements(&printed.join("; ")).unwrap();
+        assert_eq!(stmts, reparsed);
+    }
+}

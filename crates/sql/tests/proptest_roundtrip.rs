@@ -1,0 +1,175 @@
+//! Property test: printing any AST and re-parsing it yields the same AST.
+
+use proptest::prelude::*;
+use tintin_sql::*;
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    // Includes reserved words and mixed case to exercise quoting.
+    prop_oneof![
+        "[a-z][a-z0-9_]{0,8}",
+        Just("select".to_string()),
+        Just("from".to_string()),
+        Just("Order".to_string()),
+        Just("WEIRD name".to_string()),
+    ]
+}
+
+fn lit_strategy() -> impl Strategy<Value = Lit> {
+    prop_oneof![
+        any::<i32>().prop_map(|v| Lit::Int(v as i64)),
+        (-1000..1000i64).prop_map(|v| Lit::Real(v as f64 / 8.0)),
+        "[a-zA-Z' ]{0,10}".prop_map(Lit::Str),
+        Just(Lit::Null),
+        any::<bool>().prop_map(Lit::Bool),
+    ]
+}
+
+fn column_strategy() -> impl Strategy<Value = Expr> {
+    (proptest::option::of(ident_strategy()), ident_strategy()).prop_map(|(q, n)| {
+        Expr::Column(ColumnRef {
+            qualifier: q,
+            name: n,
+        })
+    })
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![lit_strategy().prop_map(Expr::Literal), column_strategy()];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                    Just(BinOp::Eq),
+                    Just(BinOp::NotEq),
+                    Just(BinOp::Lt),
+                    Just(BinOp::LtEq),
+                    Just(BinOp::Gt),
+                    Just(BinOp::GtEq),
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(e)
+            }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, n)| Expr::IsNull {
+                expr: Box::new(e),
+                negated: n
+            }),
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 1..3),
+                any::<bool>()
+            )
+                .prop_map(|(p, list, negated)| Expr::InList {
+                    expr: Box::new(p),
+                    list,
+                    negated
+                }),
+        ]
+    })
+}
+
+fn select_strategy() -> impl Strategy<Value = Select> {
+    (
+        any::<bool>(),
+        proptest::collection::vec(
+            prop_oneof![
+                Just(SelectItem::Wildcard),
+                ident_strategy().prop_map(SelectItem::QualifiedWildcard),
+                (expr_strategy(), proptest::option::of(ident_strategy()))
+                    .prop_map(|(e, a)| SelectItem::Expr { expr: e, alias: a }),
+            ],
+            1..4,
+        ),
+        proptest::collection::vec(
+            (ident_strategy(), proptest::option::of(ident_strategy()))
+                .prop_map(|(n, a)| TableRef::Named { name: n, alias: a }),
+            0..3,
+        ),
+        proptest::option::of(expr_strategy()),
+    )
+        .prop_map(|(distinct, projection, from, selection)| {
+            Select::simple(distinct, projection, from, selection)
+        })
+}
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    proptest::collection::vec((select_strategy(), any::<bool>()), 1..4).prop_map(|parts| {
+        let mut iter = parts.into_iter();
+        let (first, _) = iter.next().expect("non-empty");
+        let mut body = QueryBody::Select(Box::new(first));
+        for (sel, all) in iter {
+            body = QueryBody::Union {
+                left: Box::new(body),
+                right: Box::new(QueryBody::Select(Box::new(sel))),
+                all,
+            };
+        }
+        Query::new(body)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn expr_roundtrips(e in expr_strategy()) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed for `{printed}`: {err}"));
+        prop_assert_eq!(e, reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn query_roundtrips(q in query_strategy()) {
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed for `{printed}`: {err}"));
+        prop_assert_eq!(q, reparsed, "printed: {}", printed);
+    }
+
+    #[test]
+    fn statement_roundtrips_insert_delete_update(
+        table in ident_strategy(),
+        rows in proptest::collection::vec(
+            proptest::collection::vec(lit_strategy().prop_map(Expr::Literal), 1..4), 1..3),
+        pred in proptest::option::of(expr_strategy()),
+    ) {
+        let ins = Statement::Insert(Insert {
+            table: table.clone(),
+            columns: None,
+            source: InsertSource::Values(rows),
+        });
+        let printed = ins.to_string();
+        prop_assert_eq!(&ins, &parse_statement(&printed).unwrap(), "printed: {}", printed);
+
+        let del = Statement::Delete(Delete {
+            table: table.clone(),
+            alias: None,
+            predicate: pred.clone(),
+        });
+        let printed = del.to_string();
+        prop_assert_eq!(&del, &parse_statement(&printed).unwrap(), "printed: {}", printed);
+
+        let upd = Statement::Update(Update {
+            table,
+            alias: None,
+            assignments: vec![("c".to_string(), Expr::Literal(Lit::Int(1)))],
+            predicate: pred,
+        });
+        let printed = upd.to_string();
+        prop_assert_eq!(&upd, &parse_statement(&printed).unwrap(), "printed: {}", printed);
+    }
+}

@@ -1,0 +1,25 @@
+//! `tintin-tpch` — the TPC-H substrate of the TINTIN reproduction.
+//!
+//! The paper evaluates TINTIN on the TPC-H benchmark schema (its Figure 1)
+//! with data sets of 1–5 GB and update files of 1–5 MB. This crate provides:
+//!
+//! * [`schema::TPCH_SCHEMA_SQL`] — the Figure-1 schema as `CREATE TABLE`
+//!   DDL with keys and foreign keys;
+//! * [`Dbgen`] — a deterministic, seedable `dbgen` stand-in with TPC-H row
+//!   ratios per scale factor;
+//! * [`UpdateGen`] — batches of tuple insertions/deletions of a target byte
+//!   size, with a violation knob;
+//! * [`sizing`] — byte accounting that maps the in-memory data to the
+//!   paper's GB / MB axes.
+
+pub mod assertions;
+pub mod dbgen;
+pub mod schema;
+pub mod sizing;
+pub mod update_gen;
+
+pub use assertions::{assertion_sql, TPCH_ASSERTIONS};
+pub use dbgen::{suppliers_of_part, Dbgen, TpchCounts};
+pub use schema::{TPCH_SCHEMA_SQL, TPCH_TABLES};
+pub use sizing::{database_bytes, human_bytes, pending_update_bytes, table_bytes};
+pub use update_gen::{BatchStats, UpdateGen};

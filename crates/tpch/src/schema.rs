@@ -1,0 +1,96 @@
+//! The TPC-H schema of the paper's Figure 1.
+//!
+//! The figure shows a simplified TPC-H: eight tables with their keys and the
+//! associations Region ←1:N— Nation ←1:N— {Supplier, Customer},
+//! Customer ←1:N— Order ←1:N— LineItem —N:1→ PartSupp —N:1→ {Part, Supplier}.
+//! Attribute names follow the TPC-H prefixes used in the paper's SQL
+//! (`o_orderkey`, `l_orderkey`, …).
+
+/// `CREATE TABLE` script for the Figure-1 schema.
+pub const TPCH_SCHEMA_SQL: &str = "
+CREATE TABLE region (
+    r_regionkey INT PRIMARY KEY,
+    r_name      VARCHAR(25) NOT NULL);
+
+CREATE TABLE nation (
+    n_nationkey INT PRIMARY KEY,
+    n_name      VARCHAR(25) NOT NULL,
+    n_regionkey INT NOT NULL REFERENCES region);
+
+CREATE TABLE supplier (
+    s_suppkey   INT PRIMARY KEY,
+    s_name      VARCHAR(25) NOT NULL,
+    s_nationkey INT NOT NULL REFERENCES nation);
+
+CREATE TABLE customer (
+    c_custkey   INT PRIMARY KEY,
+    c_name      VARCHAR(25) NOT NULL,
+    c_nationkey INT NOT NULL REFERENCES nation);
+
+CREATE TABLE part (
+    p_partkey   INT PRIMARY KEY,
+    p_name      VARCHAR(55) NOT NULL);
+
+CREATE TABLE partsupp (
+    ps_partkey    INT NOT NULL REFERENCES part,
+    ps_suppkey    INT NOT NULL REFERENCES supplier,
+    ps_availqty   INT NOT NULL,
+    ps_supplycost REAL NOT NULL,
+    PRIMARY KEY (ps_partkey, ps_suppkey));
+
+CREATE TABLE orders (
+    o_orderkey   INT PRIMARY KEY,
+    o_custkey    INT NOT NULL REFERENCES customer,
+    o_totalprice REAL NOT NULL);
+
+CREATE TABLE lineitem (
+    l_orderkey   INT NOT NULL REFERENCES orders,
+    l_linenumber INT NOT NULL,
+    l_quantity   INT NOT NULL,
+    l_partkey    INT NOT NULL,
+    l_suppkey    INT NOT NULL,
+    PRIMARY KEY (l_orderkey, l_linenumber),
+    FOREIGN KEY (l_partkey, l_suppkey) REFERENCES partsupp (ps_partkey, ps_suppkey));
+";
+
+/// The eight base tables in FK-safe load order.
+pub const TPCH_TABLES: [&str; 8] = [
+    "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tintin_engine::Database;
+
+    #[test]
+    fn schema_installs() {
+        let mut db = Database::new();
+        db.execute_sql(TPCH_SCHEMA_SQL).unwrap();
+        for t in TPCH_TABLES {
+            assert!(db.table(t).is_some(), "missing {t}");
+        }
+        // lineitem has PK + two FKs; FK on l_orderkey gets an auto index.
+        let li = db.table("lineitem").unwrap();
+        assert!(li
+            .indexes()
+            .iter()
+            .any(|ix| ix.columns == vec![0] && !ix.unique));
+    }
+
+    #[test]
+    fn fk_metadata_resolved_to_positions() {
+        let mut db = Database::new();
+        db.execute_sql(TPCH_SCHEMA_SQL).unwrap();
+        let li = db.table("lineitem").unwrap();
+        assert_eq!(li.schema.foreign_keys.len(), 2);
+        let fk_orders = &li.schema.foreign_keys[0];
+        assert_eq!(fk_orders.ref_table, "orders");
+        assert_eq!(fk_orders.columns, vec![0]);
+        assert_eq!(fk_orders.ref_columns, vec![0]);
+        let fk_ps = &li.schema.foreign_keys[1];
+        assert_eq!(fk_ps.ref_table, "partsupp");
+        assert_eq!(fk_ps.columns, vec![3, 4]);
+        assert_eq!(fk_ps.ref_columns, vec![0, 1]);
+    }
+}

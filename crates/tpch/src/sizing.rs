@@ -1,0 +1,92 @@
+//! Byte accounting: estimated in-memory data sizes, used to express
+//! database and update sizes on the paper's GB / MB axes.
+
+use tintin_engine::{Database, Value};
+
+/// Estimated stored size of one value in bytes.
+pub fn value_bytes(v: &Value) -> usize {
+    match v {
+        Value::Null => 1,
+        Value::Int(_) => 8,
+        Value::Real(_) => 8,
+        Value::Str(s) => s.len() + 8,
+    }
+}
+
+/// Estimated size of a row (values + slot overhead).
+pub fn row_bytes(row: &[Value]) -> usize {
+    16 + row.iter().map(value_bytes).sum::<usize>()
+}
+
+/// Estimated data bytes of one table.
+pub fn table_bytes(db: &Database, table: &str) -> usize {
+    db.table(table)
+        .map(|t| t.scan().map(|(_, r)| row_bytes(r)).sum())
+        .unwrap_or(0)
+}
+
+/// Estimated data bytes of the TPC-H base tables (events excluded).
+pub fn database_bytes(db: &Database) -> usize {
+    crate::schema::TPCH_TABLES
+        .iter()
+        .map(|t| table_bytes(db, t))
+        .sum()
+}
+
+/// Estimated bytes of the pending update (all event tables).
+pub fn pending_update_bytes(db: &Database) -> usize {
+    let mut total = 0;
+    for t in crate::schema::TPCH_TABLES {
+        total += table_bytes(db, &tintin_engine::ins_table_name(t));
+        total += table_bytes(db, &tintin_engine::del_table_name(t));
+    }
+    total
+}
+
+/// Human-readable size.
+pub fn human_bytes(n: usize) -> String {
+    const UNITS: [&str; 4] = ["B", "KB", "MB", "GB"];
+    let mut size = n as f64;
+    let mut unit = 0;
+    while size >= 1024.0 && unit < UNITS.len() - 1 {
+        size /= 1024.0;
+        unit += 1;
+    }
+    format!("{size:.1} {}", UNITS[unit])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgen::Dbgen;
+
+    #[test]
+    fn value_sizes() {
+        assert_eq!(value_bytes(&Value::Int(1)), 8);
+        assert_eq!(value_bytes(&Value::str("abcd")), 12);
+        assert_eq!(value_bytes(&Value::Null), 1);
+    }
+
+    #[test]
+    fn database_bytes_scale_with_sf() {
+        let small = database_bytes(&Dbgen::new(0.0002).generate());
+        let large = database_bytes(&Dbgen::new(0.0008).generate());
+        assert!(large > 3 * small, "{small} vs {large}");
+    }
+
+    #[test]
+    fn pending_bytes_track_events() {
+        let mut db = Dbgen::new(0.0002).generate();
+        db.enable_capture("orders").unwrap();
+        assert_eq!(pending_update_bytes(&db), 0);
+        db.execute_sql("INSERT INTO orders VALUES (999999, 1, 10.0)").unwrap();
+        assert!(pending_update_bytes(&db) > 0);
+    }
+
+    #[test]
+    fn human_bytes_formatting() {
+        assert_eq!(human_bytes(512), "512.0 B");
+        assert_eq!(human_bytes(2048), "2.0 KB");
+        assert!(human_bytes(3 * 1024 * 1024).contains("MB"));
+    }
+}

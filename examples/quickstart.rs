@@ -1,0 +1,84 @@
+//! Quickstart: install an assertion, watch `safeCommit` reject a violating
+//! update and commit a fixed one.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use tintin::{CommitOutcome, Tintin};
+use tintin_engine::Database;
+
+fn main() {
+    // 1. A database with the paper's two running-example tables.
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE orders (o_orderkey INT PRIMARY KEY, o_totalprice REAL);
+         CREATE TABLE lineitem (
+             l_orderkey INT NOT NULL REFERENCES orders,
+             l_linenumber INT NOT NULL,
+             l_quantity INT NOT NULL,
+             PRIMARY KEY (l_orderkey, l_linenumber));
+         INSERT INTO orders VALUES (1, 173.50);
+         INSERT INTO lineitem VALUES (1, 1, 17);",
+    )
+    .expect("schema and seed data");
+
+    // 2. Install the paper's running-example assertion. TINTIN builds the
+    //    ins_/del_ event tables, the capture triggers, and the incremental
+    //    violation views.
+    let tintin = Tintin::new();
+    let installation = tintin
+        .install(
+            &mut db,
+            &["CREATE ASSERTION atLeastOneLineItem CHECK (NOT EXISTS (
+                   SELECT * FROM orders AS o
+                   WHERE NOT EXISTS (
+                       SELECT * FROM lineitem AS l
+                       WHERE l.l_orderkey = o.o_orderkey)))"],
+        )
+        .expect("install");
+
+    println!("Installed {} assertion(s).", installation.assertions.len());
+    println!("\nLogic denials:");
+    for d in &installation.denial_texts {
+        println!("  {d}");
+    }
+    println!("\nGenerated incremental views:");
+    for v in installation.views() {
+        println!("  {}\n", v.sql_text);
+    }
+
+    // 3. Propose an update that violates the assertion: an order without
+    //    any line item. The DML is captured in the event tables — the base
+    //    tables stay untouched until safeCommit approves.
+    db.execute_sql("INSERT INTO orders VALUES (2, 42.0)").unwrap();
+    match tintin.safe_commit(&mut db, &installation).unwrap() {
+        CommitOutcome::Rejected { violations, stats } => {
+            println!(
+                "update rejected in {:?} ({} views evaluated, {} skipped):",
+                stats.check_time, stats.views_evaluated, stats.views_skipped
+            );
+            for v in &violations {
+                println!("  assertion '{}' violated by:\n{}", v.assertion, v.rows);
+            }
+        }
+        CommitOutcome::Committed { .. } => unreachable!("this update violates"),
+    }
+
+    // 4. Propose the fixed transaction: order + line item together.
+    db.execute_sql(
+        "INSERT INTO orders VALUES (2, 42.0);
+         INSERT INTO lineitem VALUES (2, 1, 3);",
+    )
+    .unwrap();
+    match tintin.safe_commit(&mut db, &installation).unwrap() {
+        CommitOutcome::Committed { inserted, stats, .. } => {
+            println!(
+                "\nupdate committed: {inserted} rows inserted, checked in {:?}",
+                stats.check_time
+            );
+        }
+        CommitOutcome::Rejected { .. } => unreachable!("this update is valid"),
+    }
+
+    let rs = db.query_sql("SELECT * FROM orders").unwrap();
+    println!("\nfinal orders table:\n{rs}");
+}

@@ -1,0 +1,210 @@
+//! Interactive command-line front-end — the CLI equivalent of the paper's
+//! GUI (Figure 3): connect to a database, enter assertions, propose updates,
+//! and call `safeCommit`.
+//!
+//! Run with: `cargo run --example repl`
+//!
+//! ```text
+//! tintin> CREATE TABLE orders (o_orderkey INT PRIMARY KEY);
+//! tintin> assert CREATE ASSERTION neverNegative CHECK (NOT EXISTS (
+//!             SELECT * FROM orders WHERE o_orderkey < 0));
+//! tintin> install
+//! tintin> INSERT INTO orders VALUES (-1);
+//! tintin> commit
+//! ```
+
+use std::io::{BufRead, Write};
+use tintin::{CommitOutcome, Installation, Tintin};
+use tintin_engine::{Database, StatementResult};
+
+const HELP: &str = "\
+Commands:
+  <sql>;            execute SQL (DDL, INSERT/DELETE/UPDATE, SELECT). With an
+                    installation active, DML is captured as pending events.
+  explain <query>;  show the access-path plan (scans vs index probes)
+  assert <sql>;     queue a CREATE ASSERTION for the next `install`
+  install           install queued assertions (event tables + views)
+  commit            safeCommit: check pending events, then apply or reject
+  check             dry-run check of pending events
+  pending           show pending insertion/deletion counts
+  tables            list tables;  views — list views
+  demo              load a small orders/lineitem demo schema + data
+  help              this text;  quit — exit
+";
+
+fn main() {
+    println!("TINTIN repl — type `help` for commands.");
+    let mut db = Database::new();
+    let tintin = Tintin::new();
+    let mut queued: Vec<String> = Vec::new();
+    let mut installation: Option<Installation> = None;
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+
+    loop {
+        if buffer.is_empty() {
+            print!("tintin> ");
+        } else {
+            print!("   ...> ");
+        }
+        std::io::stdout().flush().unwrap();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        // Single-word commands work without a terminating semicolon.
+        if buffer.is_empty() {
+            match line {
+                "quit" | "exit" => break,
+                "help" => {
+                    println!("{HELP}");
+                    continue;
+                }
+                "install" => {
+                    if queued.is_empty() {
+                        println!("no assertions queued; use `assert CREATE ASSERTION …;`");
+                        continue;
+                    }
+                    let refs: Vec<&str> = queued.iter().map(|s| s.as_str()).collect();
+                    match tintin.install(&mut db, &refs) {
+                        Ok(inst) => {
+                            println!(
+                                "installed {} assertion(s), {} incremental view(s)",
+                                inst.assertions.len(),
+                                inst.view_count()
+                            );
+                            for d in &inst.denial_texts {
+                                println!("  denial: {d}");
+                            }
+                            installation = Some(inst);
+                            queued.clear();
+                        }
+                        Err(e) => println!("install failed: {e}"),
+                    }
+                    continue;
+                }
+                "commit" | "check" => {
+                    let Some(inst) = &installation else {
+                        println!("no installation; `install` first");
+                        continue;
+                    };
+                    if line == "commit" {
+                        match tintin.safe_commit(&mut db, inst) {
+                            Ok(CommitOutcome::Committed {
+                                inserted,
+                                deleted,
+                                stats,
+                            }) => println!(
+                                "committed (+{inserted}/-{deleted}) in {:?}",
+                                stats.check_time
+                            ),
+                            Ok(CommitOutcome::Rejected { violations, .. }) => {
+                                println!("rejected:");
+                                for v in violations {
+                                    println!("  {} →\n{}", v.assertion, v.rows);
+                                }
+                            }
+                            Err(e) => println!("error: {e}"),
+                        }
+                    } else {
+                        match tintin.check_pending(&mut db, inst) {
+                            Ok((violations, stats)) => {
+                                println!(
+                                    "checked in {:?}: {} violation(s)",
+                                    stats.check_time,
+                                    violations.len()
+                                );
+                                for v in violations {
+                                    println!("  {} →\n{}", v.assertion, v.rows);
+                                }
+                            }
+                            Err(e) => println!("error: {e}"),
+                        }
+                    }
+                    continue;
+                }
+                "pending" => {
+                    let (ins, del) = db.pending_counts();
+                    println!("pending: {ins} insertion(s), {del} deletion(s)");
+                    continue;
+                }
+                "tables" => {
+                    for t in db.table_names() {
+                        println!("  {t} ({} rows)", db.table(&t).unwrap().len());
+                    }
+                    continue;
+                }
+                "views" => {
+                    for v in db.view_names() {
+                        println!("  {v}");
+                    }
+                    continue;
+                }
+                "demo" => {
+                    match db.execute_sql(
+                        "CREATE TABLE orders (o_orderkey INT PRIMARY KEY, o_totalprice REAL);
+                         CREATE TABLE lineitem (
+                             l_orderkey INT NOT NULL REFERENCES orders,
+                             l_linenumber INT NOT NULL,
+                             PRIMARY KEY (l_orderkey, l_linenumber));
+                         INSERT INTO orders VALUES (1, 10.0), (2, 20.0);
+                         INSERT INTO lineitem VALUES (1, 1), (2, 1);",
+                    ) {
+                        Ok(_) => println!("demo schema loaded (orders, lineitem)"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+
+        // Accumulate until a terminating semicolon.
+        buffer.push_str(line);
+        buffer.push('\n');
+        if !line.ends_with(';') {
+            continue;
+        }
+        let input = std::mem::take(&mut buffer);
+        let input = input.trim().trim_end_matches(';').trim();
+
+        if let Some(rest) = input.strip_prefix("explain ") {
+            match db.explain_sql(rest) {
+                Ok(plan) => print!("{plan}"),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+
+        if let Some(rest) = input.strip_prefix("assert ") {
+            match tintin_sql::parse_statement(rest) {
+                Ok(tintin_sql::Statement::CreateAssertion(a)) => {
+                    println!("queued assertion '{}'", a.name);
+                    queued.push(rest.to_string());
+                }
+                Ok(_) => println!("`assert` expects a CREATE ASSERTION statement"),
+                Err(e) => println!("parse error: {e}"),
+            }
+            continue;
+        }
+
+        match db.execute_sql(input) {
+            Ok(results) => {
+                for r in results {
+                    match r {
+                        StatementResult::Ddl => println!("ok"),
+                        StatementResult::RowsAffected(n) => println!("{n} row(s) affected"),
+                        StatementResult::Rows(rs) => println!("{rs}"),
+                    }
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye");
+}

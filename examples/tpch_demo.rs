@@ -1,0 +1,115 @@
+//! The paper's §3 demo on the TPC-H schema (Figure 1): build event tables,
+//! install assertions of different complexity, propose violating and
+//! non-violating updates, call `safeCommit` after each.
+//!
+//! Run with: `cargo run --release --example tpch_demo [scale-factor]`
+//! (default scale factor 0.001 ≈ 1.5 k orders).
+
+use tintin::{CommitOutcome, Tintin};
+use tintin_tpch::{
+    assertion_sql, database_bytes, human_bytes, Dbgen, UpdateGen, TPCH_SCHEMA_SQL, TPCH_TABLES,
+};
+
+fn main() {
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.001);
+
+    println!("=== Figure 1: the TPC-H schema ===");
+    println!("{}", TPCH_SCHEMA_SQL.trim());
+
+    println!("\n=== dbgen: loading TPC-H at scale factor {sf} ===");
+    let gen = Dbgen::new(sf);
+    let mut db = gen.generate();
+    for t in TPCH_TABLES {
+        println!(
+            "  {t:<9} {:>8} rows",
+            db.table(t).map(|x| x.len()).unwrap_or(0)
+        );
+    }
+    println!("  total data: {}", human_bytes(database_bytes(&db)));
+
+    println!("\n=== installing assertions (event tables + triggers + views) ===");
+    let tintin = Tintin::new();
+    let inst = tintin.install(&mut db, &assertion_sql()).expect("install");
+    for a in &inst.assertions {
+        println!(
+            "  {:<22} {} denial(s) → {} EDC view(s): {}",
+            a.name,
+            a.denial_count,
+            a.edc_count,
+            a.view_names.join(", ")
+        );
+    }
+    println!(
+        "  event tables: {}",
+        TPCH_TABLES
+            .iter()
+            .map(|t| format!("ins_{t}/del_{t}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    let mut ug = UpdateGen::new(gen.counts(), 7);
+
+    println!("\n=== update 1: valid batch (new orders with line items) ===");
+    let stats = ug.valid_batch(&mut db, 4_000);
+    println!(
+        "  proposed: +{} orders, +{} lineitems, -{} orders, -{} lineitems ({})",
+        stats.orders_inserted,
+        stats.lineitems_inserted,
+        stats.orders_deleted,
+        stats.lineitems_deleted,
+        human_bytes(stats.bytes)
+    );
+    report(tintin.safe_commit(&mut db, &inst).unwrap());
+
+    println!("\n=== update 2: violating batch (orders without line items) ===");
+    let stats = ug.violating_batch(&mut db, 2_000, 2);
+    println!(
+        "  proposed: +{} orders, +{} lineitems ({})",
+        stats.orders_inserted,
+        stats.lineitems_inserted,
+        human_bytes(stats.bytes)
+    );
+    report(tintin.safe_commit(&mut db, &inst).unwrap());
+
+    println!("\n=== update 3: valid again (system stays usable) ===");
+    ug.valid_batch(&mut db, 2_000);
+    report(tintin.safe_commit(&mut db, &inst).unwrap());
+
+    println!("\n=== final consistency check (non-incremental) ===");
+    for (name, violations) in tintin.check_current_state(&db, &inst).unwrap() {
+        println!("  {name:<22} {} violating rows", violations);
+    }
+}
+
+fn report(outcome: CommitOutcome) {
+    match outcome {
+        CommitOutcome::Committed {
+            inserted,
+            deleted,
+            stats,
+        } => println!(
+            "  → COMMITTED (+{inserted}/-{deleted} rows); check took {:?} \
+             ({} views evaluated, {} skipped by the emptiness shortcut)",
+            stats.check_time, stats.views_evaluated, stats.views_skipped
+        ),
+        CommitOutcome::Rejected { violations, stats } => {
+            println!(
+                "  → REJECTED in {:?} ({} views evaluated, {} skipped)",
+                stats.check_time, stats.views_evaluated, stats.views_skipped
+            );
+            for v in violations {
+                println!(
+                    "    assertion '{}' (view {}): {} violating tuple(s), e.g. {:?}",
+                    v.assertion,
+                    v.view,
+                    v.rows.len(),
+                    v.rows.rows.first().map(|r| r.to_vec()).unwrap_or_default()
+                );
+            }
+        }
+    }
+}

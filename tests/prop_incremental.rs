@@ -1,0 +1,354 @@
+//! Property-based test of the EDC method's central correctness theorem:
+//!
+//! > Given an old state that satisfies the assertions and a normalized
+//! > update, the union of the EDC views is non-empty **iff** the updated
+//! > state violates some assertion.
+//!
+//! Random (but initially consistent) database states and random update
+//! batches are generated; the incremental verdict (per assertion) must match
+//! the ground truth obtained by applying the update and running the original
+//! assertion queries. The property is checked under three optimizer
+//! configurations, which also validates the semantic optimizations.
+
+use proptest::prelude::*;
+use tintin::{EdcConfig, Tintin, TintinConfig};
+use tintin_engine::{Database, Value};
+
+/// The fixed test schema: a parent/child pair (with FK) plus a third table.
+fn make_db() -> Database {
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE parent (pk INT PRIMARY KEY);
+         CREATE TABLE child (ck INT PRIMARY KEY, fkc INT NOT NULL REFERENCES parent);
+         CREATE TABLE item (ik INT PRIMARY KEY, grp INT NOT NULL, val INT NOT NULL);",
+    )
+    .unwrap();
+    db
+}
+
+/// Assertion suite covering the fragment's shapes: existential requirement,
+/// FK-style inclusion, pure selection, join, derived predicate with a
+/// comparison, union, NOT IN, and depth-3 nesting.
+const ASSERTIONS: &[&str] = &[
+    // A1: every parent has at least one child (the running example's shape).
+    "CREATE ASSERTION a1 CHECK (NOT EXISTS (
+        SELECT * FROM parent p WHERE NOT EXISTS (
+            SELECT * FROM child c WHERE c.fkc = p.pk)))",
+    // A2: every child references an existing parent (inclusion dependency).
+    "CREATE ASSERTION a2 CHECK (NOT EXISTS (
+        SELECT * FROM child c WHERE NOT EXISTS (
+            SELECT * FROM parent p WHERE p.pk = c.fkc)))",
+    // A3: selection only.
+    "CREATE ASSERTION a3 CHECK (NOT EXISTS (
+        SELECT * FROM item WHERE val < 0))",
+    // A4: join between two tables.
+    "CREATE ASSERTION a4 CHECK (NOT EXISTS (
+        SELECT * FROM child c, item i WHERE c.fkc = i.ik AND i.val > 3))",
+    // A5: negated subquery with an extra comparison (derived predicate).
+    "CREATE ASSERTION a5 CHECK (NOT EXISTS (
+        SELECT * FROM parent p WHERE NOT EXISTS (
+            SELECT * FROM child c WHERE c.fkc = p.pk AND c.ck > 0)))",
+    // A6: union of two violation queries.
+    "CREATE ASSERTION a6 CHECK (NOT EXISTS (
+        SELECT pk FROM parent WHERE pk < 0
+        UNION
+        SELECT ck FROM child WHERE ck < 0))",
+    // A7: NOT IN (inclusion via NOT IN).
+    "CREATE ASSERTION a7 CHECK (NOT EXISTS (
+        SELECT * FROM item WHERE grp NOT IN (SELECT pk FROM parent)))",
+    // A8: three levels of nesting with a positive EXISTS inside.
+    "CREATE ASSERTION a8 CHECK (NOT EXISTS (
+        SELECT * FROM item i WHERE NOT EXISTS (
+            SELECT * FROM parent p WHERE p.pk = i.grp AND EXISTS (
+                SELECT * FROM child c WHERE c.fkc = p.pk))))",
+];
+
+/// One randomly generated operation of an update batch.
+#[derive(Debug, Clone)]
+enum Op {
+    InsParent(i64),
+    InsChild(i64, i64),
+    InsItem(i64, i64, i64),
+    DelParent(i64),
+    DelChild(i64),
+    DelChildrenOf(i64),
+    DelItem(i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Small domains so collisions (and therefore interesting interactions
+    // between events and existing rows) are frequent.
+    let key = 0..8i64;
+    prop_oneof![
+        key.clone().prop_map(Op::InsParent),
+        (8..24i64, 0..8i64).prop_map(|(c, p)| Op::InsChild(c, p)),
+        (24..40i64, 0..8i64, -2..6i64).prop_map(|(i, g, v)| Op::InsItem(i, g, v)),
+        key.clone().prop_map(Op::DelParent),
+        (8..24i64).prop_map(Op::DelChild),
+        key.clone().prop_map(Op::DelChildrenOf),
+        (24..40i64).prop_map(Op::DelItem),
+    ]
+}
+
+/// A consistent initial state: parents 0..n, each with ≥1 child (ck > 0),
+/// items referencing existing parents with 0 ≤ val ≤ 3.
+#[derive(Debug, Clone)]
+struct InitialState {
+    parents: Vec<i64>,
+    children: Vec<(i64, i64)>,
+    items: Vec<(i64, i64, i64)>,
+}
+
+fn initial_state_strategy() -> impl Strategy<Value = InitialState> {
+    (1..6usize).prop_flat_map(|nparents| {
+        let parents: Vec<i64> = (0..nparents as i64).collect();
+        // Child keys are sequential from 8 (unique by construction); only
+        // the parent reference is random.
+        let child_fks =
+            proptest::collection::vec(0..nparents as i64, nparents..nparents + 6);
+        // Item keys sequential from 24; (grp, val) random but consistent
+        // (grp references an existing parent, 0 ≤ val ≤ 3).
+        let item_attrs = proptest::collection::vec((0..nparents as i64, 0..4i64), 0..6);
+        (Just(parents), child_fks, item_attrs).prop_map(
+            |(parents, mut child_fks, item_attrs)| {
+                // Each parent gets at least one child (A1/A5).
+                for (i, fk) in child_fks.iter_mut().enumerate().take(parents.len()) {
+                    *fk = parents[i];
+                }
+                let children: Vec<(i64, i64)> = child_fks
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, fk)| (8 + i as i64, fk))
+                    .collect();
+                let items: Vec<(i64, i64, i64)> = item_attrs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (g, v))| (24 + i as i64, g, v))
+                    .collect();
+                InitialState {
+                    parents,
+                    children,
+                    items,
+                }
+            },
+        )
+    })
+}
+
+fn load_state(db: &mut Database, st: &InitialState) {
+    db.insert_direct(
+        "parent",
+        st.parents.iter().map(|p| vec![Value::Int(*p)]).collect(),
+    )
+    .unwrap();
+    db.insert_direct(
+        "child",
+        st.children
+            .iter()
+            .map(|(c, p)| vec![Value::Int(*c), Value::Int(*p)])
+            .collect(),
+    )
+    .unwrap();
+    db.insert_direct(
+        "item",
+        st.items
+            .iter()
+            .map(|(i, g, v)| vec![Value::Int(*i), Value::Int(*g), Value::Int(*v)])
+            .collect(),
+    )
+    .unwrap();
+}
+
+/// Issue the ops through the capture layer: the base tables stay unchanged
+/// and the events accumulate in `ins_*` / `del_*`.
+fn apply_ops(db: &mut Database, ops: &[Op]) {
+    for op in ops {
+        let stmt = match op {
+            Op::InsParent(p) => format!("INSERT INTO parent VALUES ({p})"),
+            Op::InsChild(c, p) => format!("INSERT INTO child VALUES ({c}, {p})"),
+            Op::InsItem(i, g, v) => format!("INSERT INTO item VALUES ({i}, {g}, {v})"),
+            Op::DelParent(p) => format!("DELETE FROM parent WHERE pk = {p}"),
+            Op::DelChild(c) => format!("DELETE FROM child WHERE ck = {c}"),
+            Op::DelChildrenOf(p) => format!("DELETE FROM child WHERE fkc = {p}"),
+            Op::DelItem(i) => format!("DELETE FROM item WHERE ik = {i}"),
+        };
+        db.execute_sql(&stmt).unwrap();
+    }
+}
+
+/// Build the shared starting point: loaded state, capture enabled on every
+/// table, the update batch captured as pending events.
+fn captured_db(initial: &InitialState, ops: &[Op]) -> Database {
+    let mut db = make_db();
+    load_state(&mut db, initial);
+    for t in ["parent", "child", "item"] {
+        db.enable_capture(t).unwrap();
+    }
+    apply_ops(&mut db, ops);
+    db
+}
+
+/// Dedupe insert ops by key so apply_pending cannot hit PK conflicts among
+/// the new rows themselves, and drop inserts whose key already exists in the
+/// initial state with different attributes.
+fn sanitize_ops(ops: Vec<Op>, initial: &InitialState) -> Vec<Op> {
+    let mut seen_p = std::collections::BTreeSet::new();
+    let mut seen_c = std::collections::BTreeSet::new();
+    let mut seen_i = std::collections::BTreeSet::new();
+    ops.into_iter()
+        .filter(|op| match op {
+            Op::InsParent(p) => seen_p.insert(*p),
+            Op::InsChild(c, p) => {
+                // Same-key, different-attrs insert over an existing child
+                // would be a PK conflict at apply; keep only identical ones.
+                if initial.children.iter().any(|(ck, fk)| ck == c && fk != p) {
+                    return false;
+                }
+                seen_c.insert(*c)
+            }
+            Op::InsItem(i, g, v) => {
+                if initial
+                    .items
+                    .iter()
+                    .any(|(ik, grp, val)| ik == i && (grp != g || val != v))
+                {
+                    return false;
+                }
+                seen_i.insert(*i)
+            }
+            _ => true,
+        })
+        .collect()
+}
+
+/// Ground truth: apply the captured events (same INSTEAD-OF semantics the
+/// incremental checker sees) and run the original assertion queries on the
+/// updated state.
+fn ground_truth(base: &Database) -> Vec<bool> {
+    let mut db = base.clone();
+    db.normalize_events().unwrap();
+    db.apply_pending().expect("sanitized batches apply cleanly");
+    ASSERTIONS
+        .iter()
+        .map(|a| {
+            let tintin_sql::Statement::CreateAssertion(ca) =
+                tintin_sql::parse_statement(a).unwrap()
+            else {
+                unreachable!()
+            };
+            let mut violated = false;
+            for conj in ca.condition.conjuncts() {
+                if let tintin_sql::Expr::Exists { query, negated: true } = conj {
+                    if !db.query(query).unwrap().is_empty() {
+                        violated = true;
+                    }
+                }
+            }
+            violated
+        })
+        .collect()
+}
+
+/// The incremental verdict for a given optimizer configuration.
+fn incremental_verdict(base: &Database, edc: EdcConfig) -> Vec<bool> {
+    let mut db = base.clone();
+    let tintin = Tintin::with_config(TintinConfig {
+        edc,
+        check_initial_state: true,
+        ..TintinConfig::default()
+    });
+    // The initial state is consistent by construction; if not, the
+    // generator is wrong and install fails loudly.
+    let inst = tintin
+        .install(&mut db, ASSERTIONS)
+        .expect("initial state consistent");
+    let (violations, _) = tintin.check_pending(&mut db, &inst).unwrap();
+    let mut verdict = vec![false; ASSERTIONS.len()];
+    for v in violations {
+        let idx = v
+            .assertion
+            .strip_prefix('a')
+            .and_then(|n| n.parse::<usize>().ok())
+            .map(|n| n - 1)
+            .expect("assertion index");
+        verdict[idx] = true;
+    }
+    verdict
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+        .. ProptestConfig::default()
+    })]
+
+    /// The central theorem, under the default configuration.
+    #[test]
+    fn incremental_check_matches_ground_truth(
+        initial in initial_state_strategy(),
+        raw_ops in proptest::collection::vec(op_strategy(), 1..10),
+    ) {
+        let ops = sanitize_ops(raw_ops, &initial);
+        let base = captured_db(&initial, &ops);
+        let truth = ground_truth(&base);
+        let verdict = incremental_verdict(&base, EdcConfig::default());
+        prop_assert_eq!(
+            &verdict, &truth,
+            "incremental vs ground truth diverged\nops: {:?}\ninitial: {:?}", ops, initial
+        );
+    }
+
+    /// The optimizations must not change any verdict.
+    #[test]
+    fn optimizations_preserve_verdicts(
+        initial in initial_state_strategy(),
+        raw_ops in proptest::collection::vec(op_strategy(), 1..8),
+    ) {
+        let ops = sanitize_ops(raw_ops, &initial);
+        let base = captured_db(&initial, &ops);
+        let default = incremental_verdict(&base, EdcConfig::default());
+        let no_fk = incremental_verdict(&base, EdcConfig {
+            optimize: true,
+            assume_fks_valid: false,
+        });
+        let raw = incremental_verdict(&base, EdcConfig {
+            optimize: false,
+            assume_fks_valid: false,
+        });
+        prop_assert_eq!(&default, &no_fk, "FK pruning changed a verdict; ops: {:?}", ops);
+        prop_assert_eq!(&default, &raw, "optimizer changed a verdict; ops: {:?}", ops);
+    }
+
+    /// After a committed safe_commit the new state satisfies every
+    /// assertion; after a rejection the old state is intact.
+    #[test]
+    fn safe_commit_postconditions(
+        initial in initial_state_strategy(),
+        raw_ops in proptest::collection::vec(op_strategy(), 1..10),
+    ) {
+        let ops = sanitize_ops(raw_ops, &initial);
+        let mut db = captured_db(&initial, &ops);
+        let tintin = Tintin::new();
+        let inst = tintin.install(&mut db, ASSERTIONS).expect("consistent start");
+        let before: Vec<usize> = ["parent", "child", "item"]
+            .iter()
+            .map(|t| db.table(t).unwrap().len())
+            .collect();
+        let outcome = tintin.safe_commit(&mut db, &inst).unwrap();
+        if outcome.is_committed() {
+            let checks = tintin.check_current_state(&db, &inst).unwrap();
+            prop_assert!(
+                checks.iter().all(|(_, n)| *n == 0),
+                "committed state violates an assertion: {:?}; ops {:?}", checks, ops
+            );
+        } else {
+            let after: Vec<usize> = ["parent", "child", "item"]
+                .iter()
+                .map(|t| db.table(t).unwrap().len())
+                .collect();
+            prop_assert_eq!(&before, &after, "rejected update mutated the db");
+        }
+        prop_assert_eq!(db.pending_counts(), (0, 0), "events not truncated");
+    }
+}
