@@ -1,0 +1,105 @@
+//! Commit-path benchmark: autocommit-per-statement vs one N-statement
+//! transaction with a single `safeCommit` at `COMMIT`.
+//!
+//! The paper's incremental model prices a check per *commit*, proportional
+//! to the update size — so batching N statements into one transaction buys
+//! close to an N-fold reduction in checking overhead. This benchmark
+//! demonstrates that batching win on a TPC-H database with the running
+//! example assertion installed.
+//!
+//! Run with `cargo bench -p tintin-bench --bench commit_path`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tintin_session::Session;
+use tintin_tpch::{suppliers_of_part, Dbgen, TpchCounts, TPCH_ASSERTIONS};
+
+const SCALE: f64 = 0.002; // ~3 k orders, ~12 k lineitems
+
+/// A session over a freshly generated TPC-H database with the running
+/// example assertion installed.
+fn tpch_session() -> (Session, TpchCounts) {
+    let gen = Dbgen::new(SCALE).with_seed(7);
+    let counts = gen.counts();
+    let mut session = Session::with_database(gen.generate());
+    session
+        .install(&[TPCH_ASSERTIONS[0].1, TPCH_ASSERTIONS[1].1])
+        .expect("install");
+    (session, counts)
+}
+
+/// `n` single-row INSERT statements, each individually assertion-safe:
+/// fresh lineitems attached to existing orders, with valid part/supplier
+/// pairs and in-range quantities. Line numbers start high so they never
+/// collide with generated data (1–7 lines per order).
+fn lineitem_inserts(counts: &TpchCounts, n: usize) -> Vec<String> {
+    (0..n as i64)
+        .map(|i| {
+            let order = 1 + (i % counts.orders);
+            let part = 1 + (i % counts.parts);
+            let supp = suppliers_of_part(counts, part)
+                .next()
+                .expect("every part has a supplier");
+            format!(
+                "INSERT INTO lineitem VALUES ({order}, {line}, {qty}, {part}, {supp})",
+                line = 1000 + i,
+                qty = 1 + (i % 50),
+            )
+        })
+        .collect()
+}
+
+fn bench_commit_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit_path");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    for n in [10usize, 100] {
+        // Autocommit: every statement is its own transaction, so the
+        // normalize + check + apply cycle runs N times.
+        let (mut session, counts) = tpch_session();
+        let stmts = lineitem_inserts(&counts, n);
+        group.bench_with_input(
+            BenchmarkId::new("autocommit_per_statement", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    for stmt in &stmts {
+                        let out = session.execute(stmt).expect("execute");
+                        assert!(out[0].is_committed(), "benchmark batch is valid");
+                    }
+                    // Reset: remove the inserted lineitems outside timing
+                    // concerns would be ideal, but deletes are also valid
+                    // commits; they keep the database size stable.
+                    session
+                        .execute("DELETE FROM lineitem WHERE l_linenumber >= 1000")
+                        .expect("cleanup");
+                })
+            },
+        );
+
+        // One explicit transaction: the same N statements accumulate as
+        // pending events and are checked by a single safeCommit.
+        let (mut session, counts) = tpch_session();
+        let stmts = lineitem_inserts(&counts, n);
+        group.bench_with_input(BenchmarkId::new("single_transaction", n), &n, |b, _| {
+            b.iter(|| {
+                session.execute("BEGIN").expect("begin");
+                for stmt in &stmts {
+                    session.execute(stmt).expect("execute");
+                }
+                let out = session.execute("COMMIT").expect("commit");
+                assert!(out[0].is_committed(), "benchmark batch is valid");
+                session
+                    .execute("DELETE FROM lineitem WHERE l_linenumber >= 1000")
+                    .expect("cleanup");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit_path);
+criterion_main!(benches);

@@ -23,8 +23,7 @@ fn bench_e1(c: &mut Criterion) {
             &gb,
             |b, _| {
                 b.iter(|| {
-                    let (violations, stats) =
-                        s.tintin.check_pending(&mut s.db, &s.inst).unwrap();
+                    let (violations, stats) = s.tintin.check_pending(&mut s.db, &s.inst).unwrap();
                     assert!(violations.is_empty());
                     stats.views_evaluated
                 })

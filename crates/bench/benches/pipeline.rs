@@ -66,8 +66,7 @@ fn bench_edc_generation(c: &mut Criterion) {
                 let denials = translate_assertion(&cat, &mut reg, a).unwrap();
                 let mut edcs = Vec::new();
                 for d in &denials {
-                    let mut generator =
-                        EdcGenerator::new(&mut reg, &cat, EdcConfig::default());
+                    let mut generator = EdcGenerator::new(&mut reg, &cat, EdcConfig::default());
                     edcs.extend(generator.generate(d).unwrap());
                 }
                 edcs.len()

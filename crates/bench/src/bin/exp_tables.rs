@@ -40,7 +40,11 @@ fn main() {
         e1(&gbs, &mbs, iters);
     }
     if all || which.contains(&"e2") {
-        e2(if quick { 1.0 } else { 5.0 }, if quick { 1.0 } else { 5.0 }, iters);
+        e2(
+            if quick { 1.0 } else { 5.0 },
+            if quick { 1.0 } else { 5.0 },
+            iters,
+        );
     }
     if all || which.contains(&"e3") {
         e3(if quick { 0.5 } else { 2.0 }, 1.0, iters);

@@ -37,7 +37,13 @@ pub struct Scenario {
 /// Load TPC-H at `paper_gb` "paper gigabytes", install `assertions`, and
 /// capture a violation-free update batch of `paper_mb` "paper megabytes".
 pub fn prepare(paper_gb: f64, paper_mb: f64, assertions: &[&str], seed: u64) -> Scenario {
-    prepare_with_config(paper_gb, paper_mb, assertions, seed, TintinConfig::default())
+    prepare_with_config(
+        paper_gb,
+        paper_mb,
+        assertions,
+        seed,
+        TintinConfig::default(),
+    )
 }
 
 /// Like [`prepare`] with an explicit configuration (ablations).
@@ -77,7 +83,10 @@ pub fn time_incremental(s: &mut Scenario, iters: usize) -> Duration {
     let mut best = Duration::MAX;
     for _ in 0..iters {
         let (violations, stats) = s.tintin.check_pending(&mut s.db, &s.inst).unwrap();
-        assert!(violations.is_empty(), "benchmark batches are violation-free");
+        assert!(
+            violations.is_empty(),
+            "benchmark batches are violation-free"
+        );
         best = best.min(stats.check_time);
     }
     best

@@ -142,6 +142,12 @@ impl Installation {
         self.views.len()
     }
 
+    /// Keep only the views satisfying the predicate (used when a single
+    /// assertion is dropped from an installation).
+    pub fn retain_views(&mut self, f: impl FnMut(&GeneratedView) -> bool) {
+        self.views.retain(f);
+    }
+
     /// Export everything TINTIN generated as a portable SQL script: the
     /// event tables and the violation views, with the source assertions as
     /// comments. The paper stresses that the incremental queries are
@@ -150,13 +156,19 @@ impl Installation {
     /// vendor-specific and are left to the target system).
     pub fn export_sql(&self, db: &Database) -> String {
         let mut out = String::new();
-        out.push_str("-- Generated by tintin-rs: incremental integrity checking views
-");
-        out.push_str("-- (EDBT 2016, \"TINTIN: a Tool for INcremental INTegrity checking\")
+        out.push_str(
+            "-- Generated by tintin-rs: incremental integrity checking views
+",
+        );
+        out.push_str(
+            "-- (EDBT 2016, \"TINTIN: a Tool for INcremental INTegrity checking\")
 
-");
-        out.push_str("-- Event tables (populate via INSTEAD OF triggers or application code):
-");
+",
+        );
+        out.push_str(
+            "-- Event tables (populate via INSTEAD OF triggers or application code):
+",
+        );
         for t in db.captured_tables() {
             let base = db.table(&t).expect("captured table exists");
             for prefix in ["ins_", "del_"] {
@@ -175,16 +187,24 @@ impl Installation {
         }
         out.push('\n');
         for a in &self.assertions {
-            out.push_str(&format!("-- assertion {}:
-", a.name));
+            out.push_str(&format!(
+                "-- assertion {}:
+",
+                a.name
+            ));
             for line in a.source_sql.lines() {
-                out.push_str(&format!("--   {}
-", line.trim()));
+                out.push_str(&format!(
+                    "--   {}
+",
+                    line.trim()
+                ));
             }
             for v in self.views.iter().filter(|v| v.assertion == a.name) {
                 out.push_str(&v.sql_text);
-                out.push_str(";
-");
+                out.push_str(
+                    ";
+",
+                );
             }
             if self.fallbacks.iter().any(|f| f.assertion == a.name) {
                 out.push_str(
@@ -246,9 +266,7 @@ impl CommitOutcome {
 
     pub fn stats(&self) -> &CheckStats {
         match self {
-            CommitOutcome::Committed { stats, .. } | CommitOutcome::Rejected { stats, .. } => {
-                stats
-            }
+            CommitOutcome::Committed { stats, .. } | CommitOutcome::Rejected { stats, .. } => stats,
         }
     }
 }
@@ -277,7 +295,7 @@ impl Tintin {
     pub fn catalog_of(db: &Database) -> SchemaCatalog {
         let mut cat = SchemaCatalog::new();
         for name in db.table_names() {
-            if is_event_table(db, &name) {
+            if db.is_event_table(&name) {
                 continue;
             }
             let t = db.table(&name).expect("listed table exists");
@@ -303,6 +321,11 @@ impl Tintin {
     /// Install assertions: create event tables and capture (the trigger
     /// equivalent) for every base table, rewrite the assertions into
     /// incremental views, and store the views in the database.
+    ///
+    /// Installation is atomic: on any failure (untranslatable assertion,
+    /// initial state violated, …) every view created and every capture
+    /// enabled by this call is removed again, so a failed install leaves
+    /// the database exactly as it was.
     pub fn install(&self, db: &mut Database, assertions: &[&str]) -> Result<Installation> {
         // Parse everything first.
         let mut parsed: Vec<(sql::CreateAssertion, String)> = Vec::new();
@@ -322,31 +345,63 @@ impl Tintin {
         let cat = Self::catalog_of(db);
 
         // Enable capture for all base tables (the paper builds event tables
-        // for every table of the target database).
+        // for every table of the target database), remembering which ones
+        // this call enabled so a failure can roll them back.
         let base_tables: Vec<String> = db
             .table_names()
             .into_iter()
-            .filter(|t| !is_event_table(db, t))
+            .filter(|t| !db.is_event_table(t))
             .collect();
+        let mut newly_captured: Vec<String> = Vec::new();
         for t in &base_tables {
             if !db.is_captured(t) {
-                db.enable_capture(t)?;
+                if let Err(e) = db.enable_capture(t) {
+                    for c in &newly_captured {
+                        let _ = db.disable_capture(c);
+                    }
+                    return Err(e.into());
+                }
+                newly_captured.push(t.clone());
             }
         }
 
+        let mut created_views: Vec<String> = Vec::new();
+        match self.install_rewrites(db, &cat, &parsed, &mut created_views) {
+            Ok(installation) => Ok(installation),
+            Err(e) => {
+                for v in &created_views {
+                    let _ = db.drop_view(v, true);
+                }
+                for c in &newly_captured {
+                    let _ = db.disable_capture(c);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The fallible tail of [`Tintin::install`]: rewrite the assertions,
+    /// store the views (recording each created name in `created_views` for
+    /// the caller's cleanup) and verify the initial state.
+    fn install_rewrites(
+        &self,
+        db: &mut Database,
+        cat: &SchemaCatalog,
+        parsed: &[(sql::CreateAssertion, String)],
+        created_views: &mut Vec<String>,
+    ) -> Result<Installation> {
         // Rewrite each assertion.
         let mut reg = Registry::new();
         let mut installed = Vec::new();
         let mut all_views = Vec::new();
         let mut denial_texts = Vec::new();
         let mut fallbacks = Vec::new();
-        for (assertion, source_sql) in &parsed {
-            let denials = match tintin_logic::translate_assertion(&cat, &mut reg, assertion) {
+        for (assertion, source_sql) in parsed {
+            let denials = match tintin_logic::translate_assertion(cat, &mut reg, assertion) {
                 Ok(d) => d,
                 Err(e)
                     if self.config.aggregate_fallback
-                        && (e.message.contains("aggregate")
-                            || e.message.contains("GROUP BY")) =>
+                        && (e.message.contains("aggregate") || e.message.contains("GROUP BY")) =>
                 {
                     // Aggregates: fall back to gated re-execution of the
                     // original query (the paper's future work, handled
@@ -381,11 +436,10 @@ impl Tintin {
             }
             let mut edcs = Vec::new();
             for d in &denials {
-                let mut generator =
-                    EdcGenerator::new(&mut reg, &cat, self.config.edc.clone());
+                let mut generator = EdcGenerator::new(&mut reg, cat, self.config.edc.clone());
                 edcs.extend(generator.generate(d)?);
             }
-            let views = tintin_sqlgen::generate_views(&cat, &reg, &edcs)?;
+            let views = tintin_sqlgen::generate_views(cat, &reg, &edcs)?;
             let original_queries = split_assertion_queries(&assertion.condition)?;
             installed.push(InstalledAssertion {
                 name: assertion.name.clone(),
@@ -398,20 +452,15 @@ impl Tintin {
             all_views.extend(views);
         }
 
-        // Store views in the database (validates that they compile).
+        // Store views in the database (validates that they compile); every
+        // created name is recorded so a later failure can remove them.
         for v in &all_views {
             db.create_view(&v.name, v.query.clone())?;
+            created_views.push(v.name.clone());
         }
 
-        let installation = Installation {
-            assertions: installed,
-            views: all_views,
-            fallbacks,
-            denial_texts,
-        };
-
         if self.config.check_initial_state {
-            for a in &installation.assertions {
+            for a in &installed {
                 for q in &a.original_queries {
                     let rs = db.query(q)?;
                     if !rs.is_empty() {
@@ -424,7 +473,12 @@ impl Tintin {
             }
         }
 
-        Ok(installation)
+        Ok(Installation {
+            assertions: installed,
+            views: all_views,
+            fallbacks,
+            denial_texts,
+        })
     }
 
     /// Remove everything an installation created: the violation views and —
@@ -489,8 +543,7 @@ impl Tintin {
                         || f.tables.iter().any(|t| {
                             let ins = db.table(&tintin_engine::ins_table_name(t));
                             let del = db.table(&tintin_engine::del_table_name(t));
-                            ins.is_some_and(|x| !x.is_empty())
-                                || del.is_some_and(|x| !x.is_empty())
+                            ins.is_some_and(|x| !x.is_empty()) || del.is_some_and(|x| !x.is_empty())
                         })
                 })
                 .collect();
@@ -610,25 +663,15 @@ fn gate_open(db: &Database, gate: &[(bool, String)]) -> bool {
     })
 }
 
-/// Is `name` one of the `ins_X` / `del_X` event tables of a captured table?
-fn is_event_table(db: &Database, name: &str) -> bool {
-    for prefix in ["ins_", "del_"] {
-        if let Some(base) = name.strip_prefix(prefix) {
-            if db.is_captured(base) {
-                return true;
-            }
-        }
-    }
-    false
-}
-
 /// Collect base-table names referenced anywhere in a query (FROM clauses of
 /// all nested selects and subqueries).
 fn collect_query_tables(q: &sql::Query, out: &mut Vec<String>) {
     fn walk_tr(tr: &sql::TableRef, out: &mut Vec<String>) {
         match tr {
             sql::TableRef::Named { name, .. } => out.push(name.clone()),
-            sql::TableRef::Join { left, right, on, .. } => {
+            sql::TableRef::Join {
+                left, right, on, ..
+            } => {
                 walk_tr(left, out);
                 walk_tr(right, out);
                 if let Some(on) = on {

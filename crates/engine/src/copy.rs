@@ -144,10 +144,8 @@ mod tests {
 
     fn make_db() -> Database {
         let mut db = Database::new();
-        db.execute_sql(
-            "CREATE TABLE t (k INT PRIMARY KEY, name VARCHAR(20), price REAL)",
-        )
-        .unwrap();
+        db.execute_sql("CREATE TABLE t (k INT PRIMARY KEY, name VARCHAR(20), price REAL)")
+            .unwrap();
         db
     }
 
@@ -155,7 +153,9 @@ mod tests {
     fn loads_dbgen_style_tbl() {
         let mut db = make_db();
         let data = "1|alpha|10.5|\n2|beta|20.0|\n";
-        let n = db.copy_in("t", data.as_bytes(), CopyOptions::tbl()).unwrap();
+        let n = db
+            .copy_in("t", data.as_bytes(), CopyOptions::tbl())
+            .unwrap();
         assert_eq!(n, 2);
         let rs = db.query_sql("SELECT name FROM t WHERE k = 2").unwrap();
         assert_eq!(rs.rows[0][0], Value::str("beta"));
@@ -165,7 +165,8 @@ mod tests {
     fn loads_csv_with_nulls() {
         let mut db = make_db();
         let data = "1,alpha,\n2,,2.5\n";
-        db.copy_in("t", data.as_bytes(), CopyOptions::csv()).unwrap();
+        db.copy_in("t", data.as_bytes(), CopyOptions::csv())
+            .unwrap();
         let rs = db.query_sql("SELECT price FROM t WHERE k = 1").unwrap();
         assert_eq!(rs.rows[0][0], Value::Null);
         let rs = db.query_sql("SELECT name FROM t WHERE k = 2").unwrap();
@@ -175,7 +176,9 @@ mod tests {
     #[test]
     fn rejects_bad_arity_and_types() {
         let mut db = make_db();
-        assert!(db.copy_in("t", "1|x|\n".as_bytes(), CopyOptions::tbl()).is_err());
+        assert!(db
+            .copy_in("t", "1|x|\n".as_bytes(), CopyOptions::tbl())
+            .is_err());
         assert!(db
             .copy_in("t", "oops,alpha,1.0\n".as_bytes(), CopyOptions::csv())
             .is_err());
@@ -187,16 +190,15 @@ mod tests {
     #[test]
     fn roundtrips_through_copy_out() {
         let mut db = make_db();
-        db.execute_sql(
-            "INSERT INTO t VALUES (1, 'alpha', 10.5), (2, 'beta', NULL)",
-        )
-        .unwrap();
+        db.execute_sql("INSERT INTO t VALUES (1, 'alpha', 10.5), (2, 'beta', NULL)")
+            .unwrap();
         let mut buf = Vec::new();
         let n = db.copy_out("t", &mut buf, CopyOptions::csv()).unwrap();
         assert_eq!(n, 2);
 
         let mut db2 = make_db();
-        db2.copy_in("t", buf.as_slice(), CopyOptions::csv()).unwrap();
+        db2.copy_in("t", buf.as_slice(), CopyOptions::csv())
+            .unwrap();
         let a = db.query_sql("SELECT * FROM t ORDER BY k").unwrap();
         let b = db2.query_sql("SELECT * FROM t ORDER BY k").unwrap();
         assert_eq!(a.rows, b.rows);

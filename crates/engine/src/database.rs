@@ -14,8 +14,8 @@
 
 use crate::error::{EngineError, Result};
 use crate::hash::{FxHashMap, FxHashSet};
-use crate::query::{compile_query, CompiledQuery, ExecCtx};
 use crate::query::{self};
+use crate::query::{compile_query, CompiledQuery, ExecCtx};
 use crate::result::ResultSet;
 use crate::schema::TableSchema;
 use crate::table::{RowId, Table};
@@ -50,17 +50,31 @@ pub enum StatementResult {
     Rows(ResultSet),
 }
 
-/// Undo log returned by [`Database::apply_pending`]; reversing it restores
-/// the pre-apply state exactly.
-#[derive(Debug, Default)]
+/// Undo log of row-level mutations; reversing it restores the pre-mutation
+/// state exactly. Returned by [`Database::apply_pending`], and also the
+/// building block of the transaction savepoint stack: while a transaction is
+/// open every mutation (event capture *and* direct writes to uncaptured
+/// tables) is appended to the transaction's log, and a savepoint is simply
+/// an offset into it.
+#[derive(Debug, Default, Clone)]
 pub struct UndoLog {
     ops: Vec<UndoOp>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum UndoOp {
-    Inserted { table: String, id: RowId },
-    Deleted { table: String, row: Row },
+    /// A row was inserted. The row is kept alongside the id so the op can
+    /// still be reversed when a later compensating action shifted row ids
+    /// (undo falls back to identity lookup).
+    Inserted {
+        table: String,
+        id: RowId,
+        row: Row,
+    },
+    Deleted {
+        table: String,
+        row: Row,
+    },
 }
 
 impl UndoLog {
@@ -70,6 +84,40 @@ impl UndoLog {
 
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
+    }
+
+    /// Split off the suffix starting at `at`, leaving `self` with the
+    /// prefix (the savepoint-rollback primitive).
+    fn split_off(&mut self, at: usize) -> UndoLog {
+        UndoLog {
+            ops: self.ops.split_off(at),
+        }
+    }
+}
+
+/// State of an open transaction: one [`UndoLog`] accumulating every
+/// mutation since `BEGIN`, plus the savepoint stack — each savepoint is a
+/// name and the log length at the time it was established.
+#[derive(Debug, Default, Clone)]
+struct TxState {
+    undo: UndoLog,
+    savepoints: Vec<(String, usize)>,
+}
+
+impl TxState {
+    fn log_ins(&mut self, table: &str, id: RowId, row: Row) {
+        self.undo.ops.push(UndoOp::Inserted {
+            table: table.to_string(),
+            id,
+            row,
+        });
+    }
+
+    fn log_del(&mut self, table: &str, row: Row) {
+        self.undo.ops.push(UndoOp::Deleted {
+            table: table.to_string(),
+            row,
+        });
     }
 }
 
@@ -105,6 +153,8 @@ pub struct Database {
     tables: FxHashMap<String, Table>,
     views: FxHashMap<String, ViewDef>,
     captured: FxHashSet<String>,
+    /// Open explicit transaction, if any (see [`Database::begin_transaction`]).
+    tx: Option<TxState>,
 }
 
 impl Database {
@@ -157,6 +207,19 @@ impl Database {
         self.captured.contains(table)
     }
 
+    /// Is `name` one of the `ins_X` / `del_X` event tables of a captured
+    /// table?
+    pub fn is_event_table(&self, name: &str) -> bool {
+        for prefix in ["ins_", "del_"] {
+            if let Some(base) = name.strip_prefix(prefix) {
+                if self.captured.contains(base) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
     /// Register a table from a schema, resolving foreign-key target columns
     /// (defaulting to the referenced table's primary key).
     pub fn create_table(&mut self, mut schema: TableSchema) -> Result<()> {
@@ -203,7 +266,10 @@ impl Database {
                     None => Vec::new(), // self-reference: filled below
                 }
             } else if target.is_some() {
-                ref_names.iter().map(|n| resolve(n)).collect::<Result<_>>()?
+                ref_names
+                    .iter()
+                    .map(|n| resolve(n))
+                    .collect::<Result<_>>()?
             } else {
                 Vec::new()
             };
@@ -230,11 +296,7 @@ impl Database {
             .map(|fk| fk.columns.clone())
             .collect();
         for (i, cols) in fk_col_sets.into_iter().enumerate() {
-            if table
-                .indexes()
-                .iter()
-                .any(|ix| ix.columns == cols)
-            {
+            if table.indexes().iter().any(|ix| ix.columns == cols) {
                 continue;
             }
             table.create_index(format!("{}_fk{}", name, i), cols, false)?;
@@ -362,6 +424,113 @@ impl Database {
         }
         self.tables.remove(&ins_table_name(table));
         self.tables.remove(&del_table_name(table));
+        Ok(())
+    }
+
+    // ------------------------------------------------------- transactions
+
+    /// Open an explicit transaction. While a transaction is open, every
+    /// row-level mutation — event-table insertions performed by capture as
+    /// well as direct writes to uncaptured tables — is recorded in an
+    /// [`UndoLog`], so the whole transaction (or any suffix back to a
+    /// savepoint) can be reversed. DDL is *not* logged; transactional
+    /// callers (the `tintin-session` crate) reject DDL while a transaction
+    /// is open.
+    pub fn begin_transaction(&mut self) -> Result<()> {
+        if self.tx.is_some() {
+            return Err(EngineError::Transaction(
+                "a transaction is already open".into(),
+            ));
+        }
+        self.tx = Some(TxState::default());
+        Ok(())
+    }
+
+    /// Is an explicit transaction open?
+    pub fn in_transaction(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    /// Number of logged mutations in the open transaction (0 when none).
+    pub fn transaction_op_count(&self) -> usize {
+        self.tx.as_ref().map_or(0, |t| t.undo.len())
+    }
+
+    /// Names of the live savepoints of the open transaction, oldest first.
+    pub fn savepoint_names(&self) -> Vec<String> {
+        self.tx
+            .as_ref()
+            .map(|t| t.savepoints.iter().map(|(n, _)| n.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Close the open transaction, keeping its effects. The caller decides
+    /// what "keeping" means for pending events (TINTIN's `safeCommit`
+    /// either applies or discards them); this just drops the undo log.
+    pub fn commit_transaction(&mut self) -> Result<()> {
+        self.tx
+            .take()
+            .map(|_| ())
+            .ok_or_else(|| EngineError::Transaction("no transaction is open".into()))
+    }
+
+    /// Abort the open transaction, reversing every mutation made since
+    /// `BEGIN` (base tables *and* event tables are restored).
+    pub fn rollback_transaction(&mut self) -> Result<()> {
+        let tx = self
+            .tx
+            .take()
+            .ok_or_else(|| EngineError::Transaction("no transaction is open".into()))?;
+        self.undo(tx.undo);
+        Ok(())
+    }
+
+    /// Establish (or move, if the name is taken) a savepoint in the open
+    /// transaction.
+    pub fn create_savepoint(&mut self, name: &str) -> Result<()> {
+        let tx = self
+            .tx
+            .as_mut()
+            .ok_or_else(|| EngineError::Transaction("no transaction is open".into()))?;
+        let mark = tx.undo.len();
+        tx.savepoints.retain(|(n, _)| n != name);
+        tx.savepoints.push((name.to_string(), mark));
+        Ok(())
+    }
+
+    /// Reverse every mutation made after `name` was established. The
+    /// savepoint itself survives (standard SQL semantics); savepoints
+    /// established after it are discarded.
+    pub fn rollback_to_savepoint(&mut self, name: &str) -> Result<()> {
+        let tx = self
+            .tx
+            .as_mut()
+            .ok_or_else(|| EngineError::Transaction("no transaction is open".into()))?;
+        let pos = tx
+            .savepoints
+            .iter()
+            .rposition(|(n, _)| n == name)
+            .ok_or_else(|| EngineError::NoSuchSavepoint(name.to_string()))?;
+        let mark = tx.savepoints[pos].1;
+        tx.savepoints.truncate(pos + 1);
+        let tail = tx.undo.split_off(mark);
+        self.undo(tail);
+        Ok(())
+    }
+
+    /// Discard a savepoint (and any later ones), merging its changes into
+    /// the enclosing scope.
+    pub fn release_savepoint(&mut self, name: &str) -> Result<()> {
+        let tx = self
+            .tx
+            .as_mut()
+            .ok_or_else(|| EngineError::Transaction("no transaction is open".into()))?;
+        let pos = tx
+            .savepoints
+            .iter()
+            .rposition(|(n, _)| n == name)
+            .ok_or_else(|| EngineError::NoSuchSavepoint(name.to_string()))?;
+        tx.savepoints.truncate(pos);
         Ok(())
     }
 
@@ -494,10 +663,11 @@ impl Database {
                     .collect();
                 let base = self.tables.get_mut(base_name).unwrap();
                 for row in ins_rows {
-                    let id = base.insert(row.into_vec())?;
+                    let id = base.insert(row.to_vec())?;
                     log.ops.push(UndoOp::Inserted {
                         table: base_name.clone(),
                         id,
+                        row,
                     });
                 }
             }
@@ -512,15 +682,24 @@ impl Database {
         }
     }
 
-    /// Reverse an [`UndoLog`], restoring the exact pre-apply state.
+    /// Reverse an [`UndoLog`], restoring the exact pre-mutation state.
     pub fn undo(&mut self, log: UndoLog) {
         for op in log.ops.into_iter().rev() {
             match op {
-                UndoOp::Inserted { table, id } => {
-                    self.tables
+                UndoOp::Inserted { table, id, row } => {
+                    let t = self
+                        .tables
                         .get_mut(&table)
-                        .expect("undo references live table")
-                        .delete_row(id);
+                        .expect("undo references live table");
+                    // The id is authoritative unless a compensating action
+                    // (e.g. a failed UPDATE restoring its rows) reassigned
+                    // it; fall back to identity lookup, and tolerate rows
+                    // that were already removed (event normalization).
+                    if t.get(id).is_some_and(|r| *r == row) {
+                        t.delete_row(id);
+                    } else if let Some(id2) = t.find_identical(&row) {
+                        t.delete_row(id2);
+                    }
                 }
                 UndoOp::Deleted { table, row } => {
                     self.tables
@@ -638,6 +817,15 @@ impl Database {
                 Ok(StatementResult::RowsAffected(n))
             }
             sql::Statement::Query(q) => Ok(StatementResult::Rows(self.query(q)?)),
+            sql::Statement::Begin
+            | sql::Statement::Commit
+            | sql::Statement::Rollback { .. }
+            | sql::Statement::Savepoint { .. }
+            | sql::Statement::Release { .. } => Err(EngineError::Unsupported(
+                "transaction control is managed by the tintin-session crate \
+                 (Session::execute), not by the raw engine"
+                    .into(),
+            )),
         }
     }
 
@@ -718,18 +906,32 @@ impl Database {
                 .collect::<Result<_>>()?
         };
         self.check_row_constraints(table, &validated)?;
-        if self.captured.contains(table) {
-            let evt = self
-                .tables
-                .get_mut(&ins_table_name(table))
+        let is_captured = self.captured.contains(table);
+        let Database { tables, tx, .. } = self;
+        if is_captured {
+            let evt_name = ins_table_name(table);
+            let evt = tables
+                .get_mut(&evt_name)
                 .expect("capture implies event table");
             for row in validated {
-                evt.insert(row.into_vec())?;
+                // The row is only cloned when a transaction needs it for
+                // the undo log; otherwise it moves straight into storage.
+                if let Some(tx) = tx.as_mut() {
+                    let id = evt.insert(row.to_vec())?;
+                    tx.log_ins(&evt_name, id, row);
+                } else {
+                    evt.insert(row.into_vec())?;
+                }
             }
         } else {
-            let t = self.tables.get_mut(table).unwrap();
+            let t = tables.get_mut(table).unwrap();
             for row in validated {
-                t.insert(row.into_vec())?;
+                if let Some(tx) = tx.as_mut() {
+                    let id = t.insert(row.to_vec())?;
+                    tx.log_ins(table, id, row);
+                } else {
+                    t.insert(row.into_vec())?;
+                }
             }
         }
         Ok(n)
@@ -759,8 +961,7 @@ impl Database {
                 None => t.scan().map(|(id, r)| (id, r.clone())).collect(),
                 Some(pred) => {
                     let binding = del.alias.clone().unwrap_or_else(|| del.table.clone());
-                    let compiled =
-                        query::compile_row_predicate(self, &del.table, &binding, pred)?;
+                    let compiled = query::compile_row_predicate(self, &del.table, &binding, pred)?;
                     // Index-accelerate keyed deletes: collect `col = const`
                     // conjuncts and probe the best covering index; the full
                     // predicate is still evaluated on the candidates.
@@ -794,21 +995,31 @@ impl Database {
             }
         };
         let n = matching.len();
-        if self.captured.contains(&del.table) {
-            let evt = self
-                .tables
-                .get_mut(&del_table_name(&del.table))
+        let is_captured = self.captured.contains(&del.table);
+        let Database { tables, tx, .. } = self;
+        if is_captured {
+            let evt_name = del_table_name(&del.table);
+            let evt = tables
+                .get_mut(&evt_name)
                 .expect("capture implies event table");
             for (_, row) in matching {
                 // Avoid duplicate capture of the same tuple.
                 if evt.find_identical(&row).is_none() {
-                    evt.insert(row.into_vec())?;
+                    if let Some(tx) = tx.as_mut() {
+                        let id = evt.insert(row.to_vec())?;
+                        tx.log_ins(&evt_name, id, row);
+                    } else {
+                        evt.insert(row.into_vec())?;
+                    }
                 }
             }
         } else {
-            let t = self.tables.get_mut(&del.table).unwrap();
-            for (id, _) in matching {
+            let t = tables.get_mut(&del.table).unwrap();
+            for (id, row) in matching {
                 t.delete_row(id);
+                if let Some(tx) = tx.as_mut() {
+                    tx.log_del(&del.table, row);
+                }
             }
         }
         Ok(n)
@@ -827,9 +1038,10 @@ impl Database {
                 .ok_or_else(|| EngineError::NoSuchTable(upd.table.clone()))?;
             let mut positions = Vec::with_capacity(upd.assignments.len());
             for (col, _) in &upd.assignments {
-                let p = t.schema.column_index(col).ok_or_else(|| {
-                    EngineError::NoSuchColumn(format!("{}.{}", upd.table, col))
-                })?;
+                let p = t
+                    .schema
+                    .column_index(col)
+                    .ok_or_else(|| EngineError::NoSuchColumn(format!("{}.{}", upd.table, col)))?;
                 if positions.contains(&p) {
                     return Err(EngineError::InvalidDdl(format!(
                         "column '{col}' assigned twice in UPDATE"
@@ -840,8 +1052,7 @@ impl Database {
             let matching = match &upd.predicate {
                 None => t.scan().map(|(id, r)| (id, r.clone())).collect(),
                 Some(pred) => {
-                    let compiled =
-                        query::compile_row_predicate(self, &upd.table, &binding, pred)?;
+                    let compiled = query::compile_row_predicate(self, &upd.table, &binding, pred)?;
                     let candidates = delete_probe_candidates(t, &binding, pred, self)?;
                     let mut ctx = ExecCtx::new(self);
                     let mut hits = Vec::new();
@@ -851,8 +1062,7 @@ impl Database {
                     };
                     for id in ids {
                         let Some(row) = t.get(id) else { continue };
-                        if query::eval_row_predicate(&compiled, row, &mut ctx)? == Truth::True
-                        {
+                        if query::eval_row_predicate(&compiled, row, &mut ctx)? == Truth::True {
                             hits.push((id, row.clone()));
                         }
                     }
@@ -891,28 +1101,56 @@ impl Database {
 
         if self.captured.contains(&upd.table) {
             // Record del(old) + ins(new) events; skip no-op rows.
+            let del_name = del_table_name(&upd.table);
+            let ins_name = ins_table_name(&upd.table);
+            let logging = self.tx.is_some();
             for ((_, old, _), new) in replacements.iter().zip(validated) {
                 if old.as_ref() == new.as_ref() {
                     continue;
                 }
-                let del = self.tables.get_mut(&del_table_name(&upd.table)).unwrap();
+                let del = self.tables.get_mut(&del_name).unwrap();
                 if del.find_identical(old).is_none() {
-                    del.insert(old.to_vec())?;
+                    let id = del.insert(old.to_vec())?;
+                    if let Some(tx) = self.tx.as_mut() {
+                        tx.log_ins(&del_name, id, old.clone());
+                    }
                 }
-                let ins = self.tables.get_mut(&ins_table_name(&upd.table)).unwrap();
-                ins.insert(new.into_vec())?;
+                let ins = self.tables.get_mut(&ins_name).unwrap();
+                if logging {
+                    let id = ins.insert(new.to_vec())?;
+                    if let Some(tx) = self.tx.as_mut() {
+                        tx.log_ins(&ins_name, id, new);
+                    }
+                } else {
+                    ins.insert(new.into_vec())?;
+                }
             }
         } else {
             // Two-phase apply so key-shifting updates (pk = pk + 1) don't
-            // trip over themselves; rolls back on any conflict.
+            // trip over themselves; rolls back on any conflict. The undo
+            // log is only written on full success: a failed statement has
+            // already compensated itself back to a net no-op.
+            let logging = self.tx.is_some();
             let t = self.tables.get_mut(&upd.table).unwrap();
             for (id, _, _) in &replacements {
                 t.delete_row(*id);
             }
             let mut inserted: Vec<RowId> = Vec::new();
+            let mut kept: Vec<Row> = Vec::new();
             let mut failure: Option<EngineError> = None;
             for new in validated {
-                match t.insert(new.into_vec()) {
+                // Rows are cloned only when a transaction keeps them for
+                // the undo log.
+                let result = if logging {
+                    let r = t.insert(new.to_vec());
+                    if r.is_ok() {
+                        kept.push(new);
+                    }
+                    r
+                } else {
+                    t.insert(new.into_vec())
+                };
+                match result {
                     Ok(id) => inserted.push(id),
                     Err(e) => {
                         failure = Some(e);
@@ -929,6 +1167,14 @@ impl Database {
                         .expect("restoring original rows cannot fail");
                 }
                 return Err(e);
+            }
+            if let Some(tx) = self.tx.as_mut() {
+                for (_, old, _) in replacements {
+                    tx.log_del(&upd.table, old);
+                }
+                for (id, new) in inserted.into_iter().zip(kept) {
+                    tx.log_ins(&upd.table, id, new);
+                }
             }
         }
         Ok(n)
@@ -980,7 +1226,12 @@ fn delete_probe_candidates(
 ) -> Result<Option<Vec<RowId>>> {
     let mut eq: Vec<(usize, Value)> = Vec::new();
     for conj in pred.conjuncts() {
-        let sql::Expr::Binary { op: sql::BinOp::Eq, left, right } = conj else {
+        let sql::Expr::Binary {
+            op: sql::BinOp::Eq,
+            left,
+            right,
+        } = conj
+        else {
             continue;
         };
         let (colref, lit) = match (&**left, &**right) {
@@ -994,10 +1245,7 @@ fn delete_probe_candidates(
         let Some(pos) = t.schema.column_index(&colref.name) else {
             continue;
         };
-        let v = query::eval_const(
-            db,
-            &sql::Expr::Literal(lit.clone()),
-        )?;
+        let v = query::eval_const(db, &sql::Expr::Literal(lit.clone()))?;
         if v.is_null() {
             // `col = NULL` matches nothing.
             return Ok(Some(Vec::new()));

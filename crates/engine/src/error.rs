@@ -39,6 +39,10 @@ pub enum EngineError {
     Parse(String),
     /// Row-level CHECK constraint failed.
     CheckViolation { table: String, detail: String },
+    /// Transaction-state error (no open transaction, nested BEGIN, …).
+    Transaction(String),
+    /// `ROLLBACK TO` / `RELEASE` named a savepoint that does not exist.
+    NoSuchSavepoint(String),
 }
 
 impl fmt::Display for EngineError {
@@ -60,13 +64,18 @@ impl fmt::Display for EngineError {
                 table,
                 expected,
                 got,
-            } => write!(f, "insert into {table}: expected {expected} values, got {got}"),
+            } => write!(
+                f,
+                "insert into {table}: expected {expected} values, got {got}"
+            ),
             EngineError::InvalidDdl(m) => write!(f, "invalid DDL: {m}"),
             EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
             EngineError::Parse(m) => write!(f, "{m}"),
             EngineError::CheckViolation { table, detail } => {
                 write!(f, "CHECK constraint failed on {table}: {detail}")
             }
+            EngineError::Transaction(m) => write!(f, "transaction error: {m}"),
+            EngineError::NoSuchSavepoint(n) => write!(f, "no such savepoint: '{n}'"),
         }
     }
 }

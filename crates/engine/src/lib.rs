@@ -54,10 +54,10 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
+pub use copy::CopyOptions;
 pub use database::{
     del_table_name, ins_table_name, Database, NormalizationReport, StatementResult, UndoLog,
 };
-pub use copy::CopyOptions;
 pub use error::{EngineError, Result};
 pub use query::{CompiledQuery, ExecCtx};
 pub use result::ResultSet;

@@ -202,7 +202,9 @@ pub fn eval_gexpr(e: &GExpr, keys: &[Value], aggs: &[Value]) -> Result<Value> {
                 "boolean used as a scalar value".into(),
             ))
         }
-        GExpr::Binary { op, left, right } if !op.is_comparison() && *op != BinOp::And && *op != BinOp::Or => {
+        GExpr::Binary { op, left, right }
+            if !op.is_comparison() && *op != BinOp::And && *op != BinOp::Or =>
+        {
             let l = eval_gexpr(left, keys, aggs)?;
             let r = eval_gexpr(right, keys, aggs)?;
             super::exec::arith_pub(*op, l, r)?

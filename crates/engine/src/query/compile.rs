@@ -145,7 +145,11 @@ pub enum CExpr {
     /// Column reference: `level` 0 is the select being evaluated, 1 its
     /// enclosing select, and so on; `source` indexes into that select's
     /// sources; `col` is the column position.
-    Col { level: u32, source: u32, col: u32 },
+    Col {
+        level: u32,
+        source: u32,
+        col: u32,
+    },
     Binary {
         op: BinOp,
         left: Box<CExpr>,
@@ -274,15 +278,14 @@ impl<'a> Compiler<'a> {
                 sql::Expr::Literal(sql::Lit::Int(k)) if *k >= 1 && (*k as usize) <= width => {
                     (*k - 1) as usize
                 }
-                sql::Expr::Column(c) if c.qualifier.is_none() => first
-                    .iter()
-                    .position(|n| n == &c.name)
-                    .ok_or_else(|| {
+                sql::Expr::Column(c) if c.qualifier.is_none() => {
+                    first.iter().position(|n| n == &c.name).ok_or_else(|| {
                         EngineError::Unsupported(format!(
                             "ORDER BY column '{}' is not an output column",
                             c.name
                         ))
-                    })?,
+                    })?
+                }
                 other => {
                     return Err(EngineError::Unsupported(format!(
                         "ORDER BY supports output names and positions, got: {other}"
@@ -658,16 +661,31 @@ impl<'a> Compiler<'a> {
         // Collect equality candidates: col-of-source-i = expr-bound-earlier.
         let mut candidates: Vec<(u32, CExpr, usize)> = Vec::new(); // (col, key expr, filter idx)
         for (fi, f) in filters.iter().enumerate() {
-            let CExpr::Binary { op: BinOp::Eq, left, right } = f else {
+            let CExpr::Binary {
+                op: BinOp::Eq,
+                left,
+                right,
+            } = f
+            else {
                 continue;
             };
             let pair = match (&**left, &**right) {
-                (CExpr::Col { level: 0, source, col }, rhs) if *source == i => {
-                    bound_before(rhs, i).then(|| (*col, rhs.clone()))
-                }
-                (lhs, CExpr::Col { level: 0, source, col }) if *source == i => {
-                    bound_before(lhs, i).then(|| (*col, lhs.clone()))
-                }
+                (
+                    CExpr::Col {
+                        level: 0,
+                        source,
+                        col,
+                    },
+                    rhs,
+                ) if *source == i => bound_before(rhs, i).then(|| (*col, rhs.clone())),
+                (
+                    lhs,
+                    CExpr::Col {
+                        level: 0,
+                        source,
+                        col,
+                    },
+                ) if *source == i => bound_before(lhs, i).then(|| (*col, lhs.clone())),
                 _ => None,
             };
             if let Some((col, key)) = pair {
@@ -792,9 +810,10 @@ impl<'a> Compiler<'a> {
                 }
                 // Fast path: fold probe equalities into the branches when
                 // every output is statically non-nullable.
-                let fast = if slow.iter().all(|b| {
-                    b.agg.is_none() && b.output.iter().all(|o| !o.nullable)
-                }) {
+                let fast = if slow
+                    .iter()
+                    .all(|b| b.agg.is_none() && b.output.iter().all(|o| !o.nullable))
+                {
                     Some(
                         slow.iter()
                             .map(|b| fold_probe_equalities(b, &probes))
@@ -849,9 +868,11 @@ impl<'a> Compiler<'a> {
                     .enumerate()
                     .find(|(_, info)| &info.binding == q)
                 {
-                    let ci = info.cols.iter().position(|n| n == &c.name).ok_or_else(|| {
-                        EngineError::NoSuchColumn(format!("{q}.{}", c.name))
-                    })?;
+                    let ci = info
+                        .cols
+                        .iter()
+                        .position(|n| n == &c.name)
+                        .ok_or_else(|| EngineError::NoSuchColumn(format!("{q}.{}", c.name)))?;
                     return Ok((dist as u32, si as u32, ci as u32, info.not_null[ci]));
                 }
             } else {
@@ -892,7 +913,9 @@ impl<'a> Compiler<'a> {
                     None => true,
                 }
             }
-            CExpr::Binary { op, left, right } if !op.is_comparison() && *op != BinOp::And && *op != BinOp::Or => {
+            CExpr::Binary { op, left, right }
+                if !op.is_comparison() && *op != BinOp::And && *op != BinOp::Or =>
+            {
                 self.expr_nullable(left) || self.expr_nullable(right)
             }
             _ => true,
@@ -927,14 +950,8 @@ enum SourceSeed {
 
 /// Flattened FROM leaf.
 enum Leaf {
-    Named {
-        name: String,
-        alias: Option<String>,
-    },
-    Derived {
-        query: sql::Query,
-        alias: String,
-    },
+    Named { name: String, alias: Option<String> },
+    Derived { query: sql::Query, alias: String },
 }
 
 fn flatten_table_ref<'e>(
@@ -1099,16 +1116,22 @@ fn attach_with_probe_upgrade(b: &mut CompiledSelect, i: usize, conj: CExpr) {
     } = &conj
     {
         let col_and_key = match (&**left, &**right) {
-            (CExpr::Col { level: 0, source, col }, rhs)
-                if *source as usize == i && bound_before(rhs, i as u32) =>
-            {
-                Some((*col, rhs.clone()))
-            }
-            (lhs, CExpr::Col { level: 0, source, col })
-                if *source as usize == i && bound_before(lhs, i as u32) =>
-            {
-                Some((*col, lhs.clone()))
-            }
+            (
+                CExpr::Col {
+                    level: 0,
+                    source,
+                    col,
+                },
+                rhs,
+            ) if *source as usize == i && bound_before(rhs, i as u32) => Some((*col, rhs.clone())),
+            (
+                lhs,
+                CExpr::Col {
+                    level: 0,
+                    source,
+                    col,
+                },
+            ) if *source as usize == i && bound_before(lhs, i as u32) => Some((*col, lhs.clone())),
             _ => None,
         };
         if let Some((col, keyexpr)) = col_and_key {

@@ -121,9 +121,7 @@ impl<'a> ExecCtx<'a> {
                 self.materializing.push(name.clone());
                 let rows = execute_query(&compiled, self);
                 self.materializing.pop();
-                let m = Rc::new(Materialized::new(
-                    rows?.into_iter().map(Rc::from).collect(),
-                ));
+                let m = Rc::new(Materialized::new(rows?.into_iter().map(Rc::from).collect()));
                 self.view_cache.insert(name.clone(), m.clone());
                 Ok(m)
             }
@@ -164,11 +162,7 @@ pub fn execute_query(q: &CompiledQuery, ctx: &mut ExecCtx<'_>) -> Result<Vec<Box
 
 /// Evaluate a single-row scalar expression (compiled by
 /// `compile_row_predicate`) against `row`; used by UPDATE assignments.
-pub fn eval_row_scalar<'a>(
-    expr: &CExpr,
-    row: &'a [Value],
-    ctx: &mut ExecCtx<'a>,
-) -> Result<Value> {
+pub fn eval_row_scalar<'a>(expr: &CExpr, row: &'a [Value], ctx: &mut ExecCtx<'a>) -> Result<Value> {
     ctx.frames.push(vec![BoundRow::Table(row)]);
     let r = eval_scalar(expr, ctx);
     ctx.frames.pop();
@@ -355,9 +349,10 @@ fn bind_source<'a>(
                 let frame_idx = ctx.frames.len() - 1;
                 ctx.frames[frame_idx][i] = BoundRow::Table(row);
                 if pass_filters(&src.filters, ctx)?
-                    && bind_source(s, i + 1, ctx, cb)? == ControlFlow::Break(()) {
-                        return Ok(ControlFlow::Break(()));
-                    }
+                    && bind_source(s, i + 1, ctx, cb)? == ControlFlow::Break(())
+                {
+                    return Ok(ControlFlow::Break(()));
+                }
             }
             Ok(ControlFlow::Continue(()))
         }
@@ -387,9 +382,10 @@ fn bind_source<'a>(
                 let frame_idx = ctx.frames.len() - 1;
                 ctx.frames[frame_idx][i] = BoundRow::Table(row);
                 if pass_filters(&src.filters, ctx)?
-                    && bind_source(s, i + 1, ctx, cb)? == ControlFlow::Break(()) {
-                        return Ok(ControlFlow::Break(()));
-                    }
+                    && bind_source(s, i + 1, ctx, cb)? == ControlFlow::Break(())
+                {
+                    return Ok(ControlFlow::Break(()));
+                }
             }
             Ok(ControlFlow::Continue(()))
         }
@@ -399,9 +395,10 @@ fn bind_source<'a>(
                 let frame_idx = ctx.frames.len() - 1;
                 ctx.frames[frame_idx][i] = BoundRow::Mat(row.clone());
                 if pass_filters(&src.filters, ctx)?
-                    && bind_source(s, i + 1, ctx, cb)? == ControlFlow::Break(()) {
-                        return Ok(ControlFlow::Break(()));
-                    }
+                    && bind_source(s, i + 1, ctx, cb)? == ControlFlow::Break(())
+                {
+                    return Ok(ControlFlow::Break(()));
+                }
             }
             Ok(ControlFlow::Continue(()))
         }
@@ -420,9 +417,10 @@ fn bind_source<'a>(
                 let frame_idx = ctx.frames.len() - 1;
                 ctx.frames[frame_idx][i] = BoundRow::Mat(row);
                 if pass_filters(&src.filters, ctx)?
-                    && bind_source(s, i + 1, ctx, cb)? == ControlFlow::Break(()) {
-                        return Ok(ControlFlow::Break(()));
-                    }
+                    && bind_source(s, i + 1, ctx, cb)? == ControlFlow::Break(())
+                {
+                    return Ok(ControlFlow::Break(()));
+                }
             }
             Ok(ControlFlow::Continue(()))
         }
@@ -450,7 +448,9 @@ pub(crate) fn eval_scalar(e: &CExpr, ctx: &mut ExecCtx<'_>) -> Result<Value> {
             ))
         }
         CExpr::Col { level, source, col } => ctx.row(*level, *source)[*col as usize].clone(),
-        CExpr::Binary { op, left, right } if !op.is_comparison() && *op != BinOp::And && *op != BinOp::Or => {
+        CExpr::Binary { op, left, right }
+            if !op.is_comparison() && *op != BinOp::And && *op != BinOp::Or =>
+        {
             let l = eval_scalar(left, ctx)?;
             let r = eval_scalar(right, ctx)?;
             arith(*op, l, r)?

@@ -19,7 +19,10 @@ pub fn explain(db: &Database, q: &CompiledQuery) -> String {
             .map(|(i, desc)| {
                 format!(
                     "{}{}",
-                    q.output_names.get(*i).cloned().unwrap_or_else(|| format!("#{i}")),
+                    q.output_names
+                        .get(*i)
+                        .cloned()
+                        .unwrap_or_else(|| format!("#{i}")),
                     if *desc { " DESC" } else { "" }
                 )
             })
@@ -133,7 +136,11 @@ impl Renderer<'_> {
             CExpr::Exists { branches, negated } => {
                 self.line(
                     depth,
-                    if *negated { "AntiJoin (NOT EXISTS)" } else { "SemiJoin (EXISTS)" },
+                    if *negated {
+                        "AntiJoin (NOT EXISTS)"
+                    } else {
+                        "SemiJoin (EXISTS)"
+                    },
                 );
                 for b in branches {
                     self.select(b, depth + 1);
@@ -155,7 +162,11 @@ impl Renderer<'_> {
     fn in_sub(&mut self, isub: &CInSub, depth: usize) {
         self.line(
             depth,
-            if isub.negated { "AntiJoin (NOT IN)" } else { "SemiJoin (IN)" },
+            if isub.negated {
+                "AntiJoin (NOT IN)"
+            } else {
+                "SemiJoin (IN)"
+            },
         );
         match &isub.fast {
             Some(fast) => {
@@ -217,10 +228,9 @@ impl Renderer<'_> {
             CExpr::Exists { negated, .. } => {
                 format!("{}EXISTS (…)", if *negated { "NOT " } else { "" })
             }
-            CExpr::InSub(isub) => format!(
-                "{}IN (subquery)",
-                if isub.negated { "NOT " } else { "" }
-            ),
+            CExpr::InSub(isub) => {
+                format!("{}IN (subquery)", if isub.negated { "NOT " } else { "" })
+            }
             CExpr::InList { negated, .. } => {
                 format!("{}IN (list)", if *negated { "NOT " } else { "" })
             }
@@ -261,7 +271,10 @@ mod tests {
             .unwrap();
         assert!(plan.contains("Scan orders as o"), "{plan}");
         assert!(plan.contains("AntiJoin (NOT EXISTS)"), "{plan}");
-        assert!(plan.contains("Probe lineitem as l via lineitem_fk0"), "{plan}");
+        assert!(
+            plan.contains("Probe lineitem as l via lineitem_fk0"),
+            "{plan}"
+        );
     }
 
     #[test]

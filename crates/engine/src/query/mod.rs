@@ -23,7 +23,9 @@ pub use compile::{
     compile_query, compile_row_predicate, Access, CBody, CExpr, CInSub, COutput, CSource,
     CompiledQuery, CompiledSelect, MatRef,
 };
-pub use exec::{eval_row_predicate, eval_row_scalar, execute_query as execute, ExecCtx, Materialized};
+pub use exec::{
+    eval_row_predicate, eval_row_scalar, execute_query as execute, ExecCtx, Materialized,
+};
 pub use explain::explain;
 
 use crate::database::Database;

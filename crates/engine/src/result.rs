@@ -76,7 +76,12 @@ impl fmt::Display for ResultSet {
             }
             writeln!(f)?;
         }
-        write!(f, "({} row{})", self.rows.len(), if self.rows.len() == 1 { "" } else { "s" })
+        write!(
+            f,
+            "({} row{})",
+            self.rows.len(),
+            if self.rows.len() == 1 { "" } else { "s" }
+        )
     }
 }
 

@@ -92,9 +92,7 @@ impl TableSchema {
         let col_names: Vec<String> = schema.columns.iter().map(|c| c.name.clone()).collect();
         let col_idx = move |name: &str| -> Result<usize> {
             col_names.iter().position(|n| n == name).ok_or_else(|| {
-                EngineError::InvalidDdl(format!(
-                    "unknown column '{name}' in constraint of table"
-                ))
+                EngineError::InvalidDdl(format!("unknown column '{name}' in constraint of table"))
             })
         };
         // Column-level PK / UNIQUE.
@@ -121,14 +119,20 @@ impl TableSchema {
                             ct.name
                         )));
                     }
-                    let idxs = cols.iter().map(|c| col_idx(c)).collect::<Result<Vec<_>>>()?;
+                    let idxs = cols
+                        .iter()
+                        .map(|c| col_idx(c))
+                        .collect::<Result<Vec<_>>>()?;
                     for &i in &idxs {
                         schema.columns[i].not_null = true;
                     }
                     schema.primary_key = idxs;
                 }
                 sql::TableConstraint::Unique(cols) => {
-                    let idxs = cols.iter().map(|c| col_idx(c)).collect::<Result<Vec<_>>>()?;
+                    let idxs = cols
+                        .iter()
+                        .map(|c| col_idx(c))
+                        .collect::<Result<Vec<_>>>()?;
                     schema.unique.push(idxs);
                 }
                 sql::TableConstraint::ForeignKey {
@@ -136,7 +140,10 @@ impl TableSchema {
                     ref_table,
                     ref_columns,
                 } => {
-                    let idxs = columns.iter().map(|c| col_idx(c)).collect::<Result<Vec<_>>>()?;
+                    let idxs = columns
+                        .iter()
+                        .map(|c| col_idx(c))
+                        .collect::<Result<Vec<_>>>()?;
                     schema.foreign_keys.push(ForeignKey {
                         columns: idxs,
                         ref_table: ref_table.clone(),
@@ -146,9 +153,7 @@ impl TableSchema {
                         ref_columns: Vec::new(),
                     });
                     // Stash names for the catalog to resolve.
-                    schema
-                        .fk_ref_column_names
-                        .push(ref_columns.clone());
+                    schema.fk_ref_column_names.push(ref_columns.clone());
                 }
                 sql::TableConstraint::Check(e) => schema.checks.push(e.clone()),
             }

@@ -406,8 +406,11 @@ mod tests {
     fn secondary_index_backfill_and_probe() {
         let mut t = Table::new(schema2());
         for i in 0..10 {
-            t.insert(vec![Value::Int(i), Value::str(if i % 2 == 0 { "e" } else { "o" })])
-                .unwrap();
+            t.insert(vec![
+                Value::Int(i),
+                Value::str(if i % 2 == 0 { "e" } else { "o" }),
+            ])
+            .unwrap();
         }
         t.create_index("t_b".into(), vec![1], false).unwrap();
         let ix = t.indexes().iter().find(|ix| ix.name == "t_b").unwrap();
@@ -447,14 +450,20 @@ mod tests {
         let best = t.best_index(&[1]).unwrap();
         assert_eq!(t.indexes()[best].name, "i_b");
         // Nothing → none.
-        assert!(t.best_index(&[]).is_none() || t.indexes()[t.best_index(&[]).unwrap()].columns.is_empty());
+        assert!(
+            t.best_index(&[]).is_none()
+                || t.indexes()[t.best_index(&[]).unwrap()].columns.is_empty()
+        );
     }
 
     #[test]
     fn find_identical_uses_pk_and_compares_fully() {
         let mut t = Table::new(schema2());
         let id = t.insert(vec![Value::Int(1), Value::str("x")]).unwrap();
-        assert_eq!(t.find_identical(&[Value::Int(1), Value::str("x")]), Some(id));
+        assert_eq!(
+            t.find_identical(&[Value::Int(1), Value::str("x")]),
+            Some(id)
+        );
         assert_eq!(t.find_identical(&[Value::Int(1), Value::str("y")]), None);
         assert_eq!(t.find_identical(&[Value::Int(9), Value::str("x")]), None);
     }

@@ -26,7 +26,9 @@ fn global_count_star() {
 
 #[test]
 fn count_column_ignores_nulls() {
-    let rs = db().query_sql("SELECT COUNT(l_quantity) AS n FROM lineitem").unwrap();
+    let rs = db()
+        .query_sql("SELECT COUNT(l_quantity) AS n FROM lineitem")
+        .unwrap();
     assert_eq!(rs.rows[0][0], Value::Int(3));
     assert_eq!(rs.columns, vec!["n"]);
 }
@@ -49,7 +51,9 @@ fn sum_avg_min_max() {
 fn global_aggregate_on_empty_input_yields_one_row() {
     let mut d = Database::new();
     d.execute_sql("CREATE TABLE e (x INT)").unwrap();
-    let rs = d.query_sql("SELECT COUNT(*), SUM(x), MIN(x) FROM e").unwrap();
+    let rs = d
+        .query_sql("SELECT COUNT(*), SUM(x), MIN(x) FROM e")
+        .unwrap();
     assert_eq!(rs.rows.len(), 1);
     assert_eq!(rs.rows[0][0], Value::Int(0));
     assert_eq!(rs.rows[0][1], Value::Null);
@@ -65,8 +69,14 @@ fn group_by_with_keys_in_projection() {
         )
         .unwrap();
     assert_eq!(rs.rows.len(), 2);
-    assert_eq!(rs.rows[0].to_vec(), vec![Value::Int(10), Value::Int(2), Value::real(150.0)]);
-    assert_eq!(rs.rows[1].to_vec(), vec![Value::Int(20), Value::Int(1), Value::real(25.0)]);
+    assert_eq!(
+        rs.rows[0].to_vec(),
+        vec![Value::Int(10), Value::Int(2), Value::real(150.0)]
+    );
+    assert_eq!(
+        rs.rows[1].to_vec(),
+        vec![Value::Int(20), Value::Int(1), Value::real(25.0)]
+    );
 }
 
 #[test]
@@ -96,7 +106,9 @@ fn having_with_key_reference() {
 
 #[test]
 fn count_distinct() {
-    let rs = db().query_sql("SELECT COUNT(DISTINCT o_custkey) FROM orders").unwrap();
+    let rs = db()
+        .query_sql("SELECT COUNT(DISTINCT o_custkey) FROM orders")
+        .unwrap();
     assert_eq!(rs.rows[0][0], Value::Int(2));
 }
 
@@ -131,12 +143,16 @@ fn non_grouped_column_is_rejected() {
 
 #[test]
 fn unknown_function_rejected() {
-    assert!(db().query_sql("SELECT median(o_totalprice) FROM orders").is_err());
+    assert!(db()
+        .query_sql("SELECT median(o_totalprice) FROM orders")
+        .is_err());
 }
 
 #[test]
 fn aggregate_outside_grouping_context_rejected() {
-    assert!(db().query_sql("SELECT * FROM orders WHERE COUNT(*) > 1").is_err());
+    assert!(db()
+        .query_sql("SELECT * FROM orders WHERE COUNT(*) > 1")
+        .is_err());
 }
 
 #[test]
@@ -155,9 +171,7 @@ fn order_by_name_position_and_desc() {
 #[test]
 fn order_by_multiple_keys() {
     let rs = db()
-        .query_sql(
-            "SELECT o_custkey, o_orderkey FROM orders ORDER BY o_custkey DESC, o_orderkey",
-        )
+        .query_sql("SELECT o_custkey, o_orderkey FROM orders ORDER BY o_custkey DESC, o_orderkey")
         .unwrap();
     let keys: Vec<i64> = rs
         .rows
@@ -177,7 +191,9 @@ fn limit_truncates() {
         .unwrap();
     assert_eq!(rs.rows.len(), 2);
     assert_eq!(rs.rows[1][0], Value::Int(2));
-    let rs = db().query_sql("SELECT o_orderkey FROM orders LIMIT 0").unwrap();
+    let rs = db()
+        .query_sql("SELECT o_orderkey FROM orders LIMIT 0")
+        .unwrap();
     assert!(rs.rows.is_empty());
 }
 
@@ -242,7 +258,9 @@ fn aggregate_views_work() {
          FROM lineitem GROUP BY l_orderkey",
     )
     .unwrap();
-    let rs = d.query_sql("SELECT k FROM order_sizes WHERE n > 1").unwrap();
+    let rs = d
+        .query_sql("SELECT k FROM order_sizes WHERE n > 1")
+        .unwrap();
     assert_eq!(rs.rows.len(), 1);
     assert_eq!(rs.rows[0][0], Value::Int(1));
 }

@@ -99,7 +99,9 @@ fn correlated_exists_probes_inner_table() {
     .unwrap();
     let d = db();
     let compiled = d.compile(&q).unwrap();
-    let CBody::Select(s) = &compiled.body else { panic!() };
+    let CBody::Select(s) = &compiled.body else {
+        panic!()
+    };
     let tintin_engine::query::CExpr::Exists { branches, .. } = &s.sources[0].filters[0] else {
         panic!("expected EXISTS filter, got {:?}", s.sources[0].filters);
     };
@@ -138,9 +140,13 @@ fn probe_key_with_incompatible_constant_matches_nothing() {
     let mut d = db();
     d.execute_sql("INSERT INTO orders VALUES (1, 1)").unwrap();
     // 1.5 cannot be an INT key → empty, not an error.
-    let rs = d.query_sql("SELECT * FROM orders WHERE o_orderkey = 1.5").unwrap();
+    let rs = d
+        .query_sql("SELECT * FROM orders WHERE o_orderkey = 1.5")
+        .unwrap();
     assert!(rs.is_empty());
     // 1.0 narrows fine.
-    let rs = d.query_sql("SELECT * FROM orders WHERE o_orderkey = 1.0").unwrap();
+    let rs = d
+        .query_sql("SELECT * FROM orders WHERE o_orderkey = 1.0")
+        .unwrap();
     assert_eq!(rs.len(), 1);
 }

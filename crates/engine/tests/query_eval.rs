@@ -38,7 +38,9 @@ fn ints(db: &Database, sql: &str) -> Vec<i64> {
 #[test]
 fn select_star_projection_order() {
     let db = db_orders();
-    let rs = db.query_sql("SELECT * FROM orders WHERE o_orderkey = 2").unwrap();
+    let rs = db
+        .query_sql("SELECT * FROM orders WHERE o_orderkey = 2")
+        .unwrap();
     assert_eq!(rs.columns, vec!["o_orderkey", "o_custkey", "o_totalprice"]);
     assert_eq!(rs.rows.len(), 1);
     assert_eq!(rs.rows[0][2], Value::real(50.5));
@@ -47,16 +49,42 @@ fn select_star_projection_order() {
 #[test]
 fn filter_with_comparisons() {
     let db = db_orders();
-    assert_eq!(ints(&db, "SELECT o_orderkey FROM orders WHERE o_totalprice > 10.0"), vec![1, 2]);
-    assert_eq!(ints(&db, "SELECT o_orderkey FROM orders WHERE o_totalprice <= 50.5"), vec![2, 3]);
-    assert_eq!(ints(&db, "SELECT o_orderkey FROM orders WHERE o_custkey = 10 AND o_totalprice < 60"), vec![2]);
-    assert_eq!(ints(&db, "SELECT o_orderkey FROM orders WHERE o_custkey = 20 OR o_totalprice = 100.0"), vec![1, 3]);
+    assert_eq!(
+        ints(
+            &db,
+            "SELECT o_orderkey FROM orders WHERE o_totalprice > 10.0"
+        ),
+        vec![1, 2]
+    );
+    assert_eq!(
+        ints(
+            &db,
+            "SELECT o_orderkey FROM orders WHERE o_totalprice <= 50.5"
+        ),
+        vec![2, 3]
+    );
+    assert_eq!(
+        ints(
+            &db,
+            "SELECT o_orderkey FROM orders WHERE o_custkey = 10 AND o_totalprice < 60"
+        ),
+        vec![2]
+    );
+    assert_eq!(
+        ints(
+            &db,
+            "SELECT o_orderkey FROM orders WHERE o_custkey = 20 OR o_totalprice = 100.0"
+        ),
+        vec![1, 3]
+    );
 }
 
 #[test]
 fn cross_join_counts() {
     let db = db_orders();
-    let rs = db.query_sql("SELECT o.o_orderkey, l.l_linenumber FROM orders o, lineitem l").unwrap();
+    let rs = db
+        .query_sql("SELECT o.o_orderkey, l.l_linenumber FROM orders o, lineitem l")
+        .unwrap();
     assert_eq!(rs.rows.len(), 9);
 }
 
@@ -122,7 +150,10 @@ fn nested_not_exists_two_levels() {
 fn in_subquery_basic() {
     let db = db_orders();
     assert_eq!(
-        ints(&db, "SELECT o_orderkey FROM orders WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem)"),
+        ints(
+            &db,
+            "SELECT o_orderkey FROM orders WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem)"
+        ),
         vec![1, 2]
     );
     assert_eq!(
@@ -154,9 +185,15 @@ fn not_in_with_null_in_subquery_is_empty() {
     .unwrap();
     // 1 NOT IN (2, NULL) is Unknown; 2 NOT IN (...) is False — empty result,
     // the classic SQL NOT IN + NULL trap.
-    assert_eq!(ints(&db, "SELECT x FROM a WHERE x NOT IN (SELECT y FROM b)"), Vec::<i64>::new());
+    assert_eq!(
+        ints(&db, "SELECT x FROM a WHERE x NOT IN (SELECT y FROM b)"),
+        Vec::<i64>::new()
+    );
     // IN keeps the definite match.
-    assert_eq!(ints(&db, "SELECT x FROM a WHERE x IN (SELECT y FROM b)"), vec![2]);
+    assert_eq!(
+        ints(&db, "SELECT x FROM a WHERE x IN (SELECT y FROM b)"),
+        vec![2]
+    );
 }
 
 #[test]
@@ -169,7 +206,10 @@ fn null_probe_in_empty_subquery_is_false_not_unknown() {
     .unwrap();
     // NULL IN (empty) = FALSE, therefore NOT IN (empty) = TRUE.
     assert_eq!(
-        db.query_sql("SELECT x FROM a WHERE x NOT IN (SELECT y FROM b)").unwrap().rows.len(),
+        db.query_sql("SELECT x FROM a WHERE x NOT IN (SELECT y FROM b)")
+            .unwrap()
+            .rows
+            .len(),
         1
     );
 }
@@ -177,19 +217,38 @@ fn null_probe_in_empty_subquery_is_false_not_unknown() {
 #[test]
 fn in_list_semantics() {
     let db = db_orders();
-    assert_eq!(ints(&db, "SELECT o_orderkey FROM orders WHERE o_orderkey IN (1, 3, 99)"), vec![1, 3]);
-    assert_eq!(ints(&db, "SELECT o_orderkey FROM orders WHERE o_orderkey NOT IN (1, 3)"), vec![2]);
+    assert_eq!(
+        ints(
+            &db,
+            "SELECT o_orderkey FROM orders WHERE o_orderkey IN (1, 3, 99)"
+        ),
+        vec![1, 3]
+    );
+    assert_eq!(
+        ints(
+            &db,
+            "SELECT o_orderkey FROM orders WHERE o_orderkey NOT IN (1, 3)"
+        ),
+        vec![2]
+    );
 }
 
 #[test]
 fn union_dedup_and_union_all() {
     let db = db_orders();
     assert_eq!(
-        ints(&db, "SELECT o_custkey FROM orders UNION SELECT o_custkey FROM orders"),
+        ints(
+            &db,
+            "SELECT o_custkey FROM orders UNION SELECT o_custkey FROM orders"
+        ),
         vec![10, 20]
     );
     assert_eq!(
-        ints(&db, "SELECT o_custkey FROM orders UNION ALL SELECT o_custkey FROM orders").len(),
+        ints(
+            &db,
+            "SELECT o_custkey FROM orders UNION ALL SELECT o_custkey FROM orders"
+        )
+        .len(),
         6
     );
 }
@@ -197,7 +256,10 @@ fn union_dedup_and_union_all() {
 #[test]
 fn distinct_dedups() {
     let db = db_orders();
-    assert_eq!(ints(&db, "SELECT DISTINCT o_custkey FROM orders"), vec![10, 20]);
+    assert_eq!(
+        ints(&db, "SELECT DISTINCT o_custkey FROM orders"),
+        vec![10, 20]
+    );
     assert_eq!(ints(&db, "SELECT o_custkey FROM orders").len(), 3);
 }
 
@@ -219,8 +281,12 @@ fn views_compose() {
     let mut db = db_orders();
     db.execute_sql("CREATE VIEW expensive AS SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice >= 50.0")
         .unwrap();
-    db.execute_sql("CREATE VIEW expensive_keys AS SELECT o_orderkey FROM expensive").unwrap();
-    assert_eq!(ints(&db, "SELECT o_orderkey FROM expensive_keys"), vec![1, 2]);
+    db.execute_sql("CREATE VIEW expensive_keys AS SELECT o_orderkey FROM expensive")
+        .unwrap();
+    assert_eq!(
+        ints(&db, "SELECT o_orderkey FROM expensive_keys"),
+        vec![1, 2]
+    );
     // Views joined with base tables.
     assert_eq!(
         ints(
@@ -241,15 +307,23 @@ fn three_valued_logic_in_where() {
     assert_eq!(ints(&db, "SELECT a FROM t WHERE b IS NULL"), vec![1]);
     assert_eq!(ints(&db, "SELECT a FROM t WHERE b IS NOT NULL"), vec![2]);
     // NOT (NULL > 0) is still unknown.
-    assert_eq!(ints(&db, "SELECT a FROM t WHERE NOT (b > 0)"), Vec::<i64>::new());
+    assert_eq!(
+        ints(&db, "SELECT a FROM t WHERE NOT (b > 0)"),
+        Vec::<i64>::new()
+    );
     // OR rescues unknown.
-    assert_eq!(ints(&db, "SELECT a FROM t WHERE b > 0 OR a = 1"), vec![1, 2]);
+    assert_eq!(
+        ints(&db, "SELECT a FROM t WHERE b > 0 OR a = 1"),
+        vec![1, 2]
+    );
 }
 
 #[test]
 fn arithmetic_in_projection_and_where() {
     let db = db_orders();
-    let rs = db.query_sql("SELECT o_orderkey + 100 AS k FROM orders WHERE o_orderkey * 2 = 4").unwrap();
+    let rs = db
+        .query_sql("SELECT o_orderkey + 100 AS k FROM orders WHERE o_orderkey * 2 = 4")
+        .unwrap();
     assert_eq!(rs.columns, vec!["k"]);
     assert_eq!(rs.rows[0][0], Value::Int(102));
 }
@@ -263,7 +337,8 @@ fn division_by_zero_errors() {
 #[test]
 fn ambiguous_column_is_rejected() {
     let mut db = Database::new();
-    db.execute_sql("CREATE TABLE a (x INT); CREATE TABLE b (x INT);").unwrap();
+    db.execute_sql("CREATE TABLE a (x INT); CREATE TABLE b (x INT);")
+        .unwrap();
     assert!(db.query_sql("SELECT x FROM a, b").is_err());
 }
 
@@ -292,8 +367,10 @@ fn event_capture_redirects_dml() {
     db.enable_capture("orders").unwrap();
     db.enable_capture("lineitem").unwrap();
 
-    db.execute_sql("INSERT INTO orders VALUES (4, 30, 10.0)").unwrap();
-    db.execute_sql("DELETE FROM lineitem WHERE l_orderkey = 1").unwrap();
+    db.execute_sql("INSERT INTO orders VALUES (4, 30, 10.0)")
+        .unwrap();
+    db.execute_sql("DELETE FROM lineitem WHERE l_orderkey = 1")
+        .unwrap();
 
     // Base tables unchanged.
     assert_eq!(db.table("orders").unwrap().len(), 3);
@@ -315,7 +392,13 @@ fn event_capture_redirects_dml() {
     db.undo(log);
     assert_eq!(db.table("orders").unwrap().len(), 3);
     assert_eq!(db.table("lineitem").unwrap().len(), 3);
-    assert_eq!(ints(&db, "SELECT l_linenumber FROM lineitem WHERE l_orderkey = 1"), vec![1, 2]);
+    assert_eq!(
+        ints(
+            &db,
+            "SELECT l_linenumber FROM lineitem WHERE l_orderkey = 1"
+        ),
+        vec![1, 2]
+    );
 
     db.truncate_events();
     assert_eq!(db.pending_counts(), (0, 0));
@@ -326,7 +409,9 @@ fn capture_validates_against_base_schema() {
     let mut db = db_orders();
     db.enable_capture("orders").unwrap();
     // NOT NULL violation caught at capture time.
-    assert!(db.execute_sql("INSERT INTO orders VALUES (NULL, 1, 1.0)").is_err());
+    assert!(db
+        .execute_sql("INSERT INTO orders VALUES (NULL, 1, 1.0)")
+        .is_err());
     // Arity mismatch too.
     assert!(db.execute_sql("INSERT INTO orders VALUES (9)").is_err());
 }
@@ -337,11 +422,16 @@ fn normalization_cancels_and_dedups() {
     db.enable_capture("orders").unwrap();
     // Delete order 1 then re-insert the identical row; also insert a brand
     // new order twice; also delete order 2 twice (same predicate re-run).
-    db.execute_sql("DELETE FROM orders WHERE o_orderkey = 1").unwrap();
-    db.execute_sql("INSERT INTO orders VALUES (1, 10, 100.0)").unwrap();
-    db.execute_sql("INSERT INTO orders VALUES (7, 70, 7.0), (7, 70, 7.0)").unwrap();
-    db.execute_sql("DELETE FROM orders WHERE o_orderkey = 2").unwrap();
-    db.execute_sql("DELETE FROM orders WHERE o_orderkey = 2").unwrap();
+    db.execute_sql("DELETE FROM orders WHERE o_orderkey = 1")
+        .unwrap();
+    db.execute_sql("INSERT INTO orders VALUES (1, 10, 100.0)")
+        .unwrap();
+    db.execute_sql("INSERT INTO orders VALUES (7, 70, 7.0), (7, 70, 7.0)")
+        .unwrap();
+    db.execute_sql("DELETE FROM orders WHERE o_orderkey = 2")
+        .unwrap();
+    db.execute_sql("DELETE FROM orders WHERE o_orderkey = 2")
+        .unwrap();
 
     let report = db.normalize_events().unwrap();
     assert_eq!(report.dup_ins, 1, "duplicate insert of order 7");
@@ -359,13 +449,21 @@ fn apply_rolls_back_on_pk_conflict() {
     let mut db = db_orders();
     db.enable_capture("orders").unwrap();
     // Conflicting insert (order 1 exists with different attributes).
-    db.execute_sql("INSERT INTO orders VALUES (1, 99, 9.9)").unwrap();
-    db.execute_sql("INSERT INTO orders VALUES (5, 50, 5.0)").unwrap();
+    db.execute_sql("INSERT INTO orders VALUES (1, 99, 9.9)")
+        .unwrap();
+    db.execute_sql("INSERT INTO orders VALUES (5, 50, 5.0)")
+        .unwrap();
     let err = db.apply_pending().unwrap_err();
-    assert!(matches!(err, tintin_engine::EngineError::UniqueViolation { .. }));
+    assert!(matches!(
+        err,
+        tintin_engine::EngineError::UniqueViolation { .. }
+    ));
     // Rollback left the base table untouched.
     assert_eq!(db.table("orders").unwrap().len(), 3);
-    assert_eq!(ints(&db, "SELECT o_custkey FROM orders WHERE o_orderkey = 1"), vec![10]);
+    assert_eq!(
+        ints(&db, "SELECT o_custkey FROM orders WHERE o_orderkey = 1"),
+        vec![10]
+    );
 }
 
 #[test]
@@ -384,23 +482,29 @@ fn delete_with_correlated_subquery_predicate() {
 #[test]
 fn insert_select_copies_rows() {
     let mut db = db_orders();
-    db.execute_sql("CREATE TABLE archive (k INT, c INT, p REAL)").unwrap();
-    db.execute_sql("INSERT INTO archive SELECT * FROM orders WHERE o_custkey = 10").unwrap();
+    db.execute_sql("CREATE TABLE archive (k INT, c INT, p REAL)")
+        .unwrap();
+    db.execute_sql("INSERT INTO archive SELECT * FROM orders WHERE o_custkey = 10")
+        .unwrap();
     assert_eq!(ints(&db, "SELECT k FROM archive"), vec![1, 2]);
 }
 
 #[test]
 fn insert_with_column_list_fills_nulls() {
     let mut db = db_orders();
-    db.execute_sql("INSERT INTO orders (o_orderkey) VALUES (9)").unwrap();
-    let rs = db.query_sql("SELECT o_custkey FROM orders WHERE o_orderkey = 9").unwrap();
+    db.execute_sql("INSERT INTO orders (o_orderkey) VALUES (9)")
+        .unwrap();
+    let rs = db
+        .query_sql("SELECT o_custkey FROM orders WHERE o_orderkey = 9")
+        .unwrap();
     assert_eq!(rs.rows[0][0], Value::Null);
 }
 
 #[test]
 fn check_constraint_enforced() {
     let mut db = Database::new();
-    db.execute_sql("CREATE TABLE q (v INT, CHECK (v > 0))").unwrap();
+    db.execute_sql("CREATE TABLE q (v INT, CHECK (v > 0))")
+        .unwrap();
     assert!(db.execute_sql("INSERT INTO q VALUES (5)").is_ok());
     assert!(db.execute_sql("INSERT INTO q VALUES (0)").is_err());
     // NULL passes CHECK (unknown is not false).
@@ -437,7 +541,9 @@ fn select_without_from() {
 fn union_width_mismatch_rejected() {
     let db = db_orders();
     assert!(db
-        .query_sql("SELECT o_orderkey FROM orders UNION SELECT l_orderkey, l_linenumber FROM lineitem")
+        .query_sql(
+            "SELECT o_orderkey FROM orders UNION SELECT l_orderkey, l_linenumber FROM lineitem"
+        )
         .is_err());
 }
 
@@ -451,7 +557,8 @@ fn truncate_table_statement() {
 #[test]
 fn drop_table_and_view() {
     let mut db = db_orders();
-    db.execute_sql("CREATE VIEW v AS SELECT * FROM orders").unwrap();
+    db.execute_sql("CREATE VIEW v AS SELECT * FROM orders")
+        .unwrap();
     db.execute_sql("DROP VIEW v").unwrap();
     assert!(db.query_sql("SELECT * FROM v").is_err());
     db.execute_sql("DROP TABLE lineitem").unwrap();
@@ -468,7 +575,8 @@ fn disable_capture_drops_event_tables() {
     db.disable_capture("orders").unwrap();
     assert!(db.table("ins_orders").is_none());
     // DML goes straight to the base table again.
-    db.execute_sql("INSERT INTO orders VALUES (8, 1, 1.0)").unwrap();
+    db.execute_sql("INSERT INTO orders VALUES (8, 1, 1.0)")
+        .unwrap();
     assert_eq!(db.table("orders").unwrap().len(), 4);
 }
 

@@ -1,0 +1,204 @@
+//! Engine-level transaction and savepoint semantics: the undo-log savepoint
+//! stack must restore base tables *and* event tables exactly.
+
+use tintin_engine::{Database, EngineError, Value};
+
+fn db_with_data() -> Database {
+    let mut db = Database::new();
+    db.execute_sql(
+        "CREATE TABLE t (a INT PRIMARY KEY, b INT);
+         INSERT INTO t VALUES (1, 10), (2, 20);",
+    )
+    .unwrap();
+    db
+}
+
+fn rows_of(db: &Database, table: &str) -> Vec<Vec<Value>> {
+    let mut rows: Vec<Vec<Value>> = db
+        .table(table)
+        .unwrap()
+        .scan()
+        .map(|(_, r)| r.to_vec())
+        .collect();
+    rows.sort_by_key(|r| format!("{r:?}"));
+    rows
+}
+
+#[test]
+fn rollback_restores_uncaptured_tables() {
+    let mut db = db_with_data();
+    let before = rows_of(&db, "t");
+    db.begin_transaction().unwrap();
+    db.execute_sql(
+        "INSERT INTO t VALUES (3, 30);
+         DELETE FROM t WHERE a = 1;
+         UPDATE t SET b = 99 WHERE a = 2;",
+    )
+    .unwrap();
+    assert_ne!(rows_of(&db, "t"), before);
+    db.rollback_transaction().unwrap();
+    assert_eq!(rows_of(&db, "t"), before);
+    assert!(!db.in_transaction());
+}
+
+#[test]
+fn rollback_restores_event_tables() {
+    let mut db = db_with_data();
+    db.enable_capture("t").unwrap();
+    db.begin_transaction().unwrap();
+    db.execute_sql("INSERT INTO t VALUES (3, 30); DELETE FROM t WHERE a = 1;")
+        .unwrap();
+    assert_eq!(db.pending_counts(), (1, 1));
+    db.rollback_transaction().unwrap();
+    assert_eq!(db.pending_counts(), (0, 0));
+    // Base table was never touched by captured DML.
+    assert_eq!(db.table("t").unwrap().len(), 2);
+}
+
+#[test]
+fn savepoint_stack_nested_rollback() {
+    let mut db = db_with_data();
+    db.enable_capture("t").unwrap();
+    db.begin_transaction().unwrap();
+
+    db.execute_sql("INSERT INTO t VALUES (3, 30)").unwrap();
+    db.create_savepoint("s1").unwrap();
+    db.execute_sql("INSERT INTO t VALUES (4, 40)").unwrap();
+    db.create_savepoint("s2").unwrap();
+    db.execute_sql("INSERT INTO t VALUES (5, 50)").unwrap();
+    assert_eq!(db.pending_counts(), (3, 0));
+    assert_eq!(
+        db.savepoint_names(),
+        vec!["s1".to_string(), "s2".to_string()]
+    );
+
+    // Roll back to s1: events after it vanish, s2 is discarded, s1 stays.
+    db.rollback_to_savepoint("s1").unwrap();
+    assert_eq!(db.pending_counts(), (1, 0));
+    assert_eq!(db.savepoint_names(), vec!["s1".to_string()]);
+
+    // s1 is replayable: new work after it can be rolled back again.
+    db.execute_sql("INSERT INTO t VALUES (6, 60)").unwrap();
+    assert_eq!(db.pending_counts(), (2, 0));
+    db.rollback_to_savepoint("s1").unwrap();
+    assert_eq!(db.pending_counts(), (1, 0));
+
+    db.rollback_transaction().unwrap();
+    assert_eq!(db.pending_counts(), (0, 0));
+}
+
+#[test]
+fn release_merges_into_enclosing_scope() {
+    let mut db = db_with_data();
+    db.begin_transaction().unwrap();
+    db.execute_sql("INSERT INTO t VALUES (3, 30)").unwrap();
+    db.create_savepoint("s1").unwrap();
+    db.execute_sql("INSERT INTO t VALUES (4, 40)").unwrap();
+    db.release_savepoint("s1").unwrap();
+    assert!(db.savepoint_names().is_empty());
+    assert!(db.rollback_to_savepoint("s1").is_err());
+    // The released savepoint's changes survive until the tx ends.
+    assert_eq!(db.table("t").unwrap().len(), 4);
+    db.rollback_transaction().unwrap();
+    assert_eq!(db.table("t").unwrap().len(), 2);
+}
+
+#[test]
+fn savepoint_name_reuse_moves_the_savepoint() {
+    let mut db = db_with_data();
+    db.begin_transaction().unwrap();
+    db.create_savepoint("s").unwrap();
+    db.execute_sql("INSERT INTO t VALUES (3, 30)").unwrap();
+    db.create_savepoint("s").unwrap(); // moved here
+    db.execute_sql("INSERT INTO t VALUES (4, 40)").unwrap();
+    db.rollback_to_savepoint("s").unwrap();
+    // Only the insert after the *moved* savepoint is undone.
+    assert_eq!(db.table("t").unwrap().len(), 3);
+    db.rollback_transaction().unwrap();
+    assert_eq!(db.table("t").unwrap().len(), 2);
+}
+
+#[test]
+fn commit_keeps_changes_and_closes() {
+    let mut db = db_with_data();
+    db.begin_transaction().unwrap();
+    db.execute_sql("INSERT INTO t VALUES (3, 30)").unwrap();
+    db.commit_transaction().unwrap();
+    assert!(!db.in_transaction());
+    assert_eq!(db.table("t").unwrap().len(), 3);
+    // The undo log is gone: a fresh rollback is an error.
+    assert!(matches!(
+        db.rollback_transaction(),
+        Err(EngineError::Transaction(_))
+    ));
+}
+
+#[test]
+fn update_inside_transaction_rolls_back() {
+    let mut db = db_with_data();
+    db.begin_transaction().unwrap();
+    // Key-shifting update exercises the two-phase apply + undo log.
+    db.execute_sql("UPDATE t SET a = a + 10").unwrap();
+    assert!(db
+        .table("t")
+        .unwrap()
+        .scan()
+        .all(|(_, r)| r[0] >= Value::Int(11)));
+    db.rollback_transaction().unwrap();
+    let mut keys: Vec<Value> = db
+        .table("t")
+        .unwrap()
+        .scan()
+        .map(|(_, r)| r[0].clone())
+        .collect();
+    keys.sort_by_key(|v| format!("{v}"));
+    assert_eq!(keys, vec![Value::Int(1), Value::Int(2)]);
+}
+
+#[test]
+fn failed_statement_then_rollback_still_restores() {
+    let mut db = db_with_data();
+    db.begin_transaction().unwrap();
+    db.execute_sql("INSERT INTO t VALUES (3, 30)").unwrap();
+    // This UPDATE collides on the primary key and self-compensates…
+    assert!(db.execute_sql("UPDATE t SET a = 1 WHERE a = 3").is_err());
+    // …after which a full rollback must still restore the initial state,
+    // even though the compensation reassigned row ids.
+    db.rollback_transaction().unwrap();
+    assert_eq!(db.table("t").unwrap().len(), 2);
+    assert!(db
+        .table("t")
+        .unwrap()
+        .scan()
+        .all(|(_, r)| r[0] == Value::Int(1) || r[0] == Value::Int(2)));
+}
+
+#[test]
+fn transaction_state_errors() {
+    let mut db = db_with_data();
+    assert!(matches!(
+        db.commit_transaction(),
+        Err(EngineError::Transaction(_))
+    ));
+    assert!(matches!(
+        db.create_savepoint("s"),
+        Err(EngineError::Transaction(_))
+    ));
+    db.begin_transaction().unwrap();
+    assert!(matches!(
+        db.begin_transaction(),
+        Err(EngineError::Transaction(_))
+    ));
+    assert!(matches!(
+        db.rollback_to_savepoint("nope"),
+        Err(EngineError::NoSuchSavepoint(_))
+    ));
+    db.rollback_transaction().unwrap();
+}
+
+#[test]
+fn engine_rejects_tx_statements_in_execute() {
+    let mut db = db_with_data();
+    let err = db.execute_sql("BEGIN").unwrap_err();
+    assert!(matches!(err, EngineError::Unsupported(_)));
+}

@@ -28,7 +28,8 @@ fn vals(db: &Database, sql: &str) -> Vec<Value> {
 #[test]
 fn update_with_predicate() {
     let mut db = db();
-    db.execute_sql("UPDATE t SET val = 9.0 WHERE grp = 10").unwrap();
+    db.execute_sql("UPDATE t SET val = 9.0 WHERE grp = 10")
+        .unwrap();
     assert_eq!(
         vals(&db, "SELECT val FROM t"),
         vec![Value::real(3.5), Value::real(9.0), Value::real(9.0)]
@@ -45,7 +46,8 @@ fn update_all_rows_without_predicate() {
 #[test]
 fn update_expression_sees_old_row() {
     let mut db = db();
-    db.execute_sql("UPDATE t SET val = val + 1.0, grp = grp * 2 WHERE k = 1").unwrap();
+    db.execute_sql("UPDATE t SET val = val + 1.0, grp = grp * 2 WHERE k = 1")
+        .unwrap();
     let rs = db.query_sql("SELECT grp, val FROM t WHERE k = 1").unwrap();
     assert_eq!(rs.rows[0][0], Value::Int(20));
     assert_eq!(rs.rows[0][1], Value::real(2.5));
@@ -78,9 +80,14 @@ fn conflicting_update_rolls_back() {
 #[test]
 fn update_violating_not_null_fails_cleanly() {
     let mut db = db();
-    let err = db.execute_sql("UPDATE t SET grp = NULL WHERE k = 1").unwrap_err();
+    let err = db
+        .execute_sql("UPDATE t SET grp = NULL WHERE k = 1")
+        .unwrap_err();
     assert!(matches!(err, EngineError::NullViolation { .. }));
-    assert_eq!(vals(&db, "SELECT grp FROM t WHERE k = 1"), vec![Value::Int(10)]);
+    assert_eq!(
+        vals(&db, "SELECT grp FROM t WHERE k = 1"),
+        vec![Value::Int(10)]
+    );
 }
 
 #[test]
@@ -102,13 +109,21 @@ fn update_same_column_twice_rejected() {
 fn captured_update_records_del_and_ins_events() {
     let mut db = db();
     db.enable_capture("t").unwrap();
-    let res = db.execute_sql("UPDATE t SET val = 0.0 WHERE grp = 10").unwrap();
+    let res = db
+        .execute_sql("UPDATE t SET val = 0.0 WHERE grp = 10")
+        .unwrap();
     assert_eq!(res[0], tintin_engine::StatementResult::RowsAffected(2));
     // Base unchanged; del has the old rows, ins the new ones.
-    assert_eq!(vals(&db, "SELECT val FROM t WHERE grp = 10"), vec![Value::real(1.5), Value::real(2.5)]);
+    assert_eq!(
+        vals(&db, "SELECT val FROM t WHERE grp = 10"),
+        vec![Value::real(1.5), Value::real(2.5)]
+    );
     assert_eq!(db.table("del_t").unwrap().len(), 2);
     assert_eq!(db.table("ins_t").unwrap().len(), 2);
-    assert_eq!(vals(&db, "SELECT val FROM ins_t"), vec![Value::real(0.0), Value::real(0.0)]);
+    assert_eq!(
+        vals(&db, "SELECT val FROM ins_t"),
+        vec![Value::real(0.0), Value::real(0.0)]
+    );
 
     // Applying the events realizes the update.
     db.normalize_events().unwrap();
@@ -123,7 +138,8 @@ fn captured_update_records_del_and_ins_events() {
 fn captured_noop_update_records_nothing() {
     let mut db = db();
     db.enable_capture("t").unwrap();
-    db.execute_sql("UPDATE t SET grp = 10 WHERE grp = 10").unwrap();
+    db.execute_sql("UPDATE t SET grp = 10 WHERE grp = 10")
+        .unwrap();
     assert_eq!(db.pending_counts(), (0, 0), "identity update is a no-op");
 }
 
@@ -137,11 +153,12 @@ fn update_with_correlated_subquery_predicate() {
          INSERT INTO b VALUES (1, 0), (2, 0), (3, 0);",
     )
     .unwrap();
-    db.execute_sql(
-        "UPDATE b SET flag = 1 WHERE EXISTS (SELECT * FROM a WHERE a.x = b.y)",
-    )
-    .unwrap();
-    assert_eq!(vals(&db, "SELECT y FROM b WHERE flag = 1"), vec![Value::Int(1), Value::Int(3)]);
+    db.execute_sql("UPDATE b SET flag = 1 WHERE EXISTS (SELECT * FROM a WHERE a.x = b.y)")
+        .unwrap();
+    assert_eq!(
+        vals(&db, "SELECT y FROM b WHERE flag = 1"),
+        vec![Value::Int(1), Value::Int(3)]
+    );
 }
 
 #[test]

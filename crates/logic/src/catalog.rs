@@ -88,7 +88,10 @@ mod tests {
                 foreign_keys: vec![],
             },
         );
-        assert_eq!(cat.table("orders").unwrap().column_index("o_orderkey"), Some(0));
+        assert_eq!(
+            cat.table("orders").unwrap().column_index("o_orderkey"),
+            Some(0)
+        );
         assert!(cat.table("missing").is_none());
     }
 

@@ -130,9 +130,7 @@ impl<'a> EdcGenerator<'a> {
                 }
                 if next.len() > MAX_EDC_BODIES {
                     return Err(EdcError {
-                        message: format!(
-                            "denial expands into more than {MAX_EDC_BODIES} EDCs"
-                        ),
+                        message: format!("denial expands into more than {MAX_EDC_BODIES} EDCs"),
                     });
                 }
             }
@@ -185,7 +183,10 @@ impl<'a> EdcGenerator<'a> {
             Literal::Cmp(..) | Literal::IsNull { .. } => LitChoices::Fixed(lit.clone()),
             Literal::Pos(atom) => match &atom.pred {
                 Pred::Base(t) => LitChoices::State {
-                    event: vec![Literal::Pos(Atom::new(Pred::Ins(t.clone()), atom.args.clone()))],
+                    event: vec![Literal::Pos(Atom::new(
+                        Pred::Ins(t.clone()),
+                        atom.args.clone(),
+                    ))],
                     unchanged: vec![
                         Literal::Pos(atom.clone()),
                         Literal::Neg(Atom::new(Pred::Del(t.clone()), atom.args.clone())),
@@ -284,11 +285,7 @@ impl<'a> EdcGenerator<'a> {
         if let Some(id) = self.base_new.get(table) {
             return *id;
         }
-        let arity = self
-            .cat
-            .table(table)
-            .map(|t| t.arity())
-            .unwrap_or_default();
+        let arity = self.cat.table(table).map(|t| t.arity()).unwrap_or_default();
         let vars: Vec<Var> = (0..arity)
             .map(|i| self.reg.fresh_var(&format!("{table}_c{i}")))
             .collect();
@@ -414,7 +411,10 @@ impl<'a> EdcGenerator<'a> {
             }
             for body in distribute(&choices, MAX_EDC_BODIES)? {
                 let mut body = body;
-                body.push(Literal::Neg(Atom::new(Pred::Derived(id), rule.head.clone())));
+                body.push(Literal::Neg(Atom::new(
+                    Pred::Derived(id),
+                    rule.head.clone(),
+                )));
                 for expanded in self.inline_positive_derived(body, 0)? {
                     rules.push(Rule {
                         head: rule.head.clone(),
@@ -525,9 +525,9 @@ impl<'a> EdcGenerator<'a> {
                 message: "derived predicate inlining exceeded depth 16".into(),
             });
         }
-        let pos_derived = body.iter().position(|l| {
-            matches!(l, Literal::Pos(a) if matches!(a.pred, Pred::Derived(_)))
-        });
+        let pos_derived = body
+            .iter()
+            .position(|l| matches!(l, Literal::Pos(a) if matches!(a.pred, Pred::Derived(_))));
         let Some(idx) = pos_derived else {
             return Ok(vec![body]);
         };
@@ -644,14 +644,12 @@ fn gate_of(body: &[Literal]) -> Vec<(bool, String)> {
     for lit in body {
         if let Literal::Pos(a) = lit {
             match &a.pred {
-                Pred::Ins(t)
-                    if !out.contains(&(true, t.clone())) => {
-                        out.push((true, t.clone()));
-                    }
-                Pred::Del(t)
-                    if !out.contains(&(false, t.clone())) => {
-                        out.push((false, t.clone()));
-                    }
+                Pred::Ins(t) if !out.contains(&(true, t.clone())) => {
+                    out.push((true, t.clone()));
+                }
+                Pred::Del(t) if !out.contains(&(false, t.clone())) => {
+                    out.push((false, t.clone()));
+                }
                 _ => {}
             }
         }
@@ -782,7 +780,9 @@ mod tests {
             edcs.len(),
             2,
             "got: {:#?}",
-            edcs.iter().map(|e| reg.body_str(&e.body)).collect::<Vec<_>>()
+            edcs.iter()
+                .map(|e| reg.body_str(&e.body))
+                .collect::<Vec<_>>()
         );
         // EDC 4: gated on ins_orders; EDC 6: gated on del_lineitem.
         let gates: Vec<Vec<(bool, String)>> = edcs.iter().map(|e| e.gate.clone()).collect();
@@ -835,7 +835,9 @@ mod tests {
         //        (no insertion into the parent here); kept.
         let strs: Vec<String> = edcs.iter().map(|e| reg.body_str(&e.body)).collect();
         assert!(edcs.len() >= 2, "{strs:?}");
-        assert!(strs.iter().any(|s| s.contains("ins_lineitem") && s.contains("not orders")));
+        assert!(strs
+            .iter()
+            .any(|s| s.contains("ins_lineitem") && s.contains("not orders")));
         assert!(strs.iter().any(|s| s.contains("del_orders")));
     }
 
@@ -848,7 +850,14 @@ mod tests {
                 SELECT * FROM lineitem WHERE l_linenumber < 0))",
             EdcConfig::default(),
         );
-        assert_eq!(edcs.len(), 1, "{:?}", edcs.iter().map(|e| reg.body_str(&e.body)).collect::<Vec<_>>());
+        assert_eq!(
+            edcs.len(),
+            1,
+            "{:?}",
+            edcs.iter()
+                .map(|e| reg.body_str(&e.body))
+                .collect::<Vec<_>>()
+        );
         assert_eq!(edcs[0].gate, vec![(true, "lineitem".into())]);
     }
 

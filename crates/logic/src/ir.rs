@@ -472,7 +472,12 @@ mod tests {
     fn atom_vars_dedup() {
         let a = Atom::new(
             Pred::Base("t".into()),
-            vec![Term::Var(1), Term::Var(2), Term::Var(1), Term::Const(Konst::Int(5))],
+            vec![
+                Term::Var(1),
+                Term::Var(2),
+                Term::Var(1),
+                Term::Const(Konst::Int(5)),
+            ],
         );
         assert_eq!(a.vars(), vec![1, 2]);
     }
@@ -544,6 +549,9 @@ mod tests {
                 )),
             ],
         };
-        assert_eq!(reg.denial_str(&d), "orders(o) and not lineitem(l, o) -> bottom");
+        assert_eq!(
+            reg.denial_str(&d),
+            "orders(o) and not lineitem(l, o) -> bottom"
+        );
     }
 }

@@ -163,7 +163,7 @@ pub fn simplify_body(
         match &l {
             Literal::Cmp(op, a, b) => match (a, b) {
                 (Term::Const(x), Term::Const(y)) => match eval_cmp(*op, x, y) {
-                    Some(true) => {}     // trivially true: drop
+                    Some(true) => {} // trivially true: drop
                     Some(false) => return None,
                     None => kept.push(l), // incomparable (mixed types): keep
                 },
@@ -186,7 +186,10 @@ pub fn simplify_body(
                 _ => kept.push(l),
             },
             // Constants are never NULL: drop or prune the literal.
-            Literal::IsNull { term: Term::Const(_), negated } => {
+            Literal::IsNull {
+                term: Term::Const(_),
+                negated,
+            } => {
                 if !negated {
                     return None;
                 }
@@ -210,9 +213,13 @@ pub fn simplify_body(
             })
             .collect();
         for ins in &ins_atoms {
-            let Pred::Ins(parent) = &ins.pred else { unreachable!() };
+            let Pred::Ins(parent) = &ins.pred else {
+                unreachable!()
+            };
             for l in &lits {
-                let Literal::Pos(child_atom) = l else { continue };
+                let Literal::Pos(child_atom) = l else {
+                    continue;
+                };
                 let child_table = match &child_atom.pred {
                     Pred::Base(t) | Pred::Del(t) => t,
                     _ => continue,
@@ -224,14 +231,10 @@ pub fn simplify_body(
                     if &fk.ref_table != parent || !cat.fk_targets_key(fk) {
                         continue;
                     }
-                    let all_match = fk
-                        .columns
-                        .iter()
-                        .zip(&fk.ref_columns)
-                        .all(|(ci, pi)| {
-                            child_atom.args.get(*ci) == ins.args.get(*pi)
-                                && child_atom.args.get(*ci).is_some()
-                        });
+                    let all_match = fk.columns.iter().zip(&fk.ref_columns).all(|(ci, pi)| {
+                        child_atom.args.get(*ci) == ins.args.get(*pi)
+                            && child_atom.args.get(*ci).is_some()
+                    });
                     if all_match {
                         return None;
                     }
@@ -384,7 +387,11 @@ fn canonical_key(body: &[Literal]) -> String {
     for l in body {
         match l {
             Literal::Pos(a) | Literal::Neg(a) => {
-                out.push_str(if matches!(l, Literal::Pos(_)) { "+" } else { "-" });
+                out.push_str(if matches!(l, Literal::Pos(_)) {
+                    "+"
+                } else {
+                    "-"
+                });
                 out.push_str(&format!("{:?}(", a.pred));
                 for t in &a.args {
                     term(t, &mut renum, &mut out);
@@ -512,12 +519,20 @@ mod tests {
     fn folds_constant_comparisons() {
         let keep = vec![
             pos(Pred::Base("p".into()), vec![Term::Var(0)]),
-            Literal::Cmp(CmpOp::Lt, Term::Const(Konst::Int(1)), Term::Const(Konst::Int(2))),
+            Literal::Cmp(
+                CmpOp::Lt,
+                Term::Const(Konst::Int(1)),
+                Term::Const(Konst::Int(2)),
+            ),
         ];
         assert_eq!(simplify(keep).unwrap().len(), 1, "true comparison dropped");
         let dead = vec![
             pos(Pred::Base("p".into()), vec![Term::Var(0)]),
-            Literal::Cmp(CmpOp::Gt, Term::Const(Konst::Int(1)), Term::Const(Konst::Int(2))),
+            Literal::Cmp(
+                CmpOp::Gt,
+                Term::Const(Konst::Int(1)),
+                Term::Const(Konst::Int(2)),
+            ),
         ];
         assert_eq!(simplify(dead), None);
     }

@@ -94,7 +94,6 @@ impl Env {
         e.frames.push(frame);
         e
     }
-
 }
 
 struct Translator<'a> {
@@ -184,17 +183,17 @@ impl<'a> Translator<'a> {
                 sql::Expr::Unary {
                     op: sql::UnOp::Not,
                     expr,
-                } => match &**expr {
-                    sql::Expr::Exists {
-                        query,
-                        negated: false,
-                    } => out.push(&**query),
-                    _ => {
-                        return Err(self.err(
+                } => {
+                    match &**expr {
+                        sql::Expr::Exists {
+                            query,
+                            negated: false,
+                        } => out.push(&**query),
+                        _ => return Err(self.err(
                             "assertion condition must be a conjunction of NOT EXISTS (…) clauses",
-                        ))
+                        )),
                     }
-                },
+                }
                 _ => {
                     return Err(self.err(
                         "assertion condition must be a conjunction of NOT EXISTS (…) clauses",
@@ -262,11 +261,7 @@ impl<'a> Translator<'a> {
             if frame.sources.iter().any(|(b, _, _)| b == binding) {
                 return Err(self.err(format!("duplicate binding '{binding}' in FROM")));
             }
-            let vars: Vec<Var> = info
-                .columns
-                .iter()
-                .map(|c| self.reg.fresh_var(c))
-                .collect();
+            let vars: Vec<Var> = info.columns.iter().map(|c| self.reg.fresh_var(c)).collect();
             start.literals.push(Literal::Pos(Atom::new(
                 Pred::Base(table.clone()),
                 vars.iter().map(|v| Term::Var(*v)).collect(),
@@ -322,9 +317,9 @@ impl<'a> Translator<'a> {
             match item {
                 sql::SelectItem::Expr { expr, .. } => out.push(expr),
                 _ => {
-                    return Err(self.err(
-                        "IN subqueries must project explicit columns (no wildcards)",
-                    ))
+                    return Err(
+                        self.err("IN subqueries must project explicit columns (no wildcards)")
+                    )
                 }
             }
         }
@@ -339,10 +334,7 @@ impl<'a> Translator<'a> {
     ) -> TResult<()> {
         match tr {
             sql::TableRef::Named { name, alias } => {
-                leaves.push((
-                    name.clone(),
-                    alias.clone().unwrap_or_else(|| name.clone()),
-                ));
+                leaves.push((name.clone(), alias.clone().unwrap_or_else(|| name.clone())));
                 Ok(())
             }
             sql::TableRef::Join {
@@ -667,9 +659,7 @@ impl<'a> Translator<'a> {
                         right: right.clone(),
                     },
                     None => {
-                        return Err(
-                            self.err("cannot negate arithmetic expression in assertion")
-                        )
+                        return Err(self.err("cannot negate arithmetic expression in assertion"))
                     }
                 },
             },
@@ -742,7 +732,11 @@ mod tests {
         cat.add_table(
             "orders",
             TableInfo {
-                columns: vec!["o_orderkey".into(), "o_custkey".into(), "o_totalprice".into()],
+                columns: vec![
+                    "o_orderkey".into(),
+                    "o_custkey".into(),
+                    "o_totalprice".into(),
+                ],
                 primary_key: vec![0],
                 foreign_keys: vec![],
             },
@@ -750,7 +744,11 @@ mod tests {
         cat.add_table(
             "lineitem",
             TableInfo {
-                columns: vec!["l_orderkey".into(), "l_linenumber".into(), "l_quantity".into()],
+                columns: vec![
+                    "l_orderkey".into(),
+                    "l_linenumber".into(),
+                    "l_quantity".into(),
+                ],
                 primary_key: vec![0, 1],
                 foreign_keys: vec![FkInfo {
                     columns: vec![0],
@@ -765,8 +763,7 @@ mod tests {
     fn translate(sql_text: &str) -> (Vec<Denial>, Registry) {
         let cat = tpch_cat();
         let mut reg = Registry::new();
-        let sql::Statement::CreateAssertion(a) =
-            tintin_sql::parse_statement(sql_text).unwrap()
+        let sql::Statement::CreateAssertion(a) = tintin_sql::parse_statement(sql_text).unwrap()
         else {
             panic!("not an assertion")
         };
@@ -793,7 +790,9 @@ mod tests {
         assert_eq!(neg.pred, Pred::Base("lineitem".into()));
         // The shared variable: lineitem's l_orderkey arg equals orders'
         // o_orderkey arg.
-        let Literal::Pos(pos) = &d.body[0] else { unreachable!() };
+        let Literal::Pos(pos) = &d.body[0] else {
+            unreachable!()
+        };
         assert_eq!(neg.args[0], pos.args[0]);
     }
 
@@ -804,7 +803,9 @@ mod tests {
                  SELECT * FROM orders WHERE o_custkey = 42 AND o_totalprice < 0))",
         );
         let d = &denials[0];
-        let Literal::Pos(atom) = &d.body[0] else { panic!() };
+        let Literal::Pos(atom) = &d.body[0] else {
+            panic!()
+        };
         assert_eq!(atom.args[1], Term::Const(Konst::Int(42)));
         assert!(matches!(&d.body[1], Literal::Cmp(CmpOp::Lt, _, _)));
     }
@@ -888,7 +889,9 @@ mod tests {
                      WHERE l.l_orderkey = o.o_orderkey AND l.l_quantity > 0)))",
         );
         let body = &denials[0].body;
-        let Literal::Neg(atom) = &body[1] else { panic!() };
+        let Literal::Neg(atom) = &body[1] else {
+            panic!()
+        };
         let Pred::Derived(id) = &atom.pred else {
             panic!("expected derived predicate (subquery has an extra comparison)")
         };
@@ -907,8 +910,12 @@ mod tests {
                      SELECT l_orderkey FROM lineitem l2 WHERE l2.l_orderkey = o.o_orderkey
                          AND l2.l_quantity > 5)))",
         );
-        let Literal::Neg(atom) = &denials[0].body[1] else { panic!() };
-        let Pred::Derived(id) = &atom.pred else { panic!() };
+        let Literal::Neg(atom) = &denials[0].body[1] else {
+            panic!()
+        };
+        let Pred::Derived(id) = &atom.pred else {
+            panic!()
+        };
         assert_eq!(reg.derived(*id).rules.len(), 2);
     }
 
@@ -958,10 +965,10 @@ mod tests {
     fn rejects_non_not_exists_condition() {
         let cat = tpch_cat();
         let mut reg = Registry::new();
-        let sql::Statement::CreateAssertion(a) = tintin_sql::parse_statement(
-            "CREATE ASSERTION a CHECK (EXISTS (SELECT * FROM orders))",
-        )
-        .unwrap() else {
+        let sql::Statement::CreateAssertion(a) =
+            tintin_sql::parse_statement("CREATE ASSERTION a CHECK (EXISTS (SELECT * FROM orders))")
+                .unwrap()
+        else {
             panic!()
         };
         assert!(translate_assertion(&cat, &mut reg, &a).is_err());
@@ -975,8 +982,7 @@ mod tests {
             "CREATE ASSERTION a CHECK (NOT EXISTS (SELECT * FROM nope))",
             "CREATE ASSERTION a CHECK (NOT EXISTS (SELECT * FROM orders WHERE bogus = 1))",
         ] {
-            let sql::Statement::CreateAssertion(a) =
-                tintin_sql::parse_statement(text).unwrap()
+            let sql::Statement::CreateAssertion(a) = tintin_sql::parse_statement(text).unwrap()
             else {
                 panic!()
             };
@@ -1005,6 +1011,9 @@ mod tests {
         // NOT(A AND B) → NOT A OR NOT B → two denials.
         assert_eq!(denials.len(), 2);
         assert!(matches!(&denials[0].body[1], Literal::Cmp(CmpOp::Lt, _, _)));
-        assert!(matches!(&denials[1].body[1], Literal::Cmp(CmpOp::LtEq, _, _)));
+        assert!(matches!(
+            &denials[1].body[1],
+            Literal::Cmp(CmpOp::LtEq, _, _)
+        ));
     }
 }

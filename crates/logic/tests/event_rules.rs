@@ -238,8 +238,14 @@ fn expansion_guard_fires_on_explosion() {
     let mut body = Vec::new();
     for _ in 0..4 {
         let x = reg.fresh_var("x");
-        body.push(Literal::Pos(Atom::new(Pred::Base("s".into()), vec![Term::Var(x)])));
-        body.push(Literal::Pos(Atom::new(Pred::Derived(big), vec![Term::Var(x)])));
+        body.push(Literal::Pos(Atom::new(
+            Pred::Base("s".into()),
+            vec![Term::Var(x)],
+        )));
+        body.push(Literal::Pos(Atom::new(
+            Pred::Derived(big),
+            vec![Term::Var(x)],
+        )));
     }
     let denial = Denial {
         assertion: "boom".into(),
@@ -249,7 +255,10 @@ fn expansion_guard_fires_on_explosion() {
     let cat = cat();
     let mut generator = EdcGenerator::new(&mut reg, &cat, EdcConfig::default());
     match generator.generate(&denial) {
-        Err(e) => assert!(e.message.contains("EDC") || e.message.contains("bodies"), "{e}"),
+        Err(e) => assert!(
+            e.message.contains("EDC") || e.message.contains("bodies"),
+            "{e}"
+        ),
         Ok(edcs) => assert!(edcs.len() <= MAX_EDC_BODIES),
     }
 }

@@ -1,0 +1,791 @@
+//! `tintin-session` — interactive, transactional sessions over the TINTIN
+//! engine.
+//!
+//! The EDBT 2016 paper's usage model is *transaction-time* integrity
+//! checking: an application opens a transaction, issues updates (which the
+//! `INSTEAD OF` triggers divert into `ins_T` / `del_T` event tables), and at
+//! `COMMIT` the `safeCommit` procedure either applies the whole update or
+//! rejects it, reporting the violated assertion. The seed library exposed
+//! `safeCommit` only as a one-shot call; this crate supplies the missing
+//! connection abstraction:
+//!
+//! * **[`Session`]** owns a [`Database`] plus a [`Tintin`] checker and any
+//!   number of installed assertion sets, and executes SQL scripts
+//!   statement by statement;
+//! * **explicit transactions** — `BEGIN; …; COMMIT` groups any number of
+//!   DML statements into one unit. The engine's undo-log savepoint stack
+//!   (`SAVEPOINT` / `ROLLBACK TO` / `RELEASE`) gives partial rollback, and
+//!   `COMMIT` runs `safeCommit`: if any assertion would be violated the
+//!   whole transaction is rolled back atomically (base tables *and* event
+//!   tables restored) and the violating tuples are reported;
+//! * **autocommit** — outside an explicit transaction every DML statement
+//!   is its own transaction: it is captured, checked and applied (or
+//!   rejected) immediately, matching the seed library's behaviour.
+//!
+//! Reads inside an open transaction see the *pre-transaction* state: that
+//! is the paper's model, where proposed updates live in the event tables
+//! until `safeCommit` promotes them. Schema changes (`CREATE` / `DROP` /
+//! `TRUNCATE`) are not transactional and are rejected while a transaction
+//! is open; `CREATE ASSERTION` outside a transaction installs the
+//! assertion (incremental views and all) on the fly.
+//!
+//! # Example
+//!
+//! ```
+//! use tintin_session::{Session, StatementOutcome};
+//!
+//! let mut session = Session::new();
+//! session
+//!     .execute(
+//!         "CREATE TABLE orders (o_orderkey INT PRIMARY KEY);
+//!          CREATE TABLE lineitem (
+//!              l_orderkey INT REFERENCES orders, l_linenumber INT,
+//!              PRIMARY KEY (l_orderkey, l_linenumber));
+//!          CREATE ASSERTION atLeastOneLineItem CHECK (NOT EXISTS (
+//!              SELECT * FROM orders o WHERE NOT EXISTS (
+//!                  SELECT * FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)));",
+//!     )
+//!     .unwrap();
+//!
+//! // A transaction that ends consistent commits atomically…
+//! let outcomes = session
+//!     .execute("BEGIN; INSERT INTO orders VALUES (1); INSERT INTO lineitem VALUES (1, 1); COMMIT;")
+//!     .unwrap();
+//! assert!(matches!(outcomes.last(), Some(StatementOutcome::Committed { .. })));
+//!
+//! // …one that would violate the assertion is rejected and rolled back.
+//! let outcomes = session.execute("BEGIN; INSERT INTO orders VALUES (2); COMMIT;").unwrap();
+//! assert!(matches!(outcomes.last(), Some(StatementOutcome::Rejected { .. })));
+//! assert_eq!(session.database().table("orders").unwrap().len(), 1);
+//! ```
+
+use std::fmt;
+use tintin::{CheckStats, Installation, Tintin, TintinError, Violation};
+use tintin_engine::{Database, EngineError, ResultSet, StatementResult};
+use tintin_sql as sql;
+
+/// Result of executing one statement through a [`Session`].
+#[derive(Debug, Clone)]
+pub enum StatementOutcome {
+    /// DDL succeeded.
+    Ddl,
+    /// An assertion was parsed, rewritten and installed.
+    AssertionInstalled { name: String, views: usize },
+    /// An assertion (and its incremental views) was removed.
+    AssertionDropped { name: String },
+    /// DML affected this many rows (pending while a transaction is open).
+    RowsAffected(usize),
+    /// A query returned rows.
+    Rows(ResultSet),
+    /// `BEGIN` opened a transaction.
+    TransactionStarted,
+    /// `SAVEPOINT name` was established.
+    SavepointCreated(String),
+    /// `RELEASE name` discarded a savepoint.
+    SavepointReleased(String),
+    /// `ROLLBACK TO name` reversed the transaction suffix.
+    RolledBackToSavepoint(String),
+    /// `ROLLBACK` aborted the transaction.
+    RolledBack,
+    /// `COMMIT` passed every assertion; the update is applied.
+    Committed {
+        inserted: usize,
+        deleted: usize,
+        stats: CheckStats,
+    },
+    /// `COMMIT` (or an autocommitted statement) violated an assertion; the
+    /// transaction was rolled back atomically.
+    Rejected {
+        violations: Vec<Violation>,
+        stats: CheckStats,
+    },
+}
+
+impl StatementOutcome {
+    pub fn is_committed(&self) -> bool {
+        matches!(self, StatementOutcome::Committed { .. })
+    }
+
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, StatementOutcome::Rejected { .. })
+    }
+}
+
+/// Errors surfaced by [`Session::execute`].
+#[derive(Debug, Clone)]
+pub enum SessionError {
+    /// SQL parsing failed.
+    Parse(String),
+    /// Engine-level failure (catalog, DML, evaluation).
+    Engine(EngineError),
+    /// Install / check pipeline failure.
+    Tintin(TintinError),
+    /// `COMMIT`, `ROLLBACK`, `SAVEPOINT`, … without an open transaction.
+    NoActiveTransaction,
+    /// `BEGIN` while a transaction is already open.
+    TransactionAlreadyOpen,
+    /// `ROLLBACK TO` / `RELEASE` an unknown savepoint.
+    NoSuchSavepoint(String),
+    /// Schema changes are not transactional.
+    DdlInTransaction(String),
+    /// `CREATE ASSERTION` with a name that is already installed.
+    DuplicateAssertion(String),
+    /// `DROP ASSERTION` of an unknown name.
+    NoSuchAssertion(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Parse(m) => write!(f, "parse error: {m}"),
+            SessionError::Engine(e) => write!(f, "{e}"),
+            SessionError::Tintin(e) => write!(f, "{e}"),
+            SessionError::NoActiveTransaction => {
+                write!(f, "no transaction is open (use BEGIN)")
+            }
+            SessionError::TransactionAlreadyOpen => {
+                write!(
+                    f,
+                    "a transaction is already open (COMMIT or ROLLBACK first)"
+                )
+            }
+            SessionError::NoSuchSavepoint(n) => write!(f, "no such savepoint: '{n}'"),
+            SessionError::DdlInTransaction(stmt) => write!(
+                f,
+                "{stmt} is not transactional; COMMIT or ROLLBACK the open transaction first"
+            ),
+            SessionError::DuplicateAssertion(n) => {
+                write!(f, "assertion '{n}' is already installed")
+            }
+            SessionError::NoSuchAssertion(n) => write!(f, "no such assertion: '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<EngineError> for SessionError {
+    fn from(e: EngineError) -> Self {
+        SessionError::Engine(e)
+    }
+}
+
+impl From<TintinError> for SessionError {
+    fn from(e: TintinError) -> Self {
+        SessionError::Tintin(e)
+    }
+}
+
+impl From<sql::ParseError> for SessionError {
+    fn from(e: sql::ParseError) -> Self {
+        SessionError::Parse(e.to_string())
+    }
+}
+
+/// Result alias for session operations.
+pub type Result<T> = std::result::Result<T, SessionError>;
+
+/// Pending-event counts for one captured table (the REPL's `.tx` view).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingTable {
+    pub table: String,
+    pub inserts: usize,
+    pub deletes: usize,
+}
+
+/// A connection-like handle: a database, a checker, and the installed
+/// assertions, with transactional statement execution on top.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    db: Database,
+    tintin: Tintin,
+    installations: Vec<Installation>,
+}
+
+impl Session {
+    /// A session over an empty database with the default checker.
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// A session over an existing database.
+    pub fn with_database(db: Database) -> Self {
+        Session {
+            db,
+            ..Session::default()
+        }
+    }
+
+    /// A session with an explicit checker configuration.
+    pub fn with_database_and_checker(db: Database, tintin: Tintin) -> Self {
+        Session {
+            db,
+            tintin,
+            installations: Vec::new(),
+        }
+    }
+
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Direct mutable access to the database (bulk loading). Bypassing the
+    /// session while a transaction is open voids the rollback guarantee.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    pub fn checker(&self) -> &Tintin {
+        &self.tintin
+    }
+
+    /// The installed assertion sets.
+    pub fn installations(&self) -> &[Installation] {
+        &self.installations
+    }
+
+    /// Names of all installed assertions, in installation order.
+    pub fn assertion_names(&self) -> Vec<String> {
+        self.installations
+            .iter()
+            .flat_map(|i| i.assertions.iter().map(|a| a.name.clone()))
+            .collect()
+    }
+
+    /// Is an explicit transaction open?
+    pub fn in_transaction(&self) -> bool {
+        self.db.in_transaction()
+    }
+
+    /// Pending `(insertions, deletions)` over all captured tables.
+    pub fn pending_counts(&self) -> (usize, usize) {
+        self.db.pending_counts()
+    }
+
+    /// Per-table pending event counts (tables with no pending events are
+    /// omitted).
+    pub fn pending_by_table(&self) -> Vec<PendingTable> {
+        let mut out = Vec::new();
+        for t in self.db.captured_tables() {
+            let ins = self
+                .db
+                .table(&tintin_engine::ins_table_name(&t))
+                .map_or(0, |x| x.len());
+            let del = self
+                .db
+                .table(&tintin_engine::del_table_name(&t))
+                .map_or(0, |x| x.len());
+            if ins + del > 0 {
+                out.push(PendingTable {
+                    table: t,
+                    inserts: ins,
+                    deletes: del,
+                });
+            }
+        }
+        out
+    }
+
+    /// Live savepoints of the open transaction, oldest first.
+    pub fn savepoints(&self) -> Vec<String> {
+        self.db.savepoint_names()
+    }
+
+    /// Install a batch of `CREATE ASSERTION` statements (event tables,
+    /// capture, incremental views). Not allowed inside a transaction.
+    pub fn install(&mut self, assertions: &[&str]) -> Result<&Installation> {
+        if self.in_transaction() {
+            return Err(SessionError::DdlInTransaction("CREATE ASSERTION".into()));
+        }
+        // Reject duplicates against already-installed assertions up front so
+        // a failed install leaves the session untouched.
+        let installed = self.assertion_names();
+        for text in assertions {
+            if let Ok(sql::Statement::CreateAssertion(a)) = sql::parse_statement(text) {
+                if installed.contains(&a.name) {
+                    return Err(SessionError::DuplicateAssertion(a.name));
+                }
+            }
+        }
+        let inst = self.tintin.install(&mut self.db, assertions)?;
+        self.installations.push(inst);
+        Ok(self.installations.last().expect("just pushed"))
+    }
+
+    /// Remove one assertion and its incremental views.
+    pub fn drop_assertion(&mut self, name: &str) -> Result<()> {
+        if self.in_transaction() {
+            return Err(SessionError::DdlInTransaction("DROP ASSERTION".into()));
+        }
+        for (ii, inst) in self.installations.iter().enumerate() {
+            let Some(ai) = inst.assertions.iter().position(|a| a.name == name) else {
+                continue;
+            };
+            let mut inst = self.installations.remove(ii);
+            for view in &inst.assertions[ai].view_names {
+                self.db.drop_view(view, true)?;
+            }
+            inst.assertions.remove(ai);
+            inst.fallbacks.retain(|f| f.assertion != name);
+            inst.denial_texts
+                .retain(|d| !d.starts_with(&format!("{name}:")));
+            inst.retain_views(|v| v.assertion != name);
+            if !inst.assertions.is_empty() {
+                self.installations.insert(ii, inst);
+            }
+            return Ok(());
+        }
+        Err(SessionError::NoSuchAssertion(name.to_string()))
+    }
+
+    /// Execute a script of semicolon-separated statements, stopping at the
+    /// first error. DML inside an open transaction accumulates as pending
+    /// events; outside one it autocommits (capture → check → apply/reject).
+    pub fn execute(&mut self, script: &str) -> Result<Vec<StatementOutcome>> {
+        let stmts = sql::parse_statements(script)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in &stmts {
+            out.push(self.execute_statement(stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Execute a single parsed statement.
+    pub fn execute_statement(&mut self, stmt: &sql::Statement) -> Result<StatementOutcome> {
+        match stmt {
+            sql::Statement::Begin => self.begin(),
+            sql::Statement::Commit => self.commit(),
+            sql::Statement::Rollback { to: None } => self.rollback(),
+            sql::Statement::Rollback { to: Some(name) } => self.rollback_to(name),
+            sql::Statement::Savepoint { name } => self.savepoint(name),
+            sql::Statement::Release { name } => self.release(name),
+            sql::Statement::CreateAssertion(a) => {
+                let text = stmt.to_string();
+                self.install(&[text.as_str()])?;
+                let views = self.installations.last().map_or(0, |i| i.view_count());
+                Ok(StatementOutcome::AssertionInstalled {
+                    name: a.name.clone(),
+                    views,
+                })
+            }
+            sql::Statement::DropAssertion { name } => {
+                self.drop_assertion(name)?;
+                Ok(StatementOutcome::AssertionDropped { name: name.clone() })
+            }
+            ddl if ddl.is_ddl() => {
+                if self.in_transaction() {
+                    let kind = ddl.to_string();
+                    let kind = kind
+                        .split_whitespace()
+                        .take(2)
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    return Err(SessionError::DdlInTransaction(kind));
+                }
+                self.db.execute(ddl)?;
+                Ok(StatementOutcome::Ddl)
+            }
+            sql::Statement::Query(q) => Ok(StatementOutcome::Rows(self.db.query(q)?)),
+            dml => {
+                // INSERT / DELETE / UPDATE.
+                if self.in_transaction() {
+                    self.ensure_captured_for_dml(dml)?;
+                    match self.db.execute(dml)? {
+                        StatementResult::RowsAffected(n) => Ok(StatementOutcome::RowsAffected(n)),
+                        other => unreachable!("DML produced {other:?}"),
+                    }
+                } else {
+                    self.autocommit(dml)
+                }
+            }
+        }
+    }
+
+    /// `BEGIN`: open a transaction and make sure every base table is
+    /// captured, so all DML is diverted into event tables and the commit
+    /// decision stays atomic.
+    pub fn begin(&mut self) -> Result<StatementOutcome> {
+        if self.in_transaction() {
+            return Err(SessionError::TransactionAlreadyOpen);
+        }
+        self.capture_all_tables()?;
+        self.db.begin_transaction()?;
+        Ok(StatementOutcome::TransactionStarted)
+    }
+
+    /// `COMMIT`: run `safeCommit` over every installed assertion set. On
+    /// success the pending update is applied and the transaction closed; on
+    /// violation the transaction is rolled back atomically and the
+    /// violating tuples reported.
+    pub fn commit(&mut self) -> Result<StatementOutcome> {
+        if !self.in_transaction() {
+            return Err(SessionError::NoActiveTransaction);
+        }
+        let outcome = self.commit_pending();
+        // Success or rejection, the transaction is over; the undo log is
+        // only replayed if the check machinery itself failed.
+        match &outcome {
+            Ok(_) => {
+                let _ = self.db.commit_transaction();
+            }
+            Err(_) => {
+                let _ = self.db.rollback_transaction();
+            }
+        }
+        outcome
+    }
+
+    /// `ROLLBACK`: abort the open transaction, restoring base tables and
+    /// event tables to their pre-`BEGIN` state.
+    pub fn rollback(&mut self) -> Result<StatementOutcome> {
+        if !self.in_transaction() {
+            return Err(SessionError::NoActiveTransaction);
+        }
+        self.db.rollback_transaction()?;
+        Ok(StatementOutcome::RolledBack)
+    }
+
+    /// `SAVEPOINT name`.
+    pub fn savepoint(&mut self, name: &str) -> Result<StatementOutcome> {
+        self.db.create_savepoint(name).map_err(Self::map_tx_err)?;
+        Ok(StatementOutcome::SavepointCreated(name.to_string()))
+    }
+
+    /// `ROLLBACK TO name`.
+    pub fn rollback_to(&mut self, name: &str) -> Result<StatementOutcome> {
+        self.db
+            .rollback_to_savepoint(name)
+            .map_err(|e| Self::map_savepoint_err(e, name))?;
+        Ok(StatementOutcome::RolledBackToSavepoint(name.to_string()))
+    }
+
+    /// `RELEASE name`.
+    pub fn release(&mut self, name: &str) -> Result<StatementOutcome> {
+        self.db
+            .release_savepoint(name)
+            .map_err(|e| Self::map_savepoint_err(e, name))?;
+        Ok(StatementOutcome::SavepointReleased(name.to_string()))
+    }
+
+    /// Dry-run check of the pending events (no commit, no truncation).
+    pub fn check_pending(&mut self) -> Result<(Vec<Violation>, CheckStats)> {
+        let mut all = Vec::new();
+        let mut stats = CheckStats::default();
+        let installations = std::mem::take(&mut self.installations);
+        let result = (|| {
+            for inst in &installations {
+                let (violations, s) = self.tintin.check_pending(&mut self.db, inst)?;
+                all.extend(violations);
+                merge_stats(&mut stats, s);
+            }
+            Ok(())
+        })();
+        self.installations = installations;
+        result.map(|()| (all, stats))
+    }
+
+    // ------------------------------------------------------------ internal
+
+    fn map_tx_err(e: EngineError) -> SessionError {
+        match e {
+            EngineError::Transaction(_) => SessionError::NoActiveTransaction,
+            other => SessionError::Engine(other),
+        }
+    }
+
+    fn map_savepoint_err(e: EngineError, name: &str) -> SessionError {
+        match e {
+            EngineError::NoSuchSavepoint(_) => SessionError::NoSuchSavepoint(name.to_string()),
+            EngineError::Transaction(_) => SessionError::NoActiveTransaction,
+            other => SessionError::Engine(other),
+        }
+    }
+
+    /// Enable capture for every base table that lacks it.
+    fn capture_all_tables(&mut self) -> Result<()> {
+        for t in self.db.table_names() {
+            if self.db.is_captured(&t) || self.db.is_event_table(&t) {
+                continue;
+            }
+            self.db.enable_capture(&t)?;
+        }
+        Ok(())
+    }
+
+    /// While a transaction is open, DML may target a table created after
+    /// the last `BEGIN`; capture it now so the statement stays rollbackable
+    /// and commit-checked. (Uncaptured writes are also undo-logged, but
+    /// capture keeps the commit decision uniform.)
+    fn ensure_captured_for_dml(&mut self, stmt: &sql::Statement) -> Result<()> {
+        let table = match stmt {
+            sql::Statement::Insert(i) => &i.table,
+            sql::Statement::Delete(d) => &d.table,
+            sql::Statement::Update(u) => &u.table,
+            _ => return Ok(()),
+        };
+        if self.db.table(table).is_some()
+            && !self.db.is_captured(table)
+            && !self.db.is_event_table(table)
+        {
+            self.db.enable_capture(table)?;
+        }
+        Ok(())
+    }
+
+    /// Statement-as-transaction: capture the statement's effects, check
+    /// them and either apply or reject, exactly like an explicit
+    /// single-statement transaction. On any error the captured events are
+    /// discarded — the statement's proposed update dies with it — so a
+    /// failed statement can never poison later ones.
+    fn autocommit(&mut self, dml: &sql::Statement) -> Result<StatementOutcome> {
+        self.capture_all_tables()?;
+        let result = (|| {
+            match self.db.execute(dml)? {
+                StatementResult::RowsAffected(_) => {}
+                other => unreachable!("DML produced {other:?}"),
+            }
+            self.commit_pending()
+        })();
+        if result.is_err() {
+            self.db.truncate_events();
+        }
+        result
+    }
+
+    /// The multi-installation `safeCommit`: check every installed assertion
+    /// set against the pending events, then apply-and-truncate or
+    /// discard-and-report.
+    fn commit_pending(&mut self) -> Result<StatementOutcome> {
+        let (violations, stats) = self.check_pending()?;
+        if violations.is_empty() {
+            let (inserted, deleted) = self.db.pending_counts();
+            self.db.apply_pending()?;
+            self.db.truncate_events();
+            Ok(StatementOutcome::Committed {
+                inserted,
+                deleted,
+                stats,
+            })
+        } else {
+            self.db.truncate_events();
+            Ok(StatementOutcome::Rejected { violations, stats })
+        }
+    }
+}
+
+/// Accumulate check statistics across installations.
+fn merge_stats(acc: &mut CheckStats, s: CheckStats) {
+    acc.normalization.dup_ins += s.normalization.dup_ins;
+    acc.normalization.dup_del += s.normalization.dup_del;
+    acc.normalization.missing_del += s.normalization.missing_del;
+    acc.normalization.cancelled += s.normalization.cancelled;
+    acc.normalization.noop_ins += s.normalization.noop_ins;
+    acc.views_total += s.views_total;
+    acc.views_skipped += s.views_skipped;
+    acc.views_evaluated += s.views_evaluated;
+    acc.fallbacks_skipped += s.fallbacks_skipped;
+    acc.fallbacks_evaluated += s.fallbacks_evaluated;
+    acc.check_time += s.check_time;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orders_session() -> Session {
+        let mut s = Session::new();
+        s.execute(
+            "CREATE TABLE orders (o_orderkey INT PRIMARY KEY, o_totalprice REAL);
+             CREATE TABLE lineitem (
+                 l_orderkey INT NOT NULL REFERENCES orders,
+                 l_linenumber INT NOT NULL,
+                 PRIMARY KEY (l_orderkey, l_linenumber));",
+        )
+        .unwrap();
+        s.install(&["CREATE ASSERTION atLeastOneLineItem CHECK (NOT EXISTS (
+            SELECT * FROM orders o WHERE NOT EXISTS (
+                SELECT * FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)))"])
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn autocommit_rejects_violating_statement() {
+        let mut s = orders_session();
+        let out = s.execute("INSERT INTO orders VALUES (1, 10.0)").unwrap();
+        assert!(out[0].is_rejected());
+        assert_eq!(s.database().table("orders").unwrap().len(), 0);
+        assert_eq!(s.pending_counts(), (0, 0));
+    }
+
+    #[test]
+    fn transaction_commits_consistent_batch() {
+        let mut s = orders_session();
+        let out = s
+            .execute(
+                "BEGIN;
+                 INSERT INTO orders VALUES (1, 10.0);
+                 INSERT INTO lineitem VALUES (1, 1);
+                 COMMIT;",
+            )
+            .unwrap();
+        assert!(matches!(out[0], StatementOutcome::TransactionStarted));
+        assert!(out[3].is_committed());
+        assert_eq!(s.database().table("orders").unwrap().len(), 1);
+        assert!(!s.in_transaction());
+    }
+
+    #[test]
+    fn rejected_commit_rolls_back_atomically() {
+        let mut s = orders_session();
+        s.execute(
+            "BEGIN; INSERT INTO orders VALUES (1, 10.0);
+             INSERT INTO lineitem VALUES (1, 1); COMMIT;",
+        )
+        .unwrap();
+        let out = s
+            .execute("BEGIN; INSERT INTO orders VALUES (2, 20.0); COMMIT;")
+            .unwrap();
+        let StatementOutcome::Rejected { violations, .. } = &out[2] else {
+            panic!("expected rejection, got {:?}", out[2]);
+        };
+        assert_eq!(violations[0].assertion, "atleastonelineitem");
+        assert_eq!(s.database().table("orders").unwrap().len(), 1);
+        assert_eq!(s.pending_counts(), (0, 0));
+        assert!(!s.in_transaction());
+    }
+
+    #[test]
+    fn rollback_discards_pending_work() {
+        let mut s = orders_session();
+        s.execute("BEGIN; INSERT INTO orders VALUES (1, 10.0); ROLLBACK;")
+            .unwrap();
+        assert_eq!(s.database().table("orders").unwrap().len(), 0);
+        assert_eq!(s.pending_counts(), (0, 0));
+    }
+
+    #[test]
+    fn savepoints_partial_rollback() {
+        let mut s = orders_session();
+        let out = s
+            .execute(
+                "BEGIN;
+                 INSERT INTO orders VALUES (1, 10.0);
+                 INSERT INTO lineitem VALUES (1, 1);
+                 SAVEPOINT consistent;
+                 INSERT INTO orders VALUES (2, 20.0);
+                 ROLLBACK TO consistent;
+                 COMMIT;",
+            )
+            .unwrap();
+        assert!(out.last().unwrap().is_committed());
+        assert_eq!(s.database().table("orders").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn ddl_rejected_inside_transaction() {
+        let mut s = orders_session();
+        s.execute("BEGIN").unwrap();
+        let err = s.execute("CREATE TABLE x (a INT)").unwrap_err();
+        assert!(matches!(err, SessionError::DdlInTransaction(_)));
+        s.execute("ROLLBACK").unwrap();
+        s.execute("CREATE TABLE x (a INT)").unwrap();
+    }
+
+    #[test]
+    fn create_assertion_statement_installs() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        let out = s
+            .execute("CREATE ASSERTION positive CHECK (NOT EXISTS (SELECT * FROM t WHERE a < 0))")
+            .unwrap();
+        assert!(matches!(
+            out[0],
+            StatementOutcome::AssertionInstalled { .. }
+        ));
+        assert_eq!(s.assertion_names(), vec!["positive".to_string()]);
+        assert!(s.execute("INSERT INTO t VALUES (-1)").unwrap()[0].is_rejected());
+        assert!(s.execute("INSERT INTO t VALUES (1)").unwrap()[0].is_committed());
+
+        // Dropping it lifts the constraint.
+        s.execute("DROP ASSERTION positive").unwrap();
+        assert!(s.assertion_names().is_empty());
+        assert!(s.execute("INSERT INTO t VALUES (-1)").unwrap()[0].is_committed());
+    }
+
+    #[test]
+    fn duplicate_assertion_rejected() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        s.execute("CREATE ASSERTION a1 CHECK (NOT EXISTS (SELECT * FROM t WHERE a < 0))")
+            .unwrap();
+        let err = s
+            .execute("CREATE ASSERTION a1 CHECK (NOT EXISTS (SELECT * FROM t WHERE a > 9))")
+            .unwrap_err();
+        assert!(matches!(err, SessionError::DuplicateAssertion(_)));
+    }
+
+    #[test]
+    fn transaction_state_errors_are_precise() {
+        let mut s = orders_session();
+        assert!(matches!(
+            s.execute("COMMIT").unwrap_err(),
+            SessionError::NoActiveTransaction
+        ));
+        s.execute("BEGIN").unwrap();
+        assert!(matches!(
+            s.execute("BEGIN").unwrap_err(),
+            SessionError::TransactionAlreadyOpen
+        ));
+        assert!(matches!(
+            s.execute("ROLLBACK TO nope").unwrap_err(),
+            SessionError::NoSuchSavepoint(_)
+        ));
+        s.execute("ROLLBACK").unwrap();
+    }
+
+    #[test]
+    fn queries_inside_tx_see_pre_transaction_state() {
+        let mut s = orders_session();
+        s.execute("BEGIN; INSERT INTO orders VALUES (1, 10.0);")
+            .unwrap();
+        let out = s.execute("SELECT * FROM orders").unwrap();
+        let StatementOutcome::Rows(rs) = &out[0] else {
+            panic!()
+        };
+        assert!(rs.is_empty(), "pending events must not be visible");
+        let pending = s.pending_by_table();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].table, "orders");
+        assert_eq!(pending[0].inserts, 1);
+        s.execute("ROLLBACK").unwrap();
+    }
+
+    #[test]
+    fn sessions_without_assertions_still_get_transactions() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        s.execute("BEGIN; INSERT INTO t VALUES (1); INSERT INTO t VALUES (2); COMMIT;")
+            .unwrap();
+        assert_eq!(s.database().table("t").unwrap().len(), 2);
+        s.execute("BEGIN; DELETE FROM t WHERE a = 1; ROLLBACK;")
+            .unwrap();
+        assert_eq!(s.database().table("t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn failed_autocommit_apply_does_not_poison_session() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+            .unwrap();
+        assert!(s.execute("INSERT INTO t VALUES (1, 10)").unwrap()[0].is_committed());
+        // Same PK, different payload: survives normalization (the rows are
+        // not identical) but conflicts at apply time.
+        assert!(s.execute("INSERT INTO t VALUES (1, 99)").is_err());
+        // The failed statement's events must be discarded with it…
+        assert_eq!(s.pending_counts(), (0, 0));
+        // …so the session keeps working.
+        assert!(s.execute("INSERT INTO t VALUES (2, 20)").unwrap()[0].is_committed());
+        assert_eq!(s.database().table("t").unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline shim for the subset of the `criterion` crate used by the bench
+//! targets. It runs each benchmark closure in a warm-up phase followed by a
+//! timed measurement phase and reports min / mean / max wall-clock time per
+//! iteration. No statistics, plots or baselines — just honest timings with
+//! the same source-level API, so the real criterion can be dropped in when a
+//! registry is reachable.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives one benchmark's iteration loop.
+pub struct Bencher<'a> {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run without recording.
+        let t0 = Instant::now();
+        while t0.elapsed() < self.warm_up {
+            black_box(f());
+        }
+        // Measurement: record per-iteration times until the budget is spent.
+        let t0 = Instant::now();
+        while t0.elapsed() < self.measurement {
+            let it = Instant::now();
+            black_box(f());
+            self.samples.push(it.elapsed());
+        }
+        if self.samples.is_empty() {
+            // Budget of zero or a single very slow iteration: record one.
+            let it = Instant::now();
+            black_box(f());
+            self.samples.push(it.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        // The shim measures for a fixed wall-clock budget instead of a
+        // target sample count; accepted for API compatibility.
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: &mut samples,
+        };
+        f(&mut b);
+        report(&self.name, &id.id, &samples);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: &mut samples,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, &samples);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &str, samples: &[Duration]) {
+    let n = samples.len().max(1) as u32;
+    let total: Duration = samples.iter().sum();
+    let mean = total / n;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{group}/{id}: {} iterations, mean {} [min {}, max {}]",
+        samples.len(),
+        fmt_dur(mean),
+        fmt_dur(min),
+        fmt_dur(max)
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 1e-6 {
+        format!("{:.1}ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.3}s")
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_warm_up: Duration,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_warm_up: Duration::from_millis(300),
+            default_measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up: self.default_warm_up,
+            measurement: self.default_measurement,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples = Vec::new();
+        let mut b = Bencher {
+            warm_up: self.default_warm_up,
+            measurement: self.default_measurement,
+            samples: &mut samples,
+        };
+        f(&mut b);
+        report("bench", &id.id, &samples);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,569 @@
+//! Offline shim for the subset of the `proptest` crate used by this
+//! workspace's property tests.
+//!
+//! The build environment has no reachable crates registry, so this local
+//! crate re-implements the strategy combinators the tests rely on:
+//! ranges, `Just`, `any::<T>()`, tuples, `prop_map` / `prop_flat_map` /
+//! `prop_recursive`, `prop_oneof!`, `proptest::option::of`,
+//! `proptest::collection::vec`, simple regex string strategies, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from the real crate: no shrinking (the failing inputs are
+//! printed verbatim instead) and a fixed deterministic seed per test
+//! function, so failures reproduce across runs. `ProptestConfig::cases` is
+//! honoured; `max_shrink_iters` is accepted and ignored.
+
+use std::fmt;
+use std::rc::Rc;
+
+pub mod test_rng;
+pub use test_rng::TestRng;
+
+mod regex_gen;
+
+// ------------------------------------------------------------------ errors
+
+/// Failure raised inside a `proptest!` test body.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold.
+    Fail(String),
+    /// The generated case is invalid and should be skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+    /// Accepted for compatibility; the shim does not shrink.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; cases are never retried.
+    pub max_global_rejects: u32,
+    /// Accepted for compatibility; the shim never times out a case.
+    pub timeout: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+            max_global_rejects: 1024,
+            timeout: 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- strategy
+
+/// A generator of random values (no shrinking in the shim).
+pub trait Strategy {
+    type Value: fmt::Debug;
+
+    /// Generate one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Recursive strategies: `depth` levels of `f` applied over the leaf,
+    /// mixing the leaf back in at every level so generated structures have
+    /// varied depth. `desired_size` / `expected_branch_size` are accepted
+    /// for API compatibility.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut cur = self.clone().boxed();
+        for _ in 0..depth {
+            let rec = f(cur).boxed();
+            let leaf = self.clone().boxed();
+            cur = Union::weighted(vec![(1, leaf), (2, rec)]).boxed();
+        }
+        cur
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.new_value(rng)))
+    }
+}
+
+/// Type-erased strategy (cheap to clone).
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// `prop_map` combinator.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// `prop_flat_map` combinator.
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        let a = self.inner.new_value(rng);
+        (self.f)(a).new_value(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union of same-valued strategies (the engine of `prop_oneof!`).
+pub struct Union<T> {
+    branches: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            branches: self.branches.clone(),
+            total: self.total,
+        }
+    }
+}
+
+impl<T: fmt::Debug> Union<T> {
+    pub fn new(branches: Vec<BoxedStrategy<T>>) -> Self {
+        Union::weighted(branches.into_iter().map(|b| (1, b)).collect())
+    }
+
+    pub fn weighted(branches: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!branches.is_empty(), "prop_oneof! of zero strategies");
+        let total = branches.iter().map(|(w, _)| *w).sum();
+        Union { branches, total }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total as u64) as u32;
+        for (w, s) in &self.branches {
+            if pick < *w {
+                return s.new_value(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights exhausted")
+    }
+}
+
+// ------------------------------------------------------------------ ranges
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy over an empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.below_u128(span)) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "strategy over an empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.below_u128(span)) as i128;
+                (start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+// --------------------------------------------------------------- arbitrary
+
+/// Types with a canonical full-domain strategy, used via [`any`].
+pub trait Arbitrary: Sized + fmt::Debug {
+    fn generate(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn generate(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn generate(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn generate(rng: &mut TestRng) -> Self {
+        // Printable ASCII keeps generated text debuggable.
+        (b' ' + rng.below(95) as u8) as char
+    }
+}
+
+/// Marker strategy for [`Arbitrary`] types.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::generate(rng)
+    }
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ------------------------------------------------------------------ tuples
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// ----------------------------------------------------------------- strings
+
+/// String literals act as regex strategies (`"[a-z][a-z0-9_]{0,8}"`).
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        regex_gen::sample(self, rng)
+    }
+}
+
+// ------------------------------------------------------------- collections
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let n = self.size.start + rng.below(span as u64) as usize;
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<T>` (None roughly one time in four).
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+// ------------------------------------------------------------------ macros
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::Strategy::boxed($strategy) ),+ ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}: {}",
+                l,
+                r,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $( let $arg = $crate::Strategy::new_value(&$strategy, &mut rng); )+
+                let inputs = format!(
+                    concat!($( "  ", stringify!($arg), " = {:?}\n", )+),
+                    $( &$arg ),+
+                );
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::TestCaseError::Reject(_)) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => panic!(
+                        "property failed at case {case}: {msg}\ninputs:\n{inputs}"
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+}
+
+// ----------------------------------------------------------------- prelude
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        let s = (0..5i64, 10..=12usize, any::<bool>());
+        for _ in 0..200 {
+            let (a, b, _) = Strategy::new_value(&s, &mut rng);
+            assert!((0..5).contains(&a));
+            assert!((10..=12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_branches() {
+        let mut rng = TestRng::for_test("oneof");
+        let s = prop_oneof![Just(1), Just(2), Just(3)];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[Strategy::new_value(&s, &mut rng) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn regex_strings_match_shape() {
+        let mut rng = TestRng::for_test("regex");
+        for _ in 0..100 {
+            let s = Strategy::new_value(&"[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn recursive_strategy_terminates() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Vec<Tree>),
+        }
+        let mut rng = TestRng::for_test("recursive");
+        let s = (0..10i64)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
+        for _ in 0..50 {
+            let t = Strategy::new_value(&s, &mut rng);
+            fn depth(t: &Tree) -> usize {
+                match t {
+                    Tree::Leaf(_) => 1,
+                    Tree::Node(ts) => 1 + ts.iter().map(depth).max().unwrap_or(0),
+                }
+            }
+            assert!(depth(&t) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn the_macro_itself_works(a in 0..100i64, b in crate::option::of(0..10i64)) {
+            prop_assert!(a >= 0);
+            if let Some(b) = b {
+                prop_assert!((0..10).contains(&b), "b out of range: {}", b);
+            }
+            prop_assert_eq!(a, a, "reflexivity with {:?}", b);
+        }
+    }
+}

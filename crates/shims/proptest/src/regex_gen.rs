@@ -1,0 +1,150 @@
+//! Sampler for the tiny regex dialect the tests use as string strategies.
+//!
+//! Supported syntax: literal characters, character classes `[a-z0-9_' ]`
+//! (with ranges), and the quantifiers `{n}`, `{n,m}`, `?`, `*`, `+`
+//! (`*`/`+` are capped at 8 repetitions). Anything fancier panics with a
+//! clear message — extend this module if a test needs more.
+
+use crate::TestRng;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad class range in regex '{pattern}'");
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in regex '{pattern}'");
+                i += 1; // closing ']'
+                assert!(!set.is_empty(), "empty class in regex '{pattern}'");
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape in regex '{pattern}'");
+                let c = chars[i];
+                i += 1;
+                Atom::Literal(c)
+            }
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!("unsupported regex syntax '{}' in '{pattern}'", chars[i])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unterminated quantifier in '{pattern}'"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("quantifier lower bound"),
+                            hi.trim().parse().expect("quantifier upper bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Sample one string matching `pattern`.
+pub fn sample(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for p in &pieces {
+        let n = p.min + rng.below((p.max - p.min + 1) as u64) as usize;
+        for _ in 0..n {
+            match &p.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sample;
+    use crate::TestRng;
+
+    #[test]
+    fn samples_the_patterns_used_by_the_suite() {
+        let mut rng = TestRng::for_test("regex_gen");
+        for _ in 0..200 {
+            let s = sample("[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!((1..=9).contains(&s.len()));
+            let s = sample("[a-zA-Z' ]{0,10}", &mut rng);
+            assert!(s.len() <= 10);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphabetic() || c == '\'' || c == ' '));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::for_test("regex_gen2");
+        assert_eq!(sample("abc", &mut rng), "abc");
+        let s = sample("x{3}", &mut rng);
+        assert_eq!(s, "xxx");
+        for _ in 0..50 {
+            let s = sample("a?b+", &mut rng);
+            assert!(s.ends_with('b'));
+        }
+    }
+}

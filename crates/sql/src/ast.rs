@@ -18,14 +18,74 @@ pub enum Statement {
     CreateAssertion(CreateAssertion),
     CreateView(CreateView),
     CreateIndex(CreateIndex),
-    DropTable { name: Ident, if_exists: bool },
-    DropView { name: Ident, if_exists: bool },
-    DropAssertion { name: Ident },
-    TruncateTable { name: Ident },
+    DropTable {
+        name: Ident,
+        if_exists: bool,
+    },
+    DropView {
+        name: Ident,
+        if_exists: bool,
+    },
+    DropAssertion {
+        name: Ident,
+    },
+    TruncateTable {
+        name: Ident,
+    },
     Insert(Insert),
     Delete(Delete),
     Update(Update),
     Query(Query),
+    /// `BEGIN [TRANSACTION | WORK]` — open an explicit transaction.
+    Begin,
+    /// `COMMIT [TRANSACTION | WORK]` — commit the open transaction
+    /// (TINTIN's `safeCommit` runs here).
+    Commit,
+    /// `ROLLBACK [TRANSACTION | WORK]` (whole transaction) or
+    /// `ROLLBACK TO [SAVEPOINT] name` (partial).
+    Rollback {
+        to: Option<Ident>,
+    },
+    /// `SAVEPOINT name` — establish (or move) a named savepoint.
+    Savepoint {
+        name: Ident,
+    },
+    /// `RELEASE [SAVEPOINT] name` — discard a savepoint, merging its
+    /// changes into the enclosing scope.
+    Release {
+        name: Ident,
+    },
+}
+
+impl Statement {
+    /// Transaction-control statements (`BEGIN`, `COMMIT`, `ROLLBACK`,
+    /// `SAVEPOINT`, `RELEASE`) — routed to the session layer rather than
+    /// the raw engine.
+    pub fn is_transaction_control(&self) -> bool {
+        matches!(
+            self,
+            Statement::Begin
+                | Statement::Commit
+                | Statement::Rollback { .. }
+                | Statement::Savepoint { .. }
+                | Statement::Release { .. }
+        )
+    }
+
+    /// Schema-changing statements, which are not transactional.
+    pub fn is_ddl(&self) -> bool {
+        matches!(
+            self,
+            Statement::CreateTable(_)
+                | Statement::CreateAssertion(_)
+                | Statement::CreateView(_)
+                | Statement::CreateIndex(_)
+                | Statement::DropTable { .. }
+                | Statement::DropView { .. }
+                | Statement::DropAssertion { .. }
+                | Statement::TruncateTable { .. }
+        )
+    }
 }
 
 /// `CREATE TABLE name (…)`.
@@ -512,7 +572,10 @@ mod tests {
 
     #[test]
     fn and_all_of_single_is_identity() {
-        assert_eq!(Expr::and_all(vec![Expr::column("x")]), Some(Expr::column("x")));
+        assert_eq!(
+            Expr::and_all(vec![Expr::column("x")]),
+            Some(Expr::column("x"))
+        );
     }
 
     #[test]

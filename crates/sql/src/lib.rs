@@ -6,7 +6,12 @@
 //!
 //! * **DDL**: `CREATE TABLE`, `CREATE ASSERTION`, `CREATE VIEW`,
 //!   `CREATE INDEX`, `DROP …`, `TRUNCATE TABLE`;
-//! * **DML**: `INSERT INTO … VALUES`, `INSERT INTO … SELECT`, `DELETE FROM`;
+//! * **DML**: `INSERT INTO … VALUES`, `INSERT INTO … SELECT`, `DELETE FROM`,
+//!   `UPDATE … SET`;
+//! * **transaction control**: `BEGIN [TRANSACTION]`, `COMMIT`, `ROLLBACK`,
+//!   `SAVEPOINT <name>`, `ROLLBACK TO [SAVEPOINT] <name>`,
+//!   `RELEASE [SAVEPOINT] <name>` — executed by the `tintin-session` crate,
+//!   where `COMMIT` runs the paper's `safeCommit` procedure;
 //! * **queries**: the relational-algebra fragment accepted by the TINTIN
 //!   paper — selection, projection, join, `EXISTS` / `IN`, `NOT EXISTS` /
 //!   `NOT IN`, `UNION [ALL]` — plus arithmetic and `BETWEEN` for general

@@ -48,11 +48,63 @@ type PResult<T> = Result<T, ParseError>;
 
 /// Words that cannot be used as bare (implicit) aliases.
 const RESERVED: &[&str] = &[
-    "select", "from", "where", "and", "or", "not", "exists", "in", "union", "all", "distinct",
-    "join", "inner", "cross", "on", "as", "is", "null", "between", "values", "insert", "into",
-    "delete", "create", "table", "view", "index", "assertion", "check", "drop", "truncate",
-    "primary", "key", "foreign", "references", "unique", "constraint", "order", "group", "by",
-    "having", "like", "set", "update", "true", "false", "asc", "desc", "limit",
+    "select",
+    "from",
+    "where",
+    "and",
+    "or",
+    "not",
+    "exists",
+    "in",
+    "union",
+    "all",
+    "distinct",
+    "join",
+    "inner",
+    "cross",
+    "on",
+    "as",
+    "is",
+    "null",
+    "between",
+    "values",
+    "insert",
+    "into",
+    "delete",
+    "create",
+    "table",
+    "view",
+    "index",
+    "assertion",
+    "check",
+    "drop",
+    "truncate",
+    "primary",
+    "key",
+    "foreign",
+    "references",
+    "unique",
+    "constraint",
+    "order",
+    "group",
+    "by",
+    "having",
+    "like",
+    "set",
+    "update",
+    "true",
+    "false",
+    "asc",
+    "desc",
+    "limit",
+    "begin",
+    "commit",
+    "rollback",
+    "savepoint",
+    "release",
+    "transaction",
+    "work",
+    "to",
 ];
 
 /// Parser over a token stream.
@@ -269,11 +321,46 @@ impl Parser {
             self.parse_update()
         } else if self.at_kw("select") {
             Ok(Statement::Query(self.parse_query()?))
+        } else if self.at_kw("begin") {
+            self.bump();
+            self.eat_tx_noise();
+            Ok(Statement::Begin)
+        } else if self.at_kw("commit") {
+            self.bump();
+            self.eat_tx_noise();
+            Ok(Statement::Commit)
+        } else if self.at_kw("rollback") {
+            self.bump();
+            self.eat_tx_noise();
+            let to = if self.eat_kw("to") {
+                self.eat_kw("savepoint");
+                Some(self.parse_ident()?)
+            } else {
+                None
+            };
+            Ok(Statement::Rollback { to })
+        } else if self.at_kw("savepoint") {
+            self.bump();
+            let name = self.parse_ident()?;
+            Ok(Statement::Savepoint { name })
+        } else if self.at_kw("release") {
+            self.bump();
+            self.eat_kw("savepoint");
+            let name = self.parse_ident()?;
+            Ok(Statement::Release { name })
         } else {
             self.err(format!(
                 "expected a statement, found '{}'",
                 self.peek().kind
             ))
+        }
+    }
+
+    /// The optional `TRANSACTION` / `WORK` noise word after `BEGIN`,
+    /// `COMMIT` and `ROLLBACK`.
+    fn eat_tx_noise(&mut self) {
+        if !self.eat_kw("transaction") {
+            self.eat_kw("work");
         }
     }
 
@@ -342,10 +429,7 @@ impl Parser {
         })
     }
 
-    fn parse_table_constraint(
-        &mut self,
-        _columns: &mut [ColumnDef],
-    ) -> PResult<TableConstraint> {
+    fn parse_table_constraint(&mut self, _columns: &mut [ColumnDef]) -> PResult<TableConstraint> {
         if self.eat_kw("constraint") {
             // Named constraints: the name is parsed and discarded.
             let _ = self.parse_ident()?;
@@ -489,9 +573,7 @@ impl Parser {
         self.expect_kw("insert")?;
         self.expect_kw("into")?;
         let table = self.parse_ident()?;
-        let columns = if self.peek().kind == TokenKind::LParen
-            && !self.at_kw_nth(1, "select")
-        {
+        let columns = if self.peek().kind == TokenKind::LParen && !self.at_kw_nth(1, "select") {
             Some(self.parse_paren_ident_list()?)
         } else {
             None
@@ -699,8 +781,7 @@ impl Parser {
             _ => None,
         };
         if let Some(q) = qualifier {
-            if self.peek_nth(1).kind == TokenKind::Dot && self.peek_nth(2).kind == TokenKind::Star
-            {
+            if self.peek_nth(1).kind == TokenKind::Dot && self.peek_nth(2).kind == TokenKind::Star {
                 self.bump();
                 self.bump();
                 self.bump();
@@ -1094,7 +1175,11 @@ mod tests {
             panic!("expected assertion")
         };
         assert_eq!(a.name, "atleastonelineitem");
-        let Expr::Exists { negated: true, query } = &a.condition else {
+        let Expr::Exists {
+            negated: true,
+            query,
+        } = &a.condition
+        else {
             panic!("expected NOT EXISTS, got {:?}", a.condition)
         };
         let selects = query.selects();
@@ -1150,7 +1235,10 @@ mod tests {
         let Statement::Insert(i) = parse_statement(sql).unwrap() else {
             panic!()
         };
-        assert_eq!(i.columns.as_deref(), Some(&["a".to_string(), "b".to_string()][..]));
+        assert_eq!(
+            i.columns.as_deref(),
+            Some(&["a".to_string(), "b".to_string()][..])
+        );
         let InsertSource::Values(rows) = i.source else {
             panic!()
         };
@@ -1178,9 +1266,12 @@ mod tests {
 
     #[test]
     fn parses_union_and_union_all() {
-        let q = parse_query("SELECT a FROM t UNION SELECT b FROM s UNION ALL SELECT c FROM u")
-            .unwrap();
-        let QueryBody::Union { all: true, left, .. } = &q.body else {
+        let q =
+            parse_query("SELECT a FROM t UNION SELECT b FROM s UNION ALL SELECT c FROM u").unwrap();
+        let QueryBody::Union {
+            all: true, left, ..
+        } = &q.body
+        else {
             panic!()
         };
         assert!(matches!(**left, QueryBody::Union { all: false, .. }));
@@ -1238,7 +1329,10 @@ mod tests {
         assert_eq!(parts.len(), 2);
         assert!(matches!(
             parts[0],
-            Expr::Binary { op: BinOp::GtEq, .. }
+            Expr::Binary {
+                op: BinOp::GtEq,
+                ..
+            }
         ));
     }
 
@@ -1264,10 +1358,20 @@ mod tests {
     fn precedence_or_and_not() {
         // NOT a = 1 AND b = 2 OR c = 3  →  ((NOT (a=1)) AND (b=2)) OR (c=3)
         let e = parse_expr("NOT a = 1 AND b = 2 OR c = 3").unwrap();
-        let Expr::Binary { op: BinOp::Or, left, .. } = e else {
+        let Expr::Binary {
+            op: BinOp::Or,
+            left,
+            ..
+        } = e
+        else {
             panic!()
         };
-        let Expr::Binary { op: BinOp::And, left: l2, .. } = *left else {
+        let Expr::Binary {
+            op: BinOp::And,
+            left: l2,
+            ..
+        } = *left
+        else {
             panic!()
         };
         assert!(matches!(*l2, Expr::Unary { op: UnOp::Not, .. }));
@@ -1277,10 +1381,20 @@ mod tests {
     fn arithmetic_precedence() {
         // 1 + 2 * 3 = 7  →  (1 + (2*3)) = 7
         let e = parse_expr("1 + 2 * 3 = 7").unwrap();
-        let Expr::Binary { op: BinOp::Eq, left, .. } = e else {
+        let Expr::Binary {
+            op: BinOp::Eq,
+            left,
+            ..
+        } = e
+        else {
             panic!()
         };
-        let Expr::Binary { op: BinOp::Add, right, .. } = *left else {
+        let Expr::Binary {
+            op: BinOp::Add,
+            right,
+            ..
+        } = *left
+        else {
             panic!()
         };
         assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
@@ -1294,10 +1408,9 @@ mod tests {
 
     #[test]
     fn parses_multiple_statements() {
-        let stmts = parse_statements(
-            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_statements("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 
@@ -1331,11 +1444,17 @@ mod tests {
         ));
         assert!(matches!(
             parse_statement("DROP TABLE IF EXISTS t").unwrap(),
-            Statement::DropTable { if_exists: true, .. }
+            Statement::DropTable {
+                if_exists: true,
+                ..
+            }
         ));
         assert!(matches!(
             parse_statement("DROP VIEW v").unwrap(),
-            Statement::DropView { if_exists: false, .. }
+            Statement::DropView {
+                if_exists: false,
+                ..
+            }
         ));
         assert!(matches!(
             parse_statement("DROP ASSERTION a").unwrap(),
@@ -1352,6 +1471,69 @@ mod tests {
         };
         assert!(ix.unique);
         assert_eq!(ix.columns.len(), 2);
+    }
+
+    #[test]
+    fn parses_transaction_control() {
+        assert_eq!(parse_statement("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(
+            parse_statement("BEGIN TRANSACTION").unwrap(),
+            Statement::Begin
+        );
+        assert_eq!(parse_statement("begin work").unwrap(), Statement::Begin);
+        assert_eq!(parse_statement("COMMIT").unwrap(), Statement::Commit);
+        assert_eq!(parse_statement("COMMIT WORK").unwrap(), Statement::Commit);
+        assert_eq!(
+            parse_statement("ROLLBACK").unwrap(),
+            Statement::Rollback { to: None }
+        );
+        assert_eq!(
+            parse_statement("ROLLBACK TO sp1").unwrap(),
+            Statement::Rollback {
+                to: Some("sp1".into())
+            }
+        );
+        assert_eq!(
+            parse_statement("ROLLBACK WORK TO SAVEPOINT sp1").unwrap(),
+            Statement::Rollback {
+                to: Some("sp1".into())
+            }
+        );
+        assert_eq!(
+            parse_statement("SAVEPOINT s").unwrap(),
+            Statement::Savepoint { name: "s".into() }
+        );
+        assert_eq!(
+            parse_statement("RELEASE SAVEPOINT s").unwrap(),
+            Statement::Release { name: "s".into() }
+        );
+        assert_eq!(
+            parse_statement("RELEASE s").unwrap(),
+            Statement::Release { name: "s".into() }
+        );
+    }
+
+    #[test]
+    fn parses_transaction_script() {
+        let stmts = parse_statements(
+            "BEGIN; INSERT INTO t VALUES (1); SAVEPOINT s1;
+             DELETE FROM t WHERE a = 1; ROLLBACK TO s1; COMMIT;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 6);
+        assert!(stmts[0].is_transaction_control());
+        assert!(!stmts[1].is_transaction_control());
+        assert!(stmts[5].is_transaction_control());
+    }
+
+    #[test]
+    fn quoted_savepoint_names_preserve_case() {
+        assert_eq!(
+            parse_statement("SAVEPOINT \"Sp One\"").unwrap(),
+            Statement::Savepoint {
+                name: "Sp One".into()
+            }
+        );
     }
 
     #[test]

@@ -26,12 +26,65 @@ pub fn ident(out: &mut String, id: &str) {
 
 fn is_reserved(id: &str) -> bool {
     const RESERVED: &[&str] = &[
-        "select", "from", "where", "and", "or", "not", "exists", "in", "union", "all",
-        "distinct", "join", "inner", "cross", "on", "as", "is", "null", "between", "values",
-        "insert", "into", "delete", "create", "table", "view", "index", "assertion", "check",
-        "drop", "truncate", "primary", "key", "foreign", "references", "unique", "constraint",
-        "order", "group", "by", "having", "like", "set", "update", "true", "false", "if",
-        "int", "integer", "real", "text",
+        "select",
+        "from",
+        "where",
+        "and",
+        "or",
+        "not",
+        "exists",
+        "in",
+        "union",
+        "all",
+        "distinct",
+        "join",
+        "inner",
+        "cross",
+        "on",
+        "as",
+        "is",
+        "null",
+        "between",
+        "values",
+        "insert",
+        "into",
+        "delete",
+        "create",
+        "table",
+        "view",
+        "index",
+        "assertion",
+        "check",
+        "drop",
+        "truncate",
+        "primary",
+        "key",
+        "foreign",
+        "references",
+        "unique",
+        "constraint",
+        "order",
+        "group",
+        "by",
+        "having",
+        "like",
+        "set",
+        "update",
+        "true",
+        "false",
+        "if",
+        "int",
+        "integer",
+        "real",
+        "text",
+        "begin",
+        "commit",
+        "rollback",
+        "savepoint",
+        "release",
+        "transaction",
+        "work",
+        "to",
     ];
     RESERVED.contains(&id)
 }
@@ -245,6 +298,23 @@ fn write_statement(out: &mut String, stmt: &Statement) {
             }
         }
         Statement::Query(q) => write_query(out, q),
+        Statement::Begin => out.push_str("BEGIN"),
+        Statement::Commit => out.push_str("COMMIT"),
+        Statement::Rollback { to } => {
+            out.push_str("ROLLBACK");
+            if let Some(name) = to {
+                out.push_str(" TO SAVEPOINT ");
+                ident(out, name);
+            }
+        }
+        Statement::Savepoint { name } => {
+            out.push_str("SAVEPOINT ");
+            ident(out, name);
+        }
+        Statement::Release { name } => {
+            out.push_str("RELEASE SAVEPOINT ");
+            ident(out, name);
+        }
     }
 }
 
@@ -677,6 +747,19 @@ mod tests {
         roundtrip_stmt("DROP TABLE IF EXISTS t");
         roundtrip_stmt("TRUNCATE TABLE t");
         roundtrip_stmt("DROP ASSERTION a");
+    }
+
+    #[test]
+    fn roundtrips_transaction_control() {
+        roundtrip_stmt("BEGIN");
+        roundtrip_stmt("COMMIT");
+        roundtrip_stmt("ROLLBACK");
+        roundtrip_stmt("SAVEPOINT s1");
+        roundtrip_stmt("ROLLBACK TO SAVEPOINT s1");
+        roundtrip_stmt("RELEASE SAVEPOINT s1");
+        // Reserved or mixed-case savepoint names must come back quoted.
+        roundtrip_stmt("SAVEPOINT \"select\"");
+        roundtrip_stmt("ROLLBACK TO \"Sp One\"");
     }
 
     #[test]

@@ -118,6 +118,16 @@ fn query_strategy() -> impl Strategy<Value = Query> {
     })
 }
 
+fn tx_statement_strategy() -> impl Strategy<Value = Statement> {
+    prop_oneof![
+        Just(Statement::Begin),
+        Just(Statement::Commit),
+        proptest::option::of(ident_strategy()).prop_map(|to| Statement::Rollback { to }),
+        ident_strategy().prop_map(|name| Statement::Savepoint { name }),
+        ident_strategy().prop_map(|name| Statement::Release { name }),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 256,
@@ -171,5 +181,17 @@ proptest! {
         });
         let printed = upd.to_string();
         prop_assert_eq!(&upd, &parse_statement(&printed).unwrap(), "printed: {}", printed);
+    }
+
+    /// `BEGIN` / `COMMIT` / `ROLLBACK [TO]` / `SAVEPOINT` / `RELEASE` print
+    /// to SQL that parses back to the same AST, for arbitrary savepoint
+    /// names (including reserved words and mixed case, which must be
+    /// quoted).
+    #[test]
+    fn transaction_control_roundtrips(stmt in tx_statement_strategy()) {
+        let printed = stmt.to_string();
+        let reparsed = parse_statement(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed for `{printed}`: {err}"));
+        prop_assert_eq!(stmt, reparsed, "printed: {}", printed);
     }
 }

@@ -373,11 +373,7 @@ impl<'a> SqlGenerator<'a> {
         }
     }
 
-    fn term_expr(
-        &self,
-        t: &Term,
-        bindings: &BTreeMap<Var, sql::Expr>,
-    ) -> GResult<sql::Expr> {
+    fn term_expr(&self, t: &Term, bindings: &BTreeMap<Var, sql::Expr>) -> GResult<sql::Expr> {
         match t {
             Term::Const(k) => Ok(konst_expr(k)),
             Term::Var(v) => bindings.get(v).cloned().ok_or_else(|| SqlGenError {
@@ -450,8 +446,7 @@ mod tests {
     fn views_for(assertion_sql: &str) -> Vec<GeneratedView> {
         let cat = tpch_cat();
         let mut reg = Registry::new();
-        let sql::Statement::CreateAssertion(a) =
-            sql::parse_statement(assertion_sql).unwrap()
+        let sql::Statement::CreateAssertion(a) = sql::parse_statement(assertion_sql).unwrap()
         else {
             panic!()
         };
@@ -527,11 +522,7 @@ mod tests {
     fn views_project_distinct_variables() {
         let views = views_for(RUNNING_EXAMPLE);
         for v in &views {
-            assert!(
-                v.sql_text.contains("SELECT DISTINCT"),
-                "{}",
-                v.sql_text
-            );
+            assert!(v.sql_text.contains("SELECT DISTINCT"), "{}", v.sql_text);
         }
     }
 

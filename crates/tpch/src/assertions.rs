@@ -68,8 +68,7 @@ mod tests {
     #[test]
     fn all_assertions_parse() {
         for (name, text) in TPCH_ASSERTIONS {
-            let stmt = tintin_sql::parse_statement(text)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let stmt = tintin_sql::parse_statement(text).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(matches!(stmt, tintin_sql::Statement::CreateAssertion(_)));
         }
     }
@@ -84,7 +83,11 @@ mod tests {
                 unreachable!()
             };
             for conj in a.condition.conjuncts() {
-                if let tintin_sql::Expr::Exists { query, negated: true } = conj {
+                if let tintin_sql::Expr::Exists {
+                    query,
+                    negated: true,
+                } = conj
+                {
                     let rs = db.query(query).unwrap();
                     assert!(rs.is_empty(), "{name} violated by generated data");
                 }

@@ -79,7 +79,8 @@ mod tests {
         let mut db = Dbgen::new(0.0002).generate();
         db.enable_capture("orders").unwrap();
         assert_eq!(pending_update_bytes(&db), 0);
-        db.execute_sql("INSERT INTO orders VALUES (999999, 1, 10.0)").unwrap();
+        db.execute_sql("INSERT INTO orders VALUES (999999, 1, 10.0)")
+            .unwrap();
         assert!(pending_update_bytes(&db) > 0);
     }
 

@@ -63,7 +63,9 @@ impl UpdateGen {
             .rng
             .gen_range(0..self.counts.partsupps_per_part.min(self.counts.suppliers))
             as usize;
-        let s = suppliers_of_part(&self.counts, p).nth(pick).expect("pick in range");
+        let s = suppliers_of_part(&self.counts, p)
+            .nth(pick)
+            .expect("pick in range");
         (p, s)
     }
 
@@ -254,7 +256,10 @@ mod tests {
                      SELECT * FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)",
             )
             .unwrap();
-        assert!(empty_orders.is_empty(), "valid batch must keep the assertion");
+        assert!(
+            empty_orders.is_empty(),
+            "valid batch must keep the assertion"
+        );
     }
 
     #[test]

@@ -67,8 +67,11 @@ fn main() {
         Err(e) => println!("\ninstall failed as expected: {e}"),
         Ok(_) => unreachable!("initial state violates studentEnrolled"),
     }
-    db.execute_sql("INSERT INTO enrollment VALUES (102, 20, NULL)").unwrap();
-    let inst = tintin.install(&mut db, &refs).expect("state now consistent");
+    db.execute_sql("INSERT INTO enrollment VALUES (102, 20, NULL)")
+        .unwrap();
+    let inst = tintin
+        .install(&mut db, &refs)
+        .expect("state now consistent");
     println!(
         "\ninstalled {} assertions as {} incremental views",
         inst.assertions.len(),
@@ -76,12 +79,17 @@ fn main() {
     );
 
     // A transaction violating the grade range.
-    db.execute_sql("INSERT INTO enrollment VALUES (100, 20, 11)").unwrap();
+    db.execute_sql("INSERT INTO enrollment VALUES (100, 20, 11)")
+        .unwrap();
     show("grade 11", tintin.safe_commit(&mut db, &inst).unwrap());
 
     // A transaction dropping a department's last course.
-    db.execute_sql("DELETE FROM course WHERE course_id = 10").unwrap();
-    show("drop CS course", tintin.safe_commit(&mut db, &inst).unwrap());
+    db.execute_sql("DELETE FROM course WHERE course_id = 10")
+        .unwrap();
+    show(
+        "drop CS course",
+        tintin.safe_commit(&mut db, &inst).unwrap(),
+    );
 
     // A valid transaction: new department with a course; a real grade.
     db.execute_sql(
@@ -90,10 +98,14 @@ fn main() {
          INSERT INTO enrollment VALUES (100, 20, 9);",
     )
     .unwrap();
-    show("new dept + grade", tintin.safe_commit(&mut db, &inst).unwrap());
+    show(
+        "new dept + grade",
+        tintin.safe_commit(&mut db, &inst).unwrap(),
+    );
 
     // Dangling enrollment caught by a *generated* FK assertion.
-    db.execute_sql("INSERT INTO enrollment VALUES (999, 10, NULL)").unwrap();
+    db.execute_sql("INSERT INTO enrollment VALUES (999, 10, NULL)")
+        .unwrap();
     show("ghost student", tintin.safe_commit(&mut db, &inst).unwrap());
 
     println!("\nfinal enrollment:");
@@ -102,7 +114,11 @@ fn main() {
 
 fn show(label: &str, outcome: CommitOutcome) {
     match outcome {
-        CommitOutcome::Committed { inserted, deleted, stats } => println!(
+        CommitOutcome::Committed {
+            inserted,
+            deleted,
+            stats,
+        } => println!(
             "[{label}] committed (+{inserted}/-{deleted}) in {:?}",
             stats.check_time
         ),

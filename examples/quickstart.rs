@@ -49,7 +49,8 @@ fn main() {
     // 3. Propose an update that violates the assertion: an order without
     //    any line item. The DML is captured in the event tables — the base
     //    tables stay untouched until safeCommit approves.
-    db.execute_sql("INSERT INTO orders VALUES (2, 42.0)").unwrap();
+    db.execute_sql("INSERT INTO orders VALUES (2, 42.0)")
+        .unwrap();
     match tintin.safe_commit(&mut db, &installation).unwrap() {
         CommitOutcome::Rejected { violations, stats } => {
             println!(
@@ -70,7 +71,9 @@ fn main() {
     )
     .unwrap();
     match tintin.safe_commit(&mut db, &installation).unwrap() {
-        CommitOutcome::Committed { inserted, stats, .. } => {
+        CommitOutcome::Committed {
+            inserted, stats, ..
+        } => {
             println!(
                 "\nupdate committed: {inserted} rows inserted, checked in {:?}",
                 stats.check_time

@@ -1,49 +1,99 @@
 //! Interactive command-line front-end — the CLI equivalent of the paper's
-//! GUI (Figure 3): connect to a database, enter assertions, propose updates,
-//! and call `safeCommit`.
+//! GUI (Figure 3), now backed by a transactional [`Session`]: connect to a
+//! database, install assertions, and group updates into `BEGIN … COMMIT`
+//! transactions that are checked by `safeCommit` at commit time.
 //!
 //! Run with: `cargo run --example repl`
 //!
 //! ```text
 //! tintin> CREATE TABLE orders (o_orderkey INT PRIMARY KEY);
-//! tintin> assert CREATE ASSERTION neverNegative CHECK (NOT EXISTS (
+//! tintin> CREATE ASSERTION neverNegative CHECK (NOT EXISTS (
 //!             SELECT * FROM orders WHERE o_orderkey < 0));
-//! tintin> install
-//! tintin> INSERT INTO orders VALUES (-1);
-//! tintin> commit
+//! tintin> BEGIN;
+//! tintin*> INSERT INTO orders VALUES (-1);
+//! tintin*> .tx
+//! tintin*> COMMIT;            -- rejected, transaction rolled back
 //! ```
+//!
+//! The prompt shows `tintin*>` while a transaction is open.
 
 use std::io::{BufRead, Write};
-use tintin::{CommitOutcome, Installation, Tintin};
-use tintin_engine::{Database, StatementResult};
+use tintin_session::{Session, StatementOutcome};
 
 const HELP: &str = "\
-Commands:
-  <sql>;            execute SQL (DDL, INSERT/DELETE/UPDATE, SELECT). With an
-                    installation active, DML is captured as pending events.
+SQL (terminated by ';'):
+  BEGIN; COMMIT; ROLLBACK;            explicit transactions — COMMIT runs
+  SAVEPOINT s; ROLLBACK TO s;         safeCommit and applies or rejects the
+  RELEASE s;                          whole batch atomically
+  CREATE ASSERTION name CHECK (…);    install an assertion (views and all)
+  DROP ASSERTION name;                uninstall it
+  other DDL / INSERT / DELETE / UPDATE / SELECT
+      outside a transaction, DML autocommits (checked immediately);
+      inside one it accumulates as pending events until COMMIT
+
+Meta-commands (no semicolon needed):
+  .tx               transaction status: pending ins_T/del_T row counts,
+                    savepoints
   explain <query>;  show the access-path plan (scans vs index probes)
   assert <sql>;     queue a CREATE ASSERTION for the next `install`
-  install           install queued assertions (event tables + views)
-  commit            safeCommit: check pending events, then apply or reject
+  install           install queued assertions together (one installation)
   check             dry-run check of pending events
-  pending           show pending insertion/deletion counts
+  pending           total pending insertion/deletion counts
   tables            list tables;  views — list views
+  assertions        list installed assertions
   demo              load a small orders/lineitem demo schema + data
   help              this text;  quit — exit
 ";
 
+fn print_outcome(outcome: StatementOutcome) {
+    match outcome {
+        StatementOutcome::Ddl => println!("ok"),
+        StatementOutcome::AssertionInstalled { name, views } => {
+            println!("installed assertion '{name}' ({views} incremental view(s) total)")
+        }
+        StatementOutcome::AssertionDropped { name } => {
+            println!("dropped assertion '{name}'")
+        }
+        StatementOutcome::RowsAffected(n) => println!("{n} row(s) affected"),
+        StatementOutcome::Rows(rs) => println!("{rs}"),
+        StatementOutcome::TransactionStarted => println!("transaction started"),
+        StatementOutcome::SavepointCreated(n) => println!("savepoint '{n}'"),
+        StatementOutcome::SavepointReleased(n) => println!("released savepoint '{n}'"),
+        StatementOutcome::RolledBackToSavepoint(n) => {
+            println!("rolled back to savepoint '{n}'")
+        }
+        StatementOutcome::RolledBack => println!("rolled back"),
+        StatementOutcome::Committed {
+            inserted,
+            deleted,
+            stats,
+        } => println!(
+            "committed (+{inserted}/-{deleted}) in {:?} ({} view(s) evaluated, {} skipped)",
+            stats.check_time, stats.views_evaluated, stats.views_skipped
+        ),
+        StatementOutcome::Rejected { violations, .. } => {
+            println!("rejected — transaction rolled back:");
+            for v in violations {
+                println!("  {} →\n{}", v.assertion, v.rows);
+            }
+        }
+    }
+}
+
 fn main() {
     println!("TINTIN repl — type `help` for commands.");
-    let mut db = Database::new();
-    let tintin = Tintin::new();
+    let mut session = Session::new();
     let mut queued: Vec<String> = Vec::new();
-    let mut installation: Option<Installation> = None;
     let stdin = std::io::stdin();
     let mut buffer = String::new();
 
     loop {
         if buffer.is_empty() {
-            print!("tintin> ");
+            if session.in_transaction() {
+                print!("tintin*> ");
+            } else {
+                print!("tintin> ");
+            }
         } else {
             print!("   ...> ");
         }
@@ -65,13 +115,40 @@ fn main() {
                     println!("{HELP}");
                     continue;
                 }
+                ".tx" => {
+                    if session.in_transaction() {
+                        println!("transaction: open");
+                        let pending = session.pending_by_table();
+                        if pending.is_empty() {
+                            println!("  no pending events");
+                        } else {
+                            for p in pending {
+                                println!(
+                                    "  {:<12} ins_{}: {:>5}   del_{}: {:>5}",
+                                    p.table, p.table, p.inserts, p.table, p.deletes
+                                );
+                            }
+                        }
+                        let sps = session.savepoints();
+                        if !sps.is_empty() {
+                            println!("  savepoints: {}", sps.join(" → "));
+                        }
+                    } else {
+                        println!("transaction: none (autocommit)");
+                        let (ins, del) = session.pending_counts();
+                        if ins + del > 0 {
+                            println!("  stray pending events: +{ins}/-{del}");
+                        }
+                    }
+                    continue;
+                }
                 "install" => {
                     if queued.is_empty() {
                         println!("no assertions queued; use `assert CREATE ASSERTION …;`");
                         continue;
                     }
                     let refs: Vec<&str> = queued.iter().map(|s| s.as_str()).collect();
-                    match tintin.install(&mut db, &refs) {
+                    match session.install(&refs) {
                         Ok(inst) => {
                             println!(
                                 "installed {} assertion(s), {} incremental view(s)",
@@ -81,72 +158,60 @@ fn main() {
                             for d in &inst.denial_texts {
                                 println!("  denial: {d}");
                             }
-                            installation = Some(inst);
                             queued.clear();
                         }
                         Err(e) => println!("install failed: {e}"),
                     }
                     continue;
                 }
-                "commit" | "check" => {
-                    let Some(inst) = &installation else {
-                        println!("no installation; `install` first");
-                        continue;
-                    };
-                    if line == "commit" {
-                        match tintin.safe_commit(&mut db, inst) {
-                            Ok(CommitOutcome::Committed {
-                                inserted,
-                                deleted,
-                                stats,
-                            }) => println!(
-                                "committed (+{inserted}/-{deleted}) in {:?}",
-                                stats.check_time
-                            ),
-                            Ok(CommitOutcome::Rejected { violations, .. }) => {
-                                println!("rejected:");
-                                for v in violations {
-                                    println!("  {} →\n{}", v.assertion, v.rows);
-                                }
+                "check" => {
+                    match session.check_pending() {
+                        Ok((violations, stats)) => {
+                            println!(
+                                "checked in {:?}: {} violation(s)",
+                                stats.check_time,
+                                violations.len()
+                            );
+                            for v in violations {
+                                println!("  {} →\n{}", v.assertion, v.rows);
                             }
-                            Err(e) => println!("error: {e}"),
                         }
-                    } else {
-                        match tintin.check_pending(&mut db, inst) {
-                            Ok((violations, stats)) => {
-                                println!(
-                                    "checked in {:?}: {} violation(s)",
-                                    stats.check_time,
-                                    violations.len()
-                                );
-                                for v in violations {
-                                    println!("  {} →\n{}", v.assertion, v.rows);
-                                }
-                            }
-                            Err(e) => println!("error: {e}"),
-                        }
+                        Err(e) => println!("error: {e}"),
                     }
                     continue;
                 }
                 "pending" => {
-                    let (ins, del) = db.pending_counts();
+                    let (ins, del) = session.pending_counts();
                     println!("pending: {ins} insertion(s), {del} deletion(s)");
                     continue;
                 }
                 "tables" => {
-                    for t in db.table_names() {
-                        println!("  {t} ({} rows)", db.table(&t).unwrap().len());
+                    for t in session.database().table_names() {
+                        println!(
+                            "  {t} ({} rows)",
+                            session.database().table(&t).unwrap().len()
+                        );
                     }
                     continue;
                 }
                 "views" => {
-                    for v in db.view_names() {
+                    for v in session.database().view_names() {
                         println!("  {v}");
                     }
                     continue;
                 }
+                "assertions" => {
+                    let names = session.assertion_names();
+                    if names.is_empty() {
+                        println!("  (none installed)");
+                    }
+                    for n in names {
+                        println!("  {n}");
+                    }
+                    continue;
+                }
                 "demo" => {
-                    match db.execute_sql(
+                    match session.execute(
                         "CREATE TABLE orders (o_orderkey INT PRIMARY KEY, o_totalprice REAL);
                          CREATE TABLE lineitem (
                              l_orderkey INT NOT NULL REFERENCES orders,
@@ -174,7 +239,7 @@ fn main() {
         let input = input.trim().trim_end_matches(';').trim();
 
         if let Some(rest) = input.strip_prefix("explain ") {
-            match db.explain_sql(rest) {
+            match session.database().explain_sql(rest) {
                 Ok(plan) => print!("{plan}"),
                 Err(e) => println!("error: {e}"),
             }
@@ -193,14 +258,10 @@ fn main() {
             continue;
         }
 
-        match db.execute_sql(input) {
-            Ok(results) => {
-                for r in results {
-                    match r {
-                        StatementResult::Ddl => println!("ok"),
-                        StatementResult::RowsAffected(n) => println!("{n} row(s) affected"),
-                        StatementResult::Rows(rs) => println!("{rs}"),
-                    }
+        match session.execute(input) {
+            Ok(outcomes) => {
+                for outcome in outcomes {
+                    print_outcome(outcome);
                 }
             }
             Err(e) => println!("error: {e}"),

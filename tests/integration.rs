@@ -53,7 +53,8 @@ fn rejects_insert_of_order_without_lineitem() {
     let tintin = Tintin::new();
     let inst = tintin.install(&mut db, &[AT_LEAST_ONE_LINEITEM]).unwrap();
 
-    db.execute_sql("INSERT INTO orders VALUES (3, 30.0)").unwrap();
+    db.execute_sql("INSERT INTO orders VALUES (3, 30.0)")
+        .unwrap();
     let outcome = tintin.safe_commit(&mut db, &inst).unwrap();
     let CommitOutcome::Rejected { violations, .. } = outcome else {
         panic!("expected rejection");
@@ -80,7 +81,12 @@ fn commits_insert_of_order_with_lineitem() {
     )
     .unwrap();
     let outcome = tintin.safe_commit(&mut db, &inst).unwrap();
-    let CommitOutcome::Committed { inserted, deleted, stats } = outcome else {
+    let CommitOutcome::Committed {
+        inserted,
+        deleted,
+        stats,
+    } = outcome
+    else {
         panic!("expected commit");
     };
     assert_eq!(inserted, 2);
@@ -96,7 +102,8 @@ fn rejects_delete_of_last_lineitem() {
     let tintin = Tintin::new();
     let inst = tintin.install(&mut db, &[AT_LEAST_ONE_LINEITEM]).unwrap();
 
-    db.execute_sql("DELETE FROM lineitem WHERE l_orderkey = 1").unwrap();
+    db.execute_sql("DELETE FROM lineitem WHERE l_orderkey = 1")
+        .unwrap();
     let outcome = tintin.safe_commit(&mut db, &inst).unwrap();
     assert!(!outcome.is_committed());
     assert_eq!(db.table("lineitem").unwrap().len(), 2, "delete rolled back");
@@ -105,7 +112,8 @@ fn rejects_delete_of_last_lineitem() {
 #[test]
 fn commits_delete_of_one_of_two_lineitems() {
     let mut db = orders_db();
-    db.execute_sql("INSERT INTO lineitem VALUES (1, 2, 7)").unwrap();
+    db.execute_sql("INSERT INTO lineitem VALUES (1, 2, 7)")
+        .unwrap();
     let tintin = Tintin::new();
     let inst = tintin.install(&mut db, &[AT_LEAST_ONE_LINEITEM]).unwrap();
 
@@ -142,7 +150,8 @@ fn emptiness_shortcut_skips_unrelated_views() {
 
     // A pure lineitem insertion cannot violate either EDC (one is gated on
     // ins_orders, the other on del_lineitem) — all views skipped.
-    db.execute_sql("INSERT INTO lineitem VALUES (2, 2, 4)").unwrap();
+    db.execute_sql("INSERT INTO lineitem VALUES (2, 2, 4)")
+        .unwrap();
     let (violations, stats) = tintin.check_pending(&mut db, &inst).unwrap();
     assert!(violations.is_empty());
     assert_eq!(stats.views_evaluated, 0);
@@ -163,10 +172,16 @@ fn emptiness_shortcut_skips_unrelated_views() {
 #[test]
 fn initial_state_violation_is_reported_at_install() {
     let mut db = orders_db();
-    db.execute_sql("INSERT INTO orders VALUES (9, 1.0)").unwrap(); // no line item
+    db.execute_sql("INSERT INTO orders VALUES (9, 1.0)")
+        .unwrap(); // no line item
     let tintin = Tintin::new();
-    let err = tintin.install(&mut db, &[AT_LEAST_ONE_LINEITEM]).unwrap_err();
-    assert!(matches!(err, TintinError::InitialStateViolated { .. }), "{err}");
+    let err = tintin
+        .install(&mut db, &[AT_LEAST_ONE_LINEITEM])
+        .unwrap_err();
+    assert!(
+        matches!(err, TintinError::InitialStateViolated { .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -198,7 +213,8 @@ fn multiple_assertions_report_the_right_one() {
         )
         .unwrap();
 
-    db.execute_sql("INSERT INTO lineitem VALUES (1, 9, 0)").unwrap();
+    db.execute_sql("INSERT INTO lineitem VALUES (1, 9, 0)")
+        .unwrap();
     let outcome = tintin.safe_commit(&mut db, &inst).unwrap();
     let CommitOutcome::Rejected { violations, .. } = outcome else {
         panic!()
@@ -217,12 +233,14 @@ fn fk_assertions_from_metadata_work_end_to_end() {
     let inst = tintin.install(&mut db, &refs).unwrap();
 
     // Inserting a dangling lineitem violates the generated FK assertion.
-    db.execute_sql("INSERT INTO lineitem VALUES (99, 1, 1)").unwrap();
+    db.execute_sql("INSERT INTO lineitem VALUES (99, 1, 1)")
+        .unwrap();
     let outcome = tintin.safe_commit(&mut db, &inst).unwrap();
     assert!(!outcome.is_committed());
 
     // Deleting an order that still has lineitems violates it too.
-    db.execute_sql("DELETE FROM orders WHERE o_orderkey = 1").unwrap();
+    db.execute_sql("DELETE FROM orders WHERE o_orderkey = 1")
+        .unwrap();
     let outcome = tintin.safe_commit(&mut db, &inst).unwrap();
     assert!(!outcome.is_committed());
 
@@ -281,7 +299,8 @@ fn full_recheck_baseline_agrees_and_rolls_back() {
     let tintin = Tintin::new();
     let inst = tintin.install(&mut db, &[AT_LEAST_ONE_LINEITEM]).unwrap();
 
-    db.execute_sql("INSERT INTO orders VALUES (7, 1.0)").unwrap();
+    db.execute_sql("INSERT INTO orders VALUES (7, 1.0)")
+        .unwrap();
     let full = tintin.full_recheck(&mut db, &inst).unwrap();
     assert!(!full.committed);
     assert_eq!(full.violations.len(), 1);
@@ -357,11 +376,14 @@ fn reject_then_fix_then_commit_flow() {
     let tintin = Tintin::new();
     let inst = tintin.install(&mut db, &[AT_LEAST_ONE_LINEITEM]).unwrap();
 
-    db.execute_sql("INSERT INTO orders VALUES (5, 1.0)").unwrap();
+    db.execute_sql("INSERT INTO orders VALUES (5, 1.0)")
+        .unwrap();
     assert!(!tintin.safe_commit(&mut db, &inst).unwrap().is_committed());
 
-    db.execute_sql("INSERT INTO orders VALUES (5, 1.0)").unwrap();
-    db.execute_sql("INSERT INTO lineitem VALUES (5, 1, 2)").unwrap();
+    db.execute_sql("INSERT INTO orders VALUES (5, 1.0)")
+        .unwrap();
+    db.execute_sql("INSERT INTO lineitem VALUES (5, 1, 2)")
+        .unwrap();
     assert!(tintin.safe_commit(&mut db, &inst).unwrap().is_committed());
 
     // And the final state satisfies the assertion.
@@ -450,7 +472,8 @@ fn update_statement_checked_incrementally() {
     assert_eq!(rs.rows[0][0], Value::Int(6));
 
     // Violating update: zero out a quantity.
-    db.execute_sql("UPDATE lineitem SET l_quantity = 0 WHERE l_orderkey = 2").unwrap();
+    db.execute_sql("UPDATE lineitem SET l_quantity = 0 WHERE l_orderkey = 2")
+        .unwrap();
     let outcome = tintin.safe_commit(&mut db, &inst).unwrap();
     let CommitOutcome::Rejected { violations, .. } = outcome else {
         panic!("expected rejection")
@@ -463,9 +486,13 @@ fn update_statement_checked_incrementally() {
 
     // Violating update via key migration: moving a lineitem to another
     // order strands order 2.
-    db.execute_sql("UPDATE lineitem SET l_orderkey = 1 WHERE l_orderkey = 2").unwrap();
+    db.execute_sql("UPDATE lineitem SET l_orderkey = 1 WHERE l_orderkey = 2")
+        .unwrap();
     let outcome = tintin.safe_commit(&mut db, &inst).unwrap();
-    assert!(!outcome.is_committed(), "stranding order 2 must be rejected");
+    assert!(
+        !outcome.is_committed(),
+        "stranding order 2 must be rejected"
+    );
 }
 
 #[test]
@@ -501,7 +528,8 @@ fn aggregate_assertion_checked_via_fallback() {
     assert_eq!(db.table("lineitem").unwrap().len(), 2, "rejected");
 
     // Two more lineitems (3 total) commit fine.
-    db.execute_sql("INSERT INTO lineitem VALUES (1, 2, 1), (1, 3, 1)").unwrap();
+    db.execute_sql("INSERT INTO lineitem VALUES (1, 2, 1), (1, 3, 1)")
+        .unwrap();
     assert!(tintin.safe_commit(&mut db, &inst).unwrap().is_committed());
 
     // An update not touching lineitem skips the fallback entirely.
@@ -514,12 +542,16 @@ fn aggregate_assertion_checked_via_fallback() {
     )
     .unwrap();
     let (_, stats) = tintin.check_pending(&mut db, &inst).unwrap();
-    assert_eq!(stats.fallbacks_evaluated, 1, "lineitem deletes gate it open");
+    assert_eq!(
+        stats.fallbacks_evaluated, 1,
+        "lineitem deletes gate it open"
+    );
     db.truncate_events();
 
     // Customer-free schema here; an orders-only insert leaves lineitem
     // events empty → fallback skipped.
-    db.execute_sql("INSERT INTO orders VALUES (12, 1.0)").unwrap();
+    db.execute_sql("INSERT INTO orders VALUES (12, 1.0)")
+        .unwrap();
     let (_, stats) = tintin.check_pending(&mut db, &inst).unwrap();
     assert_eq!(stats.fallbacks_skipped, 1);
     db.truncate_events();
@@ -588,10 +620,12 @@ fn is_null_assertion_end_to_end() {
         )
         .unwrap();
 
-    db.execute_sql("INSERT INTO orders VALUES (8, NULL)").unwrap();
+    db.execute_sql("INSERT INTO orders VALUES (8, NULL)")
+        .unwrap();
     assert!(!tintin.safe_commit(&mut db, &inst).unwrap().is_committed());
 
-    db.execute_sql("INSERT INTO orders VALUES (8, 80.0)").unwrap();
+    db.execute_sql("INSERT INTO orders VALUES (8, 80.0)")
+        .unwrap();
     assert!(tintin.safe_commit(&mut db, &inst).unwrap().is_committed());
 }
 
@@ -641,13 +675,16 @@ fn three_level_nesting_assertion() {
     db.execute_sql("INSERT INTO orders VALUES (4, 10.0); INSERT INTO lineitem VALUES (4, 1, 1);")
         .unwrap();
     assert!(tintin.safe_commit(&mut db, &inst).unwrap().is_committed());
-    db.execute_sql("UPDATE orders SET o_totalprice = 99.0 WHERE o_orderkey = 4").unwrap();
+    db.execute_sql("UPDATE orders SET o_totalprice = 99.0 WHERE o_orderkey = 4")
+        .unwrap();
     assert!(!tintin.safe_commit(&mut db, &inst).unwrap().is_committed());
 
     // …while raising it with a big line item present commits.
-    db.execute_sql("INSERT INTO lineitem VALUES (4, 2, 9)").unwrap();
+    db.execute_sql("INSERT INTO lineitem VALUES (4, 2, 9)")
+        .unwrap();
     assert!(tintin.safe_commit(&mut db, &inst).unwrap().is_committed());
-    db.execute_sql("UPDATE orders SET o_totalprice = 99.0 WHERE o_orderkey = 4").unwrap();
+    db.execute_sql("UPDATE orders SET o_totalprice = 99.0 WHERE o_orderkey = 4")
+        .unwrap();
     assert!(tintin.safe_commit(&mut db, &inst).unwrap().is_committed());
 }
 
@@ -687,11 +724,41 @@ fn uninstall_restores_plain_database() {
     assert!(db.table("ins_orders").is_none());
 
     // DML goes straight to base tables again.
-    db.execute_sql("INSERT INTO orders VALUES (7, 1.0)").unwrap();
+    db.execute_sql("INSERT INTO orders VALUES (7, 1.0)")
+        .unwrap();
     assert_eq!(db.table("orders").unwrap().len(), 3);
 
     // And a re-install works afterwards (state must be consistent first).
-    db.execute_sql("INSERT INTO lineitem VALUES (7, 1, 1)").unwrap();
+    db.execute_sql("INSERT INTO lineitem VALUES (7, 1, 1)")
+        .unwrap();
     let inst2 = tintin.install(&mut db, &[AT_LEAST_ONE_LINEITEM]).unwrap();
     assert_eq!(inst2.view_count(), 2);
+}
+
+#[test]
+fn failed_install_leaves_database_unchanged() {
+    // An install that fails the initial-state check must roll back
+    // everything it created — views *and* event capture — so the data can
+    // be fixed with plain DML and the install retried.
+    let mut db = orders_db();
+    db.execute_sql("INSERT INTO orders VALUES (9, 1.0)")
+        .unwrap(); // no lineitem
+
+    let tintin = Tintin::new();
+    let err = tintin
+        .install(&mut db, &[AT_LEAST_ONE_LINEITEM])
+        .unwrap_err();
+    assert!(matches!(err, TintinError::InitialStateViolated { .. }));
+    assert!(db.view_names().is_empty(), "views rolled back");
+    assert!(!db.is_captured("orders"), "capture rolled back");
+    assert!(db.table("ins_orders").is_none(), "event tables rolled back");
+
+    // The fix-up insert goes to the base table (capture is off again)…
+    db.execute_sql("INSERT INTO lineitem VALUES (9, 1, 1)")
+        .unwrap();
+    assert_eq!(db.table("lineitem").unwrap().len(), 3);
+
+    // …and the retry succeeds.
+    let inst = tintin.install(&mut db, &[AT_LEAST_ONE_LINEITEM]).unwrap();
+    assert_eq!(inst.view_count(), 2);
 }

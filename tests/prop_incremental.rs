@@ -13,6 +13,7 @@
 use proptest::prelude::*;
 use tintin::{EdcConfig, Tintin, TintinConfig};
 use tintin_engine::{Database, Value};
+use tintin_session::Session;
 
 /// The fixed test schema: a parent/child pair (with FK) plus a third table.
 fn make_db() -> Database {
@@ -104,34 +105,31 @@ fn initial_state_strategy() -> impl Strategy<Value = InitialState> {
         let parents: Vec<i64> = (0..nparents as i64).collect();
         // Child keys are sequential from 8 (unique by construction); only
         // the parent reference is random.
-        let child_fks =
-            proptest::collection::vec(0..nparents as i64, nparents..nparents + 6);
+        let child_fks = proptest::collection::vec(0..nparents as i64, nparents..nparents + 6);
         // Item keys sequential from 24; (grp, val) random but consistent
         // (grp references an existing parent, 0 ≤ val ≤ 3).
         let item_attrs = proptest::collection::vec((0..nparents as i64, 0..4i64), 0..6);
-        (Just(parents), child_fks, item_attrs).prop_map(
-            |(parents, mut child_fks, item_attrs)| {
-                // Each parent gets at least one child (A1/A5).
-                for (i, fk) in child_fks.iter_mut().enumerate().take(parents.len()) {
-                    *fk = parents[i];
-                }
-                let children: Vec<(i64, i64)> = child_fks
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, fk)| (8 + i as i64, fk))
-                    .collect();
-                let items: Vec<(i64, i64, i64)> = item_attrs
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, (g, v))| (24 + i as i64, g, v))
-                    .collect();
-                InitialState {
-                    parents,
-                    children,
-                    items,
-                }
-            },
-        )
+        (Just(parents), child_fks, item_attrs).prop_map(|(parents, mut child_fks, item_attrs)| {
+            // Each parent gets at least one child (A1/A5).
+            for (i, fk) in child_fks.iter_mut().enumerate().take(parents.len()) {
+                *fk = parents[i];
+            }
+            let children: Vec<(i64, i64)> = child_fks
+                .into_iter()
+                .enumerate()
+                .map(|(i, fk)| (8 + i as i64, fk))
+                .collect();
+            let items: Vec<(i64, i64, i64)> = item_attrs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (g, v))| (24 + i as i64, g, v))
+                .collect();
+            InitialState {
+                parents,
+                children,
+                items,
+            }
+        })
     })
 }
 
@@ -238,7 +236,11 @@ fn ground_truth(base: &Database) -> Vec<bool> {
             };
             let mut violated = false;
             for conj in ca.condition.conjuncts() {
-                if let tintin_sql::Expr::Exists { query, negated: true } = conj {
+                if let tintin_sql::Expr::Exists {
+                    query,
+                    negated: true,
+                } = conj
+                {
                     if !db.query(query).unwrap().is_empty() {
                         violated = true;
                     }
@@ -274,6 +276,36 @@ fn incremental_verdict(base: &Database, edc: EdcConfig) -> Vec<bool> {
         verdict[idx] = true;
     }
     verdict
+}
+
+/// Render the op as the SQL statement the session will execute.
+fn op_sql(op: &Op) -> String {
+    match op {
+        Op::InsParent(p) => format!("INSERT INTO parent VALUES ({p})"),
+        Op::InsChild(c, p) => format!("INSERT INTO child VALUES ({c}, {p})"),
+        Op::InsItem(i, g, v) => format!("INSERT INTO item VALUES ({i}, {g}, {v})"),
+        Op::DelParent(p) => format!("DELETE FROM parent WHERE pk = {p}"),
+        Op::DelChild(c) => format!("DELETE FROM child WHERE ck = {c}"),
+        Op::DelChildrenOf(p) => format!("DELETE FROM child WHERE fkc = {p}"),
+        Op::DelItem(i) => format!("DELETE FROM item WHERE ik = {i}"),
+    }
+}
+
+/// Full observable state: every table (base *and* event), rows sorted.
+fn snapshot(db: &Database) -> Vec<(String, Vec<String>)> {
+    db.table_names()
+        .into_iter()
+        .map(|t| {
+            let mut rows: Vec<String> = db
+                .table(&t)
+                .unwrap()
+                .scan()
+                .map(|(_, r)| format!("{r:?}"))
+                .collect();
+            rows.sort();
+            (t, rows)
+        })
+        .collect()
 }
 
 proptest! {
@@ -350,5 +382,80 @@ proptest! {
             prop_assert_eq!(&before, &after, "rejected update mutated the db");
         }
         prop_assert_eq!(db.pending_counts(), (0, 0), "events not truncated");
+    }
+
+    /// `BEGIN; <random DML>; ROLLBACK` is a no-op on base tables *and*
+    /// event tables — even when the transaction starts with pending events
+    /// already captured (a proposed-but-uncommitted update).
+    #[test]
+    fn begin_dml_rollback_is_a_noop(
+        initial in initial_state_strategy(),
+        pre_ops in proptest::collection::vec(op_strategy(), 0..5),
+        tx_ops in proptest::collection::vec(op_strategy(), 1..10),
+    ) {
+        let pre_ops = sanitize_ops(pre_ops, &initial);
+        let db = captured_db(&initial, &pre_ops);
+        let mut session = Session::with_database(db);
+
+        let before = snapshot(session.database());
+        session.execute("BEGIN").unwrap();
+        for op in &tx_ops {
+            // Individual statements may legitimately fail (e.g. duplicate
+            // event capture); failures must not break rollback either.
+            let _ = session.execute(&op_sql(op));
+        }
+        session.execute("ROLLBACK").unwrap();
+        prop_assert_eq!(
+            snapshot(session.database()),
+            before,
+            "rollback was not a no-op; tx_ops: {:?}",
+            tx_ops
+        );
+    }
+
+    /// `ROLLBACK TO <savepoint>` restores exactly the state at the
+    /// savepoint and is replayable: more DML followed by another
+    /// `ROLLBACK TO` lands on the same state again.
+    #[test]
+    fn rollback_to_savepoint_is_replayable(
+        initial in initial_state_strategy(),
+        ops_a in proptest::collection::vec(op_strategy(), 1..6),
+        ops_b in proptest::collection::vec(op_strategy(), 1..6),
+        ops_c in proptest::collection::vec(op_strategy(), 1..6),
+    ) {
+        let db = captured_db(&initial, &[]);
+        let mut session = Session::with_database(db);
+
+        session.execute("BEGIN").unwrap();
+        for op in &ops_a {
+            let _ = session.execute(&op_sql(op));
+        }
+        session.execute("SAVEPOINT mark").unwrap();
+        let at_mark = snapshot(session.database());
+
+        for op in &ops_b {
+            let _ = session.execute(&op_sql(op));
+        }
+        session.execute("ROLLBACK TO mark").unwrap();
+        prop_assert_eq!(
+            snapshot(session.database()),
+            at_mark.clone(),
+            "first ROLLBACK TO missed the mark; ops_b: {:?}",
+            ops_b
+        );
+
+        for op in &ops_c {
+            let _ = session.execute(&op_sql(op));
+        }
+        session.execute("ROLLBACK TO mark").unwrap();
+        prop_assert_eq!(
+            snapshot(session.database()),
+            at_mark,
+            "second ROLLBACK TO missed the mark; ops_c: {:?}",
+            ops_c
+        );
+
+        session.execute("ROLLBACK").unwrap();
+        prop_assert_eq!(session.pending_counts(), (0, 0));
     }
 }

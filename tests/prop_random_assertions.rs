@@ -29,6 +29,7 @@ const TABLES: &[(&str, &[&str])] = &[
 ];
 
 #[derive(Debug, Clone)]
+#[allow(clippy::enum_variant_names)]
 enum Shape {
     /// NOT EXISTS (SELECT * FROM t WHERE col op const)
     Selection {
@@ -116,15 +117,15 @@ fn shape_strategy() -> impl Strategy<Value = Shape> {
                 c2,
                 extra: extra.map(|(c, op, k)| (c % TABLES[t2].1.len(), op, k)),
             }),
-        (table_col(), table_col(), any::<bool>()).prop_map(
-            |((t1, c1), (t2, c2), negated)| Shape::InShape {
+        (table_col(), table_col(), any::<bool>()).prop_map(|((t1, c1), (t2, c2), negated)| {
+            Shape::InShape {
                 t1,
                 c1,
                 t2,
                 c2,
                 negated,
             }
-        ),
+        }),
         (table_col(), ops(), konst.clone(), table_col(), ops(), konst).prop_map(
             |((ta, ca), opa, ka, (tb, cb), opb, kb)| Shape::UnionShape {
                 a: (ta, ca, opa, ka),
@@ -185,10 +186,7 @@ fn to_sql(shape: &Shape, name: &str) -> String {
             if let Some((ec, op, k)) = extra {
                 sub.push_str(&format!(" AND b.{} {} {}", c(*t2, *ec), op, k));
             }
-            format!(
-                "SELECT * FROM {} a WHERE NOT EXISTS ({sub})",
-                t(*t1)
-            )
+            format!("SELECT * FROM {} a WHERE NOT EXISTS ({sub})", t(*t1))
         }
         Shape::InShape {
             t1,

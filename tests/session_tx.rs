@@ -1,0 +1,221 @@
+//! Acceptance test for the transaction subsystem: multi-statement
+//! transactions on the TPC-H schema with installed assertions must commit
+//! atomically when valid and roll back atomically (base tables *and* event
+//! tables restored) when an assertion is violated.
+
+use tintin_engine::Value;
+use tintin_session::{Session, SessionError, StatementOutcome};
+use tintin_tpch::{Dbgen, TPCH_ASSERTIONS, TPCH_TABLES};
+
+/// A session over a small generated TPC-H database with the paper's
+/// running-example assertion (plus the quantity range check) installed.
+fn tpch_session() -> Session {
+    let gen = Dbgen::new(0.0005).with_seed(11); // ~750 orders
+    let mut session = Session::with_database(gen.generate());
+    session
+        .install(&[TPCH_ASSERTIONS[0].1, TPCH_ASSERTIONS[1].1])
+        .expect("install");
+    session
+}
+
+fn table_sizes(session: &Session) -> Vec<(String, usize)> {
+    TPCH_TABLES
+        .iter()
+        .map(|t| {
+            (
+                t.to_string(),
+                session.database().table(t).expect("table").len(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn valid_tpch_transaction_commits_atomically() {
+    let mut session = tpch_session();
+    let before = table_sizes(&session);
+
+    let out = session
+        .execute(
+            "BEGIN;
+             INSERT INTO orders VALUES (900001, 1, 150.0);
+             INSERT INTO lineitem VALUES (900001, 1, 10, 1, 2);
+             INSERT INTO lineitem VALUES (900001, 2, 20, 2, 3);
+             COMMIT;",
+        )
+        .expect("valid transaction executes");
+
+    let StatementOutcome::Committed {
+        inserted, deleted, ..
+    } = out.last().unwrap()
+    else {
+        panic!("expected commit, got {:?}", out.last());
+    };
+    assert_eq!((*inserted, *deleted), (3, 0));
+
+    let after = table_sizes(&session);
+    for ((t, b), (_, a)) in before.iter().zip(&after) {
+        match t.as_str() {
+            "orders" => assert_eq!(*a, b + 1),
+            "lineitem" => assert_eq!(*a, b + 2),
+            _ => assert_eq!(a, b, "{t} must be unchanged"),
+        }
+    }
+    assert_eq!(session.pending_counts(), (0, 0));
+    assert!(!session.in_transaction());
+
+    // The new order is queryable after COMMIT.
+    let out = session
+        .execute("SELECT * FROM lineitem WHERE l_orderkey = 900001")
+        .unwrap();
+    let StatementOutcome::Rows(rs) = &out[0] else {
+        panic!()
+    };
+    assert_eq!(rs.len(), 2);
+}
+
+#[test]
+fn violating_tpch_transaction_rolls_back_atomically() {
+    let mut session = tpch_session();
+    let before = table_sizes(&session);
+
+    // The order never gets a lineitem: atLeastOneLineItem is violated at
+    // COMMIT, and the *entire* transaction must be discarded — including
+    // the deletes, which were individually harmless.
+    let out = session
+        .execute(
+            "BEGIN;
+             INSERT INTO orders VALUES (900002, 1, 99.0);
+             DELETE FROM lineitem WHERE l_orderkey = 1;
+             COMMIT;",
+        )
+        .expect("execution succeeds; the commit is rejected, not errored");
+
+    let StatementOutcome::Rejected { violations, .. } = out.last().unwrap() else {
+        panic!("expected rejection, got {:?}", out.last());
+    };
+    assert!(violations
+        .iter()
+        .any(|v| v.assertion == "atleastonelineitem"));
+
+    // Base tables and event tables both restored.
+    assert_eq!(table_sizes(&session), before);
+    assert_eq!(session.pending_counts(), (0, 0));
+    assert!(!session.in_transaction());
+
+    // The session remains usable: the same work done right commits.
+    let out = session
+        .execute(
+            "BEGIN;
+             INSERT INTO orders VALUES (900002, 1, 99.0);
+             INSERT INTO lineitem VALUES (900002, 1, 5, 1, 2);
+             COMMIT;",
+        )
+        .unwrap();
+    assert!(out.last().unwrap().is_committed());
+}
+
+#[test]
+fn savepoints_inside_tpch_transaction() {
+    let mut session = tpch_session();
+
+    session
+        .execute(
+            "BEGIN;
+             INSERT INTO orders VALUES (900003, 1, 10.0);
+             INSERT INTO lineitem VALUES (900003, 1, 1, 1, 2);
+             SAVEPOINT with_order;",
+        )
+        .unwrap();
+
+    // Doomed detour: deleting every lineitem of an existing order.
+    session
+        .execute("DELETE FROM lineitem WHERE l_orderkey = 2")
+        .unwrap();
+    let (_, dels) = session.pending_counts();
+    assert!(dels > 0);
+
+    // Partial rollback keeps the order+lineitem, discards the deletes.
+    session.execute("ROLLBACK TO with_order").unwrap();
+    let out = session.execute("COMMIT").unwrap();
+    assert!(out[0].is_committed(), "got {:?}", out[0]);
+    let rs = session
+        .execute("SELECT * FROM lineitem WHERE l_orderkey = 2")
+        .unwrap();
+    let StatementOutcome::Rows(rs) = &rs[0] else {
+        panic!()
+    };
+    assert!(!rs.is_empty(), "order 2 keeps its lineitems");
+}
+
+#[test]
+fn update_in_transaction_checked_at_commit() {
+    let mut session = tpch_session();
+
+    // quantityInRange forbids quantities outside (0, 50]. An UPDATE is
+    // captured as delete+insert pairs and checked at COMMIT.
+    let out = session
+        .execute(
+            "BEGIN;
+             UPDATE lineitem SET l_quantity = 99 WHERE l_orderkey = 1;
+             COMMIT;",
+        )
+        .unwrap();
+    let StatementOutcome::Rejected { violations, .. } = out.last().unwrap() else {
+        panic!("expected rejection, got {:?}", out.last());
+    };
+    assert!(violations.iter().any(|v| v.assertion == "quantityinrange"));
+
+    // Quantities unchanged.
+    let out = session
+        .execute("SELECT * FROM lineitem WHERE l_quantity > 50")
+        .unwrap();
+    let StatementOutcome::Rows(rs) = &out[0] else {
+        panic!()
+    };
+    assert!(rs.is_empty());
+
+    // A legal update commits.
+    let out = session
+        .execute("BEGIN; UPDATE lineitem SET l_quantity = 42 WHERE l_orderkey = 1; COMMIT;")
+        .unwrap();
+    assert!(out.last().unwrap().is_committed());
+    let out = session
+        .execute("SELECT l_quantity FROM lineitem WHERE l_orderkey = 1")
+        .unwrap();
+    let StatementOutcome::Rows(rs) = &out[0] else {
+        panic!()
+    };
+    assert!(rs.rows.iter().all(|r| r[0] == Value::Int(42)));
+}
+
+#[test]
+fn autocommit_equivalent_to_single_statement_transaction() {
+    let mut a = tpch_session();
+    let mut b = tpch_session();
+
+    let stmt = "INSERT INTO orders VALUES (900010, 1, 1.0)"; // violates A1
+    let out_a = a.execute(stmt).unwrap();
+    let out_b = b.execute(&format!("BEGIN; {stmt}; COMMIT;")).unwrap();
+    assert!(out_a[0].is_rejected());
+    assert!(out_b.last().unwrap().is_rejected());
+    assert_eq!(table_sizes(&a), table_sizes(&b));
+}
+
+#[test]
+fn ddl_is_fenced_out_of_transactions() {
+    let mut session = tpch_session();
+    session.execute("BEGIN").unwrap();
+    for ddl in [
+        "CREATE TABLE z (a INT)",
+        "DROP TABLE region",
+        "TRUNCATE TABLE region",
+        "CREATE ASSERTION zz CHECK (NOT EXISTS (SELECT * FROM region WHERE r_regionkey < 0))",
+    ] {
+        assert!(
+            matches!(session.execute(ddl), Err(SessionError::DdlInTransaction(_))),
+            "{ddl} must be rejected inside a transaction"
+        );
+    }
+    session.execute("ROLLBACK").unwrap();
+}
