@@ -22,7 +22,12 @@ pub enum TintinError {
     DuplicateAssertion(String),
     /// The installation rejects the current database state (violated before
     /// any update).
-    InitialStateViolated { assertion: String, rows: usize },
+    InitialStateViolated {
+        /// The assertion the current state violates.
+        assertion: String,
+        /// Number of violating rows found.
+        rows: usize,
+    },
 }
 
 impl fmt::Display for TintinError {

@@ -46,6 +46,8 @@
 //! assert_eq!(db.table("orders").unwrap().len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod error;
 pub mod fk;
 
@@ -93,20 +95,25 @@ impl Default for TintinConfig {
 /// The TINTIN tool.
 #[derive(Debug, Clone, Default)]
 pub struct Tintin {
+    /// Configuration applied by `install` and every check.
     pub config: TintinConfig,
 }
 
 /// One installed assertion with its provenance.
 #[derive(Debug, Clone)]
 pub struct InstalledAssertion {
+    /// Assertion name (lower-cased at parse time).
     pub name: String,
     /// Original `CREATE ASSERTION` text.
     pub source_sql: String,
     /// The queries inside the assertion's `NOT EXISTS` clauses — the
     /// non-incremental checks used by the baseline.
     pub original_queries: Vec<sql::Query>,
+    /// Number of logic denials the assertion translated into.
     pub denial_count: usize,
+    /// Number of Event Dependency Constraints generated from the denials.
     pub edc_count: usize,
+    /// Names of the incremental violation views installed for it.
     pub view_names: Vec<String>,
 }
 
@@ -115,7 +122,9 @@ pub struct InstalledAssertion {
 /// the referenced tables.
 #[derive(Debug, Clone)]
 pub struct FallbackCheck {
+    /// The assertion this fallback belongs to.
     pub assertion: String,
+    /// The original queries re-run on the hypothetically updated state.
     pub queries: Vec<sql::Query>,
     /// Tables whose events make the check necessary.
     pub tables: Vec<String>,
@@ -124,6 +133,7 @@ pub struct FallbackCheck {
 /// Handle to an installed set of assertions.
 #[derive(Debug, Clone)]
 pub struct Installation {
+    /// The assertions of this installation, with provenance.
     pub assertions: Vec<InstalledAssertion>,
     views: Vec<GeneratedView>,
     /// Aggregate assertions checked non-incrementally (with event gating).
@@ -138,6 +148,7 @@ impl Installation {
         &self.views
     }
 
+    /// Number of generated incremental views.
     pub fn view_count(&self) -> usize {
         self.views.len()
     }
@@ -221,21 +232,29 @@ impl Installation {
 /// Violating tuples reported by a check.
 #[derive(Debug, Clone)]
 pub struct Violation {
+    /// The violated assertion.
     pub assertion: String,
+    /// The incremental view (or fallback query) that reported the tuples.
     pub view: String,
+    /// The violating tuples themselves.
     pub rows: ResultSet,
 }
 
 /// Statistics of one incremental check.
 #[derive(Debug, Clone, Default)]
 pub struct CheckStats {
+    /// What event normalization removed (paper §2 preconditions).
     pub normalization: NormalizationReport,
+    /// Incremental views installed in total.
     pub views_total: usize,
+    /// Views skipped by the emptiness shortcut (a gating event table was
+    /// empty).
     pub views_skipped: usize,
+    /// Views actually evaluated.
     pub views_evaluated: usize,
-    /// Aggregate-fallback assertions skipped (no relevant events) /
-    /// evaluated.
+    /// Aggregate-fallback assertions skipped (no relevant events).
     pub fallbacks_skipped: usize,
+    /// Aggregate-fallback assertions evaluated.
     pub fallbacks_evaluated: usize,
     /// Time spent evaluating views and fallbacks (excludes normalization
     /// and commit).
@@ -247,23 +266,30 @@ pub struct CheckStats {
 pub enum CommitOutcome {
     /// No violation: the update was applied and the event tables truncated.
     Committed {
+        /// Rows inserted into base tables (after normalization).
         inserted: usize,
+        /// Rows deleted from base tables (after normalization).
         deleted: usize,
+        /// Check statistics.
         stats: CheckStats,
     },
     /// Violations found: the update was discarded (events truncated) and the
     /// violating tuples are reported.
     Rejected {
+        /// The violating tuples per assertion/view.
         violations: Vec<Violation>,
+        /// Check statistics.
         stats: CheckStats,
     },
 }
 
 impl CommitOutcome {
+    /// Did the update pass every assertion and get applied?
     pub fn is_committed(&self) -> bool {
         matches!(self, CommitOutcome::Committed { .. })
     }
 
+    /// Check statistics, whichever way the commit went.
     pub fn stats(&self) -> &CheckStats {
         match self {
             CommitOutcome::Committed { stats, .. } | CommitOutcome::Rejected { stats, .. } => stats,
@@ -274,7 +300,9 @@ impl CommitOutcome {
 /// Result of the non-incremental baseline check.
 #[derive(Debug, Clone)]
 pub struct FullRecheckOutcome {
+    /// Did the update pass (and stay applied)?
     pub committed: bool,
+    /// Violating tuples found on the updated state.
     pub violations: Vec<Violation>,
     /// Time spent running the original assertion queries on the updated
     /// state (the paper's non-incremental comparator).
@@ -282,10 +310,12 @@ pub struct FullRecheckOutcome {
 }
 
 impl Tintin {
+    /// A checker with the default configuration.
     pub fn new() -> Self {
         Tintin::default()
     }
 
+    /// A checker with an explicit configuration.
     pub fn with_config(config: TintinConfig) -> Self {
         Tintin { config }
     }

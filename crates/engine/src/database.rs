@@ -14,6 +14,7 @@
 
 use crate::error::{EngineError, Result};
 use crate::hash::{FxHashMap, FxHashSet};
+use crate::overlay::{DmlDelta, TableDelta, TxOverlay};
 use crate::query::{self};
 use crate::query::{compile_query, CompiledQuery, ExecCtx};
 use crate::result::ResultSet;
@@ -48,6 +49,16 @@ pub enum StatementResult {
     RowsAffected(usize),
     /// A query returned rows.
     Rows(ResultSet),
+}
+
+/// A snapshot of the event-capture state — which tables are captured plus
+/// the contents of their event tables — taken by
+/// [`Database::snapshot_events`] and reinstated by
+/// [`Database::restore_events`] to make dry-run checks side-effect-free.
+#[derive(Debug, Clone)]
+pub struct EventSnapshot {
+    captured: Vec<String>,
+    tables: Vec<(String, Table)>,
 }
 
 /// Undo log of row-level mutations; reversing it restores the pre-mutation
@@ -633,9 +644,11 @@ impl Database {
     }
 
     /// Apply all pending events to the base tables (deletes first, then
-    /// inserts) and return an undo log. On failure (e.g. a primary-key
-    /// conflict) the partial application is rolled back and the events are
-    /// left untouched.
+    /// inserts) and return an undo log. Deletion events have set semantics:
+    /// one `del_T` row removes *every* identical base row, matching what
+    /// the read-your-writes overlay hides during the transaction. On
+    /// failure (e.g. a primary-key conflict) the partial application is
+    /// rolled back and the events are left untouched.
     pub fn apply_pending(&mut self) -> Result<UndoLog> {
         let mut log = UndoLog::default();
         let captured = self.captured_tables();
@@ -647,11 +660,11 @@ impl Database {
                     .collect();
                 let base = self.tables.get_mut(base_name).unwrap();
                 for row in del_rows {
-                    if let Some(id) = base.find_identical(&row) {
+                    while let Some(id) = base.find_identical(&row) {
                         base.delete_row(id);
                         log.ops.push(UndoOp::Deleted {
                             table: base_name.clone(),
-                            row,
+                            row: row.clone(),
                         });
                     }
                 }
@@ -721,12 +734,60 @@ impl Database {
         }
     }
 
+    /// Snapshot the event-capture state: which tables are captured and the
+    /// contents of their event tables (cheap: bounded by the pending-update
+    /// size). Bracketing a dry-run check with this and
+    /// [`Database::restore_events`] leaves the database's event state
+    /// exactly as found — hand-staged events survive, and capture enabled
+    /// during the bracketed operation is disabled again.
+    pub fn snapshot_events(&self) -> EventSnapshot {
+        let captured = self.captured_tables();
+        let mut tables = Vec::with_capacity(2 * captured.len());
+        for t in &captured {
+            for name in [ins_table_name(t), del_table_name(t)] {
+                let table = self.tables[&name].clone();
+                tables.push((name, table));
+            }
+        }
+        EventSnapshot { captured, tables }
+    }
+
+    /// Restore a [`Database::snapshot_events`] snapshot: snapshotted event
+    /// tables are replaced wholesale, and capture enabled since the
+    /// snapshot (e.g. by a dry-run's staging) is disabled again, dropping
+    /// its event tables.
+    pub fn restore_events(&mut self, snapshot: EventSnapshot) {
+        for t in self.captured_tables() {
+            if !snapshot.captured.contains(&t) {
+                let _ = self.disable_capture(&t);
+            }
+        }
+        for (name, table) in snapshot.tables {
+            self.tables.insert(name, table);
+        }
+    }
+
     // ----------------------------------------------------------- queries
 
     /// Compile and run a query.
     pub fn query(&self, q: &sql::Query) -> Result<ResultSet> {
+        self.query_with_overlay(q, None)
+    }
+
+    /// Compile and run a query with an optional transaction overlay visible:
+    /// base-table accesses then yield `(base − overlay.del) ∪ overlay.ins`,
+    /// giving the calling transaction read-your-writes over its own pending
+    /// updates without publishing them to anyone else.
+    pub fn query_with_overlay(
+        &self,
+        q: &sql::Query,
+        overlay: Option<&TxOverlay>,
+    ) -> Result<ResultSet> {
         let compiled = compile_query(self, q)?;
-        let mut ctx = ExecCtx::new(self);
+        let mut ctx = match overlay {
+            Some(o) => ExecCtx::with_overlay(self, o),
+            None => ExecCtx::new(self),
+        };
         let rows = query::execute(&compiled, &mut ctx)?;
         Ok(ResultSet {
             columns: compiled.output_names,
@@ -830,6 +891,19 @@ impl Database {
     }
 
     fn exec_insert(&mut self, ins: &sql::Insert) -> Result<usize> {
+        let validated = self.insert_source_rows(ins, None)?;
+        self.apply_validated_inserts(&ins.table, validated)
+    }
+
+    /// Compute the fully-positional, schema-validated, constraint-checked
+    /// rows an `INSERT` statement proposes, without applying them. The
+    /// optional overlay makes `INSERT … SELECT` sources and `CHECK`
+    /// subqueries observe the calling transaction's pending updates.
+    fn insert_source_rows(
+        &self,
+        ins: &sql::Insert,
+        overlay: Option<&TxOverlay>,
+    ) -> Result<Vec<Row>> {
         let target = self
             .tables
             .get(&ins.table)
@@ -861,7 +935,7 @@ impl Database {
                 out
             }
             sql::InsertSource::Query(q) => self
-                .query(q)?
+                .query_with_overlay(q, overlay)?
                 .rows
                 .into_iter()
                 .map(|r| r.into_vec())
@@ -888,12 +962,18 @@ impl Database {
             };
             full_rows.push(row);
         }
-        self.insert_rows(&ins.table, full_rows)
+        // Validate (arity/types/not-null/checks) against the *base* schema
+        // even when capture is on, so errors surface at statement time.
+        let validated: Vec<Row> = full_rows
+            .into_iter()
+            .map(|r| target.validate(r))
+            .collect::<Result<_>>()?;
+        self.check_row_constraints(&ins.table, &validated, overlay)?;
+        Ok(validated)
     }
 
     /// Insert fully-positional rows, honouring event capture.
     pub fn insert_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
-        let n = rows.len();
         // Validate (arity/types/not-null/checks) against the *base* schema
         // even when capture is on, so errors surface at statement time.
         let validated: Vec<Row> = {
@@ -905,7 +985,14 @@ impl Database {
                 .map(|r| t.validate(r))
                 .collect::<Result<_>>()?
         };
-        self.check_row_constraints(table, &validated)?;
+        self.check_row_constraints(table, &validated, None)?;
+        self.apply_validated_inserts(table, validated)
+    }
+
+    /// Apply already-validated rows to `table`, honouring event capture and
+    /// the open engine transaction's undo log.
+    fn apply_validated_inserts(&mut self, table: &str, validated: Vec<Row>) -> Result<usize> {
+        let n = validated.len();
         let is_captured = self.captured.contains(table);
         let Database { tables, tx, .. } = self;
         if is_captured {
@@ -1097,7 +1184,7 @@ impl Database {
                 .map(|(_, _, new)| t.validate(new.clone()))
                 .collect::<Result<_>>()?
         };
-        self.check_row_constraints(&upd.table, &validated)?;
+        self.check_row_constraints(&upd.table, &validated, None)?;
 
         if self.captured.contains(&upd.table) {
             // Record del(old) + ins(new) events; skip no-op rows.
@@ -1180,13 +1267,379 @@ impl Database {
         Ok(n)
     }
 
+    // ----------------------------------------------- transaction planning
+
+    /// Plan the effect of one DML statement against the state a transaction
+    /// observes — base tables composed with its private [`TxOverlay`] —
+    /// without mutating anything. The caller folds the returned
+    /// [`DmlDelta`] into its overlay
+    /// ([`TxOverlay::apply_delta`]); at `COMMIT` the accumulated overlay is
+    /// published with [`Database::stage_overlay`] and run through
+    /// `safeCommit`.
+    ///
+    /// Because matching happens on the overlaid state, a transaction's DML
+    /// reads its own writes: a `DELETE` can remove a row the same
+    /// transaction inserted (the pending insertion is retracted), and an
+    /// `UPDATE` can modify it (retract + re-insert).
+    pub fn plan_dml(&self, stmt: &sql::Statement, overlay: &TxOverlay) -> Result<DmlDelta> {
+        let delta = match stmt {
+            sql::Statement::Insert(ins) => {
+                let rows = self.insert_source_rows(ins, Some(overlay))?;
+                DmlDelta {
+                    table: ins.table.clone(),
+                    rows_affected: rows.len(),
+                    ins: rows,
+                    ..DmlDelta::default()
+                }
+            }
+            sql::Statement::Delete(del) => self.plan_delete(del, overlay)?,
+            sql::Statement::Update(upd) => self.plan_update(upd, overlay)?,
+            other => {
+                return Err(EngineError::Unsupported(format!(
+                    "plan_dml expects INSERT / DELETE / UPDATE, got: {other}"
+                )))
+            }
+        };
+        let delta = self.drop_noop_inserts(delta, overlay);
+        // Validate uniqueness of the would-be pending state now, at
+        // statement time, so a key conflict reads like any other constraint
+        // error instead of surfacing as an opaque engine failure at COMMIT —
+        // and so the transaction never *observes* duplicate-key state. Only
+        // this statement's new rows need checking: earlier pending rows
+        // were validated by the statements that proposed them.
+        let mut candidate = overlay.delta(&delta.table).cloned().unwrap_or_default();
+        candidate.merge(&delta);
+        self.check_visible_unique(&delta.table, &delta.ins, &candidate)?;
+        Ok(delta)
+    }
+
+    /// Apply set semantics at plan time: drop planned insertions identical
+    /// to a row the transaction already observes (a surviving base row, a
+    /// pending insertion, or an earlier row of this same statement). These
+    /// are exactly the no-ops commit-time normalization would drop — and
+    /// dropping them now keeps read-your-writes free of duplicate rows, so
+    /// what the transaction sees is what commit produces.
+    fn drop_noop_inserts(&self, mut delta: DmlDelta, overlay: &TxOverlay) -> DmlDelta {
+        if delta.ins.is_empty() {
+            return delta;
+        }
+        let Some(t) = self.tables.get(&delta.table) else {
+            // Event-table targets are raw event staging; normalization owns
+            // their set semantics at commit.
+            return delta;
+        };
+        // Pending insertions as they will stand after this statement's
+        // retractions.
+        let mut pending: Vec<&Row> = overlay
+            .delta(&delta.table)
+            .map(|d| d.ins.iter().collect())
+            .unwrap_or_default();
+        for row in &delta.retract_ins {
+            if let Some(i) = pending.iter().position(|x| **x == *row) {
+                pending.remove(i);
+            }
+        }
+        let hidden = |row: &Row| {
+            delta.del.iter().any(|r| r == row)
+                || overlay.delta(&delta.table).is_some_and(|d| d.hides(row))
+        };
+        let mut kept: Vec<Row> = Vec::with_capacity(delta.ins.len());
+        for row in std::mem::take(&mut delta.ins) {
+            if pending.iter().any(|x| **x == row) || kept.contains(&row) {
+                continue; // duplicate pending copy
+            }
+            if t.find_identical(&row).is_some() && !hidden(&row) {
+                continue; // identical to a surviving base row
+            }
+            kept.push(row);
+        }
+        delta.ins = kept;
+        delta
+    }
+
+    /// Reject `new_rows` (a statement's freshly planned insertions) that
+    /// would violate a unique constraint at apply time, checked against
+    /// the transaction's visible state (`candidate` is the overlay as it
+    /// will stand after the statement). A pending row *identical* to a
+    /// visible one is allowed — that is the set-semantics no-op
+    /// normalization drops — but a row sharing a unique key with a
+    /// *different* visible row fails immediately. Cost is
+    /// O(new × pending) per statement, not O(pending²): rows proposed by
+    /// earlier statements were validated when they were planned.
+    fn check_visible_unique(
+        &self,
+        table: &str,
+        new_rows: &[Row],
+        candidate: &TableDelta,
+    ) -> Result<()> {
+        let Some(t) = self.tables.get(table) else {
+            // Event-table targets carry no unique indexes; a vanished base
+            // table surfaces later, at stage time.
+            return Ok(());
+        };
+        let unique_violation = |ix: &crate::table::HashIndex, key: &[Value]| {
+            Err(EngineError::UniqueViolation {
+                table: table.to_string(),
+                index: ix.name.clone(),
+                key: crate::table::format_key(key),
+            })
+        };
+        for row in new_rows {
+            for ix in t.indexes().iter().filter(|ix| ix.unique) {
+                // NULL-containing keys are exempt from uniqueness.
+                let Some(key) = ix.key_of(row) else { continue };
+                for &id in ix.probe(&key) {
+                    let base = t.get(id).expect("index points at live row");
+                    if candidate.hides(base) || base.as_ref() == row.as_ref() {
+                        continue;
+                    }
+                    return unique_violation(ix, &key);
+                }
+                for other in &candidate.ins {
+                    // `drop_noop_inserts` already removed identical copies,
+                    // so an identical row here is this row's own overlay
+                    // entry.
+                    if other.as_ref() == row.as_ref() {
+                        continue;
+                    }
+                    if ix.key_of(other).as_deref() == Some(&key[..]) {
+                        return unique_violation(ix, &key);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rows of `table` matching `pred` through `overlay`: surviving base
+    /// rows (hidden-by-deletion rows excluded) and matching pending
+    /// insertions, separately — the caller needs the provenance to decide
+    /// between a deletion event and a retraction.
+    fn visible_matches(
+        &self,
+        table: &str,
+        alias: Option<&String>,
+        pred: Option<&sql::Expr>,
+        overlay: &TxOverlay,
+    ) -> Result<(Vec<Row>, Vec<Row>)> {
+        let t = self
+            .tables
+            .get(table)
+            .ok_or_else(|| EngineError::NoSuchTable(table.to_string()))?;
+        let delta = overlay.delta(table);
+        let mut base = Vec::new();
+        let mut pending = Vec::new();
+        match pred {
+            None => {
+                for (_, row) in t.scan() {
+                    if delta.is_some_and(|d| d.hides(row)) {
+                        continue;
+                    }
+                    base.push(row.clone());
+                }
+                if let Some(d) = delta {
+                    pending.extend(d.ins.iter().cloned());
+                }
+            }
+            Some(pred) => {
+                let binding = alias.cloned().unwrap_or_else(|| table.to_string());
+                let compiled = query::compile_row_predicate(self, table, &binding, pred)?;
+                let candidates = delete_probe_candidates(t, &binding, pred, self)?;
+                let mut ctx = ExecCtx::with_overlay(self, overlay);
+                let ids: Vec<RowId> = match candidates {
+                    Some(ids) => ids,
+                    None => t.scan().map(|(id, _)| id).collect(),
+                };
+                for id in ids {
+                    let Some(row) = t.get(id) else { continue };
+                    if delta.is_some_and(|d| d.hides(row)) {
+                        continue;
+                    }
+                    if query::eval_row_predicate(&compiled, row, &mut ctx)? == Truth::True {
+                        base.push(row.clone());
+                    }
+                }
+                if let Some(d) = delta {
+                    for row in &d.ins {
+                        if query::eval_row_predicate(&compiled, row, &mut ctx)? == Truth::True {
+                            pending.push(row.clone());
+                        }
+                    }
+                }
+            }
+        }
+        Ok((base, pending))
+    }
+
+    fn plan_delete(&self, del: &sql::Delete, overlay: &TxOverlay) -> Result<DmlDelta> {
+        let (base, pending) = self.visible_matches(
+            &del.table,
+            del.alias.as_ref(),
+            del.predicate.as_ref(),
+            overlay,
+        )?;
+        let rows_affected = base.len() + pending.len();
+        // One deletion event removes one identical base row at apply time,
+        // so extra identical matches collapse — exactly how event capture
+        // deduplicates `del_T` rows.
+        let mut del_rows: Vec<Row> = Vec::new();
+        for row in base {
+            if !del_rows.contains(&row) {
+                del_rows.push(row);
+            }
+        }
+        Ok(DmlDelta {
+            table: del.table.clone(),
+            rows_affected,
+            del: del_rows,
+            retract_ins: pending,
+            ..DmlDelta::default()
+        })
+    }
+
+    /// `UPDATE` decomposes into del(old) + ins(new) pairs over the visible
+    /// state — TINTIN's update model, applied to the overlay instead of the
+    /// event tables. Updating a row this transaction itself inserted
+    /// retracts the pending insertion and proposes the modified row.
+    fn plan_update(&self, upd: &sql::Update, overlay: &TxOverlay) -> Result<DmlDelta> {
+        let t = self
+            .tables
+            .get(&upd.table)
+            .ok_or_else(|| EngineError::NoSuchTable(upd.table.clone()))?;
+        let binding = upd.alias.clone().unwrap_or_else(|| upd.table.clone());
+        let mut positions = Vec::with_capacity(upd.assignments.len());
+        for (col, _) in &upd.assignments {
+            let p = t
+                .schema
+                .column_index(col)
+                .ok_or_else(|| EngineError::NoSuchColumn(format!("{}.{}", upd.table, col)))?;
+            if positions.contains(&p) {
+                return Err(EngineError::InvalidDdl(format!(
+                    "column '{col}' assigned twice in UPDATE"
+                )));
+            }
+            positions.push(p);
+        }
+        let mut compiled_values = Vec::with_capacity(upd.assignments.len());
+        for (_, e) in &upd.assignments {
+            compiled_values.push(query::compile_row_predicate(self, &upd.table, &binding, e)?);
+        }
+        let (base, pending) = self.visible_matches(
+            &upd.table,
+            upd.alias.as_ref(),
+            upd.predicate.as_ref(),
+            overlay,
+        )?;
+        let mut delta = DmlDelta {
+            table: upd.table.clone(),
+            rows_affected: base.len() + pending.len(),
+            ..DmlDelta::default()
+        };
+        let mut ctx = ExecCtx::with_overlay(self, overlay);
+        let matched = base
+            .iter()
+            .map(|r| (r, false))
+            .chain(pending.iter().map(|r| (r, true)));
+        for (old, from_pending) in matched {
+            let mut new_row = old.to_vec();
+            for (p, ce) in positions.iter().zip(&compiled_values) {
+                new_row[*p] = query::eval_row_scalar(ce, old, &mut ctx)?;
+            }
+            let new = t.validate(new_row)?;
+            if old.as_ref() == new.as_ref() {
+                continue;
+            }
+            if from_pending {
+                delta.retract_ins.push(old.clone());
+            } else if !delta.del.contains(old) {
+                delta.del.push(old.clone());
+            }
+            delta.ins.push(new);
+        }
+        self.check_row_constraints(&upd.table, &delta.ins, Some(overlay))?;
+        Ok(delta)
+    }
+
+    /// Publish a transaction's private overlay into the shared `ins_T` /
+    /// `del_T` event tables — the first step of a commit, performed under
+    /// the [`SharedDatabase`](crate::SharedDatabase) write lock.
+    ///
+    /// Base tables get capture enabled on demand so their event tables
+    /// exist; statements aimed directly at event tables (the session layer
+    /// permits them as an escape hatch for staging events by hand) are
+    /// applied in place, where the subsequent `safeCommit` normalize /
+    /// apply / truncate steps treat them exactly as before the overlay
+    /// design.
+    pub fn stage_overlay(&mut self, overlay: &TxOverlay) -> Result<()> {
+        for table in overlay.touched_tables() {
+            let delta = overlay.delta(&table).expect("touched implies delta");
+            if self.is_event_table(&table) {
+                let t = self
+                    .tables
+                    .get_mut(&table)
+                    .ok_or_else(|| EngineError::NoSuchTable(table.clone()))?;
+                for row in &delta.del {
+                    if let Some(id) = t.find_identical(row) {
+                        t.delete_row(id);
+                    }
+                }
+                for row in &delta.ins {
+                    t.insert(row.to_vec())?;
+                }
+                continue;
+            }
+            let Some(base) = self.tables.get(&table) else {
+                return Err(EngineError::NoSuchTable(table.clone()));
+            };
+            // Write-write conflict detection: every planned deletion must
+            // still have an identical base row. A missing one means another
+            // session's commit removed or updated it since this transaction
+            // planned the deletion — surface that as a conflict instead of
+            // letting normalization silently drop the deletion half and
+            // resurrect the insertion half (a lost-update anomaly).
+            for row in &delta.del {
+                if base.find_identical(row).is_none() {
+                    return Err(EngineError::Transaction(format!(
+                        "write-write conflict on '{table}': a row this transaction \
+                         deletes was removed or updated by a concurrent commit"
+                    )));
+                }
+            }
+            if !self.is_captured(&table) {
+                self.enable_capture(&table)?;
+            }
+            let ins_t = self
+                .tables
+                .get_mut(&ins_table_name(&table))
+                .expect("capture implies event table");
+            for row in &delta.ins {
+                ins_t.insert(row.to_vec())?;
+            }
+            let del_t = self
+                .tables
+                .get_mut(&del_table_name(&table))
+                .expect("capture implies event table");
+            for row in &delta.del {
+                if del_t.find_identical(row).is_none() {
+                    del_t.insert(row.to_vec())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Evaluate a constant expression (VALUES lists).
     fn eval_const_expr(&self, e: &sql::Expr) -> Result<Value> {
         query::eval_const(self, e)
     }
 
     /// Evaluate the schema's CHECK constraints against candidate rows.
-    fn check_row_constraints(&self, table: &str, rows: &[Row]) -> Result<()> {
+    fn check_row_constraints(
+        &self,
+        table: &str,
+        rows: &[Row],
+        overlay: Option<&TxOverlay>,
+    ) -> Result<()> {
         let t = &self.tables[table];
         if t.schema.checks.is_empty() {
             return Ok(());
@@ -1194,7 +1647,10 @@ impl Database {
         let checks = t.schema.checks.clone();
         for check in &checks {
             let compiled = query::compile_row_predicate(self, table, table, check)?;
-            let mut ctx = ExecCtx::new(self);
+            let mut ctx = match overlay {
+                Some(o) => ExecCtx::with_overlay(self, o),
+                None => ExecCtx::new(self),
+            };
             for row in rows {
                 // SQL CHECK semantics: only definite False rejects.
                 if query::eval_row_predicate(&compiled, row, &mut ctx)? == Truth::False {

@@ -14,7 +14,13 @@
 //!   `del_T` event tables, leaving the base table untouched;
 //! * the engine half of `safeCommit`: event normalization, the
 //!   apply/undo/truncate primitives, and efficient evaluation of the
-//!   generated incremental views.
+//!   generated incremental views;
+//! * **concurrency primitives** — [`SharedDatabase`], a cloneable
+//!   `Arc<RwLock<Database>>` handle many sessions attach to (reads share,
+//!   commits exclude), and [`TxOverlay`], a transaction's private pending
+//!   update that query evaluation composes onto base tables so each
+//!   transaction reads its own uncommitted writes and nobody else's (see
+//!   [`shared`] and [`overlay`]).
 //!
 //! The performance property that matters for reproducing the paper's
 //! numbers: correlated subqueries are evaluated per outer row with
@@ -48,19 +54,24 @@ pub mod copy;
 pub mod database;
 pub mod error;
 pub mod hash;
+pub mod overlay;
 pub mod query;
 pub mod result;
 pub mod schema;
+pub mod shared;
 pub mod table;
 pub mod value;
 
 pub use copy::CopyOptions;
 pub use database::{
-    del_table_name, ins_table_name, Database, NormalizationReport, StatementResult, UndoLog,
+    del_table_name, ins_table_name, Database, EventSnapshot, NormalizationReport, StatementResult,
+    UndoLog,
 };
 pub use error::{EngineError, Result};
+pub use overlay::{DmlDelta, TableDelta, TxOverlay};
 pub use query::{CompiledQuery, ExecCtx};
 pub use result::ResultSet;
 pub use schema::{Column, ForeignKey, TableSchema};
+pub use shared::SharedDatabase;
 pub use table::{HashIndex, RowId, Table};
 pub use value::{DataType, Row, Truth, Value, R64};

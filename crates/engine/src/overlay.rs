@@ -1,0 +1,159 @@
+//! Per-transaction pending updates: the read-your-writes overlay.
+//!
+//! With multiple sessions (the `tintin-session` crate) attached to one
+//! shared [`Database`](crate::Database), a transaction's proposed update can
+//! no longer live in the shared `ins_T` / `del_T` event tables — two
+//! interleaved transactions would mix their events and each would observe
+//! the other's uncommitted state. Instead every open transaction keeps its
+//! pending insertions and deletions in a private [`TxOverlay`], and the
+//! query evaluator composes the state that transaction observes on the fly:
+//!
+//! ```text
+//! visible(T) = (base(T) minus overlay.del(T)) union overlay.ins(T)
+//! ```
+//!
+//! Only at `COMMIT` — under the shared database's exclusive write lock —
+//! is the overlay staged into the real event tables
+//! ([`Database::stage_overlay`](crate::Database::stage_overlay)), where the
+//! paper's `safeCommit` machinery (normalize → check incremental views →
+//! apply or reject) takes over unchanged.
+//!
+//! The overlay is deliberately simple: plain row vectors, scanned linearly
+//! during evaluation. Pending updates are bounded by the transaction's own
+//! statements (the paper's whole premise is that updates are small relative
+//! to the database), so linear passes over them never dominate.
+
+use crate::hash::FxHashMap;
+use crate::value::{Row, Value};
+
+/// Pending insertions and deletions for one table inside an open
+/// transaction.
+///
+/// `ins` and `del` play exactly the roles of the paper's `ins_T` / `del_T`
+/// event tables, scoped to a single transaction. Rows are stored validated
+/// against the base table's schema, so equality against stored rows is
+/// exact (no coercion needed at evaluation time).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TableDelta {
+    /// Rows this transaction proposes to insert.
+    pub ins: Vec<Row>,
+    /// Base-table rows this transaction proposes to delete.
+    pub del: Vec<Row>,
+}
+
+impl TableDelta {
+    /// Is `row` hidden from this transaction (proposed for deletion)?
+    ///
+    /// Deletion is by row identity with set semantics, mirroring how
+    /// `safeCommit` applies `del_T`: one pending deletion hides — and at
+    /// apply time removes — *every* identical base row.
+    pub fn hides(&self, row: &[Value]) -> bool {
+        self.del.iter().any(|r| r.as_ref() == row)
+    }
+
+    /// No pending events for this table?
+    pub fn is_empty(&self) -> bool {
+        self.ins.is_empty() && self.del.is_empty()
+    }
+
+    /// Fold one statement's planned effect into this delta (the merge
+    /// behind [`TxOverlay::apply_delta`]; also used to build the candidate
+    /// state that statement-time uniqueness is validated against).
+    ///
+    /// Retractions cancel pending insertions one-for-one (deleting a row
+    /// this transaction inserted simply un-proposes it); deletions of base
+    /// rows are deduplicated exactly as event capture deduplicates `del_T`
+    /// rows; new insertions append.
+    pub fn merge(&mut self, delta: &DmlDelta) {
+        for row in &delta.retract_ins {
+            if let Some(i) = self.ins.iter().position(|x| x == row) {
+                self.ins.remove(i);
+            }
+        }
+        for row in &delta.del {
+            if !self.del.contains(row) {
+                self.del.push(row.clone());
+            }
+        }
+        self.ins.extend(delta.ins.iter().cloned());
+    }
+}
+
+/// A transaction's private pending update: per-table insertion and deletion
+/// sets, overlaid onto the shared database during query evaluation so the
+/// transaction reads its own writes without publishing them.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TxOverlay {
+    tables: FxHashMap<String, TableDelta>,
+}
+
+impl TxOverlay {
+    /// An empty overlay (a freshly opened transaction).
+    pub fn new() -> Self {
+        TxOverlay::default()
+    }
+
+    /// The pending delta for `table`, if any statement touched it.
+    pub fn delta(&self, table: &str) -> Option<&TableDelta> {
+        self.tables.get(table)
+    }
+
+    /// Mutable access to the delta for `table`, creating it on first use.
+    pub fn delta_mut(&mut self, table: &str) -> &mut TableDelta {
+        self.tables.entry(table.to_string()).or_default()
+    }
+
+    /// Names of tables with pending events, sorted (deterministic).
+    pub fn touched_tables(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tables
+            .iter()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(n, _)| n.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Total pending `(insertions, deletions)` across all tables.
+    pub fn counts(&self) -> (usize, usize) {
+        let mut ins = 0;
+        let mut del = 0;
+        for d in self.tables.values() {
+            ins += d.ins.len();
+            del += d.del.len();
+        }
+        (ins, del)
+    }
+
+    /// No pending events at all?
+    pub fn is_empty(&self) -> bool {
+        self.tables.values().all(|d| d.is_empty())
+    }
+
+    /// Fold one statement's planned effect
+    /// ([`Database::plan_dml`](crate::Database::plan_dml)) into the overlay
+    /// (see [`TableDelta::merge`] for the semantics).
+    pub fn apply_delta(&mut self, delta: DmlDelta) {
+        self.delta_mut(&delta.table).merge(&delta);
+    }
+}
+
+/// The planned effect of one DML statement, computed by
+/// [`Database::plan_dml`](crate::Database::plan_dml) against the state the
+/// transaction observes (base tables composed with its [`TxOverlay`]) —
+/// without mutating anything.
+#[derive(Debug, Clone, Default)]
+pub struct DmlDelta {
+    /// The target table.
+    pub table: String,
+    /// Rows the statement matched/produced, as reported to the client.
+    pub rows_affected: usize,
+    /// Rows newly proposed for insertion.
+    pub ins: Vec<Row>,
+    /// Visible base rows newly proposed for deletion.
+    pub del: Vec<Row>,
+    /// Pending insertions of this same transaction that the statement
+    /// deletes or replaces before they were ever committed.
+    pub retract_ins: Vec<Row>,
+}

@@ -8,6 +8,7 @@ use super::compile::{
 use crate::database::Database;
 use crate::error::{EngineError, Result};
 use crate::hash::{FxHashMap, FxHashSet};
+use crate::overlay::TxOverlay;
 use crate::value::{Truth, Value};
 use std::cell::RefCell;
 use std::cmp::Ordering;
@@ -78,8 +79,14 @@ impl BoundRow<'_> {
 
 /// Execution context: the database, the binding-frame stack, and the
 /// materialization caches (shared across one top-level execution).
+///
+/// An optional [`TxOverlay`] supplies read-your-writes semantics: base-table
+/// scans and index probes then yield `(base − overlay.del) ∪ overlay.ins`,
+/// so a transaction observes its own pending updates without them being
+/// visible to anyone else.
 pub struct ExecCtx<'a> {
     pub db: &'a Database,
+    overlay: Option<&'a TxOverlay>,
     frames: Vec<Vec<BoundRow<'a>>>,
     view_cache: FxHashMap<String, Rc<Materialized>>,
     derived_cache: FxHashMap<usize, Rc<Materialized>>,
@@ -90,10 +97,20 @@ impl<'a> ExecCtx<'a> {
     pub fn new(db: &'a Database) -> Self {
         ExecCtx {
             db,
+            overlay: None,
             frames: Vec::new(),
             view_cache: FxHashMap::default(),
             derived_cache: FxHashMap::default(),
             materializing: Vec::new(),
+        }
+    }
+
+    /// A context that evaluates every base-table access through a
+    /// transaction's pending-update overlay (read-your-writes).
+    pub fn with_overlay(db: &'a Database, overlay: &'a TxOverlay) -> Self {
+        ExecCtx {
+            overlay: Some(overlay),
+            ..ExecCtx::new(db)
         }
     }
 
@@ -345,13 +362,28 @@ fn bind_source<'a>(
             let t = db
                 .table(table)
                 .ok_or_else(|| EngineError::NoSuchTable(table.clone()))?;
+            let delta = ctx.overlay.and_then(|o| o.delta(table));
             for (_, row) in t.scan() {
+                if delta.is_some_and(|d| d.hides(row)) {
+                    continue;
+                }
                 let frame_idx = ctx.frames.len() - 1;
                 ctx.frames[frame_idx][i] = BoundRow::Table(row);
                 if pass_filters(&src.filters, ctx)?
                     && bind_source(s, i + 1, ctx, cb)? == ControlFlow::Break(())
                 {
                     return Ok(ControlFlow::Break(()));
+                }
+            }
+            if let Some(d) = delta {
+                for row in &d.ins {
+                    let frame_idx = ctx.frames.len() - 1;
+                    ctx.frames[frame_idx][i] = BoundRow::Table(row);
+                    if pass_filters(&src.filters, ctx)?
+                        && bind_source(s, i + 1, ctx, cb)? == ControlFlow::Break(())
+                    {
+                        return Ok(ControlFlow::Break(()));
+                    }
                 }
             }
             Ok(ControlFlow::Continue(()))
@@ -361,6 +393,7 @@ fn bind_source<'a>(
             let t = db
                 .table(table)
                 .ok_or_else(|| EngineError::NoSuchTable(table.clone()))?;
+            let delta = ctx.overlay.and_then(|o| o.delta(table));
             let ix = &t.indexes()[*index];
             // Evaluate the probe key; NULL or uncoercible keys match nothing.
             let mut kv = Vec::with_capacity(key.len());
@@ -379,12 +412,34 @@ fn bind_source<'a>(
             let ids: Vec<u32> = ix.probe(&kv).to_vec();
             for id in ids {
                 let row = t.get(id).expect("index points at live row");
+                if delta.is_some_and(|d| d.hides(row)) {
+                    continue;
+                }
                 let frame_idx = ctx.frames.len() - 1;
                 ctx.frames[frame_idx][i] = BoundRow::Table(row);
                 if pass_filters(&src.filters, ctx)?
                     && bind_source(s, i + 1, ctx, cb)? == ControlFlow::Break(())
                 {
                     return Ok(ControlFlow::Break(()));
+                }
+            }
+            // Pending insertions are few (bounded by the transaction's own
+            // statements), so the probe over them is a linear filter on the
+            // index's key columns. Rows are stored schema-validated, which
+            // makes direct `Value` equality against the coerced key exact.
+            if let Some(d) = delta {
+                let ix_columns = &ix.columns;
+                for row in &d.ins {
+                    if !ix_columns.iter().zip(&kv).all(|(&c, k)| row[c] == *k) {
+                        continue;
+                    }
+                    let frame_idx = ctx.frames.len() - 1;
+                    ctx.frames[frame_idx][i] = BoundRow::Table(row);
+                    if pass_filters(&src.filters, ctx)?
+                        && bind_source(s, i + 1, ctx, cb)? == ControlFlow::Break(())
+                    {
+                        return Ok(ControlFlow::Break(()));
+                    }
                 }
             }
             Ok(ControlFlow::Continue(()))

@@ -35,7 +35,7 @@ impl HashIndex {
     }
 
     /// Extract this index's key from a row; `None` if any key column is NULL.
-    fn key_of(&self, row: &[Value]) -> Option<Box<[Value]>> {
+    pub(crate) fn key_of(&self, row: &[Value]) -> Option<Box<[Value]>> {
         let mut key = Vec::with_capacity(self.columns.len());
         for &c in &self.columns {
             if row[c].is_null() {
@@ -302,7 +302,7 @@ impl Table {
     }
 }
 
-fn format_key(key: &[Value]) -> String {
+pub(crate) fn format_key(key: &[Value]) -> String {
     let parts: Vec<String> = key.iter().map(|v| v.to_string()).collect();
     format!("({})", parts.join(", "))
 }

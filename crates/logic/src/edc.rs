@@ -13,7 +13,7 @@
 //! branch is an EDC (the all-unchanged combination is the old-state denial,
 //! assumed satisfied, and is discarded). Derived predicates get recursively
 //! generated insertion (`ι_d`), deletion (`δ_d`) and new-state (`dⁿ`)
-//! definitions grounded in Olivé's event rules [3].
+//! definitions grounded in Olivé's event rules \[3\].
 //!
 //! The generator assumes *normalized* events: `ins_T ∩ T = ∅`,
 //! `del_T ⊆ T`, `ins_T ∩ del_T = ∅` — exactly what

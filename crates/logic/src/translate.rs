@@ -1,4 +1,4 @@
-//! SQL assertion → logic denial translation (paper §2, step 1, after [6]).
+//! SQL assertion → logic denial translation (paper §2, step 1, after \[6\]).
 //!
 //! The accepted assertion fragment is the one the paper states: the
 //! condition is (a conjunction of) `NOT EXISTS (query)` where the query uses

@@ -1,41 +1,50 @@
-//! `tintin-session` — interactive, transactional sessions over the TINTIN
-//! engine.
+//! `tintin-session` — concurrent, transactional sessions over one shared
+//! TINTIN database.
 //!
 //! The EDBT 2016 paper's usage model is *transaction-time* integrity
-//! checking: an application opens a transaction, issues updates (which the
-//! `INSTEAD OF` triggers divert into `ins_T` / `del_T` event tables), and at
+//! checking: an application opens a transaction, issues updates, and at
 //! `COMMIT` the `safeCommit` procedure either applies the whole update or
-//! rejects it, reporting the violated assertion. The seed library exposed
-//! `safeCommit` only as a one-shot call; this crate supplies the missing
-//! connection abstraction:
+//! rejects it, reporting the violated assertion. This crate supplies the
+//! connection abstraction around that model, scaled from the paper's single
+//! client to any number of concurrent ones:
 //!
-//! * **[`Session`]** owns a [`Database`] plus a [`Tintin`] checker and any
-//!   number of installed assertion sets, and executes SQL scripts
-//!   statement by statement;
+//! * **[`Server`]** holds the [`SharedDatabase`] handle plus the [`Tintin`]
+//!   checker and all installed assertion sets; it is cheap to clone and
+//!   safe to share across threads;
+//! * **[`Session`]** is one connection, created by [`Server::connect`]. Any
+//!   number of sessions attach to the same database; assertions installed
+//!   through one are enforced on every commit from all of them;
 //! * **explicit transactions** — `BEGIN; …; COMMIT` groups any number of
-//!   DML statements into one unit. The engine's undo-log savepoint stack
-//!   (`SAVEPOINT` / `ROLLBACK TO` / `RELEASE`) gives partial rollback, and
-//!   `COMMIT` runs `safeCommit`: if any assertion would be violated the
-//!   whole transaction is rolled back atomically (base tables *and* event
-//!   tables restored) and the violating tuples are reported;
+//!   DML statements into one unit. Pending updates accumulate in the
+//!   session's private [`TxOverlay`]; queries inside the transaction
+//!   *read their own writes* (they observe the pending insertions and
+//!   deletions overlaid on the shared state) while no other session ever
+//!   observes them. `COMMIT` takes the database's exclusive write lock for
+//!   the whole stage → `safeCommit` → apply-or-reject critical section, so
+//!   a violating commit rolls back atomically and concurrent readers never
+//!   see intermediate state. `SAVEPOINT` / `ROLLBACK TO` / `RELEASE` give
+//!   partial rollback via cheap overlay snapshots;
 //! * **autocommit** — outside an explicit transaction every DML statement
-//!   is its own transaction: it is captured, checked and applied (or
-//!   rejected) immediately, matching the seed library's behaviour.
+//!   is its own transaction: planned, staged, checked and applied (or
+//!   rejected) in one write-locked step.
 //!
-//! Reads inside an open transaction see the *pre-transaction* state: that
-//! is the paper's model, where proposed updates live in the event tables
-//! until `safeCommit` promotes them. Schema changes (`CREATE` / `DROP` /
-//! `TRUNCATE`) are not transactional and are rejected while a transaction
-//! is open; `CREATE ASSERTION` outside a transaction installs the
-//! assertion (incremental views and all) on the fly.
+//! Reads outside a transaction see the latest committed state; reads inside
+//! one additionally see that transaction's own pending updates — and never
+//! another session's. Schema changes (`CREATE` / `DROP` / `TRUNCATE`) are
+//! not transactional and are rejected while a transaction is open;
+//! `CREATE ASSERTION` outside a transaction installs the assertion
+//! (incremental views and all) for every attached session on the fly.
 //!
 //! # Example
 //!
 //! ```
-//! use tintin_session::{Session, StatementOutcome};
+//! use tintin_session::{Server, StatementOutcome};
 //!
-//! let mut session = Session::new();
-//! session
+//! let server = Server::new();
+//! let mut alice = server.connect();
+//! let mut bob = server.connect();
+//!
+//! alice
 //!     .execute(
 //!         "CREATE TABLE orders (o_orderkey INT PRIMARY KEY);
 //!          CREATE TABLE lineitem (
@@ -47,21 +56,27 @@
 //!     )
 //!     .unwrap();
 //!
-//! // A transaction that ends consistent commits atomically…
-//! let outcomes = session
-//!     .execute("BEGIN; INSERT INTO orders VALUES (1); INSERT INTO lineitem VALUES (1, 1); COMMIT;")
-//!     .unwrap();
+//! // Alice's open transaction reads its own writes…
+//! alice.execute("BEGIN; INSERT INTO orders VALUES (1); INSERT INTO lineitem VALUES (1, 1);").unwrap();
+//! assert_eq!(alice.query_rows("SELECT * FROM orders").unwrap().len(), 1);
+//! // …which Bob cannot see until they commit.
+//! assert_eq!(bob.query_rows("SELECT * FROM orders").unwrap().len(), 0);
+//! let outcomes = alice.execute("COMMIT").unwrap();
 //! assert!(matches!(outcomes.last(), Some(StatementOutcome::Committed { .. })));
+//! assert_eq!(bob.query_rows("SELECT * FROM orders").unwrap().len(), 1);
 //!
-//! // …one that would violate the assertion is rejected and rolled back.
-//! let outcomes = session.execute("BEGIN; INSERT INTO orders VALUES (2); COMMIT;").unwrap();
+//! // Bob's violating commit is rejected and rolled back — the assertion
+//! // Alice installed protects every session.
+//! let outcomes = bob.execute("BEGIN; INSERT INTO orders VALUES (2); COMMIT;").unwrap();
 //! assert!(matches!(outcomes.last(), Some(StatementOutcome::Rejected { .. })));
-//! assert_eq!(session.database().table("orders").unwrap().len(), 1);
+//! assert_eq!(bob.query_rows("SELECT * FROM orders").unwrap().len(), 1);
 //! ```
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use tintin::{CheckStats, Installation, Tintin, TintinError, Violation};
-use tintin_engine::{Database, EngineError, ResultSet, StatementResult};
+use tintin_engine::{Database, EngineError, ResultSet, SharedDatabase, TxOverlay};
 use tintin_sql as sql;
 
 /// Result of executing one statement through a [`Session`].
@@ -102,10 +117,12 @@ pub enum StatementOutcome {
 }
 
 impl StatementOutcome {
+    /// Was this a successful `COMMIT` (or autocommit)?
     pub fn is_committed(&self) -> bool {
         matches!(self, StatementOutcome::Committed { .. })
     }
 
+    /// Was this a rejected (assertion-violating) `COMMIT` or autocommit?
     pub fn is_rejected(&self) -> bool {
         matches!(self, StatementOutcome::Rejected { .. })
     }
@@ -185,121 +202,294 @@ impl From<sql::ParseError> for SessionError {
 /// Result alias for session operations.
 pub type Result<T> = std::result::Result<T, SessionError>;
 
-/// Pending-event counts for one captured table (the REPL's `.tx` view).
+/// Pending-event counts for one table of an open transaction (the REPL's
+/// `.tx` view).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PendingTable {
+    /// The base table the events target.
     pub table: String,
+    /// Pending insertions.
     pub inserts: usize,
+    /// Pending deletions.
     pub deletes: usize,
 }
 
-/// A connection-like handle: a database, a checker, and the installed
-/// assertions, with transactional statement execution on top.
-#[derive(Debug, Clone, Default)]
-pub struct Session {
-    db: Database,
+/// Checker state shared by every session of a [`Server`]: the configured
+/// [`Tintin`] instance and the assertion sets installed so far.
+#[derive(Debug, Default)]
+struct ServerState {
     tintin: Tintin,
     installations: Vec<Installation>,
 }
 
-impl Session {
-    /// A session over an empty database with the default checker.
+/// The shared side of the session layer: one database, one checker, many
+/// connections.
+///
+/// A `Server` is a pair of handles — a [`SharedDatabase`] and the shared
+/// checker state — so cloning it (or a [`Session`] holding it) attaches to
+/// the *same* database rather than copying it. It is `Send + Sync`;
+/// sessions for different threads are created with [`Server::connect`].
+#[derive(Debug, Clone, Default)]
+pub struct Server {
+    db: SharedDatabase,
+    state: Arc<RwLock<ServerState>>,
+    next_session_id: Arc<AtomicU64>,
+    open_sessions: Arc<AtomicUsize>,
+}
+
+impl Server {
+    /// A server over a fresh, empty database with the default checker.
     pub fn new() -> Self {
-        Session::default()
+        Server::default()
     }
 
-    /// A session over an existing database.
+    /// A server over an existing database, taking ownership.
     pub fn with_database(db: Database) -> Self {
-        Session {
-            db,
-            ..Session::default()
+        Server {
+            db: SharedDatabase::from_database(db),
+            ..Server::default()
         }
     }
 
-    /// A session with an explicit checker configuration.
+    /// A server with an explicit checker configuration.
     pub fn with_database_and_checker(db: Database, tintin: Tintin) -> Self {
-        Session {
-            db,
-            tintin,
-            installations: Vec::new(),
+        Server {
+            db: SharedDatabase::from_database(db),
+            state: Arc::new(RwLock::new(ServerState {
+                tintin,
+                installations: Vec::new(),
+            })),
+            ..Server::default()
         }
     }
 
-    pub fn database(&self) -> &Database {
+    /// The shared database handle (read/write lock it for direct access).
+    pub fn database(&self) -> &SharedDatabase {
         &self.db
     }
 
-    /// Direct mutable access to the database (bulk loading). Bypassing the
-    /// session while a transaction is open voids the rollback guarantee.
-    pub fn database_mut(&mut self) -> &mut Database {
-        &mut self.db
+    /// Attach a new session to this server's database.
+    pub fn connect(&self) -> Session {
+        let id = self.next_session_id.fetch_add(1, Ordering::Relaxed) + 1;
+        self.open_sessions.fetch_add(1, Ordering::Relaxed);
+        Session {
+            server: self.clone(),
+            id,
+            tx: None,
+        }
     }
 
-    pub fn checker(&self) -> &Tintin {
-        &self.tintin
+    /// Number of currently attached sessions.
+    pub fn session_count(&self) -> usize {
+        self.open_sessions.load(Ordering::Relaxed)
     }
 
-    /// The installed assertion sets.
-    pub fn installations(&self) -> &[Installation] {
-        &self.installations
+    /// The installed assertion sets (cloned snapshot).
+    pub fn installations(&self) -> Vec<Installation> {
+        self.state_read().installations.clone()
     }
 
     /// Names of all installed assertions, in installation order.
     pub fn assertion_names(&self) -> Vec<String> {
-        self.installations
+        self.state_read()
+            .installations
             .iter()
             .flat_map(|i| i.assertions.iter().map(|a| a.name.clone()))
             .collect()
     }
 
-    /// Is an explicit transaction open?
+    /// A snapshot of the checker configuration.
+    pub fn checker(&self) -> Tintin {
+        self.state_read().tintin.clone()
+    }
+
+    // Lock poisoning is recovered from for the same reason SharedDatabase
+    // recovers: every mutation of the state either completes or is
+    // compensated before the guard drops.
+    fn state_read(&self) -> RwLockReadGuard<'_, ServerState> {
+        self.state.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn state_write(&self) -> RwLockWriteGuard<'_, ServerState> {
+        self.state.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The private state of one open transaction: the pending-update overlay
+/// plus named savepoints (cheap snapshots of the overlay — pending updates
+/// are bounded by the transaction's own statements).
+#[derive(Debug, Default, Clone)]
+struct SessionTx {
+    overlay: TxOverlay,
+    savepoints: Vec<(String, TxOverlay)>,
+}
+
+/// One connection to a [`Server`]: transactional statement execution over
+/// the shared database.
+///
+/// A session holds no locks between statements. Reads take the shared read
+/// lock for the duration of one query; `COMMIT` (and autocommitted DML)
+/// takes the exclusive write lock for the whole check-and-apply critical
+/// section. An open transaction's pending updates live in the session's
+/// private overlay until commit — visible to this session's own queries
+/// (read-your-writes), invisible to every other session.
+#[derive(Debug)]
+pub struct Session {
+    server: Server,
+    id: u64,
+    tx: Option<SessionTx>,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Server::new().connect()
+    }
+}
+
+/// Cloning a session opens a *new connection* to the same server: the clone
+/// shares the database and assertions but starts outside any transaction.
+impl Clone for Session {
+    fn clone(&self) -> Self {
+        self.server.connect()
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.server.open_sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+impl Session {
+    /// A single session over a fresh private server (the one-client
+    /// convenience constructor; use [`Server::connect`] to share).
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// A session over an existing database (wrapped into a fresh server).
+    pub fn with_database(db: Database) -> Self {
+        Server::with_database(db).connect()
+    }
+
+    /// A session with an explicit checker configuration.
+    pub fn with_database_and_checker(db: Database, tintin: Tintin) -> Self {
+        Server::with_database_and_checker(db, tintin).connect()
+    }
+
+    /// The server this session is attached to.
+    pub fn server(&self) -> &Server {
+        &self.server
+    }
+
+    /// The shared database handle. Lock it directly for bulk loading
+    /// (`.write()`) or inspection (`.read()`); writing to it while this
+    /// session's transaction is open bypasses the overlay and voids
+    /// read-your-writes.
+    pub fn database(&self) -> &SharedDatabase {
+        &self.server.db
+    }
+
+    /// This connection's server-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// A snapshot of the checker configuration.
+    pub fn checker(&self) -> Tintin {
+        self.server.checker()
+    }
+
+    /// The installed assertion sets (cloned snapshot; shared server-wide).
+    pub fn installations(&self) -> Vec<Installation> {
+        self.server.installations()
+    }
+
+    /// Names of all installed assertions, in installation order.
+    pub fn assertion_names(&self) -> Vec<String> {
+        self.server.assertion_names()
+    }
+
+    /// Is an explicit transaction open on this session?
     pub fn in_transaction(&self) -> bool {
-        self.db.in_transaction()
+        self.tx.is_some()
     }
 
-    /// Pending `(insertions, deletions)` over all captured tables.
+    /// Pending `(insertions, deletions)` of this session's open
+    /// transaction; `(0, 0)` outside one (plus any events staged directly
+    /// into the shared event tables by engine-level callers).
     pub fn pending_counts(&self) -> (usize, usize) {
-        self.db.pending_counts()
+        match &self.tx {
+            Some(tx) => tx.overlay.counts(),
+            None => self.server.db.read().pending_counts(),
+        }
     }
 
-    /// Per-table pending event counts (tables with no pending events are
-    /// omitted).
+    /// Per-table pending event counts of the open transaction (tables with
+    /// no pending events are omitted).
     pub fn pending_by_table(&self) -> Vec<PendingTable> {
-        let mut out = Vec::new();
-        for t in self.db.captured_tables() {
-            let ins = self
-                .db
-                .table(&tintin_engine::ins_table_name(&t))
-                .map_or(0, |x| x.len());
-            let del = self
-                .db
-                .table(&tintin_engine::del_table_name(&t))
-                .map_or(0, |x| x.len());
-            if ins + del > 0 {
-                out.push(PendingTable {
-                    table: t,
-                    inserts: ins,
-                    deletes: del,
-                });
+        match &self.tx {
+            Some(tx) => tx
+                .overlay
+                .touched_tables()
+                .into_iter()
+                .map(|t| {
+                    let d = tx.overlay.delta(&t).expect("touched implies delta");
+                    PendingTable {
+                        table: t,
+                        inserts: d.ins.len(),
+                        deletes: d.del.len(),
+                    }
+                })
+                .collect(),
+            None => {
+                let db = self.server.db.read();
+                let mut out = Vec::new();
+                for t in db.captured_tables() {
+                    let ins = db
+                        .table(&tintin_engine::ins_table_name(&t))
+                        .map_or(0, |x| x.len());
+                    let del = db
+                        .table(&tintin_engine::del_table_name(&t))
+                        .map_or(0, |x| x.len());
+                    if ins + del > 0 {
+                        out.push(PendingTable {
+                            table: t,
+                            inserts: ins,
+                            deletes: del,
+                        });
+                    }
+                }
+                out
             }
         }
-        out
     }
 
     /// Live savepoints of the open transaction, oldest first.
     pub fn savepoints(&self) -> Vec<String> {
-        self.db.savepoint_names()
+        self.tx
+            .as_ref()
+            .map(|t| t.savepoints.iter().map(|(n, _)| n.clone()).collect())
+            .unwrap_or_default()
     }
 
     /// Install a batch of `CREATE ASSERTION` statements (event tables,
-    /// capture, incremental views). Not allowed inside a transaction.
-    pub fn install(&mut self, assertions: &[&str]) -> Result<&Installation> {
+    /// capture, incremental views) for *every* session of the server. Not
+    /// allowed inside a transaction.
+    pub fn install(&mut self, assertions: &[&str]) -> Result<Installation> {
         if self.in_transaction() {
             return Err(SessionError::DdlInTransaction("CREATE ASSERTION".into()));
         }
+        // Lock order everywhere: database first, then checker state.
+        let mut db = self.server.db.write();
+        let mut state = self.server.state_write();
         // Reject duplicates against already-installed assertions up front so
-        // a failed install leaves the session untouched.
-        let installed = self.assertion_names();
+        // a failed install leaves the server untouched.
+        let installed: Vec<String> = state
+            .installations
+            .iter()
+            .flat_map(|i| i.assertions.iter().map(|a| a.name.clone()))
+            .collect();
         for text in assertions {
             if let Ok(sql::Statement::CreateAssertion(a)) = sql::parse_statement(text) {
                 if installed.contains(&a.name) {
@@ -307,40 +497,50 @@ impl Session {
                 }
             }
         }
-        let inst = self.tintin.install(&mut self.db, assertions)?;
-        self.installations.push(inst);
-        Ok(self.installations.last().expect("just pushed"))
+        let inst = state.tintin.install(&mut db, assertions)?;
+        state.installations.push(inst.clone());
+        Ok(inst)
     }
 
-    /// Remove one assertion and its incremental views.
+    /// Remove one assertion and its incremental views, server-wide.
     pub fn drop_assertion(&mut self, name: &str) -> Result<()> {
         if self.in_transaction() {
             return Err(SessionError::DdlInTransaction("DROP ASSERTION".into()));
         }
-        for (ii, inst) in self.installations.iter().enumerate() {
-            let Some(ai) = inst.assertions.iter().position(|a| a.name == name) else {
-                continue;
-            };
-            let mut inst = self.installations.remove(ii);
-            for view in &inst.assertions[ai].view_names {
-                self.db.drop_view(view, true)?;
-            }
-            inst.assertions.remove(ai);
-            inst.fallbacks.retain(|f| f.assertion != name);
-            inst.denial_texts
-                .retain(|d| !d.starts_with(&format!("{name}:")));
-            inst.retain_views(|v| v.assertion != name);
-            if !inst.assertions.is_empty() {
-                self.installations.insert(ii, inst);
-            }
-            return Ok(());
+        let mut db = self.server.db.write();
+        let mut state = self.server.state_write();
+        let found = state
+            .installations
+            .iter()
+            .enumerate()
+            .find_map(|(ii, inst)| {
+                inst.assertions
+                    .iter()
+                    .position(|a| a.name == name)
+                    .map(|ai| (ii, ai))
+            });
+        let Some((ii, ai)) = found else {
+            return Err(SessionError::NoSuchAssertion(name.to_string()));
+        };
+        let mut inst = state.installations.remove(ii);
+        for view in &inst.assertions[ai].view_names {
+            db.drop_view(view, true)?;
         }
-        Err(SessionError::NoSuchAssertion(name.to_string()))
+        inst.assertions.remove(ai);
+        inst.fallbacks.retain(|f| f.assertion != name);
+        inst.denial_texts
+            .retain(|d| !d.starts_with(&format!("{name}:")));
+        inst.retain_views(|v| v.assertion != name);
+        if !inst.assertions.is_empty() {
+            state.installations.insert(ii, inst);
+        }
+        Ok(())
     }
 
     /// Execute a script of semicolon-separated statements, stopping at the
-    /// first error. DML inside an open transaction accumulates as pending
-    /// events; outside one it autocommits (capture → check → apply/reject).
+    /// first error. DML inside an open transaction accumulates in the
+    /// session's private overlay; outside one it autocommits (plan → stage
+    /// → check → apply/reject under the write lock).
     pub fn execute(&mut self, script: &str) -> Result<Vec<StatementOutcome>> {
         let stmts = sql::parse_statements(script)?;
         let mut out = Vec::with_capacity(stmts.len());
@@ -348,6 +548,15 @@ impl Session {
             out.push(self.execute_statement(stmt)?);
         }
         Ok(out)
+    }
+
+    /// Run one query and return its rows (a convenience around
+    /// [`Session::execute`] for `SELECT`-only callers). Inside an open
+    /// transaction the result reflects this session's pending updates.
+    pub fn query_rows(&self, query: &str) -> Result<ResultSet> {
+        let q = sql::parse_query(query).map_err(SessionError::from)?;
+        let db = self.server.db.read();
+        Ok(db.query_with_overlay(&q, self.tx.as_ref().map(|t| &t.overlay))?)
     }
 
     /// Execute a single parsed statement.
@@ -361,11 +570,10 @@ impl Session {
             sql::Statement::Release { name } => self.release(name),
             sql::Statement::CreateAssertion(a) => {
                 let text = stmt.to_string();
-                self.install(&[text.as_str()])?;
-                let views = self.installations.last().map_or(0, |i| i.view_count());
+                let inst = self.install(&[text.as_str()])?;
                 Ok(StatementOutcome::AssertionInstalled {
                     name: a.name.clone(),
-                    views,
+                    views: inst.view_count(),
                 })
             }
             sql::Statement::DropAssertion { name } => {
@@ -382,18 +590,23 @@ impl Session {
                         .join(" ");
                     return Err(SessionError::DdlInTransaction(kind));
                 }
-                self.db.execute(ddl)?;
+                self.server.db.write().execute(ddl)?;
                 Ok(StatementOutcome::Ddl)
             }
-            sql::Statement::Query(q) => Ok(StatementOutcome::Rows(self.db.query(q)?)),
+            sql::Statement::Query(q) => {
+                let db = self.server.db.read();
+                let rs = db.query_with_overlay(q, self.tx.as_ref().map(|t| &t.overlay))?;
+                Ok(StatementOutcome::Rows(rs))
+            }
             dml => {
                 // INSERT / DELETE / UPDATE.
-                if self.in_transaction() {
-                    self.ensure_captured_for_dml(dml)?;
-                    match self.db.execute(dml)? {
-                        StatementResult::RowsAffected(n) => Ok(StatementOutcome::RowsAffected(n)),
-                        other => unreachable!("DML produced {other:?}"),
-                    }
+                if let Some(tx) = self.tx.as_mut() {
+                    // Planning only reads: a shared lock suffices, so other
+                    // sessions keep reading while this one stages work.
+                    let delta = self.server.db.read().plan_dml(dml, &tx.overlay)?;
+                    let n = delta.rows_affected;
+                    tx.overlay.apply_delta(delta);
+                    Ok(StatementOutcome::RowsAffected(n))
                 } else {
                     self.autocommit(dml)
                 }
@@ -401,175 +614,169 @@ impl Session {
         }
     }
 
-    /// `BEGIN`: open a transaction and make sure every base table is
-    /// captured, so all DML is diverted into event tables and the commit
-    /// decision stays atomic.
+    /// `BEGIN`: open a transaction. Pending updates accumulate in the
+    /// session's private overlay until `COMMIT` — nothing touches the
+    /// shared database, so `ROLLBACK` is simply discarding the overlay.
     pub fn begin(&mut self) -> Result<StatementOutcome> {
         if self.in_transaction() {
             return Err(SessionError::TransactionAlreadyOpen);
         }
-        self.capture_all_tables()?;
-        self.db.begin_transaction()?;
+        self.tx = Some(SessionTx::default());
         Ok(StatementOutcome::TransactionStarted)
     }
 
-    /// `COMMIT`: run `safeCommit` over every installed assertion set. On
-    /// success the pending update is applied and the transaction closed; on
-    /// violation the transaction is rolled back atomically and the
-    /// violating tuples reported.
+    /// `COMMIT`: under the database's exclusive write lock, stage the
+    /// overlay into the event tables and run `safeCommit` over every
+    /// installed assertion set. On success the pending update is applied
+    /// and the transaction closed; on violation it is discarded atomically
+    /// and the violating tuples reported. No other session can observe any
+    /// state between "before the commit" and "after the decision".
     pub fn commit(&mut self) -> Result<StatementOutcome> {
-        if !self.in_transaction() {
+        let Some(tx) = self.tx.take() else {
             return Err(SessionError::NoActiveTransaction);
-        }
-        let outcome = self.commit_pending();
-        // Success or rejection, the transaction is over; the undo log is
-        // only replayed if the check machinery itself failed.
-        match &outcome {
-            Ok(_) => {
-                let _ = self.db.commit_transaction();
-            }
-            Err(_) => {
-                let _ = self.db.rollback_transaction();
-            }
-        }
-        outcome
-    }
-
-    /// `ROLLBACK`: abort the open transaction, restoring base tables and
-    /// event tables to their pre-`BEGIN` state.
-    pub fn rollback(&mut self) -> Result<StatementOutcome> {
-        if !self.in_transaction() {
-            return Err(SessionError::NoActiveTransaction);
-        }
-        self.db.rollback_transaction()?;
-        Ok(StatementOutcome::RolledBack)
-    }
-
-    /// `SAVEPOINT name`.
-    pub fn savepoint(&mut self, name: &str) -> Result<StatementOutcome> {
-        self.db.create_savepoint(name).map_err(Self::map_tx_err)?;
-        Ok(StatementOutcome::SavepointCreated(name.to_string()))
-    }
-
-    /// `ROLLBACK TO name`.
-    pub fn rollback_to(&mut self, name: &str) -> Result<StatementOutcome> {
-        self.db
-            .rollback_to_savepoint(name)
-            .map_err(|e| Self::map_savepoint_err(e, name))?;
-        Ok(StatementOutcome::RolledBackToSavepoint(name.to_string()))
-    }
-
-    /// `RELEASE name`.
-    pub fn release(&mut self, name: &str) -> Result<StatementOutcome> {
-        self.db
-            .release_savepoint(name)
-            .map_err(|e| Self::map_savepoint_err(e, name))?;
-        Ok(StatementOutcome::SavepointReleased(name.to_string()))
-    }
-
-    /// Dry-run check of the pending events (no commit, no truncation).
-    pub fn check_pending(&mut self) -> Result<(Vec<Violation>, CheckStats)> {
-        let mut all = Vec::new();
-        let mut stats = CheckStats::default();
-        let installations = std::mem::take(&mut self.installations);
-        let result = (|| {
-            for inst in &installations {
-                let (violations, s) = self.tintin.check_pending(&mut self.db, inst)?;
-                all.extend(violations);
-                merge_stats(&mut stats, s);
-            }
-            Ok(())
-        })();
-        self.installations = installations;
-        result.map(|()| (all, stats))
-    }
-
-    // ------------------------------------------------------------ internal
-
-    fn map_tx_err(e: EngineError) -> SessionError {
-        match e {
-            EngineError::Transaction(_) => SessionError::NoActiveTransaction,
-            other => SessionError::Engine(other),
-        }
-    }
-
-    fn map_savepoint_err(e: EngineError, name: &str) -> SessionError {
-        match e {
-            EngineError::NoSuchSavepoint(_) => SessionError::NoSuchSavepoint(name.to_string()),
-            EngineError::Transaction(_) => SessionError::NoActiveTransaction,
-            other => SessionError::Engine(other),
-        }
-    }
-
-    /// Enable capture for every base table that lacks it.
-    fn capture_all_tables(&mut self) -> Result<()> {
-        for t in self.db.table_names() {
-            if self.db.is_captured(&t) || self.db.is_event_table(&t) {
-                continue;
-            }
-            self.db.enable_capture(&t)?;
-        }
-        Ok(())
-    }
-
-    /// While a transaction is open, DML may target a table created after
-    /// the last `BEGIN`; capture it now so the statement stays rollbackable
-    /// and commit-checked. (Uncaptured writes are also undo-logged, but
-    /// capture keeps the commit decision uniform.)
-    fn ensure_captured_for_dml(&mut self, stmt: &sql::Statement) -> Result<()> {
-        let table = match stmt {
-            sql::Statement::Insert(i) => &i.table,
-            sql::Statement::Delete(d) => &d.table,
-            sql::Statement::Update(u) => &u.table,
-            _ => return Ok(()),
         };
-        if self.db.table(table).is_some()
-            && !self.db.is_captured(table)
-            && !self.db.is_event_table(table)
-        {
-            self.db.enable_capture(table)?;
-        }
-        Ok(())
-    }
-
-    /// Statement-as-transaction: capture the statement's effects, check
-    /// them and either apply or reject, exactly like an explicit
-    /// single-statement transaction. On any error the captured events are
-    /// discarded — the statement's proposed update dies with it — so a
-    /// failed statement can never poison later ones.
-    fn autocommit(&mut self, dml: &sql::Statement) -> Result<StatementOutcome> {
-        self.capture_all_tables()?;
+        let mut db = self.server.db.write();
+        let state = self.server.state_read();
         let result = (|| {
-            match self.db.execute(dml)? {
-                StatementResult::RowsAffected(_) => {}
-                other => unreachable!("DML produced {other:?}"),
-            }
-            self.commit_pending()
+            db.stage_overlay(&tx.overlay)?;
+            safe_commit_staged(&mut db, &state)
         })();
         if result.is_err() {
-            self.db.truncate_events();
+            // The commit machinery itself failed (e.g. an apply-time key
+            // conflict): `apply_pending` has already restored the base
+            // tables; discard the staged events so the shared event tables
+            // return to their empty steady state. The overlay was consumed,
+            // so the transaction is over either way.
+            db.truncate_events();
         }
         result
     }
 
-    /// The multi-installation `safeCommit`: check every installed assertion
-    /// set against the pending events, then apply-and-truncate or
-    /// discard-and-report.
-    fn commit_pending(&mut self) -> Result<StatementOutcome> {
-        let (violations, stats) = self.check_pending()?;
-        if violations.is_empty() {
-            let (inserted, deleted) = self.db.pending_counts();
-            self.db.apply_pending()?;
-            self.db.truncate_events();
-            Ok(StatementOutcome::Committed {
-                inserted,
-                deleted,
-                stats,
-            })
-        } else {
-            self.db.truncate_events();
-            Ok(StatementOutcome::Rejected { violations, stats })
+    /// `ROLLBACK`: abort the open transaction by discarding its overlay.
+    /// The shared database was never touched.
+    pub fn rollback(&mut self) -> Result<StatementOutcome> {
+        if self.tx.take().is_none() {
+            return Err(SessionError::NoActiveTransaction);
         }
+        Ok(StatementOutcome::RolledBack)
+    }
+
+    /// `SAVEPOINT name`: snapshot the overlay. Re-using a name moves the
+    /// savepoint (standard SQL semantics).
+    pub fn savepoint(&mut self, name: &str) -> Result<StatementOutcome> {
+        let tx = self.tx.as_mut().ok_or(SessionError::NoActiveTransaction)?;
+        tx.savepoints.retain(|(n, _)| n != name);
+        tx.savepoints.push((name.to_string(), tx.overlay.clone()));
+        Ok(StatementOutcome::SavepointCreated(name.to_string()))
+    }
+
+    /// `ROLLBACK TO name`: restore the overlay snapshot taken at the
+    /// savepoint. The savepoint itself survives; later ones are discarded.
+    pub fn rollback_to(&mut self, name: &str) -> Result<StatementOutcome> {
+        let tx = self.tx.as_mut().ok_or(SessionError::NoActiveTransaction)?;
+        let pos = tx
+            .savepoints
+            .iter()
+            .rposition(|(n, _)| n == name)
+            .ok_or_else(|| SessionError::NoSuchSavepoint(name.to_string()))?;
+        tx.savepoints.truncate(pos + 1);
+        tx.overlay = tx.savepoints[pos].1.clone();
+        Ok(StatementOutcome::RolledBackToSavepoint(name.to_string()))
+    }
+
+    /// `RELEASE name`: discard a savepoint (and any later ones), merging
+    /// its changes into the enclosing scope.
+    pub fn release(&mut self, name: &str) -> Result<StatementOutcome> {
+        let tx = self.tx.as_mut().ok_or(SessionError::NoActiveTransaction)?;
+        let pos = tx
+            .savepoints
+            .iter()
+            .rposition(|(n, _)| n == name)
+            .ok_or_else(|| SessionError::NoSuchSavepoint(name.to_string()))?;
+        tx.savepoints.truncate(pos);
+        Ok(StatementOutcome::SavepointReleased(name.to_string()))
+    }
+
+    /// Dry-run check of the open transaction's pending update (no commit):
+    /// stage the overlay, evaluate the incremental views, and restore the
+    /// event-capture state exactly as found — events staged by hand by
+    /// engine-level callers survive the dry run untouched (not even
+    /// normalized). Outside a transaction the check still runs, over
+    /// whatever is staged in the shared event tables.
+    pub fn check_pending(&self) -> Result<(Vec<Violation>, CheckStats)> {
+        let mut db = self.server.db.write();
+        let state = self.server.state_read();
+        let saved = db.snapshot_events();
+        let result = (|| {
+            if let Some(tx) = &self.tx {
+                db.stage_overlay(&tx.overlay)?;
+            }
+            check_staged(&mut db, &state)
+        })();
+        db.restore_events(saved);
+        result
+    }
+
+    // ------------------------------------------------------------ internal
+
+    /// Statement-as-transaction: plan the statement's effects, stage them,
+    /// check them and either apply or reject — one write-locked critical
+    /// section, exactly like an explicit single-statement transaction. On
+    /// any error the staged events are discarded, so a failed statement can
+    /// never poison later ones.
+    fn autocommit(&mut self, dml: &sql::Statement) -> Result<StatementOutcome> {
+        let mut db = self.server.db.write();
+        let state = self.server.state_read();
+        let result = (|| {
+            let mut overlay = TxOverlay::new();
+            let delta = db.plan_dml(dml, &overlay)?;
+            overlay.apply_delta(delta);
+            db.stage_overlay(&overlay)?;
+            safe_commit_staged(&mut db, &state)
+        })();
+        if result.is_err() {
+            db.truncate_events();
+        }
+        result
+    }
+}
+
+/// The multi-installation check over the staged event tables.
+fn check_staged(db: &mut Database, state: &ServerState) -> Result<(Vec<Violation>, CheckStats)> {
+    let mut all = Vec::new();
+    // Normalize unconditionally: `Tintin::check_pending` normalizes too
+    // (the pass is idempotent), but with zero installations the loop below
+    // never runs — and the subsequent apply must still see normalized
+    // events, or a set-semantics no-op (e.g. re-inserting an existing row)
+    // would explode into a key conflict.
+    let mut stats = CheckStats {
+        normalization: db.normalize_events()?,
+        ..CheckStats::default()
+    };
+    for inst in &state.installations {
+        let (violations, s) = state.tintin.check_pending(db, inst)?;
+        all.extend(violations);
+        merge_stats(&mut stats, s);
+    }
+    Ok((all, stats))
+}
+
+/// The multi-installation `safeCommit` over staged events: check every
+/// installed assertion set, then apply-and-truncate or discard-and-report.
+fn safe_commit_staged(db: &mut Database, state: &ServerState) -> Result<StatementOutcome> {
+    let (violations, stats) = check_staged(db, state)?;
+    if violations.is_empty() {
+        let (inserted, deleted) = db.pending_counts();
+        db.apply_pending()?;
+        db.truncate_events();
+        Ok(StatementOutcome::Committed {
+            inserted,
+            deleted,
+            stats,
+        })
+    } else {
+        db.truncate_events();
+        Ok(StatementOutcome::Rejected { violations, stats })
     }
 }
 
@@ -609,12 +816,16 @@ mod tests {
         s
     }
 
+    fn table_len(s: &Session, table: &str) -> usize {
+        s.database().read().table(table).unwrap().len()
+    }
+
     #[test]
     fn autocommit_rejects_violating_statement() {
         let mut s = orders_session();
         let out = s.execute("INSERT INTO orders VALUES (1, 10.0)").unwrap();
         assert!(out[0].is_rejected());
-        assert_eq!(s.database().table("orders").unwrap().len(), 0);
+        assert_eq!(table_len(&s, "orders"), 0);
         assert_eq!(s.pending_counts(), (0, 0));
     }
 
@@ -631,7 +842,7 @@ mod tests {
             .unwrap();
         assert!(matches!(out[0], StatementOutcome::TransactionStarted));
         assert!(out[3].is_committed());
-        assert_eq!(s.database().table("orders").unwrap().len(), 1);
+        assert_eq!(table_len(&s, "orders"), 1);
         assert!(!s.in_transaction());
     }
 
@@ -650,7 +861,7 @@ mod tests {
             panic!("expected rejection, got {:?}", out[2]);
         };
         assert_eq!(violations[0].assertion, "atleastonelineitem");
-        assert_eq!(s.database().table("orders").unwrap().len(), 1);
+        assert_eq!(table_len(&s, "orders"), 1);
         assert_eq!(s.pending_counts(), (0, 0));
         assert!(!s.in_transaction());
     }
@@ -660,7 +871,7 @@ mod tests {
         let mut s = orders_session();
         s.execute("BEGIN; INSERT INTO orders VALUES (1, 10.0); ROLLBACK;")
             .unwrap();
-        assert_eq!(s.database().table("orders").unwrap().len(), 0);
+        assert_eq!(table_len(&s, "orders"), 0);
         assert_eq!(s.pending_counts(), (0, 0));
     }
 
@@ -679,7 +890,7 @@ mod tests {
             )
             .unwrap();
         assert!(out.last().unwrap().is_committed());
-        assert_eq!(s.database().table("orders").unwrap().len(), 1);
+        assert_eq!(table_len(&s, "orders"), 1);
     }
 
     #[test]
@@ -745,20 +956,51 @@ mod tests {
     }
 
     #[test]
-    fn queries_inside_tx_see_pre_transaction_state() {
+    fn queries_inside_tx_read_their_own_writes() {
         let mut s = orders_session();
         s.execute("BEGIN; INSERT INTO orders VALUES (1, 10.0);")
             .unwrap();
+        // Read-your-writes: the pending insert is visible to this session…
         let out = s.execute("SELECT * FROM orders").unwrap();
         let StatementOutcome::Rows(rs) = &out[0] else {
             panic!()
         };
-        assert!(rs.is_empty(), "pending events must not be visible");
+        assert_eq!(rs.len(), 1, "a transaction must read its own writes");
+        // …but lives only in the overlay, not in the shared database…
+        assert_eq!(table_len(&s, "orders"), 0);
         let pending = s.pending_by_table();
         assert_eq!(pending.len(), 1);
         assert_eq!(pending[0].table, "orders");
         assert_eq!(pending[0].inserts, 1);
+        // …and another session attached to the same database cannot see it.
+        let other = s.server().connect();
+        assert_eq!(
+            other.query_rows("SELECT * FROM orders").unwrap().len(),
+            0,
+            "pending events must not leak to other sessions"
+        );
         s.execute("ROLLBACK").unwrap();
+    }
+
+    #[test]
+    fn transaction_dml_reads_its_own_writes() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+            .unwrap();
+        s.execute("BEGIN; INSERT INTO t VALUES (1, 10); INSERT INTO t VALUES (2, 20);")
+            .unwrap();
+        // UPDATE of a pending insert retracts and replaces it…
+        let out = s.execute("UPDATE t SET b = 11 WHERE a = 1").unwrap();
+        assert!(matches!(out[0], StatementOutcome::RowsAffected(1)));
+        // …and DELETE of a pending insert un-proposes it.
+        let out = s.execute("DELETE FROM t WHERE a = 2").unwrap();
+        assert!(matches!(out[0], StatementOutcome::RowsAffected(1)));
+        assert_eq!(s.pending_counts(), (1, 0));
+        let out = s.execute("COMMIT").unwrap();
+        assert!(out[0].is_committed());
+        let rs = s.query_rows("SELECT a, b FROM t").unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][1], tintin_engine::Value::Int(11));
     }
 
     #[test]
@@ -767,10 +1009,10 @@ mod tests {
         s.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
         s.execute("BEGIN; INSERT INTO t VALUES (1); INSERT INTO t VALUES (2); COMMIT;")
             .unwrap();
-        assert_eq!(s.database().table("t").unwrap().len(), 2);
+        assert_eq!(table_len(&s, "t"), 2);
         s.execute("BEGIN; DELETE FROM t WHERE a = 1; ROLLBACK;")
             .unwrap();
-        assert_eq!(s.database().table("t").unwrap().len(), 2);
+        assert_eq!(table_len(&s, "t"), 2);
     }
 
     #[test]
@@ -786,6 +1028,182 @@ mod tests {
         assert_eq!(s.pending_counts(), (0, 0));
         // …so the session keeps working.
         assert!(s.execute("INSERT INTO t VALUES (2, 20)").unwrap()[0].is_committed());
-        assert_eq!(s.database().table("t").unwrap().len(), 2);
+        assert_eq!(table_len(&s, "t"), 2);
+    }
+
+    #[test]
+    fn duplicate_key_rejected_at_statement_time() {
+        use tintin_engine::EngineError;
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+            .unwrap();
+        s.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+        s.execute("BEGIN").unwrap();
+        // A key conflict with a committed row fails at statement time (not
+        // as an opaque engine error at COMMIT), so the transaction never
+        // observes duplicate-key state…
+        let err = s.execute("INSERT INTO t VALUES (1, 99)").unwrap_err();
+        assert!(matches!(
+            err,
+            SessionError::Engine(EngineError::UniqueViolation { .. })
+        ));
+        assert_eq!(s.query_rows("SELECT * FROM t").unwrap().len(), 1);
+        // …and so does a conflict between two pending rows.
+        s.execute("INSERT INTO t VALUES (2, 20)").unwrap();
+        assert!(s.execute("INSERT INTO t VALUES (2, 21)").is_err());
+        // Re-inserting an identical existing row is the set-semantics no-op.
+        s.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+        // UPDATE moving a key onto an occupied one is caught too.
+        assert!(s.execute("UPDATE t SET a = 1 WHERE a = 2").is_err());
+        // Delete-then-reinsert under the same key is legal.
+        s.execute("DELETE FROM t WHERE a = 1; INSERT INTO t VALUES (1, 11);")
+            .unwrap();
+        let out = s.execute("COMMIT").unwrap();
+        assert!(out[0].is_committed(), "got {:?}", out[0]);
+        let rs = s.query_rows("SELECT b FROM t WHERE a = 1").unwrap();
+        assert_eq!(rs.rows[0][0], tintin_engine::Value::Int(11));
+    }
+
+    #[test]
+    fn deleting_duplicate_rows_is_consistent_between_tx_and_commit() {
+        use tintin_engine::Value;
+        let mut s = Session::new();
+        {
+            // Duplicate rows need a PK-less table and the direct loader
+            // (the event pipeline itself is set-semantics).
+            let mut db = s.database().write();
+            db.execute_sql("CREATE TABLE u (a INT)").unwrap();
+            db.insert_direct(
+                "u",
+                vec![
+                    vec![Value::Int(7)],
+                    vec![Value::Int(7)],
+                    vec![Value::Int(8)],
+                ],
+            )
+            .unwrap();
+        }
+        s.execute("BEGIN").unwrap();
+        let out = s.execute("DELETE FROM u WHERE a = 7").unwrap();
+        assert!(matches!(out[0], StatementOutcome::RowsAffected(2)));
+        // What the transaction sees is what commit produces: the deletion
+        // event removes every identical copy.
+        assert_eq!(s.query_rows("SELECT * FROM u").unwrap().len(), 1);
+        s.execute("COMMIT").unwrap();
+        assert_eq!(s.query_rows("SELECT * FROM u").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn dry_run_check_preserves_hand_staged_events() {
+        use tintin_engine::Value;
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        {
+            // Engine-level escape hatch: stage an event directly.
+            let mut db = s.database().write();
+            db.enable_capture("t").unwrap();
+            db.insert_rows("t", vec![vec![Value::Int(5)]]).unwrap();
+        }
+        s.execute("BEGIN; INSERT INTO t VALUES (6);").unwrap();
+        let (violations, _) = s.check_pending().unwrap();
+        assert!(violations.is_empty());
+        // The dry run staged and unstaged the overlay without destroying
+        // the hand-staged event.
+        assert_eq!(s.database().read().table("ins_t").unwrap().len(), 1);
+        s.execute("ROLLBACK").unwrap();
+        // The no-transaction dry run is side-effect-free too: the staged
+        // event is checked but neither applied nor normalized away.
+        s.check_pending().unwrap();
+        assert_eq!(s.database().read().table("ins_t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn identical_reinsert_is_a_visible_noop_and_commits() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+            .unwrap();
+        s.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+        s.execute("BEGIN; INSERT INTO t VALUES (1, 10); INSERT INTO t VALUES (1, 10);")
+            .unwrap();
+        // The no-op insertions are dropped at plan time: read-your-writes
+        // never shows duplicate rows…
+        assert_eq!(s.query_rows("SELECT * FROM t").unwrap().len(), 1);
+        assert_eq!(s.pending_counts(), (0, 0));
+        // …and COMMIT (with zero assertions installed, so the check loop
+        // alone would never normalize) applies cleanly.
+        let out = s.execute("COMMIT").unwrap();
+        assert!(out[0].is_committed(), "got {:?}", out[0]);
+        assert_eq!(s.query_rows("SELECT * FROM t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn commit_normalizes_even_without_assertions() {
+        use tintin_engine::Value;
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        s.execute("INSERT INTO t VALUES (1)").unwrap();
+        {
+            // Hand-stage an event identical to an existing base row: the
+            // set-semantics no-op normalization must drop it even when no
+            // assertion is installed. (Capture is already on: the
+            // autocommit above enabled it when staging.)
+            let mut db = s.database().write();
+            if !db.is_captured("t") {
+                db.enable_capture("t").unwrap();
+            }
+            db.insert_rows("t", vec![vec![Value::Int(1)]]).unwrap();
+        }
+        let out = s
+            .execute("BEGIN; INSERT INTO t VALUES (2); COMMIT;")
+            .unwrap();
+        assert!(out.last().unwrap().is_committed(), "got {out:?}");
+        assert_eq!(s.query_rows("SELECT * FROM t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dry_run_check_does_not_leak_capture() {
+        let mut s = Session::new();
+        s.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        s.execute("BEGIN; INSERT INTO t VALUES (1);").unwrap();
+        s.check_pending().unwrap();
+        // The dry run staged onto an uncaptured table; restoring must
+        // disable the capture it enabled…
+        assert!(!s.database().read().is_captured("t"));
+        s.execute("ROLLBACK").unwrap();
+        // …so the documented direct bulk-load path still hits the base
+        // table instead of being diverted into ins_t.
+        s.database()
+            .write()
+            .execute_sql("INSERT INTO t VALUES (9)")
+            .unwrap();
+        assert_eq!(s.database().read().table("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn session_count_tracks_connects_and_drops() {
+        let server = Server::new();
+        assert_eq!(server.session_count(), 0);
+        let a = server.connect();
+        let b = server.connect();
+        assert_eq!(server.session_count(), 2);
+        assert_ne!(a.id(), b.id());
+        drop(a);
+        assert_eq!(server.session_count(), 1);
+        drop(b);
+        assert_eq!(server.session_count(), 0);
+    }
+
+    #[test]
+    fn assertions_installed_by_one_session_bind_all() {
+        let server = Server::new();
+        let mut a = server.connect();
+        let mut b = server.connect();
+        a.execute("CREATE TABLE t (v INT PRIMARY KEY)").unwrap();
+        a.execute("CREATE ASSERTION positive CHECK (NOT EXISTS (SELECT * FROM t WHERE v < 0))")
+            .unwrap();
+        // The other session is bound by it immediately.
+        assert!(b.execute("INSERT INTO t VALUES (-1)").unwrap()[0].is_rejected());
+        assert!(b.execute("INSERT INTO t VALUES (1)").unwrap()[0].is_committed());
+        assert_eq!(b.assertion_names(), vec!["positive".to_string()]);
     }
 }

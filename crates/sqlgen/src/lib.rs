@@ -1,5 +1,5 @@
 //! `tintin-sqlgen` — compilation of Event Dependency Constraints into
-//! standard SQL queries (paper §2, step 3, after [4]).
+//! standard SQL queries (paper §2, step 3, after \[4\]).
 //!
 //! Each EDC becomes one `SELECT` (stored as a view by the `tintin` crate):
 //!

@@ -185,7 +185,7 @@ impl UpdateGen {
         stats
     }
 
-    /// A batch like [`valid_batch`] plus `violations` updates that each
+    /// A batch like [`Self::valid_batch`] plus `violations` updates that each
     /// violate the atLeastOneLineItem assertion.
     pub fn violating_batch(
         &mut self,

@@ -1,7 +1,8 @@
 //! Interactive command-line front-end — the CLI equivalent of the paper's
-//! GUI (Figure 3), now backed by a transactional [`Session`]: connect to a
-//! database, install assertions, and group updates into `BEGIN … COMMIT`
-//! transactions that are checked by `safeCommit` at commit time.
+//! GUI (Figure 3), backed by a shared-database [`Server`]: any number of
+//! sessions attach to one database, install assertions, and group updates
+//! into `BEGIN … COMMIT` transactions that are checked by `safeCommit` at
+//! commit time.
 //!
 //! Run with: `cargo run --example repl`
 //!
@@ -11,14 +12,18 @@
 //!             SELECT * FROM orders WHERE o_orderkey < 0));
 //! tintin> BEGIN;
 //! tintin*> INSERT INTO orders VALUES (-1);
-//! tintin*> .tx
-//! tintin*> COMMIT;            -- rejected, transaction rolled back
+//! tintin*> SELECT * FROM orders;   -- read-your-writes: the pending row
+//! tintin*> .session new            -- a second session over the same db
+//! tintin[2]> SELECT * FROM orders; -- sees nothing: the insert is pending
+//! tintin[2]> .session 1
+//! tintin[1]*> COMMIT;              -- rejected, transaction rolled back
 //! ```
 //!
-//! The prompt shows `tintin*>` while a transaction is open.
+//! The prompt shows `tintin*>` while a transaction is open, and the session
+//! id (`tintin[2]>`) once more than one session is attached.
 
 use std::io::{BufRead, Write};
-use tintin_session::{Session, StatementOutcome};
+use tintin_session::{Server, Session, StatementOutcome};
 
 const HELP: &str = "\
 SQL (terminated by ';'):
@@ -29,10 +34,16 @@ SQL (terminated by ';'):
   DROP ASSERTION name;                uninstall it
   other DDL / INSERT / DELETE / UPDATE / SELECT
       outside a transaction, DML autocommits (checked immediately);
-      inside one it accumulates as pending events until COMMIT
+      inside one it accumulates as this session's pending update —
+      your own SELECTs see it (read-your-writes), other sessions don't
+
+Sessions (all attached to the same shared database):
+  .sessions         list attached sessions and their transaction state
+  .session new      open a new session and switch to it
+  .session <n>      switch to session n
 
 Meta-commands (no semicolon needed):
-  .tx               transaction status: pending ins_T/del_T row counts,
+  .tx               transaction status: pending insert/delete row counts,
                     savepoints
   explain <query>;  show the access-path plan (scans vs index probes)
   assert <sql>;     queue a CREATE ASSERTION for the next `install`
@@ -80,19 +91,36 @@ fn print_outcome(outcome: StatementOutcome) {
     }
 }
 
+fn list_sessions(sessions: &[Session], cur: usize) {
+    for (i, s) in sessions.iter().enumerate() {
+        let marker = if i == cur { "*" } else { " " };
+        let (ins, del) = s.pending_counts();
+        let tx = if s.in_transaction() {
+            format!("transaction open, pending +{ins}/-{del}")
+        } else {
+            "autocommit".to_string()
+        };
+        println!("{marker} session {} — {tx}", s.id());
+    }
+}
+
 fn main() {
     println!("TINTIN repl — type `help` for commands.");
-    let mut session = Session::new();
+    let server = Server::new();
+    let mut sessions: Vec<Session> = vec![server.connect()];
+    let mut cur = 0usize;
     let mut queued: Vec<String> = Vec::new();
     let stdin = std::io::stdin();
     let mut buffer = String::new();
 
     loop {
+        let session = &mut sessions[cur];
         if buffer.is_empty() {
-            if session.in_transaction() {
-                print!("tintin*> ");
+            let star = if session.in_transaction() { "*" } else { "" };
+            if sessions.len() > 1 {
+                print!("tintin[{}]{star}> ", sessions[cur].id());
             } else {
-                print!("tintin> ");
+                print!("tintin{star}> ");
             }
         } else {
             print!("   ...> ");
@@ -106,6 +134,7 @@ fn main() {
         if line.is_empty() {
             continue;
         }
+        let session = &mut sessions[cur];
 
         // Single-word commands work without a terminating semicolon.
         if buffer.is_empty() {
@@ -113,6 +142,16 @@ fn main() {
                 "quit" | "exit" => break,
                 "help" => {
                     println!("{HELP}");
+                    continue;
+                }
+                ".sessions" => {
+                    list_sessions(&sessions, cur);
+                    continue;
+                }
+                ".session new" => {
+                    sessions.push(server.connect());
+                    cur = sessions.len() - 1;
+                    println!("session {} opened", sessions[cur].id());
                     continue;
                 }
                 ".tx" => {
@@ -124,8 +163,8 @@ fn main() {
                         } else {
                             for p in pending {
                                 println!(
-                                    "  {:<12} ins_{}: {:>5}   del_{}: {:>5}",
-                                    p.table, p.table, p.inserts, p.table, p.deletes
+                                    "  {:<12} +ins: {:>5}   -del: {:>5}",
+                                    p.table, p.inserts, p.deletes
                                 );
                             }
                         }
@@ -186,16 +225,14 @@ fn main() {
                     continue;
                 }
                 "tables" => {
-                    for t in session.database().table_names() {
-                        println!(
-                            "  {t} ({} rows)",
-                            session.database().table(&t).unwrap().len()
-                        );
+                    let db = session.database().read();
+                    for t in db.table_names() {
+                        println!("  {t} ({} rows)", db.table(&t).unwrap().len());
                     }
                     continue;
                 }
                 "views" => {
-                    for v in session.database().view_names() {
+                    for v in session.database().read().view_names() {
                         println!("  {v}");
                     }
                     continue;
@@ -227,6 +264,19 @@ fn main() {
                 }
                 _ => {}
             }
+            if let Some(rest) = line.strip_prefix(".session ") {
+                match rest.trim().parse::<u64>() {
+                    Ok(id) => match sessions.iter().position(|s| s.id() == id) {
+                        Some(i) => {
+                            cur = i;
+                            println!("switched to session {id}");
+                        }
+                        None => println!("no session {id}; `.sessions` lists them"),
+                    },
+                    Err(_) => println!("usage: .session new | .session <id>"),
+                }
+                continue;
+            }
         }
 
         // Accumulate until a terminating semicolon.
@@ -239,7 +289,7 @@ fn main() {
         let input = input.trim().trim_end_matches(';').trim();
 
         if let Some(rest) = input.strip_prefix("explain ") {
-            match session.database().explain_sql(rest) {
+            match session.database().read().explain_sql(rest) {
                 Ok(plan) => print!("{plan}"),
                 Err(e) => println!("error: {e}"),
             }

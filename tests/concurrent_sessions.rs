@@ -1,0 +1,317 @@
+//! Acceptance tests for concurrent sessions over one shared database.
+//!
+//! The contract under test (see `docs/ARCHITECTURE.md`):
+//!
+//! * any number of [`Session`]s attach to one [`SharedDatabase`] through a
+//!   [`Server`];
+//! * a transaction's pending update is visible to its own queries
+//!   (read-your-writes) and to nobody else;
+//! * `COMMIT` is one exclusive critical section — a violating commit rolls
+//!   back atomically while a concurrent valid commit survives, and no
+//!   session ever observes a torn intermediate state.
+
+use std::sync::{Arc, Barrier};
+use tintin_session::{Server, Session, StatementOutcome};
+
+/// orders/lineitem schema with the paper's running-example assertion:
+/// every order must have at least one lineitem.
+fn orders_server() -> Server {
+    let server = Server::new();
+    let mut s = server.connect();
+    s.execute(
+        "CREATE TABLE orders (o_orderkey INT PRIMARY KEY, o_totalprice REAL);
+         CREATE TABLE lineitem (
+             l_orderkey INT NOT NULL REFERENCES orders,
+             l_linenumber INT NOT NULL,
+             PRIMARY KEY (l_orderkey, l_linenumber));
+         CREATE ASSERTION atLeastOneLineItem CHECK (NOT EXISTS (
+             SELECT * FROM orders o WHERE NOT EXISTS (
+                 SELECT * FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)));",
+    )
+    .unwrap();
+    server
+}
+
+fn count(s: &Session, sql: &str) -> usize {
+    s.query_rows(sql).unwrap().len()
+}
+
+/// The acceptance scenario from the issue, single-threaded for a
+/// deterministic interleaving: two sessions, both with open transactions;
+/// a SELECT inside each observes that transaction's own pending
+/// inserts/deletes but not the other session's; the violating commit rolls
+/// back while the valid one survives.
+#[test]
+fn interleaved_transactions_are_isolated_until_commit() {
+    let server = orders_server();
+    let mut good = server.connect();
+    let mut bad = server.connect();
+    assert!(good.database().same_database(bad.database()));
+
+    good.execute("BEGIN; INSERT INTO orders VALUES (1, 10.0); INSERT INTO lineitem VALUES (1, 1);")
+        .unwrap();
+    bad.execute("BEGIN; INSERT INTO orders VALUES (2, 20.0);")
+        .unwrap();
+
+    // Read-your-writes: each session sees exactly its own pending rows.
+    assert_eq!(count(&good, "SELECT * FROM orders WHERE o_orderkey = 1"), 1);
+    assert_eq!(count(&good, "SELECT * FROM orders WHERE o_orderkey = 2"), 0);
+    assert_eq!(count(&bad, "SELECT * FROM orders WHERE o_orderkey = 2"), 1);
+    assert_eq!(count(&bad, "SELECT * FROM orders WHERE o_orderkey = 1"), 0);
+    // …including through joins/subqueries: `good`'s pending order has a
+    // pending lineitem, `bad`'s does not.
+    let orphans = "SELECT * FROM orders o WHERE NOT EXISTS (
+        SELECT * FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)";
+    assert_eq!(count(&good, orphans), 0);
+    assert_eq!(count(&bad, orphans), 1);
+    // The shared database itself has seen nothing.
+    assert_eq!(server.database().read().table("orders").unwrap().len(), 0);
+
+    // The valid commit survives; the violating one rolls back atomically.
+    let out = good.execute("COMMIT").unwrap();
+    assert!(out[0].is_committed(), "got {:?}", out[0]);
+    let out = bad.execute("COMMIT").unwrap();
+    let StatementOutcome::Rejected { violations, .. } = &out[0] else {
+        panic!("expected rejection, got {:?}", out[0]);
+    };
+    assert_eq!(violations[0].assertion, "atleastonelineitem");
+
+    // Final state: only the valid order, fully consistent, no stray events.
+    for s in [&good, &bad] {
+        assert_eq!(count(s, "SELECT * FROM orders"), 1);
+        assert_eq!(count(s, orphans), 0);
+        assert_eq!(s.pending_counts(), (0, 0));
+    }
+}
+
+/// After `good` commits, `bad`'s open transaction observes the newly
+/// committed rows alongside its own pending ones (read-committed plus
+/// read-your-writes — the MVCC snapshot upgrade is a roadmap item).
+#[test]
+fn open_transaction_sees_other_sessions_commits_plus_own_writes() {
+    let server = orders_server();
+    let mut good = server.connect();
+    let mut bad = server.connect();
+
+    bad.execute("BEGIN; INSERT INTO orders VALUES (2, 20.0);")
+        .unwrap();
+    good.execute(
+        "BEGIN; INSERT INTO orders VALUES (1, 10.0); INSERT INTO lineitem VALUES (1, 1); COMMIT;",
+    )
+    .unwrap();
+
+    assert_eq!(count(&bad, "SELECT * FROM orders"), 2);
+    bad.execute("ROLLBACK").unwrap();
+    assert_eq!(count(&bad, "SELECT * FROM orders"), 1);
+}
+
+/// Two threads race their commits; one violates the assertion. Whatever the
+/// interleaving, the violator rolls back, the valid commit survives, and
+/// the final state is consistent.
+#[test]
+fn racing_commits_violator_rolls_back_valid_survives() {
+    for round in 0..16 {
+        let server = orders_server();
+        let barrier = Arc::new(Barrier::new(2));
+
+        let valid = {
+            let mut s = server.connect();
+            let b = barrier.clone();
+            std::thread::spawn(move || {
+                s.execute("BEGIN").unwrap();
+                s.execute(&format!(
+                    "INSERT INTO orders VALUES ({round}, 10.0);
+                     INSERT INTO lineitem VALUES ({round}, 1);"
+                ))
+                .unwrap();
+                b.wait();
+                s.execute("COMMIT").unwrap().pop().unwrap()
+            })
+        };
+        let violating = {
+            let mut s = server.connect();
+            let b = barrier.clone();
+            std::thread::spawn(move || {
+                s.execute("BEGIN").unwrap();
+                s.execute(&format!(
+                    "INSERT INTO orders VALUES ({}, 66.0)",
+                    round + 1000
+                ))
+                .unwrap();
+                b.wait();
+                s.execute("COMMIT").unwrap().pop().unwrap()
+            })
+        };
+
+        let valid_out = valid.join().unwrap();
+        let violating_out = violating.join().unwrap();
+        assert!(
+            valid_out.is_committed(),
+            "round {round}: valid commit lost: {valid_out:?}"
+        );
+        assert!(
+            violating_out.is_rejected(),
+            "round {round}: violating commit survived: {violating_out:?}"
+        );
+
+        let check = server.connect();
+        assert_eq!(count(&check, "SELECT * FROM orders"), 1);
+        assert_eq!(
+            count(
+                &check,
+                "SELECT * FROM orders o WHERE NOT EXISTS (
+                     SELECT * FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)"
+            ),
+            0,
+            "round {round}: inconsistent state committed"
+        );
+        assert_eq!(server.database().read().pending_counts(), (0, 0));
+    }
+}
+
+/// A reader hammering the invariant while writers commit valid batches:
+/// because `COMMIT` holds the exclusive write lock for the whole
+/// check-and-apply section, no read can ever observe an order without its
+/// lineitem (a torn, mid-commit state).
+#[test]
+fn readers_never_observe_torn_commits() {
+    let server = orders_server();
+    let writers: Vec<_> = (0..2)
+        .map(|w| {
+            let mut s = server.connect();
+            std::thread::spawn(move || {
+                for i in 0..50 {
+                    let key = w * 1000 + i;
+                    let out = s
+                        .execute(&format!(
+                            "BEGIN;
+                             INSERT INTO orders VALUES ({key}, 1.0);
+                             INSERT INTO lineitem VALUES ({key}, 1);
+                             COMMIT;"
+                        ))
+                        .unwrap();
+                    assert!(out.last().unwrap().is_committed());
+                }
+            })
+        })
+        .collect();
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let s = server.connect();
+            std::thread::spawn(move || {
+                let mut observed = 0usize;
+                loop {
+                    let orders = count(&s, "SELECT * FROM orders");
+                    let orphans = count(
+                        &s,
+                        "SELECT * FROM orders o WHERE NOT EXISTS (
+                             SELECT * FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)",
+                    );
+                    assert_eq!(orphans, 0, "torn commit observed at {orders} orders");
+                    observed = observed.max(orders);
+                    if orders == 100 {
+                        return observed;
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    for r in readers {
+        assert_eq!(r.join().unwrap(), 100);
+    }
+}
+
+/// Write-write conflict on the same primary key with different payloads:
+/// exactly one commit applies; the loser fails at apply time and its
+/// transaction is discarded without corrupting the shared state.
+#[test]
+fn conflicting_commits_exactly_one_wins() {
+    let server = Server::new();
+    server
+        .connect()
+        .execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+        .unwrap();
+    let barrier = Arc::new(Barrier::new(2));
+    let handles: Vec<_> = (0..2)
+        .map(|v| {
+            let mut s = server.connect();
+            let b = barrier.clone();
+            std::thread::spawn(move || {
+                s.execute("BEGIN").unwrap();
+                s.execute(&format!("INSERT INTO t VALUES (1, {v})"))
+                    .unwrap();
+                b.wait();
+                s.execute("COMMIT").map(|mut o| o.pop().unwrap())
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let committed = results
+        .iter()
+        .filter(|r| matches!(r, Ok(o) if o.is_committed()))
+        .count();
+    let failed = results.iter().filter(|r| r.is_err()).count();
+    assert_eq!((committed, failed), (1, 1), "got {results:?}");
+
+    let check = server.connect();
+    assert_eq!(count(&check, "SELECT * FROM t"), 1);
+    assert_eq!(server.database().read().pending_counts(), (0, 0));
+}
+
+/// Two transactions update the same row; the first commit wins and the
+/// second surfaces as a write-write conflict — not as a silent "lost
+/// update" where both versions of the row end up coexisting.
+#[test]
+fn stale_delete_surfaces_as_conflict_not_lost_update() {
+    use tintin_engine::Value;
+    use tintin_session::SessionError;
+
+    let server = Server::new();
+    server
+        .connect()
+        .execute("CREATE TABLE t (a INT, b INT); INSERT INTO t VALUES (1, 10);")
+        .unwrap();
+    let mut first = server.connect();
+    let mut second = server.connect();
+    first
+        .execute("BEGIN; UPDATE t SET b = 11 WHERE a = 1;")
+        .unwrap();
+    second
+        .execute("BEGIN; UPDATE t SET b = 12 WHERE a = 1;")
+        .unwrap();
+    assert!(first.execute("COMMIT").unwrap()[0].is_committed());
+    // Second's planned deletion of (1, 10) is stale now: conflict error,
+    // transaction discarded, nothing half-applied.
+    let err = second.execute("COMMIT").unwrap_err();
+    assert!(matches!(err, SessionError::Engine(_)), "got {err:?}");
+    assert!(!second.in_transaction());
+
+    let check = server.connect();
+    let rs = check.query_rows("SELECT b FROM t").unwrap();
+    assert_eq!(rs.len(), 1, "lost update: both versions survived");
+    assert_eq!(rs.rows[0][0], Value::Int(11));
+    assert_eq!(server.database().read().pending_counts(), (0, 0));
+}
+
+/// Sessions are plain `Send` values: a session created on one thread can be
+/// moved to another, and the server handle can be shared freely.
+#[test]
+fn sessions_and_server_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Server>();
+    assert_send::<Session>();
+
+    let server = orders_server();
+    let mut moved = server.connect();
+    std::thread::spawn(move || {
+        moved
+            .execute("BEGIN; INSERT INTO orders VALUES (7, 1.0); INSERT INTO lineitem VALUES (7, 1); COMMIT;")
+            .unwrap();
+    })
+    .join()
+    .unwrap();
+    assert_eq!(count(&server.connect(), "SELECT * FROM orders"), 1);
+}

@@ -308,6 +308,24 @@ fn snapshot(db: &Database) -> Vec<(String, Vec<String>)> {
         .collect()
 }
 
+/// The state the *session* observes: base tables read through its
+/// transaction overlay (read-your-writes), rows sorted. This is what
+/// `ROLLBACK` / `ROLLBACK TO` must restore under the shared-database
+/// design, where the shared state itself is untouched until `COMMIT`.
+fn visible_snapshot(session: &Session) -> Vec<(String, Vec<String>)> {
+    ["parent", "child", "item"]
+        .iter()
+        .map(|t| {
+            let rs = session
+                .query_rows(&format!("SELECT * FROM {t}"))
+                .expect("base table is queryable");
+            let mut rows: Vec<String> = rs.rows.iter().map(|r| format!("{r:?}")).collect();
+            rows.sort();
+            (t.to_string(), rows)
+        })
+        .collect()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 48,
@@ -384,9 +402,10 @@ proptest! {
         prop_assert_eq!(db.pending_counts(), (0, 0), "events not truncated");
     }
 
-    /// `BEGIN; <random DML>; ROLLBACK` is a no-op on base tables *and*
-    /// event tables — even when the transaction starts with pending events
-    /// already captured (a proposed-but-uncommitted update).
+    /// `BEGIN; <random DML>; ROLLBACK` is a no-op on the state the session
+    /// observes — and the *shared* database never sees the uncommitted
+    /// work at any point, even when the transaction starts with pending
+    /// events already staged in the shared event tables.
     #[test]
     fn begin_dml_rollback_is_a_noop(
         initial in initial_state_strategy(),
@@ -397,25 +416,38 @@ proptest! {
         let db = captured_db(&initial, &pre_ops);
         let mut session = Session::with_database(db);
 
-        let before = snapshot(session.database());
+        let shared_before = snapshot(&session.database().read());
+        let visible_before = visible_snapshot(&session);
         session.execute("BEGIN").unwrap();
         for op in &tx_ops {
-            // Individual statements may legitimately fail (e.g. duplicate
-            // event capture); failures must not break rollback either.
+            // Individual statements may legitimately fail; failures must
+            // not break rollback either.
             let _ = session.execute(&op_sql(op));
         }
+        prop_assert_eq!(
+            snapshot(&session.database().read()),
+            shared_before.clone(),
+            "uncommitted work leaked into the shared database; tx_ops: {:?}",
+            tx_ops
+        );
         session.execute("ROLLBACK").unwrap();
         prop_assert_eq!(
-            snapshot(session.database()),
-            before,
-            "rollback was not a no-op; tx_ops: {:?}",
+            snapshot(&session.database().read()),
+            shared_before,
+            "rollback was not a no-op on the shared state; tx_ops: {:?}",
+            tx_ops
+        );
+        prop_assert_eq!(
+            visible_snapshot(&session),
+            visible_before,
+            "rollback was not a no-op on the visible state; tx_ops: {:?}",
             tx_ops
         );
     }
 
-    /// `ROLLBACK TO <savepoint>` restores exactly the state at the
-    /// savepoint and is replayable: more DML followed by another
-    /// `ROLLBACK TO` lands on the same state again.
+    /// `ROLLBACK TO <savepoint>` restores exactly the state the session
+    /// observed at the savepoint and is replayable: more DML followed by
+    /// another `ROLLBACK TO` lands on the same state again.
     #[test]
     fn rollback_to_savepoint_is_replayable(
         initial in initial_state_strategy(),
@@ -425,31 +457,34 @@ proptest! {
     ) {
         let db = captured_db(&initial, &[]);
         let mut session = Session::with_database(db);
+        let shared_before = snapshot(&session.database().read());
 
         session.execute("BEGIN").unwrap();
         for op in &ops_a {
             let _ = session.execute(&op_sql(op));
         }
         session.execute("SAVEPOINT mark").unwrap();
-        let at_mark = snapshot(session.database());
+        let at_mark = visible_snapshot(&session);
+        let pending_at_mark = session.pending_counts();
 
         for op in &ops_b {
             let _ = session.execute(&op_sql(op));
         }
         session.execute("ROLLBACK TO mark").unwrap();
         prop_assert_eq!(
-            snapshot(session.database()),
+            visible_snapshot(&session),
             at_mark.clone(),
             "first ROLLBACK TO missed the mark; ops_b: {:?}",
             ops_b
         );
+        prop_assert_eq!(session.pending_counts(), pending_at_mark);
 
         for op in &ops_c {
             let _ = session.execute(&op_sql(op));
         }
         session.execute("ROLLBACK TO mark").unwrap();
         prop_assert_eq!(
-            snapshot(session.database()),
+            visible_snapshot(&session),
             at_mark,
             "second ROLLBACK TO missed the mark; ops_c: {:?}",
             ops_c
@@ -457,5 +492,10 @@ proptest! {
 
         session.execute("ROLLBACK").unwrap();
         prop_assert_eq!(session.pending_counts(), (0, 0));
+        prop_assert_eq!(
+            snapshot(&session.database().read()),
+            shared_before,
+            "the whole transaction must leave the shared database untouched"
+        );
     }
 }

@@ -24,7 +24,7 @@ fn table_sizes(session: &Session) -> Vec<(String, usize)> {
         .map(|t| {
             (
                 t.to_string(),
-                session.database().table(t).expect("table").len(),
+                session.database().read().table(t).expect("table").len(),
             )
         })
         .collect()
