@@ -1,0 +1,248 @@
+//! `commit_scaling` — how commit latency scales with the number of
+//! *installed* assertions when the update touches only a few tables.
+//!
+//! TINTIN's promise is that commit-time checking cost scales with the
+//! *update*, not with the database or the number of installed assertions.
+//! This runner measures the median `safeCommit` latency over a schema of
+//! `TABLES` tables with N ∈ {1, 16, 128} single-table assertions installed,
+//! sweeping the fraction of tables the commit touches — and compares it
+//! against the pre-optimization "recompile everything" commit path, which
+//! consulted every installed view's gate and compiled every evaluated view
+//! from its AST on each commit.
+//!
+//! ```text
+//! cargo run -p tintin-bench --release --bin commit_scaling            # full
+//! cargo run -p tintin-bench --release --bin commit_scaling -- --smoke # CI
+//! cargo run -p tintin-bench --release --bin commit_scaling -- --out path.json
+//! ```
+//!
+//! Results are written as JSON (default `BENCH_commit_path.json`, intended
+//! to be checked in at the repository root so the perf trajectory of the
+//! commit path is recorded over time).
+
+use std::time::{Duration, Instant};
+use tintin::{Installation, Tintin, TintinConfig};
+use tintin_engine::{del_table_name, ins_table_name, Database, Value};
+
+/// Number of base tables in the synthetic schema.
+const TABLES: usize = 16;
+/// Rows preloaded per table.
+const PRELOAD: i64 = 1000;
+
+struct Config {
+    iterations: usize,
+    out_path: String,
+}
+
+/// One measured cell of the sweep.
+struct Cell {
+    assertions: usize,
+    touched_tables: usize,
+    views_total: usize,
+    views_evaluated: usize,
+    optimized: Duration,
+    baseline: Duration,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_commit_path.json".to_string());
+    let config = Config {
+        iterations: if smoke { 1 } else { 31 },
+        out_path,
+    };
+
+    let mut cells = Vec::new();
+    for &n_assertions in &[1usize, 16, 128] {
+        for &touched in &[1usize, 4, 16] {
+            let cell = measure(n_assertions, touched, config.iterations);
+            println!(
+                "assertions={:>4} touched={:>2}/{TABLES} views {:>3}/{:<3} \
+                 optimized {:>10?}  recompile-baseline {:>10?}  speedup {:>5.1}x",
+                cell.assertions,
+                cell.touched_tables,
+                cell.views_evaluated,
+                cell.views_total,
+                cell.optimized,
+                cell.baseline,
+                speedup(&cell),
+            );
+            cells.push(cell);
+        }
+    }
+
+    let json = render_json(&cells, config.iterations);
+    std::fs::write(&config.out_path, json).expect("write results file");
+    println!("\nwrote {}", config.out_path);
+
+    // The headline cell the optimization is judged by: 128 installed
+    // single-table assertions, a commit touching one table.
+    if let Some(cell) = cells
+        .iter()
+        .find(|c| c.assertions == 128 && c.touched_tables == 1)
+    {
+        println!(
+            "headline (128 assertions, 1 touched table): {:.1}x",
+            speedup(cell)
+        );
+    }
+}
+
+fn speedup(c: &Cell) -> f64 {
+    c.baseline.as_secs_f64() / c.optimized.as_secs_f64().max(1e-9)
+}
+
+/// Fresh database: `TABLES` tables preloaded with consistent rows, plus one
+/// installation of `n` single-table assertions spread round-robin.
+fn setup(n_assertions: usize) -> (Database, Tintin, Installation) {
+    let mut db = Database::new();
+    for t in 0..TABLES {
+        db.execute_sql(&format!("CREATE TABLE t{t} (id INT PRIMARY KEY, v INT)"))
+            .unwrap();
+        let rows: Vec<Vec<Value>> = (1..=PRELOAD)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 97)])
+            .collect();
+        db.insert_direct(&format!("t{t}"), rows).unwrap();
+    }
+    let assertions: Vec<String> = (0..n_assertions)
+        .map(|i| {
+            format!(
+                "CREATE ASSERTION nonneg{i} CHECK (NOT EXISTS (
+                     SELECT * FROM t{} WHERE v < 0))",
+                i % TABLES
+            )
+        })
+        .collect();
+    let refs: Vec<&str> = assertions.iter().map(|s| s.as_str()).collect();
+    let tintin = Tintin::with_config(TintinConfig {
+        check_initial_state: false, // preloaded data is consistent by construction
+        ..TintinConfig::default()
+    });
+    let inst = tintin.install(&mut db, &refs).expect("install");
+    (db, tintin, inst)
+}
+
+/// Stage one valid insert into each of the first `touched` tables.
+fn stage_update(db: &mut Database, touched: usize, next_id: &mut i64) {
+    *next_id += 1;
+    for t in 0..touched {
+        db.insert_rows(
+            &format!("t{t}"),
+            vec![vec![Value::Int(*next_id), Value::Int(7)]],
+        )
+        .unwrap();
+    }
+}
+
+fn measure(n_assertions: usize, touched: usize, iterations: usize) -> Cell {
+    // Optimized path: the real `safeCommit` — relevance index + prepared
+    // plans.
+    let (mut db, tintin, inst) = setup(n_assertions);
+    let mut next_id = PRELOAD;
+    let mut views_evaluated = 0;
+    // One warm-up commit outside the measurement (cold caches are a
+    // one-off, not the steady state being measured).
+    stage_update(&mut db, touched, &mut next_id);
+    tintin.safe_commit(&mut db, &inst).unwrap();
+    let mut opt_samples = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        stage_update(&mut db, touched, &mut next_id);
+        let t0 = Instant::now();
+        let outcome = tintin.safe_commit(&mut db, &inst).unwrap();
+        opt_samples.push(t0.elapsed());
+        assert!(outcome.is_committed(), "benchmark updates are valid");
+        views_evaluated = outcome.stats().views_evaluated;
+    }
+
+    // Baseline: the pre-optimization commit path — normalize, consult the
+    // gate of *every* installed view against the database, compile every
+    // evaluated view from its AST, then apply and truncate.
+    let (mut db, _tintin, inst) = setup(n_assertions);
+    let mut next_id = PRELOAD;
+    stage_update(&mut db, touched, &mut next_id);
+    baseline_commit(&mut db, &inst);
+    let mut base_samples = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        stage_update(&mut db, touched, &mut next_id);
+        let t0 = Instant::now();
+        baseline_commit(&mut db, &inst);
+        base_samples.push(t0.elapsed());
+    }
+
+    Cell {
+        assertions: n_assertions,
+        touched_tables: touched,
+        views_total: inst.view_count(),
+        views_evaluated,
+        optimized: median(&mut opt_samples),
+        baseline: median(&mut base_samples),
+    }
+}
+
+/// The old commit path, reconstructed over public APIs: per-view gate
+/// probing against the database and per-execution compilation
+/// (`Database::query` on the view's AST).
+fn baseline_commit(db: &mut Database, inst: &Installation) {
+    db.normalize_events().unwrap();
+    for view in inst.views() {
+        let gate_open = view.gate.iter().all(|(is_ins, table)| {
+            let name = if *is_ins {
+                ins_table_name(table)
+            } else {
+                del_table_name(table)
+            };
+            db.table(&name).map(|t| !t.is_empty()).unwrap_or(false)
+        });
+        if !gate_open {
+            continue;
+        }
+        let rs = db.query(&view.query).unwrap();
+        assert!(rs.is_empty(), "benchmark updates are valid");
+    }
+    let _ = db.pending_counts();
+    db.apply_pending().unwrap();
+    db.truncate_events();
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn render_json(cells: &[Cell], iterations: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"commit_scaling\",\n");
+    out.push_str(&format!("  \"tables\": {TABLES},\n"));
+    out.push_str(&format!("  \"preload_rows_per_table\": {PRELOAD},\n"));
+    out.push_str(&format!("  \"iterations\": {iterations},\n"));
+    out.push_str(
+        "  \"note\": \"median safeCommit latency; baseline is the \
+         pre-optimization recompile-everything commit path\",\n",
+    );
+    out.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"assertions\": {}, \"touched_tables\": {}, \
+             \"touched_fraction\": {:.4}, \"views_total\": {}, \
+             \"views_evaluated\": {}, \"optimized_commit_us\": {:.1}, \
+             \"recompile_baseline_us\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            c.assertions,
+            c.touched_tables,
+            c.touched_tables as f64 / TABLES as f64,
+            c.views_total,
+            c.views_evaluated,
+            c.optimized.as_secs_f64() * 1e6,
+            c.baseline.as_secs_f64() * 1e6,
+            speedup(c),
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -55,8 +55,9 @@ pub use error::{Result, TintinError};
 pub use fk::assertions_from_foreign_keys;
 pub use tintin_logic::{EdcConfig, OptimizerConfig};
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
-use tintin_engine::{Database, NormalizationReport, ResultSet};
+use tintin_engine::{Database, NormalizationReport, PreparedQuery, ResultSet};
 use tintin_logic::{EdcGenerator, Registry, SchemaCatalog};
 use tintin_sql as sql;
 use tintin_sqlgen::GeneratedView;
@@ -128,6 +129,9 @@ pub struct FallbackCheck {
     pub queries: Vec<sql::Query>,
     /// Tables whose events make the check necessary.
     pub tables: Vec<String>,
+    /// Prepared plans for `queries`, compiled at install time (one per
+    /// query, in order).
+    plans: Vec<PreparedQuery>,
 }
 
 /// Handle to an installed set of assertions.
@@ -136,10 +140,139 @@ pub struct Installation {
     /// The assertions of this installation, with provenance.
     pub assertions: Vec<InstalledAssertion>,
     views: Vec<GeneratedView>,
+    /// Prepared plans for the views, compiled once at install time
+    /// (parallel to `views`). Re-compilation after DDL is transparent and
+    /// accounted in [`CheckStats::plans_recompiled`].
+    plans: Vec<PreparedQuery>,
     /// Aggregate assertions checked non-incrementally (with event gating).
     pub fallbacks: Vec<FallbackCheck>,
     /// Human-readable denial forms, for demos and docs.
     pub denial_texts: Vec<String>,
+    /// Table → views relevance index (see [`RelevanceIndex`]).
+    relevance: RelevanceIndex,
+}
+
+/// The table → check dependency index behind the emptiness shortcut.
+///
+/// Every incremental view carries a *gate*: the set of event tables that
+/// must all be non-empty for the view to possibly return rows (each view
+/// joins its gating events positively). Indexing views by their first gate
+/// entry turns the commit-time check loop inside out: instead of consulting
+/// the gate of every installed view on every commit — O(installed checks) —
+/// the checker looks up only the event tables the pending update actually
+/// touched and gets the candidate views back, making the write-locked
+/// critical section O(touched checks). This is the "relevance" idea of
+/// simplified integrity checking: constraints over relations the update
+/// does not mention cannot be violated by it.
+#[derive(Debug, Clone, Default)]
+struct RelevanceIndex {
+    /// First gate entry's base table → view indices, bucketed by event
+    /// kind. A view whose first gate entry has no pending events has a
+    /// closed gate, so each view needs exactly one home; candidates still
+    /// verify their full gate (gates are conjunctions). The commit path
+    /// looks up only the *touched* tables, never iterating the installed
+    /// set.
+    by_table: BTreeMap<String, GateBuckets>,
+    /// Views with no gating event table — always candidates (defensive:
+    /// the EDC generator always emits at least one positive event atom).
+    ungated: Vec<usize>,
+}
+
+/// Views homed under one base table, split by which event kind gates them.
+#[derive(Debug, Clone, Default)]
+struct GateBuckets {
+    /// Views whose first gate entry is `ins_<table>`.
+    ins: Vec<usize>,
+    /// Views whose first gate entry is `del_<table>`.
+    del: Vec<usize>,
+}
+
+impl RelevanceIndex {
+    fn build(views: &[GeneratedView]) -> Self {
+        let mut idx = RelevanceIndex::default();
+        for (i, v) in views.iter().enumerate() {
+            match v.gate.first() {
+                Some((is_ins, table)) => {
+                    let buckets = idx.by_table.entry(table.clone()).or_default();
+                    if *is_ins {
+                        buckets.ins.push(i);
+                    } else {
+                        buckets.del.push(i);
+                    }
+                }
+                None => idx.ungated.push(i),
+            }
+        }
+        idx
+    }
+}
+
+/// The event tables actually holding pending rows, computed once per
+/// commit ([`TouchedEvents::scan`]) and consulted by every installation's
+/// relevance index instead of re-probing the database per view.
+#[derive(Debug, Clone, Default)]
+pub struct TouchedEvents {
+    ins: BTreeSet<String>,
+    del: BTreeSet<String>,
+}
+
+impl TouchedEvents {
+    /// Scan the captured tables' event tables for pending rows (one cheap
+    /// engine pass; see [`Database::touched_event_tables`]).
+    ///
+    /// For gating [`Tintin::check_normalized`], scan *after*
+    /// [`Database::normalize_events`]: gating must reflect the events the
+    /// check will actually see (normalization can empty an event table,
+    /// which closes its gates). [`TouchedEvents::from_list`] over
+    /// [`Database::normalize_events_touched`]'s result does both in one
+    /// pass.
+    pub fn scan(db: &Database) -> Self {
+        Self::from_list(&db.touched_event_tables())
+    }
+
+    /// Build from an engine touched list (the shape
+    /// [`Database::normalize_events_touched`] returns), avoiding a second
+    /// scan of the captured set.
+    pub fn from_list(list: &[tintin_engine::TouchedTable]) -> Self {
+        let mut t = TouchedEvents::default();
+        for (has_ins, has_del, base) in list {
+            if *has_ins {
+                t.ins.insert(base.clone());
+            }
+            if *has_del {
+                t.del.insert(base.clone());
+            }
+        }
+        t
+    }
+
+    /// Iterate the touched event tables as `(is_insertion, base table)`.
+    pub fn iter(&self) -> impl Iterator<Item = (bool, &str)> + '_ {
+        self.ins
+            .iter()
+            .map(|t| (true, t.as_str()))
+            .chain(self.del.iter().map(|t| (false, t.as_str())))
+    }
+
+    /// Are there pending insertion (`is_ins`) or deletion events for
+    /// `table`?
+    pub fn contains(&self, is_ins: bool, table: &str) -> bool {
+        if is_ins {
+            self.ins.contains(table)
+        } else {
+            self.del.contains(table)
+        }
+    }
+
+    /// Does the pending update touch `table` at all (either event kind)?
+    pub fn touches_table(&self, table: &str) -> bool {
+        self.ins.contains(table) || self.del.contains(table)
+    }
+
+    /// No pending events anywhere?
+    pub fn is_empty(&self) -> bool {
+        self.ins.is_empty() && self.del.is_empty()
+    }
 }
 
 impl Installation {
@@ -154,9 +287,36 @@ impl Installation {
     }
 
     /// Keep only the views satisfying the predicate (used when a single
-    /// assertion is dropped from an installation).
+    /// assertion is dropped from an installation). Prepared plans follow
+    /// their views, and the relevance index is rebuilt.
     pub fn retain_views(&mut self, f: impl FnMut(&GeneratedView) -> bool) {
-        self.views.retain(f);
+        let keep: Vec<bool> = self.views.iter().map(f).collect();
+        let mut it = keep.iter();
+        self.views.retain(|_| *it.next().unwrap());
+        let mut it = keep.iter();
+        self.plans.retain(|_| *it.next().unwrap());
+        self.relevance = RelevanceIndex::build(&self.views);
+    }
+
+    /// The base tables whose events can trigger checks of this
+    /// installation, with the number of dependent checks (views and
+    /// fallbacks) per table — the relevance index, summarized.
+    pub fn table_dependencies(&self) -> BTreeMap<String, usize> {
+        let mut out: BTreeMap<String, usize> = BTreeMap::new();
+        for v in &self.views {
+            let mut seen = BTreeSet::new();
+            for (_, table) in &v.gate {
+                if seen.insert(table.clone()) {
+                    *out.entry(table.clone()).or_default() += 1;
+                }
+            }
+        }
+        for f in &self.fallbacks {
+            for table in &f.tables {
+                *out.entry(table.clone()).or_default() += 1;
+            }
+        }
+        out
     }
 
     /// Export everything TINTIN generated as a portable SQL script: the
@@ -248,10 +408,19 @@ pub struct CheckStats {
     /// Incremental views installed in total.
     pub views_total: usize,
     /// Views skipped by the emptiness shortcut (a gating event table was
-    /// empty).
+    /// empty). Includes the relevance-skipped views.
     pub views_skipped: usize,
+    /// Views skipped by the relevance index without even consulting their
+    /// gate: no pending event table mapped to them at all (a subset of
+    /// `views_skipped`).
+    pub views_skipped_relevance: usize,
     /// Views actually evaluated.
     pub views_evaluated: usize,
+    /// Prepared plans executed from the cache (no recompilation).
+    pub plans_reused: usize,
+    /// Prepared plans recompiled because the catalog generation moved
+    /// since they were cached (DDL between commits).
+    pub plans_recompiled: usize,
     /// Aggregate-fallback assertions skipped (no relevant events).
     pub fallbacks_skipped: usize,
     /// Aggregate-fallback assertions evaluated.
@@ -456,6 +625,7 @@ impl Tintin {
                         assertion: assertion.name.clone(),
                         queries,
                         tables,
+                        plans: Vec::new(), // prepared below, post-DDL
                     });
                     continue;
                 }
@@ -503,11 +673,29 @@ impl Tintin {
             }
         }
 
+        // Compile every check once, now that install's own DDL (views,
+        // capture) is done: the cached plans stay valid until the next
+        // catalog change, so steady-state commits never touch the compiler.
+        let plans: Vec<PreparedQuery> = all_views
+            .iter()
+            .map(|v| db.prepare(&v.query))
+            .collect::<std::result::Result<_, _>>()?;
+        for f in &mut fallbacks {
+            f.plans = f
+                .queries
+                .iter()
+                .map(|q| db.prepare(q))
+                .collect::<std::result::Result<_, _>>()?;
+        }
+        let relevance = RelevanceIndex::build(&all_views);
+
         Ok(Installation {
             assertions: installed,
             views: all_views,
+            plans,
             fallbacks,
             denial_texts,
+            relevance,
         })
     }
 
@@ -533,32 +721,75 @@ impl Tintin {
 
     /// Evaluate the incremental views against the pending events without
     /// committing or truncating anything (a dry run of the check phase).
+    ///
+    /// Normalizes the events first, then delegates to
+    /// [`Tintin::check_normalized`]. Callers checking *several*
+    /// installations against one pending update (the session layer's
+    /// commit) should normalize and scan the touched tables once and call
+    /// `check_normalized` per installation instead.
     pub fn check_pending(
         &self,
         db: &mut Database,
         installation: &Installation,
     ) -> Result<(Vec<Violation>, CheckStats)> {
-        let normalization = db.normalize_events()?;
+        let (normalization, touched_list) = db.normalize_events_touched()?;
         let mut stats = CheckStats {
             normalization,
-            views_total: installation.views.len(),
             ..CheckStats::default()
         };
+        let touched = TouchedEvents::from_list(&touched_list);
+        let violations = self.check_normalized(db, installation, &touched, &mut stats)?;
+        Ok((violations, stats))
+    }
+
+    /// The check phase proper, over already-normalized events: consult the
+    /// installation's relevance index with the `touched` event tables,
+    /// evaluate only the checks the pending update can possibly violate,
+    /// and run each through its prepared plan. Statistics (including
+    /// plan-cache hits/recompiles) accumulate into `stats`.
+    ///
+    /// With the emptiness shortcut disabled every view and fallback is
+    /// evaluated — the semantics-preserving baseline the relevance index is
+    /// an optimization of.
+    pub fn check_normalized(
+        &self,
+        db: &mut Database,
+        installation: &Installation,
+        touched: &TouchedEvents,
+        stats: &mut CheckStats,
+    ) -> Result<Vec<Violation>> {
+        stats.views_total += installation.views.len();
         let mut violations = Vec::new();
         let t0 = Instant::now();
-        for view in &installation.views {
-            if self.config.emptiness_shortcut && !gate_open(db, &view.gate) {
-                stats.views_skipped += 1;
-                continue;
+        if self.config.emptiness_shortcut {
+            // Relevance: a view whose first gate table has no pending
+            // events cannot return rows; only views reachable from a
+            // touched event table are even looked at — O(touched), not
+            // O(installed).
+            let mut candidates: Vec<usize> = installation.relevance.ungated.clone();
+            for (is_ins, table) in touched.iter() {
+                if let Some(buckets) = installation.relevance.by_table.get(table) {
+                    let views = if is_ins { &buckets.ins } else { &buckets.del };
+                    candidates.extend(views.iter().copied());
+                }
             }
-            stats.views_evaluated += 1;
-            let rs = db.query(&view.query)?;
-            if !rs.is_empty() {
-                violations.push(Violation {
-                    assertion: view.assertion.clone(),
-                    view: view.name.clone(),
-                    rows: rs,
-                });
+            candidates.sort_unstable();
+            let skipped_by_relevance = installation.views.len() - candidates.len();
+            stats.views_skipped_relevance += skipped_by_relevance;
+            stats.views_skipped += skipped_by_relevance;
+            for i in candidates {
+                // Gates are conjunctions: the remaining entries must hold
+                // too.
+                let gate = &installation.views[i].gate;
+                if !gate.iter().all(|(is_ins, t)| touched.contains(*is_ins, t)) {
+                    stats.views_skipped += 1;
+                    continue;
+                }
+                self.eval_view(db, installation, i, stats, &mut violations)?;
+            }
+        } else {
+            for i in 0..installation.views.len() {
+                self.eval_view(db, installation, i, stats, &mut violations)?;
             }
         }
         // Aggregate fallbacks: re-run the original query on the
@@ -570,34 +801,71 @@ impl Tintin {
                 .iter()
                 .filter(|f| {
                     !self.config.emptiness_shortcut
-                        || f.tables.iter().any(|t| {
-                            let ins = db.table(&tintin_engine::ins_table_name(t));
-                            let del = db.table(&tintin_engine::del_table_name(t));
-                            ins.is_some_and(|x| !x.is_empty()) || del.is_some_and(|x| !x.is_empty())
-                        })
+                        || f.tables.iter().any(|t| touched.touches_table(t))
                 })
                 .collect();
-            stats.fallbacks_skipped = installation.fallbacks.len() - relevant.len();
-            stats.fallbacks_evaluated = relevant.len();
+            stats.fallbacks_skipped += installation.fallbacks.len() - relevant.len();
+            stats.fallbacks_evaluated += relevant.len();
             if !relevant.is_empty() {
                 let log = db.apply_pending()?;
-                for f in relevant {
-                    for (qi, q) in f.queries.iter().enumerate() {
-                        let rs = db.query(q)?;
-                        if !rs.is_empty() {
-                            violations.push(Violation {
-                                assertion: f.assertion.clone(),
-                                view: format!("fallback_query_{qi}"),
-                                rows: rs,
-                            });
+                let result = (|| -> Result<()> {
+                    for f in relevant {
+                        for (qi, plan) in f.plans.iter().enumerate() {
+                            let resolved = plan.resolve(db)?;
+                            if resolved.recompiled {
+                                stats.plans_recompiled += 1;
+                            } else {
+                                stats.plans_reused += 1;
+                            }
+                            let rs = db.execute_plan(&resolved.plan, None)?;
+                            if !rs.is_empty() {
+                                violations.push(Violation {
+                                    assertion: f.assertion.clone(),
+                                    view: format!("fallback_query_{qi}"),
+                                    rows: rs,
+                                });
+                            }
                         }
                     }
-                }
+                    Ok(())
+                })();
                 db.undo(log);
+                result?;
             }
         }
-        stats.check_time = t0.elapsed();
-        Ok((violations, stats))
+        stats.check_time += t0.elapsed();
+        Ok(violations)
+    }
+
+    /// Evaluate one incremental view through its prepared plan.
+    fn eval_view(
+        &self,
+        db: &Database,
+        installation: &Installation,
+        i: usize,
+        stats: &mut CheckStats,
+        violations: &mut Vec<Violation>,
+    ) -> Result<()> {
+        stats.views_evaluated += 1;
+        let resolved = installation.plans[i].resolve(db)?;
+        if resolved.recompiled {
+            stats.plans_recompiled += 1;
+        } else {
+            stats.plans_reused += 1;
+        }
+        // Clean commits are the common case: probe for emptiness with an
+        // early-exit execution, and materialize the violating tuples only
+        // when there are any.
+        if db.plan_returns_rows(&resolved.plan, None)? {
+            let rs = db.execute_plan(&resolved.plan, None)?;
+            let view = &installation.views[i];
+            violations.push(Violation {
+                assertion: view.assertion.clone(),
+                view: view.name.clone(),
+                rows: rs,
+            });
+        }
+        Ok(())
     }
 
     /// The paper's `safeCommit` procedure: check the pending update against
@@ -609,18 +877,27 @@ impl Tintin {
         db: &mut Database,
         installation: &Installation,
     ) -> Result<CommitOutcome> {
-        let (violations, stats) = self.check_pending(db, installation)?;
+        // One scan of the captured set (inside normalization) feeds the
+        // whole commit: gating, counting, applying and truncating all reuse
+        // the touched list, keeping the critical section O(touched).
+        let (normalization, touched_list) = db.normalize_events_touched()?;
+        let mut stats = CheckStats {
+            normalization,
+            ..CheckStats::default()
+        };
+        let touched = TouchedEvents::from_list(&touched_list);
+        let violations = self.check_normalized(db, installation, &touched, &mut stats)?;
         if violations.is_empty() {
-            let (inserted, deleted) = db.pending_counts();
-            db.apply_pending()?;
-            db.truncate_events();
+            let (inserted, deleted) = db.pending_counts_for(&touched_list);
+            db.apply_pending_for(&touched_list)?;
+            db.truncate_events_for(&touched_list);
             Ok(CommitOutcome::Committed {
                 inserted,
                 deleted,
                 stats,
             })
         } else {
-            db.truncate_events();
+            db.truncate_events_for(&touched_list);
             Ok(CommitOutcome::Rejected { violations, stats })
         }
     }
@@ -679,18 +956,6 @@ impl Tintin {
         }
         Ok(out)
     }
-}
-
-/// All gating event tables non-empty?
-fn gate_open(db: &Database, gate: &[(bool, String)]) -> bool {
-    gate.iter().all(|(is_ins, table)| {
-        let name = if *is_ins {
-            tintin_engine::ins_table_name(table)
-        } else {
-            tintin_engine::del_table_name(table)
-        };
-        db.table(&name).map(|t| !t.is_empty()).unwrap_or(false)
-    })
 }
 
 /// Collect base-table names referenced anywhere in a query (FROM clauses of

@@ -15,13 +15,28 @@
 use crate::error::{EngineError, Result};
 use crate::hash::{FxHashMap, FxHashSet};
 use crate::overlay::{DmlDelta, TableDelta, TxOverlay};
+use crate::prepared::PreparedQuery;
 use crate::query::{self};
 use crate::query::{compile_query, CompiledQuery, ExecCtx};
 use crate::result::ResultSet;
 use crate::schema::TableSchema;
 use crate::table::{RowId, Table};
 use crate::value::{Row, Truth, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
 use tintin_sql as sql;
+
+/// Global catalog-generation counter. Generations are unique across *all*
+/// databases in the process: each catalog change takes a fresh value, so a
+/// (database, generation) pair identifies one exact catalog state and a
+/// cached plan keyed on the generation can never be replayed against a
+/// catalog it was not compiled for — including on clones, which share the
+/// generation of the state they were cloned from until their catalogs
+/// diverge (any later DDL on either side takes a new unique value).
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Name of the insertion-event table for `table`.
 pub fn ins_table_name(table: &str) -> String {
@@ -31,6 +46,28 @@ pub fn ins_table_name(table: &str) -> String {
 /// Name of the deletion-event table for `table`.
 pub fn del_table_name(table: &str) -> String {
     format!("del_{table}")
+}
+
+/// One row of the touched-event scan: `(has_insertion_events,
+/// has_deletion_events, base table)` — see
+/// [`Database::touched_event_tables`].
+pub type TouchedTable = (bool, bool, String);
+
+/// Look up the `prefix` (`"ins_"` / `"del_"`) event table of `base` without
+/// allocating: the name is assembled in `buf` and the map is probed by
+/// `&str`. The commit path walks every captured table several times per
+/// commit; this keeps clean (event-free) tables at zero allocations per
+/// visit.
+fn event_table<'t>(
+    tables: &'t FxHashMap<String, Table>,
+    buf: &mut String,
+    prefix: &str,
+    base: &str,
+) -> Option<&'t Table> {
+    buf.clear();
+    buf.push_str(prefix);
+    buf.push_str(base);
+    tables.get(buf.as_str())
 }
 
 /// A stored view definition.
@@ -166,6 +203,9 @@ pub struct Database {
     captured: FxHashSet<String>,
     /// Open explicit transaction, if any (see [`Database::begin_transaction`]).
     tx: Option<TxState>,
+    /// Catalog generation: bumped (to a globally unique value) on every
+    /// DDL / capture change. Plan caches key on it — see [`PreparedQuery`].
+    catalog_generation: u64,
 }
 
 impl Database {
@@ -174,6 +214,20 @@ impl Database {
     }
 
     // ------------------------------------------------------------ catalog
+
+    /// The current catalog generation. It moves (to a globally unique
+    /// value) whenever the catalog changes — tables, views or indexes
+    /// created or dropped, capture enabled or disabled — and is stable
+    /// across pure data changes (DML, event staging, apply/undo). Compiled
+    /// plans are valid exactly as long as the generation they were compiled
+    /// at matches; [`PreparedQuery`] automates that check.
+    pub fn catalog_generation(&self) -> u64 {
+        self.catalog_generation
+    }
+
+    fn bump_generation(&mut self) {
+        self.catalog_generation = fresh_generation();
+    }
 
     /// Look up a table (base or event) by name.
     pub fn table(&self, name: &str) -> Option<&Table> {
@@ -313,6 +367,7 @@ impl Database {
             table.create_index(format!("{}_fk{}", name, i), cols, false)?;
         }
         self.tables.insert(name, table);
+        self.bump_generation();
         Ok(())
     }
 
@@ -329,21 +384,30 @@ impl Database {
                 columns: compiled.output_names,
             },
         );
+        self.bump_generation();
         Ok(())
     }
 
     pub fn drop_table(&mut self, name: &str, if_exists: bool) -> Result<()> {
-        if self.tables.remove(name).is_none() && !if_exists {
-            return Err(EngineError::NoSuchTable(name.to_string()));
+        if self.tables.remove(name).is_none() {
+            if !if_exists {
+                return Err(EngineError::NoSuchTable(name.to_string()));
+            }
+            return Ok(());
         }
         self.captured.remove(name);
+        self.bump_generation();
         Ok(())
     }
 
     pub fn drop_view(&mut self, name: &str, if_exists: bool) -> Result<()> {
-        if self.views.remove(name).is_none() && !if_exists {
-            return Err(EngineError::NoSuchTable(name.to_string()));
+        if self.views.remove(name).is_none() {
+            if !if_exists {
+                return Err(EngineError::NoSuchTable(name.to_string()));
+            }
+            return Ok(());
         }
+        self.bump_generation();
         Ok(())
     }
 
@@ -367,7 +431,21 @@ impl Database {
                     .ok_or_else(|| EngineError::NoSuchColumn(format!("{table}.{c}")))
             })
             .collect::<Result<_>>()?;
-        t.create_index(index_name.to_string(), cols, unique)
+        t.create_index(index_name.to_string(), cols, unique)?;
+        self.bump_generation();
+        Ok(())
+    }
+
+    /// Drop a secondary index (`DROP INDEX name ON table`). Indexes backing
+    /// unique constraints cannot be dropped.
+    pub fn drop_index(&mut self, index_name: &str, table: &str) -> Result<()> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| EngineError::NoSuchTable(table.to_string()))?;
+        t.drop_index(index_name)?;
+        self.bump_generation();
+        Ok(())
     }
 
     // ------------------------------------------------------ event capture
@@ -423,6 +501,7 @@ impl Database {
             self.tables.insert(evt_name, t);
         }
         self.captured.insert(table.to_string());
+        self.bump_generation();
         Ok(())
     }
 
@@ -435,6 +514,7 @@ impl Database {
         }
         self.tables.remove(&ins_table_name(table));
         self.tables.remove(&del_table_name(table));
+        self.bump_generation();
         Ok(())
     }
 
@@ -548,22 +628,73 @@ impl Database {
     /// Pending event counts `(inserts, deletes)` summed over all captured
     /// tables.
     pub fn pending_counts(&self) -> (usize, usize) {
+        let mut buf = String::new();
         let mut ins = 0;
         let mut del = 0;
         for t in &self.captured {
-            ins += self.tables[&ins_table_name(t)].len();
-            del += self.tables[&del_table_name(t)].len();
+            ins += event_table(&self.tables, &mut buf, "ins_", t).map_or(0, |x| x.len());
+            del += event_table(&self.tables, &mut buf, "del_", t).map_or(0, |x| x.len());
         }
         (ins, del)
+    }
+
+    /// [`Database::pending_counts`] over a caller-supplied touched list
+    /// (from [`Database::normalize_events_touched`]).
+    pub fn pending_counts_for(&self, touched: &[TouchedTable]) -> (usize, usize) {
+        let mut buf = String::new();
+        let mut ins = 0;
+        let mut del = 0;
+        for (has_ins, has_del, t) in touched {
+            if *has_ins {
+                ins += event_table(&self.tables, &mut buf, "ins_", t).map_or(0, |x| x.len());
+            }
+            if *has_del {
+                del += event_table(&self.tables, &mut buf, "del_", t).map_or(0, |x| x.len());
+            }
+        }
+        (ins, del)
+    }
+
+    /// The captured base tables whose event tables hold pending rows, as
+    /// `(has_insertions, has_deletions, base table)`, sorted by table name.
+    /// One cheap pass — clean tables cost an allocation-free lookup each —
+    /// so commit-time consumers (TINTIN's relevance index) stay
+    /// O(touched) instead of re-probing event tables per check.
+    pub fn touched_event_tables(&self) -> Vec<TouchedTable> {
+        let mut buf = String::new();
+        let mut out = Vec::new();
+        for base in &self.captured {
+            let ins =
+                event_table(&self.tables, &mut buf, "ins_", base).is_some_and(|t| !t.is_empty());
+            let del =
+                event_table(&self.tables, &mut buf, "del_", base).is_some_and(|t| !t.is_empty());
+            if ins || del {
+                out.push((ins, del, base.clone()));
+            }
+        }
+        out.sort_by(|a, b| a.2.cmp(&b.2));
+        out
     }
 
     /// Remove redundant events, making insertion and deletion sets disjoint
     /// and consistent with the base tables — the precondition the EDC
     /// machinery assumes (paper §2 formulas (2)/(3)).
     pub fn normalize_events(&mut self) -> Result<NormalizationReport> {
+        Ok(self.normalize_events_touched()?.0)
+    }
+
+    /// Like [`Database::normalize_events`], additionally returning the
+    /// event tables that still hold rows *after* normalization (the
+    /// [`Database::touched_event_tables`] shape). The commit path scans the
+    /// captured set exactly once here and threads the result through
+    /// checking, applying and truncating instead of re-scanning per step.
+    pub fn normalize_events_touched(&mut self) -> Result<(NormalizationReport, Vec<TouchedTable>)> {
         let mut report = NormalizationReport::default();
-        let captured: Vec<String> = self.captured_tables();
-        for base_name in captured {
+        // Normalization is per-table; tables with no pending events have
+        // nothing to normalize and are skipped without allocating.
+        let pre: Vec<TouchedTable> = self.touched_event_tables();
+        let mut post: Vec<TouchedTable> = Vec::with_capacity(pre.len());
+        for (_, _, base_name) in pre {
             let ins_name = ins_table_name(&base_name);
             let del_name = del_table_name(&base_name);
 
@@ -639,8 +770,16 @@ impl Database {
                     ins.delete_row(id);
                 }
             }
+
+            // What survived normalization is what the rest of the commit
+            // needs to look at.
+            let has_ins = !self.tables[&ins_name].is_empty();
+            let has_del = !self.tables[&del_name].is_empty();
+            if has_ins || has_del {
+                post.push((has_ins, has_del, base_name));
+            }
         }
-        Ok(report)
+        Ok((report, post))
     }
 
     /// Apply all pending events to the base tables (deletes first, then
@@ -650,10 +789,19 @@ impl Database {
     /// failure (e.g. a primary-key conflict) the partial application is
     /// rolled back and the events are left untouched.
     pub fn apply_pending(&mut self) -> Result<UndoLog> {
+        let touched = self.touched_event_tables();
+        self.apply_pending_for(&touched)
+    }
+
+    /// [`Database::apply_pending`] over a caller-supplied touched list
+    /// (from [`Database::normalize_events_touched`]), so the commit path
+    /// does not re-scan the captured set. Entries whose event tables have
+    /// since emptied are harmless; tables missing from the list are *not*
+    /// applied.
+    pub fn apply_pending_for(&mut self, touched: &[TouchedTable]) -> Result<UndoLog> {
         let mut log = UndoLog::default();
-        let captured = self.captured_tables();
         let result = (|| -> Result<()> {
-            for base_name in &captured {
+            for (_, _, base_name) in touched.iter().filter(|(_, has_del, _)| *has_del) {
                 let del_rows: Vec<Row> = self.tables[&del_table_name(base_name)]
                     .scan()
                     .map(|(_, r)| r.clone())
@@ -669,7 +817,7 @@ impl Database {
                     }
                 }
             }
-            for base_name in &captured {
+            for (_, _, base_name) in touched.iter().filter(|(has_ins, _, _)| *has_ins) {
                 let ins_rows: Vec<Row> = self.tables[&ins_table_name(base_name)]
                     .scan()
                     .map(|(_, r)| r.clone())
@@ -725,12 +873,27 @@ impl Database {
         }
     }
 
-    /// Empty all event tables (the last step of `safeCommit`).
+    /// Empty all event tables (the last step of `safeCommit`). Already-empty
+    /// event tables are left untouched (no allocation, no index clearing).
     pub fn truncate_events(&mut self) {
-        let captured = self.captured_tables();
-        for t in captured {
-            self.tables.get_mut(&ins_table_name(&t)).unwrap().truncate();
-            self.tables.get_mut(&del_table_name(&t)).unwrap().truncate();
+        let touched = self.touched_event_tables();
+        self.truncate_events_for(&touched);
+    }
+
+    /// [`Database::truncate_events`] over a caller-supplied touched list
+    /// (from [`Database::normalize_events_touched`]).
+    pub fn truncate_events_for(&mut self, touched: &[TouchedTable]) {
+        for (has_ins, has_del, t) in touched {
+            if *has_ins {
+                if let Some(t) = self.tables.get_mut(&ins_table_name(t)) {
+                    t.truncate();
+                }
+            }
+            if *has_del {
+                if let Some(t) = self.tables.get_mut(&del_table_name(t)) {
+                    t.truncate();
+                }
+            }
         }
     }
 
@@ -784,15 +947,71 @@ impl Database {
         overlay: Option<&TxOverlay>,
     ) -> Result<ResultSet> {
         let compiled = compile_query(self, q)?;
+        self.execute_plan(&compiled, overlay)
+    }
+
+    /// Prepare a query: compile it against the current catalog and wrap it
+    /// with a generation-keyed plan cache. The prepared query re-executes
+    /// without recompilation until the catalog changes (DDL, capture),
+    /// after which [`PreparedQuery::resolve`] recompiles transparently.
+    pub fn prepare(&self, q: &sql::Query) -> Result<PreparedQuery> {
+        let prepared = PreparedQuery::new(q.clone());
+        // Eager compilation validates the query now (matching `query`'s
+        // error timing) and warms the cache.
+        prepared.resolve(self)?;
+        Ok(prepared)
+    }
+
+    /// Run an already-compiled plan. The caller is responsible for the plan
+    /// being compiled against this database's current catalog generation —
+    /// [`PreparedQuery::resolve`] guarantees that.
+    pub fn execute_plan(
+        &self,
+        plan: &CompiledQuery,
+        overlay: Option<&TxOverlay>,
+    ) -> Result<ResultSet> {
         let mut ctx = match overlay {
             Some(o) => ExecCtx::with_overlay(self, o),
             None => ExecCtx::new(self),
         };
-        let rows = query::execute(&compiled, &mut ctx)?;
+        let rows = query::execute(plan, &mut ctx)?;
         Ok(ResultSet {
-            columns: compiled.output_names,
+            columns: plan.output_names.clone(),
             rows,
         })
+    }
+
+    /// Does the plan return at least one row? Short-circuits on the first
+    /// hit — the fast path for emptiness checks, which never allocates a
+    /// result set.
+    pub fn plan_returns_rows(
+        &self,
+        plan: &CompiledQuery,
+        overlay: Option<&TxOverlay>,
+    ) -> Result<bool> {
+        let mut ctx = match overlay {
+            Some(o) => ExecCtx::with_overlay(self, o),
+            None => ExecCtx::new(self),
+        };
+        query::query_returns_rows(plan, &mut ctx)
+    }
+
+    /// Run a prepared query, recompiling first if the catalog changed.
+    pub fn query_prepared(&self, p: &PreparedQuery) -> Result<ResultSet> {
+        self.query_prepared_with_overlay(p, None)
+    }
+
+    /// Run a prepared query with a transaction overlay visible
+    /// (read-your-writes, like [`Database::query_with_overlay`]). The
+    /// overlay affects only execution, never the cached plan: compilation
+    /// depends on the catalog alone.
+    pub fn query_prepared_with_overlay(
+        &self,
+        p: &PreparedQuery,
+        overlay: Option<&TxOverlay>,
+    ) -> Result<ResultSet> {
+        let resolved = p.resolve(self)?;
+        self.execute_plan(&resolved.plan, overlay)
     }
 
     /// Parse and run a single query string.
@@ -855,6 +1074,10 @@ impl Database {
             }
             sql::Statement::DropView { name, if_exists } => {
                 self.drop_view(name, *if_exists)?;
+                Ok(StatementResult::Ddl)
+            }
+            sql::Statement::DropIndex { name, table } => {
+                self.drop_index(name, table)?;
                 Ok(StatementResult::Ddl)
             }
             sql::Statement::TruncateTable { name } => {

@@ -55,6 +55,7 @@ pub mod database;
 pub mod error;
 pub mod hash;
 pub mod overlay;
+pub mod prepared;
 pub mod query;
 pub mod result;
 pub mod schema;
@@ -65,10 +66,11 @@ pub mod value;
 pub use copy::CopyOptions;
 pub use database::{
     del_table_name, ins_table_name, Database, EventSnapshot, NormalizationReport, StatementResult,
-    UndoLog,
+    TouchedTable, UndoLog,
 };
 pub use error::{EngineError, Result};
 pub use overlay::{DmlDelta, TableDelta, TxOverlay};
+pub use prepared::{PreparedQuery, ResolvedPlan};
 pub use query::{CompiledQuery, ExecCtx};
 pub use result::ResultSet;
 pub use schema::{Column, ForeignKey, TableSchema};

@@ -299,6 +299,13 @@ fn eval_agg_select(s: &CompiledSelect, ctx: &mut ExecCtx<'_>) -> Result<Vec<Box<
 
 /// True if any branch produces at least one row.
 pub(crate) fn exists_any(branches: &[CompiledSelect], ctx: &mut ExecCtx<'_>) -> Result<bool> {
+    exists_any_iter(branches.iter(), ctx)
+}
+
+fn exists_any_iter<'b>(
+    branches: impl Iterator<Item = &'b CompiledSelect>,
+    ctx: &mut ExecCtx<'_>,
+) -> Result<bool> {
     for b in branches {
         if b.agg.is_some() {
             if !eval_agg_select(b, ctx)?.is_empty() {
@@ -317,6 +324,17 @@ pub(crate) fn exists_any(branches: &[CompiledSelect], ctx: &mut ExecCtx<'_>) -> 
         }
     }
     Ok(false)
+}
+
+/// Does the query return at least one row? Short-circuits on the first hit
+/// instead of materializing the result — the fast path for emptiness
+/// checks (TINTIN's violation views are empty on every clean commit).
+pub fn query_returns_rows(q: &CompiledQuery, ctx: &mut ExecCtx<'_>) -> Result<bool> {
+    if q.limit == Some(0) {
+        return Ok(false);
+    }
+    // DISTINCT, ORDER BY and a non-zero LIMIT don't affect emptiness.
+    exists_any_iter(q.body.branches().into_iter(), ctx)
 }
 
 /// Shared arithmetic entry point for the aggregate evaluator.

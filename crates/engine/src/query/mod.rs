@@ -24,7 +24,8 @@ pub use compile::{
     CompiledQuery, CompiledSelect, MatRef,
 };
 pub use exec::{
-    eval_row_predicate, eval_row_scalar, execute_query as execute, ExecCtx, Materialized,
+    eval_row_predicate, eval_row_scalar, execute_query as execute, query_returns_rows, ExecCtx,
+    Materialized,
 };
 pub use explain::explain;
 

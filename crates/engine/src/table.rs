@@ -260,6 +260,28 @@ impl Table {
         Ok(())
     }
 
+    /// Drop a secondary index by name. Unique indexes back constraint
+    /// enforcement (primary keys, UNIQUE sets) and cannot be dropped.
+    pub fn drop_index(&mut self, name: &str) -> Result<()> {
+        let pos = self
+            .indexes
+            .iter()
+            .position(|ix| ix.name == name)
+            .ok_or_else(|| EngineError::NoSuchTable(format!("index '{name}'")))?;
+        if self.indexes[pos].unique {
+            return Err(EngineError::InvalidDdl(format!(
+                "index '{name}' enforces a unique constraint and cannot be dropped"
+            )));
+        }
+        // Order-preserving remove: slot 0 is reserved for the PK index
+        // (`find_identical` relies on it) and swap_remove would move an
+        // arbitrary index there. Note any removal shifts later positions,
+        // so compiled plans holding index ids are only protected by the
+        // catalog-generation bump in `Database::drop_index`.
+        self.indexes.remove(pos);
+        Ok(())
+    }
+
     /// True if an index on exactly/subset of `eq_cols` exists; returns the
     /// best (longest-key) index whose columns are all contained in `eq_cols`.
     pub fn best_index(&self, eq_cols: &[usize]) -> Option<usize> {

@@ -742,57 +742,62 @@ impl Session {
 }
 
 /// The multi-installation check over the staged event tables.
+///
+/// The write-locked critical section stays O(touched checks): events are
+/// normalized exactly once per commit, the touched event tables are scanned
+/// once, and each installation's relevance index is consulted with that set
+/// — only checks whose gate tables have pending events are evaluated, each
+/// through its install-time prepared plan.
 fn check_staged(db: &mut Database, state: &ServerState) -> Result<(Vec<Violation>, CheckStats)> {
+    let (violations, stats, _) = check_staged_touched(db, state)?;
+    Ok((violations, stats))
+}
+
+/// [`check_staged`] plus the post-normalization touched-table list, so the
+/// commit can apply and truncate without re-scanning the captured set.
+type TouchedList = Vec<tintin_engine::TouchedTable>;
+fn check_staged_touched(
+    db: &mut Database,
+    state: &ServerState,
+) -> Result<(Vec<Violation>, CheckStats, TouchedList)> {
     let mut all = Vec::new();
-    // Normalize unconditionally: `Tintin::check_pending` normalizes too
-    // (the pass is idempotent), but with zero installations the loop below
-    // never runs — and the subsequent apply must still see normalized
-    // events, or a set-semantics no-op (e.g. re-inserting an existing row)
-    // would explode into a key conflict.
+    // Normalize unconditionally: even with zero installations the
+    // subsequent apply must see normalized events, or a set-semantics
+    // no-op (e.g. re-inserting an existing row) would explode into a key
+    // conflict. This is the only scan of the captured set in the whole
+    // commit; everything downstream reuses the touched list.
+    let (normalization, touched_list) = db.normalize_events_touched()?;
     let mut stats = CheckStats {
-        normalization: db.normalize_events()?,
+        normalization,
         ..CheckStats::default()
     };
+    let touched = tintin::TouchedEvents::from_list(&touched_list);
     for inst in &state.installations {
-        let (violations, s) = state.tintin.check_pending(db, inst)?;
+        let violations = state
+            .tintin
+            .check_normalized(db, inst, &touched, &mut stats)?;
         all.extend(violations);
-        merge_stats(&mut stats, s);
     }
-    Ok((all, stats))
+    Ok((all, stats, touched_list))
 }
 
 /// The multi-installation `safeCommit` over staged events: check every
 /// installed assertion set, then apply-and-truncate or discard-and-report.
 fn safe_commit_staged(db: &mut Database, state: &ServerState) -> Result<StatementOutcome> {
-    let (violations, stats) = check_staged(db, state)?;
+    let (violations, stats, touched_list) = check_staged_touched(db, state)?;
     if violations.is_empty() {
-        let (inserted, deleted) = db.pending_counts();
-        db.apply_pending()?;
-        db.truncate_events();
+        let (inserted, deleted) = db.pending_counts_for(&touched_list);
+        db.apply_pending_for(&touched_list)?;
+        db.truncate_events_for(&touched_list);
         Ok(StatementOutcome::Committed {
             inserted,
             deleted,
             stats,
         })
     } else {
-        db.truncate_events();
+        db.truncate_events_for(&touched_list);
         Ok(StatementOutcome::Rejected { violations, stats })
     }
-}
-
-/// Accumulate check statistics across installations.
-fn merge_stats(acc: &mut CheckStats, s: CheckStats) {
-    acc.normalization.dup_ins += s.normalization.dup_ins;
-    acc.normalization.dup_del += s.normalization.dup_del;
-    acc.normalization.missing_del += s.normalization.missing_del;
-    acc.normalization.cancelled += s.normalization.cancelled;
-    acc.normalization.noop_ins += s.normalization.noop_ins;
-    acc.views_total += s.views_total;
-    acc.views_skipped += s.views_skipped;
-    acc.views_evaluated += s.views_evaluated;
-    acc.fallbacks_skipped += s.fallbacks_skipped;
-    acc.fallbacks_evaluated += s.fallbacks_evaluated;
-    acc.check_time += s.check_time;
 }
 
 #[cfg(test)]

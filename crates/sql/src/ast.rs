@@ -26,6 +26,12 @@ pub enum Statement {
         name: Ident,
         if_exists: bool,
     },
+    /// `DROP INDEX name ON table` (SQL Server syntax, matching the paper's
+    /// target system).
+    DropIndex {
+        name: Ident,
+        table: Ident,
+    },
     DropAssertion {
         name: Ident,
     },
@@ -82,6 +88,7 @@ impl Statement {
                 | Statement::CreateIndex(_)
                 | Statement::DropTable { .. }
                 | Statement::DropView { .. }
+                | Statement::DropIndex { .. }
                 | Statement::DropAssertion { .. }
                 | Statement::TruncateTable { .. }
         )

@@ -552,11 +552,16 @@ impl Parser {
             let if_exists = self.parse_if_exists()?;
             let name = self.parse_ident()?;
             Ok(Statement::DropView { name, if_exists })
+        } else if self.eat_kw("index") {
+            let name = self.parse_ident()?;
+            self.expect_kw("on")?;
+            let table = self.parse_ident()?;
+            Ok(Statement::DropIndex { name, table })
         } else if self.eat_kw("assertion") {
             let name = self.parse_ident()?;
             Ok(Statement::DropAssertion { name })
         } else {
-            self.err("expected TABLE, VIEW or ASSERTION after DROP")
+            self.err("expected TABLE, VIEW, INDEX or ASSERTION after DROP")
         }
     }
 
@@ -1460,6 +1465,12 @@ mod tests {
             parse_statement("DROP ASSERTION a").unwrap(),
             Statement::DropAssertion { .. }
         ));
+        let Statement::DropIndex { name, table } = parse_statement("DROP INDEX i ON t").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(name, "i");
+        assert_eq!(table, "t");
     }
 
     #[test]

@@ -225,6 +225,12 @@ fn write_statement(out: &mut String, stmt: &Statement) {
             }
             ident(out, name);
         }
+        Statement::DropIndex { name, table } => {
+            out.push_str("DROP INDEX ");
+            ident(out, name);
+            out.push_str(" ON ");
+            ident(out, table);
+        }
         Statement::DropAssertion { name } => {
             out.push_str("DROP ASSERTION ");
             ident(out, name);
@@ -744,6 +750,7 @@ mod tests {
     fn roundtrips_ddl_misc() {
         roundtrip_stmt("CREATE VIEW v AS SELECT a FROM t WHERE a > 0");
         roundtrip_stmt("CREATE UNIQUE INDEX i ON t (a, b)");
+        roundtrip_stmt("DROP INDEX i ON t");
         roundtrip_stmt("DROP TABLE IF EXISTS t");
         roundtrip_stmt("TRUNCATE TABLE t");
         roundtrip_stmt("DROP ASSERTION a");

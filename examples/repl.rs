@@ -23,6 +23,7 @@
 //! id (`tintin[2]>`) once more than one session is attached.
 
 use std::io::{BufRead, Write};
+use tintin::CheckStats;
 use tintin_session::{Server, Session, StatementOutcome};
 
 const HELP: &str = "\
@@ -45,6 +46,8 @@ Sessions (all attached to the same shared database):
 Meta-commands (no semicolon needed):
   .tx               transaction status: pending insert/delete row counts,
                     savepoints
+  .stats            the last commit's check statistics: views evaluated /
+                    skipped by relevance, prepared plans reused / recompiled
   explain <query>;  show the access-path plan (scans vs index probes)
   assert <sql>;     queue a CREATE ASSERTION for the next `install`
   install           install queued assertions together (one installation)
@@ -56,7 +59,32 @@ Meta-commands (no semicolon needed):
   help              this text;  quit — exit
 ";
 
-fn print_outcome(outcome: StatementOutcome) {
+fn print_stats(stats: &CheckStats) {
+    println!("last commit's check statistics:");
+    println!(
+        "  views: {} installed, {} evaluated, {} skipped ({} by relevance, \
+         without consulting their gate)",
+        stats.views_total,
+        stats.views_evaluated,
+        stats.views_skipped,
+        stats.views_skipped_relevance
+    );
+    println!(
+        "  prepared plans: {} reused from cache, {} recompiled",
+        stats.plans_reused, stats.plans_recompiled
+    );
+    println!(
+        "  aggregate fallbacks: {} evaluated, {} skipped",
+        stats.fallbacks_evaluated, stats.fallbacks_skipped
+    );
+    println!(
+        "  normalization dropped {} event row(s); check time {:?}",
+        stats.normalization.total(),
+        stats.check_time
+    );
+}
+
+fn print_outcome(outcome: StatementOutcome, last_stats: &mut Option<CheckStats>) {
     match outcome {
         StatementOutcome::Ddl => println!("ok"),
         StatementOutcome::AssertionInstalled { name, views } => {
@@ -78,15 +106,20 @@ fn print_outcome(outcome: StatementOutcome) {
             inserted,
             deleted,
             stats,
-        } => println!(
-            "committed (+{inserted}/-{deleted}) in {:?} ({} view(s) evaluated, {} skipped)",
-            stats.check_time, stats.views_evaluated, stats.views_skipped
-        ),
-        StatementOutcome::Rejected { violations, .. } => {
+        } => {
+            println!(
+                "committed (+{inserted}/-{deleted}) in {:?} ({} view(s) evaluated, {} skipped, \
+                 {} plan(s) reused)",
+                stats.check_time, stats.views_evaluated, stats.views_skipped, stats.plans_reused
+            );
+            *last_stats = Some(stats);
+        }
+        StatementOutcome::Rejected { violations, stats } => {
             println!("rejected — transaction rolled back:");
             for v in violations {
                 println!("  {} →\n{}", v.assertion, v.rows);
             }
+            *last_stats = Some(stats);
         }
     }
 }
@@ -110,6 +143,7 @@ fn main() {
     let mut sessions: Vec<Session> = vec![server.connect()];
     let mut cur = 0usize;
     let mut queued: Vec<String> = Vec::new();
+    let mut last_stats: Option<CheckStats> = None;
     let stdin = std::io::stdin();
     let mut buffer = String::new();
 
@@ -152,6 +186,13 @@ fn main() {
                     sessions.push(server.connect());
                     cur = sessions.len() - 1;
                     println!("session {} opened", sessions[cur].id());
+                    continue;
+                }
+                ".stats" => {
+                    match &last_stats {
+                        Some(stats) => print_stats(stats),
+                        None => println!("no commit yet in this repl"),
+                    }
                     continue;
                 }
                 ".tx" => {
@@ -311,7 +352,7 @@ fn main() {
         match session.execute(input) {
             Ok(outcomes) => {
                 for outcome in outcomes {
-                    print_outcome(outcome);
+                    print_outcome(outcome, &mut last_stats);
                 }
             }
             Err(e) => println!("error: {e}"),
