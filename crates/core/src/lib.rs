@@ -57,7 +57,10 @@ pub use tintin_logic::{EdcConfig, OptimizerConfig};
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
-use tintin_engine::{Database, NormalizationReport, PreparedQuery, ResultSet};
+use tintin_engine::{
+    del_table_name, ins_table_name, Database, NormalizationReport, PreparedQuery, ResultSet,
+    TxOverlay,
+};
 use tintin_logic::{EdcGenerator, Registry, SchemaCatalog};
 use tintin_sql as sql;
 use tintin_sqlgen::GeneratedView;
@@ -748,12 +751,19 @@ impl Tintin {
     /// and run each through its prepared plan. Statistics (including
     /// plan-cache hits/recompiles) accumulate into `stats`.
     ///
+    /// Checking is **read-only** (`&Database`): incremental views join the
+    /// staged event tables against the committed state, and aggregate
+    /// fallbacks evaluate the hypothetically-updated state by overlay
+    /// composition instead of apply-and-undo. The session layer exploits
+    /// this by running the whole check phase under the shared *read* lock,
+    /// concurrent with other sessions' reads.
+    ///
     /// With the emptiness shortcut disabled every view and fallback is
     /// evaluated — the semantics-preserving baseline the relevance index is
     /// an optimization of.
     pub fn check_normalized(
         &self,
-        db: &mut Database,
+        db: &Database,
         installation: &Installation,
         touched: &TouchedEvents,
         stats: &mut CheckStats,
@@ -807,30 +817,31 @@ impl Tintin {
             stats.fallbacks_skipped += installation.fallbacks.len() - relevant.len();
             stats.fallbacks_evaluated += relevant.len();
             if !relevant.is_empty() {
-                let log = db.apply_pending()?;
-                let result = (|| -> Result<()> {
-                    for f in relevant {
-                        for (qi, plan) in f.plans.iter().enumerate() {
-                            let resolved = plan.resolve(db)?;
-                            if resolved.recompiled {
-                                stats.plans_recompiled += 1;
-                            } else {
-                                stats.plans_reused += 1;
-                            }
-                            let rs = db.execute_plan(&resolved.plan, None)?;
-                            if !rs.is_empty() {
-                                violations.push(Violation {
-                                    assertion: f.assertion.clone(),
-                                    view: format!("fallback_query_{qi}"),
-                                    rows: rs,
-                                });
-                            }
+                // The hypothetically-updated state, by overlay composition:
+                // normalized events guarantee `del ⊆ base` and
+                // `ins ∩ base = ∅`, so `(base − del) ∪ ins` is exactly what
+                // apply-and-undo used to materialize — without mutating the
+                // database, which is what lets the whole check run under a
+                // shared read lock.
+                let overlay = events_as_overlay(db, touched);
+                for f in relevant {
+                    for (qi, plan) in f.plans.iter().enumerate() {
+                        let resolved = plan.resolve(db)?;
+                        if resolved.recompiled {
+                            stats.plans_recompiled += 1;
+                        } else {
+                            stats.plans_reused += 1;
+                        }
+                        let rs = db.execute_plan(&resolved.plan, Some(&overlay))?;
+                        if !rs.is_empty() {
+                            violations.push(Violation {
+                                assertion: f.assertion.clone(),
+                                view: format!("fallback_query_{qi}"),
+                                rows: rs,
+                            });
                         }
                     }
-                    Ok(())
-                })();
-                db.undo(log);
-                result?;
+                }
             }
         }
         stats.check_time += t0.elapsed();
@@ -956,6 +967,34 @@ impl Tintin {
         }
         Ok(out)
     }
+}
+
+/// Build a read-only overlay representing the staged pending update: the
+/// contents of the touched `ins_T` / `del_T` event tables as per-table
+/// insertion / deletion sets. Composed onto the committed state during
+/// evaluation it yields `(base − del) ∪ ins` — the hypothetically-updated
+/// state aggregate fallbacks check — without mutating anything.
+fn events_as_overlay(db: &Database, touched: &TouchedEvents) -> TxOverlay {
+    let mut overlay = TxOverlay::new();
+    for (is_ins, table) in touched.iter() {
+        let evt_name = if is_ins {
+            ins_table_name(table)
+        } else {
+            del_table_name(table)
+        };
+        let Some(evt) = db.table(&evt_name) else {
+            continue;
+        };
+        let delta = overlay.delta_mut(table);
+        for (_, row) in evt.scan() {
+            if is_ins {
+                delta.ins.push(row.clone());
+            } else {
+                delta.del.push(row.clone());
+            }
+        }
+    }
+    overlay
 }
 
 /// Collect base-table names referenced anywhere in a query (FROM clauses of

@@ -20,7 +20,7 @@ use crate::query::{self};
 use crate::query::{compile_query, CompiledQuery, ExecCtx};
 use crate::result::ResultSet;
 use crate::schema::TableSchema;
-use crate::table::{RowId, Table};
+use crate::table::{RowId, Table, TS_LATEST};
 use crate::value::{Row, Truth, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use tintin_sql as sql;
@@ -191,6 +191,35 @@ impl NormalizationReport {
     }
 }
 
+/// Row-version bookkeeping across a database: live/dead version counts and
+/// the cumulative garbage-collection counters (see [`Database::mvcc_stats`]
+/// and [`Database::gc_versions`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MvccStats {
+    /// The last published commit timestamp.
+    pub commit_ts: u64,
+    /// Versions visible to the latest snapshot, across all tables.
+    pub live_versions: usize,
+    /// Versions retained only for older snapshots, across all tables.
+    pub dead_versions: usize,
+    /// Garbage-collection passes run so far (any table).
+    pub gc_runs: u64,
+    /// Versions pruned by garbage collection so far.
+    pub gc_pruned: u64,
+}
+
+impl MvccStats {
+    /// Average version-chain length: stored versions per live row (1.0 when
+    /// no history is retained). `0.0` for an empty database.
+    pub fn chain_length(&self) -> f64 {
+        if self.live_versions == 0 {
+            0.0
+        } else {
+            (self.live_versions + self.dead_versions) as f64 / self.live_versions as f64
+        }
+    }
+}
+
 /// An in-memory relational database.
 ///
 /// `Clone` produces an independent deep copy (tables, indexes, views and
@@ -206,6 +235,15 @@ pub struct Database {
     /// Catalog generation: bumped (to a globally unique value) on every
     /// DDL / capture change. Plan caches key on it — see [`PreparedQuery`].
     catalog_generation: u64,
+    /// The last *published* commit timestamp. Snapshots capture this value
+    /// at `BEGIN`; [`Database::apply_pending_versioned_for`] stamps new and
+    /// deleted versions with `commit_ts + 1`, and
+    /// [`Database::publish_commit`] makes that timestamp visible.
+    commit_ts: u64,
+    /// Cumulative garbage-collection pass count.
+    gc_runs: u64,
+    /// Cumulative versions pruned by garbage collection.
+    gc_pruned: u64,
 }
 
 impl Database {
@@ -930,6 +968,236 @@ impl Database {
         }
     }
 
+    // -------------------------------------------------------------- mvcc
+
+    /// The last published commit timestamp. A transaction beginning now
+    /// snapshots this value; every row version with
+    /// `begin <= ts && ts < end` is visible to it.
+    pub fn current_ts(&self) -> u64 {
+        self.commit_ts
+    }
+
+    /// The timestamp the next versioned commit will stamp its row versions
+    /// with. Committers are serialized (the session layer's commit lock),
+    /// so this is stable between conflict detection and publication.
+    pub fn next_commit_ts(&self) -> u64 {
+        self.commit_ts + 1
+    }
+
+    /// Publish `ts` as the latest commit timestamp: snapshots taken from
+    /// now on see the versions a versioned apply stamped with it. Called
+    /// under the exclusive write lock after a successful
+    /// [`Database::apply_pending_versioned_for`].
+    pub fn publish_commit(&mut self, ts: u64) {
+        debug_assert!(ts > self.commit_ts, "commit timestamps are monotonic");
+        self.commit_ts = ts;
+    }
+
+    /// First-committer-wins conflict detection for a transaction that
+    /// planned `overlay` against the snapshot taken at commit timestamp
+    /// `snapshot`: every planned deletion must still target a live version
+    /// that existed at the snapshot, and no planned insertion may collide
+    /// on a **unique key** with a live version committed *after* the
+    /// snapshot. Either collision means a concurrent transaction committed
+    /// first; this one loses and reports
+    /// [`EngineError::SerializationConflict`]. (A concurrent *identical*
+    /// insert on a keyless table is not a conflict: set semantics make the
+    /// later copy a no-op, which normalization drops.)
+    ///
+    /// Runs under the exclusive write lock before
+    /// [`Database::stage_overlay`], with committers serialized, so the
+    /// verdict cannot be invalidated before the apply.
+    pub fn detect_conflicts(&self, overlay: &TxOverlay, snapshot: u64) -> Result<()> {
+        let conflict = |table: &str, detail: String| {
+            Err(EngineError::SerializationConflict {
+                table: table.to_string(),
+                detail,
+            })
+        };
+        for table in overlay.touched_tables() {
+            if self.is_event_table(&table) {
+                // Hand-staged events bypass snapshot planning entirely.
+                continue;
+            }
+            let delta = overlay.delta(&table).expect("touched implies delta");
+            let Some(t) = self.tables.get(&table) else {
+                return Err(EngineError::NoSuchTable(table.clone()));
+            };
+            for row in &delta.del {
+                // The planned deletion must still have a live identical
+                // target — and one that predates the snapshot: an identical
+                // row re-inserted by a later committer is not the row this
+                // transaction decided to delete.
+                let ids = t.find_identical_all(row);
+                if ids.is_empty() {
+                    return conflict(
+                        &table,
+                        "a row this transaction deletes was removed or updated \
+                         by a concurrent commit"
+                            .into(),
+                    );
+                }
+                if t.find_identical_at(row, snapshot).is_none() {
+                    return conflict(
+                        &table,
+                        "a row this transaction deletes was re-created by a \
+                         concurrent commit after this transaction began"
+                            .into(),
+                    );
+                }
+            }
+            for row in &delta.ins {
+                for ix in t.indexes().iter().filter(|ix| ix.unique) {
+                    let Some(key) = ix.key_of(row) else { continue };
+                    for &id in ix.probe(&key) {
+                        let Some(base) = t.get(id) else { continue };
+                        // Rows this transaction itself deletes free their
+                        // keys; identical rows visible at the snapshot were
+                        // already planned around (set-semantics no-op).
+                        if delta.hides(base) {
+                            continue;
+                        }
+                        if t.get_at(id, snapshot).is_some() && base.as_ref() != row.as_ref() {
+                            // Visible at plan time and not identical: the
+                            // statement-time unique check should have caught
+                            // this; surface it as the constraint error.
+                            return Err(EngineError::UniqueViolation {
+                                table: table.clone(),
+                                index: ix.name.clone(),
+                                key: crate::table::format_key(&key),
+                            });
+                        }
+                        if t.get_at(id, snapshot).is_none() {
+                            return conflict(
+                                &table,
+                                format!(
+                                    "key {} was inserted by a concurrent commit \
+                                     after this transaction began",
+                                    crate::table::format_key(&key)
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply all pending events as *versioned* mutations stamped with
+    /// commit timestamp `ts`: deletion events stamp every live identical
+    /// version dead at `ts` (set semantics), insertion events create
+    /// versions beginning at `ts`. Open snapshots (< `ts`) keep reading the
+    /// pre-commit state; the new state becomes visible when the caller
+    /// publishes `ts` ([`Database::publish_commit`]).
+    ///
+    /// On failure the partial apply is compensated by un-stamping — no undo
+    /// log needed, since `ts` is not yet published and thus unobservable.
+    pub fn apply_pending_versioned_for(&mut self, touched: &[TouchedTable], ts: u64) -> Result<()> {
+        let result = (|| -> Result<()> {
+            for (_, _, base_name) in touched.iter().filter(|(_, has_del, _)| *has_del) {
+                let del_rows: Vec<Row> = self.tables[&del_table_name(base_name)]
+                    .scan()
+                    .map(|(_, r)| r.clone())
+                    .collect();
+                let base = self.tables.get_mut(base_name).unwrap();
+                for row in del_rows {
+                    for id in base.find_identical_all(&row) {
+                        base.delete_row_at(id, ts);
+                    }
+                }
+            }
+            for (_, _, base_name) in touched.iter().filter(|(has_ins, _, _)| *has_ins) {
+                let ins_rows: Vec<Row> = self.tables[&ins_table_name(base_name)]
+                    .scan()
+                    .map(|(_, r)| r.clone())
+                    .collect();
+                let base = self.tables.get_mut(base_name).unwrap();
+                for row in ins_rows {
+                    base.insert_at(row.into_vec(), ts)?;
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            self.unapply_version(touched, ts);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Compensate a failed [`Database::apply_pending_versioned_for`]:
+    /// versions stamped dead at `ts` come back to life, versions begun at
+    /// `ts` are removed. Only valid while `ts` is unpublished.
+    fn unapply_version(&mut self, touched: &[TouchedTable], ts: u64) {
+        for (_, _, base_name) in touched {
+            if let Some(t) = self.tables.get_mut(base_name) {
+                t.unstamp_end(ts);
+                t.remove_begun_at(ts);
+            }
+        }
+    }
+
+    /// Garbage-collect every table: prune versions no snapshot at or after
+    /// `horizon` can see. `horizon` must be the oldest live snapshot
+    /// timestamp, or [`Database::current_ts`] when no snapshot is open.
+    /// Returns the number of versions pruned.
+    pub fn gc_versions(&mut self, horizon: u64) -> usize {
+        let mut pruned = 0;
+        for t in self.tables.values_mut() {
+            pruned += t.gc(horizon);
+        }
+        self.gc_runs += 1;
+        self.gc_pruned += pruned as u64;
+        pruned
+    }
+
+    /// Commit-piggybacked garbage collection: prune dead versions of the
+    /// tables a commit touched, but only once a table has accumulated at
+    /// least [`Database::GC_DEAD_THRESHOLD`] of them **and** the horizon
+    /// can actually free something ([`Table::has_prunable`]) — commits on a
+    /// quiet table stay O(update), and a horizon pinned by a long-lived
+    /// snapshot cannot trigger a futile full-table sweep on every commit.
+    /// Returns versions pruned (0 when nothing qualified).
+    pub fn maybe_gc_for(&mut self, touched: &[TouchedTable], horizon: u64) -> usize {
+        let mut pruned = 0;
+        let mut ran = false;
+        for (_, _, base_name) in touched {
+            if let Some(t) = self.tables.get_mut(base_name) {
+                if t.version_counts().1 >= Self::GC_DEAD_THRESHOLD && t.has_prunable(horizon) {
+                    pruned += t.gc(horizon);
+                    ran = true;
+                }
+            }
+        }
+        if ran {
+            self.gc_runs += 1;
+            self.gc_pruned += pruned as u64;
+        }
+        pruned
+    }
+
+    /// Dead versions a table tolerates before commit-piggybacked GC kicks
+    /// in (see [`Database::maybe_gc_for`]).
+    pub const GC_DEAD_THRESHOLD: usize = 256;
+
+    /// Aggregate row-version statistics: live/dead counts across all
+    /// tables plus the cumulative GC counters.
+    pub fn mvcc_stats(&self) -> MvccStats {
+        let mut stats = MvccStats {
+            commit_ts: self.commit_ts,
+            gc_runs: self.gc_runs,
+            gc_pruned: self.gc_pruned,
+            ..MvccStats::default()
+        };
+        for t in self.tables.values() {
+            let (live, dead) = t.version_counts();
+            stats.live_versions += live;
+            stats.dead_versions += dead;
+        }
+        stats
+    }
+
     // ----------------------------------------------------------- queries
 
     /// Compile and run a query.
@@ -946,8 +1214,21 @@ impl Database {
         q: &sql::Query,
         overlay: Option<&TxOverlay>,
     ) -> Result<ResultSet> {
+        self.query_with_overlay_at(q, overlay, TS_LATEST)
+    }
+
+    /// [`Database::query_with_overlay`] pinned to the row versions visible
+    /// at commit timestamp `snapshot`: the full MVCC visible-state equation
+    /// `(snapshot − overlay.del) ∪ overlay.ins`. Pass
+    /// [`TS_LATEST`] for the live state.
+    pub fn query_with_overlay_at(
+        &self,
+        q: &sql::Query,
+        overlay: Option<&TxOverlay>,
+        snapshot: u64,
+    ) -> Result<ResultSet> {
         let compiled = compile_query(self, q)?;
-        self.execute_plan(&compiled, overlay)
+        self.execute_plan_at(&compiled, overlay, snapshot)
     }
 
     /// Prepare a query: compile it against the current catalog and wrap it
@@ -970,9 +1251,21 @@ impl Database {
         plan: &CompiledQuery,
         overlay: Option<&TxOverlay>,
     ) -> Result<ResultSet> {
+        self.execute_plan_at(plan, overlay, TS_LATEST)
+    }
+
+    /// [`Database::execute_plan`] against the row versions visible at
+    /// commit timestamp `snapshot` — how prepared vio-view plans and
+    /// session reads execute against a transaction's `BEGIN`-time state.
+    pub fn execute_plan_at(
+        &self,
+        plan: &CompiledQuery,
+        overlay: Option<&TxOverlay>,
+        snapshot: u64,
+    ) -> Result<ResultSet> {
         let mut ctx = match overlay {
-            Some(o) => ExecCtx::with_overlay(self, o),
-            None => ExecCtx::new(self),
+            Some(o) => ExecCtx::with_overlay_at(self, o, snapshot),
+            None => ExecCtx::at_snapshot(self, snapshot),
         };
         let rows = query::execute(plan, &mut ctx)?;
         Ok(ResultSet {
@@ -1010,8 +1303,20 @@ impl Database {
         p: &PreparedQuery,
         overlay: Option<&TxOverlay>,
     ) -> Result<ResultSet> {
+        self.query_prepared_with_overlay_at(p, overlay, TS_LATEST)
+    }
+
+    /// [`Database::query_prepared_with_overlay`] pinned to the row versions
+    /// visible at commit timestamp `snapshot`: the cached plan (compilation
+    /// depends on the catalog alone) runs against a `BEGIN`-time state.
+    pub fn query_prepared_with_overlay_at(
+        &self,
+        p: &PreparedQuery,
+        overlay: Option<&TxOverlay>,
+        snapshot: u64,
+    ) -> Result<ResultSet> {
         let resolved = p.resolve(self)?;
-        self.execute_plan(&resolved.plan, overlay)
+        self.execute_plan_at(&resolved.plan, overlay, snapshot)
     }
 
     /// Parse and run a single query string.
@@ -1114,18 +1419,20 @@ impl Database {
     }
 
     fn exec_insert(&mut self, ins: &sql::Insert) -> Result<usize> {
-        let validated = self.insert_source_rows(ins, None)?;
+        let validated = self.insert_source_rows(ins, None, TS_LATEST)?;
         self.apply_validated_inserts(&ins.table, validated)
     }
 
     /// Compute the fully-positional, schema-validated, constraint-checked
     /// rows an `INSERT` statement proposes, without applying them. The
     /// optional overlay makes `INSERT … SELECT` sources and `CHECK`
-    /// subqueries observe the calling transaction's pending updates.
+    /// subqueries observe the calling transaction's pending updates, and
+    /// `snapshot` pins which committed versions they see.
     fn insert_source_rows(
         &self,
         ins: &sql::Insert,
         overlay: Option<&TxOverlay>,
+        snapshot: u64,
     ) -> Result<Vec<Row>> {
         let target = self
             .tables
@@ -1158,7 +1465,7 @@ impl Database {
                 out
             }
             sql::InsertSource::Query(q) => self
-                .query_with_overlay(q, overlay)?
+                .query_with_overlay_at(q, overlay, snapshot)?
                 .rows
                 .into_iter()
                 .map(|r| r.into_vec())
@@ -1191,7 +1498,7 @@ impl Database {
             .into_iter()
             .map(|r| target.validate(r))
             .collect::<Result<_>>()?;
-        self.check_row_constraints(&ins.table, &validated, overlay)?;
+        self.check_row_constraints(&ins.table, &validated, overlay, snapshot)?;
         Ok(validated)
     }
 
@@ -1208,7 +1515,7 @@ impl Database {
                 .map(|r| t.validate(r))
                 .collect::<Result<_>>()?
         };
-        self.check_row_constraints(table, &validated, None)?;
+        self.check_row_constraints(table, &validated, None, TS_LATEST)?;
         self.apply_validated_inserts(table, validated)
     }
 
@@ -1407,7 +1714,7 @@ impl Database {
                 .map(|(_, _, new)| t.validate(new.clone()))
                 .collect::<Result<_>>()?
         };
-        self.check_row_constraints(&upd.table, &validated, None)?;
+        self.check_row_constraints(&upd.table, &validated, None, TS_LATEST)?;
 
         if self.captured.contains(&upd.table) {
             // Record del(old) + ins(new) events; skip no-op rows.
@@ -1505,9 +1812,24 @@ impl Database {
     /// transaction inserted (the pending insertion is retracted), and an
     /// `UPDATE` can modify it (retract + re-insert).
     pub fn plan_dml(&self, stmt: &sql::Statement, overlay: &TxOverlay) -> Result<DmlDelta> {
+        self.plan_dml_at(stmt, overlay, TS_LATEST)
+    }
+
+    /// [`Database::plan_dml`] against the row versions visible at commit
+    /// timestamp `snapshot` — a transaction's statements match and validate
+    /// against its `BEGIN`-time state plus its own pending updates, never
+    /// against rows committed concurrently (those surface at `COMMIT` as
+    /// serialization conflicts instead; see
+    /// [`Database::detect_conflicts`]).
+    pub fn plan_dml_at(
+        &self,
+        stmt: &sql::Statement,
+        overlay: &TxOverlay,
+        snapshot: u64,
+    ) -> Result<DmlDelta> {
         let delta = match stmt {
             sql::Statement::Insert(ins) => {
-                let rows = self.insert_source_rows(ins, Some(overlay))?;
+                let rows = self.insert_source_rows(ins, Some(overlay), snapshot)?;
                 DmlDelta {
                     table: ins.table.clone(),
                     rows_affected: rows.len(),
@@ -1515,15 +1837,15 @@ impl Database {
                     ..DmlDelta::default()
                 }
             }
-            sql::Statement::Delete(del) => self.plan_delete(del, overlay)?,
-            sql::Statement::Update(upd) => self.plan_update(upd, overlay)?,
+            sql::Statement::Delete(del) => self.plan_delete(del, overlay, snapshot)?,
+            sql::Statement::Update(upd) => self.plan_update(upd, overlay, snapshot)?,
             other => {
                 return Err(EngineError::Unsupported(format!(
                     "plan_dml expects INSERT / DELETE / UPDATE, got: {other}"
                 )))
             }
         };
-        let delta = self.drop_noop_inserts(delta, overlay);
+        let delta = self.drop_noop_inserts(delta, overlay, snapshot);
         // Validate uniqueness of the would-be pending state now, at
         // statement time, so a key conflict reads like any other constraint
         // error instead of surfacing as an opaque engine failure at COMMIT —
@@ -1532,7 +1854,7 @@ impl Database {
         // were validated by the statements that proposed them.
         let mut candidate = overlay.delta(&delta.table).cloned().unwrap_or_default();
         candidate.merge(&delta);
-        self.check_visible_unique(&delta.table, &delta.ins, &candidate)?;
+        self.check_visible_unique(&delta.table, &delta.ins, &candidate, snapshot)?;
         Ok(delta)
     }
 
@@ -1542,7 +1864,12 @@ impl Database {
     /// are exactly the no-ops commit-time normalization would drop — and
     /// dropping them now keeps read-your-writes free of duplicate rows, so
     /// what the transaction sees is what commit produces.
-    fn drop_noop_inserts(&self, mut delta: DmlDelta, overlay: &TxOverlay) -> DmlDelta {
+    fn drop_noop_inserts(
+        &self,
+        mut delta: DmlDelta,
+        overlay: &TxOverlay,
+        snapshot: u64,
+    ) -> DmlDelta {
         if delta.ins.is_empty() {
             return delta;
         }
@@ -1571,8 +1898,8 @@ impl Database {
             if pending.iter().any(|x| **x == row) || kept.contains(&row) {
                 continue; // duplicate pending copy
             }
-            if t.find_identical(&row).is_some() && !hidden(&row) {
-                continue; // identical to a surviving base row
+            if t.find_identical_at(&row, snapshot).is_some() && !hidden(&row) {
+                continue; // identical to a surviving snapshot-visible row
             }
             kept.push(row);
         }
@@ -1594,6 +1921,7 @@ impl Database {
         table: &str,
         new_rows: &[Row],
         candidate: &TableDelta,
+        snapshot: u64,
     ) -> Result<()> {
         let Some(t) = self.tables.get(table) else {
             // Event-table targets carry no unique indexes; a vanished base
@@ -1609,10 +1937,15 @@ impl Database {
         };
         for row in new_rows {
             for ix in t.indexes().iter().filter(|ix| ix.unique) {
-                // NULL-containing keys are exempt from uniqueness.
+                // NULL-containing keys are exempt from uniqueness. Probes
+                // return version candidates; only snapshot-visible ones
+                // conflict (rows committed after the snapshot surface at
+                // COMMIT as serialization conflicts instead).
                 let Some(key) = ix.key_of(row) else { continue };
                 for &id in ix.probe(&key) {
-                    let base = t.get(id).expect("index points at live row");
+                    let Some(base) = t.get_at(id, snapshot) else {
+                        continue;
+                    };
                     if candidate.hides(base) || base.as_ref() == row.as_ref() {
                         continue;
                     }
@@ -1644,6 +1977,7 @@ impl Database {
         alias: Option<&String>,
         pred: Option<&sql::Expr>,
         overlay: &TxOverlay,
+        snapshot: u64,
     ) -> Result<(Vec<Row>, Vec<Row>)> {
         let t = self
             .tables
@@ -1654,7 +1988,7 @@ impl Database {
         let mut pending = Vec::new();
         match pred {
             None => {
-                for (_, row) in t.scan() {
+                for (_, row) in t.scan_at(snapshot) {
                     if delta.is_some_and(|d| d.hides(row)) {
                         continue;
                     }
@@ -1668,13 +2002,15 @@ impl Database {
                 let binding = alias.cloned().unwrap_or_else(|| table.to_string());
                 let compiled = query::compile_row_predicate(self, table, &binding, pred)?;
                 let candidates = delete_probe_candidates(t, &binding, pred, self)?;
-                let mut ctx = ExecCtx::with_overlay(self, overlay);
+                let mut ctx = ExecCtx::with_overlay_at(self, overlay, snapshot);
                 let ids: Vec<RowId> = match candidates {
                     Some(ids) => ids,
-                    None => t.scan().map(|(id, _)| id).collect(),
+                    None => t.scan_at(snapshot).map(|(id, _)| id).collect(),
                 };
                 for id in ids {
-                    let Some(row) = t.get(id) else { continue };
+                    let Some(row) = t.get_at(id, snapshot) else {
+                        continue;
+                    };
                     if delta.is_some_and(|d| d.hides(row)) {
                         continue;
                     }
@@ -1694,12 +2030,18 @@ impl Database {
         Ok((base, pending))
     }
 
-    fn plan_delete(&self, del: &sql::Delete, overlay: &TxOverlay) -> Result<DmlDelta> {
+    fn plan_delete(
+        &self,
+        del: &sql::Delete,
+        overlay: &TxOverlay,
+        snapshot: u64,
+    ) -> Result<DmlDelta> {
         let (base, pending) = self.visible_matches(
             &del.table,
             del.alias.as_ref(),
             del.predicate.as_ref(),
             overlay,
+            snapshot,
         )?;
         let rows_affected = base.len() + pending.len();
         // One deletion event removes one identical base row at apply time,
@@ -1724,7 +2066,12 @@ impl Database {
     /// state — TINTIN's update model, applied to the overlay instead of the
     /// event tables. Updating a row this transaction itself inserted
     /// retracts the pending insertion and proposes the modified row.
-    fn plan_update(&self, upd: &sql::Update, overlay: &TxOverlay) -> Result<DmlDelta> {
+    fn plan_update(
+        &self,
+        upd: &sql::Update,
+        overlay: &TxOverlay,
+        snapshot: u64,
+    ) -> Result<DmlDelta> {
         let t = self
             .tables
             .get(&upd.table)
@@ -1752,13 +2099,14 @@ impl Database {
             upd.alias.as_ref(),
             upd.predicate.as_ref(),
             overlay,
+            snapshot,
         )?;
         let mut delta = DmlDelta {
             table: upd.table.clone(),
             rows_affected: base.len() + pending.len(),
             ..DmlDelta::default()
         };
-        let mut ctx = ExecCtx::with_overlay(self, overlay);
+        let mut ctx = ExecCtx::with_overlay_at(self, overlay, snapshot);
         let matched = base
             .iter()
             .map(|r| (r, false))
@@ -1779,7 +2127,7 @@ impl Database {
             }
             delta.ins.push(new);
         }
-        self.check_row_constraints(&upd.table, &delta.ins, Some(overlay))?;
+        self.check_row_constraints(&upd.table, &delta.ins, Some(overlay), snapshot)?;
         Ok(delta)
     }
 
@@ -1811,23 +2159,15 @@ impl Database {
                 }
                 continue;
             }
-            let Some(base) = self.tables.get(&table) else {
+            if !self.tables.contains_key(&table) {
                 return Err(EngineError::NoSuchTable(table.clone()));
-            };
-            // Write-write conflict detection: every planned deletion must
-            // still have an identical base row. A missing one means another
-            // session's commit removed or updated it since this transaction
-            // planned the deletion — surface that as a conflict instead of
-            // letting normalization silently drop the deletion half and
-            // resurrect the insertion half (a lost-update anomaly).
-            for row in &delta.del {
-                if base.find_identical(row).is_none() {
-                    return Err(EngineError::Transaction(format!(
-                        "write-write conflict on '{table}': a row this transaction \
-                         deletes was removed or updated by a concurrent commit"
-                    )));
-                }
             }
+            // Write-write conflicts (a planned deletion whose target a
+            // concurrent commit removed, a key raced onto by a later
+            // committer) are the province of [`Database::detect_conflicts`]
+            // — first-committer-wins on version stamps — which commit paths
+            // run immediately before staging, under the same write lock.
+            // Staging itself is mechanical.
             if !self.is_captured(&table) {
                 self.enable_capture(&table)?;
             }
@@ -1862,6 +2202,7 @@ impl Database {
         table: &str,
         rows: &[Row],
         overlay: Option<&TxOverlay>,
+        snapshot: u64,
     ) -> Result<()> {
         let t = &self.tables[table];
         if t.schema.checks.is_empty() {
@@ -1871,8 +2212,8 @@ impl Database {
         for check in &checks {
             let compiled = query::compile_row_predicate(self, table, table, check)?;
             let mut ctx = match overlay {
-                Some(o) => ExecCtx::with_overlay(self, o),
-                None => ExecCtx::new(self),
+                Some(o) => ExecCtx::with_overlay_at(self, o, snapshot),
+                None => ExecCtx::at_snapshot(self, snapshot),
             };
             for row in rows {
                 // SQL CHECK semantics: only definite False rejects.

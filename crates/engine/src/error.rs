@@ -41,6 +41,16 @@ pub enum EngineError {
     CheckViolation { table: String, detail: String },
     /// Transaction-state error (no open transaction, nested BEGIN, …).
     Transaction(String),
+    /// First-committer-wins: a concurrent commit created or removed a row
+    /// version this transaction's update depends on after the transaction's
+    /// snapshot was taken. The losing transaction is rolled back; an
+    /// immediate retry on a fresh snapshot may succeed.
+    SerializationConflict {
+        /// The table the conflicting versions live in.
+        table: String,
+        /// What raced: the stale deletion or the post-snapshot key.
+        detail: String,
+    },
     /// `ROLLBACK TO` / `RELEASE` named a savepoint that does not exist.
     NoSuchSavepoint(String),
 }
@@ -75,6 +85,12 @@ impl fmt::Display for EngineError {
                 write!(f, "CHECK constraint failed on {table}: {detail}")
             }
             EngineError::Transaction(m) => write!(f, "transaction error: {m}"),
+            EngineError::SerializationConflict { table, detail } => {
+                write!(
+                    f,
+                    "serialization conflict on {table}: {detail} (retry the transaction)"
+                )
+            }
             EngineError::NoSuchSavepoint(n) => write!(f, "no such savepoint: '{n}'"),
         }
     }

@@ -15,12 +15,16 @@
 //! * the engine half of `safeCommit`: event normalization, the
 //!   apply/undo/truncate primitives, and efficient evaluation of the
 //!   generated incremental views;
-//! * **concurrency primitives** — [`SharedDatabase`], a cloneable
-//!   `Arc<RwLock<Database>>` handle many sessions attach to (reads share,
-//!   commits exclude), and [`TxOverlay`], a transaction's private pending
-//!   update that query evaluation composes onto base tables so each
-//!   transaction reads its own uncommitted writes and nobody else's (see
-//!   [`shared`] and [`overlay`]).
+//! * **concurrency primitives** — row-version MVCC: every stored row
+//!   carries `(begin, end)` commit-timestamp stamps and readers filter
+//!   versions by snapshot visibility instead of blocking behind commits
+//!   (see [`table`]); [`SharedDatabase`], a cloneable shared handle many
+//!   sessions attach to, with a commit lock that serializes committers
+//!   *without* excluding readers and a snapshot registry that feeds
+//!   garbage collection; and [`TxOverlay`], a transaction's private
+//!   pending update that query evaluation composes onto its `BEGIN`-time
+//!   snapshot so each transaction reads its own uncommitted writes and
+//!   nobody else's (see [`shared`] and [`overlay`]).
 //!
 //! The performance property that matters for reproducing the paper's
 //! numbers: correlated subqueries are evaluated per outer row with
@@ -65,8 +69,8 @@ pub mod value;
 
 pub use copy::CopyOptions;
 pub use database::{
-    del_table_name, ins_table_name, Database, EventSnapshot, NormalizationReport, StatementResult,
-    TouchedTable, UndoLog,
+    del_table_name, ins_table_name, Database, EventSnapshot, MvccStats, NormalizationReport,
+    StatementResult, TouchedTable, UndoLog,
 };
 pub use error::{EngineError, Result};
 pub use overlay::{DmlDelta, TableDelta, TxOverlay};
@@ -74,6 +78,6 @@ pub use prepared::{PreparedQuery, ResolvedPlan};
 pub use query::{CompiledQuery, ExecCtx};
 pub use result::ResultSet;
 pub use schema::{Column, ForeignKey, TableSchema};
-pub use shared::SharedDatabase;
-pub use table::{HashIndex, RowId, Table};
+pub use shared::{SharedDatabase, Snapshot};
+pub use table::{HashIndex, RowId, Table, TS_LATEST, TS_LIVE};
 pub use value::{DataType, Row, Truth, Value, R64};

@@ -6,17 +6,27 @@
 //! interleaved transactions would mix their events and each would observe
 //! the other's uncommitted state. Instead every open transaction keeps its
 //! pending insertions and deletions in a private [`TxOverlay`], and the
-//! query evaluator composes the state that transaction observes on the fly:
+//! query evaluator composes the state that transaction observes on the fly.
+//! Base-table accesses are pinned to the transaction's `BEGIN`-time MVCC
+//! snapshot (the row versions visible at its snapshot timestamp — see
+//! [`SharedDatabase::begin_snapshot`](crate::SharedDatabase::begin_snapshot)),
+//! so the full visible-state equation is
 //!
 //! ```text
-//! visible(T) = (base(T) minus overlay.del(T)) union overlay.ins(T)
+//! visible(T) = (snapshot(T) minus overlay.del(T)) union overlay.ins(T)
 //! ```
 //!
-//! Only at `COMMIT` — under the shared database's exclusive write lock —
-//! is the overlay staged into the real event tables
+//! — the state as of `BEGIN`, minus the transaction's pending deletions,
+//! plus its pending insertions. Concurrent commits never change what an
+//! open transaction reads; they surface only at `COMMIT`, as
+//! first-committer-wins serialization conflicts.
+//!
+//! Only at `COMMIT` — inside the write-locked staging phase of the phased
+//! commit — is the overlay staged into the real event tables
 //! ([`Database::stage_overlay`](crate::Database::stage_overlay)), where the
 //! paper's `safeCommit` machinery (normalize → check incremental views →
-//! apply or reject) takes over unchanged.
+//! apply or reject) takes over, now stamping row versions instead of
+//! mutating in place.
 //!
 //! The overlay is deliberately simple: plain row vectors, scanned linearly
 //! during evaluation. Pending updates are bounded by the transaction's own

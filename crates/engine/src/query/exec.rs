@@ -80,13 +80,18 @@ impl BoundRow<'_> {
 /// Execution context: the database, the binding-frame stack, and the
 /// materialization caches (shared across one top-level execution).
 ///
-/// An optional [`TxOverlay`] supplies read-your-writes semantics: base-table
-/// scans and index probes then yield `(base − overlay.del) ∪ overlay.ins`,
-/// so a transaction observes its own pending updates without them being
-/// visible to anyone else.
+/// An optional [`TxOverlay`] supplies read-your-writes semantics, and a
+/// snapshot timestamp pins which committed row versions table scans and
+/// index probes observe. Together they compose the state a transaction
+/// sees: `(snapshot − overlay.del) ∪ overlay.ins` — the transaction's
+/// `BEGIN`-time state plus its own pending updates, regardless of what
+/// other sessions commit meanwhile.
 pub struct ExecCtx<'a> {
     pub db: &'a Database,
     overlay: Option<&'a TxOverlay>,
+    /// Commit timestamp whose versions are visible
+    /// ([`crate::table::TS_LATEST`] = live state).
+    snapshot: u64,
     frames: Vec<Vec<BoundRow<'a>>>,
     view_cache: FxHashMap<String, Rc<Materialized>>,
     derived_cache: FxHashMap<usize, Rc<Materialized>>,
@@ -98,6 +103,7 @@ impl<'a> ExecCtx<'a> {
         ExecCtx {
             db,
             overlay: None,
+            snapshot: crate::table::TS_LATEST,
             frames: Vec::new(),
             view_cache: FxHashMap::default(),
             derived_cache: FxHashMap::default(),
@@ -110,6 +116,25 @@ impl<'a> ExecCtx<'a> {
     pub fn with_overlay(db: &'a Database, overlay: &'a TxOverlay) -> Self {
         ExecCtx {
             overlay: Some(overlay),
+            ..ExecCtx::new(db)
+        }
+    }
+
+    /// A context pinned to the row versions visible at commit timestamp
+    /// `snapshot` (MVCC snapshot reads).
+    pub fn at_snapshot(db: &'a Database, snapshot: u64) -> Self {
+        ExecCtx {
+            snapshot,
+            ..ExecCtx::new(db)
+        }
+    }
+
+    /// Snapshot visibility plus a transaction's pending-update overlay: the
+    /// full visible-state equation `(snapshot − del) ∪ ins`.
+    pub fn with_overlay_at(db: &'a Database, overlay: &'a TxOverlay, snapshot: u64) -> Self {
+        ExecCtx {
+            overlay: Some(overlay),
+            snapshot,
             ..ExecCtx::new(db)
         }
     }
@@ -381,7 +406,7 @@ fn bind_source<'a>(
                 .table(table)
                 .ok_or_else(|| EngineError::NoSuchTable(table.clone()))?;
             let delta = ctx.overlay.and_then(|o| o.delta(table));
-            for (_, row) in t.scan() {
+            for (_, row) in t.scan_at(ctx.snapshot) {
                 if delta.is_some_and(|d| d.hides(row)) {
                     continue;
                 }
@@ -426,10 +451,13 @@ fn bind_source<'a>(
                 }
             }
             // The probe result is cloned into a small Vec because the index
-            // borrow cannot outlive frame mutation.
+            // borrow cannot outlive frame mutation. Probes return *version*
+            // candidates; visibility filters them to the snapshot.
             let ids: Vec<u32> = ix.probe(&kv).to_vec();
             for id in ids {
-                let row = t.get(id).expect("index points at live row");
+                let Some(row) = t.get_at(id, ctx.snapshot) else {
+                    continue;
+                };
                 if delta.is_some_and(|d| d.hides(row)) {
                     continue;
                 }

@@ -1,30 +1,52 @@
 //! The shared-database handle: one [`Database`], many concurrent clients.
 //!
-//! [`SharedDatabase`] is a cheaply clonable handle (`Arc<RwLock<Database>>`)
-//! that lets any number of sessions attach to the same database. The locking
-//! protocol is deliberately coarse and matches the paper's commit-time
-//! checking model:
+//! [`SharedDatabase`] is a cheaply clonable handle that lets any number of
+//! sessions attach to the same database. Since the MVCC redesign the
+//! protocol is *snapshot-based*, not reader-excluding:
 //!
-//! * **reads** (queries, catalog inspection) take the shared read lock —
-//!   any number run concurrently;
-//! * **commits** take the exclusive write lock for the *whole*
-//!   stage-events → `safeCommit` → apply-or-reject critical section, so a
-//!   violating commit rolls back atomically without any other session ever
-//!   observing intermediate state (no torn reads, no half-applied updates).
+//! * **reads** execute against the row versions visible at a snapshot
+//!   timestamp — either the latest committed state (autocommit reads) or the
+//!   transaction's `BEGIN`-time snapshot ([`SharedDatabase::begin_snapshot`]).
+//!   They take the shared read lock only to access the catalog and table
+//!   memory safely; that lock is *also held by a committing session during
+//!   its expensive check phase*, so readers and in-flight checked commits
+//!   run concurrently. Version visibility — never the lock — is what keeps
+//!   a reader's state consistent;
+//! * **commits** serialize among themselves on the commit lock
+//!   ([`SharedDatabase::commit_guard`]) and take the exclusive write lock
+//!   only for the two short bookkeeping phases on either side of the check:
+//!   conflict-detect/stage/normalize before it, version-stamp/publish/GC
+//!   after it. Both are O(update size), so readers stall at most for an
+//!   update-sized bookkeeping window, never for the whole check;
+//! * **DDL** (and assertion installation) briefly takes both the commit
+//!   lock and the write lock: a schema change may not interleave with the
+//!   unlocked middle of a phased commit.
 //!
 //! Between statements a session holds no lock at all; a transaction's
-//! pending update lives in its private [`TxOverlay`](crate::TxOverlay)
-//! until commit, which is what keeps the write-lock hold time proportional
-//! to the *update* size rather than the transaction's lifetime.
+//! pending update lives in its private [`TxOverlay`](crate::TxOverlay), and
+//! its reads are pinned to the snapshot it captured at `BEGIN` — repeated
+//! `SELECT`s inside a transaction return identical results even while other
+//! sessions commit.
+//!
+//! Old versions are pruned by garbage collection
+//! ([`Database::gc_versions`] / [`Database::maybe_gc_for`]) once no live
+//! snapshot can see them; the registry of live snapshots behind
+//! [`SharedDatabase::begin_snapshot`] supplies the horizon
+//! ([`SharedDatabase::gc_horizon`]).
 //!
 //! Lock poisoning is deliberately recovered from ([`PoisonError::into_inner`]):
 //! every multi-step mutation in the engine either completes or compensates
-//! (undo logs, rollback-on-error installs), and the commit path truncates
-//! the event tables on any failure — so the database a panicking thread
-//! leaves behind is still structurally consistent.
+//! (undo logs, version un-stamping, rollback-on-error installs), and the
+//! commit path truncates the event tables on any failure — so the database
+//! a panicking thread leaves behind is still structurally consistent.
 
 use crate::database::Database;
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Refcounted registry of live snapshot timestamps (several transactions
+/// may share a timestamp).
+type SnapshotRegistry = Mutex<BTreeMap<u64, usize>>;
 
 /// A thread-safe, cloneable handle to one shared [`Database`].
 ///
@@ -50,6 +72,52 @@ use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 #[derive(Debug, Clone, Default)]
 pub struct SharedDatabase {
     inner: Arc<RwLock<Database>>,
+    /// Serializes committers (and DDL) without excluding readers: held
+    /// across the whole phased commit, while the rwlock is only taken for
+    /// the short bookkeeping phases.
+    commit_lock: Arc<Mutex<()>>,
+    /// Live snapshot timestamps with refcounts — the GC horizon.
+    snapshots: Arc<SnapshotRegistry>,
+}
+
+/// A registered `BEGIN`-time snapshot: the commit timestamp whose row
+/// versions the owning transaction observes. While the value is alive,
+/// garbage collection will not prune any version the snapshot can still
+/// see; dropping it releases the claim.
+#[derive(Debug)]
+pub struct Snapshot {
+    ts: u64,
+    registry: Arc<SnapshotRegistry>,
+}
+
+impl Snapshot {
+    /// The commit timestamp this snapshot pins.
+    pub fn ts(&self) -> u64 {
+        self.ts
+    }
+}
+
+impl Clone for Snapshot {
+    fn clone(&self) -> Self {
+        let mut reg = self.registry.lock().unwrap_or_else(PoisonError::into_inner);
+        *reg.entry(self.ts).or_insert(0) += 1;
+        Snapshot {
+            ts: self.ts,
+            registry: self.registry.clone(),
+        }
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        let mut reg = self.registry.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(n) = reg.get_mut(&self.ts) {
+            *n -= 1;
+            if *n == 0 {
+                reg.remove(&self.ts);
+            }
+        }
+    }
 }
 
 impl SharedDatabase {
@@ -62,17 +130,69 @@ impl SharedDatabase {
     pub fn from_database(db: Database) -> Self {
         SharedDatabase {
             inner: Arc::new(RwLock::new(db)),
+            ..SharedDatabase::default()
         }
     }
 
-    /// Acquire the shared read lock (blocks while a commit is in flight).
+    /// Acquire the shared read lock. Readers share it with each other *and*
+    /// with the check phase of an in-flight commit; only the short
+    /// bookkeeping phases of a commit (and DDL) exclude them.
     pub fn read(&self) -> RwLockReadGuard<'_, Database> {
         self.inner.read().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Acquire the exclusive write lock (DDL, commits, bulk loads).
+    /// Acquire the exclusive write lock (DDL, bulk loads, and the
+    /// bookkeeping phases of a commit).
     pub fn write(&self) -> RwLockWriteGuard<'_, Database> {
         self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire the commit lock, serializing this caller against every
+    /// other committer and DDL statement. Hold it across a multi-phase
+    /// critical section whose rwlock acquisitions are interleaved with
+    /// unlocked (or read-locked) stretches.
+    pub fn commit_guard(&self) -> MutexGuard<'_, ()> {
+        self.commit_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Register a `BEGIN`-time snapshot of the latest committed state. The
+    /// returned [`Snapshot`] pins its versions against garbage collection
+    /// until dropped.
+    pub fn begin_snapshot(&self) -> Snapshot {
+        // Lock order: registry inside the read lock — the timestamp must be
+        // registered before the read guard drops, or a commit+GC could slip
+        // between reading the clock and registering it.
+        let db = self.read();
+        let ts = db.current_ts();
+        let mut reg = self
+            .snapshots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *reg.entry(ts).or_insert(0) += 1;
+        drop(db);
+        Snapshot {
+            ts,
+            registry: self.snapshots.clone(),
+        }
+    }
+
+    /// The oldest live snapshot timestamp, if any transaction holds one.
+    pub fn oldest_snapshot(&self) -> Option<u64> {
+        self.snapshots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .keys()
+            .next()
+            .copied()
+    }
+
+    /// The garbage-collection horizon as of commit timestamp `current`:
+    /// versions dead at or before it are invisible to every live snapshot
+    /// and every future one, so [`Database::gc_versions`] may prune them.
+    pub fn gc_horizon(&self, current: u64) -> u64 {
+        self.oldest_snapshot().unwrap_or(current).min(current)
     }
 
     /// An independent deep copy of the current database state.
@@ -109,6 +229,7 @@ mod tests {
     fn shared_database_is_send_and_sync() {
         assert_send_sync::<SharedDatabase>();
         assert_send_sync::<Database>();
+        assert_send_sync::<Snapshot>();
     }
 
     #[test]
@@ -153,5 +274,25 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(shared.read().table("t").unwrap().len(), 100);
+    }
+
+    #[test]
+    fn snapshot_registry_tracks_lifetimes() {
+        let shared = SharedDatabase::new();
+        assert_eq!(shared.oldest_snapshot(), None);
+        let s1 = shared.begin_snapshot();
+        assert_eq!(s1.ts(), 0);
+        assert_eq!(shared.oldest_snapshot(), Some(0));
+        // A clone pins the same timestamp independently.
+        let s2 = s1.clone();
+        drop(s1);
+        assert_eq!(shared.oldest_snapshot(), Some(0));
+        drop(s2);
+        assert_eq!(shared.oldest_snapshot(), None);
+        // With no snapshot open, the horizon is the current timestamp.
+        assert_eq!(shared.gc_horizon(7), 7);
+        let s3 = shared.begin_snapshot();
+        assert_eq!(shared.gc_horizon(7), 0);
+        drop(s3);
     }
 }

@@ -1,19 +1,74 @@
-//! Slotted in-memory table storage with hash indexes.
+//! Slotted in-memory table storage with hash indexes and row-version MVCC.
 //!
 //! Rows live in a slot vector with a free list, so `RowId`s are stable until
-//! the row is deleted. Every table keeps a unique index on its primary key
-//! (if declared) plus any number of secondary indexes; rows whose key columns
-//! contain NULL are not indexed (a NULL key can never match an equality
-//! probe), and NULL-containing keys are exempt from uniqueness, following
-//! SQL semantics.
+//! the row is physically removed. Every table keeps a unique index on its
+//! primary key (if declared) plus any number of secondary indexes; rows whose
+//! key columns contain NULL are not indexed (a NULL key can never match an
+//! equality probe), and NULL-containing keys are exempt from uniqueness,
+//! following SQL semantics.
+//!
+//! # Row versions
+//!
+//! Every stored row is a *version* stamped with a `(begin, end)` pair of
+//! commit timestamps: `begin` is the commit that created it, `end` the commit
+//! that deleted it ([`TS_LIVE`] while it is still live). A snapshot taken at
+//! commit timestamp `s` observes exactly the versions with
+//! `begin <= s && s < end`, so concurrent committers never disturb an open
+//! snapshot — readers filter versions instead of taking locks.
+//!
+//! Two deletion flavours coexist:
+//!
+//! * [`Table::delete_row`] **physically** removes a version (index entries
+//!   dropped, slot freed). This is the right tool for transient storage that
+//!   no snapshot ever re-reads — event tables, undo compensation, bulk
+//!   maintenance on an exclusively owned database.
+//! * [`Table::delete_row_at`] **stamps** a live version dead at a commit
+//!   timestamp. The version (and its index entries) stays behind for older
+//!   snapshots until [`Table::gc`] prunes it once no live snapshot can see
+//!   it. This is the MVCC commit path.
+//!
+//! Versions created by [`Table::insert`] carry `begin = 0` — visible to
+//! every snapshot — which is what bootstrap loads and raw-engine writes
+//! want; MVCC commits use [`Table::insert_at`] with their commit timestamp.
 
 use crate::error::{EngineError, Result};
 use crate::hash::FxHashMap;
 use crate::schema::TableSchema;
 use crate::value::{Row, Value};
 
-/// Stable identifier of a row within its table.
+/// Stable identifier of a row version within its table.
 pub type RowId = u32;
+
+/// Snapshot sentinel meaning "the latest committed state": visibility
+/// degenerates to "the version is live" (its `end` stamp is [`TS_LIVE`]).
+pub const TS_LATEST: u64 = u64::MAX;
+
+/// The `end` stamp of a version that has not been deleted.
+pub const TS_LIVE: u64 = u64::MAX;
+
+/// One stored row version: the row plus its `(begin, end)` visibility
+/// window.
+#[derive(Debug, Clone)]
+struct Version {
+    row: Row,
+    begin: u64,
+    end: u64,
+}
+
+impl Version {
+    /// Is this version visible to a snapshot taken at commit timestamp `s`?
+    fn visible_at(&self, s: u64) -> bool {
+        if s == TS_LATEST {
+            self.end == TS_LIVE
+        } else {
+            self.begin <= s && s < self.end
+        }
+    }
+
+    fn is_live(&self) -> bool {
+        self.end == TS_LIVE
+    }
+}
 
 /// A hash index over a fixed list of columns.
 #[derive(Debug, Clone)]
@@ -46,7 +101,10 @@ impl HashIndex {
         Some(key.into_boxed_slice())
     }
 
-    /// Row ids matching an exact key.
+    /// Candidate row-version ids matching an exact key. The result may
+    /// include versions no snapshot the caller cares about can see (dead
+    /// versions awaiting GC); filter with [`Table::get`] /
+    /// [`Table::get_at`].
     pub fn probe(&self, key: &[Value]) -> &[RowId] {
         self.map.get(key).map_or(&[], |v| v.as_slice())
     }
@@ -67,13 +125,24 @@ impl HashIndex {
     }
 }
 
-/// An in-memory table.
+/// An in-memory table of row versions.
 #[derive(Debug, Clone)]
 pub struct Table {
     pub schema: TableSchema,
-    slots: Vec<Option<Row>>,
+    slots: Vec<Option<Version>>,
     free: Vec<RowId>,
     live: usize,
+    /// Versions stamped dead but not yet garbage-collected.
+    dead: usize,
+    /// Lower bound on the `end` stamps of retained dead versions
+    /// ([`TS_LIVE`] when none). Lets [`Table::has_prunable`] answer "would
+    /// a GC pass at this horizon free anything?" without scanning — so a
+    /// horizon pinned by a long-lived snapshot doesn't trigger futile
+    /// full-table sweeps. May be conservatively low (a physical
+    /// [`Table::delete_row`] of the minimal dead version leaves it stale),
+    /// which costs at most one empty sweep before [`Table::gc`] recomputes
+    /// it exactly.
+    min_dead_end: u64,
     indexes: Vec<HashIndex>,
 }
 
@@ -86,6 +155,8 @@ impl Table {
             slots: Vec::new(),
             free: Vec::new(),
             live: 0,
+            dead: 0,
+            min_dead_end: TS_LIVE,
             indexes: Vec::new(),
         };
         if !t.schema.primary_key.is_empty() {
@@ -109,13 +180,29 @@ impl Table {
         t
     }
 
-    /// Number of live rows.
+    /// Number of live rows (versions visible to the latest snapshot).
     pub fn len(&self) -> usize {
         self.live
     }
 
     pub fn is_empty(&self) -> bool {
         self.live == 0
+    }
+
+    /// `(live, dead)` version counts: live versions are visible to the
+    /// latest snapshot, dead ones are retained only for older snapshots
+    /// until [`Table::gc`] prunes them.
+    pub fn version_counts(&self) -> (usize, usize) {
+        (self.live, self.dead)
+    }
+
+    /// Number of rows visible to a snapshot taken at commit timestamp `s`.
+    pub fn len_at(&self, s: u64) -> usize {
+        if s == TS_LATEST {
+            self.live
+        } else {
+            self.scan_at(s).count()
+        }
     }
 
     /// Validate a row against the schema: arity, coercion to the column
@@ -147,9 +234,17 @@ impl Table {
         Ok(row.into_boxed_slice())
     }
 
-    /// Insert a (validated or raw) row. Values are validated here; returns
-    /// the new row's id.
+    /// Insert a (validated or raw) row with `begin = 0` — visible to every
+    /// snapshot. Values are validated here; returns the new version's id.
     pub fn insert(&mut self, values: Vec<Value>) -> Result<RowId> {
+        self.insert_at(values, 0)
+    }
+
+    /// Insert a row as a version beginning at commit timestamp `begin`:
+    /// snapshots taken before `begin` never see it. Uniqueness is enforced
+    /// against *live* versions only — dead versions sharing the key are
+    /// history, not conflicts.
+    pub fn insert_at(&mut self, values: Vec<Value>, begin: u64) -> Result<RowId> {
         let row = self.validate(values)?;
         // Uniqueness checks before any mutation.
         for ix in &self.indexes {
@@ -157,7 +252,12 @@ impl Table {
                 continue;
             }
             if let Some(key) = ix.key_of(&row) {
-                if !ix.probe(&key).is_empty() {
+                let conflict = ix.probe(&key).iter().any(|&id| {
+                    self.slots[id as usize]
+                        .as_ref()
+                        .is_some_and(|v| v.is_live())
+                });
+                if conflict {
                     return Err(EngineError::UniqueViolation {
                         table: self.schema.name.clone(),
                         index: ix.name.clone(),
@@ -178,45 +278,171 @@ impl Table {
                 ix.insert(key, id);
             }
         }
-        self.slots[id as usize] = Some(row);
+        self.slots[id as usize] = Some(Version {
+            row,
+            begin,
+            end: TS_LIVE,
+        });
         self.live += 1;
         Ok(id)
     }
 
-    /// Remove a row by id, returning it.
+    /// Physically remove a version by id, returning its row. Index entries
+    /// are dropped and the slot is freed immediately — older snapshots lose
+    /// the version too, so this is only safe for storage no snapshot
+    /// re-reads (event tables, undo compensation, exclusively owned
+    /// databases). The MVCC commit path uses [`Table::delete_row_at`].
     pub fn delete_row(&mut self, id: RowId) -> Option<Row> {
-        let row = self.slots.get_mut(id as usize)?.take()?;
+        let version = self.slots.get_mut(id as usize)?.take()?;
         for ix in &mut self.indexes {
-            if let Some(key) = ix.key_of(&row) {
+            if let Some(key) = ix.key_of(&version.row) {
                 ix.remove(&key, id);
             }
         }
         self.free.push(id);
+        if version.is_live() {
+            self.live -= 1;
+        } else {
+            self.dead -= 1;
+        }
+        Some(version.row)
+    }
+
+    /// Stamp a *live* version dead at commit timestamp `end`: snapshots at
+    /// or after `end` no longer see it, older snapshots still do. The
+    /// version stays in the slot vector and the indexes until [`Table::gc`]
+    /// prunes it. Returns the row, or `None` if `id` is absent or already
+    /// dead.
+    pub fn delete_row_at(&mut self, id: RowId, end: u64) -> Option<Row> {
+        let version = self.slots.get_mut(id as usize)?.as_mut()?;
+        if !version.is_live() {
+            return None;
+        }
+        version.end = end;
+        let row = version.row.clone();
         self.live -= 1;
+        self.dead += 1;
+        self.min_dead_end = self.min_dead_end.min(end);
         Some(row)
     }
 
-    /// Access a row by id.
+    /// Reverse an un-published [`Table::delete_row_at`] stamp: a version
+    /// with `end == ts` becomes live again. Compensation for a failed
+    /// versioned apply — safe only while `ts` has not been published as a
+    /// commit timestamp (no snapshot can reference it yet).
+    pub(crate) fn unstamp_end(&mut self, ts: u64) -> usize {
+        let mut n = 0;
+        let mut min_dead = TS_LIVE;
+        for v in self.slots.iter_mut().flatten() {
+            if v.end == ts {
+                v.end = TS_LIVE;
+                self.live += 1;
+                self.dead -= 1;
+                n += 1;
+            } else if !v.is_live() {
+                min_dead = min_dead.min(v.end);
+            }
+        }
+        // The full pass just happened anyway — make the bound exact.
+        self.min_dead_end = min_dead;
+        n
+    }
+
+    /// Physically remove every version with `begin == ts` (compensation for
+    /// a failed versioned apply; see [`Table::unstamp_end`]).
+    pub(crate) fn remove_begun_at(&mut self, ts: u64) -> usize {
+        let ids: Vec<RowId> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().filter(|v| v.begin == ts).map(|_| i as RowId))
+            .collect();
+        for &id in &ids {
+            self.delete_row(id);
+        }
+        ids.len()
+    }
+
+    /// Access a live row by version id (`None` for dead versions).
     pub fn get(&self, id: RowId) -> Option<&Row> {
-        self.slots.get(id as usize)?.as_ref()
+        self.slots
+            .get(id as usize)?
+            .as_ref()
+            .filter(|v| v.is_live())
+            .map(|v| &v.row)
+    }
+
+    /// Access the row of version `id` if it is visible to a snapshot taken
+    /// at commit timestamp `s` ([`TS_LATEST`] for the live state).
+    pub fn get_at(&self, id: RowId, s: u64) -> Option<&Row> {
+        self.slots
+            .get(id as usize)?
+            .as_ref()
+            .filter(|v| v.visible_at(s))
+            .map(|v| &v.row)
     }
 
     /// Iterate over live rows.
     pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|r| (i as RowId, r)))
+        self.scan_at(TS_LATEST)
     }
 
-    /// Remove all rows.
+    /// Iterate over the rows visible to a snapshot taken at commit
+    /// timestamp `s` ([`TS_LATEST`] for the live state).
+    pub fn scan_at(&self, s: u64) -> impl Iterator<Item = (RowId, &Row)> {
+        self.slots.iter().enumerate().filter_map(move |(i, slot)| {
+            slot.as_ref()
+                .filter(|v| v.visible_at(s))
+                .map(|v| (i as RowId, &v.row))
+        })
+    }
+
+    /// Remove all rows — *including* dead versions retained for older
+    /// snapshots (`TRUNCATE` is not transactional).
     pub fn truncate(&mut self) {
         self.slots.clear();
         self.free.clear();
         self.live = 0;
+        self.dead = 0;
+        self.min_dead_end = TS_LIVE;
         for ix in &mut self.indexes {
             ix.map.clear();
         }
+    }
+
+    /// Would [`Table::gc`] at `horizon` free anything? O(1): answered from
+    /// the tracked lower bound on dead `end` stamps, so callers can skip
+    /// futile full-table sweeps while a long-lived snapshot pins the
+    /// horizon below every retained version.
+    pub fn has_prunable(&self, horizon: u64) -> bool {
+        self.dead > 0 && self.min_dead_end <= horizon
+    }
+
+    /// Garbage-collect versions no snapshot at or after `horizon` can see
+    /// (those with `end <= horizon`): index entries are dropped and slots
+    /// freed for reuse. `horizon` must be the oldest live snapshot
+    /// timestamp (or the current commit timestamp when no snapshot is
+    /// open). Returns the number of versions pruned.
+    pub fn gc(&mut self, horizon: u64) -> usize {
+        if !self.has_prunable(horizon) {
+            return 0;
+        }
+        let mut ids: Vec<RowId> = Vec::new();
+        let mut min_surviving_dead = TS_LIVE;
+        for (i, slot) in self.slots.iter().enumerate() {
+            let Some(v) = slot else { continue };
+            if v.end <= horizon {
+                ids.push(i as RowId);
+            } else if !v.is_live() {
+                min_surviving_dead = min_surviving_dead.min(v.end);
+            }
+        }
+        for &id in &ids {
+            self.delete_row(id);
+        }
+        // The sweep visited every version — make the bound exact again.
+        self.min_dead_end = min_surviving_dead;
+        ids.len()
     }
 
     /// The indexes of this table.
@@ -238,15 +464,24 @@ impl Table {
         if self.indexes.iter().any(|ix| ix.name == name) {
             return Err(EngineError::DuplicateObject(name));
         }
+        // Backfill every version — dead ones included, so older snapshots
+        // keep probing correctly — but uniqueness only conflicts between
+        // two *live* versions.
         let mut ix = HashIndex::new(name, columns, unique);
-        for (id, row) in self
+        for (id, version) in self
             .slots
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|r| (i as RowId, r)))
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i as RowId, v)))
         {
-            if let Some(key) = ix.key_of(row) {
-                if unique && !ix.probe(&key).is_empty() {
+            if let Some(key) = ix.key_of(&version.row) {
+                if unique
+                    && version.is_live()
+                    && ix
+                        .probe(&key)
+                        .iter()
+                        .any(|&p| self.slots[p as usize].as_ref().is_some_and(|v| v.is_live()))
+                {
                     return Err(EngineError::UniqueViolation {
                         table: self.schema.name.clone(),
                         index: ix.name,
@@ -304,23 +539,48 @@ impl Table {
         best
     }
 
-    /// Find a row identical to `row` (NULLs compared as equal here — this is
-    /// *identity*, not SQL equality; used by event normalization).
+    /// Find a live row identical to `row` (NULLs compared as equal here —
+    /// this is *identity*, not SQL equality; used by event normalization).
     pub fn find_identical(&self, row: &[Value]) -> Option<RowId> {
+        self.find_identical_at(row, TS_LATEST)
+    }
+
+    /// [`Table::find_identical`] against the state a snapshot taken at
+    /// commit timestamp `s` observes.
+    pub fn find_identical_at(&self, row: &[Value], s: u64) -> Option<RowId> {
         // Use the PK index when the key is non-null.
         if let Some(ix) = self.indexes.first().filter(|ix| ix.unique) {
             if let Some(key) = ix.key_of(row) {
                 for &id in ix.probe(&key) {
-                    if self.get(id).is_some_and(|r| r.as_ref() == row) {
+                    if self.get_at(id, s).is_some_and(|r| r.as_ref() == row) {
                         return Some(id);
                     }
                 }
                 return None;
             }
         }
-        self.scan()
+        self.scan_at(s)
             .find(|(_, r)| r.as_ref() == row)
             .map(|(id, _)| id)
+    }
+
+    /// Every live version identical to `row` (set semantics: one deletion
+    /// event removes all identical copies). Used by the versioned apply.
+    pub fn find_identical_all(&self, row: &[Value]) -> Vec<RowId> {
+        if let Some(ix) = self.indexes.first().filter(|ix| ix.unique) {
+            if let Some(key) = ix.key_of(row) {
+                return ix
+                    .probe(&key)
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.get(id).is_some_and(|r| r.as_ref() == row))
+                    .collect();
+            }
+        }
+        self.scan()
+            .filter(|(_, r)| r.as_ref() == row)
+            .map(|(id, _)| id)
+            .collect()
     }
 }
 
@@ -488,6 +748,108 @@ mod tests {
         );
         assert_eq!(t.find_identical(&[Value::Int(1), Value::str("y")]), None);
         assert_eq!(t.find_identical(&[Value::Int(9), Value::str("x")]), None);
+    }
+
+    #[test]
+    fn stamped_delete_keeps_old_snapshots_intact() {
+        let mut t = Table::new(schema2());
+        let id = t.insert(vec![Value::Int(1), Value::str("x")]).unwrap();
+        // Deleted at commit 5: snapshots 0..5 still see it, 5.. don't.
+        assert!(t.delete_row_at(id, 5).is_some());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.version_counts(), (0, 1));
+        assert_eq!(t.get(id), None);
+        assert!(t.get_at(id, 4).is_some());
+        assert_eq!(t.get_at(id, 5), None);
+        assert_eq!(t.scan_at(4).count(), 1);
+        assert_eq!(t.scan_at(5).count(), 0);
+        // Stamping an already-dead version is a no-op.
+        assert!(t.delete_row_at(id, 9).is_none());
+    }
+
+    #[test]
+    fn insert_at_invisible_to_older_snapshots() {
+        let mut t = Table::new(schema2());
+        t.insert_at(vec![Value::Int(1), Value::Null], 3).unwrap();
+        assert_eq!(t.scan_at(2).count(), 0);
+        assert_eq!(t.scan_at(3).count(), 1);
+        assert_eq!(t.len(), 1, "latest sees live versions regardless of begin");
+    }
+
+    #[test]
+    fn unique_ignores_dead_versions_and_gc_prunes_them() {
+        let mut t = Table::new(schema2());
+        let id = t.insert(vec![Value::Int(1), Value::str("old")]).unwrap();
+        t.delete_row_at(id, 2);
+        // Same PK as the dead version: allowed (the key is free at latest).
+        let id2 = t
+            .insert_at(vec![Value::Int(1), Value::str("new")], 2)
+            .unwrap();
+        assert_ne!(id, id2);
+        // Both versions share the PK index bucket until GC.
+        assert_eq!(t.indexes()[0].probe(&[Value::Int(1)]).len(), 2);
+        // A snapshot before the swap sees exactly the old row.
+        assert_eq!(
+            t.find_identical_at(&[Value::Int(1), Value::str("old")], 1),
+            Some(id)
+        );
+        assert_eq!(t.find_identical(&[Value::Int(1), Value::str("old")]), None);
+        // GC below the death stamp keeps it; at the stamp it goes.
+        assert_eq!(t.gc(1), 0);
+        assert_eq!(t.gc(2), 1);
+        assert_eq!(t.version_counts(), (1, 0));
+        assert_eq!(t.indexes()[0].probe(&[Value::Int(1)]).len(), 1);
+        // The freed slot is reused.
+        let id3 = t.insert(vec![Value::Int(9), Value::Null]).unwrap();
+        assert_eq!(id3, id);
+    }
+
+    #[test]
+    fn has_prunable_tracks_the_dead_end_bound() {
+        let mut t = Table::new(schema2());
+        assert!(!t.has_prunable(u64::MAX - 1));
+        let a = t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        let b = t.insert(vec![Value::Int(2), Value::Null]).unwrap();
+        t.delete_row_at(a, 5);
+        t.delete_row_at(b, 3);
+        // Horizon below every dead stamp: nothing prunable, gc is O(1).
+        assert!(!t.has_prunable(2));
+        assert_eq!(t.gc(2), 0);
+        // Pruning the older version re-tightens the bound to the survivor.
+        assert!(t.has_prunable(3));
+        assert_eq!(t.gc(3), 1);
+        assert!(!t.has_prunable(4));
+        assert!(t.has_prunable(5));
+        assert_eq!(t.gc(5), 1);
+        assert!(!t.has_prunable(u64::MAX - 1));
+    }
+
+    #[test]
+    fn unstamp_and_remove_begun_compensate_a_failed_apply() {
+        let mut t = Table::new(schema2());
+        let a = t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        t.delete_row_at(a, 7);
+        t.insert_at(vec![Value::Int(2), Value::Null], 7).unwrap();
+        assert_eq!(t.unstamp_end(7), 1);
+        assert_eq!(t.remove_begun_at(7), 1);
+        assert_eq!(t.version_counts(), (1, 0));
+        assert!(t.get(a).is_some());
+    }
+
+    #[test]
+    fn secondary_index_backfills_dead_versions() {
+        let mut t = Table::new(schema2());
+        let id = t.insert(vec![Value::Int(1), Value::str("x")]).unwrap();
+        t.delete_row_at(id, 3);
+        t.insert_at(vec![Value::Int(2), Value::str("x")], 3)
+            .unwrap();
+        // Non-unique index: both versions indexed so old snapshots probe.
+        t.create_index("t_b".into(), vec![1], false).unwrap();
+        let ix = t.indexes().iter().find(|ix| ix.name == "t_b").unwrap();
+        assert_eq!(ix.probe(&[Value::str("x")]).len(), 2);
+        // Unique index over the same column: the dead version does not
+        // conflict with the live one.
+        t.create_index("t_b_u".into(), vec![1], true).unwrap();
     }
 
     #[test]

@@ -15,23 +15,40 @@
 //!   number of sessions attach to the same database; assertions installed
 //!   through one are enforced on every commit from all of them;
 //! * **explicit transactions** — `BEGIN; …; COMMIT` groups any number of
-//!   DML statements into one unit. Pending updates accumulate in the
-//!   session's private [`TxOverlay`]; queries inside the transaction
-//!   *read their own writes* (they observe the pending insertions and
-//!   deletions overlaid on the shared state) while no other session ever
-//!   observes them. `COMMIT` takes the database's exclusive write lock for
-//!   the whole stage → `safeCommit` → apply-or-reject critical section, so
-//!   a violating commit rolls back atomically and concurrent readers never
-//!   see intermediate state. `SAVEPOINT` / `ROLLBACK TO` / `RELEASE` give
-//!   partial rollback via cheap overlay snapshots;
+//!   DML statements into one unit. `BEGIN` captures an **MVCC snapshot**
+//!   (the latest commit timestamp); every query and DML statement inside
+//!   the transaction then observes the visible-state equation
+//!   `(snapshot − del) ∪ ins` — the `BEGIN`-time row versions, minus the
+//!   transaction's pending deletions, plus its pending insertions
+//!   (accumulated in the session's private [`TxOverlay`]). Repeated
+//!   `SELECT`s inside a transaction return identical results even while
+//!   other sessions commit, and no other session ever observes pending
+//!   work through base-table reads (a session explicitly querying an
+//!   `ins_T` / `del_T` event table or a vio view can see another commit's
+//!   staged events during its check phase — see the commit phases below).
+//!   `SAVEPOINT` / `ROLLBACK TO` / `RELEASE` give partial rollback via
+//!   cheap overlay snapshots;
+//! * **phased commits** — `COMMIT` serializes against other committers on
+//!   the database's commit lock, but holds the *exclusive* write lock only
+//!   for two short bookkeeping windows: (1) first-committer-wins conflict
+//!   detection on row-version stamps, staging and normalization before the
+//!   check, and (3) version stamping, publication and garbage collection
+//!   after it. The expensive phase — (2), evaluating every touched
+//!   assertion — runs under the shared *read* lock, concurrent with every
+//!   other session's reads. Readers never block behind a checked commit;
+//!   a violating commit still rolls back atomically, and a commit that
+//!   raced a concurrent one loses with a distinct
+//!   [`SessionError::SerializationConflict`] (retry on a fresh snapshot);
 //! * **autocommit** — outside an explicit transaction every DML statement
 //!   is its own transaction: planned, staged, checked and applied (or
-//!   rejected) in one write-locked step.
+//!   rejected) through the same phased commit.
 //!
 //! Reads outside a transaction see the latest committed state; reads inside
-//! one additionally see that transaction's own pending updates — and never
-//! another session's. Schema changes (`CREATE` / `DROP` / `TRUNCATE`) are
-//! not transactional and are rejected while a transaction is open;
+//! one see the transaction's `BEGIN`-time snapshot plus its own pending
+//! updates — and never another session's. Old row versions are pruned by
+//! commit-piggybacked garbage collection once no live snapshot can see
+//! them. Schema changes (`CREATE` / `DROP` / `TRUNCATE`) are not
+//! transactional and are rejected while a transaction is open;
 //! `CREATE ASSERTION` outside a transaction installs the assertion
 //! (incremental views and all) for every attached session on the fly.
 //!
@@ -75,8 +92,10 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use tintin::{CheckStats, Installation, Tintin, TintinError, Violation};
-use tintin_engine::{Database, EngineError, ResultSet, SharedDatabase, TxOverlay};
+use tintin::{CheckStats, Installation, Tintin, TintinError, TouchedEvents, Violation};
+use tintin_engine::{
+    Database, EngineError, ResultSet, SharedDatabase, Snapshot, TxOverlay, TS_LATEST,
+};
 use tintin_sql as sql;
 
 /// Result of executing one statement through a [`Session`].
@@ -149,6 +168,18 @@ pub enum SessionError {
     DuplicateAssertion(String),
     /// `DROP ASSERTION` of an unknown name.
     NoSuchAssertion(String),
+    /// This transaction lost a first-committer-wins race: a concurrent
+    /// commit created or removed row versions its update depends on after
+    /// its snapshot was taken. The transaction is fully rolled back (its
+    /// overlay discarded, the shared database untouched); retrying on a
+    /// fresh snapshot may succeed. Distinct from an assertion violation —
+    /// nothing was wrong with the data, only with the interleaving.
+    SerializationConflict {
+        /// The table the conflicting row versions live in.
+        table: String,
+        /// What raced.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -175,6 +206,13 @@ impl fmt::Display for SessionError {
                 write!(f, "assertion '{n}' is already installed")
             }
             SessionError::NoSuchAssertion(n) => write!(f, "no such assertion: '{n}'"),
+            SessionError::SerializationConflict { table, detail } => {
+                write!(
+                    f,
+                    "serialization conflict on {table}: {detail} (transaction rolled \
+                     back; retry on a fresh snapshot)"
+                )
+            }
         }
     }
 }
@@ -183,7 +221,12 @@ impl std::error::Error for SessionError {}
 
 impl From<EngineError> for SessionError {
     fn from(e: EngineError) -> Self {
-        SessionError::Engine(e)
+        match e {
+            EngineError::SerializationConflict { table, detail } => {
+                SessionError::SerializationConflict { table, detail }
+            }
+            e => SessionError::Engine(e),
+        }
     }
 }
 
@@ -315,11 +358,14 @@ impl Server {
     }
 }
 
-/// The private state of one open transaction: the pending-update overlay
-/// plus named savepoints (cheap snapshots of the overlay — pending updates
-/// are bounded by the transaction's own statements).
-#[derive(Debug, Default, Clone)]
+/// The private state of one open transaction: the `BEGIN`-time MVCC
+/// snapshot (which row versions the transaction observes, pinned against
+/// garbage collection), the pending-update overlay, plus named savepoints
+/// (cheap snapshots of the overlay — pending updates are bounded by the
+/// transaction's own statements).
+#[derive(Debug)]
 struct SessionTx {
+    snapshot: Snapshot,
     overlay: TxOverlay,
     savepoints: Vec<(String, TxOverlay)>,
 }
@@ -327,11 +373,15 @@ struct SessionTx {
 /// One connection to a [`Server`]: transactional statement execution over
 /// the shared database.
 ///
-/// A session holds no locks between statements. Reads take the shared read
-/// lock for the duration of one query; `COMMIT` (and autocommitted DML)
-/// takes the exclusive write lock for the whole check-and-apply critical
-/// section. An open transaction's pending updates live in the session's
-/// private overlay until commit — visible to this session's own queries
+/// A session holds no locks between statements. Reads execute against a
+/// snapshot of row versions — the transaction's `BEGIN`-time snapshot
+/// inside one, the latest committed state outside — taking only the shared
+/// read lock, which an in-flight commit's check phase also shares: readers
+/// never wait out another session's assertion checking. `COMMIT` (and
+/// autocommitted DML) serializes on the commit lock and touches the
+/// exclusive write lock only for update-sized bookkeeping. An open
+/// transaction's pending updates live in the session's private overlay
+/// until commit — visible to this session's own queries
 /// (read-your-writes), invisible to every other session.
 #[derive(Debug)]
 pub struct Session {
@@ -480,7 +530,10 @@ impl Session {
         if self.in_transaction() {
             return Err(SessionError::DdlInTransaction("CREATE ASSERTION".into()));
         }
-        // Lock order everywhere: database first, then checker state.
+        // Lock order everywhere: commit lock, then database, then checker
+        // state. The commit lock keeps installs out of the unlocked middle
+        // of another session's phased commit.
+        let _commit = self.server.db.commit_guard();
         let mut db = self.server.db.write();
         let mut state = self.server.state_write();
         // Reject duplicates against already-installed assertions up front so
@@ -507,6 +560,7 @@ impl Session {
         if self.in_transaction() {
             return Err(SessionError::DdlInTransaction("DROP ASSERTION".into()));
         }
+        let _commit = self.server.db.commit_guard();
         let mut db = self.server.db.write();
         let mut state = self.server.state_write();
         let found = state
@@ -552,11 +606,24 @@ impl Session {
 
     /// Run one query and return its rows (a convenience around
     /// [`Session::execute`] for `SELECT`-only callers). Inside an open
-    /// transaction the result reflects this session's pending updates.
+    /// transaction the result reflects the transaction's `BEGIN`-time
+    /// snapshot plus this session's pending updates — repeated queries
+    /// return identical results regardless of concurrent commits.
     pub fn query_rows(&self, query: &str) -> Result<ResultSet> {
         let q = sql::parse_query(query).map_err(SessionError::from)?;
         let db = self.server.db.read();
-        Ok(db.query_with_overlay(&q, self.tx.as_ref().map(|t| &t.overlay))?)
+        Ok(db.query_with_overlay_at(
+            &q,
+            self.tx.as_ref().map(|t| &t.overlay),
+            self.read_snapshot(),
+        )?)
+    }
+
+    /// The snapshot timestamp this session's reads are pinned to: the
+    /// transaction's `BEGIN`-time snapshot inside one, the latest committed
+    /// state outside.
+    fn read_snapshot(&self) -> u64 {
+        self.tx.as_ref().map_or(TS_LATEST, |t| t.snapshot.ts())
     }
 
     /// Execute a single parsed statement.
@@ -590,20 +657,32 @@ impl Session {
                         .join(" ");
                     return Err(SessionError::DdlInTransaction(kind));
                 }
+                // DDL takes the commit lock too: a schema change may not
+                // slip into the unlocked middle of a phased commit.
+                let _commit = self.server.db.commit_guard();
                 self.server.db.write().execute(ddl)?;
                 Ok(StatementOutcome::Ddl)
             }
             sql::Statement::Query(q) => {
                 let db = self.server.db.read();
-                let rs = db.query_with_overlay(q, self.tx.as_ref().map(|t| &t.overlay))?;
+                let rs = db.query_with_overlay_at(
+                    q,
+                    self.tx.as_ref().map(|t| &t.overlay),
+                    self.read_snapshot(),
+                )?;
                 Ok(StatementOutcome::Rows(rs))
             }
             dml => {
                 // INSERT / DELETE / UPDATE.
                 if let Some(tx) = self.tx.as_mut() {
-                    // Planning only reads: a shared lock suffices, so other
+                    // Planning only reads (against the BEGIN-time snapshot
+                    // plus the overlay): a shared lock suffices, so other
                     // sessions keep reading while this one stages work.
-                    let delta = self.server.db.read().plan_dml(dml, &tx.overlay)?;
+                    let delta =
+                        self.server
+                            .db
+                            .read()
+                            .plan_dml_at(dml, &tx.overlay, tx.snapshot.ts())?;
                     let n = delta.rows_affected;
                     tx.overlay.apply_delta(delta);
                     Ok(StatementOutcome::RowsAffected(n))
@@ -614,42 +693,179 @@ impl Session {
         }
     }
 
-    /// `BEGIN`: open a transaction. Pending updates accumulate in the
-    /// session's private overlay until `COMMIT` — nothing touches the
-    /// shared database, so `ROLLBACK` is simply discarding the overlay.
+    /// `BEGIN`: open a transaction. An MVCC snapshot of the latest
+    /// committed state is captured (and pinned against garbage collection);
+    /// pending updates accumulate in the session's private overlay until
+    /// `COMMIT` — nothing touches the shared database, so `ROLLBACK` is
+    /// simply discarding the overlay and releasing the snapshot.
     pub fn begin(&mut self) -> Result<StatementOutcome> {
         if self.in_transaction() {
             return Err(SessionError::TransactionAlreadyOpen);
         }
-        self.tx = Some(SessionTx::default());
+        self.tx = Some(SessionTx {
+            snapshot: self.server.db.begin_snapshot(),
+            overlay: TxOverlay::new(),
+            savepoints: Vec::new(),
+        });
         Ok(StatementOutcome::TransactionStarted)
     }
 
-    /// `COMMIT`: under the database's exclusive write lock, stage the
-    /// overlay into the event tables and run `safeCommit` over every
-    /// installed assertion set. On success the pending update is applied
-    /// and the transaction closed; on violation it is discarded atomically
-    /// and the violating tuples reported. No other session can observe any
-    /// state between "before the commit" and "after the decision".
+    /// `COMMIT`: run the phased MVCC commit over every installed assertion
+    /// set. Committers serialize on the commit lock; the exclusive write
+    /// lock is held only for the two update-sized bookkeeping phases —
+    /// (1) first-committer-wins conflict detection + staging +
+    /// normalization, (3) version stamping + publication + GC — while the
+    /// expensive check phase (2) runs under the shared *read* lock,
+    /// concurrent with other sessions' reads.
+    ///
+    /// On success the pending update is applied (as row versions stamped
+    /// with a fresh commit timestamp) and the transaction closed; on
+    /// violation it is discarded atomically and the violating tuples
+    /// reported; on a lost first-committer-wins race it is discarded with
+    /// [`SessionError::SerializationConflict`]. No session can observe any
+    /// state between "before the commit" and "after the decision": open
+    /// snapshots keep reading the pre-commit versions, and the latest state
+    /// flips atomically when the timestamp is published.
     pub fn commit(&mut self) -> Result<StatementOutcome> {
         let Some(tx) = self.tx.take() else {
             return Err(SessionError::NoActiveTransaction);
         };
-        let mut db = self.server.db.write();
-        let state = self.server.state_read();
-        let result = (|| {
-            db.stage_overlay(&tx.overlay)?;
-            safe_commit_staged(&mut db, &state)
-        })();
-        if result.is_err() {
-            // The commit machinery itself failed (e.g. an apply-time key
-            // conflict): `apply_pending` has already restored the base
-            // tables; discard the staged events so the shared event tables
-            // return to their empty steady state. The overlay was consumed,
-            // so the transaction is over either way.
-            db.truncate_events();
+        self.phased_commit(&tx.overlay, tx.snapshot.ts())
+    }
+
+    /// The three-phase commit protocol (see [`Session::commit`]). The
+    /// caller has already detached the transaction: whatever happens here,
+    /// the session ends up outside one, with the shared event tables empty.
+    fn phased_commit(&self, overlay: &TxOverlay, snapshot: u64) -> Result<StatementOutcome> {
+        // Read-only fast path, checked *before* queueing on the commit
+        // lock: a transaction with nothing pending (and no hand-staged
+        // events awaiting a carrier commit) has nothing to check, apply or
+        // publish — it must not wait out a concurrent checked commit's
+        // expensive phase or bump the commit clock.
+        if self.nothing_to_commit(overlay) {
+            return Ok(StatementOutcome::Committed {
+                inserted: 0,
+                deleted: 0,
+                stats: CheckStats::default(),
+            });
         }
-        result
+        let _commit = self.server.db.commit_guard();
+        self.phased_commit_guarded(overlay, snapshot)
+    }
+
+    /// Is there nothing for a commit to do — an empty overlay and empty
+    /// shared event tables (engine-level callers may hand-stage events that
+    /// any session's next real commit carries)?
+    fn nothing_to_commit(&self, overlay: &TxOverlay) -> bool {
+        overlay.is_empty() && {
+            let db = self.server.db.read();
+            db.touched_event_tables().is_empty()
+        }
+    }
+
+    /// [`Session::phased_commit`] with the commit lock already held by the
+    /// caller (autocommit holds it from planning onwards).
+    fn phased_commit_guarded(
+        &self,
+        overlay: &TxOverlay,
+        snapshot: u64,
+    ) -> Result<StatementOutcome> {
+        let state = self.server.state_read();
+
+        // No-op fast path (autocommitted statements that planned to
+        // nothing, e.g. an UPDATE matching zero rows): skip the phases and
+        // the clock bump. The guard is already held, so this is cheap.
+        if self.nothing_to_commit(overlay) {
+            return Ok(StatementOutcome::Committed {
+                inserted: 0,
+                deleted: 0,
+                stats: CheckStats::default(),
+            });
+        }
+
+        // Phase 1 — write lock, O(update): lose now if a concurrent commit
+        // invalidated the snapshot this update was planned against, else
+        // stage the overlay into the event tables and normalize.
+        let (normalization, touched_list) = {
+            let mut db = self.server.db.write();
+            let staged = (|| {
+                db.detect_conflicts(overlay, snapshot)?;
+                db.stage_overlay(overlay)?;
+                db.normalize_events_touched()
+            })();
+            match staged {
+                Ok(x) => x,
+                Err(e) => {
+                    // Partial staging is discarded; base tables untouched.
+                    db.truncate_events();
+                    return Err(e.into());
+                }
+            }
+        };
+        let mut stats = CheckStats {
+            normalization,
+            ..CheckStats::default()
+        };
+
+        // Phase 2 — read lock, the expensive part: evaluate every touched
+        // check through its prepared plan. Other sessions read concurrently:
+        // base versions are untouched so far, so every base-table read stays
+        // consistent. (The staged ins_T/del_T rows themselves *are* visible
+        // to a session that explicitly queries an event table or a vio view
+        // during this window — the documented cost of checking outside the
+        // exclusive section; base-table reads can never observe them.)
+        let touched = TouchedEvents::from_list(&touched_list);
+        let checked = {
+            let db = self.server.db.read();
+            let mut all = Vec::new();
+            let mut failure = None;
+            for inst in &state.installations {
+                match state
+                    .tintin
+                    .check_normalized(&db, inst, &touched, &mut stats)
+                {
+                    Ok(v) => all.extend(v),
+                    Err(e) => {
+                        failure = Some(e);
+                        break;
+                    }
+                }
+            }
+            (all, failure)
+        };
+
+        // Phase 3 — write lock, O(update): stamp versions and publish, or
+        // discard.
+        let mut db = self.server.db.write();
+        let (violations, failure) = checked;
+        if let Some(e) = failure {
+            db.truncate_events_for(&touched_list);
+            return Err(e.into());
+        }
+        if violations.is_empty() {
+            let (inserted, deleted) = db.pending_counts_for(&touched_list);
+            let ts = db.next_commit_ts();
+            if let Err(e) = db.apply_pending_versioned_for(&touched_list, ts) {
+                // Compensated by version un-stamping; ts was never
+                // published, so no session saw anything.
+                db.truncate_events_for(&touched_list);
+                return Err(e.into());
+            }
+            db.truncate_events_for(&touched_list);
+            db.publish_commit(ts);
+            // Commit-piggybacked GC: prune versions no live snapshot can
+            // see, on the touched tables, once enough history accumulated.
+            let horizon = self.server.db.gc_horizon(ts);
+            db.maybe_gc_for(&touched_list, horizon);
+            Ok(StatementOutcome::Committed {
+                inserted,
+                deleted,
+                stats,
+            })
+        } else {
+            db.truncate_events_for(&touched_list);
+            Ok(StatementOutcome::Rejected { violations, stats })
+        }
     }
 
     /// `ROLLBACK`: abort the open transaction by discarding its overlay.
@@ -704,6 +920,9 @@ impl Session {
     /// normalized). Outside a transaction the check still runs, over
     /// whatever is staged in the shared event tables.
     pub fn check_pending(&self) -> Result<(Vec<Violation>, CheckStats)> {
+        // The commit lock keeps the dry run's staged events from mixing
+        // with a concurrent phased commit's.
+        let _commit = self.server.db.commit_guard();
         let mut db = self.server.db.write();
         let state = self.server.state_read();
         let saved = db.snapshot_events();
@@ -719,25 +938,24 @@ impl Session {
 
     // ------------------------------------------------------------ internal
 
-    /// Statement-as-transaction: plan the statement's effects, stage them,
-    /// check them and either apply or reject — one write-locked critical
-    /// section, exactly like an explicit single-statement transaction. On
-    /// any error the staged events are discarded, so a failed statement can
-    /// never poison later ones.
+    /// Statement-as-transaction: plan the statement's effects, then run the
+    /// same phased commit an explicit single-statement transaction would.
+    /// The commit lock is held from planning through publication, so the
+    /// planned state cannot be invalidated in between. On any error the
+    /// staged events are discarded, so a failed statement can never poison
+    /// later ones.
     fn autocommit(&mut self, dml: &sql::Statement) -> Result<StatementOutcome> {
-        let mut db = self.server.db.write();
-        let state = self.server.state_read();
-        let result = (|| {
+        let _commit = self.server.db.commit_guard();
+        let (overlay, snapshot) = {
+            // Planning only reads; concurrent readers are unaffected.
+            let db = self.server.db.read();
+            let snapshot = db.current_ts();
             let mut overlay = TxOverlay::new();
-            let delta = db.plan_dml(dml, &overlay)?;
+            let delta = db.plan_dml_at(dml, &overlay, TS_LATEST)?;
             overlay.apply_delta(delta);
-            db.stage_overlay(&overlay)?;
-            safe_commit_staged(&mut db, &state)
-        })();
-        if result.is_err() {
-            db.truncate_events();
-        }
-        result
+            (overlay, snapshot)
+        };
+        self.phased_commit_guarded(&overlay, snapshot)
     }
 }
 
@@ -779,25 +997,6 @@ fn check_staged_touched(
         all.extend(violations);
     }
     Ok((all, stats, touched_list))
-}
-
-/// The multi-installation `safeCommit` over staged events: check every
-/// installed assertion set, then apply-and-truncate or discard-and-report.
-fn safe_commit_staged(db: &mut Database, state: &ServerState) -> Result<StatementOutcome> {
-    let (violations, stats, touched_list) = check_staged_touched(db, state)?;
-    if violations.is_empty() {
-        let (inserted, deleted) = db.pending_counts_for(&touched_list);
-        db.apply_pending_for(&touched_list)?;
-        db.truncate_events_for(&touched_list);
-        Ok(StatementOutcome::Committed {
-            inserted,
-            deleted,
-            stats,
-        })
-    } else {
-        db.truncate_events_for(&touched_list);
-        Ok(StatementOutcome::Rejected { violations, stats })
-    }
 }
 
 #[cfg(test)]
@@ -1182,6 +1381,34 @@ mod tests {
             .execute_sql("INSERT INTO t VALUES (9)")
             .unwrap();
         assert_eq!(s.database().read().table("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn read_only_commit_skips_the_commit_machinery() {
+        let mut s = orders_session();
+        s.execute(
+            "BEGIN; INSERT INTO orders VALUES (1, 10.0);
+             INSERT INTO lineitem VALUES (1, 1); COMMIT;",
+        )
+        .unwrap();
+        let ts_before = s.database().read().current_ts();
+        // A pure-reader transaction commits without publishing a timestamp.
+        let out = s.execute("BEGIN; SELECT * FROM orders; COMMIT;").unwrap();
+        assert!(matches!(
+            out.last(),
+            Some(StatementOutcome::Committed {
+                inserted: 0,
+                deleted: 0,
+                ..
+            })
+        ));
+        assert_eq!(s.database().read().current_ts(), ts_before);
+        // So does a transaction whose statements planned to nothing.
+        let out = s
+            .execute("BEGIN; DELETE FROM orders WHERE o_orderkey = 99; COMMIT;")
+            .unwrap();
+        assert!(out.last().unwrap().is_committed());
+        assert_eq!(s.database().read().current_ts(), ts_before);
     }
 
     #[test]

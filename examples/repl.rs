@@ -46,8 +46,10 @@ Sessions (all attached to the same shared database):
 Meta-commands (no semicolon needed):
   .tx               transaction status: pending insert/delete row counts,
                     savepoints
-  .stats            the last commit's check statistics: views evaluated /
-                    skipped by relevance, prepared plans reused / recompiled
+  .stats            the last commit's check statistics (views evaluated /
+                    skipped by relevance, prepared plans reused / recompiled)
+                    plus MVCC row-version state: live/dead versions, average
+                    version-chain length, GC passes and versions pruned
   explain <query>;  show the access-path plan (scans vs index probes)
   assert <sql>;     queue a CREATE ASSERTION for the next `install`
   install           install queued assertions together (one installation)
@@ -81,6 +83,22 @@ fn print_stats(stats: &CheckStats) {
         "  normalization dropped {} event row(s); check time {:?}",
         stats.normalization.total(),
         stats.check_time
+    );
+}
+
+fn print_mvcc_stats(mvcc: &tintin_engine::MvccStats) {
+    println!("row-version (MVCC) state:");
+    println!(
+        "  commit timestamp {}; {} live version(s), {} dead awaiting GC \
+         (avg chain length {:.2})",
+        mvcc.commit_ts,
+        mvcc.live_versions,
+        mvcc.dead_versions,
+        mvcc.chain_length()
+    );
+    println!(
+        "  garbage collection: {} pass(es), {} version(s) pruned",
+        mvcc.gc_runs, mvcc.gc_pruned
     );
 }
 
@@ -193,6 +211,8 @@ fn main() {
                         Some(stats) => print_stats(stats),
                         None => println!("no commit yet in this repl"),
                     }
+                    let mvcc = session.database().read().mvcc_stats();
+                    print_mvcc_stats(&mvcc);
                     continue;
                 }
                 ".tx" => {

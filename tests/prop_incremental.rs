@@ -13,7 +13,7 @@
 use proptest::prelude::*;
 use tintin::{EdcConfig, Tintin, TintinConfig};
 use tintin_engine::{Database, Value};
-use tintin_session::Session;
+use tintin_session::{Server, Session, SessionError};
 
 /// The fixed test schema: a parent/child pair (with FK) plus a third table.
 fn make_db() -> Database {
@@ -497,5 +497,161 @@ proptest! {
             shared_before,
             "the whole transaction must leave the shared database untouched"
         );
+    }
+
+    // ------------------------------------------- MVCC snapshot isolation
+
+    /// (a) Snapshot stability: a reader's repeated `SELECT` inside an open
+    /// transaction is byte-identical across any number of concurrent
+    /// committed writes, for random write batches at random interleaving
+    /// points — and a fresh session afterwards sees the latest state, not
+    /// the reader's snapshot.
+    #[test]
+    fn snapshot_reads_are_repeatable_across_concurrent_commits(
+        initial in initial_state_strategy(),
+        batches in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 1..4), 1..4),
+    ) {
+        let server = Server::with_database(captured_db(&initial, &[]));
+        let reader = server.connect();
+        let mut writer = server.connect();
+
+        let mut reader = reader;
+        reader.execute("BEGIN").unwrap();
+        let first = visible_snapshot(&reader);
+        for batch in &batches {
+            // The writer commits (or fails to commit — either is fine for
+            // the property) a random batch between the reader's reads.
+            let _ = writer.execute("BEGIN");
+            for op in batch {
+                let _ = writer.execute(&op_sql(op));
+            }
+            let _ = writer.execute("COMMIT");
+            prop_assert_eq!(
+                visible_snapshot(&reader),
+                first.clone(),
+                "snapshot read changed under a concurrent commit; batch: {:?}",
+                batch
+            );
+        }
+        reader.execute("ROLLBACK").unwrap();
+        // Outside the transaction the same session reads the latest
+        // committed state — identical to what a fresh session sees.
+        prop_assert_eq!(
+            visible_snapshot(&reader),
+            visible_snapshot(&server.connect()),
+            "post-transaction reads must observe the latest committed state"
+        );
+    }
+
+    /// (b) The visible-state equation: inside a transaction the session
+    /// observes exactly `(snapshot − del) ∪ ins` — the `BEGIN`-time state
+    /// transformed by its own statements alone. The reference is a second
+    /// session over an isolated deep copy of the `BEGIN`-time database
+    /// executing the same statements; concurrent autocommits on the shared
+    /// database (which the reference cannot see) must not make the two
+    /// diverge.
+    #[test]
+    fn visible_state_is_snapshot_minus_del_plus_ins(
+        initial in initial_state_strategy(),
+        tx_ops in proptest::collection::vec(op_strategy(), 1..8),
+        concurrent in proptest::collection::vec(op_strategy(), 0..6),
+    ) {
+        let server = Server::with_database(captured_db(&initial, &[]));
+        let mut session = server.connect();
+        let mut other = server.connect();
+
+        session.execute("BEGIN").unwrap();
+        let mut reference = Session::with_database(server.database().snapshot());
+        reference.execute("BEGIN").unwrap();
+
+        for (i, op) in tx_ops.iter().enumerate() {
+            if let Some(c) = concurrent.get(i) {
+                // Concurrent committed writes, invisible to the snapshot.
+                let _ = other.execute(&op_sql(c));
+            }
+            let in_session = session.execute(&op_sql(op));
+            let in_reference = reference.execute(&op_sql(op));
+            prop_assert_eq!(
+                in_session.is_ok(),
+                in_reference.is_ok(),
+                "statement outcome diverged from the isolated reference: \
+                 {:?} vs {:?}; op: {:?}",
+                in_session.err().map(|e| e.to_string()),
+                in_reference.err().map(|e| e.to_string()),
+                op
+            );
+            prop_assert_eq!(
+                visible_snapshot(&session),
+                visible_snapshot(&reference),
+                "visible state diverged from (snapshot − del) ∪ ins after op {:?}",
+                op
+            );
+        }
+        session.execute("ROLLBACK").unwrap();
+        reference.execute("ROLLBACK").unwrap();
+    }
+
+    /// (c) Write-skew on primary-key rows: two transactions insert
+    /// overlapping key sets and race their commits. The first committer
+    /// wins everything; the second either commits too (disjoint keys) or
+    /// loses with a serialization conflict (overlap) — and no committed
+    /// state is ever lost either way.
+    #[test]
+    fn pk_write_skew_has_exactly_one_winner(
+        raw_a in proptest::collection::vec(0..6i64, 1..4),
+        raw_b in proptest::collection::vec(0..6i64, 1..4),
+    ) {
+        let keys_a: std::collections::BTreeSet<i64> = raw_a.into_iter().collect();
+        let keys_b: std::collections::BTreeSet<i64> = raw_b.into_iter().collect();
+        let server = Server::new();
+        server
+            .connect()
+            .execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+            .unwrap();
+        let mut a = server.connect();
+        let mut b = server.connect();
+        a.execute("BEGIN").unwrap();
+        b.execute("BEGIN").unwrap();
+        for k in &keys_a {
+            a.execute(&format!("INSERT INTO t VALUES ({k}, 100)")).unwrap();
+        }
+        for k in &keys_b {
+            b.execute(&format!("INSERT INTO t VALUES ({k}, 200)")).unwrap();
+        }
+        let first = a.execute("COMMIT").unwrap();
+        prop_assert!(first[0].is_committed(), "first committer must win: {:?}", first);
+        let second = b.execute("COMMIT");
+        let overlap = keys_a.intersection(&keys_b).count() > 0;
+
+        // Expected final state: A's rows always survive; B's join them only
+        // when no key overlapped (first-committer-wins is all-or-nothing).
+        let mut expected: Vec<(i64, i64)> = keys_a.iter().map(|k| (*k, 100)).collect();
+        if overlap {
+            prop_assert!(
+                matches!(second, Err(SessionError::SerializationConflict { .. })),
+                "overlapping insert must lose with a conflict, got {:?}",
+                second.map(|o| format!("{o:?}"))
+            );
+        } else {
+            let out = second.unwrap();
+            prop_assert!(out[0].is_committed(), "disjoint commit rejected: {:?}", out);
+            expected.extend(keys_b.iter().map(|k| (*k, 200)));
+        }
+        expected.sort_unstable();
+
+        let rs = server
+            .connect()
+            .query_rows("SELECT k, v FROM t ORDER BY k")
+            .unwrap();
+        let got: Vec<(i64, i64)> = rs
+            .rows
+            .iter()
+            .map(|r| match (&r[0], &r[1]) {
+                (Value::Int(k), Value::Int(v)) => (*k, *v),
+                other => panic!("non-int row {other:?}"),
+            })
+            .collect();
+        prop_assert_eq!(got, expected, "committed state lost or corrupted");
     }
 }
