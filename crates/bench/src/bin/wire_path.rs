@@ -1,0 +1,281 @@
+//! `wire_path` — end-to-end cost of the TCP front-end: checked-commit
+//! latency over the wire vs in-process, and multi-connection commit
+//! throughput.
+//!
+//! The server under test is a real [`tintin_server::WireServer`] on a
+//! loopback ephemeral port; the clients are real [`tintin_client::Client`]s
+//! on real sockets. Every commit runs the full pipeline — parse, plan,
+//! stage, incremental check against an installed assertion, versioned
+//! apply, publish — plus, for the wire regimes, request/response framing
+//! and a TCP round trip.
+//!
+//! Regimes:
+//!
+//! * `local_commit` — an in-process session commits `BATCH`-row checked
+//!   transactions (the floor the wire adds to);
+//! * `wire_commit` — one TCP connection does the same commits end-to-end
+//!   (latency percentiles measure the wire overhead);
+//! * `wire_throughput_N` — N connections commit concurrently for the
+//!   measurement window, on disjoint key ranges (no artificial conflict
+//!   noise); total commits/sec is the multi-connection scaling figure.
+//!
+//! ```text
+//! cargo run -p tintin-bench --release --bin wire_path            # full
+//! cargo run -p tintin-bench --release --bin wire_path -- --smoke # CI
+//! cargo run -p tintin-bench --release --bin wire_path -- --out path.json
+//! ```
+//!
+//! Results are written as JSON (default `BENCH_wire_path.json`, checked in
+//! at the repository root so the wire-path perf trajectory is recorded).
+
+use std::time::{Duration, Instant};
+use tintin_client::Client;
+use tintin_server::{ServerConfig, WireServer};
+use tintin_session::{Server, Session, StatementOutcome};
+
+/// Rows per committed transaction.
+const BATCH: i64 = 8;
+/// Connection counts for the throughput scaling regimes.
+const FANOUTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Config {
+    measure: Duration,
+    out_path: String,
+}
+
+struct Latency {
+    name: String,
+    commits: usize,
+    mean: Duration,
+    median: Duration,
+    p95: Duration,
+    p999: Duration,
+}
+
+struct Throughput {
+    connections: usize,
+    commits: usize,
+    commits_per_sec: f64,
+}
+
+/// A fresh wire server over the benchmark schema: a keyed table with a
+/// non-negativity assertion, so every commit is assertion-checked.
+fn serve() -> (WireServer, String) {
+    let sessions = Server::new();
+    let mut s = sessions.connect();
+    s.execute("CREATE TABLE t (a INT PRIMARY KEY, b INT NOT NULL)")
+        .unwrap();
+    s.install(&["CREATE ASSERTION nonneg CHECK (NOT EXISTS (
+         SELECT * FROM t WHERE b < 0))"])
+        .unwrap();
+    let wire = WireServer::bind(
+        sessions,
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 64,
+        },
+    )
+    .expect("bind loopback");
+    let addr = wire.local_addr().to_string();
+    (wire, addr)
+}
+
+fn commit_script(base: i64) -> String {
+    let values: Vec<String> = (0..BATCH).map(|i| format!("({}, 1)", base + i)).collect();
+    format!("BEGIN; INSERT INTO t VALUES {}; COMMIT;", values.join(", "))
+}
+
+fn assert_committed(out: &[StatementOutcome]) {
+    assert!(
+        out.last().is_some_and(|o| o.is_committed()),
+        "benchmark commit failed: {out:?}"
+    );
+}
+
+fn summarize(name: String, mut samples: Vec<Duration>) -> Latency {
+    samples.sort();
+    let q = |frac: f64| samples[((samples.len() as f64 * frac) as usize).min(samples.len() - 1)];
+    let total: Duration = samples.iter().sum();
+    Latency {
+        name,
+        commits: samples.len(),
+        mean: total / samples.len() as u32,
+        median: samples[samples.len() / 2],
+        p95: q(0.95),
+        p999: q(0.999),
+    }
+}
+
+/// Latency of checked commits through an in-process session (the floor).
+fn run_local(config: &Config) -> Latency {
+    let (wire, _) = serve();
+    let mut session: Session = wire.sessions().connect();
+    let mut samples = Vec::with_capacity(1 << 14);
+    let deadline = Instant::now() + config.measure;
+    let mut key = 0i64;
+    while Instant::now() < deadline {
+        let script = commit_script(key);
+        key += BATCH;
+        let t0 = Instant::now();
+        let out = session.execute(&script).unwrap();
+        samples.push(t0.elapsed());
+        assert_committed(&out);
+    }
+    wire.shutdown();
+    summarize("local_commit".into(), samples)
+}
+
+/// Latency of the same commits end-to-end over TCP.
+fn run_wire(config: &Config) -> Latency {
+    let (wire, addr) = serve();
+    let mut client = Client::connect(addr).unwrap();
+    let mut samples = Vec::with_capacity(1 << 14);
+    let deadline = Instant::now() + config.measure;
+    let mut key = 0i64;
+    while Instant::now() < deadline {
+        let script = commit_script(key);
+        key += BATCH;
+        let t0 = Instant::now();
+        let out = client.execute(&script).unwrap();
+        samples.push(t0.elapsed());
+        assert_committed(&out);
+    }
+    wire.shutdown();
+    summarize("wire_commit".into(), samples)
+}
+
+/// Total committed transactions/sec with `n` concurrent connections on
+/// disjoint key ranges.
+fn run_throughput(config: &Config, n: usize) -> Throughput {
+    let (wire, addr) = serve();
+    let started = Instant::now();
+    let deadline = started + config.measure;
+    let workers: Vec<_> = (0..n)
+        .map(|w| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut key = (w as i64 + 1) * 1_000_000_000;
+                let mut commits = 0usize;
+                while Instant::now() < deadline {
+                    let out = client.execute(&commit_script(key)).unwrap();
+                    assert_committed(&out);
+                    key += BATCH;
+                    commits += 1;
+                }
+                commits
+            })
+        })
+        .collect();
+    let commits: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let elapsed = started.elapsed().as_secs_f64();
+    wire.shutdown();
+    Throughput {
+        connections: n,
+        commits,
+        commits_per_sec: commits as f64 / elapsed,
+    }
+}
+
+fn render_json(
+    config: &Config,
+    latencies: &[Latency],
+    throughputs: &[Throughput],
+    overhead_us: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"wire_path\",\n");
+    out.push_str(&format!("  \"batch_rows_per_commit\": {BATCH},\n"));
+    out.push_str(&format!(
+        "  \"measure_seconds_per_regime\": {:.3},\n",
+        config.measure.as_secs_f64()
+    ));
+    out.push_str(
+        "  \"note\": \"end-to-end assertion-checked commit latency through \
+         the TCP front-end (loopback, one session per connection) vs the \
+         same commits in-process, and total committed transactions/sec as \
+         connections fan out on disjoint key ranges; every commit runs \
+         parse, plan, stage, incremental check, versioned apply and \
+         publish. Committers serialize on the database's commit lock, so \
+         flat throughput across fan-outs is the expected shape: it shows \
+         the front-end adds no contention of its own on the commit path\",\n",
+    );
+    out.push_str("  \"commit_latency\": [\n");
+    for (i, l) in latencies.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"regime\": \"{}\", \"commits\": {}, \"mean_us\": {:.1}, \
+             \"median_us\": {:.1}, \"p95_us\": {:.1}, \"p999_us\": {:.1}}}{}\n",
+            l.name,
+            l.commits,
+            l.mean.as_secs_f64() * 1e6,
+            l.median.as_secs_f64() * 1e6,
+            l.p95.as_secs_f64() * 1e6,
+            l.p999.as_secs_f64() * 1e6,
+            if i + 1 == latencies.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"wire_overhead_median_us\": {overhead_us:.1},\n"
+    ));
+    out.push_str("  \"multi_connection_throughput\": [\n");
+    for (i, t) in throughputs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"connections\": {}, \"commits\": {}, \"commits_per_sec\": {:.0}}}{}\n",
+            t.connections,
+            t.commits,
+            t.commits_per_sec,
+            if i + 1 == throughputs.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_wire_path.json".to_string());
+    let config = Config {
+        measure: if smoke {
+            Duration::from_millis(150)
+        } else {
+            Duration::from_secs(3)
+        },
+        out_path,
+    };
+
+    eprintln!("wire_path: measuring local commit latency…");
+    let local = run_local(&config);
+    eprintln!("wire_path: measuring wire commit latency…");
+    let wire = run_wire(&config);
+    let overhead_us = (wire.median.as_secs_f64() - local.median.as_secs_f64()) * 1e6;
+    eprintln!(
+        "wire_path: median commit {:.1}µs local, {:.1}µs over TCP (+{overhead_us:.1}µs wire)",
+        local.median.as_secs_f64() * 1e6,
+        wire.median.as_secs_f64() * 1e6,
+    );
+
+    let mut throughputs = Vec::new();
+    for n in FANOUTS {
+        eprintln!("wire_path: throughput with {n} connection(s)…");
+        let t = run_throughput(&config, n);
+        eprintln!(
+            "wire_path:   {} commits in {:.1}s → {:.0} commits/sec",
+            t.commits,
+            config.measure.as_secs_f64(),
+            t.commits_per_sec
+        );
+        throughputs.push(t);
+    }
+
+    let json = render_json(&config, &[local, wire], &throughputs, overhead_us);
+    std::fs::write(&config.out_path, &json).expect("write results file");
+    eprintln!("wire_path: wrote {}", config.out_path);
+    print!("{json}");
+}

@@ -1,0 +1,74 @@
+//! `tintin-cli` — command-line client for a running `tintin-server`.
+//!
+//! ```text
+//! tintin-cli [--connect HOST:PORT] [-e "SQL; SQL; …"]
+//! ```
+//!
+//! With `-e` the script runs once and the process exits (non-zero on any
+//! failure) — the scripting / CI mode. Without it an interactive prompt
+//! reads statements until a terminating `;` and sends each batch over the
+//! wire; the connection is one server-side session, so `BEGIN … COMMIT`
+//! works across prompts exactly like the local REPL.
+
+use std::process::exit;
+use tintin_client::{render_outcome, Client, ClientError};
+
+fn usage() -> ! {
+    eprintln!("usage: tintin-cli [--connect HOST:PORT] [-e \"SQL\"]");
+    exit(2);
+}
+
+fn report(err: &ClientError) {
+    if let ClientError::Remote(e) = err {
+        // The typed script error knows how far the script got; completed
+        // outcomes are data (stdout), the diagnostic is not (stderr).
+        for outcome in &e.completed {
+            println!("{}", render_outcome(outcome));
+        }
+    }
+    eprintln!("error: {err}");
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut script: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => addr = args.next().unwrap_or_else(|| usage()),
+            "-e" => script = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tintin-cli: cannot connect to {addr}: {e}");
+            exit(1);
+        }
+    };
+
+    if let Some(script) = script {
+        match client.execute(&script) {
+            Ok(outcomes) => {
+                for outcome in outcomes {
+                    println!("{}", render_outcome(&outcome));
+                }
+            }
+            Err(e) => {
+                report(&e);
+                exit(1);
+            }
+        }
+        return;
+    }
+
+    println!("connected to {addr} — end statements with ';', 'quit' to exit");
+    if let Err(e) = tintin_client::run_interactive(&mut client, "tintin") {
+        report(&e);
+        exit(1); // the connection (and server-side session) is gone
+    }
+    println!("bye");
+}

@@ -1,0 +1,234 @@
+#![warn(missing_docs)]
+//! `tintin-client` — connect to a `tintin-server` and execute SQL.
+//!
+//! A [`Client`] is the remote counterpart of an in-process
+//! [`tintin_session::Session`]: one TCP connection maps to one session on
+//! the server, so `BEGIN … COMMIT` transaction state lives across requests
+//! for as long as the client is connected. Requests carry SQL scripts;
+//! responses decode back into the *same* [`StatementOutcome`] values an
+//! in-process session returns — result rows with typed values, commit /
+//! reject decisions with violation tuples and check statistics — and
+//! failures arrive as typed [`WireScriptError`]s that preserve how far the
+//! script got (a caller can match on
+//! [`WireError::SerializationConflict`](tintin_server::protocol::WireError)
+//! and retry, exactly like a local caller).
+//!
+//! ```no_run
+//! use tintin_client::Client;
+//!
+//! let mut c = Client::connect("127.0.0.1:7878").unwrap();
+//! c.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+//! let rows = c.query_rows("SELECT * FROM t").unwrap();
+//! assert!(rows.rows.is_empty());
+//! ```
+
+use std::fmt;
+use std::io;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use tintin_engine::ResultSet;
+use tintin_server::protocol::{
+    decode_response, read_frame, write_frame, ProtocolError, WireScriptError,
+};
+use tintin_session::StatementOutcome;
+
+/// Failures surfaced by [`Client`] calls.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or was torn down mid-request.
+    Io(io::Error),
+    /// The peer sent something that is not the TINTIN wire protocol.
+    Protocol(ProtocolError),
+    /// The server executed (part of) the script and reported a typed
+    /// failure — including the outcomes of the statements that completed.
+    Remote(WireScriptError),
+    /// [`Client::query_rows`] was called with something other than one
+    /// single query; nothing was sent to the server.
+    InvalidQuery(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::Remote(e) => write!(f, "{e}"),
+            ClientError::InvalidQuery(m) => write!(f, "query_rows expects one query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// Result alias for client operations.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// One connection to a `tintin-server` — and therefore one server-side
+/// session: transaction state persists between [`Client::execute`] calls.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server (e.g. `"127.0.0.1:7878"`). `TCP_NODELAY` is set:
+    /// the protocol is request/response with small frames, where Nagle
+    /// delays only add latency.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Execute a script of semicolon-separated SQL statements on the
+    /// server-side session and return every statement's outcome — the
+    /// remote mirror of [`tintin_session::Session::execute`].
+    pub fn execute(&mut self, script: &str) -> Result<Vec<StatementOutcome>> {
+        write_frame(&mut self.stream, script)?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        match decode_response(&payload)? {
+            Ok(outcomes) => Ok(outcomes),
+            Err(e) => Err(ClientError::Remote(e)),
+        }
+    }
+
+    /// Run one query and return its rows (the remote mirror of
+    /// [`tintin_session::Session::query_rows`]). Like the session method,
+    /// the input must be a *single query*: it is parse-validated before
+    /// anything is sent, so a multi-statement script errors here instead
+    /// of silently executing its non-SELECT statements remotely.
+    pub fn query_rows(&mut self, query: &str) -> Result<ResultSet> {
+        tintin_sql::parse_query(query).map_err(|e| ClientError::InvalidQuery(e.to_string()))?;
+        let outcomes = self.execute(query)?;
+        match outcomes.into_iter().next() {
+            Some(StatementOutcome::Rows(rs)) => Ok(rs),
+            other => Err(ClientError::Protocol(ProtocolError(format!(
+                "expected a row outcome for a query, got {other:?}"
+            )))),
+        }
+    }
+
+    /// Round-trip an empty script — a liveness probe that also verifies the
+    /// peer speaks the protocol.
+    pub fn ping(&mut self) -> Result<()> {
+        let outcomes = self.execute("")?;
+        if outcomes.is_empty() {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(ProtocolError(
+                "non-empty response to an empty script".into(),
+            )))
+        }
+    }
+
+    /// Close the connection (the server-side session, and any transaction
+    /// open on it, ends). Dropping the client does the same.
+    pub fn close(self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Drive an interactive prompt over `client`: lines read from stdin
+/// accumulate until one ends with `;`, each batch executes remotely, and
+/// the outcomes — including a failing script's partial outcomes — print
+/// through [`render_outcome`]. Shared by `tintin-cli` and
+/// `examples/repl.rs --connect`, so the two remote prompts cannot drift.
+///
+/// Returns `Ok(())` on `quit` / `exit` / EOF. A connection-level failure
+/// is returned as the error — the server-side session (and any open
+/// transaction) is gone, so there is nothing to continue.
+pub fn run_interactive(client: &mut Client, prompt: &str) -> Result<()> {
+    use std::io::{BufRead, Write};
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("{prompt}> ");
+        } else {
+            print!("   ...> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            return Ok(());
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if buffer.is_empty() && matches!(line, "quit" | "exit") {
+            return Ok(());
+        }
+        buffer.push_str(line);
+        buffer.push('\n');
+        if !line.ends_with(';') {
+            continue;
+        }
+        let script = std::mem::take(&mut buffer);
+        match client.execute(&script) {
+            Ok(outcomes) => {
+                for outcome in &outcomes {
+                    println!("{}", render_outcome(outcome));
+                }
+            }
+            Err(ClientError::Remote(e)) => {
+                for outcome in &e.completed {
+                    println!("{}", render_outcome(outcome));
+                }
+                println!("error: {e}");
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Render one outcome the way the REPL does — shared by `tintin-cli` and
+/// `examples/repl.rs --connect`.
+pub fn render_outcome(outcome: &StatementOutcome) -> String {
+    match outcome {
+        StatementOutcome::Ddl => "ok".into(),
+        StatementOutcome::AssertionInstalled { name, views } => {
+            format!("installed assertion '{name}' ({views} incremental view(s) total)")
+        }
+        StatementOutcome::AssertionDropped { name } => format!("dropped assertion '{name}'"),
+        StatementOutcome::RowsAffected(n) => format!("{n} row(s) affected"),
+        StatementOutcome::Rows(rs) => format!("{rs}"),
+        StatementOutcome::TransactionStarted => "transaction started".into(),
+        StatementOutcome::SavepointCreated(n) => format!("savepoint '{n}'"),
+        StatementOutcome::SavepointReleased(n) => format!("released savepoint '{n}'"),
+        StatementOutcome::RolledBackToSavepoint(n) => format!("rolled back to savepoint '{n}'"),
+        StatementOutcome::RolledBack => "rolled back".into(),
+        StatementOutcome::Committed {
+            inserted,
+            deleted,
+            stats,
+        } => format!(
+            "committed (+{inserted}/-{deleted}) in {:?} ({} view(s) evaluated, {} skipped, \
+             {} plan(s) reused)",
+            stats.check_time, stats.views_evaluated, stats.views_skipped, stats.plans_reused
+        ),
+        StatementOutcome::Rejected { violations, .. } => {
+            let mut out = String::from("rejected — transaction rolled back:");
+            for v in violations {
+                out.push_str(&format!("\n  {} →\n{}", v.assertion, v.rows));
+            }
+            out
+        }
+    }
+}

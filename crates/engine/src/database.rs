@@ -664,16 +664,10 @@ impl Database {
     }
 
     /// Pending event counts `(inserts, deletes)` summed over all captured
-    /// tables.
+    /// tables, counting every live event row (including another commit's
+    /// in-flight staging — see [`Database::pending_counts_at`]).
     pub fn pending_counts(&self) -> (usize, usize) {
-        let mut buf = String::new();
-        let mut ins = 0;
-        let mut del = 0;
-        for t in &self.captured {
-            ins += event_table(&self.tables, &mut buf, "ins_", t).map_or(0, |x| x.len());
-            del += event_table(&self.tables, &mut buf, "del_", t).map_or(0, |x| x.len());
-        }
-        (ins, del)
+        self.pending_counts_at(TS_LATEST)
     }
 
     /// [`Database::pending_counts`] over a caller-supplied touched list
@@ -689,6 +683,22 @@ impl Database {
             if *has_del {
                 del += event_table(&self.tables, &mut buf, "del_", t).map_or(0, |x| x.len());
             }
+        }
+        (ins, del)
+    }
+
+    /// [`Database::pending_counts`] as visible to a snapshot taken at
+    /// commit timestamp `s`: event rows staged by an in-flight commit carry
+    /// its unpublished timestamp and are not counted. This is what
+    /// session-level observers use; the commit path itself counts its own
+    /// staging with [`Database::pending_counts_for`].
+    pub fn pending_counts_at(&self, s: u64) -> (usize, usize) {
+        let mut buf = String::new();
+        let mut ins = 0;
+        let mut del = 0;
+        for t in &self.captured {
+            ins += event_table(&self.tables, &mut buf, "ins_", t).map_or(0, |x| x.len_at(s));
+            del += event_table(&self.tables, &mut buf, "del_", t).map_or(0, |x| x.len_at(s));
         }
         (ins, del)
     }
@@ -2141,7 +2151,27 @@ impl Database {
     /// applied in place, where the subsequent `safeCommit` normalize /
     /// apply / truncate steps treat them exactly as before the overlay
     /// design.
+    ///
+    /// Event rows are staged with `begin = 0`, visible to any snapshot —
+    /// the single-owner / dry-run behaviour. The phased commit stages with
+    /// [`Database::stage_overlay_at`] instead, so concurrent readers cannot
+    /// observe the staging.
     pub fn stage_overlay(&mut self, overlay: &TxOverlay) -> Result<()> {
+        self.stage_overlay_at(overlay, 0)
+    }
+
+    /// [`Database::stage_overlay`], stamping every staged event row with
+    /// `begin = ts` — the committer's *unpublished* commit timestamp.
+    ///
+    /// This is what keeps a phased commit's staging private while its check
+    /// phase runs outside the exclusive lock: a reader at any registered
+    /// snapshot (or at the published clock) filters versions by
+    /// `begin <= snapshot`, and `ts` is published only after the event
+    /// tables are truncated again — so an `ins_T` / `del_T` / vio-view read
+    /// by another session can never observe the in-flight staging. The
+    /// committer's own check phase reads the event tables at
+    /// [`TS_LATEST`], which sees every live version regardless of `begin`.
+    pub fn stage_overlay_at(&mut self, overlay: &TxOverlay, ts: u64) -> Result<()> {
         for table in overlay.touched_tables() {
             let delta = overlay.delta(&table).expect("touched implies delta");
             if self.is_event_table(&table) {
@@ -2155,7 +2185,7 @@ impl Database {
                     }
                 }
                 for row in &delta.ins {
-                    t.insert(row.to_vec())?;
+                    t.insert_at(row.to_vec(), ts)?;
                 }
                 continue;
             }
@@ -2176,7 +2206,7 @@ impl Database {
                 .get_mut(&ins_table_name(&table))
                 .expect("capture implies event table");
             for row in &delta.ins {
-                ins_t.insert(row.to_vec())?;
+                ins_t.insert_at(row.to_vec(), ts)?;
             }
             let del_t = self
                 .tables
@@ -2184,7 +2214,7 @@ impl Database {
                 .expect("capture implies event table");
             for row in &delta.del {
                 if del_t.find_identical(row).is_none() {
-                    del_t.insert(row.to_vec())?;
+                    del_t.insert_at(row.to_vec(), ts)?;
                 }
             }
         }

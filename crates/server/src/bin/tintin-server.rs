@@ -1,0 +1,86 @@
+//! `tintin-server` — serve a TINTIN database over TCP.
+//!
+//! ```text
+//! tintin-server [--listen HOST:PORT] [--max-connections N] [--init FILE]
+//! ```
+//!
+//! * `--listen` — bind address (default `127.0.0.1:7878`);
+//! * `--max-connections` — admission limit (default 64); connections over
+//!   the limit receive a typed error and are closed;
+//! * `--init` — a SQL script (schema, assertions, seed data) executed
+//!   through an in-process session before the listener opens.
+//!
+//! Every TCP connection gets its own session over the one shared database:
+//! assertions installed by any client bind them all, and commits are
+//! checked by `safeCommit` exactly as in-process sessions are. Stop with
+//! SIGINT/SIGTERM (state is in-memory; there is nothing to flush).
+
+use std::process::exit;
+use tintin_server::{ServerConfig, WireServer};
+use tintin_session::Server;
+
+fn usage() -> ! {
+    eprintln!("usage: tintin-server [--listen HOST:PORT] [--max-connections N] [--init FILE]");
+    exit(2);
+}
+
+fn main() {
+    let mut listen = "127.0.0.1:7878".to_string();
+    let mut config = ServerConfig::default();
+    let mut init: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = args.next().unwrap_or_else(|| usage()),
+            "--max-connections" => {
+                config.max_connections = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--init" => init = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    let sessions = Server::new();
+    if let Some(path) = init {
+        let script = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tintin-server: cannot read --init {path}: {e}");
+                exit(1);
+            }
+        };
+        let mut session = sessions.connect();
+        match session.execute(&script) {
+            Ok(outcomes) => {
+                eprintln!(
+                    "tintin-server: init script ran {} statement(s) from {path}",
+                    outcomes.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("tintin-server: init script failed: {e}");
+                exit(1);
+            }
+        }
+    }
+
+    let wire = match WireServer::bind(sessions, listen.as_str(), config) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("tintin-server: cannot listen on {listen}: {e}");
+            exit(1);
+        }
+    };
+    eprintln!("tintin-server: listening on {}", wire.local_addr());
+    // The accept loop runs on its own thread; park this one forever. The
+    // database is in-memory, so termination by signal loses nothing that
+    // surviving the signal would have kept.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,418 @@
+#![warn(missing_docs)]
+//! `tintin-server` — the TCP front-end that makes a TINTIN database
+//! reachable from other processes and machines.
+//!
+//! The paper's system lives inside SQL Server, where applications reach the
+//! checker over a network connection; this crate supplies that layer for
+//! the reproduction. It is a thin, threaded adapter over
+//! [`tintin_session::Server`]:
+//!
+//! * **one connection = one [`Session`](tintin_session::Session)** — the
+//!   mapping the session layer was designed for. A connection's transaction
+//!   state (open transaction, savepoints, `BEGIN`-time snapshot) lives in
+//!   its session and dies with the connection; the database, the installed
+//!   assertions and the MVCC machinery are shared by all of them.
+//! * **requests are SQL scripts, responses are typed** — each request
+//!   frame carries a script for [`tintin_session::Session::execute`]; the
+//!   response carries
+//!   every statement's outcome (rows, commit/reject decisions with
+//!   violation tuples and check statistics) or a typed error, including how
+//!   far a failing script got. See [`protocol`] for the exact encoding.
+//! * **std-only threading** — a listener thread accepts, each connection
+//!   gets a handler thread (the environment is offline; no async runtime is
+//!   available, and the engine's locking is already designed for
+//!   thread-per-session). [`ServerConfig::max_connections`] bounds the
+//!   thread count: excess connections receive a typed `Server` error and
+//!   are closed.
+//! * **graceful shutdown** — [`WireServer::shutdown`] stops accepting,
+//!   shuts down every live connection's socket (handlers finish their
+//!   in-flight request first, since the socket shutdown only interrupts
+//!   the next read) and joins all threads.
+//!
+//! # Example
+//!
+//! ```
+//! use tintin_server::{ServerConfig, WireServer};
+//!
+//! let wire = WireServer::bind(
+//!     tintin_session::Server::new(),
+//!     "127.0.0.1:0", // ephemeral port
+//!     ServerConfig::default(),
+//! )
+//! .unwrap();
+//! let addr = wire.local_addr();
+//! // … connect with `tintin-client` / `tintin-cli`, or any TCP client
+//! // speaking the frame protocol …
+//! wire.shutdown();
+//! # let _ = addr;
+//! ```
+
+pub mod protocol;
+
+use protocol::{encode_response, read_frame, write_frame, WireResult, WireScriptError};
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use tintin_session::Server;
+
+/// Tuning knobs of a [`WireServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum simultaneously served connections; further connects receive
+    /// a typed `Server` error response and are closed.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+        }
+    }
+}
+
+/// State shared between the accept loop, the connection handlers and the
+/// owning [`WireServer`] handle.
+struct Inner {
+    sessions: Server,
+    config: ServerConfig,
+    shutting_down: AtomicBool,
+    active: AtomicUsize,
+    served: AtomicUsize,
+    next_conn_id: AtomicUsize,
+    /// Clones of the live connections' streams, keyed by connection id, so
+    /// shutdown can interrupt blocked reads. Each handler's [`ConnGuard`]
+    /// removes its own entry on exit (panic included), so the registry
+    /// stays bounded by the number of *live* connections.
+    conns: Mutex<HashMap<usize, TcpStream>>,
+}
+
+/// Per-connection cleanup, panic-safe: runs on the handler thread's way
+/// out however it exits. Releases the admission slot and drops the
+/// shutdown-interrupt stream clone — without it, a panicking handler (or
+/// an early return) would leak an `active` slot forever and accumulate one
+/// socket fd per connection served.
+struct ConnGuard {
+    inner: Arc<Inner>,
+    id: usize,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.inner
+            .conns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&self.id);
+        self.inner.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A running TCP front-end. Dropping the handle shuts the server down
+/// (equivalent to [`WireServer::shutdown`]).
+pub struct WireServer {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for WireServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WireServer")
+            .field("addr", &self.addr)
+            .field("active_connections", &self.active_connections())
+            .finish()
+    }
+}
+
+impl WireServer {
+    /// Bind `addr` and start serving `sessions` — every accepted connection
+    /// is attached to this [`Server`]'s shared database and assertion set.
+    /// Pass port `0` for an ephemeral port ([`WireServer::local_addr`]
+    /// reports the actual one).
+    pub fn bind(
+        sessions: Server,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            sessions,
+            config,
+            shutting_down: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            served: AtomicUsize::new(0),
+            next_conn_id: AtomicUsize::new(0),
+            conns: Mutex::new(HashMap::new()),
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let inner = inner.clone();
+            let handlers = handlers.clone();
+            std::thread::Builder::new()
+                .name("tintin-accept".into())
+                .spawn(move || accept_loop(listener, inner, handlers))?
+        };
+        Ok(WireServer {
+            inner,
+            addr,
+            accept_thread: Some(accept_thread),
+            handlers,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.inner.active.load(Ordering::Relaxed)
+    }
+
+    /// Connections accepted and served over the server's lifetime (turned
+    /// away over-limit connects are not counted).
+    pub fn connections_served(&self) -> usize {
+        self.inner.served.load(Ordering::Relaxed)
+    }
+
+    /// The session-layer [`Server`] behind this front-end (e.g. to attach
+    /// an in-process session alongside the remote ones).
+    pub fn sessions(&self) -> &Server {
+        &self.inner.sessions
+    }
+
+    /// Stop accepting, interrupt every live connection's next read, and
+    /// join all threads. In-flight requests finish first: a handler only
+    /// notices the shutdown when it returns to the socket for the next
+    /// frame. Idempotent.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the accept loop: a throwaway connection to ourselves. A
+        // wildcard bind address (0.0.0.0 / ::) is not connectable on every
+        // platform — reach the listener via loopback instead.
+        let mut target = self.addr;
+        if target.ip().is_unspecified() {
+            target.set_ip(match target {
+                SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(target);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Interrupt blocked reads; handlers then observe EOF/error and exit.
+        {
+            let conns = self
+                .inner
+                .conns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            for c in conns.values() {
+                let _ = c.shutdown(Shutdown::Both);
+            }
+        }
+        let handlers =
+            std::mem::take(&mut *self.handlers.lock().unwrap_or_else(PoisonError::into_inner));
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    inner: Arc<Inner>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut stream = match stream {
+            Ok(s) => s,
+            Err(_) => {
+                // Persistent accept errors (EMFILE/ENFILE under fd
+                // exhaustion) re-fire immediately; back off instead of
+                // busy-spinning a core while starving the handlers that
+                // would free the descriptors.
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                continue;
+            }
+        };
+        // Request/response with small frames: Nagle only adds latency.
+        let _ = stream.set_nodelay(true);
+        // Connection limit: turn the connection away with a typed error
+        // (admission control, not a hung socket).
+        let admitted = inner
+            .active
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < inner.config.max_connections).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            let busy: WireResult = Err(WireScriptError::server(format!(
+                "connection limit ({}) reached, try again later",
+                inner.config.max_connections
+            )));
+            let _ = write_frame(&mut stream, &encode_response(&busy));
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        let id = inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        // The guard owns the cleanup from here on: if registration or
+        // spawning fails, or the handler panics, or it returns normally —
+        // the slot and the registry entry are released exactly once.
+        let guard = ConnGuard {
+            inner: inner.clone(),
+            id,
+        };
+        // The registry clone is what lets shutdown() interrupt this
+        // connection's blocked reads. A connection that cannot be
+        // registered (try_clone fails under fd pressure) must be turned
+        // away, not served: serving it would make shutdown() hang forever
+        // joining an uninterruptible handler.
+        match stream.try_clone() {
+            Ok(clone) => {
+                inner
+                    .conns
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(id, clone);
+            }
+            Err(e) => {
+                let err: WireResult = Err(WireScriptError::server(format!(
+                    "server cannot register the connection: {e}; try again later"
+                )));
+                let _ = write_frame(&mut stream, &encode_response(&err));
+                let _ = stream.shutdown(Shutdown::Both);
+                drop(guard);
+                continue;
+            }
+        }
+        inner.served.fetch_add(1, Ordering::Relaxed);
+        let handler = std::thread::Builder::new()
+            .name("tintin-conn".into())
+            .spawn(move || {
+                let _guard = guard;
+                handle_connection(&mut stream, &_guard.inner);
+            });
+        if let Ok(h) = handler {
+            let mut hs = handlers.lock().unwrap_or_else(PoisonError::into_inner);
+            // Reap finished handlers so the vector stays bounded by the
+            // number of live connections (join returns immediately).
+            let mut i = 0;
+            while i < hs.len() {
+                if hs[i].is_finished() {
+                    let _ = hs.swap_remove(i).join();
+                } else {
+                    i += 1;
+                }
+            }
+            hs.push(h);
+        }
+    }
+}
+
+/// Serve one connection: a private [`tintin_session::Session`] executes
+/// each request frame's script, and the outcome (or typed failure) is
+/// framed back. The loop ends on clean EOF, an I/O error, or server
+/// shutdown.
+fn handle_connection(stream: &mut TcpStream, inner: &Inner) {
+    let mut session = inner.sessions.connect();
+    loop {
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let script = match read_frame(stream) {
+            Ok(Some(script)) => script,
+            Ok(None) => break, // peer closed
+            Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
+                // A non-UTF-8 payload: fully consumed before it failed to
+                // decode, so the stream is still frame-aligned — answer
+                // with the documented typed SERVER error and keep serving
+                // this connection (and its session's open transaction).
+                let err: WireResult = Err(WireScriptError::server(e.to_string()));
+                if write_frame(stream, &encode_response(&err)).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // A well-formed length prefix announcing an oversized
+                // frame: the documented contract is a typed SERVER error,
+                // not a silent close. The announced bytes were never
+                // consumed, so the stream is desynchronized and the
+                // connection still ends.
+                let err: WireResult = Err(WireScriptError::server(e.to_string()));
+                let _ = write_frame(stream, &encode_response(&err));
+                break;
+            }
+            Err(_) => break, // torn connection
+        };
+        let result: WireResult = match session.execute(&script) {
+            Ok(outcomes) => Ok(outcomes),
+            Err(e) => Err(WireScriptError::from(e.as_ref())),
+        };
+        let mut payload = encode_response(&result);
+        if payload.len() > protocol::MAX_FRAME {
+            // The result is too large to frame (e.g. a SELECT over a huge
+            // table). Substitute the documented typed SERVER error: unlike
+            // an oversized *request*, nothing has been written yet, so the
+            // stream stays synchronized and the connection (and its
+            // session) lives on.
+            let err: WireResult = Err(WireScriptError::server(format!(
+                "response of {} bytes exceeds the {}-byte frame cap; \
+                 narrow the query",
+                payload.len(),
+                protocol::MAX_FRAME
+            )));
+            payload = encode_response(&err);
+        }
+        if write_frame(stream, &payload).is_err() {
+            break;
+        }
+    }
+    // The session (and any open transaction's snapshot pin) drops here.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn wire_server_is_send() {
+        assert_send::<WireServer>();
+    }
+
+    #[test]
+    fn bind_shutdown_cycle_is_clean() {
+        let wire = WireServer::bind(Server::new(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = wire.local_addr();
+        assert_ne!(addr.port(), 0);
+        assert_eq!(wire.active_connections(), 0);
+        wire.shutdown();
+        // The port is released: we can bind it again.
+        let again = TcpListener::bind(addr);
+        assert!(again.is_ok(), "port not released after shutdown");
+    }
+}

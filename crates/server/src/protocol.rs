@@ -1,0 +1,998 @@
+//! The TINTIN wire protocol: framing and the text codec for statement
+//! outcomes, result sets, violations and errors.
+//!
+//! The protocol is deliberately dependency-free (the build environment is
+//! offline) and human-debuggable:
+//!
+//! * **Framing** — every message is one *frame*: a 4-byte big-endian
+//!   payload length followed by that many bytes of UTF-8 text. A request
+//!   frame's payload is a SQL script; a response frame's payload is the
+//!   line-oriented encoding below. Frames are capped at [`MAX_FRAME`]
+//!   bytes; a peer sending more is a protocol error, not an allocation.
+//! * **Response payload** — tab-separated fields on newline-separated
+//!   lines. The first line is the status:
+//!   `OK <n>` (n outcome blocks follow) or
+//!   `ERR <failing-index> <failing-statement> <n-completed>` (the outcome
+//!   blocks of the statements that completed before the failure, then one
+//!   `E` error line). Text fields escape `\` `\t` `\n` `\r`, so splitting
+//!   on tabs and newlines is always safe.
+//! * **Outcome blocks** mirror [`StatementOutcome`] variant for variant;
+//!   result sets are a `C` column-header line plus one `R` line per row;
+//!   values are typed (`~` null, `i…` integer, `f…` the exact IEEE-754
+//!   bits in hex, `s…` text) so a decoded row compares equal to the
+//!   original. `COMMITTED` / `REJECTED` carry an `S` line with the check
+//!   statistics, and `REJECTED` carries one `V` block per violation —
+//!   assertion name, reporting view, and the violating tuples themselves.
+//! * **Errors** are typed ([`WireError`]): every [`SessionError`] variant
+//!   crosses the wire distinguishable — a client can match on a
+//!   serialization conflict (and retry) or on violation details without
+//!   string-sniffing — plus a `Server` variant for front-end conditions
+//!   (connection limit, oversized frame).
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::time::Duration;
+use tintin::{CheckStats, Violation};
+use tintin_engine::{NormalizationReport, ResultSet, Value};
+use tintin_session::{ScriptError, SessionError, StatementOutcome};
+
+/// Hard cap on one frame's payload (requests and responses alike).
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// A malformed frame or payload (protocol bug or corrupted stream —
+/// distinct from a well-formed error *response*, which decodes into
+/// [`WireScriptError`]).
+#[derive(Debug, Clone)]
+pub struct ProtocolError(pub String);
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire-protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<ProtocolError> for io::Error {
+    fn from(e: ProtocolError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+// ------------------------------------------------------------------ frames
+
+/// Write one length-prefixed frame. The length prefix and payload go out
+/// in a single `write_all` — on an unbuffered `TcpStream` a split write
+/// would emit two segments and interact badly with Nagle/delayed-ACK
+/// (~40ms per request/response turn).
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(ProtocolError(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME}-byte cap",
+            bytes.len()
+        ))
+        .into());
+    }
+    let mut frame = Vec::with_capacity(4 + bytes.len());
+    frame.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    frame.extend_from_slice(bytes);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. Returns `None` on a clean end of stream
+/// (the peer closed between frames); mid-frame EOF — including a length
+/// prefix truncated after 1–3 bytes — is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    // The prefix is read manually rather than with read_exact: EOF at
+    // byte 0 is a clean close, EOF at bytes 1–3 is a torn frame, and
+    // read_exact cannot tell the two apart.
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_buf.len() {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(ProtocolError(format!(
+                    "connection closed mid-frame ({filled} of 4 length-prefix bytes)"
+                ))
+                .into())
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(ProtocolError(format!(
+            "peer announced a {len}-byte frame (cap {MAX_FRAME})"
+        ))
+        .into());
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    // The payload is fully consumed at this point, so a non-UTF-8 failure
+    // leaves the stream frame-aligned — report it as `InvalidInput` so
+    // callers can answer with a typed error and keep the connection (the
+    // oversized-announcement error above is `InvalidData`: its bytes were
+    // never consumed and the stream is desynchronized).
+    let text = String::from_utf8(payload).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            ProtocolError("frame payload is not UTF-8".into()).to_string(),
+        )
+    })?;
+    Ok(Some(text))
+}
+
+// ----------------------------------------------------------------- escaping
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, ProtocolError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => {
+                return Err(ProtocolError(format!(
+                    "bad escape '\\{}'",
+                    other.map(String::from).unwrap_or_default()
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------------------- errors
+
+/// The typed error a response carries — every [`SessionError`] variant
+/// survives the wire distinguishable (nested engine / checker errors travel
+/// as their rendered text), plus front-end conditions under
+/// [`WireError::Server`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// SQL parsing failed.
+    Parse(String),
+    /// Engine-level failure (catalog, DML, evaluation), rendered.
+    Engine(String),
+    /// Install / check pipeline failure, rendered.
+    Tintin(String),
+    /// `COMMIT`, `ROLLBACK`, `SAVEPOINT`, … without an open transaction.
+    NoActiveTransaction,
+    /// `BEGIN` while a transaction is already open.
+    TransactionAlreadyOpen,
+    /// `ROLLBACK TO` / `RELEASE` an unknown savepoint.
+    NoSuchSavepoint(String),
+    /// Schema changes are not transactional (payload: the verb phrase).
+    DdlInTransaction(String),
+    /// `CREATE ASSERTION` with a name that is already installed.
+    DuplicateAssertion(String),
+    /// `DROP ASSERTION` of an unknown name.
+    NoSuchAssertion(String),
+    /// The transaction lost a first-committer-wins race; retry on a fresh
+    /// snapshot may succeed.
+    SerializationConflict {
+        /// The table the conflicting row versions live in.
+        table: String,
+        /// What raced.
+        detail: String,
+    },
+    /// A front-end condition: connection limit reached, oversized frame,
+    /// server shutting down.
+    Server(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Parse(m) => write!(f, "parse error: {m}"),
+            WireError::Engine(m) | WireError::Tintin(m) => write!(f, "{m}"),
+            WireError::NoActiveTransaction => {
+                write!(f, "no transaction is open (use BEGIN)")
+            }
+            WireError::TransactionAlreadyOpen => {
+                write!(
+                    f,
+                    "a transaction is already open (COMMIT or ROLLBACK first)"
+                )
+            }
+            WireError::NoSuchSavepoint(n) => write!(f, "no such savepoint: '{n}'"),
+            WireError::DdlInTransaction(k) => write!(
+                f,
+                "{k} is not transactional; COMMIT or ROLLBACK the open transaction first"
+            ),
+            WireError::DuplicateAssertion(n) => {
+                write!(f, "assertion '{n}' is already installed")
+            }
+            WireError::NoSuchAssertion(n) => write!(f, "no such assertion: '{n}'"),
+            WireError::SerializationConflict { table, detail } => write!(
+                f,
+                "serialization conflict on {table}: {detail} (transaction rolled \
+                 back; retry on a fresh snapshot)"
+            ),
+            WireError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<&SessionError> for WireError {
+    fn from(e: &SessionError) -> Self {
+        match e {
+            SessionError::Parse(m) => WireError::Parse(m.clone()),
+            SessionError::Engine(e) => WireError::Engine(e.to_string()),
+            SessionError::Tintin(e) => WireError::Tintin(e.to_string()),
+            SessionError::NoActiveTransaction => WireError::NoActiveTransaction,
+            SessionError::TransactionAlreadyOpen => WireError::TransactionAlreadyOpen,
+            SessionError::NoSuchSavepoint(n) => WireError::NoSuchSavepoint(n.clone()),
+            SessionError::DdlInTransaction(k) => WireError::DdlInTransaction(k.clone()),
+            SessionError::DuplicateAssertion(n) => WireError::DuplicateAssertion(n.clone()),
+            SessionError::NoSuchAssertion(n) => WireError::NoSuchAssertion(n.clone()),
+            SessionError::SerializationConflict { table, detail } => {
+                WireError::SerializationConflict {
+                    table: table.clone(),
+                    detail: detail.clone(),
+                }
+            }
+        }
+    }
+}
+
+/// Is this error worth retrying on a fresh snapshot (a lost
+/// first-committer-wins race, not bad data)?
+impl WireError {
+    /// `true` exactly for [`WireError::SerializationConflict`].
+    pub fn is_serialization_conflict(&self) -> bool {
+        matches!(self, WireError::SerializationConflict { .. })
+    }
+}
+
+/// The wire-side mirror of [`ScriptError`]: how far the script got before
+/// failing, and why.
+#[derive(Debug, Clone)]
+pub struct WireScriptError {
+    /// Outcomes of the statements that completed before the failure.
+    pub completed: Vec<StatementOutcome>,
+    /// Zero-based index of the failing statement (0 for a parse failure).
+    pub statement_index: usize,
+    /// The failing statement, pretty-printed (empty for a parse failure).
+    pub statement: String,
+    /// The typed failure.
+    pub error: WireError,
+}
+
+impl fmt::Display for WireScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.statement.is_empty() {
+            write!(f, "{}", self.error)
+        } else {
+            write!(
+                f,
+                "statement {} ({}) failed: {}",
+                self.statement_index + 1,
+                // The same one-line rendering the local ScriptError uses.
+                tintin_session::one_line_statement(&self.statement),
+                self.error
+            )
+        }
+    }
+}
+
+impl std::error::Error for WireScriptError {}
+
+impl From<&ScriptError> for WireScriptError {
+    fn from(e: &ScriptError) -> Self {
+        WireScriptError {
+            completed: e.completed.clone(),
+            statement_index: e.statement_index,
+            statement: e.statement.clone(),
+            error: WireError::from(&e.error),
+        }
+    }
+}
+
+impl WireScriptError {
+    /// A front-end failure (no statement ran).
+    pub fn server(message: impl Into<String>) -> Self {
+        WireScriptError {
+            completed: Vec::new(),
+            statement_index: 0,
+            statement: String::new(),
+            error: WireError::Server(message.into()),
+        }
+    }
+}
+
+/// What one request decodes to on the client side.
+pub type WireResult = Result<Vec<StatementOutcome>, WireScriptError>;
+
+// ------------------------------------------------------------------ values
+
+fn encode_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push('~'),
+        Value::Int(i) => {
+            out.push('i');
+            out.push_str(&i.to_string());
+        }
+        Value::Real(r) => {
+            // The exact IEEE-754 bits: a decoded row compares equal to the
+            // original (Display would round).
+            out.push('f');
+            out.push_str(&format!("{:016x}", r.get().to_bits()));
+        }
+        Value::Str(s) => {
+            out.push('s');
+            out.push_str(&escape(s));
+        }
+    }
+}
+
+fn decode_value(field: &str) -> Result<Value, ProtocolError> {
+    let mut chars = field.chars();
+    match chars.next() {
+        Some('~') => Ok(Value::Null),
+        Some('i') => chars
+            .as_str()
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| ProtocolError(format!("bad integer '{field}'"))),
+        Some('f') => u64::from_str_radix(chars.as_str(), 16)
+            .map(|bits| Value::real(f64::from_bits(bits)))
+            .map_err(|_| ProtocolError(format!("bad real '{field}'"))),
+        Some('s') => Ok(Value::str(unescape(chars.as_str())?)),
+        _ => Err(ProtocolError(format!("bad value '{field}'"))),
+    }
+}
+
+// -------------------------------------------------------------- result sets
+
+fn encode_result_set(rs: &ResultSet, out: &mut String) {
+    out.push_str(&format!("C\t{}", rs.columns.len()));
+    for c in &rs.columns {
+        out.push('\t');
+        out.push_str(&escape(c));
+    }
+    out.push('\n');
+    for row in &rs.rows {
+        out.push('R');
+        for v in row.iter() {
+            out.push('\t');
+            encode_value(v, out);
+        }
+        out.push('\n');
+    }
+}
+
+/// A line cursor over a decoded payload.
+struct Lines<'a> {
+    lines: std::str::Lines<'a>,
+}
+
+impl<'a> Lines<'a> {
+    fn next(&mut self) -> Result<Vec<&'a str>, ProtocolError> {
+        self.lines
+            .next()
+            .map(|l| l.split('\t').collect())
+            .ok_or_else(|| ProtocolError("truncated response".into()))
+    }
+}
+
+/// Clamp a peer-supplied element count before using it as a `Vec`
+/// capacity hint: the real element count is bounded by the decode loop
+/// (which errors when the payload runs out of lines), but the *capacity*
+/// must not trust the wire — a hostile 9-digit count in a 30-byte payload
+/// would otherwise pre-allocate gigabytes before the first line is read.
+fn capped(n: usize) -> usize {
+    n.min(1024)
+}
+
+fn parse_count(field: &str, what: &str) -> Result<usize, ProtocolError> {
+    field
+        .parse::<usize>()
+        .map_err(|_| ProtocolError(format!("bad {what} count '{field}'")))
+}
+
+fn decode_result_set(lines: &mut Lines, nrows: usize) -> Result<ResultSet, ProtocolError> {
+    let header = lines.next()?;
+    if header.first() != Some(&"C") {
+        return Err(ProtocolError("expected a C column line".into()));
+    }
+    let ncols = parse_count(header.get(1).unwrap_or(&""), "column")?;
+    if header.len() != ncols + 2 {
+        return Err(ProtocolError("column line arity mismatch".into()));
+    }
+    let columns = header[2..]
+        .iter()
+        .map(|c| unescape(c))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut rows = Vec::with_capacity(capped(nrows));
+    for _ in 0..nrows {
+        let fields = lines.next()?;
+        if fields.first() != Some(&"R") || fields.len() != ncols + 1 {
+            return Err(ProtocolError("malformed R row line".into()));
+        }
+        let row = fields[1..]
+            .iter()
+            .map(|f| decode_value(f))
+            .collect::<Result<Vec<_>, _>>()?;
+        rows.push(row.into_boxed_slice());
+    }
+    Ok(ResultSet { columns, rows })
+}
+
+// -------------------------------------------------------------- check stats
+
+fn encode_stats(stats: &CheckStats, out: &mut String) {
+    let n = &stats.normalization;
+    out.push_str(&format!(
+        "S\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+        stats.views_total,
+        stats.views_skipped,
+        stats.views_skipped_relevance,
+        stats.views_evaluated,
+        stats.plans_reused,
+        stats.plans_recompiled,
+        stats.fallbacks_skipped,
+        stats.fallbacks_evaluated,
+        stats.check_time.as_nanos(),
+        n.dup_ins,
+        n.dup_del,
+        n.missing_del,
+        n.cancelled,
+        n.noop_ins,
+    ));
+}
+
+fn decode_stats(lines: &mut Lines) -> Result<CheckStats, ProtocolError> {
+    let fields = lines.next()?;
+    if fields.first() != Some(&"S") || fields.len() != 15 {
+        return Err(ProtocolError("malformed S stats line".into()));
+    }
+    let num = |i: usize| parse_count(fields[i], "stats");
+    Ok(CheckStats {
+        views_total: num(1)?,
+        views_skipped: num(2)?,
+        views_skipped_relevance: num(3)?,
+        views_evaluated: num(4)?,
+        plans_reused: num(5)?,
+        plans_recompiled: num(6)?,
+        fallbacks_skipped: num(7)?,
+        fallbacks_evaluated: num(8)?,
+        check_time: Duration::from_nanos(
+            fields[9]
+                .parse::<u64>()
+                .map_err(|_| ProtocolError("bad check_time".into()))?,
+        ),
+        normalization: NormalizationReport {
+            dup_ins: num(10)?,
+            dup_del: num(11)?,
+            missing_del: num(12)?,
+            cancelled: num(13)?,
+            noop_ins: num(14)?,
+        },
+    })
+}
+
+// ----------------------------------------------------------------- outcomes
+
+fn encode_outcome(o: &StatementOutcome, out: &mut String) {
+    match o {
+        StatementOutcome::Ddl => out.push_str("DDL\n"),
+        StatementOutcome::AssertionInstalled { name, views } => {
+            out.push_str(&format!("INSTALLED\t{views}\t{}\n", escape(name)));
+        }
+        StatementOutcome::AssertionDropped { name } => {
+            out.push_str(&format!("DROPPED\t{}\n", escape(name)));
+        }
+        StatementOutcome::RowsAffected(n) => out.push_str(&format!("AFFECTED\t{n}\n")),
+        StatementOutcome::Rows(rs) => {
+            out.push_str(&format!("ROWS\t{}\n", rs.rows.len()));
+            encode_result_set(rs, out);
+        }
+        StatementOutcome::TransactionStarted => out.push_str("BEGIN\n"),
+        StatementOutcome::SavepointCreated(n) => {
+            out.push_str(&format!("SAVEPOINT\t{}\n", escape(n)));
+        }
+        StatementOutcome::SavepointReleased(n) => {
+            out.push_str(&format!("RELEASED\t{}\n", escape(n)));
+        }
+        StatementOutcome::RolledBackToSavepoint(n) => {
+            out.push_str(&format!("ROLLED_BACK_TO\t{}\n", escape(n)));
+        }
+        StatementOutcome::RolledBack => out.push_str("ROLLED_BACK\n"),
+        StatementOutcome::Committed {
+            inserted,
+            deleted,
+            stats,
+        } => {
+            out.push_str(&format!("COMMITTED\t{inserted}\t{deleted}\n"));
+            encode_stats(stats, out);
+        }
+        StatementOutcome::Rejected { violations, stats } => {
+            out.push_str(&format!("REJECTED\t{}\n", violations.len()));
+            encode_stats(stats, out);
+            for v in violations {
+                out.push_str(&format!(
+                    "V\t{}\t{}\t{}\n",
+                    escape(&v.assertion),
+                    escape(&v.view),
+                    v.rows.rows.len()
+                ));
+                encode_result_set(&v.rows, out);
+            }
+        }
+    }
+}
+
+fn decode_outcome(lines: &mut Lines) -> Result<StatementOutcome, ProtocolError> {
+    let fields = lines.next()?;
+    let field = |i: usize| -> Result<&str, ProtocolError> {
+        fields
+            .get(i)
+            .copied()
+            .ok_or_else(|| ProtocolError("outcome line too short".into()))
+    };
+    match field(0)? {
+        "DDL" => Ok(StatementOutcome::Ddl),
+        "INSTALLED" => Ok(StatementOutcome::AssertionInstalled {
+            views: parse_count(field(1)?, "view")?,
+            name: unescape(field(2)?)?,
+        }),
+        "DROPPED" => Ok(StatementOutcome::AssertionDropped {
+            name: unescape(field(1)?)?,
+        }),
+        "AFFECTED" => Ok(StatementOutcome::RowsAffected(parse_count(
+            field(1)?,
+            "row",
+        )?)),
+        "ROWS" => {
+            let nrows = parse_count(field(1)?, "row")?;
+            Ok(StatementOutcome::Rows(decode_result_set(lines, nrows)?))
+        }
+        "BEGIN" => Ok(StatementOutcome::TransactionStarted),
+        "SAVEPOINT" => Ok(StatementOutcome::SavepointCreated(unescape(field(1)?)?)),
+        "RELEASED" => Ok(StatementOutcome::SavepointReleased(unescape(field(1)?)?)),
+        "ROLLED_BACK_TO" => Ok(StatementOutcome::RolledBackToSavepoint(unescape(field(
+            1,
+        )?)?)),
+        "ROLLED_BACK" => Ok(StatementOutcome::RolledBack),
+        "COMMITTED" => {
+            let inserted = parse_count(field(1)?, "inserted")?;
+            let deleted = parse_count(field(2)?, "deleted")?;
+            let stats = decode_stats(lines)?;
+            Ok(StatementOutcome::Committed {
+                inserted,
+                deleted,
+                stats,
+            })
+        }
+        "REJECTED" => {
+            let nviolations = parse_count(field(1)?, "violation")?;
+            let stats = decode_stats(lines)?;
+            let mut violations = Vec::with_capacity(capped(nviolations));
+            for _ in 0..nviolations {
+                let v = lines.next()?;
+                if v.first() != Some(&"V") || v.len() != 4 {
+                    return Err(ProtocolError("malformed V violation line".into()));
+                }
+                let assertion = unescape(v[1])?;
+                let view = unescape(v[2])?;
+                let nrows = parse_count(v[3], "violation row")?;
+                let rows = decode_result_set(lines, nrows)?;
+                violations.push(Violation {
+                    assertion,
+                    view,
+                    rows,
+                });
+            }
+            Ok(StatementOutcome::Rejected { violations, stats })
+        }
+        tag => Err(ProtocolError(format!("unknown outcome tag '{tag}'"))),
+    }
+}
+
+// ------------------------------------------------------------------ errors
+
+fn encode_error(e: &WireError, out: &mut String) {
+    let line = match e {
+        WireError::Parse(m) => format!("E\tPARSE\t{}", escape(m)),
+        WireError::Engine(m) => format!("E\tENGINE\t{}", escape(m)),
+        WireError::Tintin(m) => format!("E\tTINTIN\t{}", escape(m)),
+        WireError::NoActiveTransaction => "E\tNO_TX".into(),
+        WireError::TransactionAlreadyOpen => "E\tTX_OPEN".into(),
+        WireError::NoSuchSavepoint(n) => format!("E\tNO_SAVEPOINT\t{}", escape(n)),
+        WireError::DdlInTransaction(k) => format!("E\tDDL_IN_TX\t{}", escape(k)),
+        WireError::DuplicateAssertion(n) => format!("E\tDUP_ASSERTION\t{}", escape(n)),
+        WireError::NoSuchAssertion(n) => format!("E\tNO_ASSERTION\t{}", escape(n)),
+        WireError::SerializationConflict { table, detail } => {
+            format!("E\tCONFLICT\t{}\t{}", escape(table), escape(detail))
+        }
+        WireError::Server(m) => format!("E\tSERVER\t{}", escape(m)),
+    };
+    out.push_str(&line);
+    out.push('\n');
+}
+
+fn decode_error(fields: &[&str]) -> Result<WireError, ProtocolError> {
+    let field = |i: usize| -> Result<String, ProtocolError> {
+        fields
+            .get(i)
+            .copied()
+            .map(unescape)
+            .ok_or_else(|| ProtocolError("error line too short".into()))?
+    };
+    match fields.get(1).copied().unwrap_or_default() {
+        "PARSE" => Ok(WireError::Parse(field(2)?)),
+        "ENGINE" => Ok(WireError::Engine(field(2)?)),
+        "TINTIN" => Ok(WireError::Tintin(field(2)?)),
+        "NO_TX" => Ok(WireError::NoActiveTransaction),
+        "TX_OPEN" => Ok(WireError::TransactionAlreadyOpen),
+        "NO_SAVEPOINT" => Ok(WireError::NoSuchSavepoint(field(2)?)),
+        "DDL_IN_TX" => Ok(WireError::DdlInTransaction(field(2)?)),
+        "DUP_ASSERTION" => Ok(WireError::DuplicateAssertion(field(2)?)),
+        "NO_ASSERTION" => Ok(WireError::NoSuchAssertion(field(2)?)),
+        "CONFLICT" => Ok(WireError::SerializationConflict {
+            table: field(2)?,
+            detail: field(3)?,
+        }),
+        "SERVER" => Ok(WireError::Server(field(2)?)),
+        code => Err(ProtocolError(format!("unknown error code '{code}'"))),
+    }
+}
+
+// ---------------------------------------------------------------- responses
+
+/// Encode a response payload: the outcomes of a fully successful script, or
+/// a [`WireScriptError`] with the partial outcomes that preceded the
+/// failure.
+pub fn encode_response(result: &WireResult) -> String {
+    let mut out = String::new();
+    match result {
+        Ok(outcomes) => {
+            out.push_str(&format!("OK\t{}\n", outcomes.len()));
+            for o in outcomes {
+                encode_outcome(o, &mut out);
+            }
+        }
+        Err(e) => {
+            out.push_str(&format!(
+                "ERR\t{}\t{}\t{}\n",
+                e.statement_index,
+                escape(&e.statement),
+                e.completed.len()
+            ));
+            for o in &e.completed {
+                encode_outcome(o, &mut out);
+            }
+            encode_error(&e.error, &mut out);
+        }
+    }
+    out
+}
+
+/// Decode a response payload produced by [`encode_response`].
+pub fn decode_response(payload: &str) -> Result<WireResult, ProtocolError> {
+    let mut lines = Lines {
+        lines: payload.lines(),
+    };
+    let status = lines.next()?;
+    match status.first().copied() {
+        Some("OK") => {
+            let n = parse_count(status.get(1).unwrap_or(&""), "outcome")?;
+            let mut outcomes = Vec::with_capacity(capped(n));
+            for _ in 0..n {
+                outcomes.push(decode_outcome(&mut lines)?);
+            }
+            Ok(Ok(outcomes))
+        }
+        Some("ERR") => {
+            if status.len() != 4 {
+                return Err(ProtocolError("malformed ERR line".into()));
+            }
+            let statement_index = parse_count(status[1], "statement index")?;
+            let statement = unescape(status[2])?;
+            let n = parse_count(status[3], "outcome")?;
+            let mut completed = Vec::with_capacity(capped(n));
+            for _ in 0..n {
+                completed.push(decode_outcome(&mut lines)?);
+            }
+            let error = decode_error(&lines.next()?)?;
+            Ok(Err(WireScriptError {
+                completed,
+                statement_index,
+                statement,
+                error,
+            }))
+        }
+        _ => Err(ProtocolError("response must start with OK or ERR".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(r: &WireResult) -> WireResult {
+        decode_response(&encode_response(r)).expect("decode")
+    }
+
+    fn sample_rows() -> ResultSet {
+        ResultSet {
+            columns: vec!["a".into(), "weird\tname".into()],
+            rows: vec![
+                vec![Value::Int(-7), Value::str("tab\there\nand newline")].into_boxed_slice(),
+                vec![Value::Null, Value::real(2.5e-300)].into_boxed_slice(),
+            ],
+        }
+    }
+
+    fn assert_rows_eq(a: &ResultSet, b: &ResultSet) {
+        assert_eq!(a.columns, b.columns);
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "first payload").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        write_frame(&mut buf, "päyload — non-ASCII ✓").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some("first payload")
+        );
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some("päyload — non-ASCII ✓")
+        );
+        // Clean EOF between frames.
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "cut me").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_an_error_not_eof() {
+        // EOF after 1–3 prefix bytes is a torn frame, not a clean close.
+        for n in 1..4usize {
+            let mut r = io::Cursor::new(vec![0u8; n]);
+            assert!(
+                read_frame(&mut r).is_err(),
+                "{n}-byte prefix must be a torn-frame error"
+            );
+        }
+        // EOF at byte 0 is the clean close.
+        let mut r = io::Cursor::new(Vec::<u8>::new());
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn script_error_statement_renders_one_truncated_line() {
+        let e = WireScriptError {
+            completed: Vec::new(),
+            statement_index: 0,
+            statement: format!("INSERT INTO t\nVALUES {}", "(1, 2), ".repeat(30)),
+            error: WireError::NoActiveTransaction,
+        };
+        let rendered = e.to_string();
+        let line = rendered.lines().next().unwrap();
+        assert_eq!(rendered, line, "must render on one line");
+        assert!(rendered.contains("..."), "long statement must be elided");
+        assert!(rendered.len() < 200, "got {rendered:?}");
+    }
+
+    #[test]
+    fn oversized_frame_announcement_is_rejected_before_allocating() {
+        let mut buf = Vec::from((u32::MAX).to_be_bytes());
+        buf.extend_from_slice(b"tiny");
+        let mut r = io::Cursor::new(buf);
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn simple_outcomes_roundtrip() {
+        let outcomes = vec![
+            StatementOutcome::Ddl,
+            StatementOutcome::AssertionInstalled {
+                name: "atLeastOne".into(),
+                views: 3,
+            },
+            StatementOutcome::AssertionDropped {
+                name: "atLeastOne".into(),
+            },
+            StatementOutcome::RowsAffected(42),
+            StatementOutcome::TransactionStarted,
+            StatementOutcome::SavepointCreated("sp one".into()),
+            StatementOutcome::SavepointReleased("sp one".into()),
+            StatementOutcome::RolledBackToSavepoint("sp one".into()),
+            StatementOutcome::RolledBack,
+        ];
+        let decoded = roundtrip(&Ok(outcomes)).unwrap();
+        assert_eq!(decoded.len(), 9);
+        assert!(matches!(
+            &decoded[1],
+            StatementOutcome::AssertionInstalled { name, views: 3 } if name == "atLeastOne"
+        ));
+        assert!(matches!(
+            &decoded[5],
+            StatementOutcome::SavepointCreated(n) if n == "sp one"
+        ));
+    }
+
+    #[test]
+    fn result_rows_roundtrip_with_exact_values() {
+        let decoded = roundtrip(&Ok(vec![StatementOutcome::Rows(sample_rows())])).unwrap();
+        let StatementOutcome::Rows(rs) = &decoded[0] else {
+            panic!("expected rows");
+        };
+        assert_rows_eq(rs, &sample_rows());
+    }
+
+    #[test]
+    fn committed_roundtrips_with_stats() {
+        let stats = CheckStats {
+            views_total: 5,
+            views_skipped: 3,
+            views_skipped_relevance: 2,
+            views_evaluated: 2,
+            plans_reused: 2,
+            plans_recompiled: 1,
+            fallbacks_skipped: 1,
+            fallbacks_evaluated: 1,
+            check_time: Duration::from_micros(1234),
+            normalization: NormalizationReport {
+                dup_ins: 1,
+                dup_del: 2,
+                missing_del: 3,
+                cancelled: 4,
+                noop_ins: 5,
+            },
+        };
+        let decoded = roundtrip(&Ok(vec![StatementOutcome::Committed {
+            inserted: 10,
+            deleted: 2,
+            stats,
+        }]))
+        .unwrap();
+        let StatementOutcome::Committed {
+            inserted,
+            deleted,
+            stats,
+        } = &decoded[0]
+        else {
+            panic!("expected committed");
+        };
+        assert_eq!((*inserted, *deleted), (10, 2));
+        assert_eq!(stats.views_evaluated, 2);
+        assert_eq!(stats.check_time, Duration::from_micros(1234));
+        assert_eq!(stats.normalization.total(), 1 + 2 + 3 + 2 * 4 + 5);
+    }
+
+    #[test]
+    fn rejection_roundtrips_with_violation_payload() {
+        let violation = Violation {
+            assertion: "atleastonelineitem".into(),
+            view: "vio_ins_orders_1".into(),
+            rows: sample_rows(),
+        };
+        let decoded = roundtrip(&Ok(vec![StatementOutcome::Rejected {
+            violations: vec![violation],
+            stats: CheckStats::default(),
+        }]))
+        .unwrap();
+        let StatementOutcome::Rejected { violations, .. } = &decoded[0] else {
+            panic!("expected rejection");
+        };
+        assert_eq!(violations[0].assertion, "atleastonelineitem");
+        assert_eq!(violations[0].view, "vio_ins_orders_1");
+        assert_rows_eq(&violations[0].rows, &sample_rows());
+    }
+
+    #[test]
+    fn script_errors_roundtrip_typed_with_partial_outcomes() {
+        let cases = vec![
+            WireError::Parse("unexpected token".into()),
+            WireError::Engine("no such table: 'x'".into()),
+            WireError::NoActiveTransaction,
+            WireError::TransactionAlreadyOpen,
+            WireError::NoSuchSavepoint("sp".into()),
+            WireError::DdlInTransaction("CREATE UNIQUE INDEX".into()),
+            WireError::DuplicateAssertion("a1".into()),
+            WireError::NoSuchAssertion("a2".into()),
+            WireError::SerializationConflict {
+                table: "orders".into(),
+                detail: "a row this transaction deletes\twas removed".into(),
+            },
+            WireError::Server("connection limit reached".into()),
+        ];
+        for error in cases {
+            let sent = WireScriptError {
+                completed: vec![StatementOutcome::TransactionStarted, StatementOutcome::Ddl],
+                statement_index: 2,
+                statement: "COMMIT".into(),
+                error: error.clone(),
+            };
+            let decoded = roundtrip(&Err(sent)).unwrap_err();
+            assert_eq!(decoded.error, error);
+            assert_eq!(decoded.statement_index, 2);
+            assert_eq!(decoded.statement, "COMMIT");
+            assert_eq!(decoded.completed.len(), 2);
+            assert!(matches!(
+                decoded.completed[0],
+                StatementOutcome::TransactionStarted
+            ));
+        }
+    }
+
+    #[test]
+    fn conflict_error_is_recognizable_for_retry() {
+        assert!(WireError::SerializationConflict {
+            table: "t".into(),
+            detail: "raced".into()
+        }
+        .is_serialization_conflict());
+        assert!(!WireError::NoActiveTransaction.is_serialization_conflict());
+    }
+
+    #[test]
+    fn hostile_counts_do_not_preallocate() {
+        // A 30-byte payload claiming 2^60 rows must fail cleanly (lines
+        // run out) without the capacity hint allocating anything first.
+        let bad = format!("OK\t1\nROWS\t{}\nC\t0", 1u64 << 60);
+        assert!(decode_response(&bad).is_err());
+        let bad = format!("OK\t{}\nDDL", 1u64 << 60);
+        assert!(decode_response(&bad).is_err());
+    }
+
+    #[test]
+    fn garbage_payloads_are_protocol_errors() {
+        for bad in [
+            "",
+            "NOPE\t1",
+            "OK\tnot-a-number",
+            "OK\t1\nUNKNOWN_TAG",
+            "OK\t1\nROWS\t1\nC\t1\ta\nR\tzz",
+            "ERR\t0\t\t0\nE\tWHAT",
+        ] {
+            assert!(
+                decode_response(bad).is_err(),
+                "payload {bad:?} must not decode"
+            );
+        }
+    }
+}

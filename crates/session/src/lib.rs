@@ -23,11 +23,12 @@
 //!   (accumulated in the session's private [`TxOverlay`]). Repeated
 //!   `SELECT`s inside a transaction return identical results even while
 //!   other sessions commit, and no other session ever observes pending
-//!   work through base-table reads (a session explicitly querying an
-//!   `ins_T` / `del_T` event table or a vio view can see another commit's
-//!   staged events during its check phase — see the commit phases below).
-//!   `SAVEPOINT` / `ROLLBACK TO` / `RELEASE` give partial rollback via
-//!   cheap overlay snapshots;
+//!   work — not through base-table reads, and not through `ins_T` /
+//!   `del_T` event-table or vio-view reads either: a commit stages its
+//!   events stamped with its still-unpublished timestamp, invisible to
+//!   every reader until (and unless) the commit publishes. `SAVEPOINT` /
+//!   `ROLLBACK TO` / `RELEASE` give partial rollback via cheap overlay
+//!   snapshots;
 //! * **phased commits** — `COMMIT` serializes against other committers on
 //!   the database's commit lock, but holds the *exclusive* write lock only
 //!   for two short bookkeeping windows: (1) first-committer-wins conflict
@@ -218,6 +219,92 @@ impl fmt::Display for SessionError {
 }
 
 impl std::error::Error for SessionError {}
+
+/// A script failed partway through [`Session::execute`].
+///
+/// The statements before [`ScriptError::statement_index`] completed — their
+/// outcomes are preserved in [`ScriptError::completed`], so the caller can
+/// tell what *did* happen: DML may have autocommitted, a transaction may
+/// have been opened and left open ([`Session::in_transaction`] tells). The
+/// failing statement itself had no effect, and no later statement ran.
+#[derive(Debug, Clone)]
+pub struct ScriptError {
+    /// Outcomes of the statements that completed before the failure, in
+    /// script order (empty when the script failed to parse).
+    pub completed: Vec<StatementOutcome>,
+    /// Zero-based index of the failing statement within the script (`0`
+    /// for a script that failed to parse — nothing ran at all).
+    pub statement_index: usize,
+    /// The failing statement, pretty-printed (empty for a parse error).
+    pub statement: String,
+    /// The underlying failure.
+    pub error: SessionError,
+}
+
+impl ScriptError {
+    /// A parse failure: nothing ran. (Boxed: the script error is the cold
+    /// path of a `Result` whose `Ok` side should stay register-sized.)
+    fn parse(error: SessionError) -> Box<Self> {
+        Box::new(ScriptError {
+            completed: Vec::new(),
+            statement_index: 0,
+            statement: String::new(),
+            error,
+        })
+    }
+}
+
+/// Flatten a failing statement to one readable error-message line:
+/// newlines become spaces and anything past 80 characters is elided. The
+/// rendering [`ScriptError`] uses — exposed so its wire mirror
+/// (`tintin-server`'s `WireScriptError`) prints identically.
+pub fn one_line_statement(statement: &str) -> String {
+    let mut stmt = statement.replace('\n', " ");
+    if stmt.len() > 80 {
+        let cut = (0..=77).rev().find(|&i| stmt.is_char_boundary(i)).unwrap();
+        stmt.truncate(cut);
+        stmt.push_str("...");
+    }
+    stmt
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.statement.is_empty() {
+            return write!(f, "{}", self.error);
+        }
+        write!(
+            f,
+            "statement {} ({}) failed: {}",
+            self.statement_index + 1,
+            one_line_statement(&self.statement),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for ScriptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Dropping the script context recovers the plain session error (lets `?`
+/// forward [`Session::execute`] failures from functions returning
+/// [`Result`]).
+impl From<ScriptError> for SessionError {
+    fn from(e: ScriptError) -> Self {
+        e.error
+    }
+}
+
+/// Same as [`From<ScriptError>`], for the boxed form
+/// [`Session::execute`] returns.
+impl From<Box<ScriptError>> for SessionError {
+    fn from(e: Box<ScriptError>) -> Self {
+        e.error
+    }
+}
 
 impl From<EngineError> for SessionError {
     fn from(e: EngineError) -> Self {
@@ -467,11 +554,15 @@ impl Session {
 
     /// Pending `(insertions, deletions)` of this session's open
     /// transaction; `(0, 0)` outside one (plus any events staged directly
-    /// into the shared event tables by engine-level callers).
+    /// into the shared event tables by engine-level callers — another
+    /// session's in-flight commit staging is never counted).
     pub fn pending_counts(&self) -> (usize, usize) {
         match &self.tx {
             Some(tx) => tx.overlay.counts(),
-            None => self.server.db.read().pending_counts(),
+            None => {
+                let db = self.server.db.read();
+                db.pending_counts_at(db.current_ts())
+            }
         }
     }
 
@@ -494,14 +585,18 @@ impl Session {
                 .collect(),
             None => {
                 let db = self.server.db.read();
+                // Count at the published clock: a concurrent commit's
+                // staged (unpublished-timestamp) rows are not pending
+                // events of *this* session's world.
+                let s = db.current_ts();
                 let mut out = Vec::new();
                 for t in db.captured_tables() {
                     let ins = db
                         .table(&tintin_engine::ins_table_name(&t))
-                        .map_or(0, |x| x.len());
+                        .map_or(0, |x| x.len_at(s));
                     let del = db
                         .table(&tintin_engine::del_table_name(&t))
-                        .map_or(0, |x| x.len());
+                        .map_or(0, |x| x.len_at(s));
                     if ins + del > 0 {
                         out.push(PendingTable {
                             table: t,
@@ -595,11 +690,32 @@ impl Session {
     /// first error. DML inside an open transaction accumulates in the
     /// session's private overlay; outside one it autocommits (plan → stage
     /// → check → apply/reject under the write lock).
-    pub fn execute(&mut self, script: &str) -> Result<Vec<StatementOutcome>> {
-        let stmts = sql::parse_statements(script)?;
+    ///
+    /// On failure the returned [`ScriptError`] carries the outcomes of the
+    /// statements that *did* complete, the index and text of the failing
+    /// one, and the underlying [`SessionError`] — so a caller (a REPL, a
+    /// wire-protocol server) can report exactly how far the script got and
+    /// whether a transaction was left open. (Boxed so the `Ok` side of the
+    /// result stays register-sized; field access works through the box.)
+    pub fn execute(
+        &mut self,
+        script: &str,
+    ) -> std::result::Result<Vec<StatementOutcome>, Box<ScriptError>> {
+        let stmts =
+            sql::parse_statements(script).map_err(|e| ScriptError::parse(SessionError::from(e)))?;
         let mut out = Vec::with_capacity(stmts.len());
-        for stmt in &stmts {
-            out.push(self.execute_statement(stmt)?);
+        for (i, stmt) in stmts.iter().enumerate() {
+            match self.execute_statement(stmt) {
+                Ok(outcome) => out.push(outcome),
+                Err(error) => {
+                    return Err(Box::new(ScriptError {
+                        completed: out,
+                        statement_index: i,
+                        statement: stmt.to_string(),
+                        error,
+                    }))
+                }
+            }
         }
         Ok(out)
     }
@@ -615,15 +731,24 @@ impl Session {
         Ok(db.query_with_overlay_at(
             &q,
             self.tx.as_ref().map(|t| &t.overlay),
-            self.read_snapshot(),
+            self.read_snapshot(&db),
         )?)
     }
 
     /// The snapshot timestamp this session's reads are pinned to: the
-    /// transaction's `BEGIN`-time snapshot inside one, the latest committed
-    /// state outside.
-    fn read_snapshot(&self) -> u64 {
-        self.tx.as_ref().map_or(TS_LATEST, |t| t.snapshot.ts())
+    /// transaction's `BEGIN`-time snapshot inside one, the latest
+    /// *published* commit timestamp outside.
+    ///
+    /// Pinning autocommit reads to the published clock (instead of
+    /// [`TS_LATEST`], which sees every live version) is what hides an
+    /// in-flight commit's staged event rows: they are stamped with the
+    /// committer's still-unpublished timestamp, above any value this can
+    /// return. The caller must hold `db`'s read guard across the query so
+    /// the clock cannot advance under it.
+    fn read_snapshot(&self, db: &Database) -> u64 {
+        self.tx
+            .as_ref()
+            .map_or_else(|| db.current_ts(), |t| t.snapshot.ts())
     }
 
     /// Execute a single parsed statement.
@@ -649,13 +774,10 @@ impl Session {
             }
             ddl if ddl.is_ddl() => {
                 if self.in_transaction() {
-                    let kind = ddl.to_string();
-                    let kind = kind
-                        .split_whitespace()
-                        .take(2)
-                        .collect::<Vec<_>>()
-                        .join(" ");
-                    return Err(SessionError::DdlInTransaction(kind));
+                    // The verb phrase comes from the AST variant, not from
+                    // the printed SQL's first tokens (`CREATE UNIQUE INDEX
+                    // …` must not be reported as "CREATE UNIQUE").
+                    return Err(SessionError::DdlInTransaction(ddl.kind().to_string()));
                 }
                 // DDL takes the commit lock too: a schema change may not
                 // slip into the unlocked middle of a phased commit.
@@ -665,11 +787,9 @@ impl Session {
             }
             sql::Statement::Query(q) => {
                 let db = self.server.db.read();
-                let rs = db.query_with_overlay_at(
-                    q,
-                    self.tx.as_ref().map(|t| &t.overlay),
-                    self.read_snapshot(),
-                )?;
+                let snapshot = self.read_snapshot(&db);
+                let rs =
+                    db.query_with_overlay_at(q, self.tx.as_ref().map(|t| &t.overlay), snapshot)?;
                 Ok(StatementOutcome::Rows(rs))
             }
             dml => {
@@ -759,7 +879,14 @@ impl Session {
     fn nothing_to_commit(&self, overlay: &TxOverlay) -> bool {
         overlay.is_empty() && {
             let db = self.server.db.read();
-            db.touched_event_tables().is_empty()
+            // Probe at the published clock, not TS_LATEST: a concurrent
+            // commit's staged (unpublished-timestamp) event rows must not
+            // defeat this fast path, or an empty COMMIT would queue on the
+            // commit lock behind that commit's whole check phase — the
+            // stall the fast path exists to avoid. Hand-staged carrier
+            // events (`begin = 0`) are still seen and still force a real
+            // commit.
+            db.pending_counts_at(db.current_ts()) == (0, 0)
         }
     }
 
@@ -785,16 +912,21 @@ impl Session {
 
         // Phase 1 — write lock, O(update): lose now if a concurrent commit
         // invalidated the snapshot this update was planned against, else
-        // stage the overlay into the event tables and normalize.
-        let (normalization, touched_list) = {
+        // stage the overlay into the event tables and normalize. Staged
+        // event rows are stamped with this commit's still-unpublished
+        // timestamp: invisible to every other session's reads (which pin to
+        // a registered snapshot or the published clock) until — and only if
+        // — phase 3 publishes.
+        let (ts, normalization, touched_list) = {
             let mut db = self.server.db.write();
+            let ts = db.next_commit_ts();
             let staged = (|| {
                 db.detect_conflicts(overlay, snapshot)?;
-                db.stage_overlay(overlay)?;
+                db.stage_overlay_at(overlay, ts)?;
                 db.normalize_events_touched()
             })();
             match staged {
-                Ok(x) => x,
+                Ok((normalization, touched_list)) => (ts, normalization, touched_list),
                 Err(e) => {
                     // Partial staging is discarded; base tables untouched.
                     db.truncate_events();
@@ -809,11 +941,11 @@ impl Session {
 
         // Phase 2 — read lock, the expensive part: evaluate every touched
         // check through its prepared plan. Other sessions read concurrently:
-        // base versions are untouched so far, so every base-table read stays
-        // consistent. (The staged ins_T/del_T rows themselves *are* visible
-        // to a session that explicitly queries an event table or a vio view
-        // during this window — the documented cost of checking outside the
-        // exclusive section; base-table reads can never observe them.)
+        // base versions are untouched so far, and the staged ins_T/del_T
+        // rows carry the unpublished timestamp — so neither base-table nor
+        // event-table/vio-view reads can observe this commit mid-flight.
+        // (The check itself reads the event tables at TS_LATEST, which sees
+        // every live version regardless of its begin stamp.)
         let touched = TouchedEvents::from_list(&touched_list);
         let checked = {
             let db = self.server.db.read();
@@ -844,7 +976,9 @@ impl Session {
         }
         if violations.is_empty() {
             let (inserted, deleted) = db.pending_counts_for(&touched_list);
-            let ts = db.next_commit_ts();
+            // The commit lock has been held since phase 1, so the timestamp
+            // reserved there is still the next one to publish.
+            debug_assert_eq!(ts, db.next_commit_ts());
             if let Err(e) = db.apply_pending_versioned_for(&touched_list, ts) {
                 // Compensated by version un-stamping; ts was never
                 // published, so no session saw anything.
@@ -1102,7 +1236,7 @@ mod tests {
         let mut s = orders_session();
         s.execute("BEGIN").unwrap();
         let err = s.execute("CREATE TABLE x (a INT)").unwrap_err();
-        assert!(matches!(err, SessionError::DdlInTransaction(_)));
+        assert!(matches!(err.error, SessionError::DdlInTransaction(_)));
         s.execute("ROLLBACK").unwrap();
         s.execute("CREATE TABLE x (a INT)").unwrap();
     }
@@ -1137,23 +1271,23 @@ mod tests {
         let err = s
             .execute("CREATE ASSERTION a1 CHECK (NOT EXISTS (SELECT * FROM t WHERE a > 9))")
             .unwrap_err();
-        assert!(matches!(err, SessionError::DuplicateAssertion(_)));
+        assert!(matches!(err.error, SessionError::DuplicateAssertion(_)));
     }
 
     #[test]
     fn transaction_state_errors_are_precise() {
         let mut s = orders_session();
         assert!(matches!(
-            s.execute("COMMIT").unwrap_err(),
+            s.execute("COMMIT").unwrap_err().error,
             SessionError::NoActiveTransaction
         ));
         s.execute("BEGIN").unwrap();
         assert!(matches!(
-            s.execute("BEGIN").unwrap_err(),
+            s.execute("BEGIN").unwrap_err().error,
             SessionError::TransactionAlreadyOpen
         ));
         assert!(matches!(
-            s.execute("ROLLBACK TO nope").unwrap_err(),
+            s.execute("ROLLBACK TO nope").unwrap_err().error,
             SessionError::NoSuchSavepoint(_)
         ));
         s.execute("ROLLBACK").unwrap();
@@ -1248,7 +1382,7 @@ mod tests {
         // observes duplicate-key state…
         let err = s.execute("INSERT INTO t VALUES (1, 99)").unwrap_err();
         assert!(matches!(
-            err,
+            err.error,
             SessionError::Engine(EngineError::UniqueViolation { .. })
         ));
         assert_eq!(s.query_rows("SELECT * FROM t").unwrap().len(), 1);

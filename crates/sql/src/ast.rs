@@ -93,6 +93,36 @@ impl Statement {
                 | Statement::TruncateTable { .. }
         )
     }
+
+    /// The statement's SQL verb phrase (`"CREATE TABLE"`, `"CREATE UNIQUE
+    /// INDEX"`, `"DELETE"`, …), derived from the AST variant — not from the
+    /// pretty-printed text, whose leading tokens are not always the verb
+    /// phrase. Used for error messages ("CREATE UNIQUE INDEX is not
+    /// transactional").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Statement::CreateTable(_) => "CREATE TABLE",
+            Statement::CreateAssertion(_) => "CREATE ASSERTION",
+            Statement::CreateView(_) => "CREATE VIEW",
+            Statement::CreateIndex(ci) if ci.unique => "CREATE UNIQUE INDEX",
+            Statement::CreateIndex(_) => "CREATE INDEX",
+            Statement::DropTable { .. } => "DROP TABLE",
+            Statement::DropView { .. } => "DROP VIEW",
+            Statement::DropIndex { .. } => "DROP INDEX",
+            Statement::DropAssertion { .. } => "DROP ASSERTION",
+            Statement::TruncateTable { .. } => "TRUNCATE TABLE",
+            Statement::Insert(_) => "INSERT",
+            Statement::Delete(_) => "DELETE",
+            Statement::Update(_) => "UPDATE",
+            Statement::Query(_) => "SELECT",
+            Statement::Begin => "BEGIN",
+            Statement::Commit => "COMMIT",
+            Statement::Rollback { to: Some(_) } => "ROLLBACK TO SAVEPOINT",
+            Statement::Rollback { to: None } => "ROLLBACK",
+            Statement::Savepoint { .. } => "SAVEPOINT",
+            Statement::Release { .. } => "RELEASE SAVEPOINT",
+        }
+    }
 }
 
 /// `CREATE TABLE name (…)`.

@@ -6,6 +6,11 @@
 //!
 //! Run with: `cargo run --example repl`
 //!
+//! With `--connect HOST:PORT` the REPL speaks to a running `tintin-server`
+//! over the wire protocol instead of an in-process server: one connection =
+//! one remote session, so `BEGIN … COMMIT` works across prompts exactly as
+//! locally (meta-commands that need engine access are local-only).
+//!
 //! ```text
 //! tintin> CREATE TABLE orders (o_orderkey INT PRIMARY KEY);
 //! tintin> CREATE ASSERTION neverNegative CHECK (NOT EXISTS (
@@ -102,43 +107,15 @@ fn print_mvcc_stats(mvcc: &tintin_engine::MvccStats) {
     );
 }
 
+/// Print one outcome (the shared wire/local rendering) and capture the
+/// commit statistics for `.stats`.
 fn print_outcome(outcome: StatementOutcome, last_stats: &mut Option<CheckStats>) {
+    println!("{}", tintin_client::render_outcome(&outcome));
     match outcome {
-        StatementOutcome::Ddl => println!("ok"),
-        StatementOutcome::AssertionInstalled { name, views } => {
-            println!("installed assertion '{name}' ({views} incremental view(s) total)")
+        StatementOutcome::Committed { stats, .. } | StatementOutcome::Rejected { stats, .. } => {
+            *last_stats = Some(stats)
         }
-        StatementOutcome::AssertionDropped { name } => {
-            println!("dropped assertion '{name}'")
-        }
-        StatementOutcome::RowsAffected(n) => println!("{n} row(s) affected"),
-        StatementOutcome::Rows(rs) => println!("{rs}"),
-        StatementOutcome::TransactionStarted => println!("transaction started"),
-        StatementOutcome::SavepointCreated(n) => println!("savepoint '{n}'"),
-        StatementOutcome::SavepointReleased(n) => println!("released savepoint '{n}'"),
-        StatementOutcome::RolledBackToSavepoint(n) => {
-            println!("rolled back to savepoint '{n}'")
-        }
-        StatementOutcome::RolledBack => println!("rolled back"),
-        StatementOutcome::Committed {
-            inserted,
-            deleted,
-            stats,
-        } => {
-            println!(
-                "committed (+{inserted}/-{deleted}) in {:?} ({} view(s) evaluated, {} skipped, \
-                 {} plan(s) reused)",
-                stats.check_time, stats.views_evaluated, stats.views_skipped, stats.plans_reused
-            );
-            *last_stats = Some(stats);
-        }
-        StatementOutcome::Rejected { violations, stats } => {
-            println!("rejected — transaction rolled back:");
-            for v in violations {
-                println!("  {} →\n{}", v.assertion, v.rows);
-            }
-            *last_stats = Some(stats);
-        }
+        _ => {}
     }
 }
 
@@ -155,7 +132,35 @@ fn list_sessions(sessions: &[Session], cur: usize) {
     }
 }
 
+/// Remote mode: a thin loop over `tintin_client::Client` — statements go
+/// over the wire, outcomes (including violation details and partial-script
+/// failures) come back typed and print like the local ones.
+fn remote_repl(addr: &str) {
+    let mut client = match tintin_client::Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("TINTIN repl — connected to {addr}; end statements with ';', `quit` to exit.");
+    if let Err(e) = tintin_client::run_interactive(&mut client, &format!("tintin@{addr}")) {
+        println!("error: {e}");
+        std::process::exit(1); // connection (and remote session) gone
+    }
+    println!("bye");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--connect") {
+        let Some(addr) = args.get(i + 1) else {
+            eprintln!("usage: repl [--connect HOST:PORT]");
+            std::process::exit(2);
+        };
+        remote_repl(addr);
+        return;
+    }
     println!("TINTIN repl — type `help` for commands.");
     let server = Server::new();
     let mut sessions: Vec<Session> = vec![server.connect()];
@@ -375,7 +380,17 @@ fn main() {
                     print_outcome(outcome, &mut last_stats);
                 }
             }
-            Err(e) => println!("error: {e}"),
+            Err(e) => {
+                // The script error knows how far the script got: show what
+                // *did* happen before reporting the failing statement.
+                for outcome in &e.completed {
+                    print_outcome(outcome.clone(), &mut last_stats);
+                }
+                println!("error: {e}");
+                if session.in_transaction() {
+                    println!("(the transaction is still open — COMMIT or ROLLBACK)");
+                }
+            }
         }
     }
     println!("bye");

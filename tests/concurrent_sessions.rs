@@ -306,9 +306,14 @@ fn stale_delete_surfaces_as_conflict_not_lost_update() {
     // assertion Rejected outcome and not a generic engine error.
     let err = second.execute("COMMIT").unwrap_err();
     assert!(
-        matches!(err, SessionError::SerializationConflict { ref table, .. } if table == "t"),
+        matches!(err.error, SessionError::SerializationConflict { ref table, .. } if table == "t"),
         "got {err:?}"
     );
+    // The failing statement is identified, and the outcomes before it are
+    // preserved (the BEGIN back when the transaction opened ran in an
+    // earlier script, so this one has none).
+    assert_eq!(err.statement_index, 0);
+    assert_eq!(err.statement, "COMMIT");
     // The losing transaction is fully rolled back: session usable, no
     // pending work, no stray events.
     assert!(!second.in_transaction());
@@ -390,6 +395,114 @@ fn select_completes_while_checked_commit_is_in_flight() {
     reader.execute("ROLLBACK").unwrap();
     // The reader was simply behind, not wrong: the latest state has them.
     assert_eq!(count(&reader, "SELECT * FROM orders"), 1 + commits);
+}
+
+/// Regression: a reader polling the `ins_T` / `del_T` event tables — or a
+/// vio view, which joins them — during another session's checked commit
+/// must never observe the committer's staged events. Staged rows are
+/// stamped with the committer's *unpublished* timestamp, so neither an
+/// autocommit read (pinned to the published clock) nor a registered
+/// `BEGIN`-time snapshot can see them; before the fix they were staged
+/// visible-to-everyone (`begin = 0`) and leaked to both kinds of reader
+/// throughout the check phase, which runs under the shared read lock.
+///
+/// The checked workload includes an aggregate assertion whose fallback
+/// re-runs a `GROUP BY … HAVING` query over the whole (preloaded) table, so
+/// each commit's check phase is wide enough that continuous polling is
+/// guaranteed to land inside it many times over the run.
+#[test]
+fn staged_events_invisible_to_readers_mid_commit() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::{Duration, Instant};
+    use tintin_engine::Value;
+
+    let server = Server::new();
+    let mut s = server.connect();
+    s.execute("CREATE TABLE item (ik INT PRIMARY KEY, grp INT NOT NULL, val INT NOT NULL)")
+        .unwrap();
+    {
+        let mut db = server.database().write();
+        let rows: Vec<Vec<Value>> = (0..4_000)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 64), Value::Int(1)])
+            .collect();
+        db.insert_direct("item", rows).unwrap();
+    }
+    let inst = s
+        .install(&[
+            "CREATE ASSERTION nonneg CHECK (NOT EXISTS (
+                 SELECT * FROM item WHERE val < 0))",
+            "CREATE ASSERTION group_total_nonneg CHECK (NOT EXISTS (
+                 SELECT grp FROM item GROUP BY grp HAVING SUM(val) < 0))",
+        ])
+        .unwrap();
+    // One incremental vio view of the simple assertion: were staged events
+    // visible, a violating in-flight commit would surface its tuples here.
+    let vio_view = inst.assertions[0].view_names[0].clone();
+
+    // Writer: alternately a valid committed batch and a violating rejected
+    // one, so both accepted and rejected commits hold staged events during
+    // their check phases.
+    let done = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let mut s = server.connect();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let mut k = 1_000_000i64;
+            let mut commits = 0usize;
+            while !done.load(Ordering::Relaxed) {
+                let values: Vec<String> = (0..32).map(|i| format!("({}, 0, 1)", k + i)).collect();
+                let out = s
+                    .execute(&format!(
+                        "BEGIN; INSERT INTO item VALUES {}; COMMIT;",
+                        values.join(", ")
+                    ))
+                    .unwrap();
+                assert!(out.last().unwrap().is_committed());
+                k += 32;
+                let out = s
+                    .execute(&format!(
+                        "BEGIN; INSERT INTO item VALUES ({k}, 0, -1); COMMIT;"
+                    ))
+                    .unwrap();
+                assert!(out.last().unwrap().is_rejected());
+                k += 1;
+                commits += 2;
+            }
+            commits
+        })
+    };
+
+    // Two readers: one in autocommit (published-clock reads), one holding a
+    // registered BEGIN-time snapshot. Neither may ever see a staged event.
+    let autocommit = server.connect();
+    let mut snapshot = server.connect();
+    snapshot.execute("BEGIN").unwrap();
+    let deadline = Instant::now() + Duration::from_millis(300);
+    let mut reads = 0usize;
+    while Instant::now() < deadline {
+        for reader in [&autocommit, &snapshot] {
+            for probe in ["SELECT * FROM ins_item", "SELECT * FROM del_item"] {
+                let rs = reader.query_rows(probe).unwrap();
+                assert!(
+                    rs.rows.is_empty(),
+                    "{probe} leaked {} staged event row(s) mid-commit",
+                    rs.len()
+                );
+            }
+            let rs = reader
+                .query_rows(&format!("SELECT * FROM {vio_view}"))
+                .unwrap();
+            assert!(
+                rs.rows.is_empty(),
+                "vio view {vio_view} leaked staged violations mid-commit"
+            );
+        }
+        reads += 1;
+    }
+    done.store(true, Ordering::Relaxed);
+    let commits = writer.join().unwrap();
+    assert!(reads > 0 && commits > 0, "no overlap exercised");
+    snapshot.execute("ROLLBACK").unwrap();
 }
 
 /// Stress battery (release-mode; `cargo test --release -- --ignored`):
@@ -561,7 +674,11 @@ fn stress_gc_never_reclaims_versions_a_live_snapshot_sees() {
                             assert!(out.last().unwrap().is_committed());
                             rounds += 1;
                         }
-                        Err(tintin_session::SessionError::SerializationConflict { .. }) => {}
+                        Err(e)
+                            if matches!(
+                                e.error,
+                                tintin_session::SessionError::SerializationConflict { .. }
+                            ) => {}
                         Err(e) => panic!("unexpected commit failure: {e}"),
                     }
                 }

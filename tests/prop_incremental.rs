@@ -629,7 +629,10 @@ proptest! {
         let mut expected: Vec<(i64, i64)> = keys_a.iter().map(|k| (*k, 100)).collect();
         if overlap {
             prop_assert!(
-                matches!(second, Err(SessionError::SerializationConflict { .. })),
+                matches!(
+                    second.as_ref().map_err(|e| &e.error),
+                    Err(SessionError::SerializationConflict { .. })
+                ),
                 "overlapping insert must lose with a conflict, got {:?}",
                 second.map(|o| format!("{o:?}"))
             );

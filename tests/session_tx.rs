@@ -206,15 +206,29 @@ fn autocommit_equivalent_to_single_statement_transaction() {
 fn ddl_is_fenced_out_of_transactions() {
     let mut session = tpch_session();
     session.execute("BEGIN").unwrap();
-    for ddl in [
-        "CREATE TABLE z (a INT)",
-        "DROP TABLE region",
-        "TRUNCATE TABLE region",
-        "CREATE ASSERTION zz CHECK (NOT EXISTS (SELECT * FROM region WHERE r_regionkey < 0))",
+    for (ddl, kind) in [
+        ("CREATE TABLE z (a INT)", "CREATE TABLE"),
+        ("DROP TABLE region", "DROP TABLE"),
+        ("TRUNCATE TABLE region", "TRUNCATE TABLE"),
+        (
+            "CREATE ASSERTION zz CHECK (NOT EXISTS (SELECT * FROM region WHERE r_regionkey < 0))",
+            "CREATE ASSERTION",
+        ),
+        // The reported verb phrase comes from the AST variant, not from the
+        // first two printed tokens ("CREATE UNIQUE" is not a statement).
+        (
+            "CREATE UNIQUE INDEX z_ix ON region (r_regionkey)",
+            "CREATE UNIQUE INDEX",
+        ),
+        ("CREATE INDEX z_ix ON region (r_name)", "CREATE INDEX"),
+        ("DROP INDEX z_ix ON region", "DROP INDEX"),
     ] {
+        let err = session
+            .execute(ddl)
+            .expect_err(&format!("{ddl} must be rejected inside a transaction"));
         assert!(
-            matches!(session.execute(ddl), Err(SessionError::DdlInTransaction(_))),
-            "{ddl} must be rejected inside a transaction"
+            matches!(err.error, SessionError::DdlInTransaction(ref k) if k == kind),
+            "{ddl}: expected DdlInTransaction({kind}), got {err:?}"
         );
     }
     session.execute("ROLLBACK").unwrap();

@@ -1,0 +1,418 @@
+//! End-to-end acceptance tests for the TCP wire protocol: real sockets,
+//! real threads, one server-side session per connection.
+//!
+//! The contract under test (see `docs/ARCHITECTURE.md`, "Wire protocol"):
+//!
+//! * a `tintin-client` can install assertions over the wire and have them
+//!   bind *every* connection — a violating commit from another concurrent
+//!   connection is rejected with the violation details in the response;
+//! * transaction state (BEGIN … COMMIT) spans requests on one connection
+//!   and dies with it;
+//! * racing committers resolve exactly as in-process sessions do: one
+//!   first-committer-wins winner, typed `SerializationConflict` losers,
+//!   assertion violators rejected, and readers never observe staged or
+//!   torn state;
+//! * a failing script reports how far it got (partial outcomes + failing
+//!   statement index) across the wire;
+//! * the connection limit turns excess connections away with a typed
+//!   error instead of hanging them.
+
+use std::sync::{Arc, Barrier};
+use tintin_client::{Client, ClientError};
+use tintin_server::protocol::WireError;
+use tintin_server::{ServerConfig, WireServer};
+use tintin_session::{Server, StatementOutcome};
+
+/// A wire server over a fresh database on an ephemeral port.
+fn serve() -> (WireServer, String) {
+    serve_with(ServerConfig::default())
+}
+
+fn serve_with(config: ServerConfig) -> (WireServer, String) {
+    let wire = WireServer::bind(Server::new(), "127.0.0.1:0", config).expect("bind");
+    let addr = wire.local_addr().to_string();
+    (wire, addr)
+}
+
+/// The acceptance scenario from the issue: one client process installs an
+/// assertion; a violating commit from a second concurrent connection is
+/// rejected with the violation reported over the wire.
+#[test]
+fn assertion_installed_on_one_connection_rejects_another() {
+    let (wire, addr) = serve();
+
+    let mut alice = Client::connect(&addr).unwrap();
+    alice
+        .execute(
+            "CREATE TABLE orders (o_orderkey INT PRIMARY KEY, o_totalprice REAL);
+             CREATE TABLE lineitem (
+                 l_orderkey INT NOT NULL REFERENCES orders,
+                 l_linenumber INT NOT NULL,
+                 PRIMARY KEY (l_orderkey, l_linenumber));
+             CREATE ASSERTION atLeastOneLineItem CHECK (NOT EXISTS (
+                 SELECT * FROM orders o WHERE NOT EXISTS (
+                     SELECT * FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)));",
+        )
+        .unwrap();
+
+    // A second, concurrent connection (its own server-side session).
+    let mut bob = Client::connect(&addr).unwrap();
+    let out = bob
+        .execute("BEGIN; INSERT INTO orders VALUES (7, 70.0); COMMIT;")
+        .unwrap();
+    let StatementOutcome::Rejected { violations, stats } = out.last().unwrap() else {
+        panic!("expected a rejection over the wire, got {out:?}");
+    };
+    assert_eq!(violations[0].assertion, "atleastonelineitem");
+    // The violating tuples themselves crossed the wire.
+    assert_eq!(violations[0].rows.rows[0][0], tintin_engine::Value::Int(7));
+    assert!(stats.views_total > 0);
+
+    // A consistent batch from Bob commits, and Alice sees it.
+    let out = bob
+        .execute(
+            "BEGIN; INSERT INTO orders VALUES (1, 10.0);
+             INSERT INTO lineitem VALUES (1, 1); COMMIT;",
+        )
+        .unwrap();
+    assert!(out.last().unwrap().is_committed());
+    assert_eq!(alice.query_rows("SELECT * FROM orders").unwrap().len(), 1);
+    wire.shutdown();
+}
+
+/// One connection = one session: transaction state spans requests, is
+/// invisible to other connections, and read-your-writes works remotely.
+#[test]
+fn transaction_state_spans_requests_and_stays_private() {
+    let (wire, addr) = serve();
+    let mut a = Client::connect(&addr).unwrap();
+    let mut b = Client::connect(&addr).unwrap();
+    a.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+
+    a.execute("BEGIN").unwrap();
+    a.execute("INSERT INTO t VALUES (1)").unwrap();
+    // Read-your-writes across separate requests…
+    assert_eq!(a.query_rows("SELECT * FROM t").unwrap().len(), 1);
+    // …invisible to the other connection…
+    assert_eq!(b.query_rows("SELECT * FROM t").unwrap().len(), 0);
+    // …and ROLLBACK in a later request undoes it all.
+    a.execute("ROLLBACK").unwrap();
+    assert_eq!(a.query_rows("SELECT * FROM t").unwrap().len(), 0);
+
+    // An abandoned connection's open transaction dies with its session:
+    // nothing leaks into the shared database.
+    let mut c = Client::connect(&addr).unwrap();
+    c.execute("BEGIN; INSERT INTO t VALUES (9);").unwrap();
+    c.close();
+    assert_eq!(b.query_rows("SELECT * FROM t").unwrap().len(), 0);
+    wire.shutdown();
+}
+
+/// A script that fails mid-way reports the partial outcomes, the failing
+/// statement and a typed error over the wire — and leaves the session
+/// exactly where the failure found it (transaction still open).
+#[test]
+fn partial_outcomes_cross_the_wire() {
+    let (wire, addr) = serve();
+    let mut c = Client::connect(&addr).unwrap();
+    c.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+
+    let err = c
+        .execute("BEGIN; INSERT INTO t VALUES (1); CREATE TABLE u (b INT); COMMIT;")
+        .unwrap_err();
+    let ClientError::Remote(e) = err else {
+        panic!("expected a remote script error, got {err:?}");
+    };
+    assert_eq!(e.statement_index, 2);
+    // The statement travels pretty-printed (INT normalizes to INTEGER).
+    assert_eq!(e.statement, "CREATE TABLE u (b INTEGER)");
+    assert_eq!(e.error, WireError::DdlInTransaction("CREATE TABLE".into()));
+    assert_eq!(e.completed.len(), 2);
+    assert!(matches!(
+        e.completed[0],
+        StatementOutcome::TransactionStarted
+    ));
+    assert!(matches!(e.completed[1], StatementOutcome::RowsAffected(1)));
+
+    // The transaction the script opened is still open on this session.
+    let out = c.execute("COMMIT").unwrap();
+    assert!(out.last().unwrap().is_committed());
+    assert_eq!(c.query_rows("SELECT * FROM t").unwrap().len(), 1);
+
+    // A parse failure is typed too, with nothing completed.
+    let err = c.execute("SELEKT 1").unwrap_err();
+    let ClientError::Remote(e) = err else {
+        panic!("expected a remote parse error");
+    };
+    assert!(matches!(e.error, WireError::Parse(_)));
+    assert!(e.completed.is_empty());
+    wire.shutdown();
+}
+
+/// Concurrent clients commit racing updates over TCP: assertion violators
+/// are rejected, a PK race has exactly one winner per round (losers get the
+/// typed `SerializationConflict` and can retry), and a reader connection
+/// polling throughout never observes staged events or a torn state.
+#[test]
+fn racing_commits_over_tcp_resolve_like_local_sessions() {
+    const CLIENTS: usize = 6;
+    const ROUNDS: i64 = 8;
+
+    let (wire, addr) = serve();
+    {
+        let mut setup = Client::connect(&addr).unwrap();
+        setup
+            .execute(
+                "CREATE TABLE t (a INT PRIMARY KEY, b INT NOT NULL);
+                 CREATE ASSERTION nonneg CHECK (NOT EXISTS (
+                     SELECT * FROM t WHERE b < 0));",
+            )
+            .unwrap();
+    }
+
+    // Reader thread: polls the base table and the event table the whole
+    // time. The base count may only grow (one winner per round), and the
+    // staged events of in-flight commits must never be visible.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let reader = {
+        let addr = addr.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            let mut last = 0usize;
+            let mut polls = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let n = c.query_rows("SELECT * FROM t").unwrap().len();
+                assert!(n >= last, "committed rows went backwards: {last} -> {n}");
+                last = n;
+                let staged = c.query_rows("SELECT * FROM ins_t").unwrap().len();
+                assert_eq!(staged, 0, "reader observed staged events over the wire");
+                polls += 1;
+            }
+            polls
+        })
+    };
+
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|tid| {
+            let addr = addr.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                let mut wins = 0usize;
+                let mut conflicts = 0usize;
+                for k in 0..ROUNDS {
+                    // Everyone snapshots and stages before anyone commits,
+                    // so the PK race is decided by first-committer-wins.
+                    barrier.wait();
+                    c.execute(&format!("BEGIN; INSERT INTO t VALUES ({k}, {tid});"))
+                        .unwrap();
+                    barrier.wait();
+                    match c.execute("COMMIT") {
+                        Ok(out) => {
+                            assert!(out.last().unwrap().is_committed());
+                            wins += 1;
+                        }
+                        Err(ClientError::Remote(e)) => {
+                            assert!(
+                                e.error.is_serialization_conflict(),
+                                "loser must get the typed conflict, got {:?}",
+                                e.error
+                            );
+                            conflicts += 1;
+                        }
+                        Err(e) => panic!("unexpected wire failure: {e}"),
+                    }
+                    // Everyone also tries a violating batch; the assertion
+                    // installed over the wire rejects every one of them.
+                    let out = c
+                        .execute(&format!(
+                            "BEGIN; INSERT INTO t VALUES ({}, -1); COMMIT;",
+                            1_000 + k * 100 + tid as i64
+                        ))
+                        .unwrap();
+                    let StatementOutcome::Rejected { violations, .. } = out.last().unwrap() else {
+                        panic!("violating commit must be rejected, got {out:?}");
+                    };
+                    assert_eq!(violations[0].assertion, "nonneg");
+                }
+                (wins, conflicts)
+            })
+        })
+        .collect();
+
+    let mut total_wins = 0usize;
+    let mut total_conflicts = 0usize;
+    for w in workers {
+        let (wins, conflicts) = w.join().unwrap();
+        total_wins += wins;
+        total_conflicts += conflicts;
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let polls = reader.join().unwrap();
+
+    // Exactly one winner per round; everyone else lost with a conflict.
+    assert_eq!(total_wins, ROUNDS as usize);
+    assert_eq!(total_conflicts, (CLIENTS - 1) * ROUNDS as usize);
+    assert!(polls > 0, "reader never ran");
+
+    // The surviving rows are exactly one per round, all non-negative.
+    let mut check = Client::connect(&addr).unwrap();
+    let rows = check.query_rows("SELECT a, b FROM t").unwrap();
+    assert_eq!(rows.len(), ROUNDS as usize);
+    wire.shutdown();
+}
+
+/// Over-limit connections are turned away with a typed error; closing a
+/// connection frees its slot.
+#[test]
+fn connection_limit_is_admission_controlled() {
+    let (wire, addr) = serve_with(ServerConfig { max_connections: 2 });
+    let mut a = Client::connect(&addr).unwrap();
+    let mut b = Client::connect(&addr).unwrap();
+    a.ping().unwrap();
+    b.ping().unwrap();
+
+    let mut c = Client::connect(&addr).unwrap(); // accepted at TCP level…
+    let err = c.execute("SELECT 1").unwrap_err(); // …but turned away
+    match err {
+        ClientError::Remote(e) => {
+            assert!(matches!(e.error, WireError::Server(ref m) if m.contains("limit")));
+        }
+        // The designed path is the typed busy response, but the server
+        // closing its end can race the client's write: an RST may flush
+        // the buffered response before the client reads it, surfacing as
+        // an I/O error instead. Both mean "turned away, not hung".
+        ClientError::Io(_) => {}
+        other => panic!("expected the busy error, got {other:?}"),
+    }
+
+    // Freeing a slot admits a new connection.
+    a.close();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let mut d = Client::connect(&addr).unwrap();
+        if d.ping().is_ok() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "slot never freed after close"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    wire.shutdown();
+}
+
+/// `Client::query_rows` mirrors `Session::query_rows`: a multi-statement
+/// script is rejected *before* anything is sent, so its non-SELECT
+/// statements can never execute as a side effect.
+#[test]
+fn query_rows_rejects_scripts_without_executing_them() {
+    let (wire, addr) = serve();
+    let mut c = Client::connect(&addr).unwrap();
+    c.execute("CREATE TABLE t (a INT PRIMARY KEY); INSERT INTO t VALUES (1);")
+        .unwrap();
+    let err = c.query_rows("SELECT * FROM t; DELETE FROM t").unwrap_err();
+    assert!(
+        matches!(err, ClientError::InvalidQuery(_)),
+        "expected InvalidQuery, got {err:?}"
+    );
+    // The DELETE never reached the server.
+    assert_eq!(c.query_rows("SELECT * FROM t").unwrap().len(), 1);
+    wire.shutdown();
+}
+
+/// An oversized frame announcement gets the documented typed `SERVER`
+/// error response before the connection closes — not a silent drop.
+#[test]
+fn oversized_frame_gets_a_typed_error() {
+    use std::io::Write;
+    use tintin_server::protocol::{decode_response, read_frame, MAX_FRAME};
+
+    let (wire, addr) = serve();
+    let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+    // A well-formed length prefix announcing more than the cap.
+    raw.write_all(&((MAX_FRAME as u32) + 1).to_be_bytes())
+        .unwrap();
+    raw.flush().unwrap();
+    let payload = read_frame(&mut raw)
+        .expect("typed response expected")
+        .expect("typed response, not EOF");
+    let err = decode_response(&payload).unwrap().unwrap_err();
+    assert!(
+        matches!(err.error, WireError::Server(_)),
+        "expected a SERVER error, got {:?}",
+        err.error
+    );
+    // The stream is desynchronized; the server then closes it.
+    assert!(read_frame(&mut raw).map_or(true, |f| f.is_none()));
+    wire.shutdown();
+}
+
+/// Handler bookkeeping is released per connection: after a burst of
+/// short-lived connections, the server's admission count returns to the
+/// live set (no leaked slots), and new connections are still admitted.
+#[test]
+fn short_lived_connections_release_their_slots() {
+    let (wire, addr) = serve_with(ServerConfig { max_connections: 4 });
+    let mut served = 0usize;
+    for _ in 0..32 {
+        // Slot release is asynchronous (the handler thread must observe
+        // the close), so a burst connect may transiently be turned away;
+        // only *permanent* exhaustion is a leak.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let mut c = Client::connect(&addr).unwrap();
+            if c.ping().is_ok() {
+                served += 1;
+                c.close();
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "admission slots leaked during the burst"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+    // Far more connections than the limit have come and gone; a new one
+    // must still be admitted (leaked slots would exhaust the limit), and
+    // the active count must settle back to just it.
+    let mut c = Client::connect(&addr).unwrap();
+    c.ping().unwrap();
+    served += 1;
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while wire.active_connections() > 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "admission slots leaked: {} active with one live client",
+            wire.active_connections()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(wire.connections_served() >= served);
+    wire.shutdown();
+}
+
+/// Graceful shutdown: the server stops accepting, live clients get a
+/// broken connection (not a hang), and `shutdown()` returns with all
+/// threads joined — after which the port is free again.
+#[test]
+fn graceful_shutdown_interrupts_live_connections() {
+    let (wire, addr) = serve();
+    let mut c = Client::connect(&addr).unwrap();
+    c.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+    wire.shutdown();
+
+    let err = c.execute("SELECT * FROM t");
+    assert!(err.is_err(), "request on a shut-down server must fail");
+    // The listener is gone: fresh connects are refused (or reset).
+    assert!(
+        Client::connect(&addr).is_err() || {
+            let mut c2 = Client::connect(&addr).unwrap();
+            c2.ping().is_err()
+        }
+    );
+}
