@@ -23,6 +23,7 @@
 use std::time::{Duration, Instant};
 use tintin::{Installation, Tintin, TintinConfig};
 use tintin_engine::{del_table_name, ins_table_name, Database, Value};
+use tintin_obs::Registry;
 
 /// Number of base tables in the synthetic schema.
 const TABLES: usize = 16;
@@ -58,10 +59,14 @@ fn main() {
         out_path,
     };
 
+    // The runner's own registry: every measured commit also lands in a
+    // log2 latency histogram, and the final snapshot is embedded in the
+    // JSON artifact next to the per-cell medians.
+    let registry = Registry::new();
     let mut cells = Vec::new();
     for &n_assertions in &[1usize, 16, 128] {
         for &touched in &[1usize, 4, 16] {
-            let cell = measure(n_assertions, touched, config.iterations);
+            let cell = measure(n_assertions, touched, config.iterations, &registry);
             println!(
                 "assertions={:>4} touched={:>2}/{TABLES} views {:>3}/{:<3} \
                  optimized {:>10?}  recompile-baseline {:>10?}  speedup {:>5.1}x",
@@ -77,7 +82,7 @@ fn main() {
         }
     }
 
-    let json = render_json(&cells, config.iterations);
+    let json = render_json(&cells, config.iterations, &registry.snapshot());
     std::fs::write(&config.out_path, json).expect("write results file");
     println!("\nwrote {}", config.out_path);
 
@@ -140,7 +145,10 @@ fn stage_update(db: &mut Database, touched: usize, next_id: &mut i64) {
     }
 }
 
-fn measure(n_assertions: usize, touched: usize, iterations: usize) -> Cell {
+fn measure(n_assertions: usize, touched: usize, iterations: usize, registry: &Registry) -> Cell {
+    let opt_hist = registry.histogram("bench_optimized_commit_seconds");
+    let base_hist = registry.histogram("bench_baseline_commit_seconds");
+    let commits = registry.counter("bench_commits_total");
     // Optimized path: the real `safeCommit` — relevance index + prepared
     // plans.
     let (mut db, tintin, inst) = setup(n_assertions);
@@ -155,7 +163,10 @@ fn measure(n_assertions: usize, touched: usize, iterations: usize) -> Cell {
         stage_update(&mut db, touched, &mut next_id);
         let t0 = Instant::now();
         let outcome = tintin.safe_commit(&mut db, &inst).unwrap();
-        opt_samples.push(t0.elapsed());
+        let elapsed = t0.elapsed();
+        opt_samples.push(elapsed);
+        opt_hist.record(elapsed);
+        commits.inc();
         assert!(outcome.is_committed(), "benchmark updates are valid");
         views_evaluated = outcome.stats().views_evaluated;
     }
@@ -172,7 +183,9 @@ fn measure(n_assertions: usize, touched: usize, iterations: usize) -> Cell {
         stage_update(&mut db, touched, &mut next_id);
         let t0 = Instant::now();
         baseline_commit(&mut db, &inst);
-        base_samples.push(t0.elapsed());
+        let elapsed = t0.elapsed();
+        base_samples.push(elapsed);
+        base_hist.record(elapsed);
     }
 
     Cell {
@@ -215,7 +228,7 @@ fn median(samples: &mut [Duration]) -> Duration {
     samples[samples.len() / 2]
 }
 
-fn render_json(cells: &[Cell], iterations: usize) -> String {
+fn render_json(cells: &[Cell], iterations: usize, metrics: &tintin_obs::Snapshot) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"commit_scaling\",\n");
     out.push_str(&format!("  \"tables\": {TABLES},\n"));
@@ -243,6 +256,11 @@ fn render_json(cells: &[Cell], iterations: usize) -> String {
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"final_metrics\": {}\n",
+        tintin_obs::render_json(metrics)
+    ));
+    out.push_str("}\n");
     out
 }

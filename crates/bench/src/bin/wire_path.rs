@@ -11,13 +11,24 @@
 //!
 //! Regimes:
 //!
-//! * `local_commit` — an in-process session commits `BATCH`-row checked
-//!   transactions (the floor the wire adds to);
+//! * `local_commit_noop` — an in-process session commits `BATCH`-row
+//!   checked transactions with a no-op metrics registry (the
+//!   un-instrumented floor);
+//! * `local_commit` — the same commits with the default (enabled)
+//!   registry, measured *interleaved in time slices* with
+//!   `local_commit_noop` so machine drift cancels out of the comparison;
+//!   the median delta is the instrumentation overhead, reported as
+//!   `metrics_overhead_median_pct` (budget: <= 5%);
 //! * `wire_commit` — one TCP connection does the same commits end-to-end
 //!   (latency percentiles measure the wire overhead);
 //! * `wire_throughput_N` — N connections commit concurrently for the
 //!   measurement window, on disjoint key ranges (no artificial conflict
 //!   noise); total commits/sec is the multi-connection scaling figure.
+//!
+//! The wire regime's final registry snapshot is embedded in the JSON
+//! artifact (`final_metrics`), so the internal counters — commit-phase
+//! histograms, request latency, bytes moved — are recorded next to the
+//! externally measured timings they should agree with.
 //!
 //! ```text
 //! cargo run -p tintin-bench --release --bin wire_path            # full
@@ -30,8 +41,9 @@
 
 use std::time::{Duration, Instant};
 use tintin_client::Client;
+use tintin_obs::{Registry, Snapshot};
 use tintin_server::{ServerConfig, WireServer};
-use tintin_session::{Server, Session, StatementOutcome};
+use tintin_session::{Server, StatementOutcome};
 
 /// Rows per committed transaction.
 const BATCH: i64 = 8;
@@ -61,7 +73,11 @@ struct Throughput {
 /// A fresh wire server over the benchmark schema: a keyed table with a
 /// non-negativity assertion, so every commit is assertion-checked.
 fn serve() -> (WireServer, String) {
-    let sessions = Server::new();
+    serve_with_registry(Registry::new())
+}
+
+fn serve_with_registry(registry: Registry) -> (WireServer, String) {
+    let sessions = Server::with_registry(registry);
     let mut s = sessions.connect();
     s.execute("CREATE TABLE t (a INT PRIMARY KEY, b INT NOT NULL)")
         .unwrap();
@@ -106,27 +122,59 @@ fn summarize(name: String, mut samples: Vec<Duration>) -> Latency {
     }
 }
 
-/// Latency of checked commits through an in-process session (the floor).
-fn run_local(config: &Config) -> Latency {
-    let (wire, _) = serve();
-    let mut session: Session = wire.sessions().connect();
-    let mut samples = Vec::with_capacity(1 << 14);
-    let deadline = Instant::now() + config.measure;
+/// Latency of checked commits through an in-process session, measured
+/// simultaneously for two configurations: the no-op registry (the
+/// un-instrumented floor) and the enabled one (the shipping shape). The
+/// two sessions run over separate servers but are *interleaved in short
+/// time slices*, so slow machine drift (thermal, co-tenants) lands on
+/// both sides of the overhead comparison instead of biasing whichever
+/// regime happened to run second. Returns `(noop, instrumented)`.
+fn run_overhead_pair(config: &Config) -> (Latency, Latency) {
+    let (wire_noop, _) = serve_with_registry(Registry::noop());
+    let (wire_inst, _) = serve_with_registry(Registry::new());
+    let mut lanes = [
+        (wire_noop.sessions().connect(), Vec::with_capacity(1 << 14)),
+        (wire_inst.sessions().connect(), Vec::with_capacity(1 << 14)),
+    ];
     let mut key = 0i64;
-    while Instant::now() < deadline {
-        let script = commit_script(key);
-        key += BATCH;
-        let t0 = Instant::now();
-        let out = session.execute(&script).unwrap();
-        samples.push(t0.elapsed());
-        assert_committed(&out);
+    // Warm-up outside the measurement: the process otherwise pays one-off
+    // costs (allocator growth, cold caches) inside the first samples.
+    let warmup = Instant::now() + config.measure / 5;
+    while Instant::now() < warmup {
+        for (session, _) in lanes.iter_mut() {
+            let out = session.execute(&commit_script(key)).unwrap();
+            key += BATCH;
+            assert_committed(&out);
+        }
     }
-    wire.shutdown();
-    summarize("local_commit".into(), samples)
+    let slice = (config.measure / 64).max(Duration::from_millis(2));
+    let deadline = Instant::now() + 2 * config.measure;
+    while Instant::now() < deadline {
+        for (session, samples) in lanes.iter_mut() {
+            let slice_end = Instant::now() + slice;
+            while Instant::now() < slice_end {
+                let script = commit_script(key);
+                key += BATCH;
+                let t0 = Instant::now();
+                let out = session.execute(&script).unwrap();
+                samples.push(t0.elapsed());
+                assert_committed(&out);
+            }
+        }
+    }
+    let [(_, noop_samples), (_, inst_samples)] = lanes;
+    wire_noop.shutdown();
+    wire_inst.shutdown();
+    (
+        summarize("local_commit_noop".into(), noop_samples),
+        summarize("local_commit".into(), inst_samples),
+    )
 }
 
-/// Latency of the same commits end-to-end over TCP.
-fn run_wire(config: &Config) -> Latency {
+/// Latency of the same commits end-to-end over TCP — plus the server's
+/// final registry snapshot, embedded in the artifact so the internal
+/// phase histograms sit next to the external timings.
+fn run_wire(config: &Config) -> (Latency, Snapshot) {
     let (wire, addr) = serve();
     let mut client = Client::connect(addr).unwrap();
     let mut samples = Vec::with_capacity(1 << 14);
@@ -140,8 +188,9 @@ fn run_wire(config: &Config) -> Latency {
         samples.push(t0.elapsed());
         assert_committed(&out);
     }
+    let snapshot = wire.sessions().metrics_snapshot();
     wire.shutdown();
-    summarize("wire_commit".into(), samples)
+    (summarize("wire_commit".into(), samples), snapshot)
 }
 
 /// Total committed transactions/sec with `n` concurrent connections on
@@ -182,6 +231,8 @@ fn render_json(
     latencies: &[Latency],
     throughputs: &[Throughput],
     overhead_us: f64,
+    metrics_overhead_pct: f64,
+    final_metrics: &Snapshot,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"wire_path\",\n");
@@ -218,6 +269,9 @@ fn render_json(
     out.push_str(&format!(
         "  \"wire_overhead_median_us\": {overhead_us:.1},\n"
     ));
+    out.push_str(&format!(
+        "  \"metrics_overhead_median_pct\": {metrics_overhead_pct:.2},\n"
+    ));
     out.push_str("  \"multi_connection_throughput\": [\n");
     for (i, t) in throughputs.iter().enumerate() {
         out.push_str(&format!(
@@ -228,7 +282,12 @@ fn render_json(
             if i + 1 == throughputs.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"final_metrics\": {}\n",
+        tintin_obs::render_json(final_metrics)
+    ));
+    out.push_str("}\n");
     out
 }
 
@@ -250,10 +309,19 @@ fn main() {
         out_path,
     };
 
-    eprintln!("wire_path: measuring local commit latency…");
-    let local = run_local(&config);
+    eprintln!("wire_path: measuring local commit latency, noop vs instrumented (interleaved)…");
+    let (noop, local) = run_overhead_pair(&config);
+    let metrics_overhead_pct = (local.median.as_secs_f64() - noop.median.as_secs_f64())
+        / noop.median.as_secs_f64()
+        * 100.0;
+    eprintln!(
+        "wire_path: metrics overhead on the commit median: {:.1}µs noop vs {:.1}µs \
+         instrumented ({metrics_overhead_pct:+.2}%)",
+        noop.median.as_secs_f64() * 1e6,
+        local.median.as_secs_f64() * 1e6,
+    );
     eprintln!("wire_path: measuring wire commit latency…");
-    let wire = run_wire(&config);
+    let (wire, final_metrics) = run_wire(&config);
     let overhead_us = (wire.median.as_secs_f64() - local.median.as_secs_f64()) * 1e6;
     eprintln!(
         "wire_path: median commit {:.1}µs local, {:.1}µs over TCP (+{overhead_us:.1}µs wire)",
@@ -274,7 +342,14 @@ fn main() {
         throughputs.push(t);
     }
 
-    let json = render_json(&config, &[local, wire], &throughputs, overhead_us);
+    let json = render_json(
+        &config,
+        &[noop, local, wire],
+        &throughputs,
+        overhead_us,
+        metrics_overhead_pct,
+        &final_metrics,
+    );
     std::fs::write(&config.out_path, &json).expect("write results file");
     eprintln!("wire_path: wrote {}", config.out_path);
     print!("{json}");

@@ -1,20 +1,25 @@
 //! `tintin-cli` — command-line client for a running `tintin-server`.
 //!
 //! ```text
-//! tintin-cli [--connect HOST:PORT] [-e "SQL; SQL; …"]
+//! tintin-cli [--connect HOST:PORT] [-e "SQL; SQL; …"] [--stats] [--prometheus]
 //! ```
 //!
 //! With `-e` the script runs once and the process exits (non-zero on any
-//! failure) — the scripting / CI mode. Without it an interactive prompt
-//! reads statements until a terminating `;` and sends each batch over the
-//! wire; the connection is one server-side session, so `BEGIN … COMMIT`
-//! works across prompts exactly like the local REPL.
+//! failure) — the scripting / CI mode. `--stats` fetches the server's
+//! metrics snapshot and renders it for a terminal; `--prometheus` prints
+//! the same snapshot in the Prometheus text exposition format (pipe it to
+//! a scrape file or a push gateway). Either can follow `-e` to run a
+//! workload and dump the metrics it produced in one invocation. Without
+//! any of them an interactive prompt reads statements until a terminating
+//! `;` and sends each batch over the wire; the connection is one
+//! server-side session, so `BEGIN … COMMIT` works across prompts exactly
+//! like the local REPL (and `.stats` works at the prompt too).
 
 use std::process::exit;
-use tintin_client::{render_outcome, Client, ClientError};
+use tintin_client::{render_outcome, render_server_stats, Client, ClientError};
 
 fn usage() -> ! {
-    eprintln!("usage: tintin-cli [--connect HOST:PORT] [-e \"SQL\"]");
+    eprintln!("usage: tintin-cli [--connect HOST:PORT] [-e \"SQL\"] [--stats] [--prometheus]");
     exit(2);
 }
 
@@ -32,11 +37,15 @@ fn report(err: &ClientError) {
 fn main() {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut script: Option<String> = None;
+    let mut stats = false;
+    let mut prometheus = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--connect" => addr = args.next().unwrap_or_else(|| usage()),
             "-e" => script = Some(args.next().unwrap_or_else(|| usage())),
+            "--stats" => stats = true,
+            "--prometheus" => prometheus = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -55,6 +64,26 @@ fn main() {
             Ok(outcomes) => {
                 for outcome in outcomes {
                     println!("{}", render_outcome(&outcome));
+                }
+            }
+            Err(e) => {
+                report(&e);
+                exit(1);
+            }
+        }
+        if !(stats || prometheus) {
+            return;
+        }
+    }
+
+    if stats || prometheus {
+        match client.server_stats() {
+            Ok(s) => {
+                if stats {
+                    print!("{}", render_server_stats(&s));
+                }
+                if prometheus {
+                    print!("{}", tintin_obs::render_prometheus(&s.metrics));
                 }
             }
             Err(e) => {

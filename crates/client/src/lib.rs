@@ -27,7 +27,8 @@ use std::io;
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use tintin_engine::ResultSet;
 use tintin_server::protocol::{
-    decode_response, read_frame, write_frame, ProtocolError, WireScriptError,
+    decode_response, decode_stats_response, read_frame, write_frame, ProtocolError, ServerStats,
+    WireScriptError, STATS_COMMAND,
 };
 use tintin_session::StatementOutcome;
 
@@ -124,6 +125,21 @@ impl Client {
         }
     }
 
+    /// Fetch the server's metrics snapshot (the `STATS` wire command): every
+    /// registered metric — commit-outcome counters, per-phase latency
+    /// histograms, connection gauges — plus the engine's MVCC/GC statistics,
+    /// which the per-statement protocol does not carry.
+    pub fn server_stats(&mut self) -> Result<ServerStats> {
+        write_frame(&mut self.stream, STATS_COMMAND)?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        Ok(decode_stats_response(&payload)?)
+    }
+
     /// Round-trip an empty script — a liveness probe that also verifies the
     /// peer speaks the protocol.
     pub fn ping(&mut self) -> Result<()> {
@@ -175,6 +191,17 @@ pub fn run_interactive(client: &mut Client, prompt: &str) -> Result<()> {
         if buffer.is_empty() && matches!(line, "quit" | "exit") {
             return Ok(());
         }
+        // Dot commands, mirroring the local REPL's: `.stats` fetches and
+        // renders the remote metrics snapshot (including the MVCC/GC state
+        // the statement protocol does not carry).
+        if buffer.is_empty() && line == ".stats" {
+            match client.server_stats() {
+                Ok(stats) => print!("{}", render_server_stats(&stats)),
+                Err(e @ ClientError::Io(_)) => return Err(e),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
         buffer.push_str(line);
         buffer.push('\n');
         if !line.ends_with(';') {
@@ -196,6 +223,26 @@ pub fn run_interactive(client: &mut Client, prompt: &str) -> Result<()> {
             Err(e) => return Err(e),
         }
     }
+}
+
+/// Render a [`ServerStats`] snapshot for a terminal: the metrics in the
+/// registry's aligned text form, then one summary line for the engine's
+/// MVCC / garbage-collection state. Shared by `tintin-cli` (`.stats`,
+/// `--stats`) and `examples/repl.rs --connect`.
+pub fn render_server_stats(stats: &ServerStats) -> String {
+    let mut out = tintin_obs::render_text(&stats.metrics);
+    let m = &stats.mvcc;
+    out.push_str(&format!(
+        "mvcc: commit_ts {}  versions {} live / {} dead (chain {:.2})  \
+         gc {} run(s), {} pruned\n",
+        m.commit_ts,
+        m.live_versions,
+        m.dead_versions,
+        m.chain_length(),
+        m.gc_runs,
+        m.gc_pruned,
+    ));
+    out
 }
 
 /// Render one outcome the way the REPL does — shared by `tintin-cli` and

@@ -178,6 +178,18 @@ impl SharedDatabase {
         }
     }
 
+    /// Number of live `BEGIN`-time snapshots currently pinned (summing the
+    /// refcounts of every registered timestamp). An observability-oriented
+    /// companion to [`SharedDatabase::oldest_snapshot`]: it answers "how
+    /// many open transactions are holding the GC horizon back".
+    pub fn live_snapshots(&self) -> usize {
+        self.snapshots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .sum()
+    }
+
     /// The oldest live snapshot timestamp, if any transaction holds one.
     pub fn oldest_snapshot(&self) -> Option<u64> {
         self.snapshots
@@ -280,15 +292,19 @@ mod tests {
     fn snapshot_registry_tracks_lifetimes() {
         let shared = SharedDatabase::new();
         assert_eq!(shared.oldest_snapshot(), None);
+        assert_eq!(shared.live_snapshots(), 0);
         let s1 = shared.begin_snapshot();
         assert_eq!(s1.ts(), 0);
         assert_eq!(shared.oldest_snapshot(), Some(0));
         // A clone pins the same timestamp independently.
         let s2 = s1.clone();
+        assert_eq!(shared.live_snapshots(), 2);
         drop(s1);
         assert_eq!(shared.oldest_snapshot(), Some(0));
+        assert_eq!(shared.live_snapshots(), 1);
         drop(s2);
         assert_eq!(shared.oldest_snapshot(), None);
+        assert_eq!(shared.live_snapshots(), 0);
         // With no snapshot open, the horizon is the current timestamp.
         assert_eq!(shared.gc_horizon(7), 7);
         let s3 = shared.begin_snapshot();

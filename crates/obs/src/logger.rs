@@ -1,0 +1,222 @@
+//! A leveled, structured stderr logger.
+//!
+//! Hand-rolled (no external deps) and deliberately tiny: one global atomic
+//! level, a `TINTIN_LOG` environment override, and line-oriented output of
+//! the form
+//!
+//! ```text
+//! 2026-08-08T12:34:56.789Z  INFO tintin_server: listening addr=127.0.0.1:4242
+//! ```
+//!
+//! Call sites use the [`log_error!`](crate::log_error),
+//! [`log_warn!`](crate::log_warn), [`log_info!`](crate::log_info) and
+//! [`log_debug!`](crate::log_debug) macros, which skip formatting entirely
+//! when the level is disabled.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Nothing is logged.
+    Off = 0,
+    /// Unrecoverable or data-affecting problems.
+    Error = 1,
+    /// Degraded-but-running conditions (turn-aways, slow commits).
+    Warn = 2,
+    /// Lifecycle events (listening, shutdown).
+    Info = 3,
+    /// Per-connection / per-request chatter.
+    Debug = 4,
+}
+
+impl Level {
+    fn label(self) -> &'static str {
+        match self {
+            Level::Off => "OFF",
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+
+    /// Parse a level name (case-insensitive); `None` for unknown names.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// The global level. 255 = "not yet initialised": the first check resolves
+/// `TINTIN_LOG` (falling back to the default passed to [`init_logger`], or
+/// `Warn` if nothing ever initialises it).
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+const UNSET: u8 = 255;
+
+fn env_level() -> Option<Level> {
+    std::env::var("TINTIN_LOG")
+        .ok()
+        .and_then(|v| Level::parse(&v))
+}
+
+/// Initialise the logger: `TINTIN_LOG` wins if set and valid, otherwise
+/// `default` applies. Idempotent — later calls only raise/lower the level
+/// if the environment doesn't override it.
+pub fn init_logger(default: Level) {
+    let level = env_level().unwrap_or(default);
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Set the level programmatically, overriding both env and prior init.
+pub fn set_log_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+fn current_level() -> u8 {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v != UNSET {
+        return v;
+    }
+    let resolved = env_level().unwrap_or(Level::Warn) as u8;
+    LEVEL.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Would a record at `level` be emitted?
+pub fn log_enabled(level: Level) -> bool {
+    level as u8 <= current_level() && level != Level::Off
+}
+
+/// Emit one log line to stderr (timestamp, level, target, message). Call
+/// through the `log_*!` macros so the message isn't formatted when the
+/// level is disabled.
+pub fn log(level: Level, target: &str, message: std::fmt::Arguments<'_>) {
+    if !log_enabled(level) {
+        return;
+    }
+    eprintln!(
+        "{}  {:<5} {target}: {message}",
+        format_utc_now(),
+        level.label()
+    );
+}
+
+/// Log at [`Level::Error`]: `log_error!("target", "msg {}", arg)`.
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log($crate::Level::Error, $target, format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Warn`]: `log_warn!("target", "msg {}", arg)`.
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log($crate::Level::Warn, $target, format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Info`]: `log_info!("target", "msg {}", arg)`.
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log($crate::Level::Info, $target, format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Debug`]: `log_debug!("target", "msg {}", arg)`.
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log($crate::Level::Debug, $target, format_args!($($arg)*))
+    };
+}
+
+// ------------------------------------------------------------- UTC timestamp
+
+/// `YYYY-MM-DDTHH:MM:SS.mmmZ` from the system clock, computed by hand
+/// (civil-from-days, Howard Hinnant's algorithm) — no chrono offline.
+fn format_utc_now() -> String {
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
+    format_utc(now.as_secs(), now.subsec_millis())
+}
+
+fn format_utc(epoch_secs: u64, millis: u32) -> String {
+    let days = epoch_secs / 86_400;
+    let secs_of_day = epoch_secs % 86_400;
+    let (year, month, day) = civil_from_days(days as i64);
+    format!(
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}.{millis:03}Z",
+        secs_of_day / 3600,
+        (secs_of_day % 3600) / 60,
+        secs_of_day % 60,
+    )
+}
+
+/// Gregorian calendar date from days since 1970-01-01.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // day of era [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // month index, March = 0
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("info"), Some(Level::Info));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse(" debug "), Some(Level::Debug));
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn level_gating() {
+        set_log_level(Level::Warn);
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Info));
+        set_log_level(Level::Off);
+        assert!(!log_enabled(Level::Error));
+        set_log_level(Level::Debug);
+        assert!(log_enabled(Level::Debug));
+    }
+
+    #[test]
+    fn utc_formatting_matches_known_dates() {
+        assert_eq!(format_utc(0, 0), "1970-01-01T00:00:00.000Z");
+        // 2000-02-29 (leap day) 12:34:56.789
+        assert_eq!(format_utc(951_827_696, 789), "2000-02-29T12:34:56.789Z");
+        // 2026-08-08T00:00:00Z
+        assert_eq!(format_utc(1_786_147_200, 0), "2026-08-08T00:00:00.000Z");
+    }
+
+    #[test]
+    fn civil_from_days_round_trips_epoch_boundaries() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+        assert_eq!(civil_from_days(11_017), (2000, 3, 1));
+    }
+}

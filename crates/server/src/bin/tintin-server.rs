@@ -2,25 +2,38 @@
 //!
 //! ```text
 //! tintin-server [--listen HOST:PORT] [--max-connections N] [--init FILE]
+//!               [--slow-commit-ms N] [--log LEVEL]
 //! ```
 //!
 //! * `--listen` — bind address (default `127.0.0.1:7878`);
 //! * `--max-connections` — admission limit (default 64); connections over
 //!   the limit receive a typed error and are closed;
 //! * `--init` — a SQL script (schema, assertions, seed data) executed
-//!   through an in-process session before the listener opens.
+//!   through an in-process session before the listener opens;
+//! * `--slow-commit-ms` — log any commit slower than this many
+//!   milliseconds at WARN with its per-phase breakdown (`0` disables;
+//!   default: the `TINTIN_SLOW_COMMIT_MS` environment variable);
+//! * `--log` — stderr log level (`off|error|warn|info|debug`; the
+//!   `TINTIN_LOG` environment variable overrides, default `info`).
 //!
 //! Every TCP connection gets its own session over the one shared database:
 //! assertions installed by any client bind them all, and commits are
-//! checked by `safeCommit` exactly as in-process sessions are. Stop with
+//! checked by `safeCommit` exactly as in-process sessions are. Clients can
+//! send the `STATS` command for a full metrics snapshot (commit-phase
+//! latency histograms, connection and MVCC/GC counters). Stop with
 //! SIGINT/SIGTERM (state is in-memory; there is nothing to flush).
 
 use std::process::exit;
+use std::time::Duration;
+use tintin_obs::{log_error, log_info, Level};
 use tintin_server::{ServerConfig, WireServer};
 use tintin_session::Server;
 
 fn usage() -> ! {
-    eprintln!("usage: tintin-server [--listen HOST:PORT] [--max-connections N] [--init FILE]");
+    eprintln!(
+        "usage: tintin-server [--listen HOST:PORT] [--max-connections N] [--init FILE] \
+         [--slow-commit-ms N] [--log LEVEL]"
+    );
     exit(2);
 }
 
@@ -28,6 +41,8 @@ fn main() {
     let mut listen = "127.0.0.1:7878".to_string();
     let mut config = ServerConfig::default();
     let mut init: Option<String> = None;
+    let mut slow_commit_ms: Option<u64> = None;
+    let mut log_level = Level::Info;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,43 +55,66 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--init" => init = Some(args.next().unwrap_or_else(|| usage())),
+            "--slow-commit-ms" => {
+                slow_commit_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--log" => {
+                log_level = args
+                    .next()
+                    .as_deref()
+                    .and_then(Level::parse)
+                    .unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
     }
 
+    // TINTIN_LOG (when set and valid) wins over --log.
+    tintin_obs::logger::init_logger(log_level);
+
     let sessions = Server::new();
+    if let Some(ms) = slow_commit_ms {
+        // The flag overrides the TINTIN_SLOW_COMMIT_MS default the server
+        // constructor read; 0 disables.
+        sessions.set_slow_commit_threshold((ms > 0).then(|| Duration::from_millis(ms)));
+    }
     if let Some(path) = init {
         let script = match std::fs::read_to_string(&path) {
             Ok(s) => s,
             Err(e) => {
-                eprintln!("tintin-server: cannot read --init {path}: {e}");
+                log_error!("tintin_server", "cannot read --init {path}: {e}");
                 exit(1);
             }
         };
         let mut session = sessions.connect();
         match session.execute(&script) {
             Ok(outcomes) => {
-                eprintln!(
-                    "tintin-server: init script ran {} statement(s) from {path}",
+                log_info!(
+                    "tintin_server",
+                    "init script ran {} statement(s) from {path}",
                     outcomes.len()
                 );
             }
             Err(e) => {
-                eprintln!("tintin-server: init script failed: {e}");
+                log_error!("tintin_server", "init script failed: {e}");
                 exit(1);
             }
         }
     }
 
-    let wire = match WireServer::bind(sessions, listen.as_str(), config) {
+    // WireServer::bind logs the listening line at INFO.
+    let _wire = match WireServer::bind(sessions, listen.as_str(), config) {
         Ok(w) => w,
         Err(e) => {
-            eprintln!("tintin-server: cannot listen on {listen}: {e}");
+            log_error!("tintin_server", "cannot listen on {listen}: {e}");
             exit(1);
         }
     };
-    eprintln!("tintin-server: listening on {}", wire.local_addr());
     // The accept loop runs on its own thread; park this one forever. The
     // database is in-memory, so termination by signal loses nothing that
     // surviving the signal would have kept.

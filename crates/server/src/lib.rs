@@ -49,14 +49,21 @@
 
 pub mod protocol;
 
-use protocol::{encode_response, read_frame, write_frame, WireResult, WireScriptError};
+use protocol::{
+    encode_response, encode_stats_response, read_frame, write_frame, ServerStats, WireResult,
+    WireScriptError,
+};
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use tintin_obs::{log_debug, log_info, log_warn, Counter, Gauge, Histogram, Stopwatch};
 use tintin_session::Server;
+
+/// The log target of every line this crate emits.
+const LOG: &str = "tintin_server";
 
 /// Tuning knobs of a [`WireServer`].
 #[derive(Debug, Clone)]
@@ -74,11 +81,41 @@ impl Default for ServerConfig {
     }
 }
 
+/// Pre-resolved handles for the front-end's metrics, registered in the
+/// session layer's registry so one `STATS` snapshot covers the whole
+/// process. Resolved once at bind time — the request loop never takes the
+/// registry lock.
+struct WireMetrics {
+    accepted: std::sync::Arc<Counter>,
+    turned_away: std::sync::Arc<Counter>,
+    live: std::sync::Arc<Gauge>,
+    requests: std::sync::Arc<Counter>,
+    bytes_in: std::sync::Arc<Counter>,
+    bytes_out: std::sync::Arc<Counter>,
+    request_seconds: std::sync::Arc<Histogram>,
+}
+
+impl WireMetrics {
+    fn new(sessions: &Server) -> Self {
+        let registry = sessions.registry();
+        WireMetrics {
+            accepted: registry.counter("tintin_connections_accepted_total"),
+            turned_away: registry.counter("tintin_connections_turned_away_total"),
+            live: registry.gauge("tintin_connections_live"),
+            requests: registry.counter("tintin_requests_total"),
+            bytes_in: registry.counter("tintin_bytes_in_total"),
+            bytes_out: registry.counter("tintin_bytes_out_total"),
+            request_seconds: registry.histogram("tintin_request_seconds"),
+        }
+    }
+}
+
 /// State shared between the accept loop, the connection handlers and the
 /// owning [`WireServer`] handle.
 struct Inner {
     sessions: Server,
     config: ServerConfig,
+    metrics: WireMetrics,
     shutting_down: AtomicBool,
     active: AtomicUsize,
     served: AtomicUsize,
@@ -108,6 +145,8 @@ impl Drop for ConnGuard {
             .unwrap_or_else(PoisonError::into_inner)
             .remove(&self.id);
         self.inner.active.fetch_sub(1, Ordering::SeqCst);
+        self.inner.metrics.live.dec();
+        log_debug!(LOG, "connection closed id={}", self.id);
     }
 }
 
@@ -141,9 +180,16 @@ impl WireServer {
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        log_info!(
+            LOG,
+            "listening addr={addr} max_connections={}",
+            config.max_connections
+        );
+        let metrics = WireMetrics::new(&sessions);
         let inner = Arc::new(Inner {
             sessions,
             config,
+            metrics,
             shutting_down: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             served: AtomicUsize::new(0),
@@ -197,7 +243,17 @@ impl WireServer {
     }
 
     fn shutdown_in_place(&mut self) {
-        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        // `swap` so the idempotent second call (drop after an explicit
+        // shutdown) doesn't log twice.
+        if !self.inner.shutting_down.swap(true, Ordering::SeqCst) {
+            log_info!(
+                LOG,
+                "shutting down addr={} served={} active={}",
+                self.addr,
+                self.connections_served(),
+                self.active_connections()
+            );
+        }
         // Unblock the accept loop: a throwaway connection to ourselves. A
         // wildcard bind address (0.0.0.0 / ::) is not connectable on every
         // platform — reach the listener via loopback instead.
@@ -268,6 +324,12 @@ fn accept_loop(
             })
             .is_ok();
         if !admitted {
+            inner.metrics.turned_away.inc();
+            log_warn!(
+                LOG,
+                "connection turned away: limit {} reached",
+                inner.config.max_connections
+            );
             let busy: WireResult = Err(WireScriptError::server(format!(
                 "connection limit ({}) reached, try again later",
                 inner.config.max_connections
@@ -279,11 +341,20 @@ fn accept_loop(
         let id = inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
         // The guard owns the cleanup from here on: if registration or
         // spawning fails, or the handler panics, or it returns normally —
-        // the slot and the registry entry are released exactly once.
+        // the slot and the registry entry are released exactly once (the
+        // live-connections gauge pairs with the guard the same way).
+        inner.metrics.live.inc();
         let guard = ConnGuard {
             inner: inner.clone(),
             id,
         };
+        log_debug!(
+            LOG,
+            "connection accepted id={id} peer={}",
+            stream
+                .peer_addr()
+                .map_or_else(|_| "unknown".into(), |a| a.to_string())
+        );
         // The registry clone is what lets shutdown() interrupt this
         // connection's blocked reads. A connection that cannot be
         // registered (try_clone fails under fd pressure) must be turned
@@ -308,6 +379,7 @@ fn accept_loop(
             }
         }
         inner.served.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.accepted.inc();
         let handler = std::thread::Builder::new()
             .name("tintin-conn".into())
             .spawn(move || {
@@ -367,6 +439,28 @@ fn handle_connection(stream: &mut TcpStream, inner: &Inner) {
             }
             Err(_) => break, // torn connection
         };
+        inner.metrics.requests.inc();
+        inner.metrics.bytes_in.add(script.len() as u64 + 4);
+        let mut span = Stopwatch::start_if(inner.sessions.registry().is_enabled());
+
+        // The introspection command is intercepted before SQL parsing: the
+        // response is a metrics snapshot (every registered metric — session
+        // commit phases, this front-end's counters — plus the engine's
+        // MvccStats, which the statement protocol never carried).
+        if protocol::is_stats_request(&script) {
+            let stats = ServerStats {
+                metrics: inner.sessions.metrics_snapshot(),
+                mvcc: inner.sessions.database().read().mvcc_stats(),
+            };
+            let payload = encode_stats_response(&stats);
+            inner.metrics.bytes_out.add(payload.len() as u64 + 4);
+            inner.metrics.request_seconds.record(span.lap());
+            if write_frame(stream, &payload).is_err() {
+                break;
+            }
+            continue;
+        }
+
         let result: WireResult = match session.execute(&script) {
             Ok(outcomes) => Ok(outcomes),
             Err(e) => Err(WireScriptError::from(e.as_ref())),
@@ -386,6 +480,8 @@ fn handle_connection(stream: &mut TcpStream, inner: &Inner) {
             )));
             payload = encode_response(&err);
         }
+        inner.metrics.bytes_out.add(payload.len() as u64 + 4);
+        inner.metrics.request_seconds.record(span.lap());
         if write_frame(stream, &payload).is_err() {
             break;
         }

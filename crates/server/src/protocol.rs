@@ -33,7 +33,8 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::time::Duration;
 use tintin::{CheckStats, Violation};
-use tintin_engine::{NormalizationReport, ResultSet, Value};
+use tintin_engine::{MvccStats, NormalizationReport, ResultSet, Value};
+use tintin_obs::{HistogramSnapshot, Sample, SampleValue, Snapshot as MetricsSnapshot};
 use tintin_session::{ScriptError, SessionError, StatementOutcome};
 
 /// Hard cap on one frame's payload (requests and responses alike).
@@ -330,6 +331,151 @@ impl WireScriptError {
 
 /// What one request decodes to on the client side.
 pub type WireResult = Result<Vec<StatementOutcome>, WireScriptError>;
+
+// ------------------------------------------------------------------- STATS
+
+/// The introspection command. A request frame whose payload is `STATS`
+/// (case-insensitive, surrounding whitespace ignored) is answered with a
+/// metrics snapshot instead of being parsed as SQL — backward compatible,
+/// since `STATS` was never valid SQL in this dialect.
+pub const STATS_COMMAND: &str = "STATS";
+
+/// Is this request payload the `STATS` introspection command?
+pub fn is_stats_request(payload: &str) -> bool {
+    payload.trim().eq_ignore_ascii_case(STATS_COMMAND)
+}
+
+/// What the `STATS` command returns: the full metrics snapshot (counters,
+/// gauges, histograms — everything the process registered) plus the
+/// engine's [`MvccStats`], which the per-statement protocol never carried
+/// (`S` lines hold only [`CheckStats`]) — so a remote `.stats` no longer
+/// loses the MVCC/GC picture.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Every registered metric, captured atomically enough for display.
+    pub metrics: MetricsSnapshot,
+    /// Row-version and garbage-collection bookkeeping.
+    pub mvcc: MvccStats,
+}
+
+/// Encode a [`ServerStats`] response payload. Line-oriented like the
+/// statement codec: a `STATS <n>` status line, then `n` metric lines —
+/// `MC name value` (counter), `MG name value` (gauge),
+/// `MH name count sum_ns pairs…` with one `bucket:count` field per
+/// non-empty log2 bucket — and one final `MV` line with the MVCC stats.
+pub fn encode_stats_response(stats: &ServerStats) -> String {
+    let mut out = format!("STATS\t{}\n", stats.metrics.samples.len());
+    for s in &stats.metrics.samples {
+        match &s.value {
+            SampleValue::Counter(v) => {
+                out.push_str(&format!("MC\t{}\t{v}\n", escape(&s.name)));
+            }
+            SampleValue::Gauge(v) => {
+                out.push_str(&format!("MG\t{}\t{v}\n", escape(&s.name)));
+            }
+            SampleValue::Histogram(h) => {
+                out.push_str(&format!(
+                    "MH\t{}\t{}\t{}",
+                    escape(&s.name),
+                    h.count,
+                    h.sum_nanos
+                ));
+                for (i, c) in &h.buckets {
+                    out.push_str(&format!("\t{i}:{c}"));
+                }
+                out.push('\n');
+            }
+        }
+    }
+    let m = &stats.mvcc;
+    out.push_str(&format!(
+        "MV\t{}\t{}\t{}\t{}\t{}\n",
+        m.commit_ts, m.live_versions, m.dead_versions, m.gc_runs, m.gc_pruned
+    ));
+    out
+}
+
+/// Decode a payload produced by [`encode_stats_response`].
+pub fn decode_stats_response(payload: &str) -> Result<ServerStats, ProtocolError> {
+    let mut lines = Lines {
+        lines: payload.lines(),
+    };
+    let status = lines.next()?;
+    if status.first() != Some(&"STATS") || status.len() != 2 {
+        return Err(ProtocolError("stats response must start with STATS".into()));
+    }
+    let n = parse_count(status[1], "metric")?;
+    let mut samples = Vec::with_capacity(capped(n));
+    for _ in 0..n {
+        let fields = lines.next()?;
+        let field = |i: usize| -> Result<&str, ProtocolError> {
+            fields
+                .get(i)
+                .copied()
+                .ok_or_else(|| ProtocolError("metric line too short".into()))
+        };
+        let name = unescape(field(1)?)?;
+        let value = match field(0)? {
+            "MC" => SampleValue::Counter(
+                field(2)?
+                    .parse::<u64>()
+                    .map_err(|_| ProtocolError(format!("bad counter value for '{name}'")))?,
+            ),
+            "MG" => SampleValue::Gauge(
+                field(2)?
+                    .parse::<i64>()
+                    .map_err(|_| ProtocolError(format!("bad gauge value for '{name}'")))?,
+            ),
+            "MH" => {
+                let count = field(2)?
+                    .parse::<u64>()
+                    .map_err(|_| ProtocolError(format!("bad histogram count for '{name}'")))?;
+                let sum_nanos = field(3)?
+                    .parse::<u64>()
+                    .map_err(|_| ProtocolError(format!("bad histogram sum for '{name}'")))?;
+                let mut buckets = Vec::with_capacity(capped(fields.len().saturating_sub(4)));
+                for pair in &fields[4..] {
+                    let (i, c) = pair
+                        .split_once(':')
+                        .ok_or_else(|| ProtocolError(format!("bad bucket pair '{pair}'")))?;
+                    buckets.push((
+                        i.parse::<u8>()
+                            .map_err(|_| ProtocolError(format!("bad bucket index '{i}'")))?,
+                        c.parse::<u64>()
+                            .map_err(|_| ProtocolError(format!("bad bucket count '{c}'")))?,
+                    ));
+                }
+                SampleValue::Histogram(HistogramSnapshot {
+                    count,
+                    sum_nanos,
+                    buckets,
+                })
+            }
+            tag => return Err(ProtocolError(format!("unknown metric tag '{tag}'"))),
+        };
+        samples.push(Sample { name, value });
+    }
+    let mv = lines.next()?;
+    if mv.first() != Some(&"MV") || mv.len() != 6 {
+        return Err(ProtocolError("malformed MV mvcc line".into()));
+    }
+    let num_u64 = |i: usize| {
+        mv[i]
+            .parse::<u64>()
+            .map_err(|_| ProtocolError(format!("bad mvcc field '{}'", mv[i])))
+    };
+    let mvcc = MvccStats {
+        commit_ts: num_u64(1)?,
+        live_versions: parse_count(mv[2], "mvcc")?,
+        dead_versions: parse_count(mv[3], "mvcc")?,
+        gc_runs: num_u64(4)?,
+        gc_pruned: num_u64(5)?,
+    };
+    Ok(ServerStats {
+        metrics: MetricsSnapshot { samples },
+        mvcc,
+    })
+}
 
 // ------------------------------------------------------------------ values
 
@@ -977,6 +1123,68 @@ mod tests {
         assert!(decode_response(&bad).is_err());
         let bad = format!("OK\t{}\nDDL", 1u64 << 60);
         assert!(decode_response(&bad).is_err());
+    }
+
+    #[test]
+    fn stats_request_is_recognized_loosely() {
+        assert!(is_stats_request("STATS"));
+        assert!(is_stats_request("  stats \n"));
+        assert!(!is_stats_request("STATS;"));
+        assert!(!is_stats_request("SELECT * FROM stats"));
+    }
+
+    #[test]
+    fn stats_response_roundtrips() {
+        let registry = tintin_obs::Registry::new();
+        registry.counter("tintin_commits_total").add(17);
+        registry.gauge("tintin_sessions_open").set(-2);
+        let h = registry.histogram("tintin_commit_seconds");
+        h.record(Duration::from_nanos(0));
+        h.record(Duration::from_micros(10));
+        h.record(Duration::from_micros(10));
+        h.record(Duration::from_millis(3));
+        let sent = ServerStats {
+            metrics: registry.snapshot(),
+            mvcc: MvccStats {
+                commit_ts: 42,
+                live_versions: 1000,
+                dead_versions: 50,
+                gc_runs: 3,
+                gc_pruned: 120,
+            },
+        };
+        let decoded = decode_stats_response(&encode_stats_response(&sent)).expect("decode");
+        assert_eq!(decoded, sent);
+        // Quantiles survive the wire (buckets carried exactly).
+        let hist = decoded.metrics.histogram("tintin_commit_seconds").unwrap();
+        assert_eq!(hist.count, 4);
+        assert!(hist.quantile(0.5) <= hist.quantile(0.999));
+    }
+
+    #[test]
+    fn empty_stats_response_roundtrips() {
+        let sent = ServerStats::default();
+        let decoded = decode_stats_response(&encode_stats_response(&sent)).expect("decode");
+        assert_eq!(decoded, sent);
+    }
+
+    #[test]
+    fn garbage_stats_payloads_are_protocol_errors() {
+        for bad in [
+            "",
+            "OK\t0",
+            "STATS\tx",
+            "STATS\t1\nMX\tname\t1\nMV\t0\t0\t0\t0\t0",
+            "STATS\t1\nMC\tname\tnot-a-number\nMV\t0\t0\t0\t0\t0",
+            "STATS\t1\nMH\tname\t1\t5\tbadpair\nMV\t0\t0\t0\t0\t0",
+            "STATS\t0\nMV\t0\t0\t0",
+            "STATS\t0",
+        ] {
+            assert!(
+                decode_stats_response(bad).is_err(),
+                "payload {bad:?} must not decode"
+            );
+        }
     }
 
     #[test]

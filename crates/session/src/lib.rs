@@ -93,9 +93,13 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
 use tintin::{CheckStats, Installation, Tintin, TintinError, TouchedEvents, Violation};
 use tintin_engine::{
     Database, EngineError, ResultSet, SharedDatabase, Snapshot, TxOverlay, TS_LATEST,
+};
+use tintin_obs::{
+    log_warn, Counter, Gauge, Histogram, Registry, Snapshot as MetricsSnapshot, Stopwatch,
 };
 use tintin_sql as sql;
 
@@ -352,6 +356,107 @@ struct ServerState {
     installations: Vec<Installation>,
 }
 
+/// Pre-resolved metric handles for the session layer's hot paths. Handles
+/// are looked up once at server construction — the commit path never takes
+/// the registry lock.
+#[derive(Debug)]
+struct SessionMetrics {
+    // Commit-outcome counters. Conservation invariant:
+    // attempts == commits + rejects + conflicts + errors.
+    attempts: Arc<Counter>,
+    commits: Arc<Counter>,
+    rejects: Arc<Counter>,
+    conflicts: Arc<Counter>,
+    errors: Arc<Counter>,
+    violations: Arc<Counter>,
+    // Prepared-plan cache activity, accumulated from each commit's
+    // `CheckStats` (the engine keeps per-check state; the counters give the
+    // server-wide cumulative view).
+    plans_reused: Arc<Counter>,
+    plans_recompiled: Arc<Counter>,
+    checks_evaluated: Arc<Counter>,
+    // Connections.
+    sessions_open: Arc<Gauge>,
+    // MVCC / GC state, sampled from the engine by `Server::observe_engine`
+    // (the engine already tracks these; sampling avoids an engine→obs
+    // dependency).
+    mvcc_commit_ts: Arc<Gauge>,
+    mvcc_live_versions: Arc<Gauge>,
+    mvcc_dead_versions: Arc<Gauge>,
+    snapshots_live: Arc<Gauge>,
+    gc_runs: Arc<Counter>,
+    gc_pruned: Arc<Counter>,
+    // Per-phase commit latency. `commit_seconds` covers the whole phased
+    // commit (successful, non-no-op commits only, so its count equals the
+    // storm test's successful-commit count); the phase histograms cover
+    // stage/conflict-detect (write lock), check (read lock), and
+    // stamp/publish/GC (write lock).
+    commit_seconds: Arc<Histogram>,
+    stage_seconds: Arc<Histogram>,
+    check_seconds: Arc<Histogram>,
+    publish_seconds: Arc<Histogram>,
+}
+
+impl SessionMetrics {
+    fn new(registry: &Registry) -> Self {
+        SessionMetrics {
+            attempts: registry.counter("tintin_commit_attempts_total"),
+            commits: registry.counter("tintin_commits_total"),
+            rejects: registry.counter("tintin_commit_rejects_total"),
+            conflicts: registry.counter("tintin_commit_conflicts_total"),
+            errors: registry.counter("tintin_commit_errors_total"),
+            violations: registry.counter("tintin_violations_total"),
+            plans_reused: registry.counter("tintin_plans_reused_total"),
+            plans_recompiled: registry.counter("tintin_plans_recompiled_total"),
+            checks_evaluated: registry.counter("tintin_checks_evaluated_total"),
+            sessions_open: registry.gauge("tintin_sessions_open"),
+            mvcc_commit_ts: registry.gauge("tintin_mvcc_commit_ts"),
+            mvcc_live_versions: registry.gauge("tintin_mvcc_live_versions"),
+            mvcc_dead_versions: registry.gauge("tintin_mvcc_dead_versions"),
+            snapshots_live: registry.gauge("tintin_snapshots_live"),
+            gc_runs: registry.counter("tintin_gc_runs_total"),
+            gc_pruned: registry.counter("tintin_gc_pruned_total"),
+            commit_seconds: registry.histogram("tintin_commit_seconds"),
+            stage_seconds: registry.histogram("tintin_commit_stage_seconds"),
+            check_seconds: registry.histogram("tintin_commit_check_seconds"),
+            publish_seconds: registry.histogram("tintin_commit_publish_seconds"),
+        }
+    }
+}
+
+/// The observability side of a [`Server`]: the metrics registry, the
+/// session layer's pre-resolved handles, and the slow-commit threshold
+/// (nanoseconds; `0` = disabled) shared by every clone of the server.
+#[derive(Debug)]
+struct ServerObs {
+    registry: Registry,
+    metrics: SessionMetrics,
+    slow_commit_nanos: AtomicU64,
+}
+
+impl ServerObs {
+    fn with_registry(registry: Registry) -> Self {
+        let metrics = SessionMetrics::new(&registry);
+        // `TINTIN_SLOW_COMMIT_MS` sets the default threshold; a server flag
+        // or `Server::set_slow_commit_threshold` can override it later.
+        let slow_ms = std::env::var("TINTIN_SLOW_COMMIT_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        ServerObs {
+            registry,
+            metrics,
+            slow_commit_nanos: AtomicU64::new(slow_ms.saturating_mul(1_000_000)),
+        }
+    }
+}
+
+impl Default for ServerObs {
+    fn default() -> Self {
+        ServerObs::with_registry(Registry::new())
+    }
+}
+
 /// The shared side of the session layer: one database, one checker, many
 /// connections.
 ///
@@ -365,6 +470,7 @@ pub struct Server {
     state: Arc<RwLock<ServerState>>,
     next_session_id: Arc<AtomicU64>,
     open_sessions: Arc<AtomicUsize>,
+    obs: Arc<ServerObs>,
 }
 
 impl Server {
@@ -393,6 +499,64 @@ impl Server {
         }
     }
 
+    /// A server recording its metrics into the given registry — pass
+    /// [`Registry::noop`] to turn every metric and span into a no-op (the
+    /// configuration the instrumentation-overhead bench compares against).
+    pub fn with_registry(registry: Registry) -> Self {
+        Server {
+            obs: Arc::new(ServerObs::with_registry(registry)),
+            ..Server::default()
+        }
+    }
+
+    /// The metrics registry every session of this server records into.
+    /// Other layers (the wire front-end) register their own metrics here so
+    /// one snapshot covers the whole process.
+    pub fn registry(&self) -> &Registry {
+        &self.obs.registry
+    }
+
+    /// Sample the engine's MVCC / garbage-collection state into the
+    /// registry's gauges (`tintin_mvcc_*`, `tintin_snapshots_live`) and
+    /// cumulative counters (`tintin_gc_*_total`). Called by
+    /// [`Server::metrics_snapshot`]; cheap (one read lock, no scans beyond
+    /// the version counters the engine already keeps).
+    pub fn observe_engine(&self) {
+        let stats = self.db.read().mvcc_stats();
+        let m = &self.obs.metrics;
+        m.mvcc_commit_ts.set(stats.commit_ts as i64);
+        m.mvcc_live_versions.set(stats.live_versions as i64);
+        m.mvcc_dead_versions.set(stats.dead_versions as i64);
+        m.gc_runs.record_absolute(stats.gc_runs);
+        m.gc_pruned.record_absolute(stats.gc_pruned);
+        m.snapshots_live.set(self.db.live_snapshots() as i64);
+    }
+
+    /// A full metrics snapshot: the engine gauges are re-sampled
+    /// ([`Server::observe_engine`]) and the registry captured. This is what
+    /// the wire protocol's `STATS` command and the REPL's `.stats` render.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.observe_engine();
+        self.obs.registry.snapshot()
+    }
+
+    /// Set (or, with `None`, disable) the slow-commit threshold: any phased
+    /// commit whose total latency reaches it is logged at `WARN` with its
+    /// per-phase breakdown. Defaults to the `TINTIN_SLOW_COMMIT_MS`
+    /// environment variable (unset or `0` = disabled).
+    pub fn set_slow_commit_threshold(&self, threshold: Option<Duration>) {
+        let nanos = threshold.map_or(0, |d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        self.obs.slow_commit_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// The current slow-commit threshold, if enabled.
+    pub fn slow_commit_threshold(&self) -> Option<Duration> {
+        match self.obs.slow_commit_nanos.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(Duration::from_nanos(n)),
+        }
+    }
+
     /// The shared database handle (read/write lock it for direct access).
     pub fn database(&self) -> &SharedDatabase {
         &self.db
@@ -402,6 +566,7 @@ impl Server {
     pub fn connect(&self) -> Session {
         let id = self.next_session_id.fetch_add(1, Ordering::Relaxed) + 1;
         self.open_sessions.fetch_add(1, Ordering::Relaxed);
+        self.obs.metrics.sessions_open.inc();
         Session {
             server: self.clone(),
             id,
@@ -494,6 +659,7 @@ impl Clone for Session {
 impl Drop for Session {
     fn drop(&mut self) {
         self.server.open_sessions.fetch_sub(1, Ordering::Relaxed);
+        self.server.obs.metrics.sessions_open.dec();
     }
 }
 
@@ -863,6 +1029,13 @@ impl Session {
         // publish — it must not wait out a concurrent checked commit's
         // expensive phase or bump the commit clock.
         if self.nothing_to_commit(overlay) {
+            // Fast-path commits count toward the conservation invariant
+            // (attempts == commits + rejects + conflicts + errors) but not
+            // toward the latency histograms — a no-op is not a latency
+            // sample.
+            let m = &self.server.obs.metrics;
+            m.attempts.inc();
+            m.commits.inc();
             return Ok(StatementOutcome::Committed {
                 inserted: 0,
                 deleted: 0,
@@ -898,17 +1071,24 @@ impl Session {
         snapshot: u64,
     ) -> Result<StatementOutcome> {
         let state = self.server.state_read();
+        let m = &self.server.obs.metrics;
+        m.attempts.inc();
 
         // No-op fast path (autocommitted statements that planned to
         // nothing, e.g. an UPDATE matching zero rows): skip the phases and
         // the clock bump. The guard is already held, so this is cheap.
         if self.nothing_to_commit(overlay) {
+            m.commits.inc();
             return Ok(StatementOutcome::Committed {
                 inserted: 0,
                 deleted: 0,
                 stats: CheckStats::default(),
             });
         }
+
+        // Per-phase spans: one clock read per phase boundary, and none at
+        // all under a no-op registry.
+        let mut span = Stopwatch::start_if(self.server.obs.registry.is_enabled());
 
         // Phase 1 — write lock, O(update): lose now if a concurrent commit
         // invalidated the snapshot this update was planned against, else
@@ -930,10 +1110,17 @@ impl Session {
                 Err(e) => {
                     // Partial staging is discarded; base tables untouched.
                     db.truncate_events();
+                    if matches!(e, EngineError::SerializationConflict { .. }) {
+                        m.conflicts.inc();
+                    } else {
+                        m.errors.inc();
+                    }
                     return Err(e.into());
                 }
             }
         };
+        let stage_time = span.lap();
+        m.stage_seconds.record(stage_time);
         let mut stats = CheckStats {
             normalization,
             ..CheckStats::default()
@@ -965,6 +1152,12 @@ impl Session {
             }
             (all, failure)
         };
+        let check_time = span.lap();
+        m.check_seconds.record(check_time);
+        m.plans_reused.add(stats.plans_reused as u64);
+        m.plans_recompiled.add(stats.plans_recompiled as u64);
+        m.checks_evaluated
+            .add((stats.views_evaluated + stats.fallbacks_evaluated) as u64);
 
         // Phase 3 — write lock, O(update): stamp versions and publish, or
         // discard.
@@ -972,6 +1165,7 @@ impl Session {
         let (violations, failure) = checked;
         if let Some(e) = failure {
             db.truncate_events_for(&touched_list);
+            m.errors.inc();
             return Err(e.into());
         }
         if violations.is_empty() {
@@ -983,6 +1177,7 @@ impl Session {
                 // Compensated by version un-stamping; ts was never
                 // published, so no session saw anything.
                 db.truncate_events_for(&touched_list);
+                m.errors.inc();
                 return Err(e.into());
             }
             db.truncate_events_for(&touched_list);
@@ -991,6 +1186,13 @@ impl Session {
             // see, on the touched tables, once enough history accumulated.
             let horizon = self.server.db.gc_horizon(ts);
             db.maybe_gc_for(&touched_list, horizon);
+            drop(db);
+            let publish_time = span.lap();
+            m.publish_seconds.record(publish_time);
+            m.commits.inc();
+            let total = stage_time + check_time + publish_time;
+            m.commit_seconds.record(total);
+            self.report_slow_commit(ts, total, stage_time, check_time, publish_time);
             Ok(StatementOutcome::Committed {
                 inserted,
                 deleted,
@@ -998,8 +1200,41 @@ impl Session {
             })
         } else {
             db.truncate_events_for(&touched_list);
+            drop(db);
+            let publish_time = span.lap();
+            m.rejects.inc();
+            m.violations.add(violations.len() as u64);
+            let total = stage_time + check_time + publish_time;
+            self.report_slow_commit(ts, total, stage_time, check_time, publish_time);
             Ok(StatementOutcome::Rejected { violations, stats })
         }
+    }
+
+    /// Emit the slow-commit `WARN` line when the configured threshold is
+    /// enabled and this commit's total phased latency reached it. The line
+    /// carries the per-phase breakdown, so a pathological commit is
+    /// diagnosable from the log alone (which phase ate the time: staging
+    /// under the write lock, checking under the read lock, or
+    /// publish/GC under the write lock).
+    fn report_slow_commit(
+        &self,
+        ts: u64,
+        total: Duration,
+        stage: Duration,
+        check: Duration,
+        publish: Duration,
+    ) {
+        let threshold = self.server.obs.slow_commit_nanos.load(Ordering::Relaxed);
+        if threshold == 0 || (total.as_nanos() as u64) < threshold {
+            return;
+        }
+        log_warn!(
+            "tintin_session",
+            "slow commit: session={} ts={ts} total={total:?} stage={stage:?} \
+             check={check:?} publish={publish:?} threshold={:?}",
+            self.id,
+            Duration::from_nanos(threshold),
+        );
     }
 
     /// `ROLLBACK`: abort the open transaction by discarding its overlay.
@@ -1571,5 +1806,95 @@ mod tests {
         assert!(b.execute("INSERT INTO t VALUES (-1)").unwrap()[0].is_rejected());
         assert!(b.execute("INSERT INTO t VALUES (1)").unwrap()[0].is_committed());
         assert_eq!(b.assertion_names(), vec!["positive".to_string()]);
+    }
+
+    #[test]
+    fn metrics_track_commit_outcomes_and_phases() {
+        let server = Server::new();
+        let mut s = server.connect();
+        s.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        s.execute("CREATE ASSERTION nonneg CHECK (NOT EXISTS (SELECT * FROM t WHERE a < 0))")
+            .unwrap();
+        assert!(s.execute("INSERT INTO t VALUES (1)").unwrap()[0].is_committed());
+        assert!(s
+            .execute("BEGIN; INSERT INTO t VALUES (2); COMMIT;")
+            .unwrap()[2]
+            .is_committed());
+        assert!(s.execute("INSERT INTO t VALUES (-1)").unwrap()[0].is_rejected());
+        // A no-op commit counts as a commit but not as a latency sample.
+        assert!(s.execute("BEGIN; COMMIT;").unwrap()[1].is_committed());
+
+        let m = server.metrics_snapshot();
+        assert_eq!(m.counter("tintin_commit_attempts_total"), Some(4));
+        assert_eq!(m.counter("tintin_commits_total"), Some(3));
+        assert_eq!(m.counter("tintin_commit_rejects_total"), Some(1));
+        assert_eq!(m.counter("tintin_commit_conflicts_total"), Some(0));
+        assert_eq!(m.counter("tintin_commit_errors_total"), Some(0));
+        assert_eq!(m.counter("tintin_violations_total"), Some(1));
+        // Histograms: the overall one holds only real successful commits;
+        // per-phase ones saw the rejected commit's phases too.
+        let commit = m.histogram("tintin_commit_seconds").unwrap();
+        assert_eq!(commit.count, 2);
+        assert!(commit.quantile(0.5) <= commit.quantile(0.999));
+        assert_eq!(m.histogram("tintin_commit_stage_seconds").unwrap().count, 3);
+        assert_eq!(m.histogram("tintin_commit_check_seconds").unwrap().count, 3);
+        assert_eq!(
+            m.histogram("tintin_commit_publish_seconds").unwrap().count,
+            2
+        );
+        // The check phase ran through prepared plans.
+        let reused = m.counter("tintin_plans_reused_total").unwrap();
+        let recompiled = m.counter("tintin_plans_recompiled_total").unwrap();
+        assert!(reused + recompiled > 0, "checks must have used plans");
+        // Engine sampling: the clock advanced and live versions exist.
+        assert_eq!(m.gauge("tintin_mvcc_commit_ts"), Some(2));
+        assert!(m.gauge("tintin_mvcc_live_versions").unwrap() >= 2);
+        assert_eq!(m.gauge("tintin_sessions_open"), Some(1));
+        assert_eq!(m.gauge("tintin_snapshots_live"), Some(0));
+        drop(s);
+        assert_eq!(
+            server.metrics_snapshot().gauge("tintin_sessions_open"),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn serialization_conflicts_are_counted() {
+        let server = Server::new();
+        let mut a = server.connect();
+        let mut b = server.connect();
+        a.execute("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+            .unwrap();
+        a.execute("INSERT INTO t VALUES (1, 10)").unwrap();
+        // Two transactions race on the same row; the second committer loses.
+        a.execute("BEGIN; UPDATE t SET b = 11 WHERE a = 1;")
+            .unwrap();
+        b.execute("BEGIN; UPDATE t SET b = 12 WHERE a = 1;")
+            .unwrap();
+        assert!(a.execute("COMMIT").unwrap()[0].is_committed());
+        let err = b.execute("COMMIT").unwrap_err();
+        assert!(matches!(
+            err.error,
+            SessionError::SerializationConflict { .. }
+        ));
+        let m = server.metrics_snapshot();
+        assert_eq!(m.counter("tintin_commit_conflicts_total"), Some(1));
+        // Conservation: attempts == commits + rejects + conflicts + errors.
+        assert_eq!(
+            m.counter("tintin_commit_attempts_total").unwrap(),
+            m.counter("tintin_commits_total").unwrap()
+                + m.counter("tintin_commit_rejects_total").unwrap()
+                + m.counter("tintin_commit_conflicts_total").unwrap()
+                + m.counter("tintin_commit_errors_total").unwrap()
+        );
+    }
+
+    #[test]
+    fn noop_registry_disables_all_session_metrics() {
+        let server = Server::with_registry(Registry::noop());
+        let mut s = server.connect();
+        s.execute("CREATE TABLE t (a INT PRIMARY KEY)").unwrap();
+        assert!(s.execute("INSERT INTO t VALUES (1)").unwrap()[0].is_committed());
+        assert!(server.metrics_snapshot().samples.is_empty());
     }
 }

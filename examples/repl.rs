@@ -107,6 +107,35 @@ fn print_mvcc_stats(mvcc: &tintin_engine::MvccStats) {
     );
 }
 
+/// Print the server-wide metrics registry the way `.stats` does remotely:
+/// lifetime commit-outcome counters and commit-latency percentiles across
+/// *all* sessions (the `CheckStats` above are this repl's last commit only).
+fn print_server_metrics(snapshot: &tintin_obs::Snapshot) {
+    let c = |name| snapshot.counter(name).unwrap_or(0);
+    println!("server-wide commit metrics (all sessions since startup):");
+    println!(
+        "  attempts {}, committed {}, rejected {}, conflicts {}, errors {}",
+        c("tintin_commit_attempts_total"),
+        c("tintin_commits_total"),
+        c("tintin_commit_rejects_total"),
+        c("tintin_commit_conflicts_total"),
+        c("tintin_commit_errors_total"),
+    );
+    if let Some(h) = snapshot.histogram("tintin_commit_seconds") {
+        if h.count > 0 {
+            println!(
+                "  checked-commit latency: {} sample(s), mean {:?}, \
+                 p50 {:?}, p95 {:?}, p99.9 {:?}",
+                h.count,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.999),
+            );
+        }
+    }
+}
+
 /// Print one outcome (the shared wire/local rendering) and capture the
 /// commit statistics for `.stats`.
 fn print_outcome(outcome: StatementOutcome, last_stats: &mut Option<CheckStats>) {
@@ -218,6 +247,7 @@ fn main() {
                     }
                     let mvcc = session.database().read().mvcc_stats();
                     print_mvcc_stats(&mvcc);
+                    print_server_metrics(&server.metrics_snapshot());
                     continue;
                 }
                 ".tx" => {
