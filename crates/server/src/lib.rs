@@ -53,7 +53,7 @@ use protocol::{
     encode_response, encode_stats_response, read_frame, write_frame, ServerStats, WireResult,
     WireScriptError,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -121,10 +121,11 @@ struct Inner {
     served: AtomicUsize,
     next_conn_id: AtomicUsize,
     /// Clones of the live connections' streams, keyed by connection id, so
-    /// shutdown can interrupt blocked reads. Each handler's [`ConnGuard`]
+    /// shutdown can interrupt blocked reads — ordered, so shutdown walks
+    /// connections in a deterministic (id) order. Each handler's [`ConnGuard`]
     /// removes its own entry on exit (panic included), so the registry
     /// stays bounded by the number of *live* connections.
-    conns: Mutex<HashMap<usize, TcpStream>>,
+    conns: Mutex<BTreeMap<usize, TcpStream>>,
 }
 
 /// Per-connection cleanup, panic-safe: runs on the handler thread's way
@@ -194,7 +195,7 @@ impl WireServer {
             active: AtomicUsize::new(0),
             served: AtomicUsize::new(0),
             next_conn_id: AtomicUsize::new(0),
-            conns: Mutex::new(HashMap::new()),
+            conns: Mutex::new(BTreeMap::new()),
         });
         let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept_thread = {

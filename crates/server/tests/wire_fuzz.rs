@@ -1,0 +1,254 @@
+//! Seeded round-trip fuzzing of the wire codec.
+//!
+//! Randomly generated [`StatementOutcome`] lists, [`WireScriptError`]s
+//! (every [`WireError`] variant), and `STATS` payloads (`MC`/`MG`/`MH`
+//! metric lines plus the `MV` MVCC line) must survive
+//! `encode → decode → encode` byte-identically — strings are drawn from a
+//! pool that includes tabs, newlines, carriage returns, backslashes, and
+//! multi-byte UTF-8 precisely because those stress the escaping layer.
+//! Random garbage payloads must be rejected with a typed
+//! [`ProtocolError`], never a panic. Deterministic: fixed seeds, no
+//! time/randomness outside the shim's xoshiro stream.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use tintin::{CheckStats, Violation};
+use tintin_engine::{MvccStats, ResultSet, Value};
+use tintin_obs::{HistogramSnapshot, Sample, SampleValue, Snapshot};
+use tintin_server::protocol::{
+    decode_response, decode_stats_response, encode_response, encode_stats_response, ServerStats,
+    WireError, WireResult, WireScriptError,
+};
+use tintin_session::StatementOutcome;
+
+/// Characters chosen to stress the escape layer: field and line
+/// separators, the escape character itself, and multi-byte UTF-8.
+const POOL: &[char] = &[
+    'a', 'Z', '0', ' ', '\t', '\n', '\r', '\\', ':', ';', ',', '\'', '"', 'é', '∑', '表', '🦀',
+];
+
+fn rand_string(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(0..12usize);
+    (0..n).map(|_| POOL[rng.gen_range(0..POOL.len())]).collect()
+}
+
+fn rand_value(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0..4u8) {
+        0 => Value::Null,
+        1 => Value::Int(rng.next_u64() as i64),
+        // Finite, sign- and magnitude-diverse reals (the codec must keep
+        // them bit-exact through the decimal rendering).
+        2 => Value::real((rng.next_u64() as i64 as f64) / 1e3),
+        _ => Value::str(rand_string(rng)),
+    }
+}
+
+fn rand_result_set(rng: &mut StdRng) -> ResultSet {
+    let cols = rng.gen_range(1..4usize);
+    let rows = rng.gen_range(0..4usize);
+    ResultSet {
+        columns: (0..cols).map(|_| rand_string(rng)).collect(),
+        rows: (0..rows)
+            .map(|_| {
+                (0..cols)
+                    .map(|_| rand_value(rng))
+                    .collect::<Vec<_>>()
+                    .into_boxed_slice()
+            })
+            .collect(),
+    }
+}
+
+fn rand_stats(rng: &mut StdRng) -> CheckStats {
+    CheckStats {
+        views_total: rng.gen_range(0..100usize),
+        views_skipped: rng.gen_range(0..100usize),
+        views_skipped_relevance: rng.gen_range(0..100usize),
+        views_evaluated: rng.gen_range(0..100usize),
+        plans_reused: rng.gen_range(0..100usize),
+        plans_recompiled: rng.gen_range(0..100usize),
+        fallbacks_skipped: rng.gen_range(0..100usize),
+        fallbacks_evaluated: rng.gen_range(0..100usize),
+        check_time: Duration::from_nanos(rng.next_u64() >> 20),
+        ..CheckStats::default()
+    }
+}
+
+fn rand_outcome(rng: &mut StdRng) -> StatementOutcome {
+    match rng.gen_range(0..12u8) {
+        0 => StatementOutcome::Ddl,
+        1 => StatementOutcome::AssertionInstalled {
+            name: rand_string(rng),
+            views: rng.gen_range(0..9usize),
+        },
+        2 => StatementOutcome::AssertionDropped {
+            name: rand_string(rng),
+        },
+        3 => StatementOutcome::RowsAffected(rng.gen_range(0..1000usize)),
+        4 => StatementOutcome::Rows(rand_result_set(rng)),
+        5 => StatementOutcome::TransactionStarted,
+        6 => StatementOutcome::SavepointCreated(rand_string(rng)),
+        7 => StatementOutcome::SavepointReleased(rand_string(rng)),
+        8 => StatementOutcome::RolledBackToSavepoint(rand_string(rng)),
+        9 => StatementOutcome::RolledBack,
+        10 => StatementOutcome::Committed {
+            inserted: rng.gen_range(0..1000usize),
+            deleted: rng.gen_range(0..1000usize),
+            stats: rand_stats(rng),
+        },
+        _ => StatementOutcome::Rejected {
+            violations: (0..rng.gen_range(0..3usize))
+                .map(|_| Violation {
+                    assertion: rand_string(rng),
+                    view: rand_string(rng),
+                    rows: rand_result_set(rng),
+                })
+                .collect(),
+            stats: rand_stats(rng),
+        },
+    }
+}
+
+fn rand_error(rng: &mut StdRng) -> WireError {
+    match rng.gen_range(0..11u8) {
+        0 => WireError::Parse(rand_string(rng)),
+        1 => WireError::Engine(rand_string(rng)),
+        2 => WireError::Tintin(rand_string(rng)),
+        3 => WireError::NoActiveTransaction,
+        4 => WireError::TransactionAlreadyOpen,
+        5 => WireError::NoSuchSavepoint(rand_string(rng)),
+        6 => WireError::DdlInTransaction(rand_string(rng)),
+        7 => WireError::DuplicateAssertion(rand_string(rng)),
+        8 => WireError::NoSuchAssertion(rand_string(rng)),
+        9 => WireError::SerializationConflict {
+            table: rand_string(rng),
+            detail: rand_string(rng),
+        },
+        _ => WireError::Server(rand_string(rng)),
+    }
+}
+
+fn rand_result(rng: &mut StdRng) -> WireResult {
+    if rng.gen_bool(0.5) {
+        Ok((0..rng.gen_range(0..5usize))
+            .map(|_| rand_outcome(rng))
+            .collect())
+    } else {
+        Err(WireScriptError {
+            completed: (0..rng.gen_range(0..3usize))
+                .map(|_| rand_outcome(rng))
+                .collect(),
+            statement_index: rng.gen_range(0..9usize),
+            statement: rand_string(rng),
+            error: rand_error(rng),
+        })
+    }
+}
+
+/// `StatementOutcome` carries no `PartialEq` (it holds `ResultSet` /
+/// `CheckStats`), so equality is checked on the canonical encoded form:
+/// `encode(decode(encode(x))) == encode(x)` proves the decode lost
+/// nothing the encoder can express.
+#[test]
+fn response_roundtrip_is_lossless_under_fuzz() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE_C0DE);
+    for i in 0..500 {
+        let original = rand_result(&mut rng);
+        let encoded = encode_response(&original);
+        let decoded = decode_response(&encoded)
+            .unwrap_or_else(|e| panic!("iteration {i}: decode failed: {e}\npayload: {encoded:?}"));
+        let re_encoded = encode_response(&decoded);
+        assert_eq!(
+            encoded, re_encoded,
+            "iteration {i}: encode→decode→encode was not a fixed point"
+        );
+    }
+}
+
+#[test]
+fn stats_roundtrip_is_lossless_under_fuzz() {
+    let mut rng = StdRng::seed_from_u64(0x57A7_57A7);
+    for i in 0..200 {
+        let samples = (0..rng.gen_range(0..8usize))
+            .map(|_| Sample {
+                name: rand_string(&mut rng),
+                value: match rng.gen_range(0..3u8) {
+                    0 => SampleValue::Counter(rng.next_u64()),
+                    1 => SampleValue::Gauge(rng.next_u64() as i64),
+                    _ => SampleValue::Histogram(HistogramSnapshot {
+                        count: rng.gen_range(0..1000u64),
+                        sum_nanos: rng.next_u64() >> 10,
+                        buckets: (0..rng.gen_range(0..5u8))
+                            .map(|_| (rng.gen_range(0..64u8), rng.gen_range(1..100u64)))
+                            .collect(),
+                    }),
+                },
+            })
+            .collect();
+        let original = ServerStats {
+            metrics: Snapshot { samples },
+            mvcc: MvccStats {
+                commit_ts: rng.next_u64() >> 1,
+                live_versions: rng.gen_range(0..100_000usize),
+                dead_versions: rng.gen_range(0..100_000usize),
+                gc_runs: rng.gen_range(0..1000u64),
+                gc_pruned: rng.gen_range(0..100_000u64),
+            },
+        };
+        let encoded = encode_stats_response(&original);
+        let decoded = decode_stats_response(&encoded)
+            .unwrap_or_else(|e| panic!("iteration {i}: decode failed: {e}\npayload: {encoded:?}"));
+        // `ServerStats` is `PartialEq`, so the stats codec gets the
+        // stronger structural check on top of the encoded fixed point.
+        assert_eq!(
+            original, decoded,
+            "iteration {i}: stats round-trip diverged"
+        );
+        assert_eq!(encoded, encode_stats_response(&decoded));
+    }
+}
+
+/// Random garbage — both arbitrary UTF-8 text and mutations of valid
+/// payloads — must come back as `Err(ProtocolError)`, never a panic.
+#[test]
+fn garbage_payloads_are_rejected_without_panicking() {
+    let mut rng = StdRng::seed_from_u64(0xBAD_F00D);
+    for _ in 0..500 {
+        let garbage = rand_string(&mut rng);
+        let _ = decode_response(&garbage);
+        let _ = decode_stats_response(&garbage);
+    }
+    // Structured-looking prefixes with corrupt bodies.
+    for prefix in [
+        "OK",
+        "ERR",
+        "STATS",
+        "OK\t3\n",
+        "ERR\t1\tx\t2\n",
+        "STATS\t5\n",
+    ] {
+        for _ in 0..100 {
+            let mut payload = prefix.to_string();
+            payload.push_str(&rand_string(&mut rng));
+            let _ = decode_response(&payload);
+            let _ = decode_stats_response(&payload);
+        }
+    }
+    // Truncations and single-byte mutations of a real payload.
+    let valid = encode_response(&rand_result(&mut rng));
+    for _ in 0..200 {
+        let cut = rng.gen_range(0..=valid.len());
+        if valid.is_char_boundary(cut) {
+            let _ = decode_response(&valid[..cut]);
+        }
+        let pos = rng.gen_range(0..valid.len());
+        if valid.is_char_boundary(pos) && valid.is_char_boundary(pos + 1) {
+            let mut mutated = valid.clone();
+            let replacement = POOL[rng.gen_range(0..POOL.len())];
+            mutated.replace_range(pos..pos + 1, &replacement.to_string());
+            let _ = decode_response(&mutated);
+        }
+    }
+}

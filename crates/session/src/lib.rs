@@ -92,7 +92,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Duration;
 use tintin::{CheckStats, Installation, Tintin, TintinError, TouchedEvents, Violation};
 use tintin_engine::{
@@ -348,6 +348,86 @@ pub struct PendingTable {
     pub deletes: usize,
 }
 
+/// Where in the phased commit protocol a [`CommitHook`] fires.
+///
+/// The boundaries correspond to the lock transitions of
+/// [`Session::commit`]: at each of the first two points the commit lock is
+/// held but neither the read nor the write lock is — other sessions'
+/// *reads* may safely run inside the hook (another `COMMIT` would
+/// deadlock on the commit lock). This is the seam the deterministic
+/// simulation harness (`tintin-sim`) schedules through: it never relies on
+/// OS-thread timing to land a probe inside a commit — the hook *is* the
+/// mid-commit interleaving point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitPhase {
+    /// Phase 1 finished: conflicts detected, the overlay staged into the
+    /// event tables (stamped with the still-unpublished commit timestamp)
+    /// and normalized. The write lock has been released; nothing is
+    /// applied yet.
+    Staged,
+    /// Phase 2 finished: every touched check evaluated under the read
+    /// lock; the verdict is computed but not yet acted on. Returning
+    /// [`HookAction::Abort`] here simulates a crash after checking but
+    /// before publication.
+    Checked,
+    /// Phase 3 published the commit: the timestamp is live and every new
+    /// read observes the update. Informational — [`HookAction::Abort`] is
+    /// ignored, the decision is already public.
+    Published,
+    /// Phase 3 discarded the update (assertion violation). Informational.
+    Rejected,
+}
+
+/// What a [`CommitHook`] tells the in-flight commit to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HookAction {
+    /// Proceed normally.
+    #[default]
+    Continue,
+    /// Abandon the commit: staged events are discarded, nothing is
+    /// published, and `COMMIT` fails with an
+    /// [`EngineError::Transaction`]-backed error. Only honored at
+    /// [`CommitPhase::Staged`] and [`CommitPhase::Checked`]; the commit
+    /// must leave no trace (the torn-rollback property the simulation
+    /// oracle checks).
+    Abort,
+}
+
+/// A test/simulation observer invoked at every phase boundary of every
+/// non-no-op phased commit, with the committing session's id. See
+/// [`Server::set_commit_hook`].
+pub type CommitHook = Arc<dyn Fn(u64, CommitPhase) -> HookAction + Send + Sync>;
+
+/// Shared cell holding the server's optional commit hook. A plain
+/// mutex-guarded `Option`: the commit path locks it once per phased commit
+/// (uncontended — committers already serialize on the commit lock).
+#[derive(Default, Clone)]
+struct CommitHookCell(Arc<Mutex<Option<CommitHook>>>);
+
+impl CommitHookCell {
+    fn get(&self) -> Option<CommitHook> {
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn set(&self, hook: Option<CommitHook>) {
+        *self.0.lock().unwrap_or_else(PoisonError::into_inner) = hook;
+    }
+}
+
+impl fmt::Debug for CommitHookCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let set = self
+            .0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some();
+        write!(f, "CommitHookCell({})", if set { "set" } else { "unset" })
+    }
+}
+
 /// Checker state shared by every session of a [`Server`]: the configured
 /// [`Tintin`] instance and the assertion sets installed so far.
 #[derive(Debug, Default)]
@@ -471,6 +551,7 @@ pub struct Server {
     next_session_id: Arc<AtomicU64>,
     open_sessions: Arc<AtomicUsize>,
     obs: Arc<ServerObs>,
+    hook: CommitHookCell,
 }
 
 impl Server {
@@ -555,6 +636,31 @@ impl Server {
             0 => None,
             n => Some(Duration::from_nanos(n)),
         }
+    }
+
+    /// Install a commit-phase hook, shared by every session of this
+    /// server (and every clone of the handle).
+    ///
+    /// The hook fires at each [`CommitPhase`] boundary of every non-no-op
+    /// phased commit — explicit `COMMIT` and autocommitted DML alike —
+    /// with the committing session's id. At [`CommitPhase::Staged`] and
+    /// [`CommitPhase::Checked`] the commit lock is held but the rwlock is
+    /// free, so the hook may run *reads* through other sessions (a nested
+    /// commit would deadlock on the commit lock); returning
+    /// [`HookAction::Abort`] there abandons the commit without a trace.
+    ///
+    /// This is a testing/simulation seam (the `tintin-sim` harness drives
+    /// deterministic mid-commit interleavings and fault injection through
+    /// it); production servers leave it unset, which costs one uncontended
+    /// mutex lock per checked commit.
+    pub fn set_commit_hook(&self, hook: CommitHook) {
+        self.hook.set(Some(hook));
+    }
+
+    /// Remove the commit-phase hook installed by
+    /// [`Server::set_commit_hook`], if any.
+    pub fn clear_commit_hook(&self) {
+        self.hook.set(None);
     }
 
     /// The shared database handle (read/write lock it for direct access).
@@ -730,6 +836,15 @@ impl Session {
                 db.pending_counts_at(db.current_ts())
             }
         }
+    }
+
+    /// A clone of the open transaction's pending-update overlay — the
+    /// exact per-table insertion/deletion sets a `COMMIT` would stage —
+    /// or `None` outside a transaction. The simulation harness snapshots
+    /// this right before `COMMIT` to replay the same update into its
+    /// differential-oracle mirror.
+    pub fn pending_overlay(&self) -> Option<TxOverlay> {
+        self.tx.as_ref().map(|tx| tx.overlay.clone())
     }
 
     /// Per-table pending event counts of the open transaction (tables with
@@ -1072,6 +1187,7 @@ impl Session {
     ) -> Result<StatementOutcome> {
         let state = self.server.state_read();
         let m = &self.server.obs.metrics;
+        let hook = self.server.hook.get();
         m.attempts.inc();
 
         // No-op fast path (autocommitted statements that planned to
@@ -1121,6 +1237,13 @@ impl Session {
         };
         let stage_time = span.lap();
         m.stage_seconds.record(stage_time);
+        // Phase boundary: staged but unchecked, no rwlock held. (Hook time
+        // bleeds into the check-phase span; the hook is a test-only seam.)
+        if let Some(h) = &hook {
+            if h(self.id, CommitPhase::Staged) == HookAction::Abort {
+                return self.abort_in_flight(&touched_list, m);
+            }
+        }
         let mut stats = CheckStats {
             normalization,
             ..CheckStats::default()
@@ -1159,6 +1282,14 @@ impl Session {
         m.checks_evaluated
             .add((stats.views_evaluated + stats.fallbacks_evaluated) as u64);
 
+        // Phase boundary: verdict computed, nothing acted on, no rwlock
+        // held.
+        if let Some(h) = &hook {
+            if h(self.id, CommitPhase::Checked) == HookAction::Abort {
+                return self.abort_in_flight(&touched_list, m);
+            }
+        }
+
         // Phase 3 — write lock, O(update): stamp versions and publish, or
         // discard.
         let mut db = self.server.db.write();
@@ -1193,6 +1324,9 @@ impl Session {
             let total = stage_time + check_time + publish_time;
             m.commit_seconds.record(total);
             self.report_slow_commit(ts, total, stage_time, check_time, publish_time);
+            if let Some(h) = &hook {
+                h(self.id, CommitPhase::Published);
+            }
             Ok(StatementOutcome::Committed {
                 inserted,
                 deleted,
@@ -1206,8 +1340,29 @@ impl Session {
             m.violations.add(violations.len() as u64);
             let total = stage_time + check_time + publish_time;
             self.report_slow_commit(ts, total, stage_time, check_time, publish_time);
+            if let Some(h) = &hook {
+                h(self.id, CommitPhase::Rejected);
+            }
             Ok(StatementOutcome::Rejected { violations, stats })
         }
+    }
+
+    /// A [`HookAction::Abort`] landed mid-commit: discard the staged
+    /// events (the base tables were never touched — phase 3 had not run)
+    /// and surface a transaction error, exactly the trace-free rollback a
+    /// crashed committer must leave behind.
+    fn abort_in_flight(
+        &self,
+        touched: &[tintin_engine::TouchedTable],
+        m: &SessionMetrics,
+    ) -> Result<StatementOutcome> {
+        let mut db = self.server.db.write();
+        db.truncate_events_for(touched);
+        drop(db);
+        m.errors.inc();
+        Err(SessionError::Engine(EngineError::Transaction(
+            "commit aborted mid-flight by commit hook (fault injection)".into(),
+        )))
     }
 
     /// Emit the slow-commit `WARN` line when the configured threshold is

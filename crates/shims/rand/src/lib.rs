@@ -22,6 +22,21 @@ pub trait SampleRange<T> {
 /// Object-safe core of a generator.
 pub trait RngCore {
     fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes (little-endian words of
+    /// [`RngCore::next_u64`], one fresh word per trailing partial chunk —
+    /// mirroring the real crate's method on this trait).
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
 }
 
 /// User-facing generator methods.
@@ -131,6 +146,19 @@ mod tests {
             let w = rng.gen_range(1..=5usize);
             assert!((1..=5).contains(&w));
         }
+    }
+
+    #[test]
+    fn fill_bytes_is_deterministic_and_covers_partial_chunks() {
+        use super::RngCore;
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let mut ba = [0u8; 13];
+        let mut bb = [0u8; 13];
+        a.fill_bytes(&mut ba);
+        b.fill_bytes(&mut bb);
+        assert_eq!(ba, bb);
+        assert_ne!(ba, [0u8; 13]);
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Seeded workload generation: schema, assertion set, and a step-intent
+//! script for the deterministic scheduler.
+//!
+//! Everything is generated *up front* from the master seed, before a
+//! single statement executes. Steps are **intents**, not guaranteed-legal
+//! statements: an intent that is infeasible when its turn comes (e.g.
+//! `RollbackTo` with no live savepoint) executes as a deterministic
+//! `skip`. This makes the step list a stable coordinate system, which is
+//! what shrinking needs: dropping a step never changes what the remaining
+//! steps *are*, only whether they are feasible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::SimConfig;
+
+/// Number of distinct primary-key values ops draw from. Small on purpose:
+/// collisions are what make conflicts, unique-violations and assertion
+/// rejections actually happen.
+pub const KEY_SPACE: i64 = 24;
+
+/// Upper cap used by the `cap` assertion: `a` must stay `<= CAP`.
+pub const CAP: i64 = 100;
+
+/// Savepoint names sessions cycle through.
+pub const SAVEPOINTS: [&str; 4] = ["sp0", "sp1", "sp2", "sp3"];
+
+/// The generated schema + assertion set.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    /// Base table names (`t0`, `t1`, ...).
+    pub tables: Vec<String>,
+    /// Whether the child table `c0` (with an `fk` column into `t0.k`)
+    /// exists.
+    pub child: bool,
+    /// `CREATE TABLE` statements, in creation order.
+    pub ddl: Vec<String>,
+    /// `CREATE ASSERTION` statements (name, full DDL), in creation order.
+    pub assertions: Vec<(String, String)>,
+}
+
+/// Where a commit-hook fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortPoint {
+    /// Between staging and checking (phase 1 → 2 boundary).
+    Staged,
+    /// Between checking and publishing (phase 2 → 3 boundary).
+    Checked,
+}
+
+/// Scheduler instructions attached to a `Commit` intent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommitPlan {
+    /// Inject a mid-commit abort at this phase boundary.
+    pub abort_at: Option<AbortPoint>,
+    /// At the staged boundary, probe that staged events are invisible to
+    /// the published clock and to every pinned reader snapshot.
+    pub probe_staged: bool,
+    /// At the checked boundary, probe pinned reader snapshots for
+    /// stability (the commit has not published yet).
+    pub probe_checked: bool,
+}
+
+/// One workload step intent: which session acts, and what it tries.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// `BEGIN` (skip if a transaction is already open).
+    Begin,
+    /// Insert a row `(k, g, a)` into a base table (autocommit or in-tx).
+    Insert {
+        table: usize,
+        k: i64,
+        g: i64,
+        a: i64,
+    },
+    /// Insert `(k, fk)` into the child table `c0` (skip if no child).
+    InsertChild { k: i64, fk: i64 },
+    /// `UPDATE t SET a = a + delta WHERE k = k`.
+    Update { table: usize, k: i64, delta: i64 },
+    /// `DELETE FROM t WHERE k = k`.
+    Delete { table: usize, k: i64 },
+    /// `SAVEPOINT <name>` (skip if no transaction).
+    Savepoint { name: usize },
+    /// `ROLLBACK TO <name>` (skip if not live).
+    RollbackTo { name: usize },
+    /// `RELEASE <name>` (skip if not live).
+    Release { name: usize },
+    /// `ROLLBACK` (skip if no transaction).
+    Rollback,
+    /// `COMMIT` (skip if no transaction), with scheduler instructions.
+    Commit(CommitPlan),
+    /// Open a long-lived snapshot by starting a transaction on a
+    /// dedicated reader session and running one query (skip if already
+    /// pinned).
+    PinReader { reader: usize },
+    /// Close a pinned reader snapshot via `ROLLBACK` (skip if not
+    /// pinned).
+    UnpinReader { reader: usize },
+    /// Deterministically force a first-committer-wins conflict between
+    /// the two dedicated conflict sessions on `t0.k`.
+    ForcedConflict { k: i64 },
+    /// Run a GC pass at the server's honest horizon.
+    Gc,
+}
+
+/// One scheduled step: session index + intent.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// Index into the scheduler's session vector (ignored by ops that use
+    /// dedicated sessions, e.g. `ForcedConflict`).
+    pub session: usize,
+    /// The intent.
+    pub op: Op,
+}
+
+/// A fully generated workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The schema + assertions to install first.
+    pub schema: Schema,
+    /// Seed rows per base table, inserted before the workload runs
+    /// (`(table, k, g, a)` with `a` values that satisfy every assertion).
+    pub seed_rows: Vec<(usize, i64, i64, i64)>,
+    /// The step intents, in schedule order.
+    pub steps: Vec<Step>,
+    /// Number of reader sessions (snapshot pinners).
+    pub readers: usize,
+}
+
+/// Generate the schema: 1..=cfg.tables base tables, each
+/// `(k INT PRIMARY KEY, g INT NOT NULL, a INT NOT NULL)`, an optional
+/// child table, and 2-4 assertions drawn from four families.
+fn gen_schema(rng: &mut StdRng, cfg: &SimConfig) -> Schema {
+    let n_tables = rng.gen_range(1..=cfg.tables.max(1));
+    let tables: Vec<String> = (0..n_tables).map(|i| format!("t{i}")).collect();
+    let child = rng.gen_bool(0.5);
+
+    let mut ddl = Vec::new();
+    for t in &tables {
+        ddl.push(format!(
+            "CREATE TABLE {t} (k INT PRIMARY KEY, g INT NOT NULL, a INT NOT NULL)"
+        ));
+    }
+    if child {
+        ddl.push("CREATE TABLE c0 (k INT PRIMARY KEY, fk INT NOT NULL)".to_string());
+    }
+
+    let mut assertions = Vec::new();
+    // Family 1: non-negativity on a random table (always installed — it
+    // is the workhorse that turns random deltas into rejections).
+    let t = &tables[rng.gen_range(0..tables.len())];
+    assertions.push((
+        format!("{t}_nonneg"),
+        format!("CREATE ASSERTION {t}_nonneg CHECK (NOT EXISTS (SELECT * FROM {t} WHERE a < 0))"),
+    ));
+    // Family 2: an upper cap on a random table.
+    if rng.gen_bool(0.7) {
+        let t = &tables[rng.gen_range(0..tables.len())];
+        assertions.push((
+            format!("{t}_cap"),
+            format!(
+                "CREATE ASSERTION {t}_cap CHECK (NOT EXISTS (SELECT * FROM {t} WHERE a > {CAP}))"
+            ),
+        ));
+    }
+    // Family 3: referential integrity from c0.fk into t0.k, as the paper's
+    // NOT EXISTS inclusion-dependency pattern.
+    if child && rng.gen_bool(0.8) {
+        assertions.push((
+            "c0_fk".to_string(),
+            "CREATE ASSERTION c0_fk CHECK (NOT EXISTS (SELECT * FROM c0 c WHERE NOT EXISTS \
+             (SELECT * FROM t0 p WHERE p.k = c.fk)))"
+                .to_string(),
+        ));
+    }
+    // Family 4: an aggregate constraint — every group's sum stays
+    // non-negative.
+    if rng.gen_bool(0.5) {
+        let t = &tables[rng.gen_range(0..tables.len())];
+        assertions.push((
+            format!("{t}_gsum"),
+            format!(
+                "CREATE ASSERTION {t}_gsum CHECK (NOT EXISTS \
+                 (SELECT g FROM {t} GROUP BY g HAVING SUM(a) < 0))"
+            ),
+        ));
+    }
+
+    Schema {
+        tables,
+        child,
+        ddl,
+        assertions,
+    }
+}
+
+/// Generate the full workload for `cfg`.
+pub fn generate(cfg: &SimConfig) -> Workload {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let schema = gen_schema(&mut rng, cfg);
+    let readers = 2;
+
+    // Seed rows: a handful per table, all assertion-satisfying (a in
+    // 0..=CAP/2, so group sums start comfortably positive).
+    let mut seed_rows = Vec::new();
+    for (ti, _) in schema.tables.iter().enumerate() {
+        let n = rng.gen_range(3..=6);
+        let mut used = Vec::new();
+        for _ in 0..n {
+            let k = rng.gen_range(0..KEY_SPACE);
+            if used.contains(&k) {
+                continue;
+            }
+            used.push(k);
+            let g = rng.gen_range(0..4);
+            let a = rng.gen_range(0..=CAP / 2);
+            seed_rows.push((ti, k, g, a));
+        }
+    }
+
+    let n_sessions = cfg.sessions.max(1);
+    let mut steps = Vec::with_capacity(cfg.steps);
+    for _ in 0..cfg.steps {
+        let session = rng.gen_range(0..n_sessions);
+        let roll = rng.gen_range(0..100u32);
+        let op = match roll {
+            0..=11 => Op::Begin,
+            12..=31 => Op::Insert {
+                table: rng.gen_range(0..schema.tables.len()),
+                k: rng.gen_range(0..KEY_SPACE),
+                g: rng.gen_range(0..4),
+                a: rng.gen_range(-20..=CAP + 20),
+            },
+            32..=37 => Op::InsertChild {
+                k: rng.gen_range(0..KEY_SPACE),
+                fk: rng.gen_range(0..KEY_SPACE),
+            },
+            38..=55 => Op::Update {
+                table: rng.gen_range(0..schema.tables.len()),
+                k: rng.gen_range(0..KEY_SPACE),
+                delta: rng.gen_range(-40..=40),
+            },
+            56..=63 => Op::Delete {
+                table: rng.gen_range(0..schema.tables.len()),
+                k: rng.gen_range(0..KEY_SPACE),
+            },
+            64..=68 => Op::Savepoint {
+                name: rng.gen_range(0..SAVEPOINTS.len()),
+            },
+            69..=71 => Op::RollbackTo {
+                name: rng.gen_range(0..SAVEPOINTS.len()),
+            },
+            72..=73 => Op::Release {
+                name: rng.gen_range(0..SAVEPOINTS.len()),
+            },
+            74..=77 => Op::Rollback,
+            78..=89 => {
+                let abort_at = match rng.gen_range(0..10u32) {
+                    0 => Some(AbortPoint::Staged),
+                    1 => Some(AbortPoint::Checked),
+                    _ => None,
+                };
+                Op::Commit(CommitPlan {
+                    abort_at,
+                    probe_staged: rng.gen_bool(0.6),
+                    probe_checked: rng.gen_bool(0.4),
+                })
+            }
+            90..=92 => Op::PinReader {
+                reader: rng.gen_range(0..readers),
+            },
+            93..=94 => Op::UnpinReader {
+                reader: rng.gen_range(0..readers),
+            },
+            95..=97 => Op::ForcedConflict {
+                k: rng.gen_range(0..KEY_SPACE),
+            },
+            _ => Op::Gc,
+        };
+        steps.push(Step { session, op });
+    }
+
+    Workload {
+        schema,
+        seed_rows,
+        steps,
+        readers,
+    }
+}
+
+/// Render a step intent as the short trace token used in failure traces.
+pub fn op_label(op: &Op) -> String {
+    match op {
+        Op::Begin => "begin".to_string(),
+        Op::Insert { table, k, g, a } => format!("insert t{table} ({k},{g},{a})"),
+        Op::InsertChild { k, fk } => format!("insert c0 ({k},{fk})"),
+        Op::Update { table, k, delta } => format!("update t{table} k={k} a+={delta}"),
+        Op::Delete { table, k } => format!("delete t{table} k={k}"),
+        Op::Savepoint { name } => format!("savepoint {}", SAVEPOINTS[*name]),
+        Op::RollbackTo { name } => format!("rollback-to {}", SAVEPOINTS[*name]),
+        Op::Release { name } => format!("release {}", SAVEPOINTS[*name]),
+        Op::Rollback => "rollback".to_string(),
+        Op::Commit(plan) => match plan.abort_at {
+            Some(AbortPoint::Staged) => "commit(abort@staged)".to_string(),
+            Some(AbortPoint::Checked) => "commit(abort@checked)".to_string(),
+            None => "commit".to_string(),
+        },
+        Op::PinReader { reader } => format!("pin-reader {reader}"),
+        Op::UnpinReader { reader } => format!("unpin-reader {reader}"),
+        Op::ForcedConflict { k } => format!("forced-conflict k={k}"),
+        Op::Gc => "gc".to_string(),
+    }
+}

@@ -1,0 +1,207 @@
+//! `tintin-sim` — deterministic simulation and fault injection for the
+//! whole TINTIN stack, checked by a full-recheck differential oracle.
+//!
+//! The paper's core claim is a *safety property*: an incrementally-checked
+//! commit is accepted iff a full recheck of every installed assertion
+//! would accept it, and a rejected (or crashed) commit leaves no trace.
+//! This crate turns that property into an executable oracle and hammers it
+//! with seeded random workloads:
+//!
+//! * **generator** ([`gen`]) — from one `u64` seed, produce a random
+//!   schema, a random assertion set, and a multi-session workload of
+//!   interleaved `BEGIN`/DML/`SAVEPOINT`/`COMMIT`/`ROLLBACK` step intents;
+//! * **deterministic scheduler** ([`exec`]) — drive N logical
+//!   [`Session`](tintin_session::Session)s through the workload on a
+//!   *single thread*. Mid-commit interleavings are not left to OS-thread
+//!   timing: the session layer's commit-phase hook
+//!   ([`Server::set_commit_hook`](tintin_session::Server::set_commit_hook))
+//!   fires at every phase boundary of every phased commit, and the
+//!   scheduler runs seed-chosen read probes (snapshot stability,
+//!   staged-event invisibility) and fault injections (mid-commit aborts)
+//!   inside it;
+//! * **fault injection** — forced first-committer-wins
+//!   serialization conflicts, commit-hook aborts between phases, and — in
+//!   [`wire`] — connection drops, torn frames, oversized frames and
+//!   garbage payloads against a live `tintin-server`;
+//! * **differential oracle** — a mirror database replays every accepted
+//!   update through [`Tintin::full_recheck`](tintin::Tintin), the paper's
+//!   trusted non-incremental comparator. After every decided commit the
+//!   oracle asserts verdict agreement (incremental ≡ full recheck), state
+//!   equivalence (shared ≡ mirror, and periodically ≡ a from-scratch
+//!   replay into a fresh database), MVCC version accounting, and
+//!   conservation of the `tintin-obs` outcome counters
+//!   (`attempts == commits + rejects + conflicts + errors`);
+//! * **replay + shrinking** ([`shrink`]) — every failure prints a
+//!   `SIM_SEED` and a step trace that reproduces it exactly, then greedily
+//!   minimizes the failing workload to a small `--keep` list replayable
+//!   from the command line.
+//!
+//! ```text
+//! cargo run -p tintin-sim --release -- --seed 42 --steps 60
+//! cargo run -p tintin-sim --release -- --sweep 500
+//! cargo run -p tintin-sim --release -- --seed 7 --mutant ghost-write   # must fail
+//! ```
+
+pub mod exec;
+pub mod gen;
+pub mod shrink;
+pub mod wire;
+
+use std::fmt;
+
+/// Configuration of one simulation run (or sweep).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master seed: every random choice in the run derives from it.
+    pub seed: u64,
+    /// Number of workload step intents to generate.
+    pub steps: usize,
+    /// Number of scheduler-driven logical sessions.
+    pub sessions: usize,
+    /// Maximum number of base tables in the generated schema.
+    pub tables: usize,
+    /// Injected implementation bug (to prove the oracle catches it).
+    pub mutant: Mutant,
+    /// Run the from-scratch replay check every N accepted commits
+    /// (1 = after every committed step; a final replay always runs).
+    pub replay_every: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            steps: 48,
+            sessions: 3,
+            tables: 2,
+            mutant: Mutant::None,
+            replay_every: 1,
+        }
+    }
+}
+
+/// A deliberately wrong implementation behavior, injected through the
+/// commit-phase hook, that the differential oracle must detect. Used to
+/// test the oracle itself: a harness that never fails proves nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutant {
+    /// Correct behavior (the default).
+    #[default]
+    None,
+    /// After staging, silently truncate the staged `ins_T`/`del_T` events:
+    /// the incremental check then sees an empty update and waves every
+    /// commit through — incremental-vs-full divergence (and state
+    /// divergence, since nothing gets applied).
+    SkipStagedEvents,
+    /// After a successful publish, smuggle an extra assertion-violating
+    /// row into a base table, bypassing the check entirely: the committed
+    /// state no longer satisfies the installed assertions.
+    GhostWrite,
+    /// Apply part of the pending update directly at the staged boundary
+    /// and then abort the commit: a torn rollback that leaves a partial
+    /// update behind.
+    TornAbort,
+}
+
+impl Mutant {
+    /// Parse a CLI mutant name.
+    pub fn parse(name: &str) -> Option<Mutant> {
+        match name {
+            "none" => Some(Mutant::None),
+            "skip-staged-events" => Some(Mutant::SkipStagedEvents),
+            "ghost-write" => Some(Mutant::GhostWrite),
+            "torn-abort" => Some(Mutant::TornAbort),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of this mutant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mutant::None => "none",
+            Mutant::SkipStagedEvents => "skip-staged-events",
+            Mutant::GhostWrite => "ghost-write",
+            Mutant::TornAbort => "torn-abort",
+        }
+    }
+}
+
+/// Outcome tallies of one run, tracked by the scheduler from the outcomes
+/// it observes and cross-checked against the server's `tintin-obs`
+/// counters (the conservation invariant).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Phased-commit attempts (explicit and autocommit, fast path
+    /// included).
+    pub attempts: u64,
+    /// Accepted commits.
+    pub commits: u64,
+    /// Assertion-violating commits, rolled back atomically.
+    pub rejects: u64,
+    /// First-committer-wins serialization conflicts.
+    pub conflicts: u64,
+    /// Commit-path errors (injected mid-commit aborts, apply failures).
+    pub errors: u64,
+}
+
+/// A successful simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// The seed that produced the run.
+    pub seed: u64,
+    /// Steps actually executed (skips included, dropped steps not).
+    pub steps_run: usize,
+    /// Commit-outcome tallies.
+    pub tally: Tally,
+    /// FNV-1a hash of the canonical final state dump — the bit-for-bit
+    /// reproducibility fingerprint.
+    pub state_hash: u64,
+    /// One line per executed step (the deterministic trace).
+    pub trace: Vec<String>,
+}
+
+/// A failed simulation run: an oracle invariant broke (or the harness hit
+/// an internal error). Printing it yields the replayable failure artifact.
+#[derive(Debug, Clone)]
+pub struct SimFailure {
+    /// The seed that produced the failing run.
+    pub seed: u64,
+    /// Index (into the generated workload) of the step that failed.
+    pub step: usize,
+    /// What broke.
+    pub message: String,
+    /// The trace up to and including the failing step.
+    pub trace: Vec<String>,
+}
+
+impl fmt::Display for SimFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SIM_SEED={}", self.seed)?;
+        writeln!(f, "sim failed at step {}: {}", self.step, self.message)?;
+        writeln!(f, "trace:")?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SimFailure {}
+
+/// Run one full simulation: generate the workload for `cfg.seed` and
+/// execute it under the differential oracle.
+pub fn run_sim(cfg: &SimConfig) -> Result<SimReport, SimFailure> {
+    let workload = gen::generate(cfg);
+    exec::run_workload(&workload, None, cfg)
+}
+
+/// FNV-1a over a byte string: the deterministic state-hash primitive
+/// (never `DefaultHasher`, whose seeds vary across processes).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

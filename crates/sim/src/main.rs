@@ -1,0 +1,211 @@
+//! `tintin-sim` — the command-line front end of the simulation harness.
+//!
+//! ```text
+//! tintin-sim --seed 42 --steps 60         # one seeded run
+//! tintin-sim --sweep 500                  # seeds 0..500
+//! tintin-sim --seed 7 --mutant ghost-write   # must fail (oracle self-test)
+//! tintin-sim --seed 7 --keep 3,9,12       # replay a minimized trace
+//! tintin-sim --wire-faults --seed 1       # protocol-layer fault battery
+//! ```
+//!
+//! Exit codes: `0` success, `1` simulation failure (a `SIM_SEED` line and
+//! the step trace — plus a minimized `--keep` list unless `--no-shrink` —
+//! are printed as the replayable artifact), `2` usage error.
+
+use std::process::ExitCode;
+
+use tintin_sim::{exec, gen, shrink, Mutant, SimConfig, SimFailure};
+
+struct Args {
+    cfg: SimConfig,
+    sweep: Option<u64>,
+    keep: Option<Vec<usize>>,
+    no_shrink: bool,
+    wire_faults: bool,
+    quiet: bool,
+}
+
+fn usage() -> String {
+    "usage: tintin-sim [--seed N] [--steps N] [--sessions N] [--tables N]\n\
+     \x20                [--sweep N] [--mutant NAME] [--keep i,j,…] [--no-shrink]\n\
+     \x20                [--wire-faults] [--replay-every N] [--quiet]\n\
+     mutants: none | skip-staged-events | ghost-write | torn-abort"
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        cfg: SimConfig::default(),
+        sweep: None,
+        keep: None,
+        no_shrink: false,
+        wire_faults: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--seed" => args.cfg.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--steps" => args.cfg.steps = value("--steps")?.parse().map_err(|e| format!("{e}"))?,
+            "--sessions" => {
+                args.cfg.sessions = value("--sessions")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--tables" => {
+                args.cfg.tables = value("--tables")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--replay-every" => {
+                args.cfg.replay_every = value("--replay-every")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+            }
+            "--sweep" => args.sweep = Some(value("--sweep")?.parse().map_err(|e| format!("{e}"))?),
+            "--mutant" => {
+                let name = value("--mutant")?;
+                args.cfg.mutant = Mutant::parse(&name)
+                    .ok_or_else(|| format!("unknown mutant '{name}'\n{}", usage()))?;
+            }
+            "--keep" => {
+                let list = value("--keep")?;
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(|s| s.trim().parse()).collect();
+                args.keep = Some(parsed.map_err(|e| format!("bad --keep list: {e}"))?);
+            }
+            "--no-shrink" => args.no_shrink = true,
+            "--wire-faults" => args.wire_faults = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+/// Print the failure artifact: the `SIM_SEED` line, the trace, and (when
+/// shrinking is on) the minimized `--keep` replay list.
+fn report_failure(args: &Args, failure: &SimFailure) {
+    print!("{failure}");
+    if args.no_shrink || args.keep.is_some() {
+        return;
+    }
+    let cfg = SimConfig {
+        seed: failure.seed,
+        ..args.cfg.clone()
+    };
+    let wl = gen::generate(&cfg);
+    let shrunk = shrink::minimize(&wl, &cfg, failure.clone());
+    let keep: Vec<String> = shrunk.keep.iter().map(usize::to_string).collect();
+    println!(
+        "minimized to {} of {} steps; replay with: tintin-sim --seed {} --steps {} \
+         --sessions {} --tables {} --keep {}",
+        shrunk.keep.len(),
+        wl.steps.len(),
+        failure.seed,
+        cfg.steps,
+        cfg.sessions,
+        cfg.tables,
+        keep.join(",")
+    );
+    println!("minimized failure: {}", shrunk.failure.message);
+}
+
+fn run(args: &Args) -> ExitCode {
+    if args.wire_faults {
+        return match tintin_sim::wire::run_wire_faults(args.cfg.seed) {
+            Ok(log) => {
+                if !args.quiet {
+                    for line in log {
+                        println!("wire: {line}");
+                    }
+                }
+                println!("wire-fault battery passed (seed {})", args.cfg.seed);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                println!("SIM_SEED={}", args.cfg.seed);
+                println!("wire-fault battery failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some(n) = args.sweep {
+        let base = args.cfg.seed;
+        for seed in base..base + n {
+            let cfg = SimConfig {
+                seed,
+                ..args.cfg.clone()
+            };
+            match tintin_sim::run_sim(&cfg) {
+                Ok(report) => {
+                    if !args.quiet {
+                        println!(
+                            "seed {seed}: ok ({} steps, {} commits, {} rejects, {} conflicts, \
+                             {} errors, state hash {:016x})",
+                            report.steps_run,
+                            report.tally.commits,
+                            report.tally.rejects,
+                            report.tally.conflicts,
+                            report.tally.errors,
+                            report.state_hash
+                        );
+                    }
+                }
+                Err(failure) => {
+                    let sweep_args = Args {
+                        cfg,
+                        ..Args {
+                            cfg: SimConfig::default(),
+                            sweep: None,
+                            keep: None,
+                            no_shrink: args.no_shrink,
+                            wire_faults: false,
+                            quiet: args.quiet,
+                        }
+                    };
+                    report_failure(&sweep_args, &failure);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!("sweep passed: seeds {base}..{} clean", base + n);
+        return ExitCode::SUCCESS;
+    }
+
+    let wl = gen::generate(&args.cfg);
+    let mask = args
+        .keep
+        .as_ref()
+        .map(|keep| shrink::mask_from_keep(wl.steps.len(), keep));
+    match exec::run_workload(&wl, mask.as_deref(), &args.cfg) {
+        Ok(report) => {
+            if !args.quiet {
+                for line in &report.trace {
+                    println!("{line}");
+                }
+            }
+            println!(
+                "seed {} ok: {} steps, tally {:?}, state hash {:016x}",
+                report.seed, report.steps_run, report.tally, report.state_hash
+            );
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            report_failure(args, &failure);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(args) => run(&args),
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Greedy minimization of a failing workload.
+//!
+//! The workload is generated up front as a list of step *intents* whose
+//! infeasible members execute as deterministic skips, so a subset of the
+//! step list is itself a valid workload: shrinking is a pure keep-mask
+//! search. The shrinker drops chunks (halving the chunk size down to
+//! single steps) and keeps any drop that still reproduces a failure —
+//! classic delta debugging, deterministic because every candidate run is.
+
+use crate::exec::run_workload;
+use crate::gen::Workload;
+use crate::{SimConfig, SimFailure};
+
+/// Outcome of a shrink: the minimized keep list (indices into the
+/// generated step list, ascending) and the failure the minimized workload
+/// still produces.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// Steps that remain — replay with `--seed N --keep i,j,k,…`.
+    pub keep: Vec<usize>,
+    /// The failure the minimized workload reproduces.
+    pub failure: SimFailure,
+}
+
+fn fails(wl: &Workload, mask: &[bool], cfg: &SimConfig) -> Option<SimFailure> {
+    run_workload(wl, Some(mask), cfg).err()
+}
+
+/// Minimize the step set of a failing workload. `initial` is the failure
+/// of the full run (returned unchanged if nothing can be dropped).
+///
+/// Any failure counts as a reproduction, not just a byte-identical
+/// message: dropping steps legitimately changes which invariant breaks
+/// first, and for replay purposes any surviving failure is a witness.
+pub fn minimize(wl: &Workload, cfg: &SimConfig, initial: SimFailure) -> Shrunk {
+    let n = wl.steps.len();
+    let mut mask = vec![true; n];
+    let mut failure = initial;
+
+    let mut chunk = n.div_ceil(2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let dropped: Vec<usize> = (start..end).filter(|&i| mask[i]).collect();
+            if !dropped.is_empty() {
+                let mut candidate = mask.clone();
+                for &i in &dropped {
+                    candidate[i] = false;
+                }
+                if let Some(f) = fails(wl, &candidate, cfg) {
+                    mask = candidate;
+                    failure = f;
+                    progressed = true;
+                }
+            }
+            start = end;
+        }
+        if chunk == 1 {
+            if !progressed {
+                break;
+            }
+            // Single-step drops made progress: sweep again until a full
+            // fixed point — later drops can unlock earlier ones.
+            continue;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+
+    Shrunk {
+        keep: (0..n).filter(|&i| mask[i]).collect(),
+        failure,
+    }
+}
+
+/// Build a keep mask for an explicit `--keep` index list.
+pub fn mask_from_keep(n: usize, keep: &[usize]) -> Vec<bool> {
+    let mut mask = vec![false; n];
+    for &i in keep {
+        if i < n {
+            mask[i] = true;
+        }
+    }
+    mask
+}

@@ -1,0 +1,192 @@
+//! Wire-layer fault injection: drive a live `tintin-server` over real TCP
+//! and hit it with the failure modes the protocol documents — garbage
+//! (non-UTF-8) payloads, oversized frame announcements, torn length
+//! prefixes, and connections dropped mid-transaction — asserting the
+//! documented behavior for each and that the server stays healthy
+//! throughout.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use tintin_client::Client;
+use tintin_server::protocol::{decode_response, read_frame, write_frame, MAX_FRAME};
+use tintin_server::{ServerConfig, WireServer};
+use tintin_session::{Server, StatementOutcome};
+
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn raw_connect(addr: std::net::SocketAddr) -> Result<TcpStream, String> {
+    let s = TcpStream::connect(addr).map_err(|e| format!("raw connect failed: {e}"))?;
+    s.set_read_timeout(Some(READ_TIMEOUT))
+        .map_err(|e| format!("set_read_timeout failed: {e}"))?;
+    Ok(s)
+}
+
+/// Run the wire-fault battery. Returns one log line per passed check.
+pub fn run_wire_faults(seed: u64) -> Result<Vec<String>, String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5157_4952_455f_4654); // "QWIRE_FT"
+    let mut log = Vec::new();
+
+    let sessions = Server::new();
+    let wire = WireServer::bind(sessions, "127.0.0.1:0", ServerConfig::default())
+        .map_err(|e| format!("bind failed: {e}"))?;
+    let addr = wire.local_addr();
+
+    // --- baseline: a well-formed workload -------------------------------
+    let mut c1 = Client::connect(addr).map_err(|e| format!("connect failed: {e}"))?;
+    c1.execute("CREATE TABLE w0 (k INT PRIMARY KEY, a INT NOT NULL)")
+        .map_err(|e| format!("DDL failed: {e}"))?;
+    c1.execute("CREATE ASSERTION w0_nonneg CHECK (NOT EXISTS (SELECT * FROM w0 WHERE a < 0))")
+        .map_err(|e| format!("CREATE ASSERTION failed: {e}"))?;
+    let out = c1
+        .execute("INSERT INTO w0 VALUES (1, 5)")
+        .map_err(|e| format!("INSERT failed: {e}"))?;
+    if !matches!(out.first(), Some(o) if o.is_committed()) {
+        return Err(format!("expected a committed insert, got {out:?}"));
+    }
+    let out = c1
+        .execute("INSERT INTO w0 VALUES (2, -1)")
+        .map_err(|e| format!("violating INSERT errored instead of rejecting: {e}"))?;
+    if !matches!(out.first(), Some(o) if o.is_rejected()) {
+        return Err(format!("expected a rejected insert, got {out:?}"));
+    }
+    log.push("baseline workload: commit + assertion rejection over the wire".to_string());
+
+    // --- garbage (non-UTF-8) frame: typed error, connection kept ---------
+    {
+        let mut s = raw_connect(addr)?;
+        let n = rng.gen_range(1..=64usize);
+        let mut payload = vec![0u8; n];
+        rng.fill_bytes(&mut payload);
+        payload[0] = 0xff; // 0xff can never appear in UTF-8
+        s.write_all(&(n as u32).to_be_bytes())
+            .and_then(|()| s.write_all(&payload))
+            .map_err(|e| format!("garbage frame write failed: {e}"))?;
+        let resp = read_frame(&mut s)
+            .map_err(|e| format!("no response to a garbage frame: {e}"))?
+            .ok_or("server closed the connection on a garbage frame (expected a typed error)")?;
+        match decode_response(&resp) {
+            Ok(Err(_)) => {}
+            other => return Err(format!("expected a typed error response, got {other:?}")),
+        }
+        // The stream stayed frame-aligned: the same connection must still
+        // serve well-formed requests.
+        write_frame(&mut s, "SELECT * FROM w0 ORDER BY k")
+            .map_err(|e| format!("follow-up write failed: {e}"))?;
+        let resp = read_frame(&mut s)
+            .map_err(|e| format!("follow-up read failed: {e}"))?
+            .ok_or("connection was closed after a recoverable garbage frame")?;
+        match decode_response(&resp) {
+            Ok(Ok(outcomes)) => match outcomes.first() {
+                Some(StatementOutcome::Rows(rs)) if rs.rows.len() == 1 => {}
+                other => {
+                    return Err(format!(
+                        "expected one row after garbage frame, got {other:?}"
+                    ))
+                }
+            },
+            other => return Err(format!("follow-up request failed: {other:?}")),
+        }
+        log.push(format!(
+            "garbage frame ({n} bytes): typed error, connection survived"
+        ));
+    }
+
+    // --- oversized frame announcement: typed error, connection ends ------
+    {
+        let mut s = raw_connect(addr)?;
+        let announced = (MAX_FRAME + 1 + rng.gen_range(0..1024usize)) as u32;
+        s.write_all(&announced.to_be_bytes())
+            .map_err(|e| format!("oversized prefix write failed: {e}"))?;
+        let resp = read_frame(&mut s)
+            .map_err(|e| format!("no response to an oversized announcement: {e}"))?
+            .ok_or("server closed without the documented typed error on an oversized frame")?;
+        match decode_response(&resp) {
+            Ok(Err(_)) => {}
+            other => return Err(format!("expected a typed error response, got {other:?}")),
+        }
+        // The stream is desynchronized; the server must end the connection.
+        match read_frame(&mut s) {
+            Ok(None) | Err(_) => {}
+            Ok(Some(x)) => {
+                return Err(format!(
+                    "connection survived an oversized announcement (got frame {x:?})"
+                ))
+            }
+        }
+        log.push(format!(
+            "oversized announcement ({announced} bytes): typed error, connection ended"
+        ));
+    }
+
+    // --- torn length prefix: typed error, connection ends, server stays up
+    {
+        let mut s = raw_connect(addr)?;
+        s.write_all(&[0x00, 0x01])
+            .map_err(|e| format!("torn prefix write failed: {e}"))?;
+        s.shutdown(std::net::Shutdown::Write)
+            .map_err(|e| format!("torn prefix shutdown failed: {e}"))?;
+        let resp = read_frame(&mut s)
+            .map_err(|e| format!("no response to a torn prefix: {e}"))?
+            .ok_or("server closed without the documented typed error on a torn prefix")?;
+        match decode_response(&resp) {
+            Ok(Err(_)) => {}
+            other => return Err(format!("expected a typed error response, got {other:?}")),
+        }
+        match read_frame(&mut s) {
+            Ok(None) | Err(_) => {}
+            Ok(Some(x)) => {
+                return Err(format!(
+                    "connection survived a torn prefix (got frame {x:?})"
+                ))
+            }
+        }
+        let mut probe =
+            Client::connect(addr).map_err(|e| format!("server died after a torn prefix: {e}"))?;
+        probe
+            .ping()
+            .map_err(|e| format!("server unresponsive after a torn prefix: {e}"))?;
+        probe.close();
+        log.push("torn length prefix: typed error, connection ended, server healthy".to_string());
+    }
+
+    // --- connection dropped mid-transaction: uncommitted work vanishes ---
+    {
+        let k = rng.gen_range(100..1000);
+        let mut c2 = Client::connect(addr).map_err(|e| format!("connect failed: {e}"))?;
+        let out = c2
+            .execute(&format!("BEGIN; INSERT INTO w0 VALUES ({k}, 9)"))
+            .map_err(|e| format!("mid-tx script failed: {e}"))?;
+        if out.len() != 2 {
+            return Err(format!("expected BEGIN + pending insert, got {out:?}"));
+        }
+        c2.close(); // drop the connection with the transaction open
+        let rows = c1
+            .query_rows(&format!("SELECT * FROM w0 WHERE k = {k}"))
+            .map_err(|e| format!("post-drop query failed: {e}"))?;
+        if !rows.rows.is_empty() {
+            return Err(format!(
+                "uncommitted row k={k} leaked after its connection dropped"
+            ));
+        }
+        log.push("dropped mid-transaction connection: pending insert discarded".to_string());
+    }
+
+    // --- final sanity + shutdown -----------------------------------------
+    let rows = c1
+        .query_rows("SELECT * FROM w0 ORDER BY k")
+        .map_err(|e| format!("final query failed: {e}"))?;
+    if rows.rows.len() != 1 {
+        return Err(format!(
+            "expected exactly the one committed row at the end, got {}",
+            rows.rows.len()
+        ));
+    }
+    c1.close();
+    wire.shutdown();
+    log.push("graceful shutdown".to_string());
+    Ok(log)
+}

@@ -1,0 +1,103 @@
+//! Self-tests of the simulation harness: determinism, a clean sweep, the
+//! known-bad mutants (the oracle must catch every one), shrinking, and the
+//! wire-level fault battery.
+
+use tintin_sim::{exec, gen, run_sim, shrink, Mutant, SimConfig};
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn same_seed_is_bit_for_bit_reproducible() {
+    let a = run_sim(&cfg(42)).expect("seed 42 must pass clean");
+    let b = run_sim(&cfg(42)).expect("seed 42 must pass clean");
+    assert_eq!(a.state_hash, b.state_hash);
+    assert_eq!(a.tally, b.tally);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.steps_run, b.steps_run);
+}
+
+#[test]
+fn different_seeds_explore_different_histories() {
+    let a = run_sim(&cfg(1)).expect("seed 1 must pass clean");
+    let b = run_sim(&cfg(2)).expect("seed 2 must pass clean");
+    assert_ne!(a.trace, b.trace, "seeds 1 and 2 generated identical runs");
+}
+
+#[test]
+fn clean_sweep_passes_the_full_oracle() {
+    for seed in 0..12 {
+        if let Err(f) = run_sim(&cfg(seed)) {
+            panic!("clean seed {seed} failed the oracle:\n{f}");
+        }
+    }
+}
+
+#[test]
+fn oracle_catches_the_skip_staged_events_mutant() {
+    let failure = run_sim(&SimConfig {
+        mutant: Mutant::SkipStagedEvents,
+        ..cfg(7)
+    })
+    .expect_err("a mutant that drops staged events must be caught");
+    assert!(
+        failure.message.contains("divergence") || failure.message.contains("verdict"),
+        "unexpected failure mode: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn oracle_catches_the_ghost_write_mutant() {
+    run_sim(&SimConfig {
+        mutant: Mutant::GhostWrite,
+        ..cfg(7)
+    })
+    .expect_err("a mutant that writes behind the commit protocol must be caught");
+}
+
+#[test]
+fn oracle_catches_the_torn_abort_mutant() {
+    let failure = run_sim(&SimConfig {
+        mutant: Mutant::TornAbort,
+        ..cfg(7)
+    })
+    .expect_err("a mutant that aborts after mutating state must be caught");
+    assert!(
+        failure.message.contains("torn") || failure.message.contains("divergence"),
+        "unexpected failure mode: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn shrinking_produces_a_minimal_replayable_trace() {
+    let cfg = SimConfig {
+        mutant: Mutant::GhostWrite,
+        ..cfg(7)
+    };
+    let wl = gen::generate(&cfg);
+    let initial = exec::run_workload(&wl, None, &cfg).expect_err("mutant run must fail");
+    let shrunk = shrink::minimize(&wl, &cfg, initial);
+    assert!(
+        !shrunk.keep.is_empty() && shrunk.keep.len() < wl.steps.len(),
+        "shrinking made no progress: kept {:?} of {}",
+        shrunk.keep,
+        wl.steps.len()
+    );
+    // The minimized keep list is a replay artifact: running exactly those
+    // steps must reproduce a failure.
+    let mask = shrink::mask_from_keep(wl.steps.len(), &shrunk.keep);
+    exec::run_workload(&wl, Some(&mask), &cfg)
+        .expect_err("the minimized trace must still reproduce the failure");
+}
+
+#[test]
+fn wire_fault_battery_passes() {
+    let log = tintin_sim::wire::run_wire_faults(3).expect("wire-fault battery must pass");
+    assert!(log.len() >= 5, "battery skipped checks: {log:?}");
+}

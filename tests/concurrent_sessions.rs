@@ -633,6 +633,139 @@ fn stress_snapshot_readers_under_checked_commit_storm() {
     assert!(t0.elapsed() < Duration::from_secs(1));
 }
 
+/// The deterministic-scheduler variant of the reader storm above, in the
+/// default suite: instead of racing OS threads for a second, the commit
+/// hook polls pinned reader snapshots at the `Staged` and `Checked` phase
+/// boundaries of every commit — the exact interleavings the stress
+/// battery can only hope to hit. Readers must observe byte-identical
+/// snapshots and never a torn (orphaned-order) state; version accounting
+/// and a final GC must balance just like the long version.
+#[test]
+fn snapshot_readers_under_checked_commit_storm_deterministic() {
+    use std::sync::Mutex;
+    use tintin_session::{CommitPhase, HookAction};
+
+    const ROUNDS: usize = 12;
+    const READERS: usize = 3;
+
+    type Rows = Vec<Box<[tintin_engine::Value]>>;
+
+    let server = orders_server();
+    let orphans_sql = "SELECT * FROM orders o WHERE NOT EXISTS (
+         SELECT * FROM lineitem l WHERE l.l_orderkey = o.o_orderkey)";
+
+    // Pinned readers with open snapshots; the hook re-reads them
+    // mid-commit, so they live behind mutexes it can lock.
+    let readers: Vec<Arc<Mutex<Session>>> = (0..READERS)
+        .map(|_| Arc::new(Mutex::new(server.connect())))
+        .collect();
+    let baselines: Arc<Mutex<Vec<Rows>>> = Arc::new(Mutex::new(Vec::new()));
+    let pin = |r: &Arc<Mutex<Session>>| {
+        let mut s = r.lock().unwrap();
+        s.execute("BEGIN").unwrap();
+        s.query_rows("SELECT * FROM orders ORDER BY o_orderkey")
+            .unwrap()
+            .rows
+    };
+    {
+        let mut b = baselines.lock().unwrap();
+        for r in &readers {
+            b.push(pin(r));
+        }
+    }
+
+    // Mid-commit probes: any divergence is recorded, not panicked, so the
+    // commit machinery unwinds normally and the test reports it after.
+    let issues: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let probes = Arc::new(Mutex::new(0usize));
+    {
+        let readers = readers.clone();
+        let baselines = baselines.clone();
+        let issues = issues.clone();
+        let probes = probes.clone();
+        server.set_commit_hook(Arc::new(move |_ts, phase| {
+            if matches!(phase, CommitPhase::Staged | CommitPhase::Checked) {
+                *probes.lock().unwrap() += 1;
+                let b = baselines.lock().unwrap();
+                for (i, r) in readers.iter().enumerate() {
+                    let s = r.lock().unwrap();
+                    let rows = s
+                        .query_rows("SELECT * FROM orders ORDER BY o_orderkey")
+                        .unwrap()
+                        .rows;
+                    if rows != b[i] {
+                        issues
+                            .lock()
+                            .unwrap()
+                            .push(format!("reader {i} shifted at {phase:?}"));
+                    }
+                    if !s.query_rows(orphans_sql).unwrap().rows.is_empty() {
+                        issues
+                            .lock()
+                            .unwrap()
+                            .push(format!("reader {i} saw a torn state at {phase:?}"));
+                    }
+                }
+            }
+            HookAction::Continue
+        }));
+    }
+
+    let mut writer = server.connect();
+    for round in 0..ROUNDS {
+        let k = 1_000_000 + 2 * round as i64;
+        let out = writer
+            .execute(&format!(
+                "BEGIN;
+                 INSERT INTO orders VALUES ({k}, 1.0);
+                 INSERT INTO lineitem VALUES ({k}, 1);
+                 INSERT INTO orders VALUES ({}, 2.0);
+                 INSERT INTO lineitem VALUES ({}, 1);
+                 COMMIT;",
+                k + 1,
+                k + 1
+            ))
+            .unwrap();
+        assert!(out.last().unwrap().is_committed());
+        // Deterministic rotation: after each commit one reader re-pins at
+        // the newly published state, so snapshots of every age coexist.
+        let rotate = round % READERS;
+        readers[rotate].lock().unwrap().execute("ROLLBACK").unwrap();
+        baselines.lock().unwrap()[rotate] = pin(&readers[rotate]);
+    }
+    server.clear_commit_hook();
+    assert!(
+        issues.lock().unwrap().is_empty(),
+        "mid-commit snapshot violations: {:?}",
+        issues.lock().unwrap()
+    );
+    assert_eq!(*probes.lock().unwrap(), 2 * ROUNDS, "hook probes missing");
+    for r in &readers {
+        r.lock().unwrap().execute("ROLLBACK").unwrap();
+    }
+
+    // Version accounting and a final GC balance exactly as in the
+    // release-mode battery.
+    let check = server.connect();
+    assert_eq!(count(&check, "SELECT * FROM orders"), 2 * ROUNDS);
+    let live_before = {
+        let db = server.database().read();
+        let stats = db.mvcc_stats();
+        let visible: usize = ["orders", "lineitem"]
+            .iter()
+            .map(|t| db.table(t).unwrap().len())
+            .sum();
+        assert_eq!(stats.live_versions, visible);
+        stats.live_versions
+    };
+    assert_eq!(server.database().oldest_snapshot(), None);
+    let horizon = server.database().read().current_ts();
+    server.database().write().gc_versions(horizon);
+    let stats = server.database().read().mvcc_stats();
+    assert_eq!(stats.dead_versions, 0, "GC left dead versions behind");
+    assert_eq!(stats.live_versions, live_before, "GC pruned live versions");
+}
+
 /// Stress battery (release-mode): garbage collection racing live
 /// snapshots. Writers churn versions (update-heavy, so dead versions
 /// accumulate) while readers pin snapshots and GC runs aggressively at the
@@ -746,6 +879,106 @@ fn stress_gc_never_reclaims_versions_a_live_snapshot_sees() {
         stats.gc_pruned,
         (rounds * 50) as u64,
         "version accounting out of balance: {rounds} committed update rounds"
+    );
+}
+
+/// The deterministic-scheduler variant of the GC race above, in the
+/// default suite: the commit hook runs the collector at the honest horizon
+/// at every phase boundary of every update round — GC interleaved exactly
+/// between staging, checking, and publication — while a pinned snapshot is
+/// re-verified each time. No reader may lose a version its snapshot can
+/// still see, and the cumulative pruned counter must balance the versions
+/// the update rounds killed.
+#[test]
+fn gc_never_reclaims_versions_a_live_snapshot_sees_deterministic() {
+    use std::sync::Mutex;
+    use tintin_session::HookAction;
+
+    const ROWS: usize = 20;
+    const ROUNDS: usize = 9;
+
+    let server = Server::new();
+    server
+        .connect()
+        .execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+        .unwrap();
+    let mut seed = server.connect();
+    seed.execute("BEGIN").unwrap();
+    for k in 0..ROWS {
+        seed.execute(&format!("INSERT INTO t VALUES ({k}, 0)"))
+            .unwrap();
+    }
+    assert!(seed.execute("COMMIT").unwrap()[0].is_committed());
+
+    let reader = Arc::new(Mutex::new(server.connect()));
+    let pin = |r: &Arc<Mutex<Session>>| {
+        let mut s = r.lock().unwrap();
+        s.execute("BEGIN").unwrap();
+        s.query_rows("SELECT k, v FROM t ORDER BY k").unwrap().rows
+    };
+    let baseline = Arc::new(Mutex::new(pin(&reader)));
+
+    let issues: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let pruned_total = Arc::new(Mutex::new(0usize));
+    {
+        let server = server.clone();
+        let reader = reader.clone();
+        let baseline = baseline.clone();
+        let issues = issues.clone();
+        let pruned_total = pruned_total.clone();
+        server.clone().set_commit_hook(Arc::new(move |_ts, phase| {
+            // The collector runs at every boundary — including `Staged`
+            // and `Checked`, where the commit's own update is not yet
+            // published and must not be disturbed.
+            let current = server.database().read().current_ts();
+            let horizon = server.database().gc_horizon(current);
+            *pruned_total.lock().unwrap() += server.database().write().gc_versions(horizon);
+            let s = reader.lock().unwrap();
+            let rows = s.query_rows("SELECT k, v FROM t ORDER BY k").unwrap().rows;
+            if rows != *baseline.lock().unwrap() {
+                issues
+                    .lock()
+                    .unwrap()
+                    .push(format!("GC reclaimed a pinned version at {phase:?}"));
+            }
+            HookAction::Continue
+        }));
+    }
+
+    let mut writer = server.connect();
+    for round in 0..ROUNDS {
+        let out = writer.execute("BEGIN; UPDATE t SET v = v + 1; COMMIT;");
+        assert!(out.unwrap().last().unwrap().is_committed());
+        // Re-pin every third round so the horizon advances and the
+        // in-hook collector gets something to prune mid-commit.
+        if round % 3 == 2 {
+            reader.lock().unwrap().execute("ROLLBACK").unwrap();
+            *baseline.lock().unwrap() = pin(&reader);
+        }
+    }
+    server.clear_commit_hook();
+    assert!(
+        issues.lock().unwrap().is_empty(),
+        "GC violated snapshot isolation: {:?}",
+        issues.lock().unwrap()
+    );
+    assert!(
+        *pruned_total.lock().unwrap() > 0,
+        "the in-hook collector never pruned anything"
+    );
+    reader.lock().unwrap().execute("ROLLBACK").unwrap();
+
+    // Final accounting: ROWS live rows, a last GC drains all history, and
+    // the cumulative pruned counter balances the killed versions exactly.
+    let current = server.database().read().current_ts();
+    server.database().write().gc_versions(current);
+    let stats = server.database().read().mvcc_stats();
+    assert_eq!(stats.live_versions, ROWS);
+    assert_eq!(stats.dead_versions, 0);
+    assert_eq!(
+        stats.gc_pruned,
+        (ROUNDS * ROWS) as u64,
+        "version accounting out of balance after {ROUNDS} update rounds"
     );
 }
 
