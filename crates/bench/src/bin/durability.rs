@@ -1,0 +1,370 @@
+//! `durability` — what write-ahead logging costs, and what recovery costs.
+//!
+//! Three questions, answered with a real `WireServer` over a durable
+//! `--data-dir`-style session server on a temp directory:
+//!
+//! * **per-commit price of durability** — median checked-commit latency
+//!   over one TCP connection, for an in-memory server (the PR-7 baseline
+//!   shape), a durable server with `fsync` off (logging cost only), and a
+//!   durable server with `fsync` on (the full group-commit price);
+//! * **group-commit amortization** — committed transactions/sec with
+//!   1–8 concurrent connections under `fsync`, with the measured
+//!   `fsyncs / commit` ratio from the server's own WAL counters: the
+//!   leader/follower protocol should push the ratio well below 1 as
+//!   connections are added;
+//! * **recovery time vs log length** — seconds to reopen (checkpoint-free)
+//!   directories whose logs hold ~100 / 1000 / 5000 commits, from the
+//!   server's `tintin_recovery_seconds` measurement.
+//!
+//! ```text
+//! cargo run -p tintin-bench --release --bin durability            # full
+//! cargo run -p tintin-bench --release --bin durability -- --smoke # CI
+//! cargo run -p tintin-bench --release --bin durability -- --out path.json
+//! ```
+//!
+//! Results are written as JSON (default `BENCH_durability.json`, checked
+//! in at the repository root so the durability-path perf trajectory is
+//! recorded).
+
+use std::time::{Duration, Instant};
+use tintin_client::Client;
+use tintin_server::{ServerConfig, WireServer};
+use tintin_session::{DurabilityOptions, Server, StatementOutcome};
+
+/// Rows per committed transaction (matches `wire_path` for comparability).
+const BATCH: i64 = 8;
+/// Connection counts for the amortization sweep.
+const FANOUTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Config {
+    measure: Duration,
+    recovery_commits: Vec<usize>,
+    out_path: String,
+}
+
+struct Latency {
+    name: String,
+    commits: usize,
+    median: Duration,
+    p95: Duration,
+}
+
+struct Amortization {
+    connections: usize,
+    commits: usize,
+    commits_per_sec: f64,
+    fsyncs: u64,
+    fsyncs_per_commit: f64,
+}
+
+struct Recovery {
+    commits_in_log: usize,
+    log_bytes: u64,
+    recovery_secs: f64,
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tintin-bench-dura-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A wire server over the benchmark schema; `durable` opens a fresh data
+/// directory with the given fsync mode, `None` serves the in-memory
+/// baseline.
+fn serve(durable: Option<(&std::path::Path, bool)>) -> (WireServer, String) {
+    let sessions = match durable {
+        Some((dir, fsync)) => Server::open_with(
+            dir,
+            DurabilityOptions {
+                fsync,
+                ..DurabilityOptions::default()
+            },
+        )
+        .expect("open data dir"),
+        None => Server::new(),
+    };
+    let mut s = sessions.connect();
+    s.execute("CREATE TABLE t (a INT PRIMARY KEY, b INT NOT NULL)")
+        .unwrap();
+    s.install(&["CREATE ASSERTION nonneg CHECK (NOT EXISTS (
+         SELECT * FROM t WHERE b < 0))"])
+        .unwrap();
+    let wire = WireServer::bind(
+        sessions,
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 64,
+        },
+    )
+    .expect("bind loopback");
+    let addr = wire.local_addr().to_string();
+    (wire, addr)
+}
+
+fn commit_script(base: i64) -> String {
+    let values: Vec<String> = (0..BATCH).map(|i| format!("({}, 1)", base + i)).collect();
+    format!("BEGIN; INSERT INTO t VALUES {}; COMMIT;", values.join(", "))
+}
+
+fn assert_committed(out: &[StatementOutcome]) {
+    assert!(
+        out.last().is_some_and(|o| o.is_committed()),
+        "benchmark commit failed: {out:?}"
+    );
+}
+
+fn summarize(name: String, mut samples: Vec<Duration>) -> Latency {
+    samples.sort();
+    let q = |frac: f64| samples[((samples.len() as f64 * frac) as usize).min(samples.len() - 1)];
+    Latency {
+        name,
+        commits: samples.len(),
+        median: samples[samples.len() / 2],
+        p95: q(0.95),
+    }
+}
+
+/// Single-connection commit latency over the wire for one serving mode.
+fn run_latency(config: &Config, name: &str, durable: Option<(&std::path::Path, bool)>) -> Latency {
+    let (wire, addr) = serve(durable);
+    let mut client = Client::connect(addr).unwrap();
+    let mut key = 0i64;
+    // Warm-up outside the measurement window.
+    let warmup = Instant::now() + config.measure / 5;
+    while Instant::now() < warmup {
+        assert_committed(&client.execute(&commit_script(key)).unwrap());
+        key += BATCH;
+    }
+    let mut samples = Vec::with_capacity(1 << 12);
+    let deadline = Instant::now() + config.measure;
+    while Instant::now() < deadline {
+        let script = commit_script(key);
+        key += BATCH;
+        let t0 = Instant::now();
+        let out = client.execute(&script).unwrap();
+        samples.push(t0.elapsed());
+        assert_committed(&out);
+    }
+    wire.shutdown();
+    summarize(name.into(), samples)
+}
+
+/// Multi-connection throughput under fsync, with the measured
+/// fsyncs-per-commit ratio (the group-commit amortization figure).
+fn run_amortization(config: &Config, dir: &std::path::Path, n: usize) -> Amortization {
+    let (wire, addr) = serve(Some((dir, true)));
+    let before = wire.sessions().metrics_snapshot();
+    let started = Instant::now();
+    let deadline = started + config.measure;
+    let workers: Vec<_> = (0..n)
+        .map(|w| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut key = (w as i64 + 1) * 1_000_000_000;
+                let mut commits = 0usize;
+                while Instant::now() < deadline {
+                    assert_committed(&client.execute(&commit_script(key)).unwrap());
+                    key += BATCH;
+                    commits += 1;
+                }
+                commits
+            })
+        })
+        .collect();
+    let commits: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let elapsed = started.elapsed().as_secs_f64();
+    let after = wire.sessions().metrics_snapshot();
+    wire.shutdown();
+    let fsyncs = after.counter("tintin_wal_fsyncs").unwrap_or(0)
+        - before.counter("tintin_wal_fsyncs").unwrap_or(0);
+    Amortization {
+        connections: n,
+        commits,
+        commits_per_sec: commits as f64 / elapsed,
+        fsyncs,
+        fsyncs_per_commit: fsyncs as f64 / commits.max(1) as f64,
+    }
+}
+
+/// Build a checkpoint-free log of `commits` single-row commits, then
+/// reopen the directory and report the server's own recovery measurement.
+fn run_recovery(dir: &std::path::Path, commits: usize) -> Recovery {
+    {
+        let server = Server::open_with(
+            dir,
+            DurabilityOptions {
+                fsync: false, // build the log fast; recovery cost is what's measured
+                ..DurabilityOptions::default()
+            },
+        )
+        .expect("open data dir");
+        let mut s = server.connect();
+        s.execute("CREATE TABLE t (a INT PRIMARY KEY, b INT NOT NULL)")
+            .unwrap();
+        s.install(&["CREATE ASSERTION nonneg CHECK (NOT EXISTS (
+             SELECT * FROM t WHERE b < 0))"])
+            .unwrap();
+        for k in 0..commits as i64 {
+            assert_committed(
+                &s.execute(&format!("INSERT INTO t VALUES ({k}, 1)"))
+                    .unwrap(),
+            );
+        }
+    }
+    let log_bytes = std::fs::metadata(dir.join("wal"))
+        .map(|m| m.len())
+        .unwrap_or(0);
+    let reopened = Server::open(dir).expect("recovery");
+    let summary = reopened.recovery_summary().expect("durable server");
+    assert_eq!(
+        summary.commits_replayed, commits,
+        "recovery replayed a different number of commits than were logged"
+    );
+    Recovery {
+        commits_in_log: commits,
+        log_bytes,
+        recovery_secs: summary.elapsed.as_secs_f64(),
+    }
+}
+
+fn render_json(
+    config: &Config,
+    latencies: &[Latency],
+    amortizations: &[Amortization],
+    recoveries: &[Recovery],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"durability\",\n");
+    out.push_str(&format!("  \"batch_rows\": {BATCH},\n"));
+    out.push_str(&format!(
+        "  \"measure_secs\": {:.3},\n",
+        config.measure.as_secs_f64()
+    ));
+    out.push_str("  \"latency\": [\n");
+    for (i, l) in latencies.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"regime\": \"{}\", \"commits\": {}, \"median_us\": {:.1}, \
+             \"p95_us\": {:.1}}}{}\n",
+            l.name,
+            l.commits,
+            l.median.as_secs_f64() * 1e6,
+            l.p95.as_secs_f64() * 1e6,
+            if i + 1 == latencies.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"group_commit_amortization\": [\n");
+    for (i, a) in amortizations.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"connections\": {}, \"commits\": {}, \"commits_per_sec\": {:.0}, \
+             \"fsyncs\": {}, \"fsyncs_per_commit\": {:.3}}}{}\n",
+            a.connections,
+            a.commits,
+            a.commits_per_sec,
+            a.fsyncs,
+            a.fsyncs_per_commit,
+            if i + 1 == amortizations.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"recovery\": [\n");
+    for (i, r) in recoveries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"commits_in_log\": {}, \"log_bytes\": {}, \"recovery_secs\": {:.6}}}{}\n",
+            r.commits_in_log,
+            r.log_bytes,
+            r.recovery_secs,
+            if i + 1 == recoveries.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_durability.json".to_string());
+    let config = Config {
+        measure: if smoke {
+            Duration::from_millis(150)
+        } else {
+            Duration::from_secs(2)
+        },
+        recovery_commits: if smoke {
+            vec![20, 100]
+        } else {
+            vec![100, 1000, 5000]
+        },
+        out_path,
+    };
+
+    eprintln!("durability: single-connection commit latency, three serving modes…");
+    let mut latencies = Vec::new();
+    latencies.push(run_latency(&config, "in_memory", None));
+    {
+        let dir = tmpdir("nofsync");
+        latencies.push(run_latency(
+            &config,
+            "durable_no_fsync",
+            Some((&dir, false)),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    {
+        let dir = tmpdir("fsync");
+        latencies.push(run_latency(&config, "durable_fsync", Some((&dir, true))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    for l in &latencies {
+        eprintln!(
+            "durability:   {}: median {:.1}µs p95 {:.1}µs ({} commits)",
+            l.name,
+            l.median.as_secs_f64() * 1e6,
+            l.p95.as_secs_f64() * 1e6,
+            l.commits
+        );
+    }
+
+    eprintln!("durability: group-commit amortization under fsync…");
+    let mut amortizations = Vec::new();
+    for n in FANOUTS {
+        let dir = tmpdir(&format!("amort-{n}"));
+        let a = run_amortization(&config, &dir, n);
+        let _ = std::fs::remove_dir_all(&dir);
+        eprintln!(
+            "durability:   {} connection(s): {:.0} commits/sec, {:.3} fsyncs/commit",
+            a.connections, a.commits_per_sec, a.fsyncs_per_commit
+        );
+        amortizations.push(a);
+    }
+
+    eprintln!("durability: recovery time vs log length…");
+    let mut recoveries = Vec::new();
+    for &commits in &config.recovery_commits {
+        let dir = tmpdir(&format!("recovery-{commits}"));
+        let r = run_recovery(&dir, commits);
+        let _ = std::fs::remove_dir_all(&dir);
+        eprintln!(
+            "durability:   {} commits ({} B log): recovered in {:.3}s",
+            r.commits_in_log, r.log_bytes, r.recovery_secs
+        );
+        recoveries.push(r);
+    }
+
+    let json = render_json(&config, &latencies, &amortizations, &recoveries);
+    std::fs::write(&config.out_path, &json).expect("write results file");
+    eprintln!("durability: wrote {}", config.out_path);
+    print!("{json}");
+}

@@ -1003,6 +1003,48 @@ impl Database {
         self.commit_ts = ts;
     }
 
+    /// Set the commit clock directly. Recovery-only: after loading a
+    /// checkpoint the clock must resume at the snapshot's timestamp, which
+    /// may not be reachable through [`Database::publish_commit`]'s
+    /// monotonicity contract (the fresh database starts at 0 but replayed
+    /// history may begin anywhere).
+    pub fn set_commit_clock(&mut self, ts: u64) {
+        self.commit_ts = ts;
+    }
+
+    /// The staged, normalized effects of the in-flight commit on each
+    /// touched base table, as `(table, inserted rows, deleted rows)` — the
+    /// exact `ins_T`/`del_T` contents the incremental check validated.
+    /// Read between [`Database::normalize_events_touched`] and
+    /// [`Database::truncate_events_for`]; this is what the write-ahead log
+    /// records, so recovery replays precisely what was checked.
+    pub fn staged_effects_for(
+        &self,
+        touched: &[TouchedTable],
+    ) -> Vec<(String, Vec<Row>, Vec<Row>)> {
+        let mut out = Vec::with_capacity(touched.len());
+        for (has_ins, has_del, base) in touched {
+            let collect = |name: &str| -> Vec<Row> {
+                self.tables
+                    .get(name)
+                    .map(|t| t.scan().map(|(_, r)| r.clone()).collect())
+                    .unwrap_or_default()
+            };
+            let ins = if *has_ins {
+                collect(&ins_table_name(base))
+            } else {
+                Vec::new()
+            };
+            let del = if *has_del {
+                collect(&del_table_name(base))
+            } else {
+                Vec::new()
+            };
+            out.push((base.clone(), ins, del));
+        }
+        out
+    }
+
     /// First-committer-wins conflict detection for a transaction that
     /// planned `overlay` against the snapshot taken at commit timestamp
     /// `snapshot`: every planned deletion must still target a live version
@@ -1134,6 +1176,15 @@ impl Database {
             return Err(e);
         }
         Ok(())
+    }
+
+    /// Withdraw a successful-but-unpublishable
+    /// [`Database::apply_pending_versioned_for`] — the compensation a
+    /// caller needs when a step *between* apply and publish fails (e.g. the
+    /// durable session layer's write-ahead log append). Same contract as
+    /// the internal compensation: only valid while `ts` is unpublished.
+    pub fn unapply_pending_versioned_for(&mut self, touched: &[TouchedTable], ts: u64) {
+        self.unapply_version(touched, ts);
     }
 
     /// Compensate a failed [`Database::apply_pending_versioned_for`]:

@@ -2,14 +2,28 @@
 //!
 //! ```text
 //! tintin-server [--listen HOST:PORT] [--max-connections N] [--init FILE]
+//!               [--data-dir DIR] [--no-fsync] [--checkpoint-bytes N]
 //!               [--slow-commit-ms N] [--log LEVEL]
 //! ```
 //!
 //! * `--listen` — bind address (default `127.0.0.1:7878`);
 //! * `--max-connections` — admission limit (default 64); connections over
 //!   the limit receive a typed error and are closed;
+//! * `--data-dir` — open (or create) a durable database in `DIR`:
+//!   commits are write-ahead logged and group-fsynced before they are
+//!   acknowledged, and on startup the directory is recovered — checkpoint
+//!   loaded, log tail replayed to the last complete record, recovered
+//!   state re-verified against every installed assertion. Without it the
+//!   database is in-memory and dies with the process;
+//! * `--no-fsync` — with `--data-dir`, acknowledge commits without
+//!   waiting for `fdatasync` (faster; a crash may lose the unsynced tail);
+//! * `--checkpoint-bytes` — with `--data-dir`, checkpoint and rotate the
+//!   log whenever it exceeds N bytes (default: never automatically);
 //! * `--init` — a SQL script (schema, assertions, seed data) executed
-//!   through an in-process session before the listener opens;
+//!   through an in-process session before the listener opens (with
+//!   `--data-dir` it runs on the *recovered* state — make init scripts
+//!   idempotent, e.g. guard with `DROP`-free re-runnable DDL or run once
+//!   on an empty directory);
 //! * `--slow-commit-ms` — log any commit slower than this many
 //!   milliseconds at WARN with its per-phase breakdown (`0` disables;
 //!   default: the `TINTIN_SLOW_COMMIT_MS` environment variable);
@@ -20,18 +34,22 @@
 //! assertions installed by any client bind them all, and commits are
 //! checked by `safeCommit` exactly as in-process sessions are. Clients can
 //! send the `STATS` command for a full metrics snapshot (commit-phase
-//! latency histograms, connection and MVCC/GC counters). Stop with
-//! SIGINT/SIGTERM (state is in-memory; there is nothing to flush).
+//! latency histograms, WAL/recovery counters, connection and MVCC/GC
+//! counters). Stop with SIGINT/SIGTERM — without `--data-dir` state is
+//! in-memory and there is nothing to flush; with it, every acknowledged
+//! commit is already durable, so a kill at any instant recovers to exactly
+//! the acknowledged prefix on the next start.
 
 use std::process::exit;
 use std::time::Duration;
 use tintin_obs::{log_error, log_info, Level};
 use tintin_server::{ServerConfig, WireServer};
-use tintin_session::Server;
+use tintin_session::{DurabilityOptions, Server};
 
 fn usage() -> ! {
     eprintln!(
         "usage: tintin-server [--listen HOST:PORT] [--max-connections N] [--init FILE] \
+         [--data-dir DIR] [--no-fsync] [--checkpoint-bytes N] \
          [--slow-commit-ms N] [--log LEVEL]"
     );
     exit(2);
@@ -41,6 +59,9 @@ fn main() {
     let mut listen = "127.0.0.1:7878".to_string();
     let mut config = ServerConfig::default();
     let mut init: Option<String> = None;
+    let mut data_dir: Option<String> = None;
+    let mut fsync = true;
+    let mut checkpoint_bytes: Option<u64> = None;
     let mut slow_commit_ms: Option<u64> = None;
     let mut log_level = Level::Info;
 
@@ -55,6 +76,15 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--init" => init = Some(args.next().unwrap_or_else(|| usage())),
+            "--data-dir" => data_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--no-fsync" => fsync = false,
+            "--checkpoint-bytes" => {
+                checkpoint_bytes = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--slow-commit-ms" => {
                 slow_commit_ms = Some(
                     args.next()
@@ -77,7 +107,25 @@ fn main() {
     // TINTIN_LOG (when set and valid) wins over --log.
     tintin_obs::logger::init_logger(log_level);
 
-    let sessions = Server::new();
+    let sessions = match &data_dir {
+        Some(dir) => {
+            let opts = DurabilityOptions {
+                fsync,
+                checkpoint_bytes,
+                ..DurabilityOptions::default()
+            };
+            // Server::open_with logs the recovery summary (recovered LSN,
+            // commits replayed, tail bytes truncated) at INFO.
+            match Server::open_with(dir, opts) {
+                Ok(s) => s,
+                Err(e) => {
+                    log_error!("tintin_server", "cannot open --data-dir {dir}: {e}");
+                    exit(1);
+                }
+            }
+        }
+        None => Server::new(),
+    };
     if let Some(ms) = slow_commit_ms {
         // The flag overrides the TINTIN_SLOW_COMMIT_MS default the server
         // constructor read; 0 disables.
@@ -115,9 +163,11 @@ fn main() {
             exit(1);
         }
     };
-    // The accept loop runs on its own thread; park this one forever. The
-    // database is in-memory, so termination by signal loses nothing that
-    // surviving the signal would have kept.
+    // The accept loop runs on its own thread; park this one forever.
+    // Termination by signal loses nothing that surviving it would have
+    // kept: in-memory state dies with the process by design, and durable
+    // state (--data-dir) is write-ahead logged before every ack, so the
+    // next start recovers exactly the acknowledged prefix.
     loop {
         std::thread::park();
     }

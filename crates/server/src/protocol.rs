@@ -260,6 +260,7 @@ impl From<&SessionError> for WireError {
                     detail: detail.clone(),
                 }
             }
+            SessionError::Durability(m) => WireError::Server(format!("durability error: {m}")),
         }
     }
 }

@@ -90,6 +90,13 @@
 //! assert_eq!(bob.query_rows("SELECT * FROM orders").unwrap().len(), 1);
 //! ```
 
+mod durability;
+
+pub use durability::{
+    CheckpointStats, DurabilityFault, DurabilityOptions, RecoverySummary, WalStatus,
+};
+pub use tintin_wal::Lsn;
+
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -173,6 +180,11 @@ pub enum SessionError {
     DuplicateAssertion(String),
     /// `DROP ASSERTION` of an unknown name.
     NoSuchAssertion(String),
+    /// Write-ahead log / checkpoint / recovery failure. Surfaced when a
+    /// durable server cannot log or sync a commit (the commit is failed,
+    /// not acknowledged) or when [`Server::open`] finds a damaged
+    /// checkpoint or discontinuous log.
+    Durability(String),
     /// This transaction lost a first-committer-wins race: a concurrent
     /// commit created or removed row versions its update depends on after
     /// its snapshot was taken. The transaction is fully rolled back (its
@@ -211,6 +223,7 @@ impl fmt::Display for SessionError {
                 write!(f, "assertion '{n}' is already installed")
             }
             SessionError::NoSuchAssertion(n) => write!(f, "no such assertion: '{n}'"),
+            SessionError::Durability(m) => write!(f, "durability error: {m}"),
             SessionError::SerializationConflict { table, detail } => {
                 write!(
                     f,
@@ -552,6 +565,10 @@ pub struct Server {
     open_sessions: Arc<AtomicUsize>,
     obs: Arc<ServerObs>,
     hook: CommitHookCell,
+    /// The durable side (WAL + checkpoints), present only for servers
+    /// opened over a data directory ([`Server::open`]). `Server::new()`
+    /// and friends stay purely in-memory.
+    dura: Option<Arc<durability::Durability>>,
 }
 
 impl Server {
@@ -928,6 +945,9 @@ impl Session {
         }
         let inst = state.tintin.install(&mut db, assertions)?;
         state.installations.push(inst.clone());
+        if let Some(dura) = &self.server.dura {
+            dura.log_install(assertions)?;
+        }
         Ok(inst)
     }
 
@@ -939,30 +959,9 @@ impl Session {
         let _commit = self.server.db.commit_guard();
         let mut db = self.server.db.write();
         let mut state = self.server.state_write();
-        let found = state
-            .installations
-            .iter()
-            .enumerate()
-            .find_map(|(ii, inst)| {
-                inst.assertions
-                    .iter()
-                    .position(|a| a.name == name)
-                    .map(|ai| (ii, ai))
-            });
-        let Some((ii, ai)) = found else {
-            return Err(SessionError::NoSuchAssertion(name.to_string()));
-        };
-        let mut inst = state.installations.remove(ii);
-        for view in &inst.assertions[ai].view_names {
-            db.drop_view(view, true)?;
-        }
-        inst.assertions.remove(ai);
-        inst.fallbacks.retain(|f| f.assertion != name);
-        inst.denial_texts
-            .retain(|d| !d.starts_with(&format!("{name}:")));
-        inst.retain_views(|v| v.assertion != name);
-        if !inst.assertions.is_empty() {
-            state.installations.insert(ii, inst);
+        durability::drop_assertion_in(&mut db, &mut state.installations, name)?;
+        if let Some(dura) = &self.server.dura {
+            dura.log_drop_assertion(name)?;
         }
         Ok(())
     }
@@ -1064,6 +1063,9 @@ impl Session {
                 // slip into the unlocked middle of a phased commit.
                 let _commit = self.server.db.commit_guard();
                 self.server.db.write().execute(ddl)?;
+                if let Some(dura) = &self.server.dura {
+                    dura.log_ddl(&ddl.to_string())?;
+                }
                 Ok(StatementOutcome::Ddl)
             }
             sql::Statement::Query(q) => {
@@ -1157,8 +1159,16 @@ impl Session {
                 stats: CheckStats::default(),
             });
         }
-        let _commit = self.server.db.commit_guard();
-        self.phased_commit_guarded(overlay, snapshot)
+        let commit = self.server.db.commit_guard();
+        let res = self.phased_commit_guarded(overlay, snapshot);
+        // Group commit: release the commit lock *before* the durability
+        // sync, so concurrent committers' fsyncs coalesce on one leader
+        // (`finish_durable`). The commit is already published — the sync
+        // only gates the acknowledgment.
+        drop(commit);
+        let (outcome, wal_lsn) = res?;
+        self.finish_durable(wal_lsn)?;
+        Ok(outcome)
     }
 
     /// Is there nothing for a commit to do — an empty overlay and empty
@@ -1179,12 +1189,16 @@ impl Session {
     }
 
     /// [`Session::phased_commit`] with the commit lock already held by the
-    /// caller (autocommit holds it from planning onwards).
+    /// caller (autocommit holds it from planning onwards). On a durable
+    /// server a successful commit also returns the LSN of its log record;
+    /// the *caller* syncs to it after releasing the commit lock
+    /// ([`Session::finish_durable`]) — that ordering is the group-commit
+    /// amortization.
     fn phased_commit_guarded(
         &self,
         overlay: &TxOverlay,
         snapshot: u64,
-    ) -> Result<StatementOutcome> {
+    ) -> Result<(StatementOutcome, Option<Lsn>)> {
         let state = self.server.state_read();
         let m = &self.server.obs.metrics;
         let hook = self.server.hook.get();
@@ -1195,11 +1209,14 @@ impl Session {
         // the clock bump. The guard is already held, so this is cheap.
         if self.nothing_to_commit(overlay) {
             m.commits.inc();
-            return Ok(StatementOutcome::Committed {
-                inserted: 0,
-                deleted: 0,
-                stats: CheckStats::default(),
-            });
+            return Ok((
+                StatementOutcome::Committed {
+                    inserted: 0,
+                    deleted: 0,
+                    stats: CheckStats::default(),
+                },
+                None,
+            ));
         }
 
         // Per-phase spans: one clock read per phase boundary, and none at
@@ -1241,7 +1258,7 @@ impl Session {
         // bleeds into the check-phase span; the hook is a test-only seam.)
         if let Some(h) = &hook {
             if h(self.id, CommitPhase::Staged) == HookAction::Abort {
-                return self.abort_in_flight(&touched_list, m);
+                return self.abort_in_flight(&touched_list, m).map(|o| (o, None));
             }
         }
         let mut stats = CheckStats {
@@ -1286,7 +1303,7 @@ impl Session {
         // held.
         if let Some(h) = &hook {
             if h(self.id, CommitPhase::Checked) == HookAction::Abort {
-                return self.abort_in_flight(&touched_list, m);
+                return self.abort_in_flight(&touched_list, m).map(|o| (o, None));
             }
         }
 
@@ -1311,6 +1328,29 @@ impl Session {
                 m.errors.inc();
                 return Err(e.into());
             }
+            // Write-ahead: on a durable server the commit's normalized
+            // effects reach the log before the timestamp publishes. Both
+            // happen under the commit lock, so log order equals publish
+            // order; the fsync waits until the lock drops (group commit).
+            // The staged event tables still hold the effects — apply
+            // copied them, truncation comes next.
+            let mut wal_lsn = None;
+            if let Some(dura) = &self.server.dura {
+                if dura.fault() != DurabilityFault::AckBeforeLog {
+                    match dura.append_commit(ts, db.staged_effects_for(&touched_list)) {
+                        Ok(lsn) => wal_lsn = Some(lsn),
+                        Err(e) => {
+                            // The record never reached the log: withdraw
+                            // the apply (ts is unpublished, so nothing was
+                            // observable) and fail the commit.
+                            db.unapply_pending_versioned_for(&touched_list, ts);
+                            db.truncate_events_for(&touched_list);
+                            m.errors.inc();
+                            return Err(e);
+                        }
+                    }
+                }
+            }
             db.truncate_events_for(&touched_list);
             db.publish_commit(ts);
             // Commit-piggybacked GC: prune versions no live snapshot can
@@ -1327,11 +1367,14 @@ impl Session {
             if let Some(h) = &hook {
                 h(self.id, CommitPhase::Published);
             }
-            Ok(StatementOutcome::Committed {
-                inserted,
-                deleted,
-                stats,
-            })
+            Ok((
+                StatementOutcome::Committed {
+                    inserted,
+                    deleted,
+                    stats,
+                },
+                wal_lsn,
+            ))
         } else {
             db.truncate_events_for(&touched_list);
             drop(db);
@@ -1343,8 +1386,28 @@ impl Session {
             if let Some(h) = &hook {
                 h(self.id, CommitPhase::Rejected);
             }
-            Ok(StatementOutcome::Rejected { violations, stats })
+            // Rejected commits never reach the log: recovery replays only
+            // acknowledged history.
+            Ok((StatementOutcome::Rejected { violations, stats }, None))
         }
+    }
+
+    /// Make an acknowledged commit durable: group-fsync the log up to its
+    /// record, then run the size-triggered checkpoint policy. Called with
+    /// the commit lock *released* — concurrent committers coalesce on one
+    /// leader fsync. A checkpoint failure is logged, not surfaced: the
+    /// commit itself is already durable.
+    fn finish_durable(&self, wal_lsn: Option<Lsn>) -> Result<()> {
+        let (Some(dura), Some(lsn)) = (&self.server.dura, wal_lsn) else {
+            return Ok(());
+        };
+        dura.sync_to(lsn)?;
+        if dura.should_checkpoint() {
+            if let Err(e) = self.server.checkpoint() {
+                log_warn!("tintin_session", "size-triggered checkpoint failed: {e}");
+            }
+        }
+        Ok(())
     }
 
     /// A [`HookAction::Abort`] landed mid-commit: discard the staged
@@ -1469,17 +1532,25 @@ impl Session {
     /// staged events are discarded, so a failed statement can never poison
     /// later ones.
     fn autocommit(&mut self, dml: &sql::Statement) -> Result<StatementOutcome> {
-        let _commit = self.server.db.commit_guard();
-        let (overlay, snapshot) = {
-            // Planning only reads; concurrent readers are unaffected.
-            let db = self.server.db.read();
-            let snapshot = db.current_ts();
-            let mut overlay = TxOverlay::new();
-            let delta = db.plan_dml_at(dml, &overlay, TS_LATEST)?;
-            overlay.apply_delta(delta);
-            (overlay, snapshot)
-        };
-        self.phased_commit_guarded(&overlay, snapshot)
+        let commit = self.server.db.commit_guard();
+        let res = (|| {
+            let (overlay, snapshot) = {
+                // Planning only reads; concurrent readers are unaffected.
+                let db = self.server.db.read();
+                let snapshot = db.current_ts();
+                let mut overlay = TxOverlay::new();
+                let delta = db.plan_dml_at(dml, &overlay, TS_LATEST)?;
+                overlay.apply_delta(delta);
+                (overlay, snapshot)
+            };
+            self.phased_commit_guarded(&overlay, snapshot)
+        })();
+        // Same group-commit ordering as `phased_commit`: lock released,
+        // then fsync before the acknowledgment.
+        drop(commit);
+        let (outcome, wal_lsn) = res?;
+        self.finish_durable(wal_lsn)?;
+        Ok(outcome)
     }
 }
 

@@ -42,6 +42,7 @@
 //! cargo run -p tintin-sim --release -- --seed 7 --mutant ghost-write   # must fail
 //! ```
 
+pub mod crash;
 pub mod exec;
 pub mod gen;
 pub mod shrink;
@@ -101,6 +102,18 @@ pub enum Mutant {
     /// and then abort the commit: a torn rollback that leaves a partial
     /// update behind.
     TornAbort,
+    /// Durability mutant: acknowledge commits without running `fdatasync`
+    /// — a crash loses acknowledged history. Caught by the crash battery's
+    /// lose-tail scenarios ([`crash::run_crash_battery`]).
+    SkipFsync,
+    /// Durability mutant: acknowledge commits without writing their
+    /// write-ahead log record at all. Caught by every crash scenario that
+    /// loses in-memory state.
+    AckBeforeLog,
+    /// Durability mutant: rotate the log *before* the checkpoint is
+    /// durable and write the checkpoint non-atomically — a crash strands a
+    /// torn checkpoint with no log to fall back on. Caught at reopen.
+    TornCheckpoint,
 }
 
 impl Mutant {
@@ -111,6 +124,9 @@ impl Mutant {
             "skip-staged-events" => Some(Mutant::SkipStagedEvents),
             "ghost-write" => Some(Mutant::GhostWrite),
             "torn-abort" => Some(Mutant::TornAbort),
+            "skip-fsync" => Some(Mutant::SkipFsync),
+            "ack-before-log" => Some(Mutant::AckBeforeLog),
+            "torn-checkpoint" => Some(Mutant::TornCheckpoint),
             _ => None,
         }
     }
@@ -122,7 +138,19 @@ impl Mutant {
             Mutant::SkipStagedEvents => "skip-staged-events",
             Mutant::GhostWrite => "ghost-write",
             Mutant::TornAbort => "torn-abort",
+            Mutant::SkipFsync => "skip-fsync",
+            Mutant::AckBeforeLog => "ack-before-log",
+            Mutant::TornCheckpoint => "torn-checkpoint",
         }
+    }
+
+    /// Is this a durability mutant (exercised by the crash battery rather
+    /// than the in-memory workload scheduler)?
+    pub fn is_durability(&self) -> bool {
+        matches!(
+            self,
+            Mutant::SkipFsync | Mutant::AckBeforeLog | Mutant::TornCheckpoint
+        )
     }
 }
 

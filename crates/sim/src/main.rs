@@ -6,6 +6,10 @@
 //! tintin-sim --seed 7 --mutant ghost-write   # must fail (oracle self-test)
 //! tintin-sim --seed 7 --keep 3,9,12       # replay a minimized trace
 //! tintin-sim --wire-faults --seed 1       # protocol-layer fault battery
+//! tintin-sim --crash --seed 3             # crash/torn-write recovery matrix
+//! tintin-sim --crash --seed 3 --crash-point published --fault lose-tail
+//! tintin-sim --seed 3 --mutant skip-fsync    # durability mutant (must fail)
+//! tintin-sim --kill-matrix 5 --seed 1     # SIGKILL a live server, recover
 //! ```
 //!
 //! Exit codes: `0` success, `1` simulation failure (a `SIM_SEED` line and
@@ -14,7 +18,8 @@
 
 use std::process::ExitCode;
 
-use tintin_sim::{exec, gen, shrink, Mutant, SimConfig, SimFailure};
+use tintin_sim::crash::{CrashPoint, CrashScenario, TailFault};
+use tintin_sim::{crash, exec, gen, shrink, Mutant, SimConfig, SimFailure};
 
 struct Args {
     cfg: SimConfig,
@@ -22,6 +27,10 @@ struct Args {
     keep: Option<Vec<usize>>,
     no_shrink: bool,
     wire_faults: bool,
+    crash: bool,
+    crash_point: Option<CrashPoint>,
+    crash_fault: Option<TailFault>,
+    kill_matrix: Option<usize>,
     quiet: bool,
 }
 
@@ -29,7 +38,11 @@ fn usage() -> String {
     "usage: tintin-sim [--seed N] [--steps N] [--sessions N] [--tables N]\n\
      \x20                [--sweep N] [--mutant NAME] [--keep i,j,…] [--no-shrink]\n\
      \x20                [--wire-faults] [--replay-every N] [--quiet]\n\
-     mutants: none | skip-staged-events | ghost-write | torn-abort"
+     \x20                [--crash] [--crash-point P] [--fault F] [--kill-matrix N]\n\
+     mutants: none | skip-staged-events | ghost-write | torn-abort\n\
+     \x20         | skip-fsync | ack-before-log | torn-checkpoint (crash battery)\n\
+     crash points: staged | checked | published | after-ack\n\
+     tail faults: keep-all | lose-tail | torn-tail | bit-flip | duplicate-record"
         .to_string()
 }
 
@@ -40,6 +53,10 @@ fn parse_args() -> Result<Args, String> {
         keep: None,
         no_shrink: false,
         wire_faults: false,
+        crash: false,
+        crash_point: None,
+        crash_fault: None,
+        kill_matrix: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -76,6 +93,28 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-shrink" => args.no_shrink = true,
             "--wire-faults" => args.wire_faults = true,
+            "--crash" => args.crash = true,
+            "--crash-point" => {
+                let name = value("--crash-point")?;
+                args.crash_point = Some(
+                    CrashPoint::parse(&name)
+                        .ok_or_else(|| format!("unknown crash point '{name}'\n{}", usage()))?,
+                );
+            }
+            "--fault" => {
+                let name = value("--fault")?;
+                args.crash_fault = Some(
+                    TailFault::parse(&name)
+                        .ok_or_else(|| format!("unknown tail fault '{name}'\n{}", usage()))?,
+                );
+            }
+            "--kill-matrix" => {
+                args.kill_matrix = Some(
+                    value("--kill-matrix")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                );
+            }
             "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
@@ -113,6 +152,60 @@ fn report_failure(args: &Args, failure: &SimFailure) {
 }
 
 fn run(args: &Args) -> ExitCode {
+    if let Some(trials) = args.kill_matrix {
+        return match crash::run_kill_matrix(args.cfg.seed, trials) {
+            Ok(log) => {
+                if !args.quiet {
+                    for line in log {
+                        println!("kill: {line}");
+                    }
+                }
+                println!(
+                    "kill matrix passed ({trials} trials, seed {})",
+                    args.cfg.seed
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                println!("SIM_SEED={}", args.cfg.seed);
+                println!("kill matrix failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Durability mutants are exercised by the crash battery, so a uniform
+    // `--mutant $m` loop (as CI runs) routes here automatically.
+    if args.crash || args.cfg.mutant.is_durability() {
+        let only = match (args.crash_point, args.crash_fault) {
+            (Some(point), Some(fault)) => Some(CrashScenario { point, fault }),
+            (None, None) => None,
+            _ => {
+                eprintln!("--crash-point and --fault must be given together");
+                return ExitCode::from(2);
+            }
+        };
+        return match crash::run_crash_battery(args.cfg.seed, args.cfg.mutant, only) {
+            Ok(log) => {
+                if !args.quiet {
+                    for line in log {
+                        println!("crash: {line}");
+                    }
+                }
+                println!(
+                    "crash battery passed (seed {}, mutant {})",
+                    args.cfg.seed,
+                    args.cfg.mutant.name()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(failure) => {
+                print!("{failure}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     if args.wire_faults {
         return match tintin_sim::wire::run_wire_faults(args.cfg.seed) {
             Ok(log) => {
@@ -157,14 +250,15 @@ fn run(args: &Args) -> ExitCode {
                 Err(failure) => {
                     let sweep_args = Args {
                         cfg,
-                        ..Args {
-                            cfg: SimConfig::default(),
-                            sweep: None,
-                            keep: None,
-                            no_shrink: args.no_shrink,
-                            wire_faults: false,
-                            quiet: args.quiet,
-                        }
+                        sweep: None,
+                        keep: None,
+                        no_shrink: args.no_shrink,
+                        wire_faults: false,
+                        crash: false,
+                        crash_point: None,
+                        crash_fault: None,
+                        kill_matrix: None,
+                        quiet: args.quiet,
                     };
                     report_failure(&sweep_args, &failure);
                     return ExitCode::FAILURE;

@@ -101,3 +101,50 @@ fn wire_fault_battery_passes() {
     let log = tintin_sim::wire::run_wire_faults(3).expect("wire-fault battery must pass");
     assert!(log.len() >= 5, "battery skipped checks: {log:?}");
 }
+
+#[test]
+fn crash_battery_passes_clean() {
+    let log = tintin_sim::crash::run_crash_battery(11, Mutant::None, None)
+        .unwrap_or_else(|f| panic!("crash battery must pass without a durability mutant:\n{f}"));
+    // 20 scenarios, each logging a header + at least one detail line.
+    assert!(
+        log.len() >= 40,
+        "battery skipped scenarios: {} lines",
+        log.len()
+    );
+}
+
+#[test]
+fn crash_battery_is_deterministic() {
+    let a = tintin_sim::crash::run_crash_battery(13, Mutant::None, None).expect("clean battery");
+    let b = tintin_sim::crash::run_crash_battery(13, Mutant::None, None).expect("clean battery");
+    assert_eq!(a, b, "same seed must produce the same crash-battery log");
+}
+
+#[test]
+fn crash_oracle_catches_the_skip_fsync_mutant() {
+    let f = tintin_sim::crash::run_crash_battery(0, Mutant::SkipFsync, None)
+        .expect_err("acking before fdatasync must lose a tail in some scenario");
+    assert!(
+        f.message.contains("state divergence") || f.message.contains("recovery failed"),
+        "unexpected failure mode: {}",
+        f.message
+    );
+}
+
+#[test]
+fn crash_oracle_catches_the_ack_before_log_mutant() {
+    tintin_sim::crash::run_crash_battery(0, Mutant::AckBeforeLog, None)
+        .expect_err("acking unlogged commits must lose acknowledged history");
+}
+
+#[test]
+fn crash_oracle_catches_the_torn_checkpoint_mutant() {
+    let f = tintin_sim::crash::run_crash_battery(0, Mutant::TornCheckpoint, None)
+        .expect_err("a torn checkpoint with a rotated log must fail recovery");
+    assert!(
+        f.message.contains("recovery failed") || f.message.contains("state divergence"),
+        "unexpected failure mode: {}",
+        f.message
+    );
+}
