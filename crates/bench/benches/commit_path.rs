@@ -76,7 +76,7 @@ fn bench_commit_path(c: &mut Criterion) {
                     session
                         .execute("DELETE FROM lineitem WHERE l_linenumber >= 1000")
                         .expect("cleanup");
-                })
+                });
             },
         );
 
@@ -95,7 +95,7 @@ fn bench_commit_path(c: &mut Criterion) {
                 session
                     .execute("DELETE FROM lineitem WHERE l_linenumber >= 1000")
                     .expect("cleanup");
-            })
+            });
         });
     }
     group.finish();

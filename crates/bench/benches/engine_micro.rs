@@ -48,7 +48,7 @@ fn bench_inserts(c: &mut Criterion) {
                 .collect();
             next += 1000;
             db.insert_direct("orders", rows).unwrap()
-        })
+        });
     });
     group.finish();
 }
@@ -68,7 +68,7 @@ fn bench_point_query(c: &mut Criterion) {
                 .query_sql(&format!("SELECT * FROM orders WHERE o_orderkey = {k}"))
                 .unwrap();
             assert_eq!(rs.len(), 1);
-        })
+        });
     });
     group.finish();
 }
@@ -89,7 +89,7 @@ fn bench_correlated_not_exists(c: &mut Criterion) {
                 )
                 .unwrap();
             assert!(rs.is_empty());
-        })
+        });
     });
     group.finish();
 }
@@ -114,7 +114,7 @@ fn bench_union_exists(c: &mut Criterion) {
                 )
                 .unwrap();
             assert!(rs.is_empty());
-        })
+        });
     });
     group.finish();
 }
@@ -135,7 +135,7 @@ fn bench_join(c: &mut Criterion) {
                 )
                 .unwrap();
             assert!(!rs.is_empty());
-        })
+        });
     });
     group.finish();
 }

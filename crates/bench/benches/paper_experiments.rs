@@ -26,7 +26,7 @@ fn bench_e1(c: &mut Criterion) {
                     let (violations, stats) = s.tintin.check_pending(&mut s.db, &s.inst).unwrap();
                     assert!(violations.is_empty());
                     stats.views_evaluated
-                })
+                });
             },
         );
 
@@ -45,7 +45,7 @@ fn bench_e1(c: &mut Criterion) {
                         n += applied.query(q).unwrap().len();
                     }
                     assert_eq!(n, 0);
-                })
+                });
             },
         );
     }
@@ -66,7 +66,7 @@ fn bench_e2(c: &mut Criterion) {
                 let (violations, stats) = s.tintin.check_pending(&mut s.db, &s.inst).unwrap();
                 assert!(violations.is_empty());
                 stats.views_evaluated
-            })
+            });
         });
     }
     group.finish();
@@ -91,7 +91,7 @@ fn bench_safe_commit_cycle(c: &mut Criterion) {
             ug.insert_order(&mut s.db, 2);
             let outcome = s.tintin.safe_commit(&mut s.db, &s.inst).unwrap();
             assert!(outcome.is_committed());
-        })
+        });
     });
     group.finish();
 }

@@ -22,7 +22,7 @@ fn bench_parse(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(1));
     for (name, sql) in TPCH_ASSERTIONS.iter().take(3) {
         group.bench_with_input(BenchmarkId::from_parameter(name), sql, |b, sql| {
-            b.iter(|| parse_statement(sql).unwrap())
+            b.iter(|| parse_statement(sql).unwrap());
         });
     }
     group.finish();
@@ -43,7 +43,7 @@ fn bench_translate(c: &mut Criterion) {
             b.iter(|| {
                 let mut reg = Registry::new();
                 translate_assertion(&cat, &mut reg, a).unwrap()
-            })
+            });
         });
     }
     group.finish();
@@ -70,7 +70,7 @@ fn bench_edc_generation(c: &mut Criterion) {
                     edcs.extend(generator.generate(d).unwrap());
                 }
                 edcs.len()
-            })
+            });
         });
     }
     group.finish();
@@ -90,7 +90,7 @@ fn bench_full_install(c: &mut Criterion) {
             let mut db = base.clone();
             let tintin = Tintin::new();
             tintin.install(&mut db, &all).unwrap().view_count()
-        })
+        });
     });
     group.finish();
 }

@@ -45,6 +45,18 @@ struct Cell {
     baseline: Duration,
 }
 
+/// One measured cell of the residual-gate regime: the same workload run
+/// with the install-time constraint analysis on and off.
+struct GateCell {
+    regime: &'static str,
+    assertions: usize,
+    touched_tables: usize,
+    analysis_on: Duration,
+    analysis_off: Duration,
+    views_evaluated_on: usize,
+    views_skipped_residual_on: usize,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -82,7 +94,30 @@ fn main() {
         }
     }
 
-    let json = render_json(&cells, config.iterations, &registry.snapshot());
+    // Residual-gate regime: with the static analysis on, a prunable
+    // workload (every pending event provably unable to violate) should
+    // commit measurably faster because the residual gates skip the full
+    // vio-view plans; a non-prunable workload (gates always open) should
+    // cost the same with the analysis on or off.
+    let mut gate_cells = Vec::new();
+    for &prunable in &[true, false] {
+        let cell = measure_gates(prunable, config.iterations, &registry);
+        println!(
+            "regime={:<13} assertions={:>4} touched={:>2}/{TABLES} \
+             analysis-on {:>10?}  analysis-off {:>10?}  residual-skipped {:>3} \
+             ratio {:>5.2}x",
+            cell.regime,
+            cell.assertions,
+            cell.touched_tables,
+            cell.analysis_on,
+            cell.analysis_off,
+            cell.views_skipped_residual_on,
+            cell.analysis_off.as_secs_f64() / cell.analysis_on.as_secs_f64().max(1e-9),
+        );
+        gate_cells.push(cell);
+    }
+
+    let json = render_json(&cells, &gate_cells, config.iterations, &registry.snapshot());
     std::fs::write(&config.out_path, json).expect("write results file");
     println!("\nwrote {}", config.out_path);
 
@@ -198,6 +233,101 @@ fn measure(n_assertions: usize, touched: usize, iterations: usize, registry: &Re
     }
 }
 
+/// Fresh database for the residual-gate regime: every assertion lives on
+/// a *touched* table, so the relevance index lets all of them through and
+/// only the residual gates (or their absence) differentiate the runs.
+fn setup_gated(
+    n_assertions: usize,
+    touched: usize,
+    prunable: bool,
+    analysis: bool,
+) -> (Database, Tintin, Installation) {
+    let mut db = Database::new();
+    for t in 0..TABLES {
+        db.execute_sql(&format!("CREATE TABLE t{t} (id INT PRIMARY KEY, v INT)"))
+            .unwrap();
+        let rows: Vec<Vec<Value>> = (1..=PRELOAD)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 97)])
+            .collect();
+        db.insert_direct(&format!("t{t}"), rows).unwrap();
+    }
+    let assertions: Vec<String> = (0..n_assertions)
+        .map(|i| {
+            let t = i % touched;
+            if prunable {
+                // Residual gate `v < 0` on ins_t: the benchmark inserts
+                // only v = 7, so the gate is always closed.
+                format!(
+                    "CREATE ASSERTION nonneg{i} CHECK (NOT EXISTS (
+                         SELECT * FROM t{t} WHERE v < 0))"
+                )
+            } else {
+                // Column-to-column comparison: no constant bound, so the
+                // analysis emits no closing predicate and the full view
+                // plan runs every commit — with the analysis on or off.
+                format!(
+                    "CREATE ASSERTION ordered{i} CHECK (NOT EXISTS (
+                         SELECT * FROM t{t} WHERE v > id))"
+                )
+            }
+        })
+        .collect();
+    let refs: Vec<&str> = assertions.iter().map(|s| s.as_str()).collect();
+    let mut cfg = TintinConfig {
+        check_initial_state: false,
+        ..TintinConfig::default()
+    };
+    cfg.edc.analysis = analysis;
+    let tintin = Tintin::with_config(cfg);
+    let inst = tintin.install(&mut db, &refs).expect("install");
+    (db, tintin, inst)
+}
+
+fn measure_gates(prunable: bool, iterations: usize, registry: &Registry) -> GateCell {
+    const N_ASSERTIONS: usize = 128;
+    const TOUCHED: usize = 4;
+    let hist = registry.histogram(if prunable {
+        "bench_prunable_commit_seconds"
+    } else {
+        "bench_nonprunable_commit_seconds"
+    });
+    let mut medians = [Duration::ZERO; 2];
+    let mut views_evaluated_on = 0;
+    let mut views_skipped_residual_on = 0;
+    for (slot, analysis) in [(0usize, true), (1usize, false)] {
+        let (mut db, tintin, inst) = setup_gated(N_ASSERTIONS, TOUCHED, prunable, analysis);
+        let mut next_id = PRELOAD;
+        stage_update(&mut db, TOUCHED, &mut next_id);
+        tintin.safe_commit(&mut db, &inst).unwrap();
+        let mut samples = Vec::with_capacity(iterations);
+        for _ in 0..iterations {
+            stage_update(&mut db, TOUCHED, &mut next_id);
+            let t0 = Instant::now();
+            let outcome = tintin.safe_commit(&mut db, &inst).unwrap();
+            let elapsed = t0.elapsed();
+            samples.push(elapsed);
+            if analysis {
+                hist.record(elapsed);
+            }
+            assert!(outcome.is_committed(), "benchmark updates are valid");
+            if analysis {
+                views_evaluated_on = outcome.stats().views_evaluated;
+                views_skipped_residual_on = outcome.stats().views_skipped_residual;
+            }
+        }
+        medians[slot] = median(&mut samples);
+    }
+    GateCell {
+        regime: if prunable { "prunable" } else { "non-prunable" },
+        assertions: N_ASSERTIONS,
+        touched_tables: TOUCHED,
+        analysis_on: medians[0],
+        analysis_off: medians[1],
+        views_evaluated_on,
+        views_skipped_residual_on,
+    }
+}
+
 /// The old commit path, reconstructed over public APIs: per-view gate
 /// probing against the database and per-execution compilation
 /// (`Database::query` on the view's AST).
@@ -228,7 +358,12 @@ fn median(samples: &mut [Duration]) -> Duration {
     samples[samples.len() / 2]
 }
 
-fn render_json(cells: &[Cell], iterations: usize, metrics: &tintin_obs::Snapshot) -> String {
+fn render_json(
+    cells: &[Cell],
+    gate_cells: &[GateCell],
+    iterations: usize,
+    metrics: &tintin_obs::Snapshot,
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"commit_scaling\",\n");
     out.push_str(&format!("  \"tables\": {TABLES},\n"));
@@ -254,6 +389,31 @@ fn render_json(cells: &[Cell], iterations: usize, metrics: &tintin_obs::Snapshot
             c.baseline.as_secs_f64() * 1e6,
             speedup(c),
             if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(
+        "  \"residual_gate_note\": \"same workload with the install-time \
+         constraint analysis on vs off; prunable = every pending event \
+         provably non-violating (residual gates skip the view plans), \
+         non-prunable = gates always open (analysis must cost nothing)\",\n",
+    );
+    out.push_str("  \"residual_gate_results\": [\n");
+    for (i, c) in gate_cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"regime\": \"{}\", \"assertions\": {}, \
+             \"touched_tables\": {}, \"analysis_on_commit_us\": {:.1}, \
+             \"analysis_off_commit_us\": {:.1}, \"views_evaluated\": {}, \
+             \"views_skipped_residual\": {}, \"off_over_on\": {:.2}}}{}\n",
+            c.regime,
+            c.assertions,
+            c.touched_tables,
+            c.analysis_on.as_secs_f64() * 1e6,
+            c.analysis_off.as_secs_f64() * 1e6,
+            c.views_evaluated_on,
+            c.views_skipped_residual_on,
+            c.analysis_off.as_secs_f64() / c.analysis_on.as_secs_f64().max(1e-9),
+            if i + 1 == gate_cells.len() { "" } else { "," }
         ));
     }
     out.push_str("  ],\n");

@@ -76,7 +76,7 @@ fn serve(durable: Option<(&std::path::Path, bool)>) -> (WireServer, String) {
     let sessions = match durable {
         Some((dir, fsync)) => Server::open_with(
             dir,
-            DurabilityOptions {
+            &DurabilityOptions {
                 fsync,
                 ..DurabilityOptions::default()
             },
@@ -194,7 +194,7 @@ fn run_recovery(dir: &std::path::Path, commits: usize) -> Recovery {
     {
         let server = Server::open_with(
             dir,
-            DurabilityOptions {
+            &DurabilityOptions {
                 fsync: false, // build the log fast; recovery cost is what's measured
                 ..DurabilityOptions::default()
             },

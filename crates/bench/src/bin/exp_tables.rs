@@ -128,6 +128,7 @@ fn e3(gb: f64, mb: f64, iters: usize) {
                 edc: EdcConfig {
                     optimize: true,
                     assume_fks_valid: false,
+                    ..EdcConfig::default()
                 },
                 ..TintinConfig::default()
             },
@@ -138,6 +139,7 @@ fn e3(gb: f64, mb: f64, iters: usize) {
                 edc: EdcConfig {
                     optimize: false,
                     assume_fks_valid: false,
+                    ..EdcConfig::default()
                 },
                 ..TintinConfig::default()
             },

@@ -198,7 +198,7 @@ fn run_regime(name: &'static str, config: &Config, mode: WriterMode) -> Regime {
                         ))
                         .unwrap();
                         let delta = db.plan_dml(&stmt, &overlay).unwrap();
-                        overlay.apply_delta(delta);
+                        overlay.apply_delta(&delta);
                         next += 1;
                     }
                     db.stage_overlay(&overlay).unwrap();

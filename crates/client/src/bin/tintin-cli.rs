@@ -13,7 +13,8 @@
 //! any of them an interactive prompt reads statements until a terminating
 //! `;` and sends each batch over the wire; the connection is one
 //! server-side session, so `BEGIN … COMMIT` works across prompts exactly
-//! like the local REPL (and `.stats` works at the prompt too).
+//! like the local REPL (and `.stats` / `.explain <assertion>` work at the
+//! prompt too).
 
 use std::process::exit;
 use tintin_client::{render_outcome, render_server_stats, Client, ClientError};

@@ -202,6 +202,21 @@ pub fn run_interactive(client: &mut Client, prompt: &str) -> Result<()> {
             }
             continue;
         }
+        // `.explain <assertion>` is sugar for `EXPLAIN ASSERTION <name>;` —
+        // the install-time static-analysis report of one assertion.
+        if buffer.is_empty() && line.starts_with(".explain ") {
+            let name = line[".explain ".len()..].trim();
+            match client.execute(&format!("EXPLAIN ASSERTION {name};")) {
+                Ok(outcomes) => {
+                    for outcome in &outcomes {
+                        println!("{}", render_outcome(outcome));
+                    }
+                }
+                Err(e @ ClientError::Io(_)) => return Err(e),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
         buffer.push_str(line);
         buffer.push('\n');
         if !line.ends_with(';') {
@@ -245,14 +260,54 @@ pub fn render_server_stats(stats: &ServerStats) -> String {
     out
 }
 
+/// Render an `EXPLAIN ASSERTION` report for a terminal — the linter class,
+/// rule-pruning summary, and each surviving view's gate and residual
+/// predicates. Shared by `tintin-cli` (`.explain`) and
+/// `examples/repl.rs --connect`.
+pub fn render_explain(e: &tintin_session::AssertionExplain) -> String {
+    let mut out = format!(
+        "assertion '{}': {}\n  denials: {}  event rules: {} kept, {} pruned",
+        e.name, e.class, e.denial_count, e.edc_count, e.edc_pruned
+    );
+    for p in &e.prune_reasons {
+        out.push_str(&format!("\n  pruned: {p}"));
+    }
+    for v in &e.views {
+        let gates = v
+            .gate
+            .iter()
+            .map(|(is_ins, t)| format!("{}{t}", if *is_ins { "ins_" } else { "del_" }))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!("\n  view {} gated on [{gates}]", v.name));
+        for r in &v.residual {
+            out.push_str(&format!("\n    residual: {r}"));
+        }
+    }
+    for w in &e.warnings {
+        out.push_str(&format!("\n  warning: {w}"));
+    }
+    out
+}
+
 /// Render one outcome the way the REPL does — shared by `tintin-cli` and
 /// `examples/repl.rs --connect`.
 pub fn render_outcome(outcome: &StatementOutcome) -> String {
     match outcome {
         StatementOutcome::Ddl => "ok".into(),
-        StatementOutcome::AssertionInstalled { name, views } => {
-            format!("installed assertion '{name}' ({views} incremental view(s) total)")
+        StatementOutcome::AssertionInstalled {
+            name,
+            views,
+            warnings,
+        } => {
+            let mut out =
+                format!("installed assertion '{name}' ({views} incremental view(s) total)");
+            for w in warnings {
+                out.push_str(&format!("\nwarning: {w}"));
+            }
+            out
         }
+        StatementOutcome::Explain(e) => render_explain(e),
         StatementOutcome::AssertionDropped { name } => format!("dropped assertion '{name}'"),
         StatementOutcome::RowsAffected(n) => format!("{n} row(s) affected"),
         StatementOutcome::Rows(rs) => format!("{rs}"),

@@ -53,20 +53,21 @@ pub mod fk;
 
 pub use error::{Result, TintinError};
 pub use fk::assertions_from_foreign_keys;
-pub use tintin_logic::{EdcConfig, OptimizerConfig};
+pub use tintin_logic::{ColPredicate, EdcConfig, OptimizerConfig, ResidualGate};
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 use std::time::{Duration, Instant};
 use tintin_engine::{
     del_table_name, ins_table_name, Database, NormalizationReport, PreparedQuery, ResultSet,
-    TxOverlay,
+    TxOverlay, Value,
 };
-use tintin_logic::{EdcGenerator, Registry, SchemaCatalog};
+use tintin_logic::{CmpOp, EdcGenerator, Konst, Registry, SchemaCatalog};
 use tintin_sql as sql;
 use tintin_sqlgen::GeneratedView;
 
 /// Top-level configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct TintinConfig {
     /// EDC generation switches (optimizations, FK pruning).
     pub edc: EdcConfig,
@@ -119,6 +120,95 @@ pub struct InstalledAssertion {
     pub edc_count: usize,
     /// Names of the incremental violation views installed for it.
     pub view_names: Vec<String>,
+    /// EDC bodies the install-time analysis proved unsatisfiable and
+    /// dropped before SQL generation.
+    pub edc_pruned: usize,
+    /// One human-readable line per pruned body (rule + body text).
+    pub prune_reasons: Vec<String>,
+    /// The linter's verdict on this assertion.
+    pub class: AssertionClass,
+    /// Linter warnings surfaced in the `CREATE ASSERTION` outcome (e.g.
+    /// "this assertion can never be violated").
+    pub warnings: Vec<String>,
+}
+
+/// The assertion linter's classification, derived from the install-time
+/// constraint analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssertionClass {
+    /// Ordinary assertion: satisfiable denials, all event rules kept.
+    Normal,
+    /// Some (not all) event rules were proved unsatisfiable and pruned.
+    PartiallyPruned,
+    /// The denials are satisfiable, but *every* event rule was pruned: no
+    /// update can introduce a violation (given a consistent old state, the
+    /// assertion never fires).
+    NeverFires,
+    /// The assertion's own condition is unsatisfiable: no database state
+    /// violates it, so it is trivially true (tautological).
+    Tautological,
+    /// Aggregate assertion, checked by gated re-execution of the original
+    /// query rather than incremental event rules.
+    AggregateFallback,
+}
+
+impl fmt::Display for AssertionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AssertionClass::Normal => "normal",
+            AssertionClass::PartiallyPruned => "partially-pruned",
+            AssertionClass::NeverFires => "never-fires",
+            AssertionClass::Tautological => "tautological",
+            AssertionClass::AggregateFallback => "aggregate-fallback",
+        })
+    }
+}
+
+impl AssertionClass {
+    /// Parse the wire/CLI name produced by `Display`.
+    pub fn parse(s: &str) -> Option<AssertionClass> {
+        Some(match s {
+            "normal" => AssertionClass::Normal,
+            "partially-pruned" => AssertionClass::PartiallyPruned,
+            "never-fires" => AssertionClass::NeverFires,
+            "tautological" => AssertionClass::Tautological,
+            "aggregate-fallback" => AssertionClass::AggregateFallback,
+            _ => return None,
+        })
+    }
+}
+
+/// One installed view, as reported by `EXPLAIN ASSERTION`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewExplain {
+    /// View name.
+    pub name: String,
+    /// Emptiness-shortcut gate: `(is_insertion, base table)`.
+    pub gate: Vec<(bool, String)>,
+    /// Rendered residual gates ("ins_t where a < 0"), one per gated event
+    /// atom; empty when the analysis found no refining predicates.
+    pub residual: Vec<String>,
+}
+
+/// The full `EXPLAIN ASSERTION` report of one installed assertion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssertionExplain {
+    /// Assertion name.
+    pub name: String,
+    /// Linter classification.
+    pub class: AssertionClass,
+    /// Number of logic denials.
+    pub denial_count: usize,
+    /// Event rules installed (incremental views).
+    pub edc_count: usize,
+    /// Event rules proved unsatisfiable and pruned.
+    pub edc_pruned: usize,
+    /// One line per pruned body (rule + body text).
+    pub prune_reasons: Vec<String>,
+    /// Per-view gates and residual predicates.
+    pub views: Vec<ViewExplain>,
+    /// Linter warnings.
+    pub warnings: Vec<String>,
 }
 
 /// An assertion checked in fallback mode (aggregates): the original query
@@ -153,6 +243,9 @@ pub struct Installation {
     pub denial_texts: Vec<String>,
     /// Table → views relevance index (see [`RelevanceIndex`]).
     relevance: RelevanceIndex,
+    /// Base-table column names captured at install time, for rendering
+    /// residual gates in `EXPLAIN ASSERTION`.
+    table_columns: BTreeMap<String, Vec<String>>,
 }
 
 /// The table → check dependency index behind the emptiness shortcut.
@@ -301,6 +394,50 @@ impl Installation {
         self.relevance = RelevanceIndex::build(&self.views);
     }
 
+    /// The linter/analysis report of one installed assertion, by name —
+    /// the data behind `EXPLAIN ASSERTION`.
+    pub fn explain_assertion(&self, name: &str) -> Option<AssertionExplain> {
+        let a = self.assertions.iter().find(|a| a.name == name)?;
+        let views = self
+            .views
+            .iter()
+            .filter(|v| v.assertion == a.name)
+            .map(|v| ViewExplain {
+                name: v.name.clone(),
+                gate: v.gate.clone(),
+                residual: v
+                    .residual
+                    .iter()
+                    .filter(|g| !g.preds.is_empty())
+                    .map(|g| self.render_residual(g))
+                    .collect(),
+            })
+            .collect();
+        Some(AssertionExplain {
+            name: a.name.clone(),
+            class: a.class,
+            denial_count: a.denial_count,
+            edc_count: a.edc_count,
+            edc_pruned: a.edc_pruned,
+            prune_reasons: a.prune_reasons.clone(),
+            views,
+            warnings: a.warnings.clone(),
+        })
+    }
+
+    /// Render one residual gate against the column names captured at
+    /// install time.
+    fn render_residual(&self, gate: &ResidualGate) -> String {
+        let cols = self
+            .table_columns
+            .get(&gate.table)
+            .cloned()
+            .unwrap_or_default();
+        let prefix = if gate.is_ins { "ins_" } else { "del_" };
+        let preds: Vec<String> = gate.preds.iter().map(|p| p.display(&cols)).collect();
+        format!("{prefix}{} where {}", gate.table, preds.join(" and "))
+    }
+
     /// The base tables whose events can trigger checks of this
     /// installation, with the number of dependent checks (views and
     /// fallbacks) per table — the relevance index, summarized.
@@ -417,6 +554,10 @@ pub struct CheckStats {
     /// gate: no pending event table mapped to them at all (a subset of
     /// `views_skipped`).
     pub views_skipped_relevance: usize,
+    /// Views whose event tables were non-empty but where a residual gate
+    /// found no qualifying event row, so the full plan was skipped (a
+    /// subset of `views_skipped`).
+    pub views_skipped_residual: usize,
     /// Views actually evaluated.
     pub views_evaluated: usize,
     /// Prepared plans executed from the cache (no recompilation).
@@ -623,6 +764,10 @@ impl Tintin {
                         denial_count: 0,
                         edc_count: 0,
                         view_names: Vec::new(),
+                        edc_pruned: 0,
+                        prune_reasons: Vec::new(),
+                        class: AssertionClass::AggregateFallback,
+                        warnings: Vec::new(),
                     });
                     fallbacks.push(FallbackCheck {
                         assertion: assertion.name.clone(),
@@ -637,13 +782,50 @@ impl Tintin {
             for d in &denials {
                 denial_texts.push(format!("{}: {}", assertion.name, reg.denial_str(d)));
             }
+            // Linter: an assertion whose denial bodies are all statically
+            // unsatisfiable is tautological — no database state violates
+            // its condition (checked before EDC expansion, on the denials
+            // themselves).
+            let analysis_on = self.config.edc.optimize && self.config.edc.analysis;
+            let tautological = analysis_on
+                && !denials.is_empty()
+                && denials
+                    .iter()
+                    .all(|d| tintin_logic::analyze_body(&d.body, cat, true).is_err());
             let mut edcs = Vec::new();
+            let mut prune_reasons = Vec::new();
             for d in &denials {
-                let mut generator = EdcGenerator::new(&mut reg, cat, self.config.edc.clone());
+                let mut generator = EdcGenerator::new(&mut reg, cat, self.config.edc);
                 edcs.extend(generator.generate(d)?);
+                let pruned = std::mem::take(&mut generator.pruned);
+                for p in &pruned {
+                    prune_reasons.push(format!("{} [{}]", p.reason, reg.body_str(&p.body)));
+                }
             }
             let views = tintin_sqlgen::generate_views(cat, &reg, &edcs)?;
             let original_queries = split_assertion_queries(&assertion.condition)?;
+            let class = if tautological {
+                AssertionClass::Tautological
+            } else if edcs.is_empty() && !prune_reasons.is_empty() {
+                AssertionClass::NeverFires
+            } else if prune_reasons.is_empty() {
+                AssertionClass::Normal
+            } else {
+                AssertionClass::PartiallyPruned
+            };
+            let warnings = match class {
+                AssertionClass::Tautological => vec![format!(
+                    "assertion '{}' is tautological: its condition is statically \
+                     unsatisfiable, so it can never be violated",
+                    assertion.name
+                )],
+                AssertionClass::NeverFires => vec![format!(
+                    "assertion '{}' can never fire: every event rule was proved \
+                     unsatisfiable, so no update can violate it",
+                    assertion.name
+                )],
+                _ => Vec::new(),
+            };
             installed.push(InstalledAssertion {
                 name: assertion.name.clone(),
                 source_sql: source_sql.clone(),
@@ -651,6 +833,10 @@ impl Tintin {
                 denial_count: denials.len(),
                 edc_count: edcs.len(),
                 view_names: views.iter().map(|v| v.name.clone()).collect(),
+                edc_pruned: prune_reasons.len(),
+                prune_reasons,
+                class,
+                warnings,
             });
             all_views.extend(views);
         }
@@ -691,6 +877,10 @@ impl Tintin {
                 .collect::<std::result::Result<_, _>>()?;
         }
         let relevance = RelevanceIndex::build(&all_views);
+        let table_columns = cat
+            .table_names()
+            .filter_map(|t| Some((t.clone(), cat.table(t)?.columns.clone())))
+            .collect();
 
         Ok(Installation {
             assertions: installed,
@@ -699,6 +889,7 @@ impl Tintin {
             fallbacks,
             denial_texts,
             relevance,
+            table_columns,
         })
     }
 
@@ -793,6 +984,19 @@ impl Tintin {
                 let gate = &installation.views[i].gate;
                 if !gate.iter().all(|(is_ins, t)| touched.contains(*is_ins, t)) {
                     stats.views_skipped += 1;
+                    continue;
+                }
+                // Residual gates refine the emptiness check to predicate
+                // granularity: the view joins each gated event atom with
+                // the predicates the analysis proved necessary, so if some
+                // event table holds no qualifying row the view is empty and
+                // the full plan can be skipped. Sound because a predicate
+                // is only emitted when every witnessing row must satisfy it
+                // (and NULL fails both SQL `WHERE` and `sql_cmp`).
+                let residual = &installation.views[i].residual;
+                if !residual.is_empty() && !residual.iter().all(|g| residual_gate_open(db, g)) {
+                    stats.views_skipped += 1;
+                    stats.views_skipped_residual += 1;
                     continue;
                 }
                 self.eval_view(db, installation, i, stats, &mut violations)?;
@@ -966,6 +1170,62 @@ impl Tintin {
             out.push((a.name.clone(), n));
         }
         Ok(out)
+    }
+}
+
+/// Is a residual gate open — does its event table hold at least one row
+/// satisfying all of the gate's predicates? An empty predicate list is
+/// always open (the plain emptiness gate already verified non-emptiness).
+fn residual_gate_open(db: &Database, gate: &ResidualGate) -> bool {
+    if gate.preds.is_empty() {
+        return true;
+    }
+    let evt_name = if gate.is_ins {
+        ins_table_name(&gate.table)
+    } else {
+        del_table_name(&gate.table)
+    };
+    let Some(evt) = db.table(&evt_name) else {
+        // No event table at all: closed (nothing can qualify).
+        return false;
+    };
+    evt.scan()
+        .any(|(_, row)| gate.preds.iter().all(|p| residual_pred_holds(row, p)))
+}
+
+/// Evaluate one residual column predicate against a stored event row, with
+/// exactly the engine's SQL `WHERE` semantics: NULL and cross-class
+/// comparisons never match.
+fn residual_pred_holds(row: &[Value], pred: &ColPredicate) -> bool {
+    match pred {
+        ColPredicate::Null { col, negated } => match row.get(*col) {
+            Some(v) => v.is_null() != *negated,
+            None => false,
+        },
+        ColPredicate::Cmp { col, op, value } => {
+            let Some(v) = row.get(*col) else { return false };
+            let Some(ord) = v.sql_cmp(&konst_value(value)) else {
+                return false;
+            };
+            match op {
+                CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                CmpOp::NotEq => ord != std::cmp::Ordering::Equal,
+                CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                CmpOp::LtEq => ord != std::cmp::Ordering::Greater,
+                CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                CmpOp::GtEq => ord != std::cmp::Ordering::Less,
+            }
+        }
+    }
+}
+
+/// Convert a logic-layer constant to an engine value (the same mapping the
+/// SQL generator's literals go through).
+fn konst_value(k: &Konst) -> Value {
+    match k {
+        Konst::Int(i) => Value::Int(*i),
+        Konst::Real(r) => Value::real(*r),
+        Konst::Str(s) => Value::str(s.as_str()),
     }
 }
 

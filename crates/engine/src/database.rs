@@ -1427,13 +1427,13 @@ impl Database {
                 self.create_index(&ci.name, &ci.table, &ci.columns, ci.unique)?;
                 Ok(StatementResult::Ddl)
             }
-            sql::Statement::CreateAssertion(_) | sql::Statement::DropAssertion { .. } => {
-                Err(EngineError::Unsupported(
-                    "assertions are managed by the tintin crate (Tintin::install), \
-                     not by the raw engine"
-                        .into(),
-                ))
-            }
+            sql::Statement::CreateAssertion(_)
+            | sql::Statement::DropAssertion { .. }
+            | sql::Statement::ExplainAssertion { .. } => Err(EngineError::Unsupported(
+                "assertions are managed by the tintin crate (Tintin::install), \
+                 not by the raw engine"
+                    .into(),
+            )),
             sql::Statement::DropTable { name, if_exists } => {
                 self.drop_table(name, *if_exists)?;
                 Ok(StatementResult::Ddl)

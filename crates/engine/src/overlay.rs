@@ -144,8 +144,8 @@ impl TxOverlay {
     /// Fold one statement's planned effect
     /// ([`Database::plan_dml`](crate::Database::plan_dml)) into the overlay
     /// (see [`TableDelta::merge`] for the semantics).
-    pub fn apply_delta(&mut self, delta: DmlDelta) {
-        self.delta_mut(&delta.table).merge(&delta);
+    pub fn apply_delta(&mut self, delta: &DmlDelta) {
+        self.delta_mut(&delta.table).merge(delta);
     }
 }
 

@@ -1,0 +1,854 @@
+//! Install-time constraint analysis: conjunction satisfiability and
+//! residual event gates.
+//!
+//! This module implements the static analysis that runs once per
+//! `CREATE ASSERTION`, over denial and EDC bodies (following Martinenghi's
+//! simplified integrity checking for denial constraints):
+//!
+//! * **Satisfiability** ([`analyze_body`]) — equality congruence closure
+//!   over the body's variables and constants (union–find), per-class
+//!   interval reasoning over `CmpOp` chains, NULL-requirement tracking, and
+//!   primary-key subsumption (two old-state atoms over the same relation
+//!   with congruent key columns denote the *same* row, so contradictory
+//!   non-key constraints make the body unsatisfiable). A body proved
+//!   unsatisfiable is dropped before SQL generation; the reason is kept for
+//!   the assertion linter (`EXPLAIN ASSERTION`).
+//! * **Residual event gates** ([`residual_gates`]) — for each positive
+//!   event atom of a satisfiable body, the column predicates every
+//!   witnessing event row *must* satisfy (derived from the class
+//!   constraints of the columns' variables). The commit path tests pending
+//!   event rows against these predicates and skips the full vio-view plan
+//!   when no row qualifies — the relevance index extended from
+//!   table/event-kind granularity to predicate granularity.
+//!
+//! Everything here must be *sound*: a pruned body must truly be
+//! unsatisfiable under the normalized-event invariants, and a residual
+//! predicate must be a necessary condition for the event row to contribute
+//! to the view. Both properties are exercised end-to-end by the sim
+//! harness's analysis-on/off differential regime and its `over-prune`
+//! known-bad mutant.
+
+use crate::catalog::SchemaCatalog;
+use crate::ir::*;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why the analysis pruned a body (or flagged an assertion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PruneReason {
+    /// The rule that fired (stable, kebab-case).
+    pub rule: &'static str,
+    /// Human-readable detail for diagnostics.
+    pub detail: String,
+}
+
+impl PruneReason {
+    pub fn new(rule: &'static str, detail: impl Into<String>) -> Self {
+        PruneReason {
+            rule,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for PruneReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.rule, self.detail)
+    }
+}
+
+/// One column predicate of a residual event gate, evaluated directly
+/// against stored event rows (NULL never satisfies a `Cmp` predicate,
+/// mirroring SQL `WHERE`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColPredicate {
+    /// `row[col] op value` must hold.
+    Cmp { col: usize, op: CmpOp, value: Konst },
+    /// `row[col] IS [NOT] NULL` must hold.
+    Null { col: usize, negated: bool },
+}
+
+impl ColPredicate {
+    /// Render against a column-name list (for EXPLAIN output).
+    pub fn display(&self, columns: &[String]) -> String {
+        let name = |c: usize| columns.get(c).cloned().unwrap_or_else(|| format!("col{c}"));
+        match self {
+            ColPredicate::Cmp { col, op, value } => format!("{} {op} {value}", name(*col)),
+            ColPredicate::Null { col, negated } => format!(
+                "{} is {}null",
+                name(*col),
+                if *negated { "not " } else { "" }
+            ),
+        }
+    }
+}
+
+/// The residual gate of one positive event atom: the view can only return
+/// rows when the event table holds at least one row satisfying **all** of
+/// `preds`. An empty predicate list is an always-open gate (the plain
+/// emptiness shortcut already covers it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualGate {
+    /// `true` for `ins_<table>`, `false` for `del_<table>`.
+    pub is_ins: bool,
+    /// The base table of the event.
+    pub table: String,
+    /// Conjunction of necessary column predicates.
+    pub preds: Vec<ColPredicate>,
+}
+
+impl ResidualGate {
+    /// Render against the schema catalog (for EXPLAIN output).
+    pub fn display(&self, cat: &SchemaCatalog) -> String {
+        let prefix = if self.is_ins { "ins_" } else { "del_" };
+        let cols = cat
+            .table(&self.table)
+            .map(|t| t.columns.clone())
+            .unwrap_or_default();
+        if self.preds.is_empty() {
+            format!("{prefix}{} (any row)", self.table)
+        } else {
+            let preds: Vec<String> = self.preds.iter().map(|p| p.display(&cols)).collect();
+            format!("{prefix}{} where {}", self.table, preds.join(" and "))
+        }
+    }
+}
+
+// ------------------------------------------------------------------ bounds
+
+/// Numeric/string interval tracking for one congruence class (also used by
+/// the optimizer's constant-folding pass for single variables).
+#[derive(Debug, Default, Clone)]
+pub struct VarBounds {
+    /// Lower bound `(bound, strict)`.
+    pub lo: Option<(Konst, bool)>,
+    /// Upper bound `(bound, strict)`.
+    pub hi: Option<(Konst, bool)>,
+    /// Required constant value.
+    pub eq: Option<Konst>,
+    /// Excluded constant values.
+    pub neq: Vec<Konst>,
+}
+
+impl VarBounds {
+    /// Add `var op k`; returns false when the constraints become empty.
+    pub fn add(&mut self, op: CmpOp, k: &Konst) -> bool {
+        match op {
+            CmpOp::Eq => {
+                if let Some(e) = &self.eq {
+                    if !konst_eq(e, k) {
+                        return false;
+                    }
+                }
+                if self.neq.iter().any(|n| konst_eq(n, k)) {
+                    return false;
+                }
+                self.eq = Some(k.clone());
+            }
+            CmpOp::NotEq => {
+                if let Some(e) = &self.eq {
+                    if konst_eq(e, k) {
+                        return false;
+                    }
+                }
+                self.neq.push(k.clone());
+            }
+            CmpOp::Lt | CmpOp::LtEq => {
+                let strict = op == CmpOp::Lt;
+                let tighter = match &self.hi {
+                    None => true,
+                    Some((h, hs)) => match konst_cmp(k, h) {
+                        Some(std::cmp::Ordering::Less) => true,
+                        Some(std::cmp::Ordering::Equal) => strict && !hs,
+                        _ => false,
+                    },
+                };
+                if tighter {
+                    self.hi = Some((k.clone(), strict));
+                }
+            }
+            CmpOp::Gt | CmpOp::GtEq => {
+                let strict = op == CmpOp::Gt;
+                let tighter = match &self.lo {
+                    None => true,
+                    Some((l, ls)) => match konst_cmp(k, l) {
+                        Some(std::cmp::Ordering::Greater) => true,
+                        Some(std::cmp::Ordering::Equal) => strict && !ls,
+                        _ => false,
+                    },
+                };
+                if tighter {
+                    self.lo = Some((k.clone(), strict));
+                }
+            }
+        }
+        self.consistent()
+    }
+
+    /// Fold another bound set into this one (class merge); returns false
+    /// when the merged constraints become empty.
+    pub fn merge(&mut self, other: &VarBounds) -> bool {
+        if let Some(e) = &other.eq {
+            if !self.add(CmpOp::Eq, e) {
+                return false;
+            }
+        }
+        for n in &other.neq {
+            if !self.add(CmpOp::NotEq, n) {
+                return false;
+            }
+        }
+        if let Some((lo, strict)) = &other.lo {
+            let op = if *strict { CmpOp::Gt } else { CmpOp::GtEq };
+            if !self.add(op, lo) {
+                return false;
+            }
+        }
+        if let Some((hi, strict)) = &other.hi {
+            let op = if *strict { CmpOp::Lt } else { CmpOp::LtEq };
+            if !self.add(op, hi) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Is the constraint set non-empty?
+    pub fn consistent(&self) -> bool {
+        if let (Some((lo, ls)), Some((hi, hs))) = (&self.lo, &self.hi) {
+            match konst_cmp(lo, hi) {
+                Some(std::cmp::Ordering::Greater) => return false,
+                Some(std::cmp::Ordering::Equal) if *ls || *hs => return false,
+                _ => {}
+            }
+        }
+        if let Some(e) = &self.eq {
+            if let Some((lo, ls)) = &self.lo {
+                match konst_cmp(e, lo) {
+                    Some(std::cmp::Ordering::Less) => return false,
+                    Some(std::cmp::Ordering::Equal) if *ls => return false,
+                    _ => {}
+                }
+            }
+            if let Some((hi, hs)) = &self.hi {
+                match konst_cmp(e, hi) {
+                    Some(std::cmp::Ordering::Greater) => return false,
+                    Some(std::cmp::Ordering::Equal) if *hs => return false,
+                    _ => {}
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Compare two constants (numeric cross-type; `None` for mixed
+/// string/number, which SQL treats as a type mismatch).
+pub fn konst_cmp(a: &Konst, b: &Konst) -> Option<std::cmp::Ordering> {
+    match (a, b) {
+        (Konst::Int(x), Konst::Int(y)) => Some(x.cmp(y)),
+        (Konst::Real(x), Konst::Real(y)) => x.partial_cmp(y),
+        (Konst::Int(x), Konst::Real(y)) => (*x as f64).partial_cmp(y),
+        (Konst::Real(x), Konst::Int(y)) => x.partial_cmp(&(*y as f64)),
+        (Konst::Str(x), Konst::Str(y)) => Some(x.cmp(y)),
+        _ => None,
+    }
+}
+
+/// SQL-equality of two constants.
+pub fn konst_eq(a: &Konst, b: &Konst) -> bool {
+    konst_cmp(a, b) == Some(std::cmp::Ordering::Equal)
+}
+
+/// Evaluate `a op b` over constants; `None` when incomparable.
+pub fn eval_cmp(op: CmpOp, a: &Konst, b: &Konst) -> Option<bool> {
+    let ord = konst_cmp(a, b)?;
+    Some(match op {
+        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+        CmpOp::NotEq => ord != std::cmp::Ordering::Equal,
+        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+        CmpOp::LtEq => ord != std::cmp::Ordering::Greater,
+        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+        CmpOp::GtEq => ord != std::cmp::Ordering::Less,
+    })
+}
+
+// -------------------------------------------------------------- congruence
+
+/// Per-class constraint record of the congruence closure.
+#[derive(Debug, Default, Clone)]
+struct ClassInfo {
+    bounds: VarBounds,
+    /// The class must be NULL (from an `IS NULL` literal).
+    must_null: bool,
+    /// The class must be non-NULL (from a satisfied comparison or an
+    /// `IS NOT NULL` literal — SQL comparisons are never true on NULL).
+    must_nonnull: bool,
+}
+
+/// Union–find congruence closure over a body's variables, with per-class
+/// interval bounds and NULL requirements.
+#[derive(Debug, Default, Clone)]
+pub struct Congruence {
+    parent: Vec<usize>,
+    info: Vec<ClassInfo>,
+    slots: BTreeMap<Var, usize>,
+}
+
+impl Congruence {
+    fn slot(&mut self, v: Var) -> usize {
+        if let Some(s) = self.slots.get(&v) {
+            return *s;
+        }
+        let s = self.parent.len();
+        self.parent.push(s);
+        self.info.push(ClassInfo::default());
+        self.slots.insert(v, s);
+        s
+    }
+
+    fn find(&mut self, mut s: usize) -> usize {
+        while self.parent[s] != s {
+            self.parent[s] = self.parent[self.parent[s]];
+            s = self.parent[s];
+        }
+        s
+    }
+
+    /// Are two variables provably equal?
+    pub fn same_class(&mut self, a: Var, b: Var) -> bool {
+        let (sa, sb) = (self.slot(a), self.slot(b));
+        self.find(sa) == self.find(sb)
+    }
+
+    /// Record `a = b`; returns false when the merged class is empty.
+    pub fn union(&mut self, a: Var, b: Var) -> bool {
+        let (sa, sb) = (self.slot(a), self.slot(b));
+        let (ra, rb) = (self.find(sa), self.find(sb));
+        if ra == rb {
+            return true;
+        }
+        let other = self.info[rb].clone();
+        self.parent[rb] = ra;
+        let root = &mut self.info[ra];
+        root.must_null |= other.must_null;
+        root.must_nonnull |= other.must_nonnull;
+        if root.must_null && root.must_nonnull {
+            return false;
+        }
+        root.bounds.merge(&other.bounds)
+    }
+
+    /// Record `v op k`; returns false when the class becomes empty.
+    pub fn constrain(&mut self, v: Var, op: CmpOp, k: &Konst) -> bool {
+        let s = self.slot(v);
+        let r = self.find(s);
+        let info = &mut self.info[r];
+        // A true SQL comparison implies the operand is non-NULL.
+        info.must_nonnull = true;
+        if info.must_null {
+            return false;
+        }
+        info.bounds.add(op, k)
+    }
+
+    /// Record `v IS [NOT] NULL`; returns false when the class is empty.
+    pub fn require_null(&mut self, v: Var, negated: bool) -> bool {
+        let s = self.slot(v);
+        let r = self.find(s);
+        let info = &mut self.info[r];
+        if negated {
+            info.must_nonnull = true;
+        } else {
+            info.must_null = true;
+            // A NULL value cannot also satisfy any comparison.
+            if info.bounds.eq.is_some()
+                || info.bounds.lo.is_some()
+                || info.bounds.hi.is_some()
+                || !info.bounds.neq.is_empty()
+            {
+                return false;
+            }
+        }
+        !(info.must_null && info.must_nonnull)
+    }
+
+    /// The constant the variable's class is pinned to, if any.
+    pub fn eq_const(&mut self, v: Var) -> Option<Konst> {
+        let s = self.slot(v);
+        let r = self.find(s);
+        self.info[r].bounds.eq.clone()
+    }
+
+    fn class_info(&mut self, v: Var) -> ClassInfo {
+        let s = self.slot(v);
+        let r = self.find(s);
+        self.info[r].clone()
+    }
+}
+
+// ---------------------------------------------------------------- analysis
+
+/// The satisfiability summary of a body: its congruence closure, ready for
+/// residual-gate extraction.
+#[derive(Debug, Clone)]
+pub struct BodySummary {
+    cong: Congruence,
+}
+
+/// Analyze a conjunctive body: build the congruence closure, check interval
+/// consistency, and (optionally) apply primary-key subsumption.
+///
+/// `Err(reason)` means the body is **provably unsatisfiable** — no database
+/// state and pending update can make all literals true — and can be dropped
+/// without changing any verdict. `Ok(summary)` feeds [`residual_gates`].
+pub fn analyze_body(
+    body: &[Literal],
+    cat: &SchemaCatalog,
+    key_subsumption: bool,
+) -> Result<BodySummary, PruneReason> {
+    let mut cong = Congruence::default();
+
+    // Pass 1: equality congruence (unions first, so later per-class
+    // constraints see the merged classes).
+    for lit in body {
+        if let Literal::Cmp(CmpOp::Eq, Term::Var(a), Term::Var(b)) = lit {
+            if !cong.union(*a, *b) {
+                return Err(PruneReason::new(
+                    "congruence",
+                    "equal variables carry contradictory constraints",
+                ));
+            }
+        }
+    }
+
+    // Pass 2: constant constraints, NULL requirements, var–var orderings.
+    for lit in body {
+        match lit {
+            Literal::Cmp(op, a, b) => match (a, b) {
+                (Term::Const(x), Term::Const(y)) => {
+                    if eval_cmp(*op, x, y) == Some(false) {
+                        return Err(PruneReason::new(
+                            "constant-fold",
+                            format!("comparison {x} {op} {y} is false"),
+                        ));
+                    }
+                }
+                (Term::Var(v), Term::Const(k)) => {
+                    if !cong.constrain(*v, *op, k) {
+                        return Err(PruneReason::new(
+                            "interval",
+                            format!("no value satisfies the combined bounds ({op} {k})"),
+                        ));
+                    }
+                }
+                (Term::Const(k), Term::Var(v)) => {
+                    if !cong.constrain(*v, op.flip(), k) {
+                        return Err(PruneReason::new(
+                            "interval",
+                            format!("no value satisfies the combined bounds ({} {k})", op.flip()),
+                        ));
+                    }
+                }
+                (Term::Var(v), Term::Var(w)) => {
+                    if matches!(op, CmpOp::Lt | CmpOp::Gt | CmpOp::NotEq) && cong.same_class(*v, *w)
+                    {
+                        return Err(PruneReason::new(
+                            "congruence",
+                            format!("strict comparison {op} between provably equal variables"),
+                        ));
+                    }
+                }
+            },
+            Literal::IsNull {
+                term: Term::Var(v),
+                negated,
+            } if !cong.require_null(*v, *negated) => {
+                return Err(PruneReason::new(
+                    "null",
+                    "a value is required to be both NULL and non-NULL",
+                ));
+            }
+            Literal::IsNull {
+                term: Term::Const(_),
+                negated: false,
+            } => {
+                return Err(PruneReason::new("null", "a constant is never NULL"));
+            }
+            _ => {}
+        }
+    }
+
+    // Pass 3: primary-key subsumption. Two *old-state* atoms (base table or
+    // `del_T`, whose rows are base rows by `del_T ⊆ T`) over the same
+    // relation with congruent key columns denote the same row, so their
+    // non-key columns must agree. `ins_T` atoms are excluded: the key
+    // constraint is only enforced when the pending insertions are applied,
+    // after the check runs.
+    if key_subsumption {
+        let old_state: Vec<&Atom> = body
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Pos(a) if matches!(a.pred, Pred::Base(_) | Pred::Del(_)) => Some(a),
+                _ => None,
+            })
+            .collect();
+        for (i, a) in old_state.iter().enumerate() {
+            for b in &old_state[i + 1..] {
+                let (Some(ta), Some(tb)) = (a.pred.table(), b.pred.table()) else {
+                    continue;
+                };
+                if ta != tb {
+                    continue;
+                }
+                let Some(info) = cat.table(ta) else { continue };
+                if info.primary_key.is_empty()
+                    || a.args.len() != info.arity()
+                    || b.args.len() != info.arity()
+                {
+                    continue;
+                }
+                let keys_equal = info
+                    .primary_key
+                    .iter()
+                    .all(|ki| terms_congruent(&mut cong, &a.args[*ki], &b.args[*ki]));
+                if !keys_equal {
+                    continue;
+                }
+                // Same row: every non-key column pinned to distinct
+                // constants is a contradiction.
+                for ci in 0..info.arity() {
+                    if info.primary_key.contains(&ci) {
+                        continue;
+                    }
+                    let (Some(ka), Some(kb)) = (
+                        resolve_const(&mut cong, &a.args[ci]),
+                        resolve_const(&mut cong, &b.args[ci]),
+                    ) else {
+                        continue;
+                    };
+                    if !konst_eq(&ka, &kb) {
+                        return Err(PruneReason::new(
+                            "key-subsumption",
+                            format!(
+                                "two references to the same {ta} row disagree on column {}",
+                                info.columns.get(ci).cloned().unwrap_or_default()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(BodySummary { cong })
+}
+
+/// Are two terms provably equal under the congruence?
+fn terms_congruent(cong: &mut Congruence, a: &Term, b: &Term) -> bool {
+    match (a, b) {
+        (Term::Const(x), Term::Const(y)) => konst_eq(x, y),
+        (Term::Var(v), Term::Var(w)) => {
+            v == w || cong.same_class(*v, *w) || {
+                match (cong.eq_const(*v), cong.eq_const(*w)) {
+                    (Some(x), Some(y)) => konst_eq(&x, &y),
+                    _ => false,
+                }
+            }
+        }
+        (Term::Var(v), Term::Const(k)) | (Term::Const(k), Term::Var(v)) => {
+            cong.eq_const(*v).is_some_and(|e| konst_eq(&e, k))
+        }
+    }
+}
+
+/// Resolve a term to a constant (directly or through its class pin).
+fn resolve_const(cong: &mut Congruence, t: &Term) -> Option<Konst> {
+    match t {
+        Term::Const(k) => Some(k.clone()),
+        Term::Var(v) => cong.eq_const(*v),
+    }
+}
+
+/// Extract the residual event gates of a satisfiable body: for each
+/// positive `ins_T` / `del_T` atom, the column predicates a witnessing
+/// event row must satisfy.
+///
+/// Soundness: every predicate is a *necessary* condition. A constant
+/// argument compiles to `alias.col = k` in the generated view; a variable
+/// argument is joined (by equality) to every other occurrence, so any class
+/// constraint on the variable must hold at this column for the row to
+/// contribute — and SQL's NULL semantics (a NULL operand fails every
+/// comparison and every join equality) match the predicate evaluator's.
+pub fn residual_gates(body: &[Literal], summary: &BodySummary) -> Vec<ResidualGate> {
+    let mut cong = summary.cong.clone();
+    let mut out = Vec::new();
+    for lit in body {
+        let Literal::Pos(atom) = lit else { continue };
+        let (is_ins, table) = match &atom.pred {
+            Pred::Ins(t) => (true, t.clone()),
+            Pred::Del(t) => (false, t.clone()),
+            _ => continue,
+        };
+        let mut preds = Vec::new();
+        for (col, arg) in atom.args.iter().enumerate() {
+            match arg {
+                Term::Const(k) => preds.push(ColPredicate::Cmp {
+                    col,
+                    op: CmpOp::Eq,
+                    value: k.clone(),
+                }),
+                Term::Var(v) => {
+                    let info = cong.class_info(*v);
+                    if info.must_null {
+                        preds.push(ColPredicate::Null {
+                            col,
+                            negated: false,
+                        });
+                        continue;
+                    }
+                    if let Some(k) = &info.bounds.eq {
+                        preds.push(ColPredicate::Cmp {
+                            col,
+                            op: CmpOp::Eq,
+                            value: k.clone(),
+                        });
+                        continue;
+                    }
+                    if let Some((lo, strict)) = &info.bounds.lo {
+                        preds.push(ColPredicate::Cmp {
+                            col,
+                            op: if *strict { CmpOp::Gt } else { CmpOp::GtEq },
+                            value: lo.clone(),
+                        });
+                    }
+                    if let Some((hi, strict)) = &info.bounds.hi {
+                        preds.push(ColPredicate::Cmp {
+                            col,
+                            op: if *strict { CmpOp::Lt } else { CmpOp::LtEq },
+                            value: hi.clone(),
+                        });
+                    }
+                    for n in &info.bounds.neq {
+                        preds.push(ColPredicate::Cmp {
+                            col,
+                            op: CmpOp::NotEq,
+                            value: n.clone(),
+                        });
+                    }
+                    if info.must_nonnull && info.bounds.lo.is_none() && info.bounds.hi.is_none() {
+                        preds.push(ColPredicate::Null { col, negated: true });
+                    }
+                }
+            }
+        }
+        out.push(ResidualGate {
+            is_ins,
+            table,
+            preds,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TableInfo;
+
+    fn cat() -> SchemaCatalog {
+        let mut c = SchemaCatalog::new();
+        c.add_table(
+            "t",
+            TableInfo {
+                columns: vec!["k".into(), "a".into()],
+                primary_key: vec![0],
+                foreign_keys: vec![],
+            },
+        );
+        c
+    }
+
+    fn pos(pred: Pred, args: Vec<Term>) -> Literal {
+        Literal::Pos(Atom::new(pred, args))
+    }
+
+    fn cmp(op: CmpOp, a: Term, b: Term) -> Literal {
+        Literal::Cmp(op, a, b)
+    }
+
+    fn int(v: i64) -> Term {
+        Term::Const(Konst::Int(v))
+    }
+
+    #[test]
+    fn interval_contradiction_is_unsat() {
+        let body = vec![
+            pos(Pred::Ins("t".into()), vec![Term::Var(0), Term::Var(1)]),
+            cmp(CmpOp::Gt, Term::Var(1), int(5)),
+            cmp(CmpOp::Lt, Term::Var(1), int(3)),
+        ];
+        let r = analyze_body(&body, &cat(), true);
+        assert_eq!(r.unwrap_err().rule, "interval");
+    }
+
+    #[test]
+    fn equality_congruence_propagates_bounds() {
+        // x = y, y = 3, x > 5 → unsat through the merged class.
+        let body = vec![
+            pos(Pred::Ins("t".into()), vec![Term::Var(0), Term::Var(1)]),
+            cmp(CmpOp::Eq, Term::Var(0), Term::Var(1)),
+            cmp(CmpOp::Eq, Term::Var(1), int(3)),
+            cmp(CmpOp::Gt, Term::Var(0), int(5)),
+        ];
+        assert!(analyze_body(&body, &cat(), true).is_err());
+        // Without the contradiction the class pins both vars to 3.
+        let body = vec![
+            pos(Pred::Ins("t".into()), vec![Term::Var(0), Term::Var(1)]),
+            cmp(CmpOp::Eq, Term::Var(0), Term::Var(1)),
+            cmp(CmpOp::Eq, Term::Var(1), int(3)),
+        ];
+        let summary = analyze_body(&body, &cat(), true).unwrap();
+        let mut cong = summary.cong;
+        assert_eq!(cong.eq_const(0), Some(Konst::Int(3)));
+    }
+
+    #[test]
+    fn strict_comparison_between_equal_vars_is_unsat() {
+        let body = vec![
+            pos(Pred::Ins("t".into()), vec![Term::Var(0), Term::Var(1)]),
+            cmp(CmpOp::Eq, Term::Var(0), Term::Var(1)),
+            cmp(CmpOp::Lt, Term::Var(0), Term::Var(1)),
+        ];
+        assert_eq!(
+            analyze_body(&body, &cat(), true).unwrap_err().rule,
+            "congruence"
+        );
+    }
+
+    #[test]
+    fn key_subsumption_detects_same_row_conflict() {
+        // t(K, 5) ∧ t(K, 7) with primary key on column 0: same row, two
+        // different values for column a.
+        let body = vec![
+            pos(Pred::Base("t".into()), vec![Term::Var(0), int(5)]),
+            pos(Pred::Base("t".into()), vec![Term::Var(0), int(7)]),
+        ];
+        assert_eq!(
+            analyze_body(&body, &cat(), true).unwrap_err().rule,
+            "key-subsumption"
+        );
+        // Disabled → satisfiable.
+        assert!(analyze_body(&body, &cat(), false).is_ok());
+        // Different keys → satisfiable.
+        let body = vec![
+            pos(Pred::Base("t".into()), vec![Term::Var(0), int(5)]),
+            pos(Pred::Base("t".into()), vec![Term::Var(1), int(7)]),
+        ];
+        assert!(analyze_body(&body, &cat(), true).is_ok());
+    }
+
+    #[test]
+    fn key_subsumption_skips_insertion_events() {
+        // Two pending ins_t rows may share a key until apply-time
+        // enforcement; the analysis must not treat them as one row.
+        let body = vec![
+            pos(Pred::Ins("t".into()), vec![Term::Var(0), int(5)]),
+            pos(Pred::Ins("t".into()), vec![Term::Var(0), int(7)]),
+        ];
+        assert!(analyze_body(&body, &cat(), true).is_ok());
+    }
+
+    #[test]
+    fn null_and_comparison_conflict() {
+        let body = vec![
+            pos(Pred::Ins("t".into()), vec![Term::Var(0), Term::Var(1)]),
+            Literal::IsNull {
+                term: Term::Var(1),
+                negated: false,
+            },
+            cmp(CmpOp::Lt, Term::Var(1), int(0)),
+        ];
+        assert!(analyze_body(&body, &cat(), true).is_err());
+    }
+
+    #[test]
+    fn residual_gate_from_variable_bounds() {
+        // ins_t(k, a) ∧ a < 0: only ins rows with a < 0 qualify.
+        let body = vec![
+            pos(Pred::Ins("t".into()), vec![Term::Var(0), Term::Var(1)]),
+            cmp(CmpOp::Lt, Term::Var(1), int(0)),
+        ];
+        let summary = analyze_body(&body, &cat(), true).unwrap();
+        let gates = residual_gates(&body, &summary);
+        assert_eq!(gates.len(), 1);
+        assert!(gates[0].is_ins);
+        assert_eq!(gates[0].table, "t");
+        assert_eq!(
+            gates[0].preds,
+            vec![ColPredicate::Cmp {
+                col: 1,
+                op: CmpOp::Lt,
+                value: Konst::Int(0),
+            }]
+        );
+    }
+
+    #[test]
+    fn residual_gate_from_constants_and_congruence() {
+        // del_t(7, a) ∧ a = x ∧ x >= 2: both columns constrained.
+        let body = vec![
+            pos(Pred::Del("t".into()), vec![int(7), Term::Var(1)]),
+            cmp(CmpOp::Eq, Term::Var(1), Term::Var(2)),
+            cmp(CmpOp::GtEq, Term::Var(2), int(2)),
+        ];
+        let summary = analyze_body(&body, &cat(), true).unwrap();
+        let gates = residual_gates(&body, &summary);
+        assert_eq!(gates.len(), 1);
+        assert!(!gates[0].is_ins);
+        assert_eq!(
+            gates[0].preds,
+            vec![
+                ColPredicate::Cmp {
+                    col: 0,
+                    op: CmpOp::Eq,
+                    value: Konst::Int(7),
+                },
+                ColPredicate::Cmp {
+                    col: 1,
+                    op: CmpOp::GtEq,
+                    value: Konst::Int(2),
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn unconstrained_event_atom_has_open_gate() {
+        let body = vec![pos(Pred::Ins("t".into()), vec![Term::Var(0), Term::Var(1)])];
+        let summary = analyze_body(&body, &cat(), true).unwrap();
+        let gates = residual_gates(&body, &summary);
+        assert_eq!(gates.len(), 1);
+        assert!(gates[0].preds.is_empty());
+    }
+
+    #[test]
+    fn null_requirement_becomes_gate_predicate() {
+        let body = vec![
+            pos(Pred::Ins("t".into()), vec![Term::Var(0), Term::Var(1)]),
+            Literal::IsNull {
+                term: Term::Var(1),
+                negated: false,
+            },
+        ];
+        let summary = analyze_body(&body, &cat(), true).unwrap();
+        let gates = residual_gates(&body, &summary);
+        assert_eq!(
+            gates[0].preds,
+            vec![ColPredicate::Null {
+                col: 1,
+                negated: false,
+            }]
+        );
+    }
+}

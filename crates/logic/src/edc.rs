@@ -19,9 +19,10 @@
 //! `del_T ⊆ T`, `ins_T ∩ del_T = ∅` — exactly what
 //! `Database::normalize_events` establishes.
 
+use crate::analysis::{analyze_body, residual_gates, ResidualGate};
 use crate::catalog::SchemaCatalog;
 use crate::ir::*;
-use crate::optimize::{optimize_bodies, OptimizerConfig};
+use crate::optimize::{optimize_bodies, OptimizerConfig, PrunedBody};
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -56,10 +57,15 @@ pub struct Edc {
     /// can only produce rows when **all** of these event tables are
     /// non-empty — the emptiness shortcut of `safeCommit`.
     pub gate: Vec<(bool, String)>,
+    /// Predicate-granular refinement of `gate` from the install-time
+    /// analysis: the EDC can only produce rows when **each** of these
+    /// residual gates has at least one qualifying event row. Empty when the
+    /// analysis is off.
+    pub residual: Vec<ResidualGate>,
 }
 
 /// Configuration of the generator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct EdcConfig {
     /// Apply the semantic optimizations (disjoint events, set semantics,
     /// built-in folding, duplicate elimination).
@@ -67,6 +73,13 @@ pub struct EdcConfig {
     /// Apply foreign-key pruning (the paper's EDC 5 example); requires FKs
     /// to hold in the old state.
     pub assume_fks_valid: bool,
+    /// Run the install-time constraint analysis (equality congruence, key
+    /// subsumption, residual event gates). Off = the pre-analysis pipeline,
+    /// used as the reference build of the sim differential regime.
+    pub analysis: bool,
+    /// Enable the deliberately unsound `over-prune` rule (sim-oracle mutant
+    /// only — never in production).
+    pub over_prune: bool,
 }
 
 impl Default for EdcConfig {
@@ -74,6 +87,8 @@ impl Default for EdcConfig {
         EdcConfig {
             optimize: true,
             assume_fks_valid: true,
+            analysis: true,
+            over_prune: false,
         }
     }
 }
@@ -83,6 +98,9 @@ pub struct EdcGenerator<'a> {
     pub reg: &'a mut Registry,
     pub cat: &'a SchemaCatalog,
     pub config: EdcConfig,
+    /// Bodies the optimizer proved unsatisfiable across all `generate`
+    /// calls, with reasons — drained by the installer for the linter.
+    pub pruned: Vec<PrunedBody>,
     /// Memo for base-table new-state predicates `new_T`.
     base_new: BTreeMap<String, DerivedId>,
 }
@@ -95,6 +113,7 @@ impl<'a> EdcGenerator<'a> {
             reg,
             cat,
             config,
+            pruned: Vec::new(),
             base_new: BTreeMap::new(),
         }
     }
@@ -154,24 +173,46 @@ impl<'a> EdcGenerator<'a> {
             }
         }
 
-        // Optimize.
+        // Optimize: run the rule pipeline, keeping prune provenance.
+        let base = if self.config.analysis {
+            OptimizerConfig::default()
+        } else {
+            OptimizerConfig::analysis_off()
+        };
         let opt_cfg = OptimizerConfig {
             enabled: self.config.optimize,
             assume_fks_valid: self.config.assume_fks_valid,
+            over_prune: self.config.over_prune,
+            ..base
         };
-        let optimized = optimize_bodies(inlined, self.cat, &opt_cfg);
+        let mut outcome = optimize_bodies(inlined, self.cat, &opt_cfg);
+        self.pruned.append(&mut outcome.pruned);
 
-        Ok(optimized
+        Ok(outcome
+            .kept
             .into_iter()
             .enumerate()
             .map(|(i, body)| {
                 let gate = gate_of(&body);
+                // Residual gates: refine the emptiness gate to predicate
+                // granularity. Only meaningful when the analysis proved the
+                // body satisfiable (it just did, or it would be in
+                // `pruned`); the atoms' column constraints come from the
+                // same congruence closure.
+                let residual = if opt_cfg.enabled && opt_cfg.residual_gates {
+                    analyze_body(&body, self.cat, opt_cfg.key_subsumption)
+                        .map(|summary| residual_gates(&body, &summary))
+                        .unwrap_or_default()
+                } else {
+                    Vec::new()
+                };
                 Edc {
                     assertion: denial.assertion.clone(),
                     denial_index: denial.index,
                     index: i,
                     body: order_for_sql(body),
                     gate,
+                    residual,
                 }
             })
             .collect())
@@ -305,7 +346,7 @@ impl<'a> EdcGenerator<'a> {
                     head: head.clone(),
                     body: vec![
                         Literal::Pos(Atom::new(Pred::Base(table.to_string()), head.clone())),
-                        Literal::Neg(Atom::new(Pred::Del(table.to_string()), head.clone())),
+                        Literal::Neg(Atom::new(Pred::Del(table.to_string()), head)),
                     ],
                 },
             ],
@@ -748,7 +789,7 @@ mod tests {
         let denials = translate_assertion(&cat, &mut reg, &a).unwrap();
         let mut all = Vec::new();
         for d in &denials {
-            let mut generator = EdcGenerator::new(&mut reg, &cat, config.clone());
+            let mut generator = EdcGenerator::new(&mut reg, &cat, config);
             all.extend(generator.generate(d).unwrap());
         }
         (all, reg)
@@ -766,6 +807,7 @@ mod tests {
             EdcConfig {
                 optimize: false,
                 assume_fks_valid: false,
+                ..EdcConfig::default()
             },
         );
         assert_eq!(edcs.len(), 3);
@@ -889,6 +931,7 @@ mod tests {
             EdcConfig {
                 optimize: false,
                 assume_fks_valid: false,
+                ..EdcConfig::default()
             },
         );
         assert_eq!(edcs.len(), 3);

@@ -499,7 +499,7 @@ mod tests {
         for l in &out {
             match l {
                 Literal::Pos(a) | Literal::Neg(a) => {
-                    assert_eq!(a.args[0], Term::Const(Konst::Int(9)))
+                    assert_eq!(a.args[0], Term::Const(Konst::Int(9)));
                 }
                 Literal::Cmp(_, a, _) => assert_eq!(*a, Term::Const(Konst::Int(9))),
                 Literal::IsNull { term, .. } => assert_eq!(*term, Term::Const(Konst::Int(9))),

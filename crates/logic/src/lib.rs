@@ -18,17 +18,21 @@
 //! describing tables, keys and foreign keys. `tintin-sqlgen` turns the EDCs
 //! produced here into executable SQL views.
 
+pub mod analysis;
 pub mod catalog;
 pub mod edc;
 pub mod ir;
 pub mod optimize;
 pub mod translate;
 
+pub use analysis::{
+    analyze_body, residual_gates, BodySummary, ColPredicate, PruneReason, ResidualGate,
+};
 pub use catalog::{FkInfo, SchemaCatalog, TableInfo};
 pub use edc::{referenced_derived, Edc, EdcConfig, EdcError, EdcGenerator, MAX_EDC_BODIES};
 pub use ir::{
     positively_bound_vars, subst_body, subst_literal, subst_term, Atom, Bindings, CmpOp, Denial,
     DerivedDef, DerivedId, EventKind, Konst, Literal, Pred, Registry, Rule, Term, Var,
 };
-pub use optimize::{optimize_bodies, simplify_body, OptimizerConfig};
+pub use optimize::{optimize_bodies, simplify_body, OptimizeOutcome, OptimizerConfig, PrunedBody};
 pub use translate::{translate_assertion, TranslateError, MAX_BODIES};

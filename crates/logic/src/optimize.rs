@@ -9,72 +9,164 @@
 //! * `del_T ⊆ T` (only existing rows are deleted),
 //! * `ins_T ∩ del_T = ∅` (cancellation).
 //!
-//! Passes: literal deduplication, contradiction pruning, event-disjointness
-//! pruning, redundant-negation elimination, built-in constant folding with
-//! per-variable bound propagation, foreign-key pruning (the paper's EDC 5),
-//! and canonical duplicate elimination.
+//! Every rewrite is one named rule of a single [`OptimizerConfig`]-driven
+//! pipeline with per-rule enable flags — the analysis-off differential
+//! build of the sim harness ([`OptimizerConfig::analysis_off`]) and the
+//! ablation benchmarks toggle individual rules. Rules: literal
+//! deduplication, event contradiction pruning, redundant-negation
+//! elimination, built-in constant folding with per-variable bounds,
+//! foreign-key pruning (the paper's EDC 5), the install-time satisfiability
+//! analysis of [`crate::analysis`] (equality congruence + key subsumption),
+//! canonical duplicate elimination — and, guarded behind `over_prune`, a
+//! deliberately unsound rule used only as a sim-oracle known-bad mutant.
 
+use crate::analysis::{analyze_body, eval_cmp, PruneReason, VarBounds};
 use crate::catalog::SchemaCatalog;
 use crate::ir::*;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Optimizer switches (split out for the ablation benchmarks).
+/// Optimizer switches: one flag per pipeline rule (split out for the
+/// ablation benchmarks and the analysis-off differential build).
 #[derive(Debug, Clone)]
 pub struct OptimizerConfig {
     /// Master switch; when false bodies pass through untouched.
     pub enabled: bool,
+    /// Deduplicate identical literals and canonically-equal bodies.
+    pub dedup: bool,
+    /// Prune event contradictions (ι∧δ, ι∧T, δ∧¬T, Pos∧Neg).
+    pub event_contradictions: bool,
+    /// Drop negations implied by the normalized-event invariants.
+    pub redundant_negations: bool,
+    /// Fold constant comparisons and track per-variable bounds.
+    pub fold_builtins: bool,
     /// Apply FK pruning (assumes foreign keys hold in the old state).
     pub assume_fks_valid: bool,
+    /// Equality congruence closure (analysis pass).
+    pub congruence: bool,
+    /// Primary-key subsumption over old-state atoms (analysis pass).
+    pub key_subsumption: bool,
+    /// Emit residual event gates for satisfiable bodies (consumed by the
+    /// EDC generator; no effect on body rewriting itself).
+    pub residual_gates: bool,
+    /// DELIBERATELY UNSOUND: prune every body carrying a strict
+    /// variable–constant comparison. Exists only as the sim harness's
+    /// `over-prune` known-bad mutant — the differential oracle must catch
+    /// the verdict divergence this causes. Never enable in production.
+    pub over_prune: bool,
 }
 
 impl Default for OptimizerConfig {
     fn default() -> Self {
         OptimizerConfig {
             enabled: true,
+            dedup: true,
+            event_contradictions: true,
+            redundant_negations: true,
+            fold_builtins: true,
             assume_fks_valid: true,
+            congruence: true,
+            key_subsumption: true,
+            residual_gates: true,
+            over_prune: false,
         }
     }
 }
 
-/// Optimize a set of candidate EDC bodies: simplify each, drop unsatisfiable
-/// ones, and deduplicate.
+impl OptimizerConfig {
+    /// The pre-analysis pipeline: every legacy rule on, the install-time
+    /// analysis rules (congruence, key subsumption, residual gates) off.
+    /// This is the reference build of the sim differential regime.
+    pub fn analysis_off() -> Self {
+        OptimizerConfig {
+            congruence: false,
+            key_subsumption: false,
+            residual_gates: false,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    /// Does any satisfiability-analysis rule run?
+    pub fn analysis_enabled(&self) -> bool {
+        self.enabled && (self.congruence || self.key_subsumption)
+    }
+}
+
+/// A body dropped by the pipeline, with the rule that proved it
+/// unsatisfiable — kept for the assertion linter (`EXPLAIN ASSERTION`).
+#[derive(Debug, Clone)]
+pub struct PrunedBody {
+    /// The body as it stood when the rule fired.
+    pub body: Vec<Literal>,
+    /// Why it was dropped.
+    pub reason: PruneReason,
+}
+
+/// The result of optimizing a set of candidate bodies.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizeOutcome {
+    /// Simplified, satisfiable, deduplicated bodies (install these).
+    pub kept: Vec<Vec<Literal>>,
+    /// Bodies proved unsatisfiable, with reasons (canonical duplicates are
+    /// dropped silently, not recorded here).
+    pub pruned: Vec<PrunedBody>,
+}
+
+/// Optimize a set of candidate EDC bodies: simplify each, drop
+/// unsatisfiable ones (recording why), and deduplicate.
 pub fn optimize_bodies(
     bodies: Vec<Vec<Literal>>,
     cat: &SchemaCatalog,
     config: &OptimizerConfig,
-) -> Vec<Vec<Literal>> {
+) -> OptimizeOutcome {
     if !config.enabled {
-        return bodies;
+        return OptimizeOutcome {
+            kept: bodies,
+            pruned: Vec::new(),
+        };
     }
-    let mut out = Vec::new();
+    let mut out = OptimizeOutcome::default();
     let mut seen = BTreeSet::new();
     for body in bodies {
-        let Some(simplified) = simplify_body(body, cat, config) else {
-            continue;
-        };
-        let key = canonical_key(&simplified);
-        if seen.insert(key) {
-            out.push(simplified);
+        match simplify_body(body.clone(), cat, config) {
+            Ok(simplified) => {
+                if config.dedup {
+                    let key = canonical_key(&simplified);
+                    if !seen.insert(key) {
+                        continue;
+                    }
+                }
+                out.kept.push(simplified);
+            }
+            Err(reason) => out.pruned.push(PrunedBody { body, reason }),
         }
     }
     out
 }
 
-/// Simplify one body; `None` means the body is unsatisfiable (pruned).
+/// Simplify one body through the rule pipeline; `Err` carries the rule
+/// that proved the body unsatisfiable.
 pub fn simplify_body(
     body: Vec<Literal>,
     cat: &SchemaCatalog,
     config: &OptimizerConfig,
-) -> Option<Vec<Literal>> {
-    // 1. Deduplicate identical literals.
-    let mut lits: Vec<Literal> = Vec::with_capacity(body.len());
-    for l in body {
-        if !lits.contains(&l) {
-            lits.push(l);
-        }
+) -> Result<Vec<Literal>, PruneReason> {
+    if !config.enabled {
+        return Ok(body);
     }
 
-    // 2. Contradictions & event-set reasoning.
+    // Rule: literal deduplication.
+    let mut lits: Vec<Literal> = Vec::with_capacity(body.len());
+    if config.dedup {
+        for l in body {
+            if !lits.contains(&l) {
+                lits.push(l);
+            }
+        }
+    } else {
+        lits = body;
+    }
+
+    // Rule: event contradictions & event-set reasoning.
     let pos: Vec<Atom> = lits
         .iter()
         .filter_map(|l| match l {
@@ -82,128 +174,165 @@ pub fn simplify_body(
             _ => None,
         })
         .collect();
-    for a in &pos {
-        // Pos(A) ∧ Neg(A) → ⊥.
-        if lits.iter().any(|l| matches!(l, Literal::Neg(n) if n == a)) {
-            return None;
-        }
-        match &a.pred {
-            Pred::Ins(t) => {
-                // ι_T(x̄) ∧ δ_T(x̄) → ⊥ (disjoint events).
-                if pos
-                    .iter()
-                    .any(|b| b.pred == Pred::Del(t.clone()) && b.args == a.args)
-                {
-                    return None;
-                }
-                // ι_T(x̄) ∧ T(x̄) → ⊥ (set semantics).
-                if pos
-                    .iter()
-                    .any(|b| b.pred == Pred::Base(t.clone()) && b.args == a.args)
-                {
-                    return None;
-                }
+    if config.event_contradictions {
+        for a in &pos {
+            // Pos(A) ∧ Neg(A) → ⊥.
+            if lits.iter().any(|l| matches!(l, Literal::Neg(n) if n == a)) {
+                return Err(PruneReason::new(
+                    "event-contradiction",
+                    "an atom occurs both positively and negated",
+                ));
             }
-            Pred::Del(t)
-                // δ_T(x̄) ∧ ¬T(x̄) → ⊥ (only existing rows are deleted).
-                if lits.iter().any(|l| {
-                    matches!(l, Literal::Neg(n)
-                        if n.pred == Pred::Base(t.clone()) && n.args == a.args)
-                }) => {
-                    return None;
+            match &a.pred {
+                Pred::Ins(t) => {
+                    // ι_T(x̄) ∧ δ_T(x̄) → ⊥ (disjoint events).
+                    if pos
+                        .iter()
+                        .any(|b| b.pred == Pred::Del(t.clone()) && b.args == a.args)
+                    {
+                        return Err(PruneReason::new(
+                            "event-contradiction",
+                            format!("a row cannot be both inserted into and deleted from {t}"),
+                        ));
+                    }
+                    // ι_T(x̄) ∧ T(x̄) → ⊥ (set semantics).
+                    if pos
+                        .iter()
+                        .any(|b| b.pred == Pred::Base(t.clone()) && b.args == a.args)
+                    {
+                        return Err(PruneReason::new(
+                            "event-contradiction",
+                            format!("an existing {t} row cannot be inserted again"),
+                        ));
+                    }
                 }
-            _ => {}
+                Pred::Del(t)
+                    // δ_T(x̄) ∧ ¬T(x̄) → ⊥ (only existing rows are deleted).
+                    if lits.iter().any(|l| {
+                        matches!(l, Literal::Neg(n)
+                            if n.pred == Pred::Base(t.clone()) && n.args == a.args)
+                    }) =>
+                {
+                    return Err(PruneReason::new(
+                        "event-contradiction",
+                        format!("only existing {t} rows can be deleted"),
+                    ));
+                }
+                _ => {}
+            }
         }
     }
 
-    // 3. Redundant literal elimination using the same invariants.
-    lits.retain(|l| match l {
-        // ι_T(x̄) present ⇒ ¬δ_T(x̄), ¬T(x̄) are implied.
-        Literal::Neg(n) => {
-            let implied_by_ins = |t: &str| {
-                pos.iter()
-                    .any(|a| a.pred == Pred::Ins(t.to_string()) && a.args == n.args)
-            };
-            let implied_by_del = |t: &str| {
-                pos.iter()
-                    .any(|a| a.pred == Pred::Del(t.to_string()) && a.args == n.args)
-            };
-            match &n.pred {
-                Pred::Del(t) => !implied_by_ins(t),
-                Pred::Base(t) => !implied_by_ins(t),
-                Pred::Ins(t) => !implied_by_del(t),
-                _ => true,
-            }
-        }
-        _ => true,
-    });
-    // δ_T(x̄) present ⇒ T(x̄) is implied; drop the redundant positive atom
-    // (its variables stay bound through the δ atom).
-    let del_atoms: Vec<Atom> = lits
-        .iter()
-        .filter_map(|l| match l {
-            Literal::Pos(a) if matches!(a.pred, Pred::Del(_)) => Some(a.clone()),
-            _ => None,
-        })
-        .collect();
-    lits.retain(|l| match l {
-        Literal::Pos(a) => match &a.pred {
-            Pred::Base(t) => !del_atoms
-                .iter()
-                .any(|d| d.pred == Pred::Del(t.clone()) && d.args == a.args),
-            _ => true,
-        },
-        _ => true,
-    });
-
-    // 4. Built-in folding and bound propagation.
-    let mut bounds: BTreeMap<Var, VarBounds> = BTreeMap::new();
-    let mut kept = Vec::with_capacity(lits.len());
-    for l in lits {
-        match &l {
-            Literal::Cmp(op, a, b) => match (a, b) {
-                (Term::Const(x), Term::Const(y)) => match eval_cmp(*op, x, y) {
-                    Some(true) => {} // trivially true: drop
-                    Some(false) => return None,
-                    None => kept.push(l), // incomparable (mixed types): keep
-                },
-                (Term::Var(v), Term::Var(w)) if v == w => match op {
-                    CmpOp::Eq | CmpOp::LtEq | CmpOp::GtEq => {} // x = x: drop
-                    CmpOp::NotEq | CmpOp::Lt | CmpOp::Gt => return None,
-                },
-                (Term::Var(v), Term::Const(k)) => {
-                    if !bounds.entry(*v).or_default().add(*op, k) {
-                        return None;
-                    }
-                    kept.push(l);
+    // Rule: redundant literal elimination using the same invariants.
+    if config.redundant_negations {
+        lits.retain(|l| match l {
+            // ι_T(x̄) present ⇒ ¬δ_T(x̄), ¬T(x̄) are implied.
+            Literal::Neg(n) => {
+                let implied_by_ins = |t: &str| {
+                    pos.iter()
+                        .any(|a| a.pred == Pred::Ins(t.to_string()) && a.args == n.args)
+                };
+                let implied_by_del = |t: &str| {
+                    pos.iter()
+                        .any(|a| a.pred == Pred::Del(t.to_string()) && a.args == n.args)
+                };
+                match &n.pred {
+                    Pred::Del(t) => !implied_by_ins(t),
+                    Pred::Base(t) => !implied_by_ins(t),
+                    Pred::Ins(t) => !implied_by_del(t),
+                    _ => true,
                 }
-                (Term::Const(k), Term::Var(v)) => {
-                    if !bounds.entry(*v).or_default().add(op.flip(), k) {
-                        return None;
+            }
+            _ => true,
+        });
+        // δ_T(x̄) present ⇒ T(x̄) is implied; drop the redundant positive
+        // atom (its variables stay bound through the δ atom).
+        let del_atoms: Vec<Atom> = lits
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Pos(a) if matches!(a.pred, Pred::Del(_)) => Some(a.clone()),
+                _ => None,
+            })
+            .collect();
+        lits.retain(|l| match l {
+            Literal::Pos(a) => match &a.pred {
+                Pred::Base(t) => !del_atoms
+                    .iter()
+                    .any(|d| d.pred == Pred::Del(t.clone()) && d.args == a.args),
+                _ => true,
+            },
+            _ => true,
+        });
+    }
+
+    // Rule: built-in folding and bound propagation.
+    if config.fold_builtins {
+        let mut bounds: BTreeMap<Var, VarBounds> = BTreeMap::new();
+        let mut kept = Vec::with_capacity(lits.len());
+        for l in lits {
+            match &l {
+                Literal::Cmp(op, a, b) => match (a, b) {
+                    (Term::Const(x), Term::Const(y)) => match eval_cmp(*op, x, y) {
+                        Some(true) => {} // trivially true: drop
+                        Some(false) => {
+                            return Err(PruneReason::new(
+                                "constant-fold",
+                                format!("comparison {x} {op} {y} is false"),
+                            ));
+                        }
+                        None => kept.push(l), // incomparable (mixed types): keep
+                    },
+                    (Term::Var(v), Term::Var(w)) if v == w => match op {
+                        CmpOp::Eq | CmpOp::LtEq | CmpOp::GtEq => {} // x = x: drop
+                        CmpOp::NotEq | CmpOp::Lt | CmpOp::Gt => {
+                            return Err(PruneReason::new(
+                                "constant-fold",
+                                format!("a value never satisfies {op} itself"),
+                            ));
+                        }
+                    },
+                    (Term::Var(v), Term::Const(k)) => {
+                        if !bounds.entry(*v).or_default().add(*op, k) {
+                            return Err(PruneReason::new(
+                                "interval",
+                                format!("no value satisfies the combined bounds ({op} {k})"),
+                            ));
+                        }
+                        kept.push(l);
                     }
-                    kept.push(l);
+                    (Term::Const(k), Term::Var(v)) => {
+                        if !bounds.entry(*v).or_default().add(op.flip(), k) {
+                            return Err(PruneReason::new(
+                                "interval",
+                                format!(
+                                    "no value satisfies the combined bounds ({} {k})",
+                                    op.flip()
+                                ),
+                            ));
+                        }
+                        kept.push(l);
+                    }
+                    _ => kept.push(l),
+                },
+                // Constants are never NULL: drop or prune the literal.
+                Literal::IsNull {
+                    term: Term::Const(_),
+                    negated,
+                } => {
+                    if !negated {
+                        return Err(PruneReason::new("null", "a constant is never NULL"));
+                    }
                 }
                 _ => kept.push(l),
-            },
-            // Constants are never NULL: drop or prune the literal.
-            Literal::IsNull {
-                term: Term::Const(_),
-                negated,
-            } => {
-                if !negated {
-                    return None;
-                }
             }
-            _ => kept.push(l),
         }
+        lits = kept;
     }
-    let lits = kept;
 
-    // 5. Foreign-key pruning (the paper's EDC 5): an insertion ι_P(x̄) is
-    //    impossible when another OLD-state literal (base or deletion event)
-    //    of a child table C carries an FK to P over exactly x̄'s key columns
-    //    — the parent row already existed, and set semantics forbid
-    //    re-insertion.
+    // Rule: foreign-key pruning (the paper's EDC 5): an insertion ι_P(x̄)
+    // is impossible when another OLD-state literal (base or deletion event)
+    // of a child table C carries an FK to P over exactly x̄'s key columns —
+    // the parent row already existed, and set semantics forbid re-insertion.
     if config.assume_fks_valid {
         let ins_atoms: Vec<Atom> = lits
             .iter()
@@ -236,139 +365,48 @@ pub fn simplify_body(
                             && child_atom.args.get(*ci).is_some()
                     });
                     if all_match {
-                        return None;
+                        return Err(PruneReason::new(
+                            "fk-pruning",
+                            format!(
+                                "the foreign key {child_table} → {parent} implies the \
+                                 {parent} row already exists (paper's EDC 5)"
+                            ),
+                        ));
                     }
                 }
             }
         }
     }
 
-    // 6. Safety net: a body must retain at least one positive atom.
-    if !lits.iter().any(|l| l.is_positive_atom()) {
-        // Should not happen for EDCs (every EDC has an event atom), but
-        // guard against degenerate inputs.
-        return Some(lits);
+    // Rule: install-time satisfiability analysis (equality congruence,
+    // interval reasoning across classes, key subsumption).
+    if config.congruence || config.key_subsumption {
+        analyze_body(&lits, cat, config.key_subsumption)?;
     }
-    Some(lits)
-}
 
-/// Numeric/string interval tracking for one variable.
-#[derive(Debug, Default, Clone)]
-struct VarBounds {
-    lo: Option<(Konst, bool)>, // (bound, strict)
-    hi: Option<(Konst, bool)>,
-    eq: Option<Konst>,
-    neq: Vec<Konst>,
-}
-
-impl VarBounds {
-    /// Add `var op k`; returns false when the constraints become empty.
-    fn add(&mut self, op: CmpOp, k: &Konst) -> bool {
-        match op {
-            CmpOp::Eq => {
-                if let Some(e) = &self.eq {
-                    if !konst_eq(e, k) {
-                        return false;
-                    }
-                }
-                if self.neq.iter().any(|n| konst_eq(n, k)) {
-                    return false;
-                }
-                self.eq = Some(k.clone());
-            }
-            CmpOp::NotEq => {
-                if let Some(e) = &self.eq {
-                    if konst_eq(e, k) {
-                        return false;
-                    }
-                }
-                self.neq.push(k.clone());
-            }
-            CmpOp::Lt | CmpOp::LtEq => {
-                let strict = op == CmpOp::Lt;
-                let tighter = match &self.hi {
-                    None => true,
-                    Some((h, hs)) => match konst_cmp(k, h) {
-                        Some(std::cmp::Ordering::Less) => true,
-                        Some(std::cmp::Ordering::Equal) => strict && !hs,
-                        _ => false,
-                    },
-                };
-                if tighter {
-                    self.hi = Some((k.clone(), strict));
-                }
-            }
-            CmpOp::Gt | CmpOp::GtEq => {
-                let strict = op == CmpOp::Gt;
-                let tighter = match &self.lo {
-                    None => true,
-                    Some((l, ls)) => match konst_cmp(k, l) {
-                        Some(std::cmp::Ordering::Greater) => true,
-                        Some(std::cmp::Ordering::Equal) => strict && !ls,
-                        _ => false,
-                    },
-                };
-                if tighter {
-                    self.lo = Some((k.clone(), strict));
-                }
-            }
+    // Rule (sim mutant only): over-prune. Drops every body carrying a
+    // strict var–const comparison — unsound by construction, so the sim
+    // oracle's analysis-on/off differential must flag it.
+    if config.over_prune {
+        let strict = lits.iter().any(|l| {
+            matches!(
+                l,
+                Literal::Cmp(CmpOp::Lt | CmpOp::Gt, Term::Var(_), Term::Const(_))
+                    | Literal::Cmp(CmpOp::Lt | CmpOp::Gt, Term::Const(_), Term::Var(_))
+            )
+        });
+        if strict {
+            return Err(PruneReason::new(
+                "over-prune",
+                "MUTANT: strict comparison misclassified as unsatisfiable",
+            ));
         }
-        self.consistent()
     }
 
-    fn consistent(&self) -> bool {
-        if let (Some((lo, ls)), Some((hi, hs))) = (&self.lo, &self.hi) {
-            match konst_cmp(lo, hi) {
-                Some(std::cmp::Ordering::Greater) => return false,
-                Some(std::cmp::Ordering::Equal) if *ls || *hs => return false,
-                _ => {}
-            }
-        }
-        if let Some(e) = &self.eq {
-            if let Some((lo, ls)) = &self.lo {
-                match konst_cmp(e, lo) {
-                    Some(std::cmp::Ordering::Less) => return false,
-                    Some(std::cmp::Ordering::Equal) if *ls => return false,
-                    _ => {}
-                }
-            }
-            if let Some((hi, hs)) = &self.hi {
-                match konst_cmp(e, hi) {
-                    Some(std::cmp::Ordering::Greater) => return false,
-                    Some(std::cmp::Ordering::Equal) if *hs => return false,
-                    _ => {}
-                }
-            }
-        }
-        true
-    }
-}
-
-fn konst_cmp(a: &Konst, b: &Konst) -> Option<std::cmp::Ordering> {
-    match (a, b) {
-        (Konst::Int(x), Konst::Int(y)) => Some(x.cmp(y)),
-        (Konst::Real(x), Konst::Real(y)) => x.partial_cmp(y),
-        (Konst::Int(x), Konst::Real(y)) => (*x as f64).partial_cmp(y),
-        (Konst::Real(x), Konst::Int(y)) => x.partial_cmp(&(*y as f64)),
-        (Konst::Str(x), Konst::Str(y)) => Some(x.cmp(y)),
-        _ => None,
-    }
-}
-
-fn konst_eq(a: &Konst, b: &Konst) -> bool {
-    konst_cmp(a, b) == Some(std::cmp::Ordering::Equal)
-}
-
-fn eval_cmp(op: CmpOp, a: &Konst, b: &Konst) -> Option<bool> {
-    let ord = konst_cmp(a, b)?;
-    Some(match op {
-        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
-        CmpOp::NotEq => ord != std::cmp::Ordering::Equal,
-        CmpOp::Lt => ord == std::cmp::Ordering::Less,
-        CmpOp::LtEq => ord != std::cmp::Ordering::Greater,
-        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
-        CmpOp::GtEq => ord != std::cmp::Ordering::Less,
-    })
+    // Safety net: a body must retain at least one positive atom. Should not
+    // happen for EDCs (every EDC has an event atom), but guard against
+    // degenerate inputs.
+    Ok(lits)
 }
 
 /// A canonical serialization of a body with variables renumbered by first
@@ -447,7 +485,7 @@ mod tests {
         c
     }
 
-    fn simplify(body: Vec<Literal>) -> Option<Vec<Literal>> {
+    fn simplify(body: Vec<Literal>) -> Result<Vec<Literal>, PruneReason> {
         simplify_body(body, &cat(), &OptimizerConfig::default())
     }
 
@@ -465,7 +503,7 @@ mod tests {
             pos(Pred::Ins("p".into()), vec![Term::Var(0)]),
             pos(Pred::Del("p".into()), vec![Term::Var(0)]),
         ];
-        assert_eq!(simplify(b), None);
+        assert_eq!(simplify(b).unwrap_err().rule, "event-contradiction");
     }
 
     #[test]
@@ -474,7 +512,7 @@ mod tests {
             pos(Pred::Ins("p".into()), vec![Term::Var(0)]),
             pos(Pred::Base("p".into()), vec![Term::Var(0)]),
         ];
-        assert_eq!(simplify(b), None);
+        assert_eq!(simplify(b).unwrap_err().rule, "event-contradiction");
     }
 
     #[test]
@@ -483,7 +521,7 @@ mod tests {
             pos(Pred::Del("p".into()), vec![Term::Var(0)]),
             neg(Pred::Base("p".into()), vec![Term::Var(0)]),
         ];
-        assert_eq!(simplify(b), None);
+        assert_eq!(simplify(b).unwrap_err().rule, "event-contradiction");
     }
 
     #[test]
@@ -492,7 +530,7 @@ mod tests {
             pos(Pred::Base("p".into()), vec![Term::Var(0)]),
             neg(Pred::Base("p".into()), vec![Term::Var(0)]),
         ];
-        assert_eq!(simplify(b), None);
+        assert!(simplify(b).is_err());
     }
 
     #[test]
@@ -534,7 +572,7 @@ mod tests {
                 Term::Const(Konst::Int(2)),
             ),
         ];
-        assert_eq!(simplify(dead), None);
+        assert_eq!(simplify(dead).unwrap_err().rule, "constant-fold");
     }
 
     #[test]
@@ -544,7 +582,7 @@ mod tests {
             Literal::Cmp(CmpOp::Gt, Term::Var(0), Term::Const(Konst::Int(5))),
             Literal::Cmp(CmpOp::Lt, Term::Var(0), Term::Const(Konst::Int(3))),
         ];
-        assert_eq!(simplify(b), None);
+        assert_eq!(simplify(b).unwrap_err().rule, "interval");
         // Boundary: x > 5 ∧ x < 6 is satisfiable for reals… and for ints
         // too in our conservative model (we don't assume integrality).
         let b = vec![
@@ -552,14 +590,14 @@ mod tests {
             Literal::Cmp(CmpOp::Gt, Term::Var(0), Term::Const(Konst::Int(5))),
             Literal::Cmp(CmpOp::Lt, Term::Var(0), Term::Const(Konst::Int(6))),
         ];
-        assert!(simplify(b).is_some());
+        assert!(simplify(b).is_ok());
         // x >= 5 ∧ x <= 5 fine; x > 5 ∧ x <= 5 dead.
         let b = vec![
             pos(Pred::Base("p".into()), vec![Term::Var(0)]),
             Literal::Cmp(CmpOp::Gt, Term::Var(0), Term::Const(Konst::Int(5))),
             Literal::Cmp(CmpOp::LtEq, Term::Var(0), Term::Const(Konst::Int(5))),
         ];
-        assert_eq!(simplify(b), None);
+        assert!(simplify(b).is_err());
     }
 
     #[test]
@@ -568,12 +606,45 @@ mod tests {
             pos(Pred::Base("p".into()), vec![Term::Var(0)]),
             Literal::Cmp(CmpOp::NotEq, Term::Var(0), Term::Var(0)),
         ];
-        assert_eq!(simplify(b), None);
+        assert!(simplify(b).is_err());
         let b = vec![
             pos(Pred::Base("p".into()), vec![Term::Var(0)]),
             Literal::Cmp(CmpOp::Eq, Term::Var(0), Term::Var(0)),
         ];
         assert_eq!(simplify(b).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn congruence_closure_prunes_through_equalities() {
+        // x = y ∧ y = 3 ∧ x > 5: dead only through the congruence class.
+        let b = vec![
+            pos(Pred::Base("p".into()), vec![Term::Var(0)]),
+            Literal::Cmp(CmpOp::Eq, Term::Var(0), Term::Var(1)),
+            Literal::Cmp(CmpOp::Eq, Term::Var(1), Term::Const(Konst::Int(3))),
+            Literal::Cmp(CmpOp::Gt, Term::Var(0), Term::Const(Konst::Int(5))),
+        ];
+        assert!(simplify(b.clone()).is_err());
+        // The legacy (analysis-off) pipeline misses it.
+        assert!(simplify_body(b, &cat(), &OptimizerConfig::analysis_off()).is_ok());
+    }
+
+    #[test]
+    fn key_subsumption_prunes_same_row_conflict() {
+        // p has a single-column primary key, so two base atoms p(x) where
+        // the key is the whole row can't disagree; use c(ck PK, fk):
+        // c(K, 1) ∧ c(K, 2) → same row, two fk values.
+        let b = vec![
+            pos(
+                Pred::Base("c".into()),
+                vec![Term::Var(0), Term::Const(Konst::Int(1))],
+            ),
+            pos(
+                Pred::Base("c".into()),
+                vec![Term::Var(0), Term::Const(Konst::Int(2))],
+            ),
+        ];
+        assert_eq!(simplify(b.clone()).unwrap_err().rule, "key-subsumption");
+        assert!(simplify_body(b, &cat(), &OptimizerConfig::analysis_off()).is_ok());
     }
 
     #[test]
@@ -584,17 +655,17 @@ mod tests {
             pos(Pred::Del("c".into()), vec![Term::Var(1), Term::Var(0)]),
             pos(Pred::Ins("p".into()), vec![Term::Var(0)]),
         ];
-        assert_eq!(simplify(b), None);
+        assert_eq!(simplify(b).unwrap_err().rule, "fk-pruning");
         // Without the flag it survives.
         let b = vec![
             pos(Pred::Del("c".into()), vec![Term::Var(1), Term::Var(0)]),
             pos(Pred::Ins("p".into()), vec![Term::Var(0)]),
         ];
         let cfg = OptimizerConfig {
-            enabled: true,
             assume_fks_valid: false,
+            ..OptimizerConfig::default()
         };
-        assert!(simplify_body(b, &cat(), &cfg).is_some());
+        assert!(simplify_body(b, &cat(), &cfg).is_ok());
     }
 
     #[test]
@@ -604,7 +675,7 @@ mod tests {
             pos(Pred::Del("c".into()), vec![Term::Var(1), Term::Var(2)]),
             pos(Pred::Ins("p".into()), vec![Term::Var(0)]),
         ];
-        assert!(simplify(b).is_some());
+        assert!(simplify(b).is_ok());
     }
 
     #[test]
@@ -613,7 +684,21 @@ mod tests {
         let b1 = vec![pos(Pred::Ins("p".into()), vec![Term::Var(3)])];
         let b2 = vec![pos(Pred::Ins("p".into()), vec![Term::Var(9)])];
         let out = optimize_bodies(vec![b1, b2], &cat(), &OptimizerConfig::default());
-        assert_eq!(out.len(), 1);
+        assert_eq!(out.kept.len(), 1);
+        assert!(out.pruned.is_empty());
+    }
+
+    #[test]
+    fn optimize_bodies_records_prune_reasons() {
+        let dead = vec![
+            pos(Pred::Ins("p".into()), vec![Term::Var(0)]),
+            pos(Pred::Del("p".into()), vec![Term::Var(0)]),
+        ];
+        let live = vec![pos(Pred::Ins("p".into()), vec![Term::Var(0)])];
+        let out = optimize_bodies(vec![dead, live], &cat(), &OptimizerConfig::default());
+        assert_eq!(out.kept.len(), 1);
+        assert_eq!(out.pruned.len(), 1);
+        assert_eq!(out.pruned[0].reason.rule, "event-contradiction");
     }
 
     #[test]
@@ -624,10 +709,29 @@ mod tests {
         ];
         let cfg = OptimizerConfig {
             enabled: false,
-            assume_fks_valid: true,
+            ..OptimizerConfig::default()
         };
         let out = optimize_bodies(vec![b.clone()], &cat(), &cfg);
-        assert_eq!(out, vec![b]);
+        assert_eq!(out.kept, vec![b]);
+    }
+
+    #[test]
+    fn over_prune_mutant_drops_strict_comparisons() {
+        // a < 0 over an insertion event: satisfiable, but the mutant rule
+        // prunes it — exactly the unsoundness the sim oracle must catch.
+        let b = vec![
+            pos(Pred::Ins("p".into()), vec![Term::Var(0)]),
+            Literal::Cmp(CmpOp::Lt, Term::Var(0), Term::Const(Konst::Int(0))),
+        ];
+        assert!(simplify(b.clone()).is_ok(), "sound pipeline keeps it");
+        let cfg = OptimizerConfig {
+            over_prune: true,
+            ..OptimizerConfig::default()
+        };
+        assert_eq!(
+            simplify_body(b, &cat(), &cfg).unwrap_err().rule,
+            "over-prune"
+        );
     }
 
     #[test]
@@ -639,7 +743,7 @@ mod tests {
                 negated: false,
             },
         ];
-        assert_eq!(simplify(b), None);
+        assert!(simplify(b).is_err());
         let b = vec![
             pos(Pred::Base("p".into()), vec![Term::Var(0)]),
             Literal::IsNull {

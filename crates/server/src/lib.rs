@@ -203,7 +203,7 @@ impl WireServer {
             let handlers = handlers.clone();
             std::thread::Builder::new()
                 .name("tintin-accept".into())
-                .spawn(move || accept_loop(listener, inner, handlers))?
+                .spawn(move || accept_loop(&listener, &inner, &handlers))?
         };
         Ok(WireServer {
             inner,
@@ -294,11 +294,7 @@ impl Drop for WireServer {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    inner: Arc<Inner>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>, handlers: &Mutex<Vec<JoinHandle<()>>>) {
     for stream in listener.incoming() {
         if inner.shutting_down.load(Ordering::SeqCst) {
             break;

@@ -32,7 +32,7 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::time::Duration;
-use tintin::{CheckStats, Violation};
+use tintin::{AssertionClass, AssertionExplain, CheckStats, ViewExplain, Violation};
 use tintin_engine::{MvccStats, NormalizationReport, ResultSet, Value};
 use tintin_obs::{HistogramSnapshot, Sample, SampleValue, Snapshot as MetricsSnapshot};
 use tintin_session::{ScriptError, SessionError, StatementOutcome};
@@ -565,6 +565,16 @@ fn parse_count(field: &str, what: &str) -> Result<usize, ProtocolError> {
         .map_err(|_| ProtocolError(format!("bad {what} count '{field}'")))
 }
 
+/// Decode one `TAG\t<escaped text>` line (the `W` warning, `P` prune-reason
+/// and `D` residual-gate lines all share this shape).
+fn decode_tagged(lines: &mut Lines, tag: &str) -> Result<String, ProtocolError> {
+    let l = lines.next()?;
+    if l.first() != Some(&tag) || l.len() != 2 {
+        return Err(ProtocolError(format!("malformed {tag} line")));
+    }
+    unescape(l[1])
+}
+
 fn decode_result_set(lines: &mut Lines, nrows: usize) -> Result<ResultSet, ProtocolError> {
     let header = lines.next()?;
     if header.first() != Some(&"C") {
@@ -598,10 +608,11 @@ fn decode_result_set(lines: &mut Lines, nrows: usize) -> Result<ResultSet, Proto
 fn encode_stats(stats: &CheckStats, out: &mut String) {
     let n = &stats.normalization;
     out.push_str(&format!(
-        "S\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+        "S\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
         stats.views_total,
         stats.views_skipped,
         stats.views_skipped_relevance,
+        stats.views_skipped_residual,
         stats.views_evaluated,
         stats.plans_reused,
         stats.plans_recompiled,
@@ -618,7 +629,7 @@ fn encode_stats(stats: &CheckStats, out: &mut String) {
 
 fn decode_stats(lines: &mut Lines) -> Result<CheckStats, ProtocolError> {
     let fields = lines.next()?;
-    if fields.first() != Some(&"S") || fields.len() != 15 {
+    if fields.first() != Some(&"S") || fields.len() != 16 {
         return Err(ProtocolError("malformed S stats line".into()));
     }
     let num = |i: usize| parse_count(fields[i], "stats");
@@ -626,22 +637,23 @@ fn decode_stats(lines: &mut Lines) -> Result<CheckStats, ProtocolError> {
         views_total: num(1)?,
         views_skipped: num(2)?,
         views_skipped_relevance: num(3)?,
-        views_evaluated: num(4)?,
-        plans_reused: num(5)?,
-        plans_recompiled: num(6)?,
-        fallbacks_skipped: num(7)?,
-        fallbacks_evaluated: num(8)?,
+        views_skipped_residual: num(4)?,
+        views_evaluated: num(5)?,
+        plans_reused: num(6)?,
+        plans_recompiled: num(7)?,
+        fallbacks_skipped: num(8)?,
+        fallbacks_evaluated: num(9)?,
         check_time: Duration::from_nanos(
-            fields[9]
+            fields[10]
                 .parse::<u64>()
                 .map_err(|_| ProtocolError("bad check_time".into()))?,
         ),
         normalization: NormalizationReport {
-            dup_ins: num(10)?,
-            dup_del: num(11)?,
-            missing_del: num(12)?,
-            cancelled: num(13)?,
-            noop_ins: num(14)?,
+            dup_ins: num(11)?,
+            dup_del: num(12)?,
+            missing_del: num(13)?,
+            cancelled: num(14)?,
+            noop_ins: num(15)?,
         },
     })
 }
@@ -651,8 +663,56 @@ fn decode_stats(lines: &mut Lines) -> Result<CheckStats, ProtocolError> {
 fn encode_outcome(o: &StatementOutcome, out: &mut String) {
     match o {
         StatementOutcome::Ddl => out.push_str("DDL\n"),
-        StatementOutcome::AssertionInstalled { name, views } => {
-            out.push_str(&format!("INSTALLED\t{views}\t{}\n", escape(name)));
+        StatementOutcome::AssertionInstalled {
+            name,
+            views,
+            warnings,
+        } => {
+            out.push_str(&format!(
+                "INSTALLED\t{views}\t{}\t{}\n",
+                warnings.len(),
+                escape(name)
+            ));
+            for w in warnings {
+                out.push_str(&format!("W\t{}\n", escape(w)));
+            }
+        }
+        StatementOutcome::Explain(e) => {
+            out.push_str(&format!(
+                "EXPLAIN\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                escape(&e.name),
+                e.class,
+                e.denial_count,
+                e.edc_count,
+                e.edc_pruned,
+                e.prune_reasons.len(),
+                e.views.len(),
+                e.warnings.len(),
+            ));
+            for p in &e.prune_reasons {
+                out.push_str(&format!("P\t{}\n", escape(p)));
+            }
+            for v in &e.views {
+                out.push_str(&format!(
+                    "X\t{}\t{}\t{}\n",
+                    escape(&v.name),
+                    v.gate.len(),
+                    v.residual.len()
+                ));
+                for (is_ins, table) in &v.gate {
+                    out.push_str(&format!(
+                        "G\t{}\t{}\n",
+                        if *is_ins { 1 } else { 0 },
+                        escape(table)
+                    ));
+                }
+                for r in &v.residual {
+                    out.push_str(&format!("D\t{}\n", escape(r)));
+                }
+            }
+            for w in &e.warnings {
+                out.push_str(&format!("W\t{}\n", escape(w)));
+            }
         }
         StatementOutcome::AssertionDropped { name } => {
             out.push_str(&format!("DROPPED\t{}\n", escape(name)));
@@ -707,10 +767,81 @@ fn decode_outcome(lines: &mut Lines) -> Result<StatementOutcome, ProtocolError> 
     };
     match field(0)? {
         "DDL" => Ok(StatementOutcome::Ddl),
-        "INSTALLED" => Ok(StatementOutcome::AssertionInstalled {
-            views: parse_count(field(1)?, "view")?,
-            name: unescape(field(2)?)?,
-        }),
+        "INSTALLED" => {
+            let views = parse_count(field(1)?, "view")?;
+            let nwarnings = parse_count(field(2)?, "warning")?;
+            let name = unescape(field(3)?)?;
+            let mut warnings = Vec::with_capacity(capped(nwarnings));
+            for _ in 0..nwarnings {
+                warnings.push(decode_tagged(lines, "W")?);
+            }
+            Ok(StatementOutcome::AssertionInstalled {
+                name,
+                views,
+                warnings,
+            })
+        }
+        "EXPLAIN" => {
+            let name = unescape(field(1)?)?;
+            let class = AssertionClass::parse(field(2)?)
+                .ok_or_else(|| ProtocolError(format!("unknown assertion class '{}'", fields[2])))?;
+            let denial_count = parse_count(field(3)?, "denial")?;
+            let edc_count = parse_count(field(4)?, "edc")?;
+            let edc_pruned = parse_count(field(5)?, "pruned edc")?;
+            let nreasons = parse_count(field(6)?, "prune reason")?;
+            let nviews = parse_count(field(7)?, "view")?;
+            let nwarnings = parse_count(field(8)?, "warning")?;
+            let mut prune_reasons = Vec::with_capacity(capped(nreasons));
+            for _ in 0..nreasons {
+                prune_reasons.push(decode_tagged(lines, "P")?);
+            }
+            let mut views = Vec::with_capacity(capped(nviews));
+            for _ in 0..nviews {
+                let x = lines.next()?;
+                if x.first() != Some(&"X") || x.len() != 4 {
+                    return Err(ProtocolError("malformed X view line".into()));
+                }
+                let vname = unescape(x[1])?;
+                let ngate = parse_count(x[2], "gate")?;
+                let nresidual = parse_count(x[3], "residual")?;
+                let mut gate = Vec::with_capacity(capped(ngate));
+                for _ in 0..ngate {
+                    let g = lines.next()?;
+                    if g.first() != Some(&"G") || g.len() != 3 {
+                        return Err(ProtocolError("malformed G gate line".into()));
+                    }
+                    let is_ins = match g[1] {
+                        "1" => true,
+                        "0" => false,
+                        _ => return Err(ProtocolError("malformed G gate flag".into())),
+                    };
+                    gate.push((is_ins, unescape(g[2])?));
+                }
+                let mut residual = Vec::with_capacity(capped(nresidual));
+                for _ in 0..nresidual {
+                    residual.push(decode_tagged(lines, "D")?);
+                }
+                views.push(ViewExplain {
+                    name: vname,
+                    gate,
+                    residual,
+                });
+            }
+            let mut warnings = Vec::with_capacity(capped(nwarnings));
+            for _ in 0..nwarnings {
+                warnings.push(decode_tagged(lines, "W")?);
+            }
+            Ok(StatementOutcome::Explain(Box::new(AssertionExplain {
+                name,
+                class,
+                denial_count,
+                edc_count,
+                edc_pruned,
+                prune_reasons,
+                views,
+                warnings,
+            })))
+        }
         "DROPPED" => Ok(StatementOutcome::AssertionDropped {
             name: unescape(field(1)?)?,
         }),
@@ -978,6 +1109,7 @@ mod tests {
             StatementOutcome::AssertionInstalled {
                 name: "atLeastOne".into(),
                 views: 3,
+                warnings: vec!["assertion 'atLeastOne' is tautological: nothing to check".into()],
             },
             StatementOutcome::AssertionDropped {
                 name: "atLeastOne".into(),
@@ -993,7 +1125,9 @@ mod tests {
         assert_eq!(decoded.len(), 9);
         assert!(matches!(
             &decoded[1],
-            StatementOutcome::AssertionInstalled { name, views: 3 } if name == "atLeastOne"
+            StatementOutcome::AssertionInstalled { name, views: 3, warnings }
+                if name == "atLeastOne"
+                    && warnings == &["assertion 'atLeastOne' is tautological: nothing to check"]
         ));
         assert!(matches!(
             &decoded[5],
@@ -1016,6 +1150,7 @@ mod tests {
             views_total: 5,
             views_skipped: 3,
             views_skipped_relevance: 2,
+            views_skipped_residual: 1,
             views_evaluated: 2,
             plans_reused: 2,
             plans_recompiled: 1,
@@ -1046,8 +1181,64 @@ mod tests {
         };
         assert_eq!((*inserted, *deleted), (10, 2));
         assert_eq!(stats.views_evaluated, 2);
+        assert_eq!(stats.views_skipped_residual, 1);
         assert_eq!(stats.check_time, Duration::from_micros(1234));
         assert_eq!(stats.normalization.total(), 1 + 2 + 3 + 2 * 4 + 5);
+    }
+
+    #[test]
+    fn explain_roundtrips_with_full_report() {
+        let explain = AssertionExplain {
+            name: "non neg".into(),
+            class: AssertionClass::PartiallyPruned,
+            denial_count: 2,
+            edc_count: 3,
+            edc_pruned: 1,
+            prune_reasons: vec!["interval: a < 0 and a > 10 [body\twith tab]".into()],
+            views: vec![
+                ViewExplain {
+                    name: "vio_ins_t_1".into(),
+                    gate: vec![(true, "t".into()), (false, "u".into())],
+                    residual: vec!["ins_t where a < 0".into()],
+                },
+                ViewExplain {
+                    name: "vio_del_u_1".into(),
+                    gate: vec![(false, "u".into())],
+                    residual: vec![],
+                },
+            ],
+            warnings: vec!["one event rule pruned".into()],
+        };
+        let decoded = roundtrip(&Ok(vec![StatementOutcome::Explain(Box::new(
+            explain.clone(),
+        ))]))
+        .unwrap();
+        let StatementOutcome::Explain(got) = &decoded[0] else {
+            panic!("expected explain");
+        };
+        assert_eq!(**got, explain);
+    }
+
+    #[test]
+    fn explain_with_empty_report_roundtrips() {
+        let explain = AssertionExplain {
+            name: "taut".into(),
+            class: AssertionClass::Tautological,
+            denial_count: 1,
+            edc_count: 0,
+            edc_pruned: 2,
+            prune_reasons: vec![],
+            views: vec![],
+            warnings: vec![],
+        };
+        let decoded = roundtrip(&Ok(vec![StatementOutcome::Explain(Box::new(
+            explain.clone(),
+        ))]))
+        .unwrap();
+        let StatementOutcome::Explain(got) = &decoded[0] else {
+            panic!("expected explain");
+        };
+        assert_eq!(**got, explain);
     }
 
     #[test]

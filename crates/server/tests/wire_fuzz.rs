@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
-use tintin::{CheckStats, Violation};
+use tintin::{AssertionClass, AssertionExplain, CheckStats, ViewExplain, Violation};
 use tintin_engine::{MvccStats, ResultSet, Value};
 use tintin_obs::{HistogramSnapshot, Sample, SampleValue, Snapshot};
 use tintin_server::protocol::{
@@ -66,6 +66,7 @@ fn rand_stats(rng: &mut StdRng) -> CheckStats {
         views_total: rng.gen_range(0..100usize),
         views_skipped: rng.gen_range(0..100usize),
         views_skipped_relevance: rng.gen_range(0..100usize),
+        views_skipped_residual: rng.gen_range(0..100usize),
         views_evaluated: rng.gen_range(0..100usize),
         plans_reused: rng.gen_range(0..100usize),
         plans_recompiled: rng.gen_range(0..100usize),
@@ -76,13 +77,51 @@ fn rand_stats(rng: &mut StdRng) -> CheckStats {
     }
 }
 
+fn rand_explain(rng: &mut StdRng) -> AssertionExplain {
+    let classes = [
+        AssertionClass::Normal,
+        AssertionClass::PartiallyPruned,
+        AssertionClass::NeverFires,
+        AssertionClass::Tautological,
+        AssertionClass::AggregateFallback,
+    ];
+    AssertionExplain {
+        name: rand_string(rng),
+        class: classes[rng.gen_range(0..classes.len())],
+        denial_count: rng.gen_range(0..9usize),
+        edc_count: rng.gen_range(0..9usize),
+        edc_pruned: rng.gen_range(0..9usize),
+        prune_reasons: (0..rng.gen_range(0..3usize))
+            .map(|_| rand_string(rng))
+            .collect(),
+        views: (0..rng.gen_range(0..3usize))
+            .map(|_| ViewExplain {
+                name: rand_string(rng),
+                gate: (0..rng.gen_range(0..3usize))
+                    .map(|_| (rng.gen_bool(0.5), rand_string(rng)))
+                    .collect(),
+                residual: (0..rng.gen_range(0..3usize))
+                    .map(|_| rand_string(rng))
+                    .collect(),
+            })
+            .collect(),
+        warnings: (0..rng.gen_range(0..2usize))
+            .map(|_| rand_string(rng))
+            .collect(),
+    }
+}
+
 fn rand_outcome(rng: &mut StdRng) -> StatementOutcome {
-    match rng.gen_range(0..12u8) {
+    match rng.gen_range(0..13u8) {
         0 => StatementOutcome::Ddl,
         1 => StatementOutcome::AssertionInstalled {
             name: rand_string(rng),
             views: rng.gen_range(0..9usize),
+            warnings: (0..rng.gen_range(0..3usize))
+                .map(|_| rand_string(rng))
+                .collect(),
         },
+        12 => StatementOutcome::Explain(Box::new(rand_explain(rng))),
         2 => StatementOutcome::AssertionDropped {
             name: rand_string(rng),
         },

@@ -323,7 +323,7 @@ impl Server {
     /// with default options: fsync on, explicit checkpoints only. See
     /// [`Server::open_with`].
     pub fn open(dir: impl AsRef<Path>) -> Result<Server> {
-        Server::open_with(dir, DurabilityOptions::default())
+        Server::open_with(dir, &DurabilityOptions::default())
     }
 
     /// Open-or-recover: if `dir` holds a checkpoint and/or write-ahead
@@ -333,7 +333,7 @@ impl Server {
     /// state with [`Tintin::full_recheck`]. A fresh directory yields an
     /// empty durable server. The recovery summary is logged at INFO and
     /// kept ([`Server::recovery_summary`]).
-    pub fn open_with(dir: impl AsRef<Path>, opts: DurabilityOptions) -> Result<Server> {
+    pub fn open_with(dir: impl AsRef<Path>, opts: &DurabilityOptions) -> Result<Server> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir).map_err(WalError::from)?;
         // Not `unwrap_or_default()`: `Registry::default()` is the *disabled*

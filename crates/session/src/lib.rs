@@ -95,6 +95,7 @@ mod durability;
 pub use durability::{
     CheckpointStats, DurabilityFault, DurabilityOptions, RecoverySummary, WalStatus,
 };
+pub use tintin::{AssertionClass, AssertionExplain, ViewExplain};
 pub use tintin_wal::Lsn;
 
 use std::fmt;
@@ -115,8 +116,16 @@ use tintin_sql as sql;
 pub enum StatementOutcome {
     /// DDL succeeded.
     Ddl,
-    /// An assertion was parsed, rewritten and installed.
-    AssertionInstalled { name: String, views: usize },
+    /// An assertion was parsed, rewritten and installed. `warnings` carries
+    /// the static-analysis linter's verdicts (tautological / never-fires).
+    AssertionInstalled {
+        name: String,
+        views: usize,
+        warnings: Vec<String>,
+    },
+    /// `EXPLAIN ASSERTION` — the install-time static-analysis report for an
+    /// installed assertion (boxed to keep the enum register-sized).
+    Explain(Box<AssertionExplain>),
     /// An assertion (and its incremental views) was removed.
     AssertionDropped { name: String },
     /// DML affected this many rows (pending while a transaction is open).
@@ -1043,14 +1052,30 @@ impl Session {
             sql::Statement::CreateAssertion(a) => {
                 let text = stmt.to_string();
                 let inst = self.install(&[text.as_str()])?;
+                let warnings = inst
+                    .assertions
+                    .iter()
+                    .find(|ia| ia.name == a.name)
+                    .map(|ia| ia.warnings.clone())
+                    .unwrap_or_default();
                 Ok(StatementOutcome::AssertionInstalled {
                     name: a.name.clone(),
                     views: inst.view_count(),
+                    warnings,
                 })
             }
             sql::Statement::DropAssertion { name } => {
                 self.drop_assertion(name)?;
                 Ok(StatementOutcome::AssertionDropped { name: name.clone() })
+            }
+            sql::Statement::ExplainAssertion { name } => {
+                let state = self.server.state_read();
+                state
+                    .installations
+                    .iter()
+                    .find_map(|i| i.explain_assertion(name))
+                    .map(|e| StatementOutcome::Explain(Box::new(e)))
+                    .ok_or_else(|| SessionError::NoSuchAssertion(name.clone()))
             }
             ddl if ddl.is_ddl() => {
                 if self.in_transaction() {
@@ -1087,7 +1112,7 @@ impl Session {
                             .read()
                             .plan_dml_at(dml, &tx.overlay, tx.snapshot.ts())?;
                     let n = delta.rows_affected;
-                    tx.overlay.apply_delta(delta);
+                    tx.overlay.apply_delta(&delta);
                     Ok(StatementOutcome::RowsAffected(n))
                 } else {
                     self.autocommit(dml)
@@ -1540,7 +1565,7 @@ impl Session {
                 let snapshot = db.current_ts();
                 let mut overlay = TxOverlay::new();
                 let delta = db.plan_dml_at(dml, &overlay, TS_LATEST)?;
-                overlay.apply_delta(delta);
+                overlay.apply_delta(&delta);
                 (overlay, snapshot)
             };
             self.phased_commit_guarded(&overlay, snapshot)

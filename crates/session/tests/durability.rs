@@ -317,7 +317,7 @@ fn size_triggered_checkpoint_rotates_the_log() {
     {
         let server = Server::open_with(
             &dir,
-            DurabilityOptions {
+            &DurabilityOptions {
                 checkpoint_bytes: Some(1), // every commit triggers rotation
                 ..DurabilityOptions::default()
             },

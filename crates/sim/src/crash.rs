@@ -289,7 +289,7 @@ fn run_scenario_in(
     let crash_at = rng.gen_range(4..n_statements as u64);
 
     let server =
-        Server::open_with(dir, DurabilityOptions::default()).map_err(|e| format!("open: {e}"))?;
+        Server::open_with(dir, &DurabilityOptions::default()).map_err(|e| format!("open: {e}"))?;
     server.set_durability_fault(fault);
     let mut sess = server.connect();
     sess.execute(

@@ -480,7 +480,7 @@ impl<'a> Sim<'a> {
         match mirror_plan {
             Ok(delta) => {
                 let mut overlay = TxOverlay::new();
-                overlay.apply_delta(delta);
+                overlay.apply_delta(&delta);
                 self.finish_commit(step, res, &overlay, &before)
             }
             Err(me) => match res {
@@ -872,7 +872,18 @@ pub fn run_workload(
     };
 
     // --- shared server ---------------------------------------------------
-    let server = Server::new();
+    // The checker configuration is where the analysis switch and the
+    // over-prune mutant live: both corrupt (or vary) what `install`
+    // produces, not the commit path, so they are wired in at construction
+    // rather than through the commit-phase hook. The mirror below always
+    // uses the default checker — `full_recheck` evaluates the original
+    // assertion queries, so it is immune to install-time pruning either
+    // way and stays the trusted side of the differential.
+    let mut tintin_cfg = tintin::TintinConfig::default();
+    tintin_cfg.edc.analysis = cfg.analysis;
+    tintin_cfg.edc.over_prune = cfg.mutant == Mutant::OverPrune;
+    let server =
+        Server::with_database_and_checker(Database::new(), Tintin::with_config(tintin_cfg));
     let mut setup = server.connect();
     {
         let mut db = server.database().write();

@@ -66,6 +66,14 @@ pub struct SimConfig {
     /// Run the from-scratch replay check every N accepted commits
     /// (1 = after every committed step; a final replay always runs).
     pub replay_every: usize,
+    /// Run the shared server with the install-time constraint analysis
+    /// (unsatisfiability pruning + residual event gates) enabled. The
+    /// mirror's full recheck never uses the analysis either way — it
+    /// evaluates the original assertion queries — so a run with the
+    /// analysis on is checked against the same trusted oracle as one
+    /// with it off, and [`run_differential`] compares the two runs
+    /// bit for bit.
+    pub analysis: bool,
 }
 
 impl Default for SimConfig {
@@ -77,6 +85,7 @@ impl Default for SimConfig {
             tables: 2,
             mutant: Mutant::None,
             replay_every: 1,
+            analysis: true,
         }
     }
 }
@@ -114,6 +123,14 @@ pub enum Mutant {
     /// durable and write the checkpoint non-atomically — a crash strands a
     /// torn checkpoint with no log to fall back on. Caught at reopen.
     TornCheckpoint,
+    /// Static-analysis mutant: at install time, misclassify satisfiable
+    /// event rules (any body with a strict comparison against a constant)
+    /// as unsatisfiable and prune their views. The incremental check then
+    /// silently skips real violations — the full-recheck oracle, which
+    /// evaluates the *original* assertion queries rather than the pruned
+    /// views, must report a verdict divergence. Unlike the hook mutants
+    /// this one corrupts install-time configuration, not the commit path.
+    OverPrune,
 }
 
 impl Mutant {
@@ -127,6 +144,7 @@ impl Mutant {
             "skip-fsync" => Some(Mutant::SkipFsync),
             "ack-before-log" => Some(Mutant::AckBeforeLog),
             "torn-checkpoint" => Some(Mutant::TornCheckpoint),
+            "over-prune" => Some(Mutant::OverPrune),
             _ => None,
         }
     }
@@ -141,6 +159,7 @@ impl Mutant {
             Mutant::SkipFsync => "skip-fsync",
             Mutant::AckBeforeLog => "ack-before-log",
             Mutant::TornCheckpoint => "torn-checkpoint",
+            Mutant::OverPrune => "over-prune",
         }
     }
 
@@ -221,6 +240,54 @@ impl std::error::Error for SimFailure {}
 pub fn run_sim(cfg: &SimConfig) -> Result<SimReport, SimFailure> {
     let workload = gen::generate(cfg);
     exec::run_workload(&workload, None, cfg)
+}
+
+/// The analysis-on/off differential regime: run the *same* generated
+/// workload twice — once with the install-time constraint analysis
+/// (unsatisfiability pruning + residual gates) enabled, once with it
+/// disabled — and require the two runs to agree bit for bit: identical
+/// commit/reject tallies, identical step traces, identical final-state
+/// hash. Both runs are independently checked by the full-recheck oracle;
+/// the pairwise comparison additionally proves the analysis is *pure
+/// optimization* — it may skip work, never change a verdict.
+pub fn run_differential(cfg: &SimConfig) -> Result<SimReport, SimFailure> {
+    let on_cfg = SimConfig {
+        analysis: true,
+        ..cfg.clone()
+    };
+    let off_cfg = SimConfig {
+        analysis: false,
+        ..cfg.clone()
+    };
+    let workload = gen::generate(&on_cfg);
+    let on = exec::run_workload(&workload, None, &on_cfg)?;
+    let off = exec::run_workload(&workload, None, &off_cfg)?;
+    if on.state_hash != off.state_hash || on.tally != off.tally || on.trace != off.trace {
+        let first_diff = on
+            .trace
+            .iter()
+            .zip(off.trace.iter())
+            .position(|(a, b)| a != b)
+            .map(|i| {
+                format!(
+                    "first trace divergence at line {i}:\n  analysis-on:  {}\n  analysis-off: {}",
+                    on.trace[i], off.trace[i]
+                )
+            })
+            .unwrap_or_else(|| {
+                format!(
+                    "state_hash on={:#x} off={:#x}; tally on={:?} off={:?}",
+                    on.state_hash, off.state_hash, on.tally, off.tally
+                )
+            });
+        return Err(SimFailure {
+            seed: cfg.seed,
+            step: on.steps_run.min(off.steps_run),
+            message: format!("analysis-on/off differential divergence: {first_diff}"),
+            trace: on.trace,
+        });
+    }
+    Ok(on)
 }
 
 /// FNV-1a over a byte string: the deterministic state-hash primitive

@@ -31,6 +31,7 @@ struct Args {
     crash_point: Option<CrashPoint>,
     crash_fault: Option<TailFault>,
     kill_matrix: Option<usize>,
+    differential: bool,
     quiet: bool,
 }
 
@@ -38,11 +39,15 @@ fn usage() -> String {
     "usage: tintin-sim [--seed N] [--steps N] [--sessions N] [--tables N]\n\
      \x20                [--sweep N] [--mutant NAME] [--keep i,j,…] [--no-shrink]\n\
      \x20                [--wire-faults] [--replay-every N] [--quiet]\n\
+     \x20                [--differential] [--analysis-off]\n\
      \x20                [--crash] [--crash-point P] [--fault F] [--kill-matrix N]\n\
-     mutants: none | skip-staged-events | ghost-write | torn-abort\n\
+     mutants: none | skip-staged-events | ghost-write | torn-abort | over-prune\n\
      \x20         | skip-fsync | ack-before-log | torn-checkpoint (crash battery)\n\
      crash points: staged | checked | published | after-ack\n\
-     tail faults: keep-all | lose-tail | torn-tail | bit-flip | duplicate-record"
+     tail faults: keep-all | lose-tail | torn-tail | bit-flip | duplicate-record\n\
+     --differential runs each workload twice (constraint analysis on and off)\n\
+     and requires bit-for-bit identical traces, tallies and state hashes;\n\
+     --analysis-off disables install-time pruning/residual gates for the run"
         .to_string()
 }
 
@@ -57,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
         crash_point: None,
         crash_fault: None,
         kill_matrix: None,
+        differential: false,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -93,6 +99,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-shrink" => args.no_shrink = true,
             "--wire-faults" => args.wire_faults = true,
+            "--differential" => args.differential = true,
+            "--analysis-off" => args.cfg.analysis = false,
             "--crash" => args.crash = true,
             "--crash-point" => {
                 let name = value("--crash-point")?;
@@ -232,7 +240,12 @@ fn run(args: &Args) -> ExitCode {
                 seed,
                 ..args.cfg.clone()
             };
-            match tintin_sim::run_sim(&cfg) {
+            let result = if args.differential {
+                tintin_sim::run_differential(&cfg)
+            } else {
+                tintin_sim::run_sim(&cfg)
+            };
+            match result {
                 Ok(report) => {
                     if !args.quiet {
                         println!(
@@ -252,12 +265,16 @@ fn run(args: &Args) -> ExitCode {
                         cfg,
                         sweep: None,
                         keep: None,
-                        no_shrink: args.no_shrink,
+                        // A differential divergence only reproduces when
+                        // both runs are compared, which the shrinker's
+                        // single-run replay cannot do.
+                        no_shrink: args.no_shrink || args.differential,
                         wire_faults: false,
                         crash: false,
                         crash_point: None,
                         crash_fault: None,
                         kill_matrix: None,
+                        differential: false,
                         quiet: args.quiet,
                     };
                     report_failure(&sweep_args, &failure);
@@ -265,8 +282,35 @@ fn run(args: &Args) -> ExitCode {
                 }
             }
         }
-        println!("sweep passed: seeds {base}..{} clean", base + n);
+        let mode = if args.differential {
+            " (analysis-on/off differential)"
+        } else {
+            ""
+        };
+        println!("sweep passed: seeds {base}..{} clean{mode}", base + n);
         return ExitCode::SUCCESS;
+    }
+
+    if args.differential {
+        return match tintin_sim::run_differential(&args.cfg) {
+            Ok(report) => {
+                if !args.quiet {
+                    for line in &report.trace {
+                        println!("{line}");
+                    }
+                }
+                println!(
+                    "seed {} differential ok: {} steps, tally {:?}, state hash {:016x} \
+                     (identical with analysis on and off)",
+                    report.seed, report.steps_run, report.tally, report.state_hash
+                );
+                ExitCode::SUCCESS
+            }
+            Err(failure) => {
+                print!("{failure}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let wl = gen::generate(&args.cfg);

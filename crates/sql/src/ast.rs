@@ -35,6 +35,13 @@ pub enum Statement {
     DropAssertion {
         name: Ident,
     },
+    /// `EXPLAIN ASSERTION name` — report the install-time static-analysis
+    /// verdict for an installed assertion: its linter class, the event rules
+    /// proved unsatisfiable (with the rule that pruned each), and the
+    /// residual gates guarding the surviving incremental views.
+    ExplainAssertion {
+        name: Ident,
+    },
     TruncateTable {
         name: Ident,
     },
@@ -110,6 +117,7 @@ impl Statement {
             Statement::DropView { .. } => "DROP VIEW",
             Statement::DropIndex { .. } => "DROP INDEX",
             Statement::DropAssertion { .. } => "DROP ASSERTION",
+            Statement::ExplainAssertion { .. } => "EXPLAIN ASSERTION",
             Statement::TruncateTable { .. } => "TRUNCATE TABLE",
             Statement::Insert(_) => "INSERT",
             Statement::Delete(_) => "DELETE",

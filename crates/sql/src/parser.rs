@@ -124,7 +124,7 @@ pub fn parse_statements(src: &str) -> PResult<Vec<Statement>> {
         }
         out.push(p.parse_statement()?);
         if !p.at_eof() {
-            p.expect_kind(TokenKind::Semicolon)?;
+            p.expect_kind(&TokenKind::Semicolon)?;
         }
     }
 }
@@ -243,8 +243,8 @@ impl Parser {
         }
     }
 
-    fn expect_kind(&mut self, kind: TokenKind) -> PResult<()> {
-        if self.eat_kind(&kind) {
+    fn expect_kind(&mut self, kind: &TokenKind) -> PResult<()> {
+        if self.eat_kind(kind) {
             Ok(())
         } else {
             self.err(format!("expected '{kind}', found '{}'", self.peek().kind))
@@ -295,9 +295,9 @@ impl Parser {
     }
 
     fn parse_paren_ident_list(&mut self) -> PResult<Vec<Ident>> {
-        self.expect_kind(TokenKind::LParen)?;
+        self.expect_kind(&TokenKind::LParen)?;
         let list = self.parse_ident_list()?;
-        self.expect_kind(TokenKind::RParen)?;
+        self.expect_kind(&TokenKind::RParen)?;
         Ok(list)
     }
 
@@ -348,6 +348,11 @@ impl Parser {
             self.eat_kw("savepoint");
             let name = self.parse_ident()?;
             Ok(Statement::Release { name })
+        } else if self.at_kw("explain") {
+            self.bump();
+            self.expect_kw("assertion")?;
+            let name = self.parse_ident()?;
+            Ok(Statement::ExplainAssertion { name })
         } else {
             self.err(format!(
                 "expected a statement, found '{}'",
@@ -371,9 +376,9 @@ impl Parser {
         } else if self.eat_kw("assertion") {
             let name = self.parse_ident()?;
             self.expect_kw("check")?;
-            self.expect_kind(TokenKind::LParen)?;
+            self.expect_kind(&TokenKind::LParen)?;
             let condition = self.parse_expr()?;
-            self.expect_kind(TokenKind::RParen)?;
+            self.expect_kind(&TokenKind::RParen)?;
             Ok(Statement::CreateAssertion(CreateAssertion {
                 name,
                 condition,
@@ -403,7 +408,7 @@ impl Parser {
 
     fn parse_create_table(&mut self) -> PResult<CreateTable> {
         let name = self.parse_ident()?;
-        self.expect_kind(TokenKind::LParen)?;
+        self.expect_kind(&TokenKind::LParen)?;
         let mut columns = Vec::new();
         let mut constraints = Vec::new();
         loop {
@@ -421,7 +426,7 @@ impl Parser {
                 break;
             }
         }
-        self.expect_kind(TokenKind::RParen)?;
+        self.expect_kind(&TokenKind::RParen)?;
         Ok(CreateTable {
             name,
             columns,
@@ -455,9 +460,9 @@ impl Parser {
                 ref_columns,
             })
         } else if self.eat_kw("check") {
-            self.expect_kind(TokenKind::LParen)?;
+            self.expect_kind(&TokenKind::LParen)?;
             let e = self.parse_expr()?;
-            self.expect_kind(TokenKind::RParen)?;
+            self.expect_kind(&TokenKind::RParen)?;
             Ok(TableConstraint::Check(e))
         } else {
             self.err("expected a table constraint")
@@ -537,7 +542,7 @@ impl Parser {
                     break;
                 }
             }
-            self.expect_kind(TokenKind::RParen)?;
+            self.expect_kind(&TokenKind::RParen)?;
         }
         Ok(ty)
     }
@@ -586,12 +591,12 @@ impl Parser {
         let source = if self.eat_kw("values") {
             let mut rows = Vec::new();
             loop {
-                self.expect_kind(TokenKind::LParen)?;
+                self.expect_kind(&TokenKind::LParen)?;
                 let mut row = vec![self.parse_expr()?];
                 while self.eat_kind(&TokenKind::Comma) {
                     row.push(self.parse_expr()?);
                 }
-                self.expect_kind(TokenKind::RParen)?;
+                self.expect_kind(&TokenKind::RParen)?;
                 rows.push(row);
                 if !self.eat_kind(&TokenKind::Comma) {
                     break;
@@ -602,7 +607,7 @@ impl Parser {
             let had_paren = self.eat_kind(&TokenKind::LParen);
             let q = self.parse_query()?;
             if had_paren {
-                self.expect_kind(TokenKind::RParen)?;
+                self.expect_kind(&TokenKind::RParen)?;
             }
             InsertSource::Query(q)
         } else {
@@ -648,7 +653,7 @@ impl Parser {
         let mut assignments = Vec::new();
         loop {
             let col = self.parse_ident()?;
-            self.expect_kind(TokenKind::Eq)?;
+            self.expect_kind(&TokenKind::Eq)?;
             let value = self.parse_expr()?;
             assignments.push((col, value));
             if !self.eat_kind(&TokenKind::Comma) {
@@ -721,7 +726,7 @@ impl Parser {
     fn parse_query_atom(&mut self) -> PResult<QueryBody> {
         if self.eat_kind(&TokenKind::LParen) {
             let q = self.parse_query()?;
-            self.expect_kind(TokenKind::RParen)?;
+            self.expect_kind(&TokenKind::RParen)?;
             Ok(q.body)
         } else {
             Ok(QueryBody::Select(Box::new(self.parse_select()?)))
@@ -841,7 +846,7 @@ impl Parser {
             // Either a parenthesized join or a derived table.
             if self.at_kw("select") {
                 let query = self.parse_query()?;
-                self.expect_kind(TokenKind::RParen)?;
+                self.expect_kind(&TokenKind::RParen)?;
                 self.eat_kw("as");
                 let alias = match self.try_parse_bare_alias() {
                     Some(a) => a,
@@ -853,7 +858,7 @@ impl Parser {
                 });
             }
             let inner = self.parse_table_ref()?;
-            self.expect_kind(TokenKind::RParen)?;
+            self.expect_kind(&TokenKind::RParen)?;
             return Ok(inner);
         }
         let name = self.parse_ident()?;
@@ -908,9 +913,9 @@ impl Parser {
         if self.at_kw("exists") || (self.at_kw("not") && self.at_kw_nth(1, "exists")) {
             let negated = self.eat_kw("not");
             self.expect_kw("exists")?;
-            self.expect_kind(TokenKind::LParen)?;
+            self.expect_kind(&TokenKind::LParen)?;
             let query = self.parse_query()?;
-            self.expect_kind(TokenKind::RParen)?;
+            self.expect_kind(&TokenKind::RParen)?;
             return Ok(Expr::Exists {
                 query: Box::new(query),
                 negated,
@@ -944,10 +949,10 @@ impl Parser {
         if self.at_kw("in") || (self.at_kw("not") && self.at_kw_nth(1, "in")) {
             let negated = self.eat_kw("not");
             self.expect_kw("in")?;
-            self.expect_kind(TokenKind::LParen)?;
+            self.expect_kind(&TokenKind::LParen)?;
             if self.at_kw("select") {
                 let query = self.parse_query()?;
-                self.expect_kind(TokenKind::RParen)?;
+                self.expect_kind(&TokenKind::RParen)?;
                 // `(a, b) IN (SELECT …)` is parsed as a tuple by
                 // parse_primary; flatten it here.
                 let exprs = match left {
@@ -964,7 +969,7 @@ impl Parser {
             while self.eat_kind(&TokenKind::Comma) {
                 list.push(self.parse_expr()?);
             }
-            self.expect_kind(TokenKind::RParen)?;
+            self.expect_kind(&TokenKind::RParen)?;
             return Ok(Expr::InList {
                 expr: Box::new(left),
                 list,
@@ -1075,10 +1080,10 @@ impl Parser {
                             break;
                         }
                     }
-                    self.expect_kind(TokenKind::RParen)?;
+                    self.expect_kind(&TokenKind::RParen)?;
                     return Ok(Expr::Tuple(parts));
                 }
-                self.expect_kind(TokenKind::RParen)?;
+                self.expect_kind(&TokenKind::RParen)?;
                 Ok(first)
             }
             TokenKind::Ident(ref s) => {
@@ -1137,9 +1142,9 @@ impl Parser {
 impl Parser {
     /// Parse a function call after its name: `( * | [DISTINCT] expr, … )`.
     fn parse_func_call(&mut self, name: Ident) -> PResult<Expr> {
-        self.expect_kind(TokenKind::LParen)?;
+        self.expect_kind(&TokenKind::LParen)?;
         if self.eat_kind(&TokenKind::Star) {
-            self.expect_kind(TokenKind::RParen)?;
+            self.expect_kind(&TokenKind::RParen)?;
             return Ok(Expr::Func {
                 name,
                 distinct: false,
@@ -1154,7 +1159,7 @@ impl Parser {
                 args.push(self.parse_expr()?);
             }
         }
-        self.expect_kind(TokenKind::RParen)?;
+        self.expect_kind(&TokenKind::RParen)?;
         Ok(Expr::Func {
             name,
             distinct,
@@ -1471,6 +1476,23 @@ mod tests {
         };
         assert_eq!(name, "i");
         assert_eq!(table, "t");
+    }
+
+    #[test]
+    fn parses_explain_assertion() {
+        assert_eq!(
+            parse_statement("EXPLAIN ASSERTION budget").unwrap(),
+            Statement::ExplainAssertion {
+                name: "budget".into()
+            }
+        );
+        // Round-trips through the printer and survives lower-casing.
+        assert_eq!(
+            parse_statement("explain assertion budget")
+                .unwrap()
+                .to_string(),
+            "EXPLAIN ASSERTION budget"
+        );
     }
 
     #[test]

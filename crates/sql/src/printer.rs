@@ -235,6 +235,10 @@ fn write_statement(out: &mut String, stmt: &Statement) {
             out.push_str("DROP ASSERTION ");
             ident(out, name);
         }
+        Statement::ExplainAssertion { name } => {
+            out.push_str("EXPLAIN ASSERTION ");
+            ident(out, name);
+        }
         Statement::TruncateTable { name } => {
             out.push_str("TRUNCATE TABLE ");
             ident(out, name);

@@ -66,7 +66,7 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
             }),
             (
                 inner.clone(),
-                proptest::collection::vec(inner.clone(), 1..3),
+                proptest::collection::vec(inner, 1..3),
                 any::<bool>()
             )
                 .prop_map(|(p, list, negated)| Expr::InList {

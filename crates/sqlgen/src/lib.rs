@@ -56,6 +56,10 @@ pub struct GeneratedView {
     /// Event tables that must all be non-empty for the view to possibly
     /// return rows: `(is_insertion, base table)`.
     pub gate: Vec<(bool, String)>,
+    /// Predicate-granular refinement of `gate` from the install-time
+    /// analysis: each residual gate must have ≥ 1 qualifying event row for
+    /// the view to possibly return rows. Empty when the analysis is off.
+    pub residual: Vec<tintin_logic::ResidualGate>,
 }
 
 /// Generate one view per EDC.
@@ -86,6 +90,7 @@ pub fn generate_views(
                 sql_text: stmt.to_string(),
                 query,
                 gate: edc.gate.clone(),
+                residual: edc.residual.clone(),
             })
         })
         .collect()

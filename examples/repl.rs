@@ -38,6 +38,10 @@ SQL (terminated by ';'):
   RELEASE s;                          whole batch atomically
   CREATE ASSERTION name CHECK (…);    install an assertion (views and all)
   DROP ASSERTION name;                uninstall it
+  EXPLAIN ASSERTION name;             the install-time static-analysis report
+                                      (linter class, pruned event rules,
+                                      residual gates) — `.explain name` for
+                                      short
   other DDL / INSERT / DELETE / UPDATE / SELECT
       outside a transaction, DML autocommits (checked immediately);
       inside one it accumulates as this session's pending update —
@@ -55,6 +59,7 @@ Meta-commands (no semicolon needed):
                     skipped by relevance, prepared plans reused / recompiled)
                     plus MVCC row-version state: live/dead versions, average
                     version-chain length, GC passes and versions pruned
+  .explain <name>   the EXPLAIN ASSERTION report for one assertion
   explain <query>;  show the access-path plan (scans vs index probes)
   assert <sql>;     queue a CREATE ASSERTION for the next `install`
   install           install queued assertions together (one installation)
@@ -142,7 +147,7 @@ fn print_outcome(outcome: StatementOutcome, last_stats: &mut Option<CheckStats>)
     println!("{}", tintin_client::render_outcome(&outcome));
     match outcome {
         StatementOutcome::Committed { stats, .. } | StatementOutcome::Rejected { stats, .. } => {
-            *last_stats = Some(stats)
+            *last_stats = Some(stats);
         }
         _ => {}
     }
@@ -360,6 +365,18 @@ fn main() {
                 }
                 _ => {}
             }
+            if let Some(rest) = line.strip_prefix(".explain ") {
+                let name = rest.trim().trim_end_matches(';');
+                match session.execute(&format!("EXPLAIN ASSERTION {name};")) {
+                    Ok(outcomes) => {
+                        for outcome in outcomes {
+                            print_outcome(outcome, &mut last_stats);
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+                continue;
+            }
             if let Some(rest) = line.strip_prefix(".session ") {
                 match rest.trim().parse::<u64>() {
                     Ok(id) => match sessions.iter().position(|s| s.id() == id) {
@@ -385,11 +402,15 @@ fn main() {
         let input = input.trim().trim_end_matches(';').trim();
 
         if let Some(rest) = input.strip_prefix("explain ") {
-            match session.database().read().explain_sql(rest) {
-                Ok(plan) => print!("{plan}"),
-                Err(e) => println!("error: {e}"),
+            // `EXPLAIN ASSERTION name` is a real statement (the linter
+            // report); bare `explain <query>` shows the access-path plan.
+            if !rest.trim_start().to_lowercase().starts_with("assertion ") {
+                match session.database().read().explain_sql(rest) {
+                    Ok(plan) => print!("{plan}"),
+                    Err(e) => println!("error: {e}"),
+                }
+                continue;
             }
-            continue;
         }
 
         if let Some(rest) = input.strip_prefix("assert ") {

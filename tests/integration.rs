@@ -329,6 +329,7 @@ fn optimizer_ablation_preserves_verdicts() {
                 edc: EdcConfig {
                     optimize,
                     assume_fks_valid: fks,
+                    ..EdcConfig::default()
                 },
                 ..TintinConfig::default()
             });
@@ -356,6 +357,7 @@ fn unoptimized_install_has_more_views() {
         edc: EdcConfig {
             optimize: false,
             assume_fks_valid: false,
+            ..EdcConfig::default()
         },
         ..TintinConfig::default()
     });

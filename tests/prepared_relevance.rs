@@ -158,7 +158,13 @@ fn relevance_index_skips_untouched_checks_and_reuses_plans() {
     let StatementOutcome::Committed { stats, .. } = out.last().unwrap() else {
         panic!("expected commit, got {:?}", out.last());
     };
-    assert!(stats.views_evaluated >= 1, "t5's own check must run");
+    // t5's own check must at least be *considered* — it survives the
+    // relevance index, and the residual gate (v < 0, which the valid
+    // insert cannot satisfy) may then skip its full plan.
+    assert!(
+        stats.views_evaluated + stats.views_skipped_residual >= 1,
+        "t5's own check must survive the relevance index: {stats:?}"
+    );
     assert!(
         stats.views_evaluated < stats.views_total / 2,
         "a one-table update must not evaluate most of {} views (got {})",
@@ -166,9 +172,9 @@ fn relevance_index_skips_untouched_checks_and_reuses_plans() {
         stats.views_evaluated
     );
     assert_eq!(
-        stats.views_skipped_relevance + stats.views_evaluated,
+        stats.views_skipped_relevance + stats.views_skipped_residual + stats.views_evaluated,
         stats.views_total,
-        "all gates are single-event here: skipped-by-relevance + evaluated covers everything"
+        "all gates are single-event here: skipped + evaluated covers everything"
     );
     assert_eq!(stats.plans_recompiled, 0);
     assert_eq!(stats.plans_reused, stats.views_evaluated);
@@ -186,6 +192,7 @@ fn relevance_index_skips_untouched_checks_and_reuses_plans() {
     };
     assert_eq!(stats.views_evaluated, stats.views_total);
     assert_eq!(stats.views_skipped_relevance, 0);
+    assert_eq!(stats.views_skipped_residual, 0);
 }
 
 #[test]
@@ -193,20 +200,25 @@ fn drop_assertion_and_reinstall_never_runs_a_stale_plan() {
     let mut s = Session::new();
     s.execute("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
         .unwrap();
-    s.execute("CREATE ASSERTION bound CHECK (NOT EXISTS (SELECT * FROM t WHERE b > 10))")
+    // Column-to-column bounds: the analysis can emit no constant residual
+    // gate for these, so a valid commit still evaluates the view — which
+    // is what lets this test observe the plan cache via the counters.
+    s.execute("CREATE ASSERTION bound CHECK (NOT EXISTS (SELECT * FROM t WHERE b < a))")
         .unwrap();
-    assert!(s.execute("INSERT INTO t VALUES (1, 11)").unwrap()[0].is_rejected());
-    assert!(s.execute("INSERT INTO t VALUES (1, 5)").unwrap()[0].is_committed());
+    assert!(s.execute("INSERT INTO t VALUES (11, 1)").unwrap()[0].is_rejected());
+    // b = a satisfies both the current rule and the replacement below
+    // (whose install re-checks the initial state).
+    assert!(s.execute("INSERT INTO t VALUES (1, 1)").unwrap()[0].is_committed());
 
     // Replace the assertion under the same name (same generated view
     // names!) with the opposite sense of the bound.
     s.execute("DROP ASSERTION bound").unwrap();
-    s.execute("CREATE ASSERTION bound CHECK (NOT EXISTS (SELECT * FROM t WHERE b < 0))")
+    s.execute("CREATE ASSERTION bound CHECK (NOT EXISTS (SELECT * FROM t WHERE b > a))")
         .unwrap();
     // The old rule must be gone and the new one enforced — a stale plan for
-    // the old view body would reject this insert.
-    assert!(s.execute("INSERT INTO t VALUES (2, 99)").unwrap()[0].is_committed());
-    assert!(s.execute("INSERT INTO t VALUES (3, -1)").unwrap()[0].is_rejected());
+    // the old view body (b < a, which 2 < 99 satisfies) would reject this.
+    assert!(s.execute("INSERT INTO t VALUES (99, 2)").unwrap()[0].is_committed());
+    assert!(s.execute("INSERT INTO t VALUES (3, 7)").unwrap()[0].is_rejected());
 
     // DDL between commits (an unrelated index) moves the catalog
     // generation: the next commit recompiles and still answers correctly,

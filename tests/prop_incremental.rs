@@ -86,7 +86,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         (24..40i64, 0..8i64, -2..6i64).prop_map(|(i, g, v)| Op::InsItem(i, g, v)),
         key.clone().prop_map(Op::DelParent),
         (8..24i64).prop_map(Op::DelChild),
-        key.clone().prop_map(Op::DelChildrenOf),
+        key.prop_map(Op::DelChildrenOf),
         (24..40i64).prop_map(Op::DelItem),
     ]
 }
@@ -361,10 +361,12 @@ proptest! {
         let no_fk = incremental_verdict(&base, EdcConfig {
             optimize: true,
             assume_fks_valid: false,
+            ..EdcConfig::default()
         });
         let raw = incremental_verdict(&base, EdcConfig {
             optimize: false,
             assume_fks_valid: false,
+            ..EdcConfig::default()
         });
         prop_assert_eq!(&default, &no_fk, "FK pruning changed a verdict; ops: {:?}", ops);
         prop_assert_eq!(&default, &raw, "optimizer changed a verdict; ops: {:?}", ops);
@@ -426,7 +428,7 @@ proptest! {
         }
         prop_assert_eq!(
             snapshot(&session.database().read()),
-            shared_before.clone(),
+            shared_before,
             "uncommitted work leaked into the shared database; tx_ops: {:?}",
             tx_ops
         );
@@ -473,7 +475,7 @@ proptest! {
         session.execute("ROLLBACK TO mark").unwrap();
         prop_assert_eq!(
             visible_snapshot(&session),
-            at_mark.clone(),
+            at_mark,
             "first ROLLBACK TO missed the mark; ops_b: {:?}",
             ops_b
         );
